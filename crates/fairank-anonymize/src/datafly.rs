@@ -1,0 +1,280 @@
+//! The Datafly algorithm: greedy full-domain generalization.
+//!
+//! Sweeney's Datafly reaches k-anonymity by repeatedly generalizing the
+//! quasi-identifier with the most distinct remaining values by one
+//! hierarchy level, until the number of rows violating k-anonymity is small
+//! enough to suppress outright. It is the workhorse ARX-style algorithm the
+//! FaiRank demo relies on for its data-transparency scenarios.
+
+use fairank_data::dataset::Dataset;
+
+use crate::error::{AnonError, Result};
+use crate::hierarchy::Hierarchy;
+use crate::kanon::{
+    apply_generalization, check_qis, equivalence_classes, suppress_small_classes,
+};
+
+/// Configuration for [`datafly`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DataflyConfig {
+    /// The anonymity parameter: every remaining QI combination must occur
+    /// at least this many times.
+    pub k: usize,
+    /// Maximum fraction of rows that may be suppressed instead of
+    /// generalizing further (ARX's suppression limit; Datafly's original
+    /// threshold is "fewer than k rows").
+    pub max_suppression: f64,
+}
+
+impl Default for DataflyConfig {
+    fn default() -> Self {
+        DataflyConfig {
+            k: 2,
+            max_suppression: 0.02,
+        }
+    }
+}
+
+/// The result of a Datafly run.
+#[derive(Debug, Clone)]
+pub struct DataflyOutcome {
+    /// The k-anonymous dataset (violating rows removed).
+    pub dataset: Dataset,
+    /// The generalization level chosen per quasi-identifier.
+    pub levels: Vec<(String, usize)>,
+    /// Number of suppressed rows.
+    pub suppressed: usize,
+}
+
+/// Builds default hierarchies for the given QIs: widening intervals for
+/// integer columns (base width 10), value → `*` for categoricals.
+pub fn auto_hierarchies(dataset: &Dataset, qis: &[&str]) -> Result<Vec<(String, Hierarchy)>> {
+    check_qis(dataset, qis)?;
+    let mut out = Vec::with_capacity(qis.len());
+    for &name in qis {
+        let col = dataset.column(name).expect("validated");
+        let hierarchy = if let Some(ints) = col.as_integer() {
+            Hierarchy::for_integers(ints, 10)?
+        } else {
+            let (_, labels) = col.as_categorical().expect("non-float QI");
+            Hierarchy::from_levels(labels.to_vec(), vec![labels.to_vec()])?
+        };
+        out.push((name.to_string(), hierarchy));
+    }
+    Ok(out)
+}
+
+/// Runs Datafly over `dataset` with the given quasi-identifiers and
+/// hierarchies. Columns without a hierarchy get one from
+/// [`auto_hierarchies`].
+pub fn datafly(
+    dataset: &Dataset,
+    qis: &[&str],
+    hierarchies: &[(String, Hierarchy)],
+    config: DataflyConfig,
+) -> Result<DataflyOutcome> {
+    if config.k == 0 {
+        return Err(AnonError::BadParameter("k must be at least 1".into()));
+    }
+    if config.k > dataset.num_rows() {
+        return Err(AnonError::BadParameter(format!(
+            "k = {} exceeds the population size {}",
+            config.k,
+            dataset.num_rows()
+        )));
+    }
+    if !(0.0..=1.0).contains(&config.max_suppression) {
+        return Err(AnonError::BadParameter(format!(
+            "suppression limit {} is not a fraction",
+            config.max_suppression
+        )));
+    }
+    check_qis(dataset, qis)?;
+
+    // Resolve hierarchies, falling back to automatic ones.
+    let auto = auto_hierarchies(dataset, qis)?;
+    let mut resolved: Vec<(&str, &Hierarchy)> = Vec::with_capacity(qis.len());
+    for &name in qis {
+        let h = hierarchies
+            .iter()
+            .find(|(n, _)| n == name)
+            .or_else(|| auto.iter().find(|(n, _)| n == name))
+            .map(|(_, h)| h)
+            .expect("auto hierarchy exists for every QI");
+        resolved.push((name, h));
+    }
+
+    let allowance = (config.max_suppression * dataset.num_rows() as f64).floor() as usize;
+    let mut levels = vec![0usize; qis.len()];
+
+    loop {
+        let assignments: Vec<(&str, &Hierarchy, usize)> = resolved
+            .iter()
+            .zip(&levels)
+            .map(|(&(n, h), &l)| (n, h, l))
+            .collect();
+        let current = apply_generalization(dataset, &assignments)?;
+        let classes = equivalence_classes(&current, qis)?;
+        let violating: usize = classes
+            .iter()
+            .filter(|c| c.len() < config.k)
+            .map(Vec::len)
+            .sum();
+        if violating <= allowance {
+            let (kept, suppressed) = suppress_small_classes(&current, qis, config.k)?;
+            return Ok(DataflyOutcome {
+                dataset: kept,
+                levels: qis
+                    .iter()
+                    .zip(&levels)
+                    .map(|(&n, &l)| (n.to_string(), l))
+                    .collect(),
+                suppressed,
+            });
+        }
+        // Generalize the QI with the most distinct values that can still be
+        // generalized.
+        let next = (0..qis.len())
+            .filter(|&i| levels[i] + 1 < resolved[i].1.num_levels())
+            .max_by_key(|&i| {
+                let col = &current.column(qis[i]).expect("QI exists").data;
+                let mut distinct: Vec<String> =
+                    (0..current.num_rows()).map(|r| col.render(r)).collect();
+                distinct.sort_unstable();
+                distinct.dedup();
+                distinct.len()
+            });
+        match next {
+            Some(i) => levels[i] += 1,
+            None => {
+                return Err(AnonError::Unsatisfiable(format!(
+                    "{violating} rows still violate {}-anonymity at full generalization \
+                     and the suppression allowance is {allowance}",
+                    config.k
+                )))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kanon::is_k_anonymous;
+    use fairank_data::schema::AttributeRole;
+
+    fn dataset() -> Dataset {
+        Dataset::builder()
+            .categorical(
+                "gender",
+                AttributeRole::Protected,
+                &["F", "F", "F", "M", "M", "M", "M", "F"],
+            )
+            .integer(
+                "year",
+                AttributeRole::Protected,
+                vec![1990, 1991, 1992, 1976, 1977, 1978, 1990, 1976],
+            )
+            .float(
+                "rating",
+                AttributeRole::Observed,
+                vec![0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8],
+            )
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn reaches_k_anonymity() {
+        let ds = dataset();
+        let qis = ["gender", "year"];
+        let out = datafly(&ds, &qis, &[], DataflyConfig { k: 2, max_suppression: 0.2 })
+            .unwrap();
+        assert!(is_k_anonymous(&out.dataset, &qis, 2).unwrap());
+        // Something had to generalize: raw data has singleton classes.
+        let total_levels: usize = out.levels.iter().map(|(_, l)| l).sum();
+        assert!(total_levels > 0 || out.suppressed > 0);
+    }
+
+    #[test]
+    fn zero_suppression_forces_generalization() {
+        let ds = dataset();
+        let qis = ["gender", "year"];
+        let out = datafly(&ds, &qis, &[], DataflyConfig { k: 2, max_suppression: 0.0 })
+            .unwrap();
+        assert_eq!(out.suppressed, 0);
+        assert_eq!(out.dataset.num_rows(), 8);
+        assert!(is_k_anonymous(&out.dataset, &qis, 2).unwrap());
+    }
+
+    #[test]
+    fn larger_k_generalizes_more() {
+        let ds = dataset();
+        let qis = ["gender", "year"];
+        let lo = datafly(&ds, &qis, &[], DataflyConfig { k: 2, max_suppression: 0.0 })
+            .unwrap();
+        let hi = datafly(&ds, &qis, &[], DataflyConfig { k: 4, max_suppression: 0.0 })
+            .unwrap();
+        let sum = |o: &DataflyOutcome| o.levels.iter().map(|(_, l)| *l).sum::<usize>();
+        assert!(sum(&hi) >= sum(&lo));
+        assert!(is_k_anonymous(&hi.dataset, &qis, 4).unwrap());
+    }
+
+    #[test]
+    fn custom_hierarchy_is_respected() {
+        let ds = dataset();
+        let qis = ["gender", "year"];
+        let years: Vec<i64> = ds.column("year").unwrap().as_integer().unwrap().to_vec();
+        let h = Hierarchy::for_integers(&years, 50).unwrap();
+        let out = datafly(
+            &ds,
+            &qis,
+            &[("year".to_string(), h)],
+            DataflyConfig { k: 2, max_suppression: 0.0 },
+        )
+        .unwrap();
+        // With 50-year buckets one level of year generalization suffices to
+        // merge everything.
+        let year_level = out.levels.iter().find(|(n, _)| n == "year").unwrap().1;
+        assert!(year_level <= 2);
+    }
+
+    #[test]
+    fn parameter_validation() {
+        let ds = dataset();
+        let qis = ["gender"];
+        assert!(datafly(&ds, &qis, &[], DataflyConfig { k: 0, max_suppression: 0.0 }).is_err());
+        assert!(
+            datafly(&ds, &qis, &[], DataflyConfig { k: 99, max_suppression: 0.0 }).is_err()
+        );
+        assert!(datafly(
+            &ds,
+            &qis,
+            &[],
+            DataflyConfig { k: 2, max_suppression: 1.5 }
+        )
+        .is_err());
+        assert!(datafly(&ds, &[], &[], DataflyConfig::default()).is_err());
+    }
+
+    #[test]
+    fn observed_columns_survive() {
+        let ds = dataset();
+        let qis = ["gender", "year"];
+        let out = datafly(&ds, &qis, &[], DataflyConfig { k: 2, max_suppression: 0.0 })
+            .unwrap();
+        use fairank_core::scoring::ObservedTable;
+        assert!(out.dataset.observed_column("rating").is_some());
+    }
+
+    #[test]
+    fn auto_hierarchies_cover_qi_types() {
+        let ds = dataset();
+        let hs = auto_hierarchies(&ds, &["gender", "year"]).unwrap();
+        assert_eq!(hs.len(), 2);
+        // gender: identity + star.
+        assert_eq!(hs[0].1.num_levels(), 2);
+        // year: several interval levels.
+        assert!(hs[1].1.num_levels() >= 3);
+    }
+}

@@ -1,0 +1,79 @@
+//! Errors of the anonymization substrate.
+
+use std::fmt;
+
+use fairank_data::DataError;
+
+/// Errors produced while anonymizing datasets.
+#[derive(Debug)]
+pub enum AnonError {
+    /// A hierarchy was structurally invalid.
+    InvalidHierarchy(String),
+    /// A referenced quasi-identifier column does not exist or has the wrong
+    /// type.
+    BadQuasiIdentifier(String),
+    /// `k` (or `l`) was zero or exceeded the population size.
+    BadParameter(String),
+    /// The algorithm could not reach k-anonymity within its limits (e.g.
+    /// suppression budget exhausted at the top of the lattice).
+    Unsatisfiable(String),
+    /// An error bubbled up from the dataset substrate.
+    Data(DataError),
+}
+
+impl fmt::Display for AnonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnonError::InvalidHierarchy(msg) => write!(f, "invalid hierarchy: {msg}"),
+            AnonError::BadQuasiIdentifier(msg) => {
+                write!(f, "bad quasi-identifier: {msg}")
+            }
+            AnonError::BadParameter(msg) => write!(f, "bad parameter: {msg}"),
+            AnonError::Unsatisfiable(msg) => {
+                write!(f, "anonymity requirement unsatisfiable: {msg}")
+            }
+            AnonError::Data(e) => write!(f, "data error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AnonError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AnonError::Data(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DataError> for AnonError {
+    fn from(e: DataError) -> Self {
+        AnonError::Data(e)
+    }
+}
+
+/// Convenience alias for this crate.
+pub type Result<T> = std::result::Result<T, AnonError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(AnonError::InvalidHierarchy("x".into())
+            .to_string()
+            .contains("hierarchy"));
+        assert!(AnonError::BadQuasiIdentifier("y".into())
+            .to_string()
+            .contains("quasi"));
+        assert!(AnonError::BadParameter("k=0".into())
+            .to_string()
+            .contains("k=0"));
+        assert!(AnonError::Unsatisfiable("budget".into())
+            .to_string()
+            .contains("unsatisfiable"));
+        let e: AnonError = DataError::UnknownColumn("c".into()).into();
+        assert!(e.to_string().contains("data error"));
+    }
+}

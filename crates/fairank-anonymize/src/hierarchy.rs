@@ -1,0 +1,272 @@
+//! Value generalization hierarchies (VGHs).
+//!
+//! A hierarchy maps each base value of an attribute through successively
+//! coarser levels: level 0 is the identity, the top level maps everything
+//! to `*` (full suppression). ARX ships such hierarchies as CSV files; here
+//! they are built programmatically — explicitly, from grouping maps, or
+//! automatically for integers (widening intervals).
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{AnonError, Result};
+
+/// A generalization hierarchy for one attribute.
+///
+/// Internally: the distinct base values, and for each level a vector of
+/// generalized labels aligned with the base values. Level 0 is always the
+/// identity and the last level maps every value to `*`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Hierarchy {
+    base: Vec<String>,
+    /// `levels[l][i]` is the generalization of `base[i]` at level `l`.
+    levels: Vec<Vec<String>>,
+}
+
+impl Hierarchy {
+    /// Builds a hierarchy from explicit levels. `levels[0]` must equal the
+    /// base values; a final all-`*` level is appended automatically if
+    /// missing. Each level must be a (weak) coarsening of the previous one:
+    /// two values mapped together stay together at higher levels.
+    pub fn from_levels(base: Vec<String>, mut levels: Vec<Vec<String>>) -> Result<Self> {
+        if base.is_empty() {
+            return Err(AnonError::InvalidHierarchy("no base values".into()));
+        }
+        if levels.is_empty() || levels[0] != base {
+            return Err(AnonError::InvalidHierarchy(
+                "level 0 must be the identity over the base values".into(),
+            ));
+        }
+        for (l, level) in levels.iter().enumerate() {
+            if level.len() != base.len() {
+                return Err(AnonError::InvalidHierarchy(format!(
+                    "level {l} has {} labels for {} base values",
+                    level.len(),
+                    base.len()
+                )));
+            }
+        }
+        // Coarsening check.
+        for w in levels.windows(2) {
+            let (fine, coarse) = (&w[0], &w[1]);
+            let mut mapping: BTreeMap<&str, &str> = BTreeMap::new();
+            for (f, c) in fine.iter().zip(coarse) {
+                match mapping.get(f.as_str()) {
+                    Some(&existing) if existing != c.as_str() => {
+                        return Err(AnonError::InvalidHierarchy(format!(
+                            "values generalized to {f:?} split apart at the next level \
+                             ({existing:?} vs {c:?})"
+                        )));
+                    }
+                    _ => {
+                        mapping.insert(f, c);
+                    }
+                }
+            }
+        }
+        let top_is_star = levels
+            .last()
+            .is_some_and(|l| l.iter().all(|v| v == "*"));
+        if !top_is_star {
+            levels.push(vec!["*".to_string(); base.len()]);
+        }
+        Ok(Hierarchy { base, levels })
+    }
+
+    /// Builds a two-step hierarchy (base → groups → `*`) from a grouping
+    /// map; unlisted values keep themselves at level 1.
+    pub fn from_groups<S: AsRef<str>>(
+        base: Vec<String>,
+        groups: &[(S, S)], // (base value, group label)
+    ) -> Result<Self> {
+        let level1: Vec<String> = base
+            .iter()
+            .map(|v| {
+                groups
+                    .iter()
+                    .find(|(b, _)| b.as_ref() == v)
+                    .map(|(_, g)| g.as_ref().to_string())
+                    .unwrap_or_else(|| v.clone())
+            })
+            .collect();
+        Hierarchy::from_levels(base.clone(), vec![base, level1])
+    }
+
+    /// Builds an interval hierarchy for integers: level 1 buckets of
+    /// `base_width`, each further level doubling the width, until one
+    /// interval covers everything (then `*`).
+    pub fn for_integers(values: &[i64], base_width: i64) -> Result<Self> {
+        if values.is_empty() {
+            return Err(AnonError::InvalidHierarchy("no values".into()));
+        }
+        if base_width <= 0 {
+            return Err(AnonError::InvalidHierarchy(
+                "base width must be positive".into(),
+            ));
+        }
+        let mut distinct: Vec<i64> = values.to_vec();
+        distinct.sort_unstable();
+        distinct.dedup();
+        let base: Vec<String> = distinct.iter().map(|v| v.to_string()).collect();
+        let min = distinct[0];
+        let max = *distinct.last().expect("non-empty");
+        let mut levels = vec![base.clone()];
+        let mut width = base_width;
+        loop {
+            let level: Vec<String> = distinct
+                .iter()
+                .map(|&v| {
+                    let lo = (v - min).div_euclid(width) * width + min;
+                    format!("[{},{})", lo, lo + width)
+                })
+                .collect();
+            let one_bucket = level.iter().all(|l| l == &level[0]);
+            levels.push(level);
+            if one_bucket || width > max - min {
+                break;
+            }
+            width *= 2;
+        }
+        Hierarchy::from_levels(base, levels)
+    }
+
+    /// The distinct base values this hierarchy covers.
+    pub fn base_values(&self) -> &[String] {
+        &self.base
+    }
+
+    /// Number of levels, including identity (0) and suppression (top).
+    pub fn num_levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// The generalization of `value` at `level`; `None` if the value is not
+    /// covered or the level is out of range.
+    pub fn generalize(&self, value: &str, level: usize) -> Option<&str> {
+        let idx = self.base.iter().position(|b| b == value)?;
+        self.levels.get(level).map(|l| l[idx].as_str())
+    }
+
+    /// Number of distinct labels at `level` (how much resolution remains).
+    pub fn distinct_at(&self, level: usize) -> usize {
+        let Some(level) = self.levels.get(level) else {
+            return 0;
+        };
+        let mut labels: Vec<&str> = level.iter().map(String::as_str).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        labels.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn country_hierarchy() -> Hierarchy {
+        Hierarchy::from_levels(
+            vec!["France".into(), "Germany".into(), "India".into(), "Japan".into()],
+            vec![
+                vec!["France".into(), "Germany".into(), "India".into(), "Japan".into()],
+                vec!["Europe".into(), "Europe".into(), "Asia".into(), "Asia".into()],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn star_level_is_appended() {
+        let h = country_hierarchy();
+        assert_eq!(h.num_levels(), 3);
+        assert_eq!(h.generalize("France", 0), Some("France"));
+        assert_eq!(h.generalize("France", 1), Some("Europe"));
+        assert_eq!(h.generalize("France", 2), Some("*"));
+        assert_eq!(h.generalize("Mars", 0), None);
+        assert_eq!(h.generalize("France", 9), None);
+    }
+
+    #[test]
+    fn distinct_counts_shrink() {
+        let h = country_hierarchy();
+        assert_eq!(h.distinct_at(0), 4);
+        assert_eq!(h.distinct_at(1), 2);
+        assert_eq!(h.distinct_at(2), 1);
+        assert_eq!(h.distinct_at(7), 0);
+    }
+
+    #[test]
+    fn validation_rejects_identity_mismatch_and_ragged_levels() {
+        let base = vec!["a".to_string(), "b".to_string()];
+        assert!(Hierarchy::from_levels(base.clone(), vec![vec!["x".into(), "y".into()]]).is_err());
+        assert!(Hierarchy::from_levels(
+            base.clone(),
+            vec![base.clone(), vec!["g".into()]]
+        )
+        .is_err());
+        assert!(Hierarchy::from_levels(vec![], vec![]).is_err());
+    }
+
+    #[test]
+    fn validation_rejects_non_coarsening() {
+        // a,b merge at level 1 but split again at level 2.
+        let base: Vec<String> = vec!["a".into(), "b".into()];
+        let err = Hierarchy::from_levels(
+            base.clone(),
+            vec![
+                base,
+                vec!["g".into(), "g".into()],
+                vec!["x".into(), "y".into()],
+            ],
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("split apart"));
+    }
+
+    #[test]
+    fn group_hierarchy_defaults_unlisted_values() {
+        let h = Hierarchy::from_groups(
+            vec!["en".into(), "fr".into(), "de".into()],
+            &[("fr", "continental"), ("de", "continental")],
+        )
+        .unwrap();
+        assert_eq!(h.generalize("en", 1), Some("en"));
+        assert_eq!(h.generalize("fr", 1), Some("continental"));
+    }
+
+    #[test]
+    fn integer_hierarchy_widens_until_star() {
+        let years = [1963, 1976, 1982, 1992, 2004];
+        let h = Hierarchy::for_integers(&years, 10).unwrap();
+        // Level 1: decades anchored at the minimum (1963).
+        assert_eq!(h.generalize("1963", 1), Some("[1963,1973)"));
+        assert_eq!(h.generalize("1976", 1), Some("[1973,1983)"));
+        assert_eq!(h.generalize("2004", 1), Some("[2003,2013)"));
+        // Level 2: 20-year buckets.
+        assert_eq!(h.generalize("1963", 2), Some("[1963,1983)"));
+        // Top level is star.
+        let top = h.num_levels() - 1;
+        assert_eq!(h.generalize("1992", top), Some("*"));
+        // Monotone resolution loss.
+        for l in 1..h.num_levels() {
+            assert!(h.distinct_at(l) <= h.distinct_at(l - 1));
+        }
+    }
+
+    #[test]
+    fn integer_hierarchy_validation() {
+        assert!(Hierarchy::for_integers(&[], 10).is_err());
+        assert!(Hierarchy::for_integers(&[1], 0).is_err());
+        // Single value: level 1 already collapses to one bucket.
+        let h = Hierarchy::for_integers(&[5], 10).unwrap();
+        assert_eq!(h.generalize("5", 1), Some("[5,15)"));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let h = country_hierarchy();
+        let json = serde_json::to_string(&h).unwrap();
+        let back: Hierarchy = serde_json::from_str(&json).unwrap();
+        assert_eq!(h, back);
+    }
+}

@@ -1,0 +1,295 @@
+//! k-anonymity primitives: equivalence classes, checks, generalization
+//! application.
+//!
+//! A dataset is *k-anonymous* with respect to a set of quasi-identifier
+//! (QI) columns when every combination of QI values that occurs, occurs at
+//! least `k` times — each individual hides in a crowd of at least `k`.
+
+use std::collections::HashMap;
+
+use fairank_data::column::ColumnData;
+use fairank_data::dataset::Dataset;
+use fairank_data::schema::AttributeRole;
+
+use crate::error::{AnonError, Result};
+use crate::hierarchy::Hierarchy;
+
+/// Resolves the QI columns, rejecting unknown names and float columns.
+pub(crate) fn check_qis<'a>(dataset: &'a Dataset, qis: &[&str]) -> Result<Vec<&'a ColumnData>> {
+    if qis.is_empty() {
+        return Err(AnonError::BadQuasiIdentifier(
+            "no quasi-identifiers given".into(),
+        ));
+    }
+    let mut out = Vec::with_capacity(qis.len());
+    for &name in qis {
+        let col = dataset
+            .column(name)
+            .ok_or_else(|| AnonError::BadQuasiIdentifier(format!("unknown column {name:?}")))?;
+        if matches!(col.data, ColumnData::Float(_)) {
+            return Err(AnonError::BadQuasiIdentifier(format!(
+                "column {name:?} is fractional; discretize before anonymizing"
+            )));
+        }
+        out.push(&col.data);
+    }
+    Ok(out)
+}
+
+/// Groups rows by their QI value combination. Classes come out in
+/// first-appearance order; row order within a class is ascending.
+pub fn equivalence_classes(dataset: &Dataset, qis: &[&str]) -> Result<Vec<Vec<u32>>> {
+    let cols = check_qis(dataset, qis)?;
+    let mut index: HashMap<String, usize> = HashMap::new();
+    let mut classes: Vec<Vec<u32>> = Vec::new();
+    let mut key = String::new();
+    for row in 0..dataset.num_rows() {
+        key.clear();
+        for col in &cols {
+            key.push_str(&col.render(row));
+            key.push('\u{1f}');
+        }
+        match index.get(key.as_str()) {
+            Some(&ci) => classes[ci].push(row as u32),
+            None => {
+                index.insert(key.clone(), classes.len());
+                classes.push(vec![row as u32]);
+            }
+        }
+    }
+    Ok(classes)
+}
+
+/// True when every equivalence class has at least `k` members.
+pub fn is_k_anonymous(dataset: &Dataset, qis: &[&str], k: usize) -> Result<bool> {
+    if k == 0 {
+        return Err(AnonError::BadParameter("k must be at least 1".into()));
+    }
+    Ok(equivalence_classes(dataset, qis)?
+        .iter()
+        .all(|c| c.len() >= k))
+}
+
+/// The size of the smallest equivalence class (0 for an empty dataset).
+pub fn min_class_size(dataset: &Dataset, qis: &[&str]) -> Result<usize> {
+    Ok(equivalence_classes(dataset, qis)?
+        .iter()
+        .map(Vec::len)
+        .min()
+        .unwrap_or(0))
+}
+
+/// Applies generalization levels to the given QI columns, producing a new
+/// dataset whose QI columns are categorical generalized labels. Columns not
+/// listed are copied through unchanged. Roles are preserved.
+pub fn apply_generalization(
+    dataset: &Dataset,
+    assignments: &[(&str, &Hierarchy, usize)],
+) -> Result<Dataset> {
+    // Validate first.
+    for (name, hierarchy, level) in assignments {
+        let col = dataset
+            .column(name)
+            .ok_or_else(|| AnonError::BadQuasiIdentifier(format!("unknown column {name:?}")))?;
+        if *level >= hierarchy.num_levels() {
+            return Err(AnonError::InvalidHierarchy(format!(
+                "level {level} out of range for {name:?} ({} levels)",
+                hierarchy.num_levels()
+            )));
+        }
+        if matches!(col.data, ColumnData::Float(_)) {
+            return Err(AnonError::BadQuasiIdentifier(format!(
+                "column {name:?} is fractional"
+            )));
+        }
+    }
+    let mut builder = Dataset::builder();
+    for (field, col) in dataset.schema().fields().iter().zip(dataset.columns()) {
+        let assignment = assignments.iter().find(|(n, _, _)| *n == field.name);
+        builder = match assignment {
+            Some((_, hierarchy, level)) => {
+                let mut values = Vec::with_capacity(dataset.num_rows());
+                for row in 0..dataset.num_rows() {
+                    let raw = col.data.render(row);
+                    let gen_label = hierarchy.generalize(&raw, *level).ok_or_else(|| {
+                        AnonError::InvalidHierarchy(format!(
+                            "value {raw:?} of column {:?} is not covered by its hierarchy",
+                            field.name
+                        ))
+                    })?;
+                    values.push(gen_label.to_string());
+                }
+                builder.categorical(field.name.clone(), field.role, &values)
+            }
+            None => match &col.data {
+                ColumnData::Categorical { codes, labels } => {
+                    let values: Vec<&str> = codes
+                        .iter()
+                        .map(|&c| labels[c as usize].as_str())
+                        .collect();
+                    builder.categorical(field.name.clone(), field.role, &values)
+                }
+                ColumnData::Float(v) => builder.float(field.name.clone(), field.role, v.clone()),
+                ColumnData::Integer(v) => {
+                    builder.integer(field.name.clone(), field.role, v.clone())
+                }
+            },
+        };
+    }
+    Ok(builder.build()?)
+}
+
+/// Removes the rows of every equivalence class smaller than `k`
+/// (suppression). Returns the surviving dataset and the number of
+/// suppressed rows.
+pub fn suppress_small_classes(
+    dataset: &Dataset,
+    qis: &[&str],
+    k: usize,
+) -> Result<(Dataset, usize)> {
+    let classes = equivalence_classes(dataset, qis)?;
+    let mut keep: Vec<u32> = Vec::with_capacity(dataset.num_rows());
+    let mut suppressed = 0usize;
+    for class in &classes {
+        if class.len() >= k {
+            keep.extend_from_slice(class);
+        } else {
+            suppressed += class.len();
+        }
+    }
+    keep.sort_unstable();
+    let kept = if keep.is_empty() {
+        // Produce an empty dataset with the same schema by selecting no rows.
+        dataset.select_rows(&[])?
+    } else {
+        dataset.select_rows(&keep)?
+    };
+    Ok((kept, suppressed))
+}
+
+/// Convenience: does this dataset treat the column as a quasi-identifier
+/// candidate (protected and non-float)?
+pub fn default_quasi_identifiers(dataset: &Dataset) -> Vec<&str> {
+    dataset
+        .schema()
+        .fields()
+        .iter()
+        .filter(|f| f.role == AttributeRole::Protected)
+        .map(|f| f.name.as_str())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dataset() -> Dataset {
+        Dataset::builder()
+            .categorical(
+                "gender",
+                AttributeRole::Protected,
+                &["F", "F", "M", "M", "M", "F"],
+            )
+            .integer(
+                "year",
+                AttributeRole::Protected,
+                vec![1990, 1990, 1976, 1976, 1990, 1990],
+            )
+            .float(
+                "rating",
+                AttributeRole::Observed,
+                vec![0.1, 0.2, 0.3, 0.4, 0.5, 0.6],
+            )
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn classes_group_identical_qi_rows() {
+        let ds = dataset();
+        let classes = equivalence_classes(&ds, &["gender", "year"]).unwrap();
+        // (F,1990): rows 0,1,5; (M,1976): rows 2,3; (M,1990): row 4.
+        assert_eq!(classes.len(), 3);
+        assert_eq!(classes[0], vec![0, 1, 5]);
+        assert_eq!(classes[1], vec![2, 3]);
+        assert_eq!(classes[2], vec![4]);
+    }
+
+    #[test]
+    fn k_anonymity_check() {
+        let ds = dataset();
+        assert!(is_k_anonymous(&ds, &["gender", "year"], 1).unwrap());
+        assert!(!is_k_anonymous(&ds, &["gender", "year"], 2).unwrap());
+        assert!(is_k_anonymous(&ds, &["gender"], 3).unwrap());
+        assert_eq!(min_class_size(&ds, &["gender", "year"]).unwrap(), 1);
+        assert!(is_k_anonymous(&ds, &["gender"], 0).is_err());
+    }
+
+    #[test]
+    fn qi_validation() {
+        let ds = dataset();
+        assert!(equivalence_classes(&ds, &[]).is_err());
+        assert!(equivalence_classes(&ds, &["ghost"]).is_err());
+        assert!(equivalence_classes(&ds, &["rating"]).is_err());
+    }
+
+    #[test]
+    fn generalization_merges_classes() {
+        let ds = dataset();
+        let years: Vec<i64> = ds.column("year").unwrap().as_integer().unwrap().to_vec();
+        let h = Hierarchy::for_integers(&years, 20).unwrap();
+        let g = apply_generalization(&ds, &[("year", &h, 1)]).unwrap();
+        // 1976 and 1990 both fall in [1976,1996).
+        let col = g.column("year").unwrap();
+        assert_eq!(col.data.render(0), "[1976,1996)");
+        assert!(is_k_anonymous(&g, &["gender", "year"], 2).unwrap());
+        // Unlisted columns survive untouched.
+        assert_eq!(g.column("rating").unwrap().as_float().unwrap()[3], 0.4);
+        // Role preserved.
+        assert_eq!(
+            g.schema().field("year").unwrap().role,
+            AttributeRole::Protected
+        );
+    }
+
+    #[test]
+    fn generalization_level_bounds() {
+        let ds = dataset();
+        let years: Vec<i64> = ds.column("year").unwrap().as_integer().unwrap().to_vec();
+        let h = Hierarchy::for_integers(&years, 20).unwrap();
+        assert!(apply_generalization(&ds, &[("year", &h, 99)]).is_err());
+        assert!(apply_generalization(&ds, &[("ghost", &h, 0)]).is_err());
+        assert!(apply_generalization(&ds, &[("rating", &h, 0)]).is_err());
+    }
+
+    #[test]
+    fn hierarchy_must_cover_all_values() {
+        let ds = dataset();
+        let h = Hierarchy::for_integers(&[1990], 10).unwrap();
+        let err = apply_generalization(&ds, &[("year", &h, 1)]).unwrap_err();
+        assert!(err.to_string().contains("not covered"));
+    }
+
+    #[test]
+    fn suppression_removes_small_classes() {
+        let ds = dataset();
+        let (kept, suppressed) = suppress_small_classes(&ds, &["gender", "year"], 2).unwrap();
+        assert_eq!(suppressed, 1); // row 4 (M,1990) was alone
+        assert_eq!(kept.num_rows(), 5);
+        assert!(is_k_anonymous(&kept, &["gender", "year"], 2).unwrap());
+    }
+
+    #[test]
+    fn suppression_can_empty_the_dataset() {
+        let ds = dataset();
+        let (kept, suppressed) = suppress_small_classes(&ds, &["gender", "year"], 10).unwrap();
+        assert_eq!(kept.num_rows(), 0);
+        assert_eq!(suppressed, 6);
+    }
+
+    #[test]
+    fn default_qis_are_the_protected_columns() {
+        let ds = dataset();
+        assert_eq!(default_quasi_identifiers(&ds), vec!["gender", "year"]);
+    }
+}

@@ -1,0 +1,94 @@
+//! Distinct l-diversity over a sensitive attribute.
+//!
+//! k-anonymity alone does not prevent attribute disclosure: if everyone in
+//! an equivalence class shares the same sensitive value, the value leaks.
+//! A dataset is (distinct) *l-diverse* when every equivalence class
+//! contains at least `l` distinct values of the sensitive attribute.
+
+use fairank_data::dataset::Dataset;
+
+use crate::error::{AnonError, Result};
+use crate::kanon::equivalence_classes;
+
+/// The number of distinct sensitive values in the least diverse class
+/// (`0` for an empty dataset).
+pub fn min_diversity(dataset: &Dataset, qis: &[&str], sensitive: &str) -> Result<usize> {
+    let col = dataset
+        .column(sensitive)
+        .ok_or_else(|| AnonError::BadQuasiIdentifier(format!("unknown column {sensitive:?}")))?;
+    if qis.contains(&sensitive) {
+        return Err(AnonError::BadParameter(format!(
+            "sensitive attribute {sensitive:?} cannot also be a quasi-identifier"
+        )));
+    }
+    let classes = equivalence_classes(dataset, qis)?;
+    let mut min = usize::MAX;
+    for class in &classes {
+        let mut values: Vec<String> =
+            class.iter().map(|&r| col.data.render(r as usize)).collect();
+        values.sort_unstable();
+        values.dedup();
+        min = min.min(values.len());
+    }
+    if classes.is_empty() {
+        return Ok(0);
+    }
+    Ok(min)
+}
+
+/// True when every equivalence class has at least `l` distinct sensitive
+/// values.
+pub fn is_l_diverse(dataset: &Dataset, qis: &[&str], sensitive: &str, l: usize) -> Result<bool> {
+    if l == 0 {
+        return Err(AnonError::BadParameter("l must be at least 1".into()));
+    }
+    Ok(min_diversity(dataset, qis, sensitive)? >= l)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairank_data::schema::AttributeRole;
+
+    fn dataset() -> Dataset {
+        Dataset::builder()
+            .categorical(
+                "zip",
+                AttributeRole::Protected,
+                &["A", "A", "A", "B", "B", "B"],
+            )
+            .categorical(
+                "disease",
+                AttributeRole::Meta,
+                &["flu", "cold", "flu", "flu", "flu", "flu"],
+            )
+            .float("s", AttributeRole::Observed, vec![0.1; 6])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn diversity_is_per_class_minimum() {
+        let ds = dataset();
+        // Class A: {flu, cold} → 2; class B: {flu} → 1.
+        assert_eq!(min_diversity(&ds, &["zip"], "disease").unwrap(), 1);
+        assert!(is_l_diverse(&ds, &["zip"], "disease", 1).unwrap());
+        assert!(!is_l_diverse(&ds, &["zip"], "disease", 2).unwrap());
+    }
+
+    #[test]
+    fn validation() {
+        let ds = dataset();
+        assert!(min_diversity(&ds, &["zip"], "ghost").is_err());
+        assert!(min_diversity(&ds, &["zip"], "zip").is_err());
+        assert!(is_l_diverse(&ds, &["zip"], "disease", 0).is_err());
+    }
+
+    #[test]
+    fn numeric_sensitive_attributes_work() {
+        let ds = dataset();
+        // The float column can serve as the sensitive attribute: every class
+        // has exactly one distinct value (all 0.1).
+        assert_eq!(min_diversity(&ds, &["zip"], "s").unwrap(), 1);
+    }
+}

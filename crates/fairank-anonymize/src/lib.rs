@@ -1,0 +1,38 @@
+//! # fairank-anonymize
+//!
+//! Data-transparency substrate for FaiRank: a from-scratch substitute for
+//! the ARX k-anonymization tool the paper integrates with ("We integrate
+//! FaiRank with the k-anonymization ARX tool and explore fairness for
+//! anonymized datasets", §1).
+//!
+//! FaiRank only consumes ARX's *output* — a dataset whose quasi-identifiers
+//! have been generalized until every combination occurs at least `k` times.
+//! This crate produces exactly that artifact with two classic algorithms:
+//!
+//! * [`datafly`](mod@datafly) — greedy full-domain generalization (Sweeney's Datafly):
+//!   repeatedly generalize the quasi-identifier with the most distinct
+//!   values, then suppress the few remaining outliers.
+//! * [`mondrian`](mod@mondrian) — multidimensional median-cut partitioning (LeFevre et
+//!   al.): recursively split the population on the widest attribute while
+//!   every part keeps at least `k` members, then recode each class.
+//!
+//! Plus [`ldiv`] (l-diversity over a sensitive attribute) and [`loss`]
+//! (information-loss metrics: precision, discernibility, average class
+//! size) so experiments can report the privacy/utility side of the
+//! fairness-under-anonymization trade-off (experiment E5).
+
+pub mod datafly;
+pub mod error;
+pub mod hierarchy;
+pub mod kanon;
+pub mod lattice;
+pub mod ldiv;
+pub mod loss;
+pub mod mondrian;
+
+pub use datafly::{datafly, DataflyConfig};
+pub use error::{AnonError, Result};
+pub use hierarchy::Hierarchy;
+pub use lattice::{incognito, IncognitoOutcome, Lattice};
+pub use kanon::{apply_generalization, equivalence_classes, is_k_anonymous};
+pub use mondrian::{mondrian, MondrianConfig};

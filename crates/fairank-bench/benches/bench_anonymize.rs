@@ -1,0 +1,51 @@
+//! Criterion benches for the anonymization substrate (experiment E5's cost
+//! side): Mondrian and Datafly across population sizes and k.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fairank_anonymize::{datafly, mondrian, DataflyConfig, MondrianConfig};
+use fairank_data::synth::biased_crowdsourcing_spec;
+use fairank_data::Dataset;
+
+const QIS: [&str; 5] = ["gender", "country", "birth_decade", "language", "ethnicity"];
+
+fn population(n: usize) -> Dataset {
+    biased_crowdsourcing_spec(n, 42).generate().expect("generates")
+}
+
+fn bench_mondrian(c: &mut Criterion) {
+    let mut group = c.benchmark_group("anonymize/mondrian");
+    group.sample_size(10);
+    for n in [200usize, 1_000, 5_000] {
+        let ds = population(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &ds, |bencher, ds| {
+            bencher.iter(|| mondrian(ds, &QIS, MondrianConfig { k: 5 }).expect("anonymizes"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_datafly(c: &mut Criterion) {
+    let mut group = c.benchmark_group("anonymize/datafly");
+    group.sample_size(10);
+    for k in [2usize, 10] {
+        let ds = population(1_000);
+        group.bench_with_input(BenchmarkId::from_parameter(k), &ds, |bencher, ds| {
+            bencher.iter(|| {
+                datafly(
+                    ds,
+                    &QIS,
+                    &[],
+                    DataflyConfig {
+                        k,
+                        max_suppression: 0.05,
+                    },
+                )
+                .expect("anonymizes")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mondrian, bench_datafly);
+criterion_main!(benches);

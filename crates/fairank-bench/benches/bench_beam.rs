@@ -1,0 +1,28 @@
+//! Criterion benches for beam search (experiment E13's timing side):
+//! latency vs beam width, against the greedy baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fairank_bench::synthetic_space;
+use fairank_core::beam::BeamSearch;
+use fairank_core::fairness::FairnessCriterion;
+use fairank_core::quantify::Quantify;
+
+fn bench_beam(c: &mut Criterion) {
+    let mut group = c.benchmark_group("beam");
+    group.sample_size(10);
+    let space = synthetic_space(200, 3, 3, 0.3, 42);
+    let greedy = Quantify::new(FairnessCriterion::default());
+    group.bench_function("greedy_baseline", |bencher| {
+        bencher.iter(|| greedy.run_space(&space).expect("runs"))
+    });
+    for width in [1usize, 4, 16] {
+        let beam = BeamSearch::new(FairnessCriterion::default(), width);
+        group.bench_with_input(BenchmarkId::new("width", width), &width, |bencher, _| {
+            bencher.iter(|| beam.run_space(&space).expect("runs"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_beam);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Criterion benches for the exhaustive baseline — the cost side of
+//! experiment E3 (greedy vs exact).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fairank_bench::synthetic_space;
+use fairank_core::exhaustive::ExhaustiveSearch;
+use fairank_core::fairness::FairnessCriterion;
+use fairank_core::quantify::Quantify;
+
+fn bench_exact_vs_greedy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exhaustive");
+    group.sample_size(10);
+    for (attrs, card) in [(2usize, 2u32), (2, 3), (3, 2)] {
+        let space = synthetic_space(150, attrs, card, 0.3, 42);
+        let label = format!("{attrs}attrs_{card}vals");
+        let exact = ExhaustiveSearch::new(FairnessCriterion::default()).without_dedupe();
+        group.bench_with_input(
+            BenchmarkId::new("exact", &label),
+            &space,
+            |bencher, space| bencher.iter(|| exact.run_space(space).expect("within budget")),
+        );
+        let greedy = Quantify::new(FairnessCriterion::default());
+        group.bench_with_input(
+            BenchmarkId::new("greedy", &label),
+            &space,
+            |bencher, space| bencher.iter(|| greedy.run_space(space).expect("runs")),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_exact_vs_greedy);
+criterion_main!(benches);

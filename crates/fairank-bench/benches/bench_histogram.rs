@@ -1,0 +1,31 @@
+//! Criterion benches for histogram construction (the inner loop of every
+//! split evaluation).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fairank_core::histogram::{Histogram, HistogramSpec};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_histogram(c: &mut Criterion) {
+    let mut group = c.benchmark_group("histogram");
+    let spec = HistogramSpec::unit(10).expect("valid spec");
+    for n in [100usize, 10_000, 1_000_000] {
+        let mut rng = StdRng::seed_from_u64(7);
+        let scores: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..=1.0)).collect();
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("from_scores", n), &n, |bencher, _| {
+            bencher.iter(|| Histogram::from_scores(spec, scores.iter().copied()))
+        });
+    }
+    // Row-subset construction (what the quantifier actually calls).
+    let mut rng = StdRng::seed_from_u64(9);
+    let scores: Vec<f64> = (0..100_000).map(|_| rng.gen_range(0.0..=1.0)).collect();
+    let rows: Vec<u32> = (0..100_000).step_by(3).collect();
+    group.bench_function("from_rows_third", |bencher| {
+        bencher.iter(|| Histogram::from_rows(spec, &scores, &rows))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_histogram);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Criterion benches for marketplace operations: ranking a job, observing
+//! under transparency settings, and a full audit crawl (experiment E9's
+//! cost side).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fairank_core::fairness::FairnessCriterion;
+use fairank_marketplace::crawler::crawl_marketplace;
+use fairank_marketplace::scenario::taskrabbit_like;
+use fairank_marketplace::Transparency;
+
+fn bench_marketplace(c: &mut Criterion) {
+    let market = taskrabbit_like(1_000, 42).expect("builds");
+    c.bench_function("marketplace/rank_one_job", |bencher| {
+        bencher.iter(|| market.ranking_for("wood-panels").expect("ranks"))
+    });
+    c.bench_function("marketplace/observe_full", |bencher| {
+        bencher.iter(|| {
+            market
+                .observe("wood-panels", &Transparency::full())
+                .expect("observes")
+        })
+    });
+    c.bench_function("marketplace/observe_blackbox_k5", |bencher| {
+        bencher.iter(|| {
+            market
+                .observe("wood-panels", &Transparency::blackbox(5))
+                .expect("observes")
+        })
+    });
+
+    let small = taskrabbit_like(300, 42).expect("builds");
+    let mut group = c.benchmark_group("marketplace/crawl");
+    group.sample_size(10);
+    group.bench_function("full_300_workers", |bencher| {
+        bencher.iter(|| {
+            crawl_marketplace(&small, &Transparency::full(), &FairnessCriterion::default())
+                .expect("crawls")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_marketplace);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Criterion benches for pairwise-EMD aggregation — the O(k²) step of
+//! unfairness evaluation as the partition count k grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fairank_core::emd::Emd;
+use fairank_core::histogram::{Histogram, HistogramSpec};
+use fairank_core::pairwise::{pairwise_distances, DistanceMatrix};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn hists(k: usize) -> Vec<Histogram> {
+    let spec = HistogramSpec::unit(10).expect("valid spec");
+    let mut rng = StdRng::seed_from_u64(42);
+    (0..k)
+        .map(|_| Histogram::from_scores(spec, (0..100).map(|_| rng.gen_range(0.0..=1.0))))
+        .collect()
+}
+
+fn bench_pairwise(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pairwise");
+    for k in [4usize, 16, 64, 128] {
+        let hs = hists(k);
+        let emd = Emd::default();
+        group.bench_with_input(BenchmarkId::new("distances", k), &k, |bencher, _| {
+            bencher.iter(|| pairwise_distances(&hs, &emd).expect("computable"))
+        });
+        group.bench_with_input(BenchmarkId::new("matrix", k), &k, |bencher, _| {
+            bencher.iter(|| DistanceMatrix::compute(&hs, &emd).expect("computable"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pairwise);
+criterion_main!(benches);

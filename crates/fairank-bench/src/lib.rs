@@ -1,0 +1,111 @@
+//! # fairank-bench
+//!
+//! The experiment harness: shared workload builders and table printing for
+//! the `exp_*` binaries (one per paper artifact / derived experiment; see
+//! DESIGN.md §5 and EXPERIMENTS.md) and the Criterion micro-benchmarks in
+//! `benches/`.
+//!
+//! Run every experiment with:
+//! ```text
+//! for b in exp_table1 exp_figure2 exp_heuristic_vs_exhaustive exp_scalability \
+//!          exp_transparency_data exp_transparency_function exp_aggregators \
+//!          exp_job_owner_sweep exp_auditor exp_bins_ablation exp_emd_backends \
+//!          exp_end_user; do cargo run -q --release -p fairank-bench --bin $b; done
+//! ```
+
+use fairank_core::space::{ProtectedAttribute, RankingSpace};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Prints an experiment header in a uniform style.
+pub fn header(id: &str, title: &str) {
+    println!("================================================================");
+    println!("{id}: {title}");
+    println!("================================================================");
+}
+
+/// Prints one aligned table row from string cells.
+pub fn row(cells: &[String], widths: &[usize]) {
+    let line: Vec<String> = cells
+        .iter()
+        .zip(widths)
+        .map(|(c, w)| format!("{c:>w$}", w = w))
+        .collect();
+    println!("{}", line.join("  "));
+}
+
+/// A synthetic ranking space with controlled shape: `n` individuals,
+/// `attrs` protected attributes of `cardinality` values each, and a score
+/// gap of `bias` attached to value 0 of attribute 0 (so there is always a
+/// planted most-unfair split to find).
+pub fn synthetic_space(
+    n: usize,
+    attrs: usize,
+    cardinality: u32,
+    bias: f64,
+    seed: u64,
+) -> RankingSpace {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut attributes = Vec::with_capacity(attrs);
+    let mut codes0 = Vec::new();
+    for a in 0..attrs {
+        let codes: Vec<u32> = (0..n).map(|_| rng.gen_range(0..cardinality)).collect();
+        if a == 0 {
+            codes0 = codes.clone();
+        }
+        attributes.push(ProtectedAttribute {
+            name: format!("a{a}"),
+            codes,
+            labels: (0..cardinality).map(|c| format!("v{c}")).collect(),
+        });
+    }
+    let scores: Vec<f64> = (0..n)
+        .map(|i| {
+            let base: f64 = rng.gen_range(0.0..1.0 - bias);
+            if codes0[i] == 0 {
+                base
+            } else {
+                (base + bias).min(1.0)
+            }
+        })
+        .collect();
+    RankingSpace::new(attributes, scores).expect("synthetic space is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_space_shape() {
+        let s = synthetic_space(100, 3, 4, 0.3, 1);
+        assert_eq!(s.num_individuals(), 100);
+        assert_eq!(s.attributes().len(), 3);
+        assert_eq!(s.attributes()[1].cardinality(), 4);
+    }
+
+    #[test]
+    fn synthetic_space_is_deterministic() {
+        let a = synthetic_space(50, 2, 3, 0.2, 9);
+        let b = synthetic_space(50, 2, 3, 0.2, 9);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn planted_bias_separates_attribute_zero() {
+        let s = synthetic_space(400, 2, 2, 0.5, 4);
+        let attr0 = &s.attributes()[0];
+        let (mut sum0, mut n0, mut sum1, mut n1) = (0.0, 0, 0.0, 0);
+        for (i, &c) in attr0.codes.iter().enumerate() {
+            if c == 0 {
+                sum0 += s.scores()[i];
+                n0 += 1;
+            } else {
+                sum1 += s.scores()[i];
+                n1 += 1;
+            }
+        }
+        let gap = sum1 / n1 as f64 - sum0 / n0 as f64;
+        assert!(gap > 0.3, "gap = {gap}");
+    }
+}

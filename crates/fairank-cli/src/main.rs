@@ -1,0 +1,87 @@
+//! `fairank` — the interactive REPL over the FaiRank session engine.
+//!
+//! This binary is the reproduction's stand-in for the paper's web interface
+//! (Figure 3): the same Configuration/General/Node interactions, driven by
+//! the command language of `fairank_session::command`.
+//!
+//! Run `fairank` and type `help`, or pipe a script:
+//! ```text
+//! printf 'generate pop biased\ndefine f rating*1.0\nquantify pop f\n' | fairank
+//! ```
+//! A `demo` argument preloads the paper's Table 1 dataset and scoring
+//! function under the names `table1` / `paper-f`.
+
+use std::io::{BufRead, Write};
+
+use fairank_session::command::{execute, Command};
+use fairank_session::Session;
+
+fn main() {
+    let mut session = Session::new();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "demo") {
+        session
+            .add_dataset("table1", fairank_data::paper::table1_dataset())
+            .expect("fresh session");
+        session
+            .add_function("paper-f", fairank_data::paper::table1_scoring())
+            .expect("fresh session");
+        println!("demo mode: dataset `table1` and function `paper-f` preloaded");
+    }
+
+    // Script mode: any non-"demo" argument is a command file, executed
+    // line by line (lines starting with `#` are comments).
+    let scripts: Vec<&String> = args.iter().filter(|a| *a != "demo").collect();
+    if !scripts.is_empty() {
+        for path in scripts {
+            let text = match std::fs::read_to_string(path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("cannot read script {path}: {e}");
+                    std::process::exit(1);
+                }
+            };
+            for line in text.lines() {
+                let line = line.trim();
+                if line.is_empty() || line.starts_with('#') {
+                    continue;
+                }
+                println!("fairank> {line}");
+                match Command::parse(line).and_then(|c| execute(&mut session, c)) {
+                    Ok(out) if out == "quit" => return,
+                    Ok(out) => println!("{out}"),
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        std::process::exit(1);
+                    }
+                }
+            }
+        }
+        return;
+    }
+
+    let stdin = std::io::stdin();
+    println!("FaiRank — fairness of ranking explorer (type `help`)");
+    loop {
+        print!("fairank> ");
+        std::io::stdout().flush().ok();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break, // EOF
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("input error: {e}");
+                break;
+            }
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        match Command::parse(line).and_then(|c| execute(&mut session, c)) {
+            Ok(out) if out == "quit" => break,
+            Ok(out) => println!("{out}"),
+            Err(e) => eprintln!("error: {e}"),
+        }
+    }
+}

@@ -1,0 +1,278 @@
+//! Beam search over the partitioning space — an extension of the paper's
+//! greedy Algorithm 1 that trades latency for solution quality.
+//!
+//! A *state* is a set of finalized partitions plus a frontier of groups not
+//! yet decided. Expanding a state pops one frontier group and branches:
+//! keep it as a final partition, or split it on any remaining attribute.
+//! After each expansion wave only the `width` best states (by the
+//! criterion's objective, evaluated on `finalized ∪ frontier`) survive.
+//!
+//! `width = 1` behaves like a slightly stronger greedy (it evaluates whole
+//! partitionings, not sibling sets); `width = ∞` degenerates into the
+//! exhaustive enumeration. Experiment E13 measures the quality/latency
+//! trade-off against both ends.
+
+use std::time::{Duration, Instant};
+
+use crate::error::{CoreError, Result};
+use crate::fairness::FairnessCriterion;
+use crate::partition::{is_full_disjoint, Partition};
+use crate::space::RankingSpace;
+
+/// One search state: finalized partitions + undecided frontier groups.
+#[derive(Debug, Clone)]
+struct State {
+    finalized: Vec<Partition>,
+    frontier: Vec<(Partition, Vec<usize>)>,
+    /// Criterion value over `finalized ∪ frontier` partitions.
+    value: f64,
+}
+
+impl State {
+    fn is_complete(&self) -> bool {
+        self.frontier.is_empty()
+    }
+
+    fn all_partitions(&self) -> Vec<Partition> {
+        let mut out = self.finalized.clone();
+        out.extend(self.frontier.iter().map(|(p, _)| p.clone()));
+        out
+    }
+}
+
+/// Outcome of a beam search.
+#[derive(Debug, Clone)]
+pub struct BeamOutcome {
+    /// The best complete partitioning found.
+    pub partitions: Vec<Partition>,
+    /// Its unfairness under the criterion.
+    pub unfairness: f64,
+    /// States expanded during the search.
+    pub states_expanded: usize,
+    /// Wall-clock time.
+    pub elapsed: Duration,
+}
+
+/// Configured beam search.
+#[derive(Debug, Clone)]
+pub struct BeamSearch {
+    criterion: FairnessCriterion,
+    width: usize,
+}
+
+impl BeamSearch {
+    /// A beam of the given width under `criterion`.
+    pub fn new(criterion: FairnessCriterion, width: usize) -> Self {
+        BeamSearch {
+            criterion,
+            width: width.max(1),
+        }
+    }
+
+    /// The beam width.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Runs the search on a prepared ranking space.
+    pub fn run_space(&self, space: &RankingSpace) -> Result<BeamOutcome> {
+        if space.num_individuals() == 0 {
+            return Err(CoreError::EmptyInput);
+        }
+        let start = Instant::now();
+        let scores = space.scores();
+        let attrs: Vec<usize> = (0..space.attributes().len()).collect();
+        let root = Partition::root(space);
+        let initial = State {
+            value: 0.0, // single group: no pairs
+            finalized: Vec::new(),
+            frontier: vec![(root, attrs)],
+        };
+
+        let mut beam = vec![initial];
+        let mut best: Option<(Vec<Partition>, f64)> = None;
+        let mut states_expanded = 0usize;
+
+        while !beam.is_empty() {
+            let mut next: Vec<State> = Vec::new();
+            for state in beam.drain(..) {
+                if state.is_complete() {
+                    let better = match &best {
+                        None => true,
+                        Some((_, incumbent)) => {
+                            self.criterion.objective.is_better(state.value, *incumbent)
+                        }
+                    };
+                    if better {
+                        best = Some((state.finalized.clone(), state.value));
+                    }
+                    continue;
+                }
+                states_expanded += 1;
+                let mut state = state;
+                let (group, avail) = state.frontier.pop().expect("non-complete state");
+
+                // Branch 1: finalize the group.
+                {
+                    let mut s = state.clone();
+                    s.finalized.push(group.clone());
+                    s.value = self
+                        .criterion
+                        .unfairness(&s.all_partitions(), scores)?;
+                    next.push(s);
+                }
+                // Branch 2: split on each attribute that divides the group.
+                for &attr in &avail {
+                    let children = group.split(space, attr);
+                    if children.len() < 2 {
+                        continue;
+                    }
+                    let rest: Vec<usize> =
+                        avail.iter().copied().filter(|&a| a != attr).collect();
+                    let mut s = state.clone();
+                    for child in children {
+                        s.frontier.push((child, rest.clone()));
+                    }
+                    s.value = self
+                        .criterion
+                        .unfairness(&s.all_partitions(), scores)?;
+                    next.push(s);
+                }
+            }
+            // Keep the `width` best states.
+            next.sort_by(|a, b| {
+                let ord = a.value.partial_cmp(&b.value).unwrap_or(std::cmp::Ordering::Equal);
+                match self.criterion.objective {
+                    crate::fairness::Objective::MostUnfair => ord.reverse(),
+                    crate::fairness::Objective::LeastUnfair => ord,
+                }
+            });
+            next.truncate(self.width);
+            beam = next;
+        }
+
+        let (partitions, unfairness) =
+            best.expect("the all-leaf branch always completes");
+        debug_assert!(is_full_disjoint(&partitions, space.num_individuals()));
+        Ok(BeamOutcome {
+            partitions,
+            unfairness,
+            states_expanded,
+            elapsed: start.elapsed(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exhaustive::ExhaustiveSearch;
+    use crate::fairness::{Aggregator, Objective};
+    use crate::quantify::Quantify;
+    use crate::space::ProtectedAttribute;
+
+    fn space() -> RankingSpace {
+        let g = ProtectedAttribute::from_values(
+            "g",
+            &["a", "a", "b", "b", "a", "b", "a", "b"],
+        );
+        let h = ProtectedAttribute::from_values(
+            "h",
+            &["x", "y", "x", "y", "y", "x", "x", "y"],
+        );
+        RankingSpace::new(
+            vec![g, h],
+            vec![0.1, 0.2, 0.8, 0.9, 0.15, 0.85, 0.12, 0.88],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn beam_produces_valid_partitionings() {
+        let s = space();
+        for width in [1usize, 2, 8] {
+            let out = BeamSearch::new(FairnessCriterion::default(), width)
+                .run_space(&s)
+                .unwrap();
+            assert!(is_full_disjoint(&out.partitions, 8), "width {width}");
+            assert!(out.unfairness.is_finite());
+            assert!(out.states_expanded > 0);
+        }
+    }
+
+    #[test]
+    fn wide_beam_matches_exhaustive_optimum() {
+        let s = space();
+        let crit = FairnessCriterion::default();
+        let exact = ExhaustiveSearch::new(crit).run_space(&s).unwrap();
+        let beam = BeamSearch::new(crit, 10_000).run_space(&s).unwrap();
+        assert!(
+            (beam.unfairness - exact.best_value).abs() < 1e-12,
+            "beam {} vs exact {}",
+            beam.unfairness,
+            exact.best_value
+        );
+    }
+
+    #[test]
+    fn beam_quality_is_monotone_in_width() {
+        let s = space();
+        let crit = FairnessCriterion::default();
+        let narrow = BeamSearch::new(crit, 1).run_space(&s).unwrap();
+        let wide = BeamSearch::new(crit, 64).run_space(&s).unwrap();
+        assert!(wide.unfairness >= narrow.unfairness - 1e-12);
+    }
+
+    #[test]
+    fn beam_never_beats_exhaustive() {
+        let s = space();
+        for objective in [Objective::MostUnfair, Objective::LeastUnfair] {
+            let crit = FairnessCriterion::new(objective, Aggregator::Mean);
+            let exact = ExhaustiveSearch::new(crit).run_space(&s).unwrap();
+            let beam = BeamSearch::new(crit, 4).run_space(&s).unwrap();
+            match objective {
+                Objective::MostUnfair => {
+                    assert!(beam.unfairness <= exact.best_value + 1e-12)
+                }
+                Objective::LeastUnfair => {
+                    assert!(beam.unfairness >= exact.best_value - 1e-12)
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn beam_at_least_as_good_as_greedy_here() {
+        // Not a theorem in general, but on this separable space the whole-
+        // partitioning evaluation should not lose to the sibling heuristic.
+        let s = space();
+        let crit = FairnessCriterion::default();
+        let greedy = Quantify::new(crit).run_space(&s).unwrap();
+        let beam = BeamSearch::new(crit, 16).run_space(&s).unwrap();
+        assert!(beam.unfairness >= greedy.unfairness - 1e-12);
+    }
+
+    #[test]
+    fn zero_width_is_clamped_to_one() {
+        let s = space();
+        let out = BeamSearch::new(FairnessCriterion::default(), 0)
+            .run_space(&s)
+            .unwrap();
+        assert!(is_full_disjoint(&out.partitions, 8));
+        assert_eq!(
+            BeamSearch::new(FairnessCriterion::default(), 0).width(),
+            1
+        );
+    }
+
+    #[test]
+    fn single_individual_space_yields_trivial_partitioning() {
+        let s = space();
+        let single = s.select(&[0]).unwrap();
+        let out = BeamSearch::new(FairnessCriterion::default(), 2)
+            .run_space(&single)
+            .unwrap();
+        assert_eq!(out.partitions.len(), 1);
+        assert_eq!(out.unfairness, 0.0);
+    }
+}

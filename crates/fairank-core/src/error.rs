@@ -1,0 +1,109 @@
+//! Error type shared by the core fairness-quantification pipeline.
+
+use std::fmt;
+
+/// Errors produced by the core crate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// A histogram specification was invalid (zero bins, inverted or
+    /// degenerate range, non-finite bounds).
+    InvalidHistogramSpec(String),
+    /// Two histograms that must be comparable (same spec) were not.
+    IncompatibleHistograms { left: usize, right: usize },
+    /// A [`crate::space::RankingSpace`] failed validation.
+    InvalidSpace(String),
+    /// A scoring function referenced an observed attribute that the table
+    /// does not provide.
+    UnknownObservedAttribute(String),
+    /// A scoring input was structurally invalid (e.g. a ranking that is not
+    /// a permutation, or an empty weight list).
+    InvalidScoring(String),
+    /// Scores contained a non-finite value at the given row.
+    NonFiniteScore { row: usize, value: f64 },
+    /// The exhaustive search exceeded its configured enumeration budget.
+    BudgetExceeded { budget: u64 },
+    /// The operation needs at least one individual.
+    EmptyInput,
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidHistogramSpec(msg) => {
+                write!(f, "invalid histogram specification: {msg}")
+            }
+            CoreError::IncompatibleHistograms { left, right } => write!(
+                f,
+                "histograms are incompatible: {left} bins vs {right} bins"
+            ),
+            CoreError::InvalidSpace(msg) => write!(f, "invalid ranking space: {msg}"),
+            CoreError::UnknownObservedAttribute(name) => {
+                write!(f, "unknown observed attribute: {name:?}")
+            }
+            CoreError::InvalidScoring(msg) => write!(f, "invalid scoring input: {msg}"),
+            CoreError::NonFiniteScore { row, value } => {
+                write!(f, "non-finite score {value} at row {row}")
+            }
+            CoreError::BudgetExceeded { budget } => write!(
+                f,
+                "exhaustive enumeration exceeded its budget of {budget} partitionings"
+            ),
+            CoreError::EmptyInput => write!(f, "operation requires at least one individual"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, CoreError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let cases: Vec<(CoreError, &str)> = vec![
+            (
+                CoreError::InvalidHistogramSpec("zero bins".into()),
+                "zero bins",
+            ),
+            (
+                CoreError::IncompatibleHistograms { left: 4, right: 8 },
+                "4 bins vs 8 bins",
+            ),
+            (CoreError::InvalidSpace("bad".into()), "bad"),
+            (
+                CoreError::UnknownObservedAttribute("rating".into()),
+                "rating",
+            ),
+            (CoreError::InvalidScoring("empty".into()), "empty"),
+            (
+                CoreError::NonFiniteScore {
+                    row: 3,
+                    value: f64::NAN,
+                },
+                "row 3",
+            ),
+            (CoreError::BudgetExceeded { budget: 10 }, "10"),
+            (CoreError::EmptyInput, "at least one"),
+        ];
+        for (err, needle) in cases {
+            let rendered = err.to_string();
+            assert!(
+                rendered.contains(needle),
+                "{rendered:?} should contain {needle:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(CoreError::EmptyInput, CoreError::EmptyInput);
+        assert_ne!(
+            CoreError::EmptyInput,
+            CoreError::BudgetExceeded { budget: 1 }
+        );
+    }
+}

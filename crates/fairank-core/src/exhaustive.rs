@@ -1,0 +1,376 @@
+//! Exhaustive enumeration of the tree-structured partitioning space —
+//! the exact (exponential) baseline Algorithm 1 approximates.
+//!
+//! The space matches the search space of `QUANTIFY`: a partitioning is
+//! obtained by recursively either *stopping* at a group or *splitting* it on
+//! one still-unused protected attribute (Figure 2 of the paper shows such a
+//! partitioning: split on Gender, then split only the Male side on
+//! Language). Distinct trees can induce the same leaf partitioning (e.g.
+//! different split orders followed by full expansion); the enumerator visits
+//! trees and reports both the tree count and the number of distinct leaf
+//! partitionings it saw.
+//!
+//! This module exists for evaluation (experiment E3: heuristic vs. optimum)
+//! and is deliberately budgeted: enumeration stops with
+//! [`CoreError::BudgetExceeded`] once the configured number of partitionings
+//! has been visited.
+
+use std::collections::HashSet;
+use std::time::{Duration, Instant};
+
+use crate::error::{CoreError, Result};
+use crate::fairness::FairnessCriterion;
+use crate::partition::{is_full_disjoint, Partition};
+use crate::space::RankingSpace;
+
+/// Default enumeration budget: generous for the instance sizes E3 uses,
+/// small enough to fail fast on accidentally huge inputs.
+pub const DEFAULT_BUDGET: u64 = 5_000_000;
+
+/// Outcome of an exhaustive search.
+#[derive(Debug, Clone)]
+pub struct ExhaustiveOutcome {
+    /// The best partitioning found (leaf set).
+    pub best_partitions: Vec<Partition>,
+    /// Its unfairness under the criterion.
+    pub best_value: f64,
+    /// Number of (tree-shaped) partitionings enumerated.
+    pub trees_enumerated: u64,
+    /// Number of *distinct* leaf partitionings among them.
+    pub distinct_partitionings: u64,
+    /// Wall-clock time of the enumeration.
+    pub elapsed: Duration,
+}
+
+/// Budgeted exhaustive search over the tree-partitioning space.
+#[derive(Debug, Clone)]
+pub struct ExhaustiveSearch {
+    criterion: FairnessCriterion,
+    budget: u64,
+    dedupe: bool,
+}
+
+impl Default for ExhaustiveSearch {
+    fn default() -> Self {
+        ExhaustiveSearch {
+            criterion: FairnessCriterion::default(),
+            budget: DEFAULT_BUDGET,
+            dedupe: true,
+        }
+    }
+}
+
+impl ExhaustiveSearch {
+    /// A search under `criterion` with the default budget.
+    pub fn new(criterion: FairnessCriterion) -> Self {
+        ExhaustiveSearch {
+            criterion,
+            ..Default::default()
+        }
+    }
+
+    /// Caps the number of partitionings enumerated.
+    pub fn with_budget(mut self, budget: u64) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Disables distinct-partitioning tracking (saves memory on large runs;
+    /// `distinct_partitionings` then equals 0).
+    pub fn without_dedupe(mut self) -> Self {
+        self.dedupe = false;
+        self
+    }
+
+    /// Runs the enumeration, returning the optimum under the criterion.
+    pub fn run_space(&self, space: &RankingSpace) -> Result<ExhaustiveOutcome> {
+        if space.num_individuals() == 0 {
+            return Err(CoreError::EmptyInput);
+        }
+        let start = Instant::now();
+        let root = Partition::root(space);
+        let attrs: Vec<usize> = (0..space.attributes().len()).collect();
+
+        let mut state = EnumState {
+            space,
+            criterion: &self.criterion,
+            budget: self.budget,
+            trees: 0,
+            best: None,
+            seen: self.dedupe.then(HashSet::new),
+        };
+        let mut worklist = vec![(root, attrs)];
+        let mut acc: Vec<Partition> = Vec::new();
+        state.recurse(&mut worklist, &mut acc)?;
+
+        let (best_partitions, best_value) = state
+            .best
+            .expect("at least the trivial partitioning is enumerated");
+        debug_assert!(is_full_disjoint(&best_partitions, space.num_individuals()));
+        Ok(ExhaustiveOutcome {
+            best_partitions,
+            best_value,
+            trees_enumerated: state.trees,
+            distinct_partitionings: state.seen.map_or(0, |s| s.len() as u64),
+            elapsed: start.elapsed(),
+        })
+    }
+
+    /// Counts the partitioning trees for a space without evaluating any of
+    /// them (cheap dry run used by experiments to report the search-space
+    /// size). Stops at the budget and reports `None` when it is exceeded.
+    pub fn count_trees(space: &RankingSpace, budget: u64) -> Option<u64> {
+        fn count(
+            space: &RankingSpace,
+            worklist: &mut Vec<(Partition, Vec<usize>)>,
+            budget: u64,
+            so_far: &mut u64,
+        ) -> bool {
+            let Some((node, avail)) = worklist.pop() else {
+                *so_far += 1;
+                return *so_far <= budget;
+            };
+            // Option 1: leaf.
+            if !count(space, worklist, budget, so_far) {
+                worklist.push((node, avail));
+                return false;
+            }
+            // Option 2: split on each usable attribute.
+            for &a in &avail {
+                let children = node.split(space, a);
+                if children.len() < 2 {
+                    continue;
+                }
+                let rest: Vec<usize> = avail.iter().copied().filter(|&x| x != a).collect();
+                let mark = worklist.len();
+                for c in children {
+                    worklist.push((c, rest.clone()));
+                }
+                let ok = count(space, worklist, budget, so_far);
+                worklist.truncate(mark);
+                if !ok {
+                    worklist.push((node, avail));
+                    return false;
+                }
+            }
+            worklist.push((node, avail));
+            true
+        }
+
+        let root = Partition::root(space);
+        let attrs: Vec<usize> = (0..space.attributes().len()).collect();
+        let mut worklist = vec![(root, attrs)];
+        let mut so_far = 0u64;
+        count(space, &mut worklist, budget, &mut so_far).then_some(so_far)
+    }
+}
+
+struct EnumState<'a> {
+    space: &'a RankingSpace,
+    criterion: &'a FairnessCriterion,
+    budget: u64,
+    trees: u64,
+    best: Option<(Vec<Partition>, f64)>,
+    seen: Option<HashSet<Vec<u64>>>,
+}
+
+impl EnumState<'_> {
+    /// Worklist-driven recursion: pop a group, either keep it as a leaf or
+    /// split it every possible way, recursing over the remaining worklist to
+    /// build the cartesian product of per-group choices.
+    fn recurse(
+        &mut self,
+        worklist: &mut Vec<(Partition, Vec<usize>)>,
+        acc: &mut Vec<Partition>,
+    ) -> Result<()> {
+        let Some((node, avail)) = worklist.pop() else {
+            // A complete partitioning.
+            self.trees += 1;
+            if self.trees > self.budget {
+                return Err(CoreError::BudgetExceeded {
+                    budget: self.budget,
+                });
+            }
+            let value = self.criterion.unfairness(acc, self.space.scores())?;
+            if let Some(seen) = &mut self.seen {
+                seen.insert(signature(acc, self.space.num_individuals()));
+            }
+            let better = match &self.best {
+                None => true,
+                Some((_, incumbent)) => self.criterion.objective.is_better(value, *incumbent),
+            };
+            if better {
+                self.best = Some((acc.clone(), value));
+            }
+            return Ok(());
+        };
+
+        // Option 1: the group is final.
+        acc.push(node.clone());
+        let r = self.recurse(worklist, acc);
+        acc.pop();
+        r?;
+
+        // Option 2: split on each attribute that actually divides the group.
+        for &a in &avail {
+            let children = node.split(self.space, a);
+            if children.len() < 2 {
+                continue;
+            }
+            let rest: Vec<usize> = avail.iter().copied().filter(|&x| x != a).collect();
+            let mark = worklist.len();
+            for c in children {
+                worklist.push((c, rest.clone()));
+            }
+            let r = self.recurse(worklist, acc);
+            worklist.truncate(mark);
+            r?;
+        }
+
+        worklist.push((node, avail));
+        Ok(())
+    }
+}
+
+/// Canonical signature of a leaf partitioning: for each row, the index of
+/// its partition after sorting partitions by their smallest row. Packed into
+/// a `Vec<u64>` bitset-of-groups representation.
+fn signature(partitions: &[Partition], n: usize) -> Vec<u64> {
+    let mut group_of = vec![u32::MAX; n];
+    let mut order: Vec<usize> = (0..partitions.len()).collect();
+    order.sort_by_key(|&i| partitions[i].rows.iter().min().copied().unwrap_or(u32::MAX));
+    for (gid, &pi) in order.iter().enumerate() {
+        for &r in &partitions[pi].rows {
+            group_of[r as usize] = gid as u32;
+        }
+    }
+    // Pack two u32 per u64 for compactness.
+    let mut packed = Vec::with_capacity(n.div_ceil(2));
+    for chunk in group_of.chunks(2) {
+        let lo = chunk[0] as u64;
+        let hi = chunk.get(1).copied().unwrap_or(0) as u64;
+        packed.push(lo | (hi << 32));
+    }
+    packed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fairness::{Aggregator, Objective};
+    use crate::quantify::Quantify;
+    use crate::space::ProtectedAttribute;
+
+    fn small_space() -> RankingSpace {
+        let gender = ProtectedAttribute::from_values("g", &["F", "M", "F", "M", "F", "M"]);
+        let lang = ProtectedAttribute::from_values("l", &["en", "en", "fr", "fr", "en", "fr"]);
+        RankingSpace::new(
+            vec![gender, lang],
+            vec![0.1, 0.9, 0.3, 0.7, 0.2, 0.8],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn enumerates_trivial_space() {
+        let space = RankingSpace::new(vec![], vec![0.5, 0.7]).unwrap();
+        let out = ExhaustiveSearch::default().run_space(&space).unwrap();
+        assert_eq!(out.trees_enumerated, 1);
+        assert_eq!(out.distinct_partitionings, 1);
+        assert_eq!(out.best_partitions.len(), 1);
+        assert_eq!(out.best_value, 0.0);
+    }
+
+    #[test]
+    fn tree_count_matches_manual_enumeration() {
+        // One binary attribute: {leaf} or {split} = 2 trees.
+        let g = ProtectedAttribute::from_values("g", &["a", "b"]);
+        let space = RankingSpace::new(vec![g], vec![0.2, 0.8]).unwrap();
+        let out = ExhaustiveSearch::default().run_space(&space).unwrap();
+        assert_eq!(out.trees_enumerated, 2);
+        assert_eq!(
+            ExhaustiveSearch::count_trees(&space, 100),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn two_binary_attributes_tree_count() {
+        // Root choices: leaf; split g then each child {leaf, split l} (2×2);
+        // split l then each child {leaf, split g} (2×2) = 1 + 4 + 4 = 9.
+        let space = small_space();
+        // Restrict to 4 rows covering all combos to keep children binary.
+        let sub = space.select(&[0, 1, 2, 3]).unwrap();
+        let out = ExhaustiveSearch::default().run_space(&sub).unwrap();
+        assert_eq!(out.trees_enumerated, 9);
+        assert_eq!(ExhaustiveSearch::count_trees(&sub, 100), Some(9));
+    }
+
+    #[test]
+    fn distinct_leaf_partitionings_deduplicate_orders() {
+        let space = small_space();
+        let sub = space.select(&[0, 1, 2, 3]).unwrap();
+        let out = ExhaustiveSearch::default().run_space(&sub).unwrap();
+        // Of the 9 trees, fully-split trees through either order coincide:
+        // {g-split then both l} == {l-split then both g} → 9 trees map to
+        // 8 distinct leaf partitionings.
+        assert_eq!(out.distinct_partitionings, 8);
+    }
+
+    #[test]
+    fn exhaustive_value_dominates_heuristic() {
+        let space = small_space();
+        for objective in [Objective::MostUnfair, Objective::LeastUnfair] {
+            let crit = FairnessCriterion::new(objective, Aggregator::Mean);
+            let exact = ExhaustiveSearch::new(crit).run_space(&space).unwrap();
+            let greedy = Quantify::new(crit).run_space(&space).unwrap();
+            match objective {
+                Objective::MostUnfair => {
+                    assert!(exact.best_value >= greedy.unfairness - 1e-12)
+                }
+                Objective::LeastUnfair => {
+                    assert!(exact.best_value <= greedy.unfairness + 1e-12)
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn budget_is_enforced() {
+        let space = small_space();
+        let err = ExhaustiveSearch::default()
+            .with_budget(3)
+            .run_space(&space)
+            .unwrap_err();
+        assert_eq!(err, CoreError::BudgetExceeded { budget: 3 });
+        assert_eq!(ExhaustiveSearch::count_trees(&space, 3), None);
+    }
+
+    #[test]
+    fn best_partitioning_is_full_disjoint() {
+        let space = small_space();
+        let out = ExhaustiveSearch::default().run_space(&space).unwrap();
+        assert!(is_full_disjoint(
+            &out.best_partitions,
+            space.num_individuals()
+        ));
+    }
+
+    #[test]
+    fn without_dedupe_skips_tracking() {
+        let space = small_space();
+        let out = ExhaustiveSearch::default()
+            .without_dedupe()
+            .run_space(&space)
+            .unwrap();
+        assert_eq!(out.distinct_partitionings, 0);
+        assert!(out.trees_enumerated > 0);
+    }
+
+    #[test]
+    fn empty_space_errors() {
+        // RankingSpace::new rejects empty scores, so build via select error.
+        let space = RankingSpace::new(vec![], vec![0.5]).unwrap();
+        assert!(space.select(&[]).is_err());
+    }
+}

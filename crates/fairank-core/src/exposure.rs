@@ -1,0 +1,192 @@
+//! Exposure-based group fairness — an alternative fairness notion.
+//!
+//! The paper positions FaiRank as "generic … the ability to quantify
+//! different notions of fairness" and cites Singh & Joachims' *fairness of
+//! exposure* and Biega et al.'s *equity of attention*. This module adds a
+//! position-based exposure metric over the same partitioning machinery:
+//! each rank position carries examination probability `1 / log2(2 + rank)`
+//! (the DCG discount), a group's exposure is its members' mean position
+//! weight, and the disparity between groups is aggregated exactly like the
+//! EMD-based unfairness.
+//!
+//! Exposure disparity complements the histogram EMD: EMD compares *score
+//! distributions*; exposure compares *where the ranking actually places
+//! people*, which is what viewers of a results page see.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{CoreError, Result};
+use crate::fairness::Aggregator;
+use crate::partition::Partition;
+use crate::scoring::scores_to_ranking;
+
+/// Position weight of `rank` (0-based): the DCG examination discount.
+pub fn position_weight(rank: usize) -> f64 {
+    1.0 / ((rank as f64 + 2.0).log2())
+}
+
+/// Per-individual exposure for a ranking of `n` individuals:
+/// `exposure[row] = position_weight(rank_of(row))`, normalized so the mean
+/// exposure over all individuals is 1.
+pub fn exposures_from_ranking(ranking: &[u32], n: usize) -> Result<Vec<f64>> {
+    if ranking.len() != n {
+        return Err(CoreError::InvalidScoring(format!(
+            "ranking has {} entries for {n} rows",
+            ranking.len()
+        )));
+    }
+    if n == 0 {
+        return Err(CoreError::EmptyInput);
+    }
+    let mut exposure = vec![0.0f64; n];
+    let mut total = 0.0;
+    for (rank, &row) in ranking.iter().enumerate() {
+        let idx = row as usize;
+        if idx >= n {
+            return Err(CoreError::InvalidScoring(format!(
+                "ranking references row {idx} out of {n}"
+            )));
+        }
+        let w = position_weight(rank);
+        exposure[idx] = w;
+        total += w;
+    }
+    let mean = total / n as f64;
+    for e in exposure.iter_mut() {
+        *e /= mean;
+    }
+    Ok(exposure)
+}
+
+/// Per-individual exposure induced by scores (ranked best-first).
+pub fn exposures_from_scores(scores: &[f64]) -> Result<Vec<f64>> {
+    exposures_from_ranking(&scores_to_ranking(scores), scores.len())
+}
+
+/// Exposure statistics of one partition.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GroupExposure {
+    /// Mean normalized exposure of the group (1.0 = population average).
+    pub mean_exposure: f64,
+    /// Group size.
+    pub size: usize,
+}
+
+/// Mean exposure per partition.
+pub fn group_exposures(
+    partitions: &[Partition],
+    exposure: &[f64],
+) -> Vec<GroupExposure> {
+    partitions
+        .iter()
+        .map(|p| {
+            let sum: f64 = p.rows.iter().map(|&r| exposure[r as usize]).sum();
+            GroupExposure {
+                mean_exposure: if p.is_empty() { 0.0 } else { sum / p.len() as f64 },
+                size: p.len(),
+            }
+        })
+        .collect()
+}
+
+/// Exposure disparity of a partitioning: the aggregator applied to the
+/// pairwise absolute differences of group mean exposures. Zero when every
+/// group enjoys the same average examination probability.
+pub fn exposure_disparity(
+    partitions: &[Partition],
+    exposure: &[f64],
+    aggregator: Aggregator,
+) -> f64 {
+    let groups = group_exposures(partitions, exposure);
+    let mut diffs = Vec::with_capacity(groups.len() * (groups.len().saturating_sub(1)) / 2);
+    for i in 0..groups.len() {
+        for j in (i + 1)..groups.len() {
+            diffs.push((groups[i].mean_exposure - groups[j].mean_exposure).abs());
+        }
+    }
+    aggregator.apply(&diffs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::{ProtectedAttribute, RankingSpace};
+
+    #[test]
+    fn position_weights_decay() {
+        assert!((position_weight(0) - 1.0).abs() < 1e-12);
+        assert!(position_weight(0) > position_weight(1));
+        assert!(position_weight(1) > position_weight(9));
+        assert!(position_weight(1000) > 0.0);
+    }
+
+    #[test]
+    fn exposures_are_normalized_to_unit_mean() {
+        let scores = [0.9, 0.1, 0.5, 0.7];
+        let exp = exposures_from_scores(&scores).unwrap();
+        let mean: f64 = exp.iter().sum::<f64>() / exp.len() as f64;
+        assert!((mean - 1.0).abs() < 1e-12);
+        // The best-scored row gets the highest exposure.
+        assert!(exp[0] > exp[1]);
+        assert!(exp[0] > exp[3]);
+    }
+
+    #[test]
+    fn ranking_validation() {
+        assert!(exposures_from_ranking(&[0, 1], 3).is_err());
+        assert!(exposures_from_ranking(&[0, 5], 2).is_err());
+        assert!(exposures_from_ranking(&[], 0).is_err());
+    }
+
+    fn separated_space() -> (RankingSpace, Vec<Partition>) {
+        let g = ProtectedAttribute::from_values("g", &["a", "a", "b", "b"]);
+        let space = RankingSpace::new(vec![g], vec![0.9, 0.8, 0.2, 0.1]).unwrap();
+        let parts = Partition::root(&space).split(&space, 0);
+        (space, parts)
+    }
+
+    #[test]
+    fn disparity_detects_exposure_gap() {
+        let (space, parts) = separated_space();
+        let exp = exposures_from_scores(space.scores()).unwrap();
+        let groups = group_exposures(&parts, &exp);
+        assert!(groups[0].mean_exposure > 1.0); // group a ranks on top
+        assert!(groups[1].mean_exposure < 1.0);
+        let d = exposure_disparity(&parts, &exp, Aggregator::Mean);
+        assert!(d > 0.2, "disparity {d}");
+    }
+
+    #[test]
+    fn interleaved_groups_have_low_disparity() {
+        let g = ProtectedAttribute::from_values("g", &["a", "b", "a", "b"]);
+        let space = RankingSpace::new(vec![g], vec![0.9, 0.8, 0.2, 0.1]).unwrap();
+        let parts = Partition::root(&space).split(&space, 0);
+        let exp = exposures_from_scores(space.scores()).unwrap();
+        let d = exposure_disparity(&parts, &exp, Aggregator::Mean);
+        let (sep_space, sep_parts) = separated_space();
+        let sep_exp = exposures_from_scores(sep_space.scores()).unwrap();
+        let d_sep = exposure_disparity(&sep_parts, &sep_exp, Aggregator::Mean);
+        assert!(d < d_sep, "interleaved {d} vs separated {d_sep}");
+    }
+
+    #[test]
+    fn single_partition_has_zero_disparity() {
+        let (space, _) = separated_space();
+        let exp = exposures_from_scores(space.scores()).unwrap();
+        let root = vec![Partition::root(&space)];
+        assert_eq!(exposure_disparity(&root, &exp, Aggregator::Mean), 0.0);
+    }
+
+    #[test]
+    fn disparity_respects_aggregator() {
+        let g = ProtectedAttribute::from_values("g", &["a", "b", "c", "c", "b", "a"]);
+        let space =
+            RankingSpace::new(vec![g], vec![0.9, 0.5, 0.1, 0.2, 0.6, 0.95]).unwrap();
+        let parts = Partition::root(&space).split(&space, 0);
+        let exp = exposures_from_scores(space.scores()).unwrap();
+        let mean = exposure_disparity(&parts, &exp, Aggregator::Mean);
+        let max = exposure_disparity(&parts, &exp, Aggregator::Max);
+        let min = exposure_disparity(&parts, &exp, Aggregator::Min);
+        assert!(min <= mean && mean <= max);
+    }
+}

@@ -1,0 +1,369 @@
+//! Fairness criteria: aggregators, objectives and `unfairness(P, f)`.
+//!
+//! Definition 2 measures the unfairness of a scoring function `f` on a
+//! partitioning `P` as the *average* pairwise EMD between partition score
+//! histograms; the paper explicitly allows "any aggregation function over
+//! pairwise distances … (highest average, lowest variance, etc.)". The
+//! optimization problem then either maximizes (Most Unfair Partitioning,
+//! Definition 1) or minimizes (Least Unfair Partitioning) that aggregate.
+
+use serde::{Deserialize, Serialize};
+
+use crate::emd::Emd;
+use crate::error::Result;
+use crate::histogram::{Histogram, HistogramSpec};
+use crate::pairwise::{cross_distances, pairwise_distances};
+use crate::partition::Partition;
+
+/// How pairwise EMDs are folded into one unfairness number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum Aggregator {
+    /// Average pairwise EMD — the paper's Definition 2.
+    #[default]
+    Mean,
+    /// Maximum pairwise EMD ("highest maximum EMD between any pair").
+    Max,
+    /// Minimum pairwise EMD.
+    Min,
+    /// Population variance of the pairwise EMDs ("lowest variance").
+    Variance,
+    /// Standard deviation of the pairwise EMDs.
+    StdDev,
+    /// Spread: max − min of the pairwise EMDs.
+    Range,
+}
+
+impl Aggregator {
+    /// Applies the aggregator. By convention an empty distance set (fewer
+    /// than two partitions) aggregates to `0.0`: a single group cannot be
+    /// treated unequally.
+    pub fn apply(&self, distances: &[f64]) -> f64 {
+        if distances.is_empty() {
+            return 0.0;
+        }
+        match self {
+            Aggregator::Mean => distances.iter().sum::<f64>() / distances.len() as f64,
+            Aggregator::Max => distances.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+            Aggregator::Min => distances.iter().copied().fold(f64::INFINITY, f64::min),
+            Aggregator::Variance => {
+                let mean = distances.iter().sum::<f64>() / distances.len() as f64;
+                distances.iter().map(|d| (d - mean).powi(2)).sum::<f64>()
+                    / distances.len() as f64
+            }
+            Aggregator::StdDev => Aggregator::Variance.apply(distances).sqrt(),
+            Aggregator::Range => {
+                Aggregator::Max.apply(distances) - Aggregator::Min.apply(distances)
+            }
+        }
+    }
+
+    /// All aggregators, for sweeps in the exploration UI and experiments.
+    pub fn all() -> [Aggregator; 6] {
+        [
+            Aggregator::Mean,
+            Aggregator::Max,
+            Aggregator::Min,
+            Aggregator::Variance,
+            Aggregator::StdDev,
+            Aggregator::Range,
+        ]
+    }
+
+    /// Stable name used by the command language and reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Aggregator::Mean => "mean",
+            Aggregator::Max => "max",
+            Aggregator::Min => "min",
+            Aggregator::Variance => "variance",
+            Aggregator::StdDev => "stddev",
+            Aggregator::Range => "range",
+        }
+    }
+
+    /// Parses a name produced by [`Aggregator::name`] (case-insensitive;
+    /// `avg` is accepted for `mean`).
+    pub fn parse(s: &str) -> Option<Aggregator> {
+        match s.to_ascii_lowercase().as_str() {
+            "mean" | "avg" | "average" => Some(Aggregator::Mean),
+            "max" | "maximum" => Some(Aggregator::Max),
+            "min" | "minimum" => Some(Aggregator::Min),
+            "variance" | "var" => Some(Aggregator::Variance),
+            "stddev" | "std" => Some(Aggregator::StdDev),
+            "range" | "spread" => Some(Aggregator::Range),
+            _ => None,
+        }
+    }
+}
+
+/// Whether the search looks for the most or the least unfair partitioning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum Objective {
+    /// Definition 1: `argmax_P unfairness(P, f)`.
+    #[default]
+    MostUnfair,
+    /// The dual: `argmin_P unfairness(P, f)`.
+    LeastUnfair,
+}
+
+impl Objective {
+    /// True when `candidate` is strictly better than `incumbent` under this
+    /// objective.
+    pub fn is_better(&self, candidate: f64, incumbent: f64) -> bool {
+        match self {
+            Objective::MostUnfair => candidate > incumbent,
+            Objective::LeastUnfair => candidate < incumbent,
+        }
+    }
+
+    /// The worst possible value under this objective (identity of
+    /// best-of-fold).
+    pub fn worst(&self) -> f64 {
+        match self {
+            Objective::MostUnfair => f64::NEG_INFINITY,
+            Objective::LeastUnfair => f64::INFINITY,
+        }
+    }
+
+    /// Stable name used by the command language and reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Objective::MostUnfair => "most-unfair",
+            Objective::LeastUnfair => "least-unfair",
+        }
+    }
+
+    /// Parses a name produced by [`Objective::name`].
+    pub fn parse(s: &str) -> Option<Objective> {
+        match s.to_ascii_lowercase().as_str() {
+            "most-unfair" | "most" | "argmax" | "max-unfair" => Some(Objective::MostUnfair),
+            "least-unfair" | "least" | "argmin" | "min-unfair" => Some(Objective::LeastUnfair),
+            _ => None,
+        }
+    }
+}
+
+/// A complete fairness criterion: what to optimize, how to aggregate, which
+/// EMD backend, and the histogram shape.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct FairnessCriterion {
+    /// Search direction.
+    pub objective: Objective,
+    /// Pairwise-distance aggregation (Definition 2 uses `Mean`).
+    pub aggregator: Aggregator,
+    /// EMD configuration.
+    pub emd: Emd,
+    /// Histogram shape shared by every partition.
+    pub hist: HistogramSpec,
+}
+
+impl FairnessCriterion {
+    /// A criterion with the default EMD backend and histogram spec.
+    pub fn new(objective: Objective, aggregator: Aggregator) -> Self {
+        FairnessCriterion {
+            objective,
+            aggregator,
+            ..Default::default()
+        }
+    }
+
+    /// Replaces the histogram spec.
+    pub fn with_hist(mut self, hist: HistogramSpec) -> Self {
+        self.hist = hist;
+        self
+    }
+
+    /// Replaces the EMD configuration.
+    pub fn with_emd(mut self, emd: Emd) -> Self {
+        self.emd = emd;
+        self
+    }
+
+    /// Fits the histogram range to the observed score range of a space —
+    /// the paper's "equal bins over the range of f" for functions that do
+    /// not span the whole unit interval (or exceed it, e.g. unclamped
+    /// linear combinations). Keeps the current bin count. Degenerate
+    /// (all-equal-scores) ranges fall back to the unit interval around the
+    /// value.
+    pub fn fit_range(mut self, space: &crate::space::RankingSpace) -> Self {
+        let (lo, hi) = space.score_range();
+        let spec = if hi > lo {
+            crate::histogram::HistogramSpec::new(self.hist.bins(), lo, hi)
+        } else {
+            crate::histogram::HistogramSpec::new(self.hist.bins(), lo - 0.5, lo + 0.5)
+        };
+        if let Ok(spec) = spec {
+            self.hist = spec;
+        }
+        self
+    }
+
+    /// Builds the score histogram of one partition.
+    pub fn histogram(&self, partition: &Partition, scores: &[f64]) -> Histogram {
+        Histogram::from_rows(self.hist, scores, &partition.rows)
+    }
+
+    /// `unfairness(P, f)` — Definition 2 generalized to this criterion's
+    /// aggregator: aggregate of pairwise EMDs between partition histograms.
+    pub fn unfairness(&self, partitions: &[Partition], scores: &[f64]) -> Result<f64> {
+        let hists: Vec<Histogram> = partitions
+            .iter()
+            .map(|p| self.histogram(p, scores))
+            .collect();
+        let dists = pairwise_distances(&hists, &self.emd)?;
+        Ok(self.aggregator.apply(&dists))
+    }
+
+    /// Aggregate of EMDs between one partition and each of `others` —
+    /// Algorithm 1's `avg(EMD(current, siblings, f))`, generalized.
+    pub fn versus(
+        &self,
+        partition: &Partition,
+        others: &[Partition],
+        scores: &[f64],
+    ) -> Result<f64> {
+        let h = self.histogram(partition, scores);
+        let other_hists: Vec<Histogram> = others
+            .iter()
+            .map(|p| self.histogram(p, scores))
+            .collect();
+        let dists = cross_distances(std::slice::from_ref(&h), &other_hists, &self.emd)?;
+        Ok(self.aggregator.apply(&dists))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::{ProtectedAttribute, RankingSpace};
+
+    #[test]
+    fn aggregators_on_known_values() {
+        let d = [0.1, 0.3, 0.5];
+        assert!((Aggregator::Mean.apply(&d) - 0.3).abs() < 1e-12);
+        assert_eq!(Aggregator::Max.apply(&d), 0.5);
+        assert_eq!(Aggregator::Min.apply(&d), 0.1);
+        let var = Aggregator::Variance.apply(&d);
+        assert!((var - (0.04 + 0.0 + 0.04) / 3.0).abs() < 1e-12);
+        assert!((Aggregator::StdDev.apply(&d) - var.sqrt()).abs() < 1e-12);
+        assert!((Aggregator::Range.apply(&d) - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_distance_sets_aggregate_to_zero() {
+        for agg in Aggregator::all() {
+            assert_eq!(agg.apply(&[]), 0.0, "{agg:?}");
+        }
+    }
+
+    #[test]
+    fn aggregator_names_round_trip() {
+        for agg in Aggregator::all() {
+            assert_eq!(Aggregator::parse(agg.name()), Some(agg));
+        }
+        assert_eq!(Aggregator::parse("AVG"), Some(Aggregator::Mean));
+        assert_eq!(Aggregator::parse("nonsense"), None);
+    }
+
+    #[test]
+    fn objective_comparisons() {
+        assert!(Objective::MostUnfair.is_better(0.5, 0.4));
+        assert!(!Objective::MostUnfair.is_better(0.4, 0.4));
+        assert!(Objective::LeastUnfair.is_better(0.3, 0.4));
+        assert!(!Objective::LeastUnfair.is_better(0.4, 0.4));
+        assert!(Objective::MostUnfair.is_better(0.0, Objective::MostUnfair.worst()));
+        assert!(Objective::LeastUnfair.is_better(0.0, Objective::LeastUnfair.worst()));
+    }
+
+    #[test]
+    fn objective_names_round_trip() {
+        for obj in [Objective::MostUnfair, Objective::LeastUnfair] {
+            assert_eq!(Objective::parse(obj.name()), Some(obj));
+        }
+        assert_eq!(Objective::parse("argmax"), Some(Objective::MostUnfair));
+        assert_eq!(Objective::parse("x"), None);
+    }
+
+    fn two_group_space() -> RankingSpace {
+        // Group a scores low, group b scores high — clear unfairness.
+        let g = ProtectedAttribute::from_values("g", &["a", "a", "a", "b", "b", "b"]);
+        RankingSpace::new(vec![g], vec![0.05, 0.1, 0.15, 0.85, 0.9, 0.95]).unwrap()
+    }
+
+    #[test]
+    fn unfairness_of_separated_groups_is_high() {
+        let s = two_group_space();
+        let parts = Partition::root(&s).split(&s, 0);
+        let crit = FairnessCriterion::default();
+        let u = crit.unfairness(&parts, s.scores()).unwrap();
+        assert!(u > 0.7, "u = {u}");
+    }
+
+    #[test]
+    fn unfairness_of_identical_groups_is_zero() {
+        let g = ProtectedAttribute::from_values("g", &["a", "b", "a", "b"]);
+        let s = RankingSpace::new(vec![g], vec![0.25, 0.25, 0.75, 0.75]).unwrap();
+        let parts = Partition::root(&s).split(&s, 0);
+        let crit = FairnessCriterion::default();
+        let u = crit.unfairness(&parts, s.scores()).unwrap();
+        assert!(u.abs() < 1e-12);
+    }
+
+    #[test]
+    fn unfairness_of_single_partition_is_zero() {
+        let s = two_group_space();
+        let crit = FairnessCriterion::default();
+        let u = crit
+            .unfairness(&[Partition::root(&s)], s.scores())
+            .unwrap();
+        assert_eq!(u, 0.0);
+    }
+
+    #[test]
+    fn versus_matches_manual_cross_average() {
+        let s = two_group_space();
+        let parts = Partition::root(&s).split(&s, 0);
+        let crit = FairnessCriterion::default();
+        let v = crit.versus(&parts[0], &parts[1..], s.scores()).unwrap();
+        let u = crit.unfairness(&parts, s.scores()).unwrap();
+        // With exactly two partitions these coincide.
+        assert!((v - u).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fit_range_tracks_observed_scores() {
+        let s = RankingSpace::new(vec![], vec![0.2, 0.4, 0.6]).unwrap();
+        let crit = FairnessCriterion::default().fit_range(&s);
+        assert!((crit.hist.lo() - 0.2).abs() < 1e-12);
+        assert!((crit.hist.hi() - 0.6).abs() < 1e-12);
+        assert_eq!(crit.hist.bins(), 10);
+        // Degenerate range falls back to a unit-wide window.
+        let flat = RankingSpace::new(vec![], vec![0.5, 0.5]).unwrap();
+        let crit = FairnessCriterion::default().fit_range(&flat);
+        assert!((crit.hist.hi() - crit.hist.lo() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fit_range_changes_unfairness_scale() {
+        // Scores concentrated in [0.4, 0.6]: under a unit histogram both
+        // groups share bins; under a fitted range they separate.
+        let g = ProtectedAttribute::from_values("g", &["a", "a", "b", "b"]);
+        let s = RankingSpace::new(vec![g], vec![0.42, 0.44, 0.56, 0.58]).unwrap();
+        let parts = Partition::root(&s).split(&s, 0);
+        let unit = FairnessCriterion::default();
+        let fitted = FairnessCriterion::default().fit_range(&s);
+        let u_unit = unit.unfairness(&parts, s.scores()).unwrap();
+        let u_fit = fitted.unfairness(&parts, s.scores()).unwrap();
+        assert!(u_fit > u_unit, "fitted {u_fit} should exceed unit {u_unit}");
+    }
+
+    #[test]
+    fn criterion_builders() {
+        let crit = FairnessCriterion::new(Objective::LeastUnfair, Aggregator::Max)
+            .with_hist(HistogramSpec::unit(5).unwrap())
+            .with_emd(Emd::new(crate::emd::EmdBackend::Transport));
+        assert_eq!(crit.hist.bins(), 5);
+        assert_eq!(crit.objective, Objective::LeastUnfair);
+        assert_eq!(crit.aggregator, Aggregator::Max);
+    }
+}

@@ -1,0 +1,45 @@
+//! # fairank-core
+//!
+//! The scientific contribution of *FaiRank* (EDBT 2019): quantifying the
+//! group fairness of a scoring function over a set of individuals by
+//! searching the space of partitionings induced by protected attributes.
+//!
+//! The pipeline is:
+//!
+//! 1. Individuals and their **protected attributes** form a
+//!    [`space::RankingSpace`], together with one score per individual
+//!    produced by a [`scoring::ScoreSource`] (a transparent linear function,
+//!    raw scores, or — under function opacity — a ranking).
+//! 2. Each candidate partition's score distribution is summarized as a
+//!    fixed-bin [`histogram::Histogram`].
+//! 3. Distances between partitions are [`emd`] (Earth Mover's Distance)
+//!    values between their histograms.
+//! 4. [`fairness`] aggregates pairwise distances into a single
+//!    `unfairness(P, f)` number, under a configurable aggregator
+//!    (mean/max/min/variance/…) and objective (most vs. least unfair).
+//! 5. [`quantify`] implements the paper's Algorithm 1 (`QUANTIFY`), a greedy
+//!    decision-tree-style search for an extremal partitioning;
+//!    [`exhaustive`] enumerates the full tree-partitioning space as the
+//!    exact (exponential) baseline.
+//!
+//! The crate is deliberately self-contained: it knows nothing about CSV
+//! files, anonymization or marketplaces. Those substrates live in the
+//! sibling crates and feed this one through [`space::RankingSpace`] and the
+//! [`scoring::ObservedTable`] trait.
+
+pub mod beam;
+pub mod emd;
+pub mod error;
+pub mod exhaustive;
+pub mod explain;
+pub mod exposure;
+pub mod fairness;
+pub mod histogram;
+pub mod pairwise;
+pub mod partition;
+pub mod quantify;
+pub mod scoring;
+pub mod space;
+pub mod subgroup;
+
+pub use error::{CoreError, Result};

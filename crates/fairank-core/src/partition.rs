@@ -1,0 +1,382 @@
+//! Partitions and partitioning trees.
+//!
+//! A *partition* is a group of individuals reached by a conjunction of
+//! protected-attribute constraints (its *path*), e.g. `Gender=Male ∧
+//! Language=English`. A *partitioning tree* records how `QUANTIFY` split the
+//! population; its leaves form the full disjoint partitioning `P` that
+//! Definition 1 optimizes over, and it is the object the FaiRank interface
+//! displays in its panels (Figure 3).
+
+use serde::{Deserialize, Serialize};
+
+use crate::space::RankingSpace;
+
+/// One step on a partition's path: `attribute == value`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PathStep {
+    /// Index of the protected attribute in the [`RankingSpace`].
+    pub attr: usize,
+    /// Dictionary code of the value within that attribute.
+    pub code: u32,
+}
+
+/// A group of individuals defined by protected-attribute values.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Partition {
+    /// Row indices (into the ranking space) of the members.
+    pub rows: Vec<u32>,
+    /// The conjunction of constraints that defines this partition, in split
+    /// order. Empty for the root (everyone).
+    pub path: Vec<PathStep>,
+}
+
+impl Partition {
+    /// The root partition containing every individual.
+    pub fn root(space: &RankingSpace) -> Self {
+        Partition {
+            rows: space.all_rows(),
+            path: Vec::new(),
+        }
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the partition has no members.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Human-readable label like `Gender=Male ∧ Language=English`, or
+    /// `ALL` for the root.
+    pub fn label(&self, space: &RankingSpace) -> String {
+        if self.path.is_empty() {
+            return "ALL".to_string();
+        }
+        let parts: Vec<String> = self
+            .path
+            .iter()
+            .map(|step| {
+                let attr = space.attribute(step.attr);
+                match attr {
+                    Some(a) => format!(
+                        "{}={}",
+                        a.name,
+                        a.label(step.code).unwrap_or("<invalid>")
+                    ),
+                    None => "<invalid attr>".to_string(),
+                }
+            })
+            .collect();
+        parts.join(" ∧ ")
+    }
+
+    /// Member scores, selected from the space's score column.
+    pub fn scores<'a>(&'a self, scores: &'a [f64]) -> impl Iterator<Item = f64> + 'a {
+        self.rows.iter().map(move |&r| scores[r as usize])
+    }
+
+    /// Splits this partition on `attr`, returning one child per distinct
+    /// value present (empty children never materialize).
+    pub fn split(&self, space: &RankingSpace, attr: usize) -> Vec<Partition> {
+        let attribute = match space.attribute(attr) {
+            Some(a) => a,
+            None => return Vec::new(),
+        };
+        let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); attribute.cardinality()];
+        for &row in &self.rows {
+            buckets[attribute.codes[row as usize] as usize].push(row);
+        }
+        buckets
+            .into_iter()
+            .enumerate()
+            .filter(|(_, rows)| !rows.is_empty())
+            .map(|(code, rows)| {
+                let mut path = self.path.clone();
+                path.push(PathStep {
+                    attr,
+                    code: code as u32,
+                });
+                Partition { rows, path }
+            })
+            .collect()
+    }
+}
+
+/// Index of a node within a [`PartitioningTree`].
+pub type NodeId = usize;
+
+/// One node of a partitioning tree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TreeNode {
+    /// The partition this node represents.
+    pub partition: Partition,
+    /// Parent node, `None` for the root.
+    pub parent: Option<NodeId>,
+    /// The attribute this node was split on, if it was split.
+    pub split_attr: Option<usize>,
+    /// Children produced by the split (empty for leaves).
+    pub children: Vec<NodeId>,
+}
+
+/// The tree of splits produced by a partitioning search. Leaves form the
+/// final full disjoint partitioning.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PartitioningTree {
+    nodes: Vec<TreeNode>,
+}
+
+impl PartitioningTree {
+    /// A tree containing only the root partition.
+    pub fn new(root: Partition) -> Self {
+        PartitioningTree {
+            nodes: vec![TreeNode {
+                partition: root,
+                parent: None,
+                split_attr: None,
+                children: Vec::new(),
+            }],
+        }
+    }
+
+    /// The root node id (always 0).
+    pub fn root(&self) -> NodeId {
+        0
+    }
+
+    /// All nodes, root first, in insertion order.
+    pub fn nodes(&self) -> &[TreeNode] {
+        &self.nodes
+    }
+
+    /// A node by id.
+    pub fn node(&self, id: NodeId) -> &TreeNode {
+        &self.nodes[id]
+    }
+
+    /// Number of nodes in the tree.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True only for a default tree with nothing in it (never happens via
+    /// `new`, which always inserts a root).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Records a split of `id` on `attr` into `children` partitions,
+    /// returning the new node ids.
+    pub fn split_node(
+        &mut self,
+        id: NodeId,
+        attr: usize,
+        children: Vec<Partition>,
+    ) -> Vec<NodeId> {
+        let mut ids = Vec::with_capacity(children.len());
+        for child in children {
+            let child_id = self.nodes.len();
+            self.nodes.push(TreeNode {
+                partition: child,
+                parent: Some(id),
+                split_attr: None,
+                children: Vec::new(),
+            });
+            ids.push(child_id);
+        }
+        let node = &mut self.nodes[id];
+        node.split_attr = Some(attr);
+        node.children = ids.clone();
+        ids
+    }
+
+    /// Ids of all leaves, in depth-first order.
+    pub fn leaf_ids(&self) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        let mut stack = vec![self.root()];
+        while let Some(id) = stack.pop() {
+            let node = &self.nodes[id];
+            if node.children.is_empty() {
+                out.push(id);
+            } else {
+                // Push in reverse so leaves come out left-to-right.
+                for &c in node.children.iter().rev() {
+                    stack.push(c);
+                }
+            }
+        }
+        out
+    }
+
+    /// The final partitioning: the leaf partitions, cloned.
+    pub fn leaf_partitions(&self) -> Vec<Partition> {
+        self.leaf_ids()
+            .into_iter()
+            .map(|id| self.nodes[id].partition.clone())
+            .collect()
+    }
+
+    /// Depth of node `id` (root = 0).
+    pub fn depth(&self, id: NodeId) -> usize {
+        let mut d = 0;
+        let mut cur = id;
+        while let Some(p) = self.nodes[cur].parent {
+            d += 1;
+            cur = p;
+        }
+        d
+    }
+
+    /// Maximum leaf depth.
+    pub fn max_depth(&self) -> usize {
+        self.leaf_ids()
+            .into_iter()
+            .map(|id| self.depth(id))
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Checks that `partitions` is a full disjoint partitioning of `n` rows:
+/// every row appears in exactly one partition.
+pub fn is_full_disjoint(partitions: &[Partition], n: usize) -> bool {
+    let mut seen = vec![false; n];
+    for p in partitions {
+        for &r in &p.rows {
+            let idx = r as usize;
+            if idx >= n || seen[idx] {
+                return false;
+            }
+            seen[idx] = true;
+        }
+    }
+    seen.iter().all(|&s| s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::{ProtectedAttribute, RankingSpace};
+
+    fn space() -> RankingSpace {
+        let gender = ProtectedAttribute::from_values(
+            "gender",
+            &["F", "M", "M", "M", "F", "M", "F", "M", "M", "F"],
+        );
+        let lang = ProtectedAttribute::from_values(
+            "language",
+            &["en", "en", "in", "ot", "in", "en", "en", "en", "en", "en"],
+        );
+        RankingSpace::new(
+            vec![gender, lang],
+            vec![0.29, 0.911, 0.65, 0.724, 0.885, 0.266, 0.971, 0.195, 0.271, 0.62],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn root_contains_everyone() {
+        let s = space();
+        let root = Partition::root(&s);
+        assert_eq!(root.len(), 10);
+        assert_eq!(root.label(&s), "ALL");
+        assert!(!root.is_empty());
+    }
+
+    #[test]
+    fn split_produces_disjoint_children() {
+        let s = space();
+        let root = Partition::root(&s);
+        let children = root.split(&s, 0);
+        assert_eq!(children.len(), 2);
+        let all: usize = children.iter().map(Partition::len).sum();
+        assert_eq!(all, 10);
+        assert!(is_full_disjoint(&children, 10));
+        assert_eq!(children[0].label(&s), "gender=F");
+        assert_eq!(children[1].label(&s), "gender=M");
+    }
+
+    #[test]
+    fn split_drops_absent_values() {
+        let s = space();
+        let root = Partition::root(&s);
+        let females = &root.split(&s, 0)[0];
+        // Within females only "en" and "in" languages occur.
+        let langs = females.split(&s, 1);
+        assert_eq!(langs.len(), 2);
+        assert!(!is_full_disjoint(&langs, 10)); // not all 10 rows
+        let members: usize = langs.iter().map(Partition::len).sum();
+        assert_eq!(members, females.len());
+    }
+
+    #[test]
+    fn nested_path_labels() {
+        let s = space();
+        let root = Partition::root(&s);
+        let males = root.split(&s, 0)[1].clone();
+        let male_en = males.split(&s, 1)[0].clone();
+        assert_eq!(male_en.label(&s), "gender=M ∧ language=en");
+        assert_eq!(male_en.path.len(), 2);
+    }
+
+    #[test]
+    fn split_on_invalid_attribute_is_empty() {
+        let s = space();
+        assert!(Partition::root(&s).split(&s, 99).is_empty());
+    }
+
+    #[test]
+    fn tree_split_and_leaves() {
+        let s = space();
+        let mut tree = PartitioningTree::new(Partition::root(&s));
+        let children = tree.node(tree.root()).partition.split(&s, 0);
+        let ids = tree.split_node(tree.root(), 0, children);
+        assert_eq!(ids, vec![1, 2]);
+        assert_eq!(tree.leaf_ids(), vec![1, 2]);
+        assert_eq!(tree.len(), 3);
+        assert_eq!(tree.max_depth(), 1);
+
+        // Split the male node further by language.
+        let male = tree.node(2).partition.clone();
+        let male_children = male.split(&s, 1);
+        tree.split_node(2, 1, male_children);
+        let leaves = tree.leaf_partitions();
+        assert!(leaves.len() >= 3);
+        assert!(is_full_disjoint(&leaves, 10));
+        assert_eq!(tree.depth(tree.leaf_ids()[1]), 2);
+    }
+
+    #[test]
+    fn full_disjoint_detects_violations() {
+        let p1 = Partition {
+            rows: vec![0, 1],
+            path: vec![],
+        };
+        let p2 = Partition {
+            rows: vec![1, 2],
+            path: vec![],
+        };
+        assert!(!is_full_disjoint(&[p1.clone(), p2], 3)); // overlap
+        assert!(!is_full_disjoint(&[p1], 3)); // missing row 2
+        let q1 = Partition {
+            rows: vec![0, 2],
+            path: vec![],
+        };
+        let q2 = Partition {
+            rows: vec![1],
+            path: vec![],
+        };
+        assert!(is_full_disjoint(&[q1, q2], 3));
+    }
+
+    #[test]
+    fn partition_scores_iterate_members() {
+        let s = space();
+        let root = Partition::root(&s);
+        let females = &root.split(&s, 0)[0];
+        let vals: Vec<f64> = females.scores(s.scores()).collect();
+        assert_eq!(vals, vec![0.29, 0.885, 0.971, 0.62]);
+    }
+}

@@ -1,0 +1,498 @@
+//! Algorithm 1 of the paper: `QUANTIFY`, the greedy recursive partitioning
+//! search.
+//!
+//! The partitioning space is exponential in the number of protected
+//! attribute values, so FaiRank grows a partitioning tree greedily: at each
+//! node it selects the *most unfair attribute* (a decision-tree-style local
+//! gain), and splits only if the children are, in aggregate, farther from
+//! the node's siblings than the node itself is — i.e. if replacing the node
+//! by its children moves the objective in the right direction. Otherwise
+//! the node becomes a final partition.
+//!
+//! ```text
+//! QUANTIFY(current, siblings, f, A):
+//!   if A = ∅:            output current
+//!   else:
+//!     currentAvg  = avg(EMD(current, siblings, f))
+//!     a           = mostUnfair(current, f, A);  A = A − a
+//!     children    = split(current, a)
+//!     childrenAvg = avg(EMD(children, siblings, f))
+//!     if currentAvg ≥ childrenAvg: output current
+//!     else: for p in children: QUANTIFY({p}, children − {p}, f, A)
+//! ```
+//!
+//! Both comparisons generalize from `avg` to the criterion's aggregator and
+//! flip under the Least-Unfair objective ("other formulations require to
+//! change this test only", §3.2).
+
+use std::time::{Duration, Instant};
+
+use crate::error::{CoreError, Result};
+use crate::fairness::FairnessCriterion;
+use crate::partition::{Partition, PartitioningTree};
+use crate::scoring::{ObservedTable, ScoreSource};
+use crate::space::{ProtectedTable, RankingSpace};
+
+/// How a candidate split is evaluated against the status quo.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SplitEvaluation {
+    /// Paper-faithful (Algorithm 1): compare the aggregate of
+    /// `EMD(current, sibling)` distances against the aggregate of
+    /// `EMD(child, sibling)` distances.
+    #[default]
+    PaperSiblings,
+    /// Holistic variant (ablation): compare `unfairness(siblings ∪
+    /// {current})` against `unfairness(siblings ∪ children)`, i.e. include
+    /// child–child distances in the decision.
+    Holistic,
+}
+
+/// Counters describing the work a search performed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Nodes on which a split decision was evaluated.
+    pub nodes_evaluated: usize,
+    /// Splits actually performed.
+    pub splits_performed: usize,
+    /// Candidate (node, attribute) splits scored by `mostUnfair`.
+    pub candidate_splits: usize,
+}
+
+/// The result of a `QUANTIFY` run.
+#[derive(Debug, Clone)]
+pub struct QuantifyOutcome {
+    /// The partitioning tree, for display in panels.
+    pub tree: PartitioningTree,
+    /// The final full disjoint partitioning (the tree's leaves).
+    pub partitions: Vec<Partition>,
+    /// `unfairness(P, f)` of the final partitioning under the criterion.
+    pub unfairness: f64,
+    /// Work counters.
+    pub stats: SearchStats,
+    /// Wall-clock time of the search.
+    pub elapsed: Duration,
+}
+
+/// Configured `QUANTIFY` search.
+#[derive(Debug, Clone, Default)]
+pub struct Quantify {
+    criterion: FairnessCriterion,
+    split_eval: SplitEvaluation,
+    min_partition_size: usize,
+    max_depth: Option<usize>,
+}
+
+impl Quantify {
+    /// A search under `criterion` with the paper's split evaluation.
+    pub fn new(criterion: FairnessCriterion) -> Self {
+        Quantify {
+            criterion,
+            split_eval: SplitEvaluation::default(),
+            min_partition_size: 1,
+            max_depth: None,
+        }
+    }
+
+    /// The criterion this search optimizes.
+    pub fn criterion(&self) -> &FairnessCriterion {
+        &self.criterion
+    }
+
+    /// Selects the split-evaluation strategy (ablation hook).
+    pub fn with_split_evaluation(mut self, eval: SplitEvaluation) -> Self {
+        self.split_eval = eval;
+        self
+    }
+
+    /// Refuses splits that would create a partition smaller than `size`
+    /// (statistical-significance guard for interactive use; the paper's
+    /// algorithm corresponds to `size = 1`).
+    pub fn with_min_partition_size(mut self, size: usize) -> Self {
+        self.min_partition_size = size.max(1);
+        self
+    }
+
+    /// Caps the tree depth (i.e. the number of attributes any one partition
+    /// may be refined on).
+    pub fn with_max_depth(mut self, depth: usize) -> Self {
+        self.max_depth = Some(depth);
+        self
+    }
+
+    /// Runs on a table that exposes both protected and observed attributes,
+    /// resolving `source` into scores first.
+    pub fn run<T>(&self, table: &T, source: &ScoreSource) -> Result<QuantifyOutcome>
+    where
+        T: ObservedTable + ProtectedTable + ?Sized,
+    {
+        let scores = source.resolve(table)?;
+        let space = RankingSpace::new(table.protected_attributes(), scores)?;
+        self.run_space(&space)
+    }
+
+    /// Runs directly on a prepared ranking space.
+    pub fn run_space(&self, space: &RankingSpace) -> Result<QuantifyOutcome> {
+        if space.num_individuals() == 0 {
+            return Err(CoreError::EmptyInput);
+        }
+        let start = Instant::now();
+        let mut stats = SearchStats::default();
+        let root = Partition::root(space);
+        let mut tree = PartitioningTree::new(root.clone());
+
+        let all_attrs: Vec<usize> = (0..space.attributes().len()).collect();
+
+        // Initial invocation (§3.2): split the whole population on the most
+        // unfair attribute, then run QUANTIFY once per resulting partition.
+        let initial = self.most_unfair_attr(space, &root, &all_attrs, &mut stats)?;
+        let Some(first_attr) = initial else {
+            // Nothing splits the population: the trivial partitioning.
+            let partitions = vec![root];
+            let unfairness = self.criterion.unfairness(&partitions, space.scores())?;
+            return Ok(QuantifyOutcome {
+                tree,
+                partitions,
+                unfairness,
+                stats,
+                elapsed: start.elapsed(),
+            });
+        };
+
+        let children = root.split(space, first_attr);
+        let remaining: Vec<usize> =
+            all_attrs.iter().copied().filter(|&a| a != first_attr).collect();
+        let ids = tree.split_node(tree.root(), first_attr, children.clone());
+        stats.splits_performed += 1;
+
+        for (i, id) in ids.iter().enumerate() {
+            let siblings: Vec<Partition> = children
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| *j != i)
+                .map(|(_, p)| p.clone())
+                .collect();
+            self.quantify_rec(space, &mut tree, *id, &siblings, &remaining, 1, &mut stats)?;
+        }
+
+        let partitions = tree.leaf_partitions();
+        let unfairness = self.criterion.unfairness(&partitions, space.scores())?;
+        Ok(QuantifyOutcome {
+            tree,
+            partitions,
+            unfairness,
+            stats,
+            elapsed: start.elapsed(),
+        })
+    }
+
+    /// The recursive body of Algorithm 1.
+    #[allow(clippy::too_many_arguments)]
+    fn quantify_rec(
+        &self,
+        space: &RankingSpace,
+        tree: &mut PartitioningTree,
+        node_id: usize,
+        siblings: &[Partition],
+        avail: &[usize],
+        depth: usize,
+        stats: &mut SearchStats,
+    ) -> Result<()> {
+        // Line 1: no attributes left — the node is a final partition.
+        if avail.is_empty() {
+            return Ok(());
+        }
+        if self.max_depth.is_some_and(|d| depth >= d) {
+            return Ok(());
+        }
+        stats.nodes_evaluated += 1;
+        let current = tree.node(node_id).partition.clone();
+
+        // Line 5: the most unfair attribute.
+        let Some(attr) = self.most_unfair_attr(space, &current, avail, stats)? else {
+            return Ok(()); // no attribute splits this node
+        };
+        let children = current.split(space, attr);
+        debug_assert!(children.len() >= 2);
+
+        // Lines 4 & 8: aggregate distances of current-vs-siblings and
+        // children-vs-siblings.
+        let scores = space.scores();
+        let (current_val, children_val) = match self.split_eval {
+            SplitEvaluation::PaperSiblings => {
+                let cur = self.criterion.versus(&current, siblings, scores)?;
+                let hists_children: Vec<_> = children
+                    .iter()
+                    .map(|p| self.criterion.histogram(p, scores))
+                    .collect();
+                let hists_sib: Vec<_> = siblings
+                    .iter()
+                    .map(|p| self.criterion.histogram(p, scores))
+                    .collect();
+                let cross = crate::pairwise::cross_distances(
+                    &hists_children,
+                    &hists_sib,
+                    &self.criterion.emd,
+                )?;
+                (cur, self.criterion.aggregator.apply(&cross))
+            }
+            SplitEvaluation::Holistic => {
+                let mut before: Vec<Partition> = siblings.to_vec();
+                before.push(current.clone());
+                let mut after: Vec<Partition> = siblings.to_vec();
+                after.extend(children.iter().cloned());
+                (
+                    self.criterion.unfairness(&before, scores)?,
+                    self.criterion.unfairness(&after, scores)?,
+                )
+            }
+        };
+
+        // Line 9, generalized: keep the node unless replacing it by its
+        // children strictly improves the objective.
+        if !self.criterion.objective.is_better(children_val, current_val) {
+            return Ok(());
+        }
+
+        // Lines 12–14: split and recurse with the new sibling sets.
+        let remaining: Vec<usize> = avail.iter().copied().filter(|&a| a != attr).collect();
+        let ids = tree.split_node(node_id, attr, children.clone());
+        stats.splits_performed += 1;
+        for (i, id) in ids.iter().enumerate() {
+            let new_siblings: Vec<Partition> = children
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| *j != i)
+                .map(|(_, p)| p.clone())
+                .collect();
+            self.quantify_rec(space, tree, *id, &new_siblings, &remaining, depth + 1, stats)?;
+        }
+        Ok(())
+    }
+
+    /// `mostUnfair(current, f, A)`: the attribute whose split of `current`
+    /// optimizes the aggregated pairwise EMD among the resulting children.
+    /// Attributes producing fewer than two children (or any child below the
+    /// minimum size) are not candidates.
+    fn most_unfair_attr(
+        &self,
+        space: &RankingSpace,
+        current: &Partition,
+        avail: &[usize],
+        stats: &mut SearchStats,
+    ) -> Result<Option<usize>> {
+        let mut best: Option<(usize, f64)> = None;
+        for &attr in avail {
+            let children = current.split(space, attr);
+            if children.len() < 2 {
+                continue;
+            }
+            if children.iter().any(|c| c.len() < self.min_partition_size) {
+                continue;
+            }
+            stats.candidate_splits += 1;
+            let value = self.criterion.unfairness(&children, space.scores())?;
+            let better = match best {
+                None => true,
+                Some((_, incumbent)) => self.criterion.objective.is_better(value, incumbent),
+            };
+            if better {
+                best = Some((attr, value));
+            }
+        }
+        Ok(best.map(|(a, _)| a))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fairness::{Aggregator, Objective};
+    use crate::partition::is_full_disjoint;
+    use crate::space::ProtectedAttribute;
+
+    /// A space where gender cleanly separates scores and a second attribute
+    /// (shirt color) is pure noise.
+    fn biased_space() -> RankingSpace {
+        let n = 40;
+        let mut genders = Vec::new();
+        let mut colors = Vec::new();
+        let mut scores = Vec::new();
+        for i in 0..n {
+            let female = i % 2 == 0;
+            genders.push(if female { "F" } else { "M" });
+            colors.push(if i % 3 == 0 { "red" } else { "blue" });
+            // Females systematically score ~0.3 lower.
+            let base = 0.2 + (i % 5) as f64 * 0.02;
+            scores.push(if female { base } else { base + 0.55 });
+        }
+        RankingSpace::new(
+            vec![
+                ProtectedAttribute::from_values("gender", &genders),
+                ProtectedAttribute::from_values("color", &colors),
+            ],
+            scores,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn finds_the_biased_attribute_first() {
+        let space = biased_space();
+        let outcome = Quantify::default().run_space(&space).unwrap();
+        // The first split must be on gender (attribute 0).
+        let root = outcome.tree.node(outcome.tree.root());
+        assert_eq!(root.split_attr, Some(0));
+        // The mean pairwise EMD stays well above the noise floor even after
+        // further (color) refinements dilute the cross-gender pairs.
+        assert!(outcome.unfairness > 0.3, "u = {}", outcome.unfairness);
+        assert!(is_full_disjoint(
+            &outcome.partitions,
+            space.num_individuals()
+        ));
+    }
+
+    #[test]
+    fn partitions_are_always_full_and_disjoint() {
+        let space = biased_space();
+        for objective in [Objective::MostUnfair, Objective::LeastUnfair] {
+            for aggregator in Aggregator::all() {
+                let crit = FairnessCriterion::new(objective, aggregator);
+                let outcome = Quantify::new(crit).run_space(&space).unwrap();
+                assert!(
+                    is_full_disjoint(&outcome.partitions, space.num_individuals()),
+                    "{objective:?}/{aggregator:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn no_protected_attributes_yields_single_partition() {
+        let space = RankingSpace::new(vec![], vec![0.1, 0.9, 0.5]).unwrap();
+        let outcome = Quantify::default().run_space(&space).unwrap();
+        assert_eq!(outcome.partitions.len(), 1);
+        assert_eq!(outcome.unfairness, 0.0);
+        assert_eq!(outcome.stats.splits_performed, 0);
+    }
+
+    #[test]
+    fn constant_attribute_cannot_split() {
+        let attr = ProtectedAttribute::from_values("k", &["x", "x", "x"]);
+        let space = RankingSpace::new(vec![attr], vec![0.1, 0.5, 0.9]).unwrap();
+        let outcome = Quantify::default().run_space(&space).unwrap();
+        assert_eq!(outcome.partitions.len(), 1);
+    }
+
+    #[test]
+    fn uniform_scores_yield_zero_unfairness() {
+        let attr = ProtectedAttribute::from_values("g", &["a", "b", "a", "b"]);
+        let space = RankingSpace::new(vec![attr], vec![0.5, 0.5, 0.5, 0.5]).unwrap();
+        let outcome = Quantify::default().run_space(&space).unwrap();
+        assert!(outcome.unfairness.abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_partition_size_blocks_fine_splits() {
+        let space = biased_space();
+        // Gender split gives 20/20; color splits inside gender give smaller
+        // groups. A floor of 15 allows gender but may block color.
+        let outcome = Quantify::default()
+            .with_min_partition_size(15)
+            .run_space(&space)
+            .unwrap();
+        for p in &outcome.partitions {
+            assert!(p.len() >= 15);
+        }
+    }
+
+    #[test]
+    fn max_depth_caps_tree() {
+        let space = biased_space();
+        let outcome = Quantify::default()
+            .with_max_depth(1)
+            .run_space(&space)
+            .unwrap();
+        assert!(outcome.tree.max_depth() <= 1);
+        assert_eq!(outcome.partitions.len(), 2); // just the gender split
+    }
+
+    #[test]
+    fn holistic_evaluation_also_produces_valid_partitionings() {
+        let space = biased_space();
+        let outcome = Quantify::default()
+            .with_split_evaluation(SplitEvaluation::Holistic)
+            .run_space(&space)
+            .unwrap();
+        assert!(is_full_disjoint(
+            &outcome.partitions,
+            space.num_individuals()
+        ));
+    }
+
+    #[test]
+    fn least_unfair_objective_prefers_coarse_partitionings_on_biased_data() {
+        let space = biased_space();
+        let most = Quantify::new(FairnessCriterion::new(
+            Objective::MostUnfair,
+            Aggregator::Mean,
+        ))
+        .run_space(&space)
+        .unwrap();
+        let least = Quantify::new(FairnessCriterion::new(
+            Objective::LeastUnfair,
+            Aggregator::Mean,
+        ))
+        .run_space(&space)
+        .unwrap();
+        assert!(least.unfairness <= most.unfairness);
+    }
+
+    #[test]
+    fn stats_are_recorded() {
+        let space = biased_space();
+        let outcome = Quantify::default().run_space(&space).unwrap();
+        assert!(outcome.stats.candidate_splits >= 2);
+        assert!(outcome.stats.splits_performed >= 1);
+        assert!(outcome.elapsed.as_nanos() > 0);
+    }
+
+    #[test]
+    fn run_via_tables_matches_run_space() {
+        use crate::scoring::{ColumnsTable, LinearScoring};
+
+        struct Table {
+            obs: ColumnsTable,
+            genders: Vec<&'static str>,
+        }
+        impl ObservedTable for Table {
+            fn num_rows(&self) -> usize {
+                self.obs.num_rows()
+            }
+            fn observed_column(&self, name: &str) -> Option<&[f64]> {
+                self.obs.observed_column(name)
+            }
+            fn observed_names(&self) -> Vec<&str> {
+                self.obs.observed_names()
+            }
+        }
+        impl ProtectedTable for Table {
+            fn protected_attributes(&self) -> Vec<ProtectedAttribute> {
+                vec![ProtectedAttribute::from_values("gender", &self.genders)]
+            }
+        }
+
+        let table = Table {
+            obs: ColumnsTable::new().with_column("skill", vec![0.1, 0.9, 0.2, 0.8]),
+            genders: vec!["F", "M", "F", "M"],
+        };
+        let f = LinearScoring::builder()
+            .weight("skill", 1.0)
+            .build(&table.obs)
+            .unwrap();
+        let outcome = Quantify::default()
+            .run(&table, &ScoreSource::Function(f))
+            .unwrap();
+        assert_eq!(outcome.partitions.len(), 2);
+        assert!(outcome.unfairness > 0.5);
+    }
+}

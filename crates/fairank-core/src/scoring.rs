@@ -1,0 +1,456 @@
+//! Scoring functions and score sources.
+//!
+//! Definition 1 of the paper: a scoring function `f : W → [0, 1]` is a
+//! user-weighted linear combination of observed attributes,
+//! `f(w) = Σ αᵢ · bᵢ(w)`; a weight of zero drops an attribute. When the
+//! function is *not* transparent (the paper's "process transparency"
+//! setting), FaiRank instead consumes a ranking and "builds histograms
+//! using ranks of individuals rather than actual function scores" — here,
+//! ranks are normalized into `[0, 1]` pseudo-scores.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{CoreError, Result};
+
+/// A tabular source of *observed* (skill / performance) attributes.
+///
+/// Implemented by `fairank_data::Dataset`; kept as a trait so the core
+/// algorithm does not depend on any storage layer.
+pub trait ObservedTable {
+    /// Number of individuals (rows).
+    fn num_rows(&self) -> usize;
+    /// Contiguous numeric column for the observed attribute `name`, if it
+    /// exists and is observed.
+    fn observed_column(&self, name: &str) -> Option<&[f64]>;
+    /// Names of all observed attributes.
+    fn observed_names(&self) -> Vec<&str>;
+}
+
+/// A trivial [`ObservedTable`] over named `f64` columns; useful in tests and
+/// for standalone use of the core crate without the data substrate.
+#[derive(Debug, Clone, Default)]
+pub struct ColumnsTable {
+    columns: Vec<(String, Vec<f64>)>,
+}
+
+impl ColumnsTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a named column. All columns must have equal length (checked by
+    /// `ObservedTable::num_rows` consumers; the first column sets the size).
+    pub fn with_column(mut self, name: impl Into<String>, values: Vec<f64>) -> Self {
+        self.columns.push((name.into(), values));
+        self
+    }
+}
+
+impl ObservedTable for ColumnsTable {
+    fn num_rows(&self) -> usize {
+        self.columns.first().map_or(0, |(_, v)| v.len())
+    }
+    fn observed_column(&self, name: &str) -> Option<&[f64]> {
+        self.columns
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_slice())
+    }
+    fn observed_names(&self) -> Vec<&str> {
+        self.columns.iter().map(|(n, _)| n.as_str()).collect()
+    }
+}
+
+/// A linear scoring function `f(w) = Σ αᵢ · bᵢ(w)`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinearScoring {
+    terms: Vec<(String, f64)>,
+    clamp_to_unit: bool,
+}
+
+impl LinearScoring {
+    /// Starts building a linear scoring function.
+    pub fn builder() -> LinearScoringBuilder {
+        LinearScoringBuilder {
+            terms: Vec::new(),
+            clamp_to_unit: false,
+        }
+    }
+
+    /// The `(attribute, weight)` terms with non-zero weight.
+    pub fn terms(&self) -> &[(String, f64)] {
+        &self.terms
+    }
+
+    /// Returns a copy with one weight replaced (or added). The job-owner
+    /// scenario explores such variants interactively.
+    pub fn with_weight(&self, name: &str, weight: f64) -> Result<LinearScoring> {
+        let mut b = LinearScoring::builder();
+        let mut replaced = false;
+        for (n, w) in &self.terms {
+            if n == name {
+                b = b.weight(n.clone(), weight);
+                replaced = true;
+            } else {
+                b = b.weight(n.clone(), *w);
+            }
+        }
+        if !replaced {
+            b = b.weight(name, weight);
+        }
+        if self.clamp_to_unit {
+            b = b.clamp_to_unit();
+        }
+        b.build_unchecked()
+    }
+
+    /// Scores every row of `table`. Fails if a referenced attribute is
+    /// missing or a produced score is non-finite.
+    pub fn score_all<T: ObservedTable + ?Sized>(&self, table: &T) -> Result<Vec<f64>> {
+        let n = table.num_rows();
+        let mut columns = Vec::with_capacity(self.terms.len());
+        for (name, w) in &self.terms {
+            let col = table
+                .observed_column(name)
+                .ok_or_else(|| CoreError::UnknownObservedAttribute(name.clone()))?;
+            if col.len() != n {
+                return Err(CoreError::InvalidScoring(format!(
+                    "column {:?} has {} rows, table reports {}",
+                    name,
+                    col.len(),
+                    n
+                )));
+            }
+            columns.push((col, *w));
+        }
+        let mut scores = vec![0.0f64; n];
+        for (col, w) in &columns {
+            for (s, &v) in scores.iter_mut().zip(col.iter()) {
+                *s += w * v;
+            }
+        }
+        if self.clamp_to_unit {
+            for s in scores.iter_mut() {
+                *s = s.clamp(0.0, 1.0);
+            }
+        }
+        if let Some((row, &value)) = scores.iter().enumerate().find(|(_, v)| !v.is_finite()) {
+            return Err(CoreError::NonFiniteScore { row, value });
+        }
+        Ok(scores)
+    }
+}
+
+/// Builder for [`LinearScoring`].
+#[derive(Debug, Clone)]
+pub struct LinearScoringBuilder {
+    terms: Vec<(String, f64)>,
+    clamp_to_unit: bool,
+}
+
+impl LinearScoringBuilder {
+    /// Adds a weighted attribute. "A weight of zero indicates that the
+    /// corresponding attribute is not relevant" (Def. 1) — zero-weight terms
+    /// are dropped.
+    pub fn weight(mut self, name: impl Into<String>, weight: f64) -> Self {
+        let name = name.into();
+        self.terms.retain(|(n, _)| *n != name);
+        if weight != 0.0 {
+            self.terms.push((name, weight));
+        }
+        self
+    }
+
+    /// Clamp produced scores into `[0, 1]` (Definition 1's codomain) in case
+    /// weights overshoot the unit interval.
+    pub fn clamp_to_unit(mut self) -> Self {
+        self.clamp_to_unit = true;
+        self
+    }
+
+    /// Builds, validating the referenced attributes against `table`.
+    pub fn build<T: ObservedTable + ?Sized>(self, table: &T) -> Result<LinearScoring> {
+        for (name, w) in &self.terms {
+            if !w.is_finite() {
+                return Err(CoreError::InvalidScoring(format!(
+                    "weight for {name:?} is not finite"
+                )));
+            }
+            if table.observed_column(name).is_none() {
+                return Err(CoreError::UnknownObservedAttribute(name.clone()));
+            }
+        }
+        self.build_unchecked()
+    }
+
+    /// Builds without checking attribute names against a table.
+    pub fn build_unchecked(self) -> Result<LinearScoring> {
+        if self.terms.is_empty() {
+            return Err(CoreError::InvalidScoring(
+                "a scoring function needs at least one non-zero weight".into(),
+            ));
+        }
+        if let Some((name, _)) = self.terms.iter().find(|(_, w)| !w.is_finite()) {
+            return Err(CoreError::InvalidScoring(format!(
+                "weight for {name:?} is not finite"
+            )));
+        }
+        Ok(LinearScoring {
+            terms: self.terms,
+            clamp_to_unit: self.clamp_to_unit,
+        })
+    }
+}
+
+/// Where the per-individual scores come from — the paper's process
+/// transparency settings.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ScoreSource {
+    /// Transparent scoring function (Definition 1).
+    Function(LinearScoring),
+    /// Raw scores provided directly (e.g. replayed from a platform).
+    Scores(Vec<f64>),
+    /// Function-opaque setting: only a ranking is available.
+    /// `ranking[k]` is the row index of the individual at rank `k`
+    /// (rank 0 = best). Converted to pseudo-scores `1 − rank/(n−1)`.
+    Ranking(Vec<u32>),
+}
+
+impl From<LinearScoring> for ScoreSource {
+    fn from(f: LinearScoring) -> Self {
+        ScoreSource::Function(f)
+    }
+}
+
+impl ScoreSource {
+    /// True when the actual scoring function is visible (affects which
+    /// histogram range is meaningful).
+    pub fn is_transparent(&self) -> bool {
+        matches!(self, ScoreSource::Function(_) | ScoreSource::Scores(_))
+    }
+
+    /// Resolves to one finite score per row of `table`.
+    pub fn resolve<T: ObservedTable + ?Sized>(&self, table: &T) -> Result<Vec<f64>> {
+        match self {
+            ScoreSource::Function(f) => f.score_all(table),
+            ScoreSource::Scores(scores) => {
+                if scores.len() != table.num_rows() {
+                    return Err(CoreError::InvalidScoring(format!(
+                        "{} provided scores for {} rows",
+                        scores.len(),
+                        table.num_rows()
+                    )));
+                }
+                if let Some((row, &value)) =
+                    scores.iter().enumerate().find(|(_, v)| !v.is_finite())
+                {
+                    return Err(CoreError::NonFiniteScore { row, value });
+                }
+                Ok(scores.clone())
+            }
+            ScoreSource::Ranking(ranking) => {
+                ranking_to_scores(ranking, table.num_rows())
+            }
+        }
+    }
+}
+
+/// Converts a ranking (permutation of row indices, best first) into
+/// normalized pseudo-scores in `[0, 1]`: the top-ranked individual scores 1,
+/// the bottom-ranked scores 0, with equal spacing in between.
+pub fn ranking_to_scores(ranking: &[u32], num_rows: usize) -> Result<Vec<f64>> {
+    if ranking.len() != num_rows {
+        return Err(CoreError::InvalidScoring(format!(
+            "ranking has {} entries for {} rows",
+            ranking.len(),
+            num_rows
+        )));
+    }
+    if num_rows == 0 {
+        return Err(CoreError::EmptyInput);
+    }
+    let mut seen = vec![false; num_rows];
+    for &r in ranking {
+        let idx = r as usize;
+        if idx >= num_rows {
+            return Err(CoreError::InvalidScoring(format!(
+                "ranking references row {idx} but there are only {num_rows} rows"
+            )));
+        }
+        if seen[idx] {
+            return Err(CoreError::InvalidScoring(format!(
+                "ranking mentions row {idx} twice"
+            )));
+        }
+        seen[idx] = true;
+    }
+    let mut scores = vec![0.0f64; num_rows];
+    if num_rows == 1 {
+        scores[ranking[0] as usize] = 1.0;
+        return Ok(scores);
+    }
+    let denom = (num_rows - 1) as f64;
+    for (rank, &row) in ranking.iter().enumerate() {
+        scores[row as usize] = 1.0 - rank as f64 / denom;
+    }
+    Ok(scores)
+}
+
+/// Converts scores into a ranking (best = highest score first). Ties break
+/// by row index so the ranking is deterministic.
+pub fn scores_to_ranking(scores: &[f64]) -> Vec<u32> {
+    let mut order: Vec<u32> = (0..scores.len() as u32).collect();
+    order.sort_by(|&a, &b| {
+        scores[b as usize]
+            .partial_cmp(&scores[a as usize])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> ColumnsTable {
+        ColumnsTable::new()
+            .with_column("language_test", vec![0.50, 0.89, 0.65])
+            .with_column("rating", vec![0.20, 0.92, 0.65])
+    }
+
+    #[test]
+    fn linear_scoring_matches_paper_table1_rows() {
+        // f = 0.3 * language_test + 0.7 * rating reproduces the published
+        // f(w) column of Table 1 (rows w1, w2, w3 here).
+        let f = LinearScoring::builder()
+            .weight("language_test", 0.3)
+            .weight("rating", 0.7)
+            .build(&table())
+            .unwrap();
+        let scores = f.score_all(&table()).unwrap();
+        let expect = [0.29, 0.911, 0.65];
+        for (s, e) in scores.iter().zip(expect) {
+            assert!((s - e).abs() < 1e-9, "{s} vs {e}");
+        }
+    }
+
+    #[test]
+    fn zero_weights_are_dropped() {
+        let f = LinearScoring::builder()
+            .weight("language_test", 0.0)
+            .weight("rating", 1.0)
+            .build(&table())
+            .unwrap();
+        assert_eq!(f.terms().len(), 1);
+        assert_eq!(f.terms()[0].0, "rating");
+    }
+
+    #[test]
+    fn repeated_weight_replaces_previous() {
+        let f = LinearScoring::builder()
+            .weight("rating", 0.2)
+            .weight("rating", 0.9)
+            .build(&table())
+            .unwrap();
+        assert_eq!(f.terms(), &[("rating".to_string(), 0.9)]);
+    }
+
+    #[test]
+    fn builder_rejects_unknown_attribute_and_empty() {
+        let err = LinearScoring::builder()
+            .weight("charisma", 1.0)
+            .build(&table())
+            .unwrap_err();
+        assert_eq!(err, CoreError::UnknownObservedAttribute("charisma".into()));
+        assert!(LinearScoring::builder().build(&table()).is_err());
+        assert!(LinearScoring::builder()
+            .weight("rating", f64::NAN)
+            .build_unchecked()
+            .is_err());
+    }
+
+    #[test]
+    fn clamping_keeps_unit_codomain() {
+        let f = LinearScoring::builder()
+            .weight("rating", 5.0)
+            .clamp_to_unit()
+            .build(&table())
+            .unwrap();
+        let scores = f.score_all(&table()).unwrap();
+        assert!(scores.iter().all(|s| (0.0..=1.0).contains(s)));
+        assert_eq!(scores[1], 1.0);
+    }
+
+    #[test]
+    fn with_weight_creates_variant() {
+        let f = LinearScoring::builder()
+            .weight("language_test", 0.3)
+            .weight("rating", 0.7)
+            .build(&table())
+            .unwrap();
+        let g = f.with_weight("rating", 0.1).unwrap();
+        assert_eq!(
+            g.terms(),
+            &[
+                ("language_test".to_string(), 0.3),
+                ("rating".to_string(), 0.1)
+            ]
+        );
+        // Setting a new attribute appends it.
+        let h = f.with_weight("experience", 0.5).unwrap();
+        assert_eq!(h.terms().len(), 3);
+        // Original is untouched.
+        assert_eq!(f.terms().len(), 2);
+    }
+
+    #[test]
+    fn score_source_scores_validates_length_and_finiteness() {
+        let t = table();
+        assert!(ScoreSource::Scores(vec![0.1, 0.2, 0.3]).resolve(&t).is_ok());
+        assert!(ScoreSource::Scores(vec![0.1]).resolve(&t).is_err());
+        assert!(ScoreSource::Scores(vec![0.1, f64::INFINITY, 0.3])
+            .resolve(&t)
+            .is_err());
+    }
+
+    #[test]
+    fn ranking_resolves_to_normalized_pseudo_scores() {
+        let t = table();
+        // Row 1 best, row 0 middle, row 2 worst.
+        let scores = ScoreSource::Ranking(vec![1, 0, 2]).resolve(&t).unwrap();
+        assert_eq!(scores, vec![0.5, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn ranking_validation() {
+        assert!(ranking_to_scores(&[0, 0], 2).is_err()); // duplicate
+        assert!(ranking_to_scores(&[0, 5], 2).is_err()); // out of range
+        assert!(ranking_to_scores(&[0], 2).is_err()); // wrong length
+        assert_eq!(ranking_to_scores(&[0], 1).unwrap(), vec![1.0]);
+    }
+
+    #[test]
+    fn scores_to_ranking_round_trips() {
+        let scores = [0.3, 0.9, 0.1, 0.5];
+        let ranking = scores_to_ranking(&scores);
+        assert_eq!(ranking, vec![1, 3, 0, 2]);
+        let pseudo = ranking_to_scores(&ranking, 4).unwrap();
+        // Pseudo-scores preserve the order of the original scores.
+        let reranked = scores_to_ranking(&pseudo);
+        assert_eq!(reranked, ranking);
+    }
+
+    #[test]
+    fn scores_to_ranking_breaks_ties_by_row() {
+        let ranking = scores_to_ranking(&[0.5, 0.5, 0.5]);
+        assert_eq!(ranking, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn is_transparent_flags() {
+        assert!(ScoreSource::Scores(vec![]).is_transparent());
+        assert!(!ScoreSource::Ranking(vec![]).is_transparent());
+    }
+}

@@ -1,0 +1,288 @@
+//! The *ranking space*: individuals, their protected attributes, and their
+//! scores — the exact input of the paper's Definition 1.
+//!
+//! Protected attributes are categorical. Each attribute stores one
+//! dictionary-encoded code per individual plus the code → label mapping.
+//! Numeric protected attributes (e.g. *Year of Birth*) are discretized by the
+//! data substrate before they reach this crate.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{CoreError, Result};
+
+/// A single protected attribute over all individuals, dictionary-encoded.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProtectedAttribute {
+    /// Attribute name, e.g. `"gender"`.
+    pub name: String,
+    /// Per-individual value code; `codes[i]` indexes into `labels`.
+    pub codes: Vec<u32>,
+    /// Human-readable value labels; `labels[c]` is the value with code `c`.
+    pub labels: Vec<String>,
+}
+
+impl ProtectedAttribute {
+    /// Builds an attribute from raw string values, dictionary-encoding them
+    /// in first-appearance order.
+    pub fn from_values<S: AsRef<str>>(name: impl Into<String>, values: &[S]) -> Self {
+        let mut labels: Vec<String> = Vec::new();
+        let mut codes = Vec::with_capacity(values.len());
+        for v in values {
+            let v = v.as_ref();
+            let code = match labels.iter().position(|l| l == v) {
+                Some(idx) => idx as u32,
+                None => {
+                    labels.push(v.to_string());
+                    (labels.len() - 1) as u32
+                }
+            };
+            codes.push(code);
+        }
+        ProtectedAttribute {
+            name: name.into(),
+            codes,
+            labels,
+        }
+    }
+
+    /// Number of distinct values this attribute can take.
+    pub fn cardinality(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Label for a given code, if the code is in range.
+    pub fn label(&self, code: u32) -> Option<&str> {
+        self.labels.get(code as usize).map(String::as_str)
+    }
+
+    /// Distinct codes present among the given rows, in ascending order.
+    pub fn distinct_codes(&self, rows: &[u32]) -> Vec<u32> {
+        let mut seen = vec![false; self.labels.len()];
+        for &r in rows {
+            if let Some(&c) = self.codes.get(r as usize) {
+                seen[c as usize] = true;
+            }
+        }
+        seen.iter()
+            .enumerate()
+            .filter_map(|(c, &s)| s.then_some(c as u32))
+            .collect()
+    }
+
+    fn validate(&self, expected_rows: usize) -> Result<()> {
+        if self.codes.len() != expected_rows {
+            return Err(CoreError::InvalidSpace(format!(
+                "attribute {:?} has {} codes but the space has {} individuals",
+                self.name,
+                self.codes.len(),
+                expected_rows
+            )));
+        }
+        if let Some(&bad) = self.codes.iter().find(|&&c| c as usize >= self.labels.len()) {
+            return Err(CoreError::InvalidSpace(format!(
+                "attribute {:?} contains code {} but only {} labels",
+                self.name,
+                bad,
+                self.labels.len()
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// A tabular source of *protected* attributes, dictionary-encoded.
+///
+/// Implemented by `fairank_data::Dataset`; the core algorithms accept any
+/// implementor, keeping this crate free of storage concerns.
+pub trait ProtectedTable {
+    /// Materializes every protected attribute with one code per row.
+    fn protected_attributes(&self) -> Vec<ProtectedAttribute>;
+}
+
+/// Individuals, their protected attributes, and one score per individual —
+/// "the ranking space, i.e., individuals and their scores" (paper §1).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RankingSpace {
+    attributes: Vec<ProtectedAttribute>,
+    scores: Vec<f64>,
+}
+
+impl RankingSpace {
+    /// Creates a validated ranking space.
+    ///
+    /// Every attribute must carry exactly one code per score, codes must be
+    /// within their label tables, and all scores must be finite.
+    pub fn new(attributes: Vec<ProtectedAttribute>, scores: Vec<f64>) -> Result<Self> {
+        if scores.is_empty() {
+            return Err(CoreError::EmptyInput);
+        }
+        for attr in &attributes {
+            attr.validate(scores.len())?;
+        }
+        if let Some((row, &value)) = scores.iter().enumerate().find(|(_, v)| !v.is_finite()) {
+            return Err(CoreError::NonFiniteScore { row, value });
+        }
+        Ok(RankingSpace { attributes, scores })
+    }
+
+    /// Number of individuals.
+    pub fn num_individuals(&self) -> usize {
+        self.scores.len()
+    }
+
+    /// All protected attributes.
+    pub fn attributes(&self) -> &[ProtectedAttribute] {
+        &self.attributes
+    }
+
+    /// Attribute at `idx`.
+    pub fn attribute(&self, idx: usize) -> Option<&ProtectedAttribute> {
+        self.attributes.get(idx)
+    }
+
+    /// Index of the attribute with the given name.
+    pub fn attribute_index(&self, name: &str) -> Option<usize> {
+        self.attributes.iter().position(|a| a.name == name)
+    }
+
+    /// The score of every individual, aligned with attribute codes.
+    pub fn scores(&self) -> &[f64] {
+        &self.scores
+    }
+
+    /// Observed score range `(min, max)`.
+    pub fn score_range(&self) -> (f64, f64) {
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for &s in &self.scores {
+            lo = lo.min(s);
+            hi = hi.max(s);
+        }
+        (lo, hi)
+    }
+
+    /// Row indices of all individuals: `0..n`.
+    pub fn all_rows(&self) -> Vec<u32> {
+        (0..self.scores.len() as u32).collect()
+    }
+
+    /// Restricts the space to the given rows, producing a new, re-indexed
+    /// space (used by protected-attribute filters).
+    pub fn select(&self, rows: &[u32]) -> Result<Self> {
+        if rows.is_empty() {
+            return Err(CoreError::EmptyInput);
+        }
+        if let Some(&bad) = rows.iter().find(|&&r| r as usize >= self.scores.len()) {
+            return Err(CoreError::InvalidSpace(format!(
+                "row {} out of bounds for {} individuals",
+                bad,
+                self.scores.len()
+            )));
+        }
+        let attributes = self
+            .attributes
+            .iter()
+            .map(|a| ProtectedAttribute {
+                name: a.name.clone(),
+                codes: rows.iter().map(|&r| a.codes[r as usize]).collect(),
+                labels: a.labels.clone(),
+            })
+            .collect();
+        let scores = rows.iter().map(|&r| self.scores[r as usize]).collect();
+        RankingSpace::new(attributes, scores)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gender() -> ProtectedAttribute {
+        ProtectedAttribute::from_values("gender", &["F", "M", "M", "F", "M"])
+    }
+
+    #[test]
+    fn dictionary_encoding_preserves_first_appearance_order() {
+        let attr = gender();
+        assert_eq!(attr.labels, vec!["F".to_string(), "M".to_string()]);
+        assert_eq!(attr.codes, vec![0, 1, 1, 0, 1]);
+        assert_eq!(attr.cardinality(), 2);
+        assert_eq!(attr.label(0), Some("F"));
+        assert_eq!(attr.label(2), None);
+    }
+
+    #[test]
+    fn distinct_codes_respects_row_subset() {
+        let attr = gender();
+        assert_eq!(attr.distinct_codes(&[0, 3]), vec![0]);
+        assert_eq!(attr.distinct_codes(&[1, 2]), vec![1]);
+        assert_eq!(attr.distinct_codes(&[0, 1, 2, 3, 4]), vec![0, 1]);
+        assert_eq!(attr.distinct_codes(&[]), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn space_validation_catches_length_mismatch() {
+        let err = RankingSpace::new(vec![gender()], vec![0.1, 0.2]).unwrap_err();
+        assert!(matches!(err, CoreError::InvalidSpace(_)));
+    }
+
+    #[test]
+    fn space_validation_catches_bad_codes() {
+        let attr = ProtectedAttribute {
+            name: "broken".into(),
+            codes: vec![0, 9],
+            labels: vec!["a".into()],
+        };
+        let err = RankingSpace::new(vec![attr], vec![0.1, 0.2]).unwrap_err();
+        assert!(matches!(err, CoreError::InvalidSpace(_)));
+    }
+
+    #[test]
+    fn space_validation_rejects_non_finite_scores() {
+        let err = RankingSpace::new(vec![], vec![0.5, f64::NAN]).unwrap_err();
+        // NaN is not equal to itself, so match structurally.
+        assert!(matches!(err, CoreError::NonFiniteScore { row: 1, .. }));
+    }
+
+    #[test]
+    fn space_validation_rejects_empty() {
+        assert_eq!(
+            RankingSpace::new(vec![], vec![]).unwrap_err(),
+            CoreError::EmptyInput
+        );
+    }
+
+    #[test]
+    fn score_range_spans_min_and_max() {
+        let space = RankingSpace::new(vec![], vec![0.4, 0.1, 0.9]).unwrap();
+        assert_eq!(space.score_range(), (0.1, 0.9));
+    }
+
+    #[test]
+    fn select_reindexes_rows() {
+        let space =
+            RankingSpace::new(vec![gender()], vec![0.1, 0.2, 0.3, 0.4, 0.5]).unwrap();
+        let sub = space.select(&[1, 4]).unwrap();
+        assert_eq!(sub.num_individuals(), 2);
+        assert_eq!(sub.scores(), &[0.2, 0.5]);
+        assert_eq!(sub.attributes()[0].codes, vec![1, 1]);
+        // Labels survive even if a value disappears from the selection.
+        assert_eq!(sub.attributes()[0].labels.len(), 2);
+    }
+
+    #[test]
+    fn select_rejects_out_of_bounds_and_empty() {
+        let space = RankingSpace::new(vec![], vec![0.1, 0.2]).unwrap();
+        assert!(space.select(&[5]).is_err());
+        assert_eq!(space.select(&[]).unwrap_err(), CoreError::EmptyInput);
+    }
+
+    #[test]
+    fn attribute_lookup_by_name() {
+        let space = RankingSpace::new(vec![gender()], vec![0.0; 5]).unwrap();
+        assert_eq!(space.attribute_index("gender"), Some(0));
+        assert_eq!(space.attribute_index("age"), None);
+        assert!(space.attribute(0).is_some());
+        assert!(space.attribute(1).is_none());
+    }
+}

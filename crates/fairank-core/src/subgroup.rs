@@ -1,0 +1,200 @@
+//! Subgroup lattice utilities.
+//!
+//! FaiRank "extends prior work to examine groups of people defined by any
+//! combination of protected attributes (the so-called subgroup fairness)"
+//! (§1, citing Kearns et al.). This module enumerates the subgroups — all
+//! conjunctions of `attribute = value` constraints — and scores how each is
+//! treated relative to the rest of the population. The auditor report uses
+//! it to name the most/least favored demographics for a job.
+
+use serde::{Deserialize, Serialize};
+
+use crate::emd::Emd;
+use crate::error::Result;
+use crate::fairness::FairnessCriterion;
+use crate::histogram::Histogram;
+use crate::partition::{Partition, PathStep};
+use crate::space::RankingSpace;
+
+/// A subgroup with its divergence statistics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SubgroupStats {
+    /// The constraints defining this subgroup.
+    pub steps: Vec<PathStep>,
+    /// Human-readable label (e.g. `gender=F ∧ language=en`).
+    pub label: String,
+    /// Number of members.
+    pub size: usize,
+    /// Mean score of the subgroup.
+    pub mean_score: f64,
+    /// Mean score of everyone else (the complement).
+    pub complement_mean: f64,
+    /// EMD between the subgroup's histogram and its complement's.
+    pub divergence: f64,
+    /// `mean_score − complement_mean`: positive means favored.
+    pub advantage: f64,
+}
+
+/// Enumerates all non-empty subgroups of `space` defined by conjunctions of
+/// at most `max_depth` protected-attribute constraints (attributes in
+/// ascending index order, so each subgroup is produced exactly once).
+pub fn enumerate_subgroups(space: &RankingSpace, max_depth: usize) -> Vec<Partition> {
+    let mut out = Vec::new();
+    let root = Partition::root(space);
+    let n_attrs = space.attributes().len();
+    let mut stack: Vec<(Partition, usize)> = vec![(root, 0)];
+    while let Some((part, next_attr)) = stack.pop() {
+        if part.path.len() >= max_depth {
+            continue;
+        }
+        for attr in next_attr..n_attrs {
+            for child in part.split(space, attr) {
+                stack.push((child.clone(), attr + 1));
+                out.push(child);
+            }
+        }
+    }
+    out
+}
+
+/// Computes divergence statistics for every subgroup up to `max_depth`
+/// constraints. Subgroups smaller than `min_size` (or with an empty
+/// complement) are skipped.
+pub fn subgroup_stats(
+    space: &RankingSpace,
+    criterion: &FairnessCriterion,
+    max_depth: usize,
+    min_size: usize,
+) -> Result<Vec<SubgroupStats>> {
+    let scores = space.scores();
+    let n = space.num_individuals();
+    let global_sum: f64 = scores.iter().sum();
+    let mut out = Vec::new();
+    for part in enumerate_subgroups(space, max_depth) {
+        if part.len() < min_size.max(1) || part.len() == n {
+            continue;
+        }
+        let in_group = &part.rows;
+        let mut member = vec![false; n];
+        for &r in in_group {
+            member[r as usize] = true;
+        }
+        let comp_rows: Vec<u32> =
+            (0..n as u32).filter(|&r| !member[r as usize]).collect();
+        let group_sum: f64 = part.scores(scores).sum();
+        let mean_score = group_sum / part.len() as f64;
+        let complement_mean = (global_sum - group_sum) / comp_rows.len() as f64;
+        let h_group = criterion.histogram(&part, scores);
+        let h_comp = Histogram::from_rows(criterion.hist, scores, &comp_rows);
+        let divergence = divergence_emd(&criterion.emd, &h_group, &h_comp)?;
+        out.push(SubgroupStats {
+            label: part.label(space),
+            steps: part.path.clone(),
+            size: part.len(),
+            mean_score,
+            complement_mean,
+            divergence,
+            advantage: mean_score - complement_mean,
+        });
+    }
+    Ok(out)
+}
+
+fn divergence_emd(emd: &Emd, a: &Histogram, b: &Histogram) -> Result<f64> {
+    emd.distance(a, b)
+}
+
+/// The `k` most favored subgroups (largest positive advantage first).
+pub fn most_favored(stats: &[SubgroupStats], k: usize) -> Vec<&SubgroupStats> {
+    let mut sorted: Vec<&SubgroupStats> = stats.iter().collect();
+    sorted.sort_by(|a, b| {
+        b.advantage
+            .partial_cmp(&a.advantage)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    sorted.into_iter().take(k).collect()
+}
+
+/// The `k` least favored subgroups (most negative advantage first).
+pub fn least_favored(stats: &[SubgroupStats], k: usize) -> Vec<&SubgroupStats> {
+    let mut sorted: Vec<&SubgroupStats> = stats.iter().collect();
+    sorted.sort_by(|a, b| {
+        a.advantage
+            .partial_cmp(&b.advantage)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    sorted.into_iter().take(k).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::ProtectedAttribute;
+
+    fn space() -> RankingSpace {
+        let gender = ProtectedAttribute::from_values("g", &["F", "M", "F", "M"]);
+        let lang = ProtectedAttribute::from_values("l", &["en", "en", "fr", "fr"]);
+        RankingSpace::new(vec![gender, lang], vec![0.1, 0.9, 0.2, 0.8]).unwrap()
+    }
+
+    #[test]
+    fn enumeration_counts_match_lattice() {
+        let s = space();
+        // Depth 1: g∈{F,M}, l∈{en,fr} → 4 subgroups.
+        let d1 = enumerate_subgroups(&s, 1);
+        assert_eq!(d1.len(), 4);
+        // Depth 2 adds g×l combos: F-en, F-fr, M-en, M-fr → 8 total.
+        let d2 = enumerate_subgroups(&s, 2);
+        assert_eq!(d2.len(), 8);
+        // No duplicates.
+        let mut labels: Vec<String> = d2.iter().map(|p| p.label(&s)).collect();
+        labels.sort();
+        labels.dedup();
+        assert_eq!(labels.len(), 8);
+    }
+
+    #[test]
+    fn depth_zero_enumerates_nothing() {
+        assert!(enumerate_subgroups(&space(), 0).is_empty());
+    }
+
+    #[test]
+    fn stats_identify_disadvantaged_group() {
+        let s = space();
+        let stats = subgroup_stats(&s, &FairnessCriterion::default(), 2, 1).unwrap();
+        let worst = least_favored(&stats, 1)[0];
+        // Females score 0.1/0.2 vs males 0.9/0.8 — a female subgroup must be
+        // least favored.
+        assert!(worst.label.contains("g=F"), "got {}", worst.label);
+        assert!(worst.advantage < 0.0);
+        let best = most_favored(&stats, 1)[0];
+        assert!(best.label.contains("g=M"));
+        assert!(best.advantage > 0.0);
+    }
+
+    #[test]
+    fn min_size_filters_small_subgroups() {
+        let s = space();
+        let stats = subgroup_stats(&s, &FairnessCriterion::default(), 2, 2).unwrap();
+        assert!(stats.iter().all(|st| st.size >= 2));
+        // Depth-2 subgroups are singletons here, so only depth-1 survive.
+        assert_eq!(stats.len(), 4);
+    }
+
+    #[test]
+    fn divergence_is_positive_for_separated_groups() {
+        let s = space();
+        let stats = subgroup_stats(&s, &FairnessCriterion::default(), 1, 1).unwrap();
+        let f = stats.iter().find(|st| st.label == "g=F").unwrap();
+        assert!(f.divergence > 0.5);
+    }
+
+    #[test]
+    fn advantage_and_means_are_consistent() {
+        let s = space();
+        let stats = subgroup_stats(&s, &FairnessCriterion::default(), 1, 1).unwrap();
+        for st in &stats {
+            assert!((st.advantage - (st.mean_score - st.complement_mean)).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,446 @@
+//! From-scratch CSV reader/writer (RFC 4180 subset) with type inference.
+//!
+//! FaiRank datasets are "selected or uploaded" by users (§2); CSV is the
+//! upload format. The reader supports quoted fields, embedded quotes
+//! (`""`), embedded separators and newlines inside quotes, and both LF and
+//! CRLF line endings. Column types are inferred (integer → float → string)
+//! and roles are assigned via [`CsvOptions`] with a sensible default:
+//! numeric columns become observed, string columns become protected.
+
+use std::collections::HashMap;
+use std::path::Path;
+
+use crate::dataset::Dataset;
+use crate::error::{DataError, Result};
+use crate::schema::AttributeRole;
+
+/// Options controlling CSV ingestion.
+#[derive(Debug, Clone, Default)]
+pub struct CsvOptions {
+    /// Explicit role per column name; unlisted columns get the default
+    /// (numeric → observed, string → protected).
+    pub roles: HashMap<String, AttributeRole>,
+    /// Field separator (default `,`).
+    pub separator: Option<char>,
+}
+
+impl CsvOptions {
+    /// Assigns a role to a column.
+    pub fn role(mut self, column: impl Into<String>, role: AttributeRole) -> Self {
+        self.roles.insert(column.into(), role);
+        self
+    }
+
+    /// Uses a non-comma separator (e.g. `;` or `\t`).
+    pub fn separator(mut self, sep: char) -> Self {
+        self.separator = Some(sep);
+        self
+    }
+}
+
+/// Parses CSV text into a dataset. The first record is the header.
+///
+/// Header fields may carry inline role annotations in the form
+/// `name:role` (e.g. `gender:protected`, `rating:observed`, `id:meta`);
+/// explicit [`CsvOptions::roles`] entries override annotations.
+pub fn read_csv_str(text: &str, options: &CsvOptions) -> Result<Dataset> {
+    let sep = options.separator.unwrap_or(',');
+    let records = parse_records(text, sep)?;
+    let mut iter = records.into_iter();
+    let raw_header = iter.next().ok_or(DataError::Csv {
+        line: 0,
+        message: "input is empty (missing header)".into(),
+    })?;
+    // Split `name:role` annotations off the header.
+    let mut header = Vec::with_capacity(raw_header.len());
+    let mut annotated: HashMap<String, AttributeRole> = HashMap::new();
+    for field in raw_header {
+        match field.rsplit_once(':') {
+            Some((name, role_str)) if AttributeRole::parse(role_str).is_some() => {
+                annotated.insert(
+                    name.to_string(),
+                    AttributeRole::parse(role_str).expect("checked"),
+                );
+                header.push(name.to_string());
+            }
+            _ => header.push(field),
+        }
+    }
+    let ncols = header.len();
+    let mut cells: Vec<Vec<String>> = vec![Vec::new(); ncols];
+    for (i, record) in iter.enumerate() {
+        if record.len() != ncols {
+            return Err(DataError::Csv {
+                line: i + 2,
+                message: format!("expected {ncols} fields, found {}", record.len()),
+            });
+        }
+        for (col, value) in cells.iter_mut().zip(record) {
+            col.push(value);
+        }
+    }
+
+    let mut builder = Dataset::builder();
+    for (name, values) in header.iter().zip(cells) {
+        let inferred = infer_type(&values);
+        let role = options
+            .roles
+            .get(name)
+            .or_else(|| annotated.get(name))
+            .copied()
+            .unwrap_or(match inferred {
+                Inferred::Integer | Inferred::Float => AttributeRole::Observed,
+                Inferred::Text => AttributeRole::Protected,
+            });
+        // A protected numeric column stays integer when possible (so it can
+        // be partitioned on); observed columns become floats.
+        builder = match (inferred, role) {
+            (Inferred::Integer, _) => builder.integer(
+                name.clone(),
+                role,
+                values.iter().map(|v| v.trim().parse().unwrap()).collect(),
+            ),
+            (Inferred::Float, AttributeRole::Protected) => {
+                return Err(DataError::Csv {
+                    line: 1,
+                    message: format!(
+                        "column {name:?} is fractional; protected attributes must be \
+                         categorical or integer (discretize after loading)"
+                    ),
+                })
+            }
+            (Inferred::Float, _) => builder.float(
+                name.clone(),
+                role,
+                values.iter().map(|v| v.trim().parse().unwrap()).collect(),
+            ),
+            (Inferred::Text, AttributeRole::Observed) => {
+                return Err(DataError::Csv {
+                    line: 1,
+                    message: format!("column {name:?} is textual; observed must be numeric"),
+                })
+            }
+            (Inferred::Text, _) => builder.categorical(name.clone(), role, &values),
+        };
+    }
+    builder.build()
+}
+
+/// Reads a CSV file from disk.
+pub fn read_csv_file(path: impl AsRef<Path>, options: &CsvOptions) -> Result<Dataset> {
+    let text = std::fs::read_to_string(path)?;
+    read_csv_str(&text, options)
+}
+
+/// Serializes a dataset as CSV (header + one record per row). Fields
+/// containing the separator, quotes or newlines are quoted.
+pub fn write_csv_string(dataset: &Dataset) -> String {
+    let sep = ',';
+    let mut out = String::new();
+    let names: Vec<&str> = dataset
+        .columns()
+        .iter()
+        .map(|c| c.name.as_str())
+        .collect();
+    push_record(&mut out, &names, sep);
+    for r in 0..dataset.num_rows() {
+        let fields: Vec<String> = dataset
+            .columns()
+            .iter()
+            .map(|c| c.data.render(r))
+            .collect();
+        let refs: Vec<&str> = fields.iter().map(String::as_str).collect();
+        push_record(&mut out, &refs, sep);
+    }
+    out
+}
+
+/// Writes a dataset to a CSV file.
+pub fn write_csv_file(dataset: &Dataset, path: impl AsRef<Path>) -> Result<()> {
+    std::fs::write(path, write_csv_string(dataset))?;
+    Ok(())
+}
+
+fn push_record(out: &mut String, fields: &[&str], sep: char) {
+    for (i, f) in fields.iter().enumerate() {
+        if i > 0 {
+            out.push(sep);
+        }
+        if f.contains(sep) || f.contains('"') || f.contains('\n') || f.contains('\r') {
+            out.push('"');
+            out.push_str(&f.replace('"', "\"\""));
+            out.push('"');
+        } else {
+            out.push_str(f);
+        }
+    }
+    out.push('\n');
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Inferred {
+    Integer,
+    Float,
+    Text,
+}
+
+fn infer_type(values: &[String]) -> Inferred {
+    let mut kind = Inferred::Integer;
+    for v in values {
+        let t = v.trim();
+        if kind == Inferred::Integer && t.parse::<i64>().is_err() {
+            kind = Inferred::Float;
+        }
+        if kind == Inferred::Float && t.parse::<f64>().is_err() {
+            return Inferred::Text;
+        }
+    }
+    if values.is_empty() {
+        Inferred::Text
+    } else {
+        kind
+    }
+}
+
+/// State machine over characters; handles quotes per RFC 4180.
+fn parse_records(text: &str, sep: char) -> Result<Vec<Vec<String>>> {
+    let mut records = Vec::new();
+    let mut record: Vec<String> = Vec::new();
+    let mut field = String::new();
+    let mut in_quotes = false;
+    let mut line = 1usize;
+    let mut chars = text.chars().peekable();
+    let mut saw_any = false;
+
+    while let Some(ch) = chars.next() {
+        saw_any = true;
+        if in_quotes {
+            match ch {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                '\n' => {
+                    line += 1;
+                    field.push(ch);
+                }
+                _ => field.push(ch),
+            }
+            continue;
+        }
+        match ch {
+            '"' => {
+                if !field.is_empty() {
+                    return Err(DataError::Csv {
+                        line,
+                        message: "quote inside unquoted field".into(),
+                    });
+                }
+                in_quotes = true;
+            }
+            '\r' => {
+                // Consumed as part of CRLF; stray CRs are ignored.
+            }
+            '\n' => {
+                line += 1;
+                record.push(std::mem::take(&mut field));
+                // Skip blank lines (a record of one empty field).
+                if !(record.len() == 1 && record[0].is_empty()) {
+                    records.push(std::mem::take(&mut record));
+                } else {
+                    record.clear();
+                }
+            }
+            c if c == sep => {
+                record.push(std::mem::take(&mut field));
+            }
+            _ => field.push(ch),
+        }
+    }
+    if in_quotes {
+        return Err(DataError::Csv {
+            line,
+            message: "unterminated quoted field".into(),
+        });
+    }
+    if !field.is_empty() || !record.is_empty() {
+        record.push(field);
+        records.push(record);
+    }
+    if !saw_any {
+        return Err(DataError::Csv {
+            line: 0,
+            message: "input is empty".into(),
+        });
+    }
+    Ok(records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairank_core::scoring::ObservedTable;
+    use fairank_core::space::ProtectedTable;
+
+    const SAMPLE: &str = "gender,year,rating\nF,1990,0.2\nM,1976,0.9\nM,2004,0.6\n";
+
+    #[test]
+    fn reads_with_default_roles() {
+        let ds = read_csv_str(SAMPLE, &CsvOptions::default()).unwrap();
+        assert_eq!(ds.num_rows(), 3);
+        // gender (text) → protected; year/rating (numeric) → observed.
+        assert_eq!(ds.protected_attributes().len(), 1);
+        assert_eq!(ds.observed_names(), vec!["year", "rating"]);
+    }
+
+    #[test]
+    fn explicit_roles_override_defaults() {
+        let opts = CsvOptions::default().role("year", AttributeRole::Protected);
+        let ds = read_csv_str(SAMPLE, &opts).unwrap();
+        let attrs = ds.protected_attributes();
+        assert_eq!(attrs.len(), 2);
+        assert_eq!(attrs[1].name, "year");
+        assert_eq!(attrs[1].labels, vec!["1976", "1990", "2004"]);
+    }
+
+    #[test]
+    fn header_role_annotations() {
+        let text = "gender:protected,year:protected,rating:observed,id:meta\n\
+                    F,1990,0.2,w1\nM,1976,0.9,w2\n";
+        let ds = read_csv_str(text, &CsvOptions::default()).unwrap();
+        let attrs = ds.protected_attributes();
+        assert_eq!(attrs.len(), 2);
+        assert_eq!(attrs[0].name, "gender");
+        assert_eq!(attrs[1].name, "year");
+        assert_eq!(ds.observed_names(), vec!["rating"]);
+        // The annotation is stripped from the column name.
+        assert!(ds.column("id").is_some());
+        assert!(ds.column("id:meta").is_none());
+    }
+
+    #[test]
+    fn explicit_roles_override_annotations() {
+        let text = "year:protected,rating\n1990,0.2\n";
+        let opts = CsvOptions::default().role("year", AttributeRole::Meta);
+        let ds = read_csv_str(text, &opts).unwrap();
+        assert!(ds.protected_attributes().is_empty());
+    }
+
+    #[test]
+    fn colon_without_valid_role_stays_in_the_name() {
+        let text = "time:stamp,v\nmorning,1\n";
+        let ds = read_csv_str(text, &CsvOptions::default()).unwrap();
+        assert!(ds.column("time:stamp").is_some());
+    }
+
+    #[test]
+    fn quoted_fields_and_escapes() {
+        let text = "name,notes\nw1,\"likes \"\"rust\"\", a lot\"\nw2,\"multi\nline\"\n";
+        let ds = read_csv_str(text, &CsvOptions::default()).unwrap();
+        assert_eq!(ds.num_rows(), 2);
+        let col = ds.column("notes").unwrap();
+        assert_eq!(col.data.render(0), "likes \"rust\", a lot");
+        assert_eq!(col.data.render(1), "multi\nline");
+    }
+
+    #[test]
+    fn crlf_and_trailing_newline_variants() {
+        let crlf = "a,b\r\n1,2\r\n3,4";
+        let ds = read_csv_str(crlf, &CsvOptions::default()).unwrap();
+        assert_eq!(ds.num_rows(), 2);
+        let no_trailing = "a,b\n1,2";
+        let ds = read_csv_str(no_trailing, &CsvOptions::default()).unwrap();
+        assert_eq!(ds.num_rows(), 1);
+    }
+
+    #[test]
+    fn custom_separator() {
+        let text = "a;b\n1;x\n";
+        let opts = CsvOptions::default().separator(';');
+        let ds = read_csv_str(text, &opts).unwrap();
+        assert_eq!(ds.num_rows(), 1);
+        assert_eq!(ds.column("b").unwrap().data.render(0), "x");
+    }
+
+    #[test]
+    fn ragged_rows_are_rejected() {
+        let err = read_csv_str("a,b\n1\n", &CsvOptions::default()).unwrap_err();
+        match err {
+            DataError::Csv { line, .. } => assert_eq!(line, 2),
+            e => panic!("unexpected {e}"),
+        }
+    }
+
+    #[test]
+    fn malformed_quotes_error() {
+        assert!(read_csv_str("a\n\"unterminated\n", &CsvOptions::default()).is_err());
+        assert!(read_csv_str("a\nfo\"o\n", &CsvOptions::default()).is_err());
+        assert!(read_csv_str("", &CsvOptions::default()).is_err());
+    }
+
+    #[test]
+    fn float_protected_is_rejected_with_hint() {
+        let opts = CsvOptions::default().role("rating", AttributeRole::Protected);
+        let err = read_csv_str(SAMPLE, &opts).unwrap_err();
+        assert!(err.to_string().contains("discretize"));
+    }
+
+    #[test]
+    fn text_observed_is_rejected() {
+        let opts = CsvOptions::default().role("gender", AttributeRole::Observed);
+        assert!(read_csv_str(SAMPLE, &opts).is_err());
+    }
+
+    #[test]
+    fn round_trip_preserves_data() {
+        let ds = read_csv_str(SAMPLE, &CsvOptions::default()).unwrap();
+        let csv = write_csv_string(&ds);
+        let opts = CsvOptions::default();
+        let ds2 = read_csv_str(&csv, &opts).unwrap();
+        assert_eq!(ds.num_rows(), ds2.num_rows());
+        for (c1, c2) in ds.columns().iter().zip(ds2.columns()) {
+            assert_eq!(c1.name, c2.name);
+            for r in 0..ds.num_rows() {
+                assert_eq!(c1.data.render(r), c2.data.render(r));
+            }
+        }
+    }
+
+    #[test]
+    fn writer_quotes_special_fields() {
+        let ds = Dataset::builder()
+            .categorical(
+                "notes",
+                AttributeRole::Meta,
+                &["plain", "has,comma", "has\"quote"],
+            )
+            .build()
+            .unwrap();
+        let csv = write_csv_string(&ds);
+        assert!(csv.contains("\"has,comma\""));
+        assert!(csv.contains("\"has\"\"quote\""));
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let text = "a,b\n1,2\n\n3,4\n";
+        let ds = read_csv_str(text, &CsvOptions::default()).unwrap();
+        assert_eq!(ds.num_rows(), 2);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("fairank_csv_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.csv");
+        let ds = read_csv_str(SAMPLE, &CsvOptions::default()).unwrap();
+        write_csv_file(&ds, &path).unwrap();
+        let back = read_csv_file(&path, &CsvOptions::default()).unwrap();
+        assert_eq!(back.num_rows(), 3);
+        std::fs::remove_file(&path).ok();
+    }
+}

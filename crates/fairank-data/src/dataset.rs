@@ -1,0 +1,580 @@
+//! The [`Dataset`] type: individuals × attributes, column-oriented.
+
+use serde::{Deserialize, Serialize};
+
+use fairank_core::scoring::{ObservedTable, ScoreSource};
+use fairank_core::space::{ProtectedAttribute, ProtectedTable, RankingSpace};
+
+use crate::column::{Column, ColumnData};
+use crate::error::{DataError, Result};
+use crate::filter::Filter;
+use crate::schema::{AttributeRole, DataType, FieldDef, Schema};
+
+/// A set of individuals and their attributes (protected, observed, meta),
+/// stored column-wise.
+///
+/// Invariants (enforced at construction):
+/// * all columns have exactly `num_rows` values;
+/// * column names are unique;
+/// * observed columns are numeric (integers are widened to floats so scoring
+///   functions can consume them);
+/// * protected columns are categorical or integer — floats must be
+///   discretized (see [`Dataset::discretize`]) before being used as
+///   protected attributes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    schema: Schema,
+    columns: Vec<Column>,
+    n_rows: usize,
+}
+
+impl Dataset {
+    /// Starts building a dataset.
+    pub fn builder() -> DatasetBuilder {
+        DatasetBuilder { columns: Vec::new() }
+    }
+
+    /// Number of individuals.
+    pub fn num_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// All columns in schema order.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// A column by name.
+    pub fn column(&self, name: &str) -> Option<&Column> {
+        self.columns.iter().find(|c| c.name == name)
+    }
+
+    /// Mutable access for in-crate transforms (bias injection,
+    /// anonymization) that preserve the dataset invariants.
+    pub(crate) fn columns_mut(&mut self) -> &mut [Column] {
+        &mut self.columns
+    }
+
+    /// A column by name, failing with [`DataError::UnknownColumn`].
+    pub fn column_required(&self, name: &str) -> Result<&Column> {
+        self.column(name)
+            .ok_or_else(|| DataError::UnknownColumn(name.to_string()))
+    }
+
+    /// A new dataset containing only `rows`, in the given order.
+    pub fn select_rows(&self, rows: &[u32]) -> Result<Dataset> {
+        if let Some(&bad) = rows.iter().find(|&&r| r as usize >= self.n_rows) {
+            return Err(DataError::LengthMismatch {
+                column: format!("<row {bad}>"),
+                expected: self.n_rows,
+                actual: bad as usize,
+            });
+        }
+        Ok(Dataset {
+            schema: self.schema.clone(),
+            columns: self
+                .columns
+                .iter()
+                .map(|c| Column {
+                    name: c.name.clone(),
+                    data: c.data.take(rows),
+                })
+                .collect(),
+            n_rows: rows.len(),
+        })
+    }
+
+    /// Applies a protected-attribute filter ("the user can filter the
+    /// individuals based on protected attributes", §2).
+    pub fn filter(&self, filter: &Filter) -> Result<Dataset> {
+        let rows = filter.matching_rows(self)?;
+        self.select_rows(&rows)
+    }
+
+    /// Replaces a numeric column by a categorical one with interval labels.
+    /// `edges` must be strictly increasing; values are assigned to
+    /// `[e0,e1), [e1,e2), …` with underflow/overflow buckets at the ends.
+    pub fn discretize(&self, name: &str, edges: &[f64]) -> Result<Dataset> {
+        if edges.len() < 2 {
+            return Err(DataError::InvalidBins(
+                "need at least two bin edges".into(),
+            ));
+        }
+        if edges.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(DataError::InvalidBins(
+                "bin edges must be strictly increasing".into(),
+            ));
+        }
+        let col = self.column_required(name)?;
+        let values: Vec<f64> = match &col.data {
+            ColumnData::Float(v) => v.clone(),
+            ColumnData::Integer(v) => v.iter().map(|&x| x as f64).collect(),
+            ColumnData::Categorical { .. } => {
+                return Err(DataError::TypeMismatch {
+                    column: name.to_string(),
+                    expected: "numeric",
+                })
+            }
+        };
+        let mut labels: Vec<String> = Vec::with_capacity(edges.len() + 1);
+        labels.push(format!("<{}", trim_num(edges[0])));
+        for w in edges.windows(2) {
+            labels.push(format!("[{},{})", trim_num(w[0]), trim_num(w[1])));
+        }
+        labels.push(format!(">={}", trim_num(edges[edges.len() - 1])));
+        let strings: Vec<&str> = values
+            .iter()
+            .map(|&v| {
+                let bucket = match edges.iter().position(|&e| v < e) {
+                    Some(0) => 0,
+                    Some(i) => i,
+                    None => edges.len(),
+                };
+                labels[bucket].as_str()
+            })
+            .collect();
+        let mut ds = self.clone();
+        let idx = ds.schema.index_of(name).expect("column exists");
+        ds.columns[idx].data = ColumnData::categorical_from(&strings);
+        let mut fields: Vec<FieldDef> = ds.schema.fields().to_vec();
+        fields[idx].dtype = DataType::Categorical;
+        ds.schema = Schema::from_fields(fields);
+        Ok(ds)
+    }
+
+    /// Changes the role of one column (used e.g. to demote an anonymized
+    /// attribute to meta, or promote a column to protected).
+    pub fn with_role(&self, name: &str, role: AttributeRole) -> Result<Dataset> {
+        let idx = self
+            .schema
+            .index_of(name)
+            .ok_or_else(|| DataError::UnknownColumn(name.to_string()))?;
+        let mut fields: Vec<FieldDef> = self.schema.fields().to_vec();
+        let dtype = fields[idx].dtype;
+        if role == AttributeRole::Protected && dtype == DataType::Float {
+            return Err(DataError::TypeMismatch {
+                column: name.to_string(),
+                expected: "categorical or integer (discretize floats first)",
+            });
+        }
+        if role == AttributeRole::Observed && dtype == DataType::Categorical {
+            return Err(DataError::TypeMismatch {
+                column: name.to_string(),
+                expected: "numeric",
+            });
+        }
+        fields[idx].role = role;
+        let mut ds = self.clone();
+        if role == AttributeRole::Observed {
+            // Widen integers so scoring functions can consume the column.
+            if let ColumnData::Integer(v) = &ds.columns[idx].data {
+                ds.columns[idx].data =
+                    ColumnData::Float(v.iter().map(|&x| x as f64).collect());
+                fields[idx].dtype = DataType::Float;
+            }
+        }
+        ds.schema = Schema::from_fields(fields);
+        Ok(ds)
+    }
+
+    /// Resolves a score source against this dataset and packages the result
+    /// with the protected attributes as a [`RankingSpace`].
+    pub fn to_space(&self, source: &ScoreSource) -> Result<RankingSpace> {
+        let scores = source.resolve(self)?;
+        Ok(RankingSpace::new(self.protected_attributes(), scores)?)
+    }
+
+    /// Renders the first `limit` rows as an aligned text table (used by the
+    /// CLI's `show` command and examples).
+    pub fn render_head(&self, limit: usize) -> String {
+        let rows = limit.min(self.n_rows);
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.name.len()).collect();
+        let mut cells: Vec<Vec<String>> = Vec::with_capacity(rows);
+        for r in 0..rows {
+            let row: Vec<String> = self.columns.iter().map(|c| c.data.render(r)).collect();
+            for (w, cell) in widths.iter_mut().zip(&row) {
+                *w = (*w).max(cell.len());
+            }
+            cells.push(row);
+        }
+        let mut out = String::new();
+        for (i, c) in self.columns.iter().enumerate() {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            out.push_str(&format!("{:width$}", c.name, width = widths[i]));
+        }
+        out.push('\n');
+        for row in &cells {
+            for (i, cell) in row.iter().enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                out.push_str(&format!("{:width$}", cell, width = widths[i]));
+            }
+            out.push('\n');
+        }
+        if rows < self.n_rows {
+            out.push_str(&format!("… ({} more rows)\n", self.n_rows - rows));
+        }
+        out
+    }
+}
+
+fn trim_num(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+impl Schema {
+    pub(crate) fn from_fields(fields: Vec<FieldDef>) -> Schema {
+        let mut s = Schema::new();
+        for f in fields {
+            s.push(f);
+        }
+        s
+    }
+}
+
+impl ObservedTable for Dataset {
+    fn num_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    fn observed_column(&self, name: &str) -> Option<&[f64]> {
+        let field = self.schema.field(name)?;
+        if field.role != AttributeRole::Observed {
+            return None;
+        }
+        self.column(name)?.as_float()
+    }
+
+    fn observed_names(&self) -> Vec<&str> {
+        self.schema.names_with_role(AttributeRole::Observed)
+    }
+}
+
+impl ProtectedTable for Dataset {
+    fn protected_attributes(&self) -> Vec<ProtectedAttribute> {
+        let mut out = Vec::new();
+        for field in self.schema.fields() {
+            if field.role != AttributeRole::Protected {
+                continue;
+            }
+            let col = self.column(&field.name).expect("schema/columns in sync");
+            match &col.data {
+                ColumnData::Categorical { codes, labels } => out.push(ProtectedAttribute {
+                    name: field.name.clone(),
+                    codes: codes.clone(),
+                    labels: labels.clone(),
+                }),
+                ColumnData::Integer(values) => {
+                    // Enumerate distinct integers, ascending, as categories.
+                    let mut distinct: Vec<i64> = values.clone();
+                    distinct.sort_unstable();
+                    distinct.dedup();
+                    let codes = values
+                        .iter()
+                        .map(|v| {
+                            distinct.binary_search(v).expect("value present") as u32
+                        })
+                        .collect();
+                    out.push(ProtectedAttribute {
+                        name: field.name.clone(),
+                        codes,
+                        labels: distinct.iter().map(|v| v.to_string()).collect(),
+                    });
+                }
+                ColumnData::Float(_) => {
+                    unreachable!("builder rejects float protected columns")
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Builder enforcing the dataset invariants.
+#[derive(Debug, Default)]
+pub struct DatasetBuilder {
+    columns: Vec<(AttributeRole, Column)>,
+}
+
+impl DatasetBuilder {
+    /// Adds a categorical column.
+    pub fn categorical<S: AsRef<str>>(
+        mut self,
+        name: impl Into<String>,
+        role: AttributeRole,
+        values: &[S],
+    ) -> Self {
+        let data = ColumnData::categorical_from(values);
+        self.columns.push((
+            role,
+            Column {
+                name: name.into(),
+                data,
+            },
+        ));
+        self
+    }
+
+    /// Adds a float column.
+    pub fn float(
+        mut self,
+        name: impl Into<String>,
+        role: AttributeRole,
+        values: Vec<f64>,
+    ) -> Self {
+        self.columns.push((
+            role,
+            Column {
+                name: name.into(),
+                data: ColumnData::Float(values),
+            },
+        ));
+        self
+    }
+
+    /// Adds an integer column.
+    pub fn integer(
+        mut self,
+        name: impl Into<String>,
+        role: AttributeRole,
+        values: Vec<i64>,
+    ) -> Self {
+        self.columns.push((
+            role,
+            Column {
+                name: name.into(),
+                data: ColumnData::Integer(values),
+            },
+        ));
+        self
+    }
+
+    /// Validates and builds the dataset.
+    pub fn build(self) -> Result<Dataset> {
+        let n_rows = self.columns.first().map_or(0, |(_, c)| c.data.len());
+        let mut schema = Schema::new();
+        let mut columns = Vec::with_capacity(self.columns.len());
+        for (role, mut col) in self.columns {
+            if col.name.trim().is_empty() {
+                return Err(DataError::UnknownColumn("<empty name>".into()));
+            }
+            if schema.index_of(&col.name).is_some() {
+                return Err(DataError::DuplicateColumn(col.name));
+            }
+            if col.data.len() != n_rows {
+                return Err(DataError::LengthMismatch {
+                    column: col.name,
+                    expected: n_rows,
+                    actual: col.data.len(),
+                });
+            }
+            // Observed integers widen to floats; observed categoricals are
+            // invalid; protected floats are invalid.
+            match (role, col.data.dtype()) {
+                (AttributeRole::Observed, DataType::Integer) => {
+                    if let ColumnData::Integer(v) = &col.data {
+                        col.data = ColumnData::Float(v.iter().map(|&x| x as f64).collect());
+                    }
+                }
+                (AttributeRole::Observed, DataType::Categorical) => {
+                    return Err(DataError::TypeMismatch {
+                        column: col.name,
+                        expected: "numeric",
+                    });
+                }
+                (AttributeRole::Protected, DataType::Float) => {
+                    return Err(DataError::TypeMismatch {
+                        column: col.name,
+                        expected: "categorical or integer (discretize floats first)",
+                    });
+                }
+                _ => {}
+            }
+            schema.push(FieldDef {
+                name: col.name.clone(),
+                role,
+                dtype: col.data.dtype(),
+            });
+            columns.push(col);
+        }
+        Ok(Dataset {
+            schema,
+            columns,
+            n_rows,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Dataset {
+        Dataset::builder()
+            .categorical(
+                "gender",
+                AttributeRole::Protected,
+                &["F", "M", "M", "F"],
+            )
+            .integer("year", AttributeRole::Protected, vec![1990, 1976, 1990, 2004])
+            .float("rating", AttributeRole::Observed, vec![0.2, 0.9, 0.6, 0.4])
+            .integer("experience", AttributeRole::Observed, vec![1, 14, 6, 0])
+            .categorical("id", AttributeRole::Meta, &["w1", "w2", "w3", "w4"])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builder_enforces_lengths_and_names() {
+        let err = Dataset::builder()
+            .float("a", AttributeRole::Observed, vec![1.0])
+            .float("b", AttributeRole::Observed, vec![1.0, 2.0])
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, DataError::LengthMismatch { .. }));
+
+        let err = Dataset::builder()
+            .float("a", AttributeRole::Observed, vec![1.0])
+            .float("a", AttributeRole::Observed, vec![2.0])
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, DataError::DuplicateColumn(_)));
+    }
+
+    #[test]
+    fn builder_rejects_bad_role_type_combos() {
+        let err = Dataset::builder()
+            .categorical("skill", AttributeRole::Observed, &["good"])
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, DataError::TypeMismatch { .. }));
+
+        let err = Dataset::builder()
+            .float("age", AttributeRole::Protected, vec![30.5])
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, DataError::TypeMismatch { .. }));
+    }
+
+    #[test]
+    fn observed_integers_widen_to_float() {
+        let ds = sample();
+        let xp = ds.observed_column("experience").unwrap();
+        assert_eq!(xp, &[1.0, 14.0, 6.0, 0.0]);
+        assert_eq!(
+            ds.schema().field("experience").unwrap().dtype,
+            DataType::Float
+        );
+    }
+
+    #[test]
+    fn observed_table_respects_roles() {
+        let ds = sample();
+        assert!(ds.observed_column("rating").is_some());
+        assert!(ds.observed_column("gender").is_none()); // protected
+        assert!(ds.observed_column("id").is_none()); // meta
+        assert_eq!(ds.observed_names(), vec!["rating", "experience"]);
+        assert_eq!(ObservedTable::num_rows(&ds), 4);
+    }
+
+    #[test]
+    fn protected_attributes_cover_categorical_and_integer() {
+        let ds = sample();
+        let attrs = ds.protected_attributes();
+        assert_eq!(attrs.len(), 2);
+        assert_eq!(attrs[0].name, "gender");
+        assert_eq!(attrs[0].labels, vec!["F", "M"]);
+        assert_eq!(attrs[1].name, "year");
+        // Distinct years ascending: 1976, 1990, 2004.
+        assert_eq!(attrs[1].labels, vec!["1976", "1990", "2004"]);
+        assert_eq!(attrs[1].codes, vec![1, 0, 1, 2]);
+    }
+
+    #[test]
+    fn select_rows_and_bounds() {
+        let ds = sample();
+        let sub = ds.select_rows(&[3, 0]).unwrap();
+        assert_eq!(sub.num_rows(), 2);
+        assert_eq!(sub.column("id").unwrap().data.render(0), "w4");
+        assert!(ds.select_rows(&[9]).is_err());
+    }
+
+    #[test]
+    fn discretize_year_into_generations() {
+        let ds = sample();
+        let d = ds.discretize("year", &[1980.0, 2000.0]).unwrap();
+        let col = d.column("year").unwrap();
+        let (codes, labels) = col.as_categorical().unwrap();
+        assert_eq!(labels, &["[1980,2000)", "<1980", ">=2000"]);
+        assert_eq!(codes.len(), 4);
+        assert_eq!(col.data.render(1), "<1980");
+        assert_eq!(col.data.render(3), ">=2000");
+        // Schema updated.
+        assert_eq!(d.schema().field("year").unwrap().dtype, DataType::Categorical);
+    }
+
+    #[test]
+    fn discretize_validation() {
+        let ds = sample();
+        assert!(ds.discretize("year", &[2000.0]).is_err());
+        assert!(ds.discretize("year", &[2000.0, 1990.0]).is_err());
+        assert!(ds.discretize("gender", &[0.0, 1.0]).is_err());
+        assert!(ds.discretize("nope", &[0.0, 1.0]).is_err());
+    }
+
+    #[test]
+    fn with_role_transitions() {
+        let ds = sample();
+        // Demote a protected attribute to meta (data-transparency setting).
+        let demoted = ds.with_role("gender", AttributeRole::Meta).unwrap();
+        assert_eq!(demoted.protected_attributes().len(), 1);
+        // Promote experience-like integer to protected.
+        let promoted = ds.with_role("experience", AttributeRole::Protected);
+        // experience was widened to float at build, so promotion must fail.
+        assert!(promoted.is_err());
+        // Meta integer columns can be promoted.
+        let ds2 = Dataset::builder()
+            .integer("age", AttributeRole::Meta, vec![30, 40])
+            .float("skill", AttributeRole::Observed, vec![0.5, 0.6])
+            .build()
+            .unwrap();
+        let p = ds2.with_role("age", AttributeRole::Protected).unwrap();
+        assert_eq!(p.protected_attributes().len(), 1);
+    }
+
+    #[test]
+    fn to_space_resolves_scores() {
+        use fairank_core::scoring::LinearScoring;
+        let ds = sample();
+        let f = LinearScoring::builder()
+            .weight("rating", 1.0)
+            .build(&ds)
+            .unwrap();
+        let space = ds.to_space(&ScoreSource::Function(f)).unwrap();
+        assert_eq!(space.num_individuals(), 4);
+        assert_eq!(space.attributes().len(), 2);
+        assert_eq!(space.scores(), &[0.2, 0.9, 0.6, 0.4]);
+    }
+
+    #[test]
+    fn render_head_is_aligned() {
+        let ds = sample();
+        let text = ds.render_head(2);
+        assert!(text.contains("gender"));
+        assert!(text.contains("… (2 more rows)"));
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4); // header + 2 rows + ellipsis
+    }
+}

@@ -1,0 +1,321 @@
+//! Sampling distributions for the synthetic-population generator.
+//!
+//! The offline policy allows `rand` but not `rand_distr`, so the
+//! non-uniform distributions FaiRank's simulated crowdsourcing populations
+//! need are implemented here: Normal via Box–Muller, Beta via Marsaglia–
+//! Tsang Gamma sampling, and a categorical distribution with explicit
+//! weights.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::error::{DataError, Result};
+
+/// A continuous distribution over scores, clamped to `[0, 1]` on sampling
+/// (Definition 1 scores observed attributes in the unit interval).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SkillDistribution {
+    /// Uniform over `[lo, hi]`.
+    Uniform {
+        /// Lower bound.
+        lo: f64,
+        /// Upper bound.
+        hi: f64,
+    },
+    /// Normal with the given mean and standard deviation.
+    Normal {
+        /// Mean.
+        mean: f64,
+        /// Standard deviation (must be positive).
+        std_dev: f64,
+    },
+    /// Beta distribution — the natural shape for bounded skill scores.
+    Beta {
+        /// First shape parameter (> 0).
+        alpha: f64,
+        /// Second shape parameter (> 0).
+        beta: f64,
+    },
+}
+
+impl SkillDistribution {
+    /// Validates the parameters.
+    pub fn validate(&self) -> Result<()> {
+        match self {
+            SkillDistribution::Uniform { lo, hi } => {
+                if !(lo.is_finite() && hi.is_finite() && lo < hi) {
+                    return Err(DataError::InvalidSpec(format!(
+                        "uniform range [{lo}, {hi}] is invalid"
+                    )));
+                }
+            }
+            SkillDistribution::Normal { mean, std_dev } => {
+                if !(mean.is_finite() && std_dev.is_finite() && *std_dev > 0.0) {
+                    return Err(DataError::InvalidSpec(format!(
+                        "normal({mean}, {std_dev}) is invalid"
+                    )));
+                }
+            }
+            SkillDistribution::Beta { alpha, beta } => {
+                if !(alpha.is_finite() && beta.is_finite() && *alpha > 0.0 && *beta > 0.0) {
+                    return Err(DataError::InvalidSpec(format!(
+                        "beta({alpha}, {beta}) is invalid"
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Draws one sample, clamped into `[0, 1]`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let raw = match *self {
+            SkillDistribution::Uniform { lo, hi } => rng.gen_range(lo..=hi),
+            SkillDistribution::Normal { mean, std_dev } => {
+                mean + std_dev * sample_standard_normal(rng)
+            }
+            SkillDistribution::Beta { alpha, beta } => sample_beta(rng, alpha, beta),
+        };
+        raw.clamp(0.0, 1.0)
+    }
+}
+
+/// Box–Muller transform.
+pub fn sample_standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u1: f64 = rng.gen::<f64>();
+        if u1 <= f64::MIN_POSITIVE {
+            continue; // avoid ln(0)
+        }
+        let u2: f64 = rng.gen::<f64>();
+        return (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+    }
+}
+
+/// Marsaglia–Tsang Gamma(shape, 1) sampler; shapes < 1 use the boosting
+/// identity `Gamma(a) = Gamma(a + 1) · U^{1/a}`.
+pub fn sample_gamma<R: Rng + ?Sized>(rng: &mut R, shape: f64) -> f64 {
+    debug_assert!(shape > 0.0);
+    if shape < 1.0 {
+        let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        return sample_gamma(rng, shape + 1.0) * u.powf(1.0 / shape);
+    }
+    let d = shape - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        let x = sample_standard_normal(rng);
+        let v = (1.0 + c * x).powi(3);
+        if v <= 0.0 {
+            continue;
+        }
+        let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        if u.ln() < 0.5 * x * x + d - d * v + d * v.ln() {
+            return d * v;
+        }
+    }
+}
+
+/// Beta(alpha, beta) via two Gamma draws.
+pub fn sample_beta<R: Rng + ?Sized>(rng: &mut R, alpha: f64, beta: f64) -> f64 {
+    let x = sample_gamma(rng, alpha);
+    let y = sample_gamma(rng, beta);
+    if x + y == 0.0 {
+        0.5
+    } else {
+        x / (x + y)
+    }
+}
+
+/// A categorical distribution: values with non-negative weights.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Categorical {
+    values: Vec<String>,
+    cumulative: Vec<f64>,
+}
+
+impl Categorical {
+    /// Builds from `(value, weight)` pairs; weights are normalized.
+    pub fn new<S: Into<String>>(pairs: Vec<(S, f64)>) -> Result<Self> {
+        if pairs.is_empty() {
+            return Err(DataError::InvalidSpec(
+                "categorical distribution needs at least one value".into(),
+            ));
+        }
+        let mut values = Vec::with_capacity(pairs.len());
+        let mut weights = Vec::with_capacity(pairs.len());
+        for (v, w) in pairs {
+            if !w.is_finite() || w < 0.0 {
+                return Err(DataError::InvalidSpec(format!(
+                    "categorical weight {w} is invalid"
+                )));
+            }
+            values.push(v.into());
+            weights.push(w);
+        }
+        let total: f64 = weights.iter().sum();
+        if total <= 0.0 {
+            return Err(DataError::InvalidSpec(
+                "categorical weights sum to zero".into(),
+            ));
+        }
+        let mut cumulative = Vec::with_capacity(weights.len());
+        let mut acc = 0.0;
+        for w in weights {
+            acc += w / total;
+            cumulative.push(acc);
+        }
+        // Guard against rounding: the last bound is exactly 1.
+        *cumulative.last_mut().expect("non-empty") = 1.0;
+        Ok(Categorical { values, cumulative })
+    }
+
+    /// Uniform over the given values.
+    pub fn uniform<S: Into<String> + Clone>(values: &[S]) -> Result<Self> {
+        Categorical::new(values.iter().map(|v| (v.clone(), 1.0)).collect())
+    }
+
+    /// The possible values.
+    pub fn values(&self) -> &[String] {
+        &self.values
+    }
+
+    /// Draws one value.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> &str {
+        let u: f64 = rng.gen::<f64>();
+        let idx = self
+            .cumulative
+            .iter()
+            .position(|&c| u <= c)
+            .unwrap_or(self.values.len() - 1);
+        &self.values[idx]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn uniform_stays_in_range() {
+        let d = SkillDistribution::Uniform { lo: 0.2, hi: 0.4 };
+        let mut r = rng();
+        for _ in 0..1000 {
+            let s = d.sample(&mut r);
+            assert!((0.2..=0.4).contains(&s));
+        }
+    }
+
+    #[test]
+    fn normal_mean_is_close() {
+        let d = SkillDistribution::Normal {
+            mean: 0.5,
+            std_dev: 0.1,
+        };
+        let mut r = rng();
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| d.sample(&mut r)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean = {mean}");
+    }
+
+    #[test]
+    fn beta_moments_match_theory() {
+        let (a, b) = (2.0, 5.0);
+        let mut r = rng();
+        let n = 40_000;
+        let samples: Vec<f64> = (0..n).map(|_| sample_beta(&mut r, a, b)).collect();
+        let mean: f64 = samples.iter().sum::<f64>() / n as f64;
+        let expected = a / (a + b);
+        assert!((mean - expected).abs() < 0.01, "mean = {mean}");
+        let var: f64 =
+            samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / n as f64;
+        let expected_var = a * b / ((a + b) * (a + b) * (a + b + 1.0));
+        assert!((var - expected_var).abs() < 0.005, "var = {var}");
+    }
+
+    #[test]
+    fn beta_with_small_shapes() {
+        let mut r = rng();
+        for _ in 0..1000 {
+            let s = sample_beta(&mut r, 0.5, 0.5);
+            assert!((0.0..=1.0).contains(&s));
+        }
+    }
+
+    #[test]
+    fn gamma_mean_matches_shape() {
+        let mut r = rng();
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| sample_gamma(&mut r, 3.0)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.1, "mean = {mean}");
+    }
+
+    #[test]
+    fn samples_always_clamped() {
+        let d = SkillDistribution::Normal {
+            mean: 0.9,
+            std_dev: 0.5,
+        };
+        let mut r = rng();
+        for _ in 0..1000 {
+            let s = d.sample(&mut r);
+            assert!((0.0..=1.0).contains(&s));
+        }
+    }
+
+    #[test]
+    fn validation_rejects_bad_parameters() {
+        assert!(SkillDistribution::Uniform { lo: 1.0, hi: 0.0 }.validate().is_err());
+        assert!(SkillDistribution::Normal {
+            mean: 0.5,
+            std_dev: 0.0
+        }
+        .validate()
+        .is_err());
+        assert!(SkillDistribution::Beta {
+            alpha: -1.0,
+            beta: 2.0
+        }
+        .validate()
+        .is_err());
+        assert!(SkillDistribution::Beta {
+            alpha: 2.0,
+            beta: 2.0
+        }
+        .validate()
+        .is_ok());
+    }
+
+    #[test]
+    fn categorical_respects_weights() {
+        let c = Categorical::new(vec![("a", 3.0), ("b", 1.0)]).unwrap();
+        let mut r = rng();
+        let n = 20_000;
+        let a_count = (0..n).filter(|_| c.sample(&mut r) == "a").count();
+        let frac = a_count as f64 / n as f64;
+        assert!((frac - 0.75).abs() < 0.02, "frac = {frac}");
+    }
+
+    #[test]
+    fn categorical_uniform_and_errors() {
+        let c = Categorical::uniform(&["x", "y"]).unwrap();
+        assert_eq!(c.values(), &["x", "y"]);
+        assert!(Categorical::new(Vec::<(String, f64)>::new()).is_err());
+        assert!(Categorical::new(vec![("a", -1.0)]).is_err());
+        assert!(Categorical::new(vec![("a", 0.0)]).is_err());
+    }
+
+    #[test]
+    fn zero_weight_values_never_sampled() {
+        let c = Categorical::new(vec![("never", 0.0), ("always", 1.0)]).unwrap();
+        let mut r = rng();
+        for _ in 0..500 {
+            assert_eq!(c.sample(&mut r), "always");
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! Errors of the dataset substrate.
+
+use std::fmt;
+
+use fairank_core::CoreError;
+
+/// Errors produced while building, loading or transforming datasets.
+#[derive(Debug)]
+pub enum DataError {
+    /// A column length did not match the dataset's row count.
+    LengthMismatch {
+        column: String,
+        expected: usize,
+        actual: usize,
+    },
+    /// A referenced column does not exist.
+    UnknownColumn(String),
+    /// Two columns share a name.
+    DuplicateColumn(String),
+    /// A column had the wrong type for the requested operation.
+    TypeMismatch { column: String, expected: &'static str },
+    /// CSV input was malformed.
+    Csv { line: usize, message: String },
+    /// A filter expression failed to parse.
+    FilterParse(String),
+    /// Discretization bin edges were invalid.
+    InvalidBins(String),
+    /// A synthetic-population specification was invalid.
+    InvalidSpec(String),
+    /// JSON (de)serialization failed.
+    Json(String),
+    /// Underlying IO failure.
+    Io(std::io::Error),
+    /// An error bubbled up from the core crate.
+    Core(CoreError),
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::LengthMismatch {
+                column,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "column {column:?} has {actual} values, dataset has {expected} rows"
+            ),
+            DataError::UnknownColumn(name) => write!(f, "unknown column {name:?}"),
+            DataError::DuplicateColumn(name) => write!(f, "duplicate column {name:?}"),
+            DataError::TypeMismatch { column, expected } => {
+                write!(f, "column {column:?} is not {expected}")
+            }
+            DataError::Csv { line, message } => write!(f, "CSV error at line {line}: {message}"),
+            DataError::FilterParse(msg) => write!(f, "filter parse error: {msg}"),
+            DataError::InvalidBins(msg) => write!(f, "invalid discretization: {msg}"),
+            DataError::InvalidSpec(msg) => write!(f, "invalid population spec: {msg}"),
+            DataError::Json(msg) => write!(f, "JSON error: {msg}"),
+            DataError::Io(e) => write!(f, "IO error: {e}"),
+            DataError::Core(e) => write!(f, "core error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DataError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DataError::Io(e) => Some(e),
+            DataError::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for DataError {
+    fn from(e: std::io::Error) -> Self {
+        DataError::Io(e)
+    }
+}
+
+impl From<CoreError> for DataError {
+    fn from(e: CoreError) -> Self {
+        DataError::Core(e)
+    }
+}
+
+/// Convenience alias for this crate.
+pub type Result<T> = std::result::Result<T, DataError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_variants() {
+        let cases: Vec<(DataError, &str)> = vec![
+            (
+                DataError::LengthMismatch {
+                    column: "x".into(),
+                    expected: 3,
+                    actual: 2,
+                },
+                "2 values",
+            ),
+            (DataError::UnknownColumn("y".into()), "unknown column"),
+            (DataError::DuplicateColumn("z".into()), "duplicate"),
+            (
+                DataError::TypeMismatch {
+                    column: "w".into(),
+                    expected: "numeric",
+                },
+                "not numeric",
+            ),
+            (
+                DataError::Csv {
+                    line: 7,
+                    message: "bad quote".into(),
+                },
+                "line 7",
+            ),
+            (DataError::FilterParse("oops".into()), "oops"),
+            (DataError::InvalidBins("edges".into()), "edges"),
+            (DataError::InvalidSpec("n=0".into()), "n=0"),
+            (DataError::Json("eof".into()), "eof"),
+            (DataError::Core(CoreError::EmptyInput), "core error"),
+        ];
+        for (err, needle) in cases {
+            assert!(err.to_string().contains(needle), "{err}");
+        }
+    }
+
+    #[test]
+    fn conversions_work() {
+        let io: DataError = std::io::Error::other("x").into();
+        assert!(matches!(io, DataError::Io(_)));
+        let core: DataError = CoreError::EmptyInput.into();
+        assert!(matches!(core, DataError::Core(_)));
+    }
+}

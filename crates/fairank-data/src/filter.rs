@@ -1,0 +1,344 @@
+//! Protected-attribute filters.
+//!
+//! "The user can filter the individuals based on protected attributes …
+//! say only individuals who speak Arabic or who are located in New York
+//! city" (§2). A [`Filter`] is a conjunction of predicates over columns;
+//! the textual form used by the CLI is
+//! `language=Arabic & city=NYC & year>=1980`.
+
+use serde::{Deserialize, Serialize};
+
+use crate::column::ColumnData;
+use crate::dataset::Dataset;
+use crate::error::{DataError, Result};
+
+/// A comparison operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Op {
+    /// Equality (categorical or numeric).
+    Eq,
+    /// Inequality.
+    Ne,
+    /// Strictly less than (numeric columns only).
+    Lt,
+    /// Less than or equal (numeric).
+    Le,
+    /// Strictly greater than (numeric).
+    Gt,
+    /// Greater than or equal (numeric).
+    Ge,
+}
+
+impl Op {
+    fn symbol(&self) -> &'static str {
+        match self {
+            Op::Eq => "=",
+            Op::Ne => "!=",
+            Op::Lt => "<",
+            Op::Le => "<=",
+            Op::Gt => ">",
+            Op::Ge => ">=",
+        }
+    }
+}
+
+/// One predicate: `column op value`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Predicate {
+    /// Column name.
+    pub column: String,
+    /// Operator.
+    pub op: Op,
+    /// Right-hand side, kept textual; parsed numerically when the column is
+    /// numeric.
+    pub value: String,
+}
+
+impl Predicate {
+    fn matches(&self, data: &ColumnData, row: usize) -> Result<bool> {
+        match data {
+            ColumnData::Categorical { codes, labels } => {
+                let actual = &labels[codes[row] as usize];
+                match self.op {
+                    Op::Eq => Ok(actual == &self.value),
+                    Op::Ne => Ok(actual != &self.value),
+                    _ => Err(DataError::TypeMismatch {
+                        column: self.column.clone(),
+                        expected: "numeric (ordering operators need numbers)",
+                    }),
+                }
+            }
+            _ => {
+                let actual = data.numeric(row).expect("numeric column");
+                let rhs: f64 = self.value.parse().map_err(|_| {
+                    DataError::FilterParse(format!(
+                        "{:?} is not numeric (column {:?} is)",
+                        self.value, self.column
+                    ))
+                })?;
+                Ok(match self.op {
+                    Op::Eq => actual == rhs,
+                    Op::Ne => actual != rhs,
+                    Op::Lt => actual < rhs,
+                    Op::Le => actual <= rhs,
+                    Op::Gt => actual > rhs,
+                    Op::Ge => actual >= rhs,
+                })
+            }
+        }
+    }
+}
+
+/// A conjunction of predicates. The empty filter matches every row.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Filter {
+    predicates: Vec<Predicate>,
+}
+
+impl Filter {
+    /// The match-all filter.
+    pub fn all() -> Self {
+        Filter::default()
+    }
+
+    /// Adds an equality predicate.
+    pub fn eq(mut self, column: impl Into<String>, value: impl Into<String>) -> Self {
+        self.predicates.push(Predicate {
+            column: column.into(),
+            op: Op::Eq,
+            value: value.into(),
+        });
+        self
+    }
+
+    /// Adds an arbitrary predicate.
+    pub fn pred(mut self, column: impl Into<String>, op: Op, value: impl Into<String>) -> Self {
+        self.predicates.push(Predicate {
+            column: column.into(),
+            op,
+            value: value.into(),
+        });
+        self
+    }
+
+    /// The predicates in order.
+    pub fn predicates(&self) -> &[Predicate] {
+        &self.predicates
+    }
+
+    /// True when no predicate is present.
+    pub fn is_empty(&self) -> bool {
+        self.predicates.is_empty()
+    }
+
+    /// Parses the textual form: predicates joined with `&`, each
+    /// `column OP value` with `OP ∈ {=, !=, <, <=, >, >=}`. Whitespace is
+    /// ignored around tokens; values may be quoted with `"` to include `&`
+    /// or spaces.
+    pub fn parse(text: &str) -> Result<Filter> {
+        let mut filter = Filter::all();
+        let trimmed = text.trim();
+        if trimmed.is_empty() {
+            return Ok(filter);
+        }
+        for clause in split_clauses(trimmed) {
+            let clause = clause.trim();
+            if clause.is_empty() {
+                return Err(DataError::FilterParse("empty clause".into()));
+            }
+            filter.predicates.push(parse_clause(clause)?);
+        }
+        Ok(filter)
+    }
+
+    /// Renders the canonical textual form.
+    pub fn render(&self) -> String {
+        if self.predicates.is_empty() {
+            return "*".to_string();
+        }
+        self.predicates
+            .iter()
+            .map(|p| format!("{}{}{}", p.column, p.op.symbol(), p.value))
+            .collect::<Vec<_>>()
+            .join(" & ")
+    }
+
+    /// Row indices of `dataset` matching every predicate.
+    pub fn matching_rows(&self, dataset: &Dataset) -> Result<Vec<u32>> {
+        // Resolve columns once.
+        let mut cols = Vec::with_capacity(self.predicates.len());
+        for p in &self.predicates {
+            cols.push(&dataset.column_required(&p.column)?.data);
+        }
+        let mut rows = Vec::new();
+        'rows: for r in 0..dataset.num_rows() {
+            for (p, data) in self.predicates.iter().zip(&cols) {
+                if !p.matches(data, r)? {
+                    continue 'rows;
+                }
+            }
+            rows.push(r as u32);
+        }
+        Ok(rows)
+    }
+}
+
+/// Splits on `&` outside of double quotes.
+fn split_clauses(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    let mut in_quotes = false;
+    for ch in text.chars() {
+        match ch {
+            '"' => {
+                in_quotes = !in_quotes;
+                cur.push(ch);
+            }
+            '&' if !in_quotes => {
+                out.push(std::mem::take(&mut cur));
+            }
+            _ => cur.push(ch),
+        }
+    }
+    out.push(cur);
+    out
+}
+
+fn parse_clause(clause: &str) -> Result<Predicate> {
+    // Longest operators first so `<=` is not read as `<`.
+    for (op_str, op) in [
+        ("!=", Op::Ne),
+        ("<=", Op::Le),
+        (">=", Op::Ge),
+        ("<", Op::Lt),
+        (">", Op::Gt),
+        ("=", Op::Eq),
+    ] {
+        if let Some(pos) = clause.find(op_str) {
+            let column = clause[..pos].trim();
+            let mut value = clause[pos + op_str.len()..].trim();
+            if column.is_empty() || value.is_empty() {
+                return Err(DataError::FilterParse(format!(
+                    "clause {clause:?} is missing a column or value"
+                )));
+            }
+            if value.len() >= 2 && value.starts_with('"') && value.ends_with('"') {
+                value = &value[1..value.len() - 1];
+            }
+            return Ok(Predicate {
+                column: column.to_string(),
+                op,
+                value: value.to_string(),
+            });
+        }
+    }
+    Err(DataError::FilterParse(format!(
+        "clause {clause:?} has no operator"
+    )))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::AttributeRole;
+
+    fn dataset() -> Dataset {
+        Dataset::builder()
+            .categorical(
+                "language",
+                AttributeRole::Protected,
+                &["Arabic", "English", "Arabic", "French"],
+            )
+            .integer("year", AttributeRole::Protected, vec![1990, 1976, 2004, 1988])
+            .float("rating", AttributeRole::Observed, vec![0.2, 0.9, 0.6, 0.4])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn empty_filter_matches_all() {
+        let ds = dataset();
+        assert_eq!(Filter::all().matching_rows(&ds).unwrap(), vec![0, 1, 2, 3]);
+        assert_eq!(Filter::parse("").unwrap(), Filter::all());
+        assert_eq!(Filter::all().render(), "*");
+    }
+
+    #[test]
+    fn categorical_equality() {
+        let ds = dataset();
+        let f = Filter::all().eq("language", "Arabic");
+        assert_eq!(f.matching_rows(&ds).unwrap(), vec![0, 2]);
+        let f = Filter::all().pred("language", Op::Ne, "Arabic");
+        assert_eq!(f.matching_rows(&ds).unwrap(), vec![1, 3]);
+    }
+
+    #[test]
+    fn numeric_comparisons() {
+        let ds = dataset();
+        let f = Filter::parse("year>=1988").unwrap();
+        assert_eq!(f.matching_rows(&ds).unwrap(), vec![0, 2, 3]);
+        let f = Filter::parse("year<1988 & rating>0.5").unwrap();
+        assert_eq!(f.matching_rows(&ds).unwrap(), vec![1]);
+        let f = Filter::parse("rating=0.6").unwrap();
+        assert_eq!(f.matching_rows(&ds).unwrap(), vec![2]);
+    }
+
+    #[test]
+    fn conjunction_narrows() {
+        let ds = dataset();
+        let f = Filter::parse("language=Arabic & year>1995").unwrap();
+        assert_eq!(f.matching_rows(&ds).unwrap(), vec![2]);
+    }
+
+    #[test]
+    fn quoted_values() {
+        let f = Filter::parse(r#"city="New York & Boston""#).unwrap();
+        assert_eq!(f.predicates()[0].value, "New York & Boston");
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(Filter::parse("nonsense").is_err());
+        assert!(Filter::parse("a= & b=2").is_err());
+        assert!(Filter::parse("=x").is_err());
+    }
+
+    #[test]
+    fn ordering_on_categorical_errors() {
+        let ds = dataset();
+        let f = Filter::parse("language>Arabic").unwrap();
+        assert!(f.matching_rows(&ds).is_err());
+    }
+
+    #[test]
+    fn non_numeric_rhs_on_numeric_column_errors() {
+        let ds = dataset();
+        let f = Filter::parse("year=abc").unwrap();
+        assert!(f.matching_rows(&ds).is_err());
+    }
+
+    #[test]
+    fn unknown_column_errors() {
+        let ds = dataset();
+        let f = Filter::parse("ghost=1").unwrap();
+        assert!(matches!(
+            f.matching_rows(&ds).unwrap_err(),
+            DataError::UnknownColumn(_)
+        ));
+    }
+
+    #[test]
+    fn render_round_trips() {
+        let f = Filter::parse("language=Arabic & year>=1988").unwrap();
+        let rendered = f.render();
+        assert_eq!(rendered, "language=Arabic & year>=1988");
+        assert_eq!(Filter::parse(&rendered).unwrap(), f);
+    }
+
+    #[test]
+    fn filter_on_dataset_convenience() {
+        let ds = dataset();
+        let filtered = ds.filter(&Filter::parse("language=Arabic").unwrap()).unwrap();
+        assert_eq!(filtered.num_rows(), 2);
+    }
+}

@@ -1,0 +1,79 @@
+//! JSON (de)serialization of datasets.
+//!
+//! The session engine exports panels, reports and datasets as JSON; this
+//! module provides the dataset part plus file helpers. The format is the
+//! direct serde representation of [`Dataset`] (schema + columns), so it
+//! round-trips losslessly, including dictionary code assignments.
+
+use std::path::Path;
+
+use crate::dataset::Dataset;
+use crate::error::{DataError, Result};
+
+/// Serializes a dataset to a pretty-printed JSON string.
+pub fn to_json_string(dataset: &Dataset) -> Result<String> {
+    serde_json::to_string_pretty(dataset).map_err(|e| DataError::Json(e.to_string()))
+}
+
+/// Parses a dataset from its JSON representation.
+pub fn from_json_str(text: &str) -> Result<Dataset> {
+    serde_json::from_str(text).map_err(|e| DataError::Json(e.to_string()))
+}
+
+/// Writes a dataset to a JSON file.
+pub fn write_json_file(dataset: &Dataset, path: impl AsRef<Path>) -> Result<()> {
+    std::fs::write(path, to_json_string(dataset)?)?;
+    Ok(())
+}
+
+/// Reads a dataset from a JSON file.
+pub fn read_json_file(path: impl AsRef<Path>) -> Result<Dataset> {
+    from_json_str(&std::fs::read_to_string(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::AttributeRole;
+
+    fn sample() -> Dataset {
+        Dataset::builder()
+            .categorical("gender", AttributeRole::Protected, &["F", "M"])
+            .float("rating", AttributeRole::Observed, vec![0.25, 0.75])
+            .integer("year", AttributeRole::Protected, vec![1990, 1976])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let ds = sample();
+        let text = to_json_string(&ds).unwrap();
+        let back = from_json_str(&text).unwrap();
+        assert_eq!(ds, back);
+    }
+
+    #[test]
+    fn json_is_human_readable() {
+        let text = to_json_string(&sample()).unwrap();
+        assert!(text.contains("\"gender\""));
+        assert!(text.contains("\"Protected\""));
+    }
+
+    #[test]
+    fn malformed_json_errors() {
+        assert!(from_json_str("{not json").is_err());
+        assert!(from_json_str("{}").is_err());
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("fairank_json_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("d.json");
+        write_json_file(&sample(), &path).unwrap();
+        let back = read_json_file(&path).unwrap();
+        assert_eq!(back, sample());
+        std::fs::remove_file(&path).ok();
+    }
+}

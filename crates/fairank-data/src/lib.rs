@@ -1,0 +1,33 @@
+//! # fairank-data
+//!
+//! Dataset substrate for FaiRank: columnar storage with dictionary-encoded
+//! categoricals, CSV and JSON IO, protected-attribute filters, the paper's
+//! Table 1 dataset, and synthetic crowdsourcing-population generators with
+//! controllable bias injection.
+//!
+//! The FaiRank interface lets a user "select or upload a dataset which
+//! consists of a set of individuals and their attributes" (§2). Attributes
+//! are *protected* (gender, age, location, ethnicity, …), *observed*
+//! (skills, reputation — the inputs of scoring functions) or *meta*
+//! (identifiers). [`dataset::Dataset`] implements the core crate's
+//! [`fairank_core::scoring::ObservedTable`] and
+//! [`fairank_core::space::ProtectedTable`] traits, so a dataset plugs
+//! directly into `Quantify`.
+
+pub mod bias;
+pub mod column;
+pub mod csv;
+pub mod dataset;
+pub mod dist;
+pub mod error;
+pub mod filter;
+pub mod json;
+pub mod paper;
+pub mod schema;
+pub mod stats;
+pub mod synth;
+
+pub use dataset::Dataset;
+pub use error::{DataError, Result};
+pub use filter::Filter;
+pub use schema::{AttributeRole, FieldDef, Schema};

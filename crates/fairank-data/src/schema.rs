@@ -1,0 +1,151 @@
+//! Attribute schema: names, roles and types.
+
+use serde::{Deserialize, Serialize};
+
+/// How FaiRank treats an attribute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AttributeRole {
+    /// Inherent property of the individual (gender, age, ethnicity, …);
+    /// partitionings are built over these.
+    Protected,
+    /// Skill/performance attribute (reputation, language test, …); scoring
+    /// functions are defined over these.
+    Observed,
+    /// Carried along but ignored by fairness analysis (identifiers, notes).
+    Meta,
+}
+
+impl AttributeRole {
+    /// Stable lowercase name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AttributeRole::Protected => "protected",
+            AttributeRole::Observed => "observed",
+            AttributeRole::Meta => "meta",
+        }
+    }
+
+    /// Parses a role name, case-insensitively.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.to_ascii_lowercase().as_str() {
+            "protected" => Some(AttributeRole::Protected),
+            "observed" => Some(AttributeRole::Observed),
+            "meta" => Some(AttributeRole::Meta),
+            _ => None,
+        }
+    }
+}
+
+/// Physical type of a column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DataType {
+    /// Dictionary-encoded strings.
+    Categorical,
+    /// 64-bit floats.
+    Float,
+    /// 64-bit signed integers.
+    Integer,
+}
+
+/// One field of a dataset.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FieldDef {
+    /// Column name.
+    pub name: String,
+    /// Role in the fairness analysis.
+    pub role: AttributeRole,
+    /// Physical type.
+    pub dtype: DataType,
+}
+
+/// The ordered list of fields of a dataset.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Schema {
+    fields: Vec<FieldDef>,
+}
+
+impl Schema {
+    /// An empty schema.
+    pub fn new() -> Self {
+        Schema::default()
+    }
+
+    /// Appends a field (caller must have checked for duplicates).
+    pub(crate) fn push(&mut self, field: FieldDef) {
+        self.fields.push(field);
+    }
+
+    /// All fields in column order.
+    pub fn fields(&self) -> &[FieldDef] {
+        &self.fields
+    }
+
+    /// Index of a field by name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.fields.iter().position(|f| f.name == name)
+    }
+
+    /// Field definition by name.
+    pub fn field(&self, name: &str) -> Option<&FieldDef> {
+        self.fields.iter().find(|f| f.name == name)
+    }
+
+    /// Names of all fields with the given role.
+    pub fn names_with_role(&self, role: AttributeRole) -> Vec<&str> {
+        self.fields
+            .iter()
+            .filter(|f| f.role == role)
+            .map(|f| f.name.as_str())
+            .collect()
+    }
+
+    /// Number of fields.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// True when the schema has no fields.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn role_names_round_trip() {
+        for role in [
+            AttributeRole::Protected,
+            AttributeRole::Observed,
+            AttributeRole::Meta,
+        ] {
+            assert_eq!(AttributeRole::parse(role.name()), Some(role));
+        }
+        assert_eq!(AttributeRole::parse("PROTECTED"), Some(AttributeRole::Protected));
+        assert_eq!(AttributeRole::parse("bogus"), None);
+    }
+
+    #[test]
+    fn schema_lookup() {
+        let mut s = Schema::new();
+        s.push(FieldDef {
+            name: "gender".into(),
+            role: AttributeRole::Protected,
+            dtype: DataType::Categorical,
+        });
+        s.push(FieldDef {
+            name: "rating".into(),
+            role: AttributeRole::Observed,
+            dtype: DataType::Float,
+        });
+        assert_eq!(s.len(), 2);
+        assert!(!s.is_empty());
+        assert_eq!(s.index_of("rating"), Some(1));
+        assert_eq!(s.index_of("nope"), None);
+        assert_eq!(s.field("gender").unwrap().dtype, DataType::Categorical);
+        assert_eq!(s.names_with_role(AttributeRole::Protected), vec!["gender"]);
+        assert_eq!(s.names_with_role(AttributeRole::Meta), Vec::<&str>::new());
+    }
+}

@@ -1,0 +1,232 @@
+//! Per-column summary statistics.
+//!
+//! The FaiRank interface shows statistics about datasets and partitions
+//! (§2: "view statistics such as the number of individuals in each
+//! partition"); this module provides the dataset-level side: numeric
+//! five-number summaries and categorical frequency tables, with a
+//! `describe`-style text rendering used by the CLI.
+
+use serde::{Deserialize, Serialize};
+
+use crate::column::ColumnData;
+use crate::dataset::Dataset;
+
+/// Summary of a numeric column.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NumericSummary {
+    /// Number of values.
+    pub count: usize,
+    /// Minimum.
+    pub min: f64,
+    /// First quartile (linear interpolation).
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Third quartile.
+    pub q3: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std_dev: f64,
+}
+
+/// Summary of a categorical column.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CategoricalSummary {
+    /// Number of values.
+    pub count: usize,
+    /// Number of distinct values.
+    pub distinct: usize,
+    /// `(value, frequency)` pairs, most frequent first (ties by label).
+    pub top: Vec<(String, usize)>,
+}
+
+/// A column summary of either kind.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ColumnSummary {
+    /// Numeric column (float or integer).
+    Numeric(NumericSummary),
+    /// Categorical column.
+    Categorical(CategoricalSummary),
+}
+
+/// Linear-interpolated quantile of a sorted slice.
+fn quantile(sorted: &[f64], q: f64) -> f64 {
+    debug_assert!(!sorted.is_empty());
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+/// Summarizes a numeric sample. Returns `None` for an empty sample.
+pub fn summarize_numeric(values: &[f64]) -> Option<NumericSummary> {
+    if values.is_empty() {
+        return None;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let mean = values.iter().sum::<f64>() / values.len() as f64;
+    let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / values.len() as f64;
+    Some(NumericSummary {
+        count: values.len(),
+        min: sorted[0],
+        q1: quantile(&sorted, 0.25),
+        median: quantile(&sorted, 0.5),
+        q3: quantile(&sorted, 0.75),
+        max: *sorted.last().expect("non-empty"),
+        mean,
+        std_dev: var.sqrt(),
+    })
+}
+
+/// Summarizes a categorical column, keeping the `top_k` most frequent
+/// values.
+pub fn summarize_categorical(
+    codes: &[u32],
+    labels: &[String],
+    top_k: usize,
+) -> CategoricalSummary {
+    let mut freq = vec![0usize; labels.len()];
+    for &c in codes {
+        freq[c as usize] += 1;
+    }
+    let mut pairs: Vec<(String, usize)> = labels
+        .iter()
+        .cloned()
+        .zip(freq.iter().copied())
+        .filter(|(_, f)| *f > 0)
+        .collect();
+    pairs.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    let distinct = pairs.len();
+    pairs.truncate(top_k);
+    CategoricalSummary {
+        count: codes.len(),
+        distinct,
+        top: pairs,
+    }
+}
+
+/// Summarizes one column of a dataset.
+pub fn summarize_column(data: &ColumnData, top_k: usize) -> Option<ColumnSummary> {
+    match data {
+        ColumnData::Float(v) => summarize_numeric(v).map(ColumnSummary::Numeric),
+        ColumnData::Integer(v) => {
+            let floats: Vec<f64> = v.iter().map(|&x| x as f64).collect();
+            summarize_numeric(&floats).map(ColumnSummary::Numeric)
+        }
+        ColumnData::Categorical { codes, labels } => Some(ColumnSummary::Categorical(
+            summarize_categorical(codes, labels, top_k),
+        )),
+    }
+}
+
+/// A `describe`-style rendering of every column (name, role, summary).
+pub fn describe(dataset: &Dataset) -> String {
+    let mut out = format!(
+        "{} rows × {} columns\n",
+        dataset.num_rows(),
+        dataset.schema().len()
+    );
+    for (field, col) in dataset.schema().fields().iter().zip(dataset.columns()) {
+        out.push_str(&format!("\n{} [{}]\n", field.name, field.role.name()));
+        match summarize_column(&col.data, 5) {
+            None => out.push_str("  (empty)\n"),
+            Some(ColumnSummary::Numeric(s)) => {
+                out.push_str(&format!(
+                    "  min {:.3}  q1 {:.3}  median {:.3}  q3 {:.3}  max {:.3}\n  \
+                     mean {:.3}  std {:.3}\n",
+                    s.min, s.q1, s.median, s.q3, s.max, s.mean, s.std_dev
+                ));
+            }
+            Some(ColumnSummary::Categorical(s)) => {
+                out.push_str(&format!("  {} distinct values\n", s.distinct));
+                for (value, freq) in &s.top {
+                    out.push_str(&format!(
+                        "  {:<24} {:>6} ({:.1}%)\n",
+                        value,
+                        freq,
+                        *freq as f64 / s.count as f64 * 100.0
+                    ));
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::AttributeRole;
+
+    #[test]
+    fn quantiles_interpolate() {
+        let sorted = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&sorted, 0.0), 1.0);
+        assert_eq!(quantile(&sorted, 1.0), 4.0);
+        assert!((quantile(&sorted, 0.5) - 2.5).abs() < 1e-12);
+        assert_eq!(quantile(&[7.0], 0.5), 7.0);
+    }
+
+    #[test]
+    fn numeric_summary_values() {
+        let s = summarize_numeric(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]).unwrap();
+        assert_eq!(s.count, 8);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        assert!((s.std_dev - 2.0).abs() < 1e-12); // classic example
+        assert!(s.q1 <= s.median && s.median <= s.q3);
+        assert!(summarize_numeric(&[]).is_none());
+    }
+
+    #[test]
+    fn categorical_summary_orders_by_frequency() {
+        let codes = vec![0, 1, 1, 2, 1, 0];
+        let labels = vec!["a".to_string(), "b".to_string(), "c".to_string()];
+        let s = summarize_categorical(&codes, &labels, 2);
+        assert_eq!(s.count, 6);
+        assert_eq!(s.distinct, 3);
+        assert_eq!(s.top, vec![("b".to_string(), 3), ("a".to_string(), 2)]);
+    }
+
+    #[test]
+    fn unused_labels_do_not_count_as_distinct() {
+        let codes = vec![0, 0];
+        let labels = vec!["x".to_string(), "never".to_string()];
+        let s = summarize_categorical(&codes, &labels, 5);
+        assert_eq!(s.distinct, 1);
+    }
+
+    #[test]
+    fn describe_covers_all_columns() {
+        let ds = Dataset::builder()
+            .categorical("gender", AttributeRole::Protected, &["F", "M", "F"])
+            .float("rating", AttributeRole::Observed, vec![0.2, 0.9, 0.5])
+            .integer("year", AttributeRole::Protected, vec![1990, 1976, 2004])
+            .build()
+            .unwrap();
+        let text = describe(&ds);
+        assert!(text.contains("3 rows × 3 columns"));
+        assert!(text.contains("gender [protected]"));
+        assert!(text.contains("rating [observed]"));
+        assert!(text.contains("distinct values"));
+        assert!(text.contains("median"));
+    }
+
+    #[test]
+    fn integer_columns_summarize_numerically() {
+        let col = ColumnData::Integer(vec![1, 2, 3]);
+        match summarize_column(&col, 5) {
+            Some(ColumnSummary::Numeric(s)) => assert_eq!(s.median, 2.0),
+            other => panic!("expected numeric, got {other:?}"),
+        }
+    }
+}

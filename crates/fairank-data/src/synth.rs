@@ -1,0 +1,443 @@
+//! Synthetic crowdsourcing populations.
+//!
+//! The FaiRank demonstration uses "simulated datasets mimicking
+//! crowdsourcing platforms" (§4). A [`PopulationSpec`] declares demographic
+//! (protected) attributes with value distributions, skill (observed)
+//! attributes with score distributions, and bias rules that correlate the
+//! two — the mechanism that makes unfair subgroups discoverable.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use crate::bias::{apply_bias, BiasRule};
+use crate::dataset::Dataset;
+use crate::dist::{Categorical, SkillDistribution};
+use crate::error::{DataError, Result};
+use crate::schema::AttributeRole;
+
+/// One demographic (protected) attribute to generate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DemographicSpec {
+    /// Attribute name (e.g. `gender`).
+    pub name: String,
+    /// Value distribution.
+    pub distribution: Categorical,
+    /// Optional conditioning on an *earlier* demographic attribute: when
+    /// the parent takes one of the listed values, the paired distribution
+    /// replaces the default. This produces realistic correlations (the
+    /// paper's Table 1 has them: India-born individuals speak Indian).
+    pub conditional: Vec<(String, String, Categorical)>,
+}
+
+/// One skill (observed) attribute to generate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SkillSpec {
+    /// Attribute name (e.g. `rating`).
+    pub name: String,
+    /// Score distribution (samples clamp into `[0, 1]`).
+    pub distribution: SkillDistribution,
+}
+
+/// A complete synthetic-population specification.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PopulationSpec {
+    /// Number of individuals.
+    pub size: usize,
+    /// RNG seed for reproducibility.
+    pub seed: u64,
+    /// Demographic attributes, in column order.
+    pub demographics: Vec<DemographicSpec>,
+    /// Skill attributes, in column order.
+    pub skills: Vec<SkillSpec>,
+    /// Bias rules applied after generation.
+    pub bias: Vec<BiasRule>,
+}
+
+impl PopulationSpec {
+    /// Starts building a spec.
+    pub fn builder(size: usize, seed: u64) -> PopulationSpecBuilder {
+        PopulationSpecBuilder {
+            spec: PopulationSpec {
+                size,
+                seed,
+                demographics: Vec::new(),
+                skills: Vec::new(),
+                bias: Vec::new(),
+            },
+        }
+    }
+
+    /// Generates the dataset (deterministic for a fixed spec).
+    pub fn generate(&self) -> Result<Dataset> {
+        if self.size == 0 {
+            return Err(DataError::InvalidSpec("population size is zero".into()));
+        }
+        if self.demographics.is_empty() {
+            return Err(DataError::InvalidSpec(
+                "at least one demographic attribute is required".into(),
+            ));
+        }
+        if self.skills.is_empty() {
+            return Err(DataError::InvalidSpec(
+                "at least one skill attribute is required".into(),
+            ));
+        }
+        for s in &self.skills {
+            s.distribution.validate()?;
+        }
+        // Conditional parents must be earlier demographics.
+        for (i, d) in self.demographics.iter().enumerate() {
+            for (parent, _, _) in &d.conditional {
+                if !self.demographics[..i].iter().any(|p| &p.name == parent) {
+                    return Err(DataError::InvalidSpec(format!(
+                        "attribute {:?} conditions on {:?}, which is not an earlier \
+                         demographic attribute",
+                        d.name, parent
+                    )));
+                }
+            }
+        }
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut builder = Dataset::builder();
+        // Worker ids first, as a meta column.
+        let ids: Vec<String> = (0..self.size).map(|i| format!("w{}", i + 1)).collect();
+        builder = builder.categorical("worker_id", AttributeRole::Meta, &ids);
+        let mut generated: Vec<(String, Vec<String>)> = Vec::new();
+        for d in &self.demographics {
+            let values: Vec<String> = (0..self.size)
+                .map(|row| {
+                    let dist = d
+                        .conditional
+                        .iter()
+                        .find(|(parent, value, _)| {
+                            generated
+                                .iter()
+                                .find(|(n, _)| n == parent)
+                                .is_some_and(|(_, vals)| &vals[row] == value)
+                        })
+                        .map(|(_, _, dist)| dist)
+                        .unwrap_or(&d.distribution);
+                    dist.sample(&mut rng).to_string()
+                })
+                .collect();
+            builder =
+                builder.categorical(d.name.clone(), AttributeRole::Protected, &values);
+            generated.push((d.name.clone(), values));
+        }
+        for s in &self.skills {
+            let values: Vec<f64> = (0..self.size)
+                .map(|_| s.distribution.sample(&mut rng))
+                .collect();
+            builder = builder.float(s.name.clone(), AttributeRole::Observed, values);
+        }
+        let dataset = builder.build()?;
+        apply_bias(&dataset, &self.bias)
+    }
+}
+
+/// Builder for [`PopulationSpec`].
+#[derive(Debug, Clone)]
+pub struct PopulationSpecBuilder {
+    spec: PopulationSpec,
+}
+
+impl PopulationSpecBuilder {
+    /// Adds a demographic attribute with weighted values.
+    pub fn demographic<S: Into<String>>(
+        mut self,
+        name: impl Into<String>,
+        values: Vec<(S, f64)>,
+    ) -> Result<Self> {
+        self.spec.demographics.push(DemographicSpec {
+            name: name.into(),
+            distribution: Categorical::new(values)?,
+            conditional: Vec::new(),
+        });
+        Ok(self)
+    }
+
+    /// Adds a conditional distribution to the most recently added
+    /// demographic: when `parent` equals `value`, sample from `values`
+    /// instead of the default (see [`DemographicSpec::conditional`]).
+    pub fn conditioned_on<S: Into<String>>(
+        mut self,
+        parent: impl Into<String>,
+        value: impl Into<String>,
+        values: Vec<(S, f64)>,
+    ) -> Result<Self> {
+        let last = self.spec.demographics.last_mut().ok_or_else(|| {
+            DataError::InvalidSpec(
+                "conditioned_on requires a demographic attribute first".into(),
+            )
+        })?;
+        last.conditional
+            .push((parent.into(), value.into(), Categorical::new(values)?));
+        Ok(self)
+    }
+
+    /// Adds a skill attribute.
+    pub fn skill(
+        mut self,
+        name: impl Into<String>,
+        distribution: SkillDistribution,
+    ) -> Self {
+        self.spec.skills.push(SkillSpec {
+            name: name.into(),
+            distribution,
+        });
+        self
+    }
+
+    /// Adds a bias rule.
+    pub fn bias(mut self, rule: BiasRule) -> Self {
+        self.spec.bias.push(rule);
+        self
+    }
+
+    /// Finishes the spec.
+    pub fn build(self) -> PopulationSpec {
+        self.spec
+    }
+}
+
+/// The demographic layout of the paper's running example (Table 1):
+/// gender, country, year of birth (as decade buckets), language, ethnicity;
+/// skills: experience-like `language_test` and `rating`. Unbiased unless
+/// rules are added.
+pub fn crowdsourcing_spec(size: usize, seed: u64) -> PopulationSpec {
+    PopulationSpec::builder(size, seed)
+        .demographic(
+            "gender",
+            vec![("Female", 0.48), ("Male", 0.52)],
+        )
+        .expect("static spec")
+        .demographic(
+            "country",
+            vec![("America", 0.4), ("India", 0.35), ("Other", 0.25)],
+        )
+        .expect("static spec")
+        .demographic(
+            "birth_decade",
+            vec![
+                ("1960s", 0.1),
+                ("1970s", 0.2),
+                ("1980s", 0.3),
+                ("1990s", 0.25),
+                ("2000s", 0.15),
+            ],
+        )
+        .expect("static spec")
+        .demographic(
+            "language",
+            vec![("English", 0.6), ("Indian", 0.25), ("Other", 0.15)],
+        )
+        .expect("static spec")
+        .demographic(
+            "ethnicity",
+            vec![
+                ("White", 0.45),
+                ("Indian", 0.25),
+                ("African-American", 0.2),
+                ("Other", 0.1),
+            ],
+        )
+        .expect("static spec")
+        .skill(
+            "language_test",
+            SkillDistribution::Beta {
+                alpha: 4.0,
+                beta: 2.5,
+            },
+        )
+        .skill(
+            "rating",
+            SkillDistribution::Beta {
+                alpha: 3.0,
+                beta: 2.0,
+            },
+        )
+        .skill(
+            "experience",
+            SkillDistribution::Beta {
+                alpha: 1.5,
+                beta: 3.0,
+            },
+        )
+        .build()
+}
+
+/// The crowdsourcing spec with Hannak-et-al-style bias: women and
+/// African-American workers receive systematically lower ratings, with an
+/// intersectional extra penalty — the paper's "unfair to older African
+/// Americans compared to younger White Americans" motivating case.
+pub fn biased_crowdsourcing_spec(size: usize, seed: u64) -> PopulationSpec {
+    let mut spec = crowdsourcing_spec(size, seed);
+    spec.bias = vec![
+        BiasRule::shift("gender", "Female", "rating", -0.12),
+        BiasRule::shift("ethnicity", "African-American", "rating", -0.15),
+        BiasRule::shift("ethnicity", "African-American", "rating", -0.10)
+            .and("birth_decade", "1960s"),
+        BiasRule::shift("country", "India", "language_test", -0.08),
+    ];
+    spec
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairank_core::scoring::ObservedTable;
+    use fairank_core::space::ProtectedTable;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = crowdsourcing_spec(50, 7);
+        let a = spec.generate().unwrap();
+        let b = spec.generate().unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = crowdsourcing_spec(50, 1).generate().unwrap();
+        let b = crowdsourcing_spec(50, 2).generate().unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn generated_shape_matches_spec() {
+        let ds = crowdsourcing_spec(120, 3).generate().unwrap();
+        assert_eq!(ds.num_rows(), 120);
+        assert_eq!(ds.protected_attributes().len(), 5);
+        assert_eq!(
+            ds.observed_names(),
+            vec!["language_test", "rating", "experience"]
+        );
+        // Worker ids are meta.
+        assert!(ds.observed_column("worker_id").is_none());
+    }
+
+    #[test]
+    fn skills_are_unit_interval() {
+        let ds = crowdsourcing_spec(200, 9).generate().unwrap();
+        for name in ["language_test", "rating", "experience"] {
+            let col = ds.observed_column(name).unwrap();
+            assert!(col.iter().all(|v| (0.0..=1.0).contains(v)), "{name}");
+        }
+    }
+
+    #[test]
+    fn bias_rules_shift_group_means() {
+        let n = 3000;
+        let unbiased = crowdsourcing_spec(n, 11).generate().unwrap();
+        let biased = biased_crowdsourcing_spec(n, 11).generate().unwrap();
+
+        let mean_rating = |ds: &Dataset, value: &str| -> f64 {
+            let (codes, labels) = ds
+                .column("gender")
+                .unwrap()
+                .as_categorical()
+                .unwrap();
+            let target = labels.iter().position(|l| l == value).unwrap() as u32;
+            let ratings = ds.observed_column("rating").unwrap();
+            let (sum, count) = codes
+                .iter()
+                .zip(ratings)
+                .filter(|(&c, _)| c == target)
+                .fold((0.0, 0usize), |(s, n), (_, &r)| (s + r, n + 1));
+            sum / count as f64
+        };
+
+        let gap_unbiased = mean_rating(&unbiased, "Male") - mean_rating(&unbiased, "Female");
+        let gap_biased = mean_rating(&biased, "Male") - mean_rating(&biased, "Female");
+        assert!(gap_unbiased.abs() < 0.05, "unbiased gap {gap_unbiased}");
+        assert!(gap_biased > 0.08, "biased gap {gap_biased}");
+    }
+
+    #[test]
+    fn spec_validation() {
+        assert!(crowdsourcing_spec(0, 1).generate().is_err());
+        let no_demo = PopulationSpec {
+            size: 10,
+            seed: 1,
+            demographics: vec![],
+            skills: crowdsourcing_spec(1, 1).skills,
+            bias: vec![],
+        };
+        assert!(no_demo.generate().is_err());
+        let no_skill = PopulationSpec {
+            size: 10,
+            seed: 1,
+            demographics: crowdsourcing_spec(1, 1).demographics,
+            skills: vec![],
+            bias: vec![],
+        };
+        assert!(no_skill.generate().is_err());
+    }
+
+    #[test]
+    fn conditional_demographics_correlate() {
+        // Language depends on country, like the paper's Table 1.
+        let spec = PopulationSpec::builder(2000, 11)
+            .demographic("country", vec![("India", 0.5), ("America", 0.5)])
+            .unwrap()
+            .demographic("language", vec![("English", 1.0)])
+            .unwrap()
+            .conditioned_on(
+                "country",
+                "India",
+                vec![("Indian", 0.8), ("English", 0.2)],
+            )
+            .unwrap()
+            .skill("rating", SkillDistribution::Uniform { lo: 0.0, hi: 1.0 })
+            .build();
+        let ds = spec.generate().unwrap();
+        let (c_codes, c_labels) = ds.column("country").unwrap().as_categorical().unwrap();
+        let (l_codes, l_labels) = ds.column("language").unwrap().as_categorical().unwrap();
+        let india = c_labels.iter().position(|l| l == "India").unwrap() as u32;
+        let indian = l_labels.iter().position(|l| l == "Indian").unwrap() as u32;
+        let (mut india_indian, mut india_total, mut other_indian) = (0, 0, 0);
+        for (c, l) in c_codes.iter().zip(l_codes) {
+            if *c == india {
+                india_total += 1;
+                if *l == indian {
+                    india_indian += 1;
+                }
+            } else if *l == indian {
+                other_indian += 1;
+            }
+        }
+        let frac = india_indian as f64 / india_total as f64;
+        assert!((frac - 0.8).abs() < 0.05, "India→Indian frac {frac}");
+        assert_eq!(other_indian, 0, "non-India rows never speak Indian");
+    }
+
+    #[test]
+    fn conditional_on_unknown_parent_is_rejected() {
+        let spec = PopulationSpec::builder(10, 1)
+            .demographic("language", vec![("en", 1.0)])
+            .unwrap()
+            .conditioned_on("country", "India", vec![("in", 1.0)])
+            .unwrap()
+            .skill("rating", SkillDistribution::Uniform { lo: 0.0, hi: 1.0 })
+            .build();
+        // "country" is not an earlier attribute → generation fails.
+        assert!(spec.generate().is_err());
+    }
+
+    #[test]
+    fn conditioned_on_requires_a_demographic_first() {
+        let err = PopulationSpec::builder(10, 1)
+            .conditioned_on("x", "y", vec![("a", 1.0)])
+            .unwrap_err();
+        assert!(err.to_string().contains("demographic attribute first"));
+    }
+
+    #[test]
+    fn spec_serializes() {
+        let spec = biased_crowdsourcing_spec(10, 5);
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: PopulationSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(spec, back);
+    }
+}

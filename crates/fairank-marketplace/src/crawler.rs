@@ -1,0 +1,199 @@
+//! The crawler: observes a marketplace the way an external auditor does.
+//!
+//! "FaiRank … can be used as a service to quantify fairness in existing
+//! blackbox job marketplaces" (§1). The crawler walks the job catalog under
+//! a transparency setting and packages, per job, everything downstream
+//! analysis needs: the exposed worker data and the score source. The
+//! quantification itself happens in `fairank_core::quantify` (wired up by
+//! the session's auditor report).
+
+use fairank_core::fairness::FairnessCriterion;
+use fairank_core::quantify::{Quantify, QuantifyOutcome};
+use fairank_data::dataset::Dataset;
+
+use crate::error::Result;
+use crate::platform::{Marketplace, Observation, Transparency};
+
+/// One crawled job: the observation plus its quantified fairness.
+#[derive(Debug, Clone)]
+pub struct CrawledJob {
+    /// Job id.
+    pub job_id: String,
+    /// Job title.
+    pub title: String,
+    /// The exposed worker data.
+    pub dataset: Dataset,
+    /// The quantification outcome under the crawl's criterion.
+    pub outcome: QuantifyOutcome,
+}
+
+/// A full crawl of a marketplace.
+#[derive(Debug, Clone)]
+pub struct Crawl {
+    /// Marketplace name.
+    pub marketplace: String,
+    /// The transparency setting the crawl ran under.
+    pub transparency: Transparency,
+    /// Per-job results, in catalog order.
+    pub jobs: Vec<CrawledJob>,
+}
+
+/// Observes one job and quantifies its fairness.
+pub fn crawl_job(
+    marketplace: &Marketplace,
+    job_id: &str,
+    transparency: &Transparency,
+    criterion: &FairnessCriterion,
+) -> Result<CrawledJob> {
+    let Observation {
+        job_id,
+        dataset,
+        source,
+    } = marketplace.observe(job_id, transparency)?;
+    let outcome = Quantify::new(*criterion).run(&dataset, &source)?;
+    let title = marketplace.job(&job_id)?.title.clone();
+    Ok(CrawledJob {
+        job_id,
+        title,
+        dataset,
+        outcome,
+    })
+}
+
+/// Crawls every job in the catalog.
+pub fn crawl_marketplace(
+    marketplace: &Marketplace,
+    transparency: &Transparency,
+    criterion: &FairnessCriterion,
+) -> Result<Crawl> {
+    let mut jobs = Vec::with_capacity(marketplace.jobs().len());
+    for job in marketplace.jobs() {
+        jobs.push(crawl_job(marketplace, &job.id, transparency, criterion)?);
+    }
+    Ok(Crawl {
+        marketplace: marketplace.name.clone(),
+        transparency: transparency.clone(),
+        jobs,
+    })
+}
+
+impl Crawl {
+    /// Jobs ordered from most to least unfair under the crawl's criterion.
+    pub fn ranked_by_unfairness(&self) -> Vec<&CrawledJob> {
+        let mut out: Vec<&CrawledJob> = self.jobs.iter().collect();
+        out.sort_by(|a, b| {
+            b.outcome
+                .unfairness
+                .partial_cmp(&a.outcome.unfairness)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::Job;
+    use fairank_core::scoring::LinearScoring;
+    use fairank_data::schema::AttributeRole;
+
+    fn market() -> Marketplace {
+        // "skill" is clean; "biased_skill" penalizes females heavily.
+        let workers = Dataset::builder()
+            .categorical(
+                "gender",
+                AttributeRole::Protected,
+                &["F", "M", "F", "M", "F", "M", "F", "M"],
+            )
+            .float(
+                "skill",
+                AttributeRole::Observed,
+                vec![0.52, 0.5, 0.48, 0.51, 0.49, 0.5, 0.53, 0.47],
+            )
+            .float(
+                "biased_skill",
+                AttributeRole::Observed,
+                vec![0.1, 0.9, 0.15, 0.85, 0.12, 0.88, 0.11, 0.9],
+            )
+            .build()
+            .unwrap();
+        let fair_job = Job::new(
+            "fair",
+            "Fair job",
+            LinearScoring::builder().weight("skill", 1.0).build_unchecked().unwrap(),
+        );
+        let unfair_job = Job::new(
+            "unfair",
+            "Unfair job",
+            LinearScoring::builder()
+                .weight("biased_skill", 1.0)
+                .build_unchecked()
+                .unwrap(),
+        );
+        Marketplace::new("toy", workers, vec![fair_job, unfair_job]).unwrap()
+    }
+
+    #[test]
+    fn crawl_quantifies_every_job() {
+        let m = market();
+        let crawl = crawl_marketplace(
+            &m,
+            &Transparency::full(),
+            &FairnessCriterion::default(),
+        )
+        .unwrap();
+        assert_eq!(crawl.jobs.len(), 2);
+        assert_eq!(crawl.marketplace, "toy");
+    }
+
+    #[test]
+    fn unfair_job_ranks_first() {
+        let m = market();
+        let crawl = crawl_marketplace(
+            &m,
+            &Transparency::full(),
+            &FairnessCriterion::default(),
+        )
+        .unwrap();
+        let ranked = crawl.ranked_by_unfairness();
+        assert_eq!(ranked[0].job_id, "unfair");
+        assert!(ranked[0].outcome.unfairness > ranked[1].outcome.unfairness);
+        assert!(ranked[0].outcome.unfairness > 0.5);
+    }
+
+    #[test]
+    fn ranking_only_crawl_still_detects_bias() {
+        let m = market();
+        let t = Transparency {
+            function: crate::platform::FunctionTransparency::RankingOnly,
+            data: crate::platform::DataTransparency::Full,
+        };
+        let crawl =
+            crawl_marketplace(&m, &t, &FairnessCriterion::default()).unwrap();
+        let ranked = crawl.ranked_by_unfairness();
+        // Under rank histograms the biased job still shows the gap: all
+        // females rank in the bottom half.
+        assert_eq!(ranked[0].job_id, "unfair");
+    }
+
+    #[test]
+    fn single_job_crawl() {
+        let m = market();
+        let job = crawl_job(
+            &m,
+            "fair",
+            &Transparency::full(),
+            &FairnessCriterion::default(),
+        )
+        .unwrap();
+        assert_eq!(job.title, "Fair job");
+        assert!(crawl_job(
+            &m,
+            "ghost",
+            &Transparency::full(),
+            &FairnessCriterion::default()
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,340 @@
+//! Ranking feedback dynamics: what repeated ranking does to fairness.
+//!
+//! Online marketplaces re-rank continuously, and ranking causes exposure,
+//! hires, and new ratings — a feedback loop the fairness-in-ranking
+//! literature the paper builds on (Biega et al., Singh & Joachims) warns
+//! can amplify initial gaps. This module simulates that loop on a
+//! marketplace job: each round the top-k ranked workers are "hired" and
+//! their rating drifts upward; everyone else's decays slightly. Experiment
+//! E14 tracks the quantified unfairness round by round.
+
+use fairank_core::fairness::FairnessCriterion;
+use fairank_core::quantify::Quantify;
+use fairank_core::scoring::{ObservedTable, ScoreSource};
+use fairank_data::column::ColumnData;
+use fairank_data::dataset::Dataset;
+use serde::{Deserialize, Serialize};
+
+use crate::error::{MarketError, Result};
+use crate::platform::Marketplace;
+
+/// Parameters of the feedback simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FeedbackConfig {
+    /// Number of ranking/hiring rounds.
+    pub rounds: usize,
+    /// Workers hired (and boosted) per round.
+    pub top_k: usize,
+    /// Rating drift for hired workers: `r ← r + boost · (1 − r)`.
+    pub boost: f64,
+    /// Rating decay for unhired workers: `r ← r · (1 − decay)`.
+    pub decay: f64,
+}
+
+impl Default for FeedbackConfig {
+    fn default() -> Self {
+        FeedbackConfig {
+            rounds: 20,
+            top_k: 20,
+            boost: 0.08,
+            decay: 0.01,
+        }
+    }
+}
+
+/// One round's measurements.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RoundStats {
+    /// Round index (0 = before any feedback).
+    pub round: usize,
+    /// Quantified unfairness of the job's ranking at this point (the
+    /// adaptive most-unfair partitioning — can move either way as the
+    /// search re-partitions each round).
+    pub unfairness: f64,
+    /// Unfairness of the *fixed* partitioning induced by the tracked
+    /// protected attribute — the demographic gap the loop amplifies.
+    pub tracked_gap: f64,
+    /// Mean rating over all workers.
+    pub mean_rating: f64,
+    /// Gini-style concentration of the rating mass (0 = equal).
+    pub rating_gini: f64,
+}
+
+/// The full trajectory of a feedback simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeedbackOutcome {
+    /// Per-round statistics, round 0 first.
+    pub rounds: Vec<RoundStats>,
+    /// The final worker dataset (with drifted ratings).
+    pub final_workers: Dataset,
+}
+
+/// Runs the feedback loop for one job. The job's scoring function must
+/// reference a `rating` observed attribute (the feedback target).
+pub fn simulate_feedback(
+    marketplace: &Marketplace,
+    job_id: &str,
+    rating_column: &str,
+    tracked_attribute: &str,
+    criterion: &FairnessCriterion,
+    config: FeedbackConfig,
+) -> Result<FeedbackOutcome> {
+    if config.rounds == 0 {
+        return Err(MarketError::InvalidMarketplace(
+            "feedback simulation needs at least one round".into(),
+        ));
+    }
+    if !(0.0..=1.0).contains(&config.boost) || !(0.0..=1.0).contains(&config.decay) {
+        return Err(MarketError::InvalidMarketplace(
+            "boost and decay must be fractions".into(),
+        ));
+    }
+    let job = marketplace.job(job_id)?;
+    let mut workers = marketplace.workers().clone();
+    if workers.observed_column(rating_column).is_none() {
+        return Err(MarketError::UnknownSkill {
+            job: job.id.clone(),
+            skill: rating_column.to_string(),
+        });
+    }
+    let top_k = config.top_k.min(workers.num_rows());
+
+    let quantifier = Quantify::new(*criterion);
+    let mut rounds = Vec::with_capacity(config.rounds + 1);
+    for round in 0..=config.rounds {
+        // Measure.
+        let source = ScoreSource::Function(job.scoring.clone());
+        let outcome = quantifier.run(&workers, &source)?;
+        let space = workers.to_space(&source)?;
+        let attr = space.attribute_index(tracked_attribute).ok_or_else(|| {
+            MarketError::InvalidMarketplace(format!(
+                "tracked attribute {tracked_attribute:?} is not protected"
+            ))
+        })?;
+        let fixed = fairank_core::partition::Partition::root(&space).split(&space, attr);
+        let tracked_gap = criterion.unfairness(&fixed, space.scores())?;
+        let ratings = workers
+            .observed_column(rating_column)
+            .expect("validated above")
+            .to_vec();
+        rounds.push(RoundStats {
+            round,
+            unfairness: outcome.unfairness,
+            tracked_gap,
+            mean_rating: ratings.iter().sum::<f64>() / ratings.len() as f64,
+            rating_gini: gini(&ratings),
+        });
+        if round == config.rounds {
+            break;
+        }
+        // Rank, hire, drift.
+        let scores = job.scoring.score_all(&workers)?;
+        let ranking = fairank_core::scoring::scores_to_ranking(&scores);
+        let mut hired = vec![false; workers.num_rows()];
+        for &row in ranking.iter().take(top_k) {
+            hired[row as usize] = true;
+        }
+        workers = drift_ratings(&workers, rating_column, &hired, config)?;
+    }
+    Ok(FeedbackOutcome {
+        rounds,
+        final_workers: workers,
+    })
+}
+
+fn drift_ratings(
+    workers: &Dataset,
+    rating_column: &str,
+    hired: &[bool],
+    config: FeedbackConfig,
+) -> Result<Dataset> {
+    let mut builder = Dataset::builder();
+    for (field, col) in workers.schema().fields().iter().zip(workers.columns()) {
+        builder = if field.name == rating_column {
+            let values = col.as_float().expect("rating is observed float");
+            let drifted: Vec<f64> = values
+                .iter()
+                .zip(hired)
+                .map(|(&r, &h)| {
+                    if h {
+                        (r + config.boost * (1.0 - r)).clamp(0.0, 1.0)
+                    } else {
+                        (r * (1.0 - config.decay)).clamp(0.0, 1.0)
+                    }
+                })
+                .collect();
+            builder.float(field.name.clone(), field.role, drifted)
+        } else {
+            match &col.data {
+                ColumnData::Categorical { codes, labels } => {
+                    let values: Vec<&str> =
+                        codes.iter().map(|&c| labels[c as usize].as_str()).collect();
+                    builder.categorical(field.name.clone(), field.role, &values)
+                }
+                ColumnData::Float(v) => builder.float(field.name.clone(), field.role, v.clone()),
+                ColumnData::Integer(v) => {
+                    builder.integer(field.name.clone(), field.role, v.clone())
+                }
+            }
+        };
+    }
+    Ok(builder.build()?)
+}
+
+/// Gini coefficient of a non-negative sample (0 = perfectly equal).
+pub fn gini(values: &[f64]) -> f64 {
+    let n = values.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let sum: f64 = sorted.iter().sum();
+    if sum <= 0.0 {
+        return 0.0;
+    }
+    let weighted: f64 = sorted
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (2.0 * (i as f64 + 1.0) - n as f64 - 1.0) * v)
+        .sum();
+    weighted / (n as f64 * sum)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::taskrabbit_like;
+
+    #[test]
+    fn gini_basics() {
+        assert_eq!(gini(&[]), 0.0);
+        assert!(gini(&[0.5, 0.5, 0.5]).abs() < 1e-12);
+        // All mass on one individual approaches (n-1)/n.
+        let g = gini(&[0.0, 0.0, 0.0, 1.0]);
+        assert!((g - 0.75).abs() < 1e-12);
+        assert!(gini(&[0.2, 0.4, 0.6]) > 0.0);
+    }
+
+    #[test]
+    fn feedback_amplifies_unfairness_on_biased_job() {
+        let market = taskrabbit_like(250, 42).unwrap();
+        let outcome = simulate_feedback(
+            &market,
+            "rated-anything",
+            "rating",
+            "gender",
+            &FairnessCriterion::default(),
+            FeedbackConfig {
+                rounds: 12,
+                top_k: 25,
+                boost: 0.1,
+                decay: 0.02,
+            },
+        )
+        .unwrap();
+        assert_eq!(outcome.rounds.len(), 13);
+        let first = &outcome.rounds[0];
+        let last = outcome.rounds.last().unwrap();
+        // The rich-get-richer loop concentrates ratings…
+        assert!(
+            last.rating_gini > first.rating_gini,
+            "gini {} -> {}",
+            first.rating_gini,
+            last.rating_gini
+        );
+        // …and the fixed demographic gap (here: gender, which carries the
+        // injected rating penalty) widens.
+        assert!(
+            last.tracked_gap > first.tracked_gap,
+            "gender gap {} -> {}",
+            first.tracked_gap,
+            last.tracked_gap
+        );
+    }
+
+    #[test]
+    fn rounds_are_monotone_in_round_index() {
+        let market = taskrabbit_like(100, 7).unwrap();
+        let outcome = simulate_feedback(
+            &market,
+            "errands",
+            "rating",
+            "gender",
+            &FairnessCriterion::default(),
+            FeedbackConfig {
+                rounds: 3,
+                top_k: 10,
+                boost: 0.05,
+                decay: 0.0,
+            },
+        )
+        .unwrap();
+        for (i, r) in outcome.rounds.iter().enumerate() {
+            assert_eq!(r.round, i);
+        }
+        // Zero decay: mean rating cannot fall.
+        assert!(
+            outcome.rounds.last().unwrap().mean_rating
+                >= outcome.rounds[0].mean_rating - 1e-12
+        );
+    }
+
+    #[test]
+    fn validation_errors() {
+        let market = taskrabbit_like(50, 1).unwrap();
+        let criterion = FairnessCriterion::default();
+        for (job, skill, attr, cfg) in [
+            ("ghost-job", "rating", "gender", FeedbackConfig::default()),
+            ("errands", "ghost-skill", "gender", FeedbackConfig::default()),
+            ("errands", "rating", "ghost-attr", FeedbackConfig::default()),
+            (
+                "errands",
+                "rating",
+                "gender",
+                FeedbackConfig {
+                    rounds: 0,
+                    ..Default::default()
+                },
+            ),
+            (
+                "errands",
+                "rating",
+                "gender",
+                FeedbackConfig {
+                    boost: 7.0,
+                    ..Default::default()
+                },
+            ),
+        ] {
+            assert!(
+                simulate_feedback(&market, job, skill, attr, &criterion, cfg).is_err(),
+                "{job}/{skill}/{attr}"
+            );
+        }
+    }
+
+    #[test]
+    fn final_workers_keep_schema() {
+        let market = taskrabbit_like(60, 5).unwrap();
+        let outcome = simulate_feedback(
+            &market,
+            "errands",
+            "rating",
+            "gender",
+            &FairnessCriterion::default(),
+            FeedbackConfig {
+                rounds: 2,
+                top_k: 5,
+                boost: 0.1,
+                decay: 0.01,
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            outcome.final_workers.schema(),
+            market.workers().schema()
+        );
+        assert_eq!(outcome.final_workers.num_rows(), 60);
+    }
+}

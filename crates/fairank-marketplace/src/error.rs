@@ -1,0 +1,94 @@
+//! Errors of the marketplace substrate.
+
+use std::fmt;
+
+use fairank_anonymize::AnonError;
+use fairank_core::CoreError;
+use fairank_data::DataError;
+
+/// Errors produced by marketplace simulation and crawling.
+#[derive(Debug)]
+pub enum MarketError {
+    /// A job id was not found in the catalog.
+    UnknownJob(String),
+    /// A job referenced a skill the worker population does not have.
+    UnknownSkill { job: String, skill: String },
+    /// A marketplace was configured inconsistently.
+    InvalidMarketplace(String),
+    /// An error bubbled up from the core crate.
+    Core(CoreError),
+    /// An error bubbled up from the dataset substrate.
+    Data(DataError),
+    /// An error bubbled up from the anonymization substrate.
+    Anon(AnonError),
+}
+
+impl fmt::Display for MarketError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MarketError::UnknownJob(id) => write!(f, "unknown job {id:?}"),
+            MarketError::UnknownSkill { job, skill } => {
+                write!(f, "job {job:?} requires unknown skill {skill:?}")
+            }
+            MarketError::InvalidMarketplace(msg) => write!(f, "invalid marketplace: {msg}"),
+            MarketError::Core(e) => write!(f, "core error: {e}"),
+            MarketError::Data(e) => write!(f, "data error: {e}"),
+            MarketError::Anon(e) => write!(f, "anonymization error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MarketError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MarketError::Core(e) => Some(e),
+            MarketError::Data(e) => Some(e),
+            MarketError::Anon(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CoreError> for MarketError {
+    fn from(e: CoreError) -> Self {
+        MarketError::Core(e)
+    }
+}
+impl From<DataError> for MarketError {
+    fn from(e: DataError) -> Self {
+        MarketError::Data(e)
+    }
+}
+impl From<AnonError> for MarketError {
+    fn from(e: AnonError) -> Self {
+        MarketError::Anon(e)
+    }
+}
+
+/// Convenience alias for this crate.
+pub type Result<T> = std::result::Result<T, MarketError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversions() {
+        assert!(MarketError::UnknownJob("j1".into()).to_string().contains("j1"));
+        assert!(MarketError::UnknownSkill {
+            job: "j".into(),
+            skill: "s".into()
+        }
+        .to_string()
+        .contains("unknown skill"));
+        assert!(MarketError::InvalidMarketplace("no jobs".into())
+            .to_string()
+            .contains("no jobs"));
+        let e: MarketError = CoreError::EmptyInput.into();
+        assert!(e.to_string().contains("core"));
+        let e: MarketError = DataError::UnknownColumn("x".into()).into();
+        assert!(e.to_string().contains("data"));
+        let e: MarketError = AnonError::BadParameter("k".into()).into();
+        assert!(e.to_string().contains("anonymization"));
+    }
+}

@@ -1,0 +1,96 @@
+//! Jobs and their scoring functions.
+//!
+//! "The user can select or upload … a scoring function to rank individuals
+//! … for example a linear combination of an individual's reputation and
+//! plumbing skills" (§2). On a marketplace every job carries its own
+//! function; the job owner explores *variants* of it (§4, JOB OWNER).
+
+use fairank_core::scoring::LinearScoring;
+use serde::{Deserialize, Serialize};
+
+/// A job posting: an id, a human title, and the scoring function the
+/// platform uses to rank candidates for it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Job {
+    /// Stable identifier, unique within a marketplace.
+    pub id: String,
+    /// Human-readable title (e.g. "Installing wood panels").
+    pub title: String,
+    /// The scoring function; its weighted attributes are the skills the
+    /// job requires.
+    pub scoring: LinearScoring,
+}
+
+impl Job {
+    /// Creates a job.
+    pub fn new(
+        id: impl Into<String>,
+        title: impl Into<String>,
+        scoring: LinearScoring,
+    ) -> Self {
+        Job {
+            id: id.into(),
+            title: title.into(),
+            scoring,
+        }
+    }
+
+    /// The skills (observed attributes) this job's function weighs.
+    pub fn required_skills(&self) -> Vec<&str> {
+        self.scoring.terms().iter().map(|(n, _)| n.as_str()).collect()
+    }
+
+    /// A variant of this job with one scoring weight changed — the
+    /// job-owner exploration primitive.
+    pub fn variant(&self, skill: &str, weight: f64) -> fairank_core::Result<Job> {
+        Ok(Job {
+            id: format!("{}#{}={}", self.id, skill, weight),
+            title: self.title.clone(),
+            scoring: self.scoring.with_weight(skill, weight)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scoring() -> LinearScoring {
+        LinearScoring::builder()
+            .weight("plumbing", 0.7)
+            .weight("rating", 0.3)
+            .build_unchecked()
+            .unwrap()
+    }
+
+    #[test]
+    fn required_skills_mirror_terms() {
+        let job = Job::new("j1", "Fix a sink", scoring());
+        assert_eq!(job.required_skills(), vec!["plumbing", "rating"]);
+    }
+
+    #[test]
+    fn variant_changes_one_weight_and_id() {
+        let job = Job::new("j1", "Fix a sink", scoring());
+        let v = job.variant("rating", 0.6).unwrap();
+        assert_ne!(v.id, job.id);
+        assert_eq!(v.title, job.title);
+        assert_eq!(
+            v.scoring.terms().iter().find(|(n, _)| n == "rating").unwrap().1,
+            0.6
+        );
+        // Original untouched.
+        assert_eq!(
+            job.scoring.terms().iter().find(|(n, _)| n == "rating").unwrap().1,
+            0.3
+        );
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let job = Job::new("j1", "Fix a sink", scoring());
+        let json = serde_json::to_string(&job).unwrap();
+        let back: Job = serde_json::from_str(&json).unwrap();
+        assert_eq!(job, back);
+    }
+}

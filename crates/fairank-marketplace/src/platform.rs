@@ -1,0 +1,365 @@
+//! The marketplace: workers + jobs + a ranking service with transparency
+//! modes.
+//!
+//! FaiRank "can operate under various transparency settings … as a service
+//! to quantify fairness in existing blackbox job marketplaces" (§1). The
+//! two axes are *process* transparency (is the scoring function visible, or
+//! only the ranking?) and *data* transparency (are worker attributes fully
+//! visible, k-anonymized, or hidden?).
+
+use fairank_anonymize::{mondrian, MondrianConfig};
+use fairank_core::scoring::{scores_to_ranking, ObservedTable, ScoreSource};
+use fairank_data::dataset::Dataset;
+use fairank_data::schema::AttributeRole;
+use serde::{Deserialize, Serialize};
+
+use crate::error::{MarketError, Result};
+use crate::job::Job;
+
+/// Process transparency: what the platform reveals about *how* it ranks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum FunctionTransparency {
+    /// The scoring function itself is published.
+    #[default]
+    Visible,
+    /// Only the resulting ranking is observable (the paper's
+    /// function-opaque setting: histograms are then built over ranks).
+    RankingOnly,
+}
+
+/// Data transparency: what the platform reveals about *whom* it ranks.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum DataTransparency {
+    /// All worker attributes are visible.
+    #[default]
+    Full,
+    /// Protected attributes are k-anonymized (Mondrian recoding) before
+    /// being exposed.
+    Anonymized {
+        /// The anonymity parameter.
+        k: usize,
+    },
+    /// The named attributes are withheld entirely (demoted to meta, so the
+    /// fairness analysis cannot partition on them).
+    Hidden(Vec<String>),
+}
+
+/// A complete transparency setting.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Transparency {
+    /// Process axis.
+    pub function: FunctionTransparency,
+    /// Data axis.
+    pub data: DataTransparency,
+}
+
+impl Transparency {
+    /// Everything visible (the easiest auditing setting).
+    pub fn full() -> Self {
+        Transparency::default()
+    }
+
+    /// Nothing but rankings over k-anonymized profiles — the hardest
+    /// setting the paper demonstrates.
+    pub fn blackbox(k: usize) -> Self {
+        Transparency {
+            function: FunctionTransparency::RankingOnly,
+            data: DataTransparency::Anonymized { k },
+        }
+    }
+}
+
+/// What an observer (auditor/crawler) receives for one job under a given
+/// transparency setting: worker data as exposed, and a score source that is
+/// either the true function or the observable ranking.
+#[derive(Debug, Clone)]
+pub struct Observation {
+    /// The job id observed.
+    pub job_id: String,
+    /// Worker attributes as exposed by the platform.
+    pub dataset: Dataset,
+    /// How scores can be reconstructed.
+    pub source: ScoreSource,
+}
+
+/// A simulated online job marketplace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Marketplace {
+    /// Marketplace name (e.g. "taskrabbit-like").
+    pub name: String,
+    workers: Dataset,
+    jobs: Vec<Job>,
+}
+
+impl Marketplace {
+    /// Builds a marketplace, validating that every job's scoring function
+    /// only references skills the worker population has.
+    pub fn new(name: impl Into<String>, workers: Dataset, jobs: Vec<Job>) -> Result<Self> {
+        if jobs.is_empty() {
+            return Err(MarketError::InvalidMarketplace(
+                "a marketplace needs at least one job".into(),
+            ));
+        }
+        if workers.num_rows() == 0 {
+            return Err(MarketError::InvalidMarketplace(
+                "a marketplace needs at least one worker".into(),
+            ));
+        }
+        let mut ids: Vec<&str> = jobs.iter().map(|j| j.id.as_str()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        if ids.len() != jobs.len() {
+            return Err(MarketError::InvalidMarketplace(
+                "job ids must be unique".into(),
+            ));
+        }
+        for job in &jobs {
+            for skill in job.required_skills() {
+                if workers.observed_column(skill).is_none() {
+                    return Err(MarketError::UnknownSkill {
+                        job: job.id.clone(),
+                        skill: skill.to_string(),
+                    });
+                }
+            }
+        }
+        Ok(Marketplace {
+            name: name.into(),
+            workers,
+            jobs,
+        })
+    }
+
+    /// The worker population.
+    pub fn workers(&self) -> &Dataset {
+        &self.workers
+    }
+
+    /// The job catalog.
+    pub fn jobs(&self) -> &[Job] {
+        &self.jobs
+    }
+
+    /// A job by id.
+    pub fn job(&self, id: &str) -> Result<&Job> {
+        self.jobs
+            .iter()
+            .find(|j| j.id == id)
+            .ok_or_else(|| MarketError::UnknownJob(id.to_string()))
+    }
+
+    /// The true scores of every worker for a job (platform-internal view).
+    pub fn scores_for(&self, job_id: &str) -> Result<Vec<f64>> {
+        let job = self.job(job_id)?;
+        Ok(job.scoring.score_all(&self.workers)?)
+    }
+
+    /// The ranking the platform publishes for a job (best worker first,
+    /// ties broken by row index).
+    pub fn ranking_for(&self, job_id: &str) -> Result<Vec<u32>> {
+        Ok(scores_to_ranking(&self.scores_for(job_id)?))
+    }
+
+    /// Observes one job under a transparency setting — what a crawler
+    /// scraping the platform would obtain.
+    pub fn observe(&self, job_id: &str, transparency: &Transparency) -> Result<Observation> {
+        let job = self.job(job_id)?;
+        let dataset = match &transparency.data {
+            DataTransparency::Full => self.workers.clone(),
+            DataTransparency::Anonymized { k } => {
+                let qis: Vec<&str> = self
+                    .workers
+                    .schema()
+                    .fields()
+                    .iter()
+                    .filter(|f| f.role == AttributeRole::Protected)
+                    .map(|f| f.name.as_str())
+                    .collect();
+                mondrian(&self.workers, &qis, MondrianConfig { k: *k })?.dataset
+            }
+            DataTransparency::Hidden(cols) => {
+                let mut ds = self.workers.clone();
+                for col in cols {
+                    ds = ds.with_role(col, AttributeRole::Meta)?;
+                }
+                ds
+            }
+        };
+        let source = match transparency.function {
+            FunctionTransparency::Visible => ScoreSource::Function(job.scoring.clone()),
+            FunctionTransparency::RankingOnly => {
+                ScoreSource::Ranking(self.ranking_for(job_id)?)
+            }
+        };
+        Ok(Observation {
+            job_id: job.id.clone(),
+            dataset,
+            source,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairank_core::scoring::LinearScoring;
+    use fairank_core::space::ProtectedTable;
+
+    fn workers() -> Dataset {
+        Dataset::builder()
+            .categorical(
+                "gender",
+                AttributeRole::Protected,
+                &["F", "M", "F", "M", "F", "M"],
+            )
+            .integer(
+                "birth_year",
+                AttributeRole::Protected,
+                vec![1990, 1985, 1970, 1975, 2000, 1995],
+            )
+            .float(
+                "plumbing",
+                AttributeRole::Observed,
+                vec![0.9, 0.8, 0.3, 0.4, 0.6, 0.7],
+            )
+            .float(
+                "rating",
+                AttributeRole::Observed,
+                vec![0.5, 0.9, 0.4, 0.8, 0.3, 0.7],
+            )
+            .build()
+            .unwrap()
+    }
+
+    fn market() -> Marketplace {
+        let plumber = Job::new(
+            "plumber",
+            "Fix a sink",
+            LinearScoring::builder()
+                .weight("plumbing", 0.6)
+                .weight("rating", 0.4)
+                .build_unchecked()
+                .unwrap(),
+        );
+        let rated = Job::new(
+            "rated",
+            "Anything rated",
+            LinearScoring::builder()
+                .weight("rating", 1.0)
+                .build_unchecked()
+                .unwrap(),
+        );
+        Marketplace::new("test-market", workers(), vec![plumber, rated]).unwrap()
+    }
+
+    #[test]
+    fn construction_validation() {
+        assert!(Marketplace::new("m", workers(), vec![]).is_err());
+        let ghost_job = Job::new(
+            "g",
+            "Ghost",
+            LinearScoring::builder()
+                .weight("telekinesis", 1.0)
+                .build_unchecked()
+                .unwrap(),
+        );
+        let err = Marketplace::new("m", workers(), vec![ghost_job]).unwrap_err();
+        assert!(matches!(err, MarketError::UnknownSkill { .. }));
+        let dup = vec![
+            Job::new("a", "A", LinearScoring::builder().weight("rating", 1.0).build_unchecked().unwrap()),
+            Job::new("a", "A2", LinearScoring::builder().weight("rating", 1.0).build_unchecked().unwrap()),
+        ];
+        assert!(Marketplace::new("m", workers(), dup).is_err());
+    }
+
+    #[test]
+    fn scores_and_ranking_agree() {
+        let m = market();
+        let scores = m.scores_for("rated").unwrap();
+        let ranking = m.ranking_for("rated").unwrap();
+        // Best rating is worker 1 (0.9), worst is worker 4 (0.3).
+        assert_eq!(ranking[0], 1);
+        assert_eq!(*ranking.last().unwrap(), 4);
+        assert_eq!(scores.len(), 6);
+        assert!(m.scores_for("ghost").is_err());
+    }
+
+    #[test]
+    fn observe_full_transparency() {
+        let m = market();
+        let obs = m.observe("plumber", &Transparency::full()).unwrap();
+        assert_eq!(obs.job_id, "plumber");
+        assert!(matches!(obs.source, ScoreSource::Function(_)));
+        assert_eq!(obs.dataset, *m.workers());
+    }
+
+    #[test]
+    fn observe_ranking_only() {
+        let m = market();
+        let t = Transparency {
+            function: FunctionTransparency::RankingOnly,
+            data: DataTransparency::Full,
+        };
+        let obs = m.observe("rated", &t).unwrap();
+        match &obs.source {
+            ScoreSource::Ranking(r) => assert_eq!(r, &m.ranking_for("rated").unwrap()),
+            other => panic!("expected ranking, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn observe_anonymized_data() {
+        let m = market();
+        let t = Transparency {
+            function: FunctionTransparency::Visible,
+            data: DataTransparency::Anonymized { k: 3 },
+        };
+        let obs = m.observe("plumber", &t).unwrap();
+        // Still 6 workers, still 2 protected attributes, but coarsened.
+        assert_eq!(obs.dataset.num_rows(), 6);
+        let attrs = obs.dataset.protected_attributes();
+        assert_eq!(attrs.len(), 2);
+        assert!(
+            fairank_anonymize::is_k_anonymous(
+                &obs.dataset,
+                &["gender", "birth_year"],
+                3
+            )
+            .unwrap()
+        );
+    }
+
+    #[test]
+    fn observe_hidden_attributes() {
+        let m = market();
+        let t = Transparency {
+            function: FunctionTransparency::Visible,
+            data: DataTransparency::Hidden(vec!["gender".into()]),
+        };
+        let obs = m.observe("plumber", &t).unwrap();
+        let attrs = obs.dataset.protected_attributes();
+        assert_eq!(attrs.len(), 1);
+        assert_eq!(attrs[0].name, "birth_year");
+    }
+
+    #[test]
+    fn blackbox_combines_both_axes() {
+        let m = market();
+        let obs = m.observe("rated", &Transparency::blackbox(2)).unwrap();
+        assert!(matches!(obs.source, ScoreSource::Ranking(_)));
+        assert!(fairank_anonymize::is_k_anonymous(
+            &obs.dataset,
+            &["gender", "birth_year"],
+            2
+        )
+        .unwrap());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let m = market();
+        let json = serde_json::to_string(&m).unwrap();
+        let back: Marketplace = serde_json::from_str(&json).unwrap();
+        assert_eq!(m, back);
+    }
+}

@@ -1,0 +1,250 @@
+//! Canned marketplaces for the demonstration scenarios.
+//!
+//! Two presets mirror the platforms the paper names (§1): a TaskRabbit-like
+//! US gig marketplace and a Qapa-like French temp-work marketplace. Both
+//! populations carry Hannak-et-al-style injected bias so the AUDITOR
+//! scenario has real unfairness to surface, and both catalogs include the
+//! paper's example jobs ("installing wood panels", writing/coding work).
+
+use fairank_core::scoring::LinearScoring;
+use fairank_data::bias::BiasRule;
+use fairank_data::dist::SkillDistribution;
+use fairank_data::synth::PopulationSpec;
+
+use crate::error::Result;
+use crate::job::Job;
+use crate::platform::Marketplace;
+
+fn beta(alpha: f64, beta: f64) -> SkillDistribution {
+    SkillDistribution::Beta { alpha, beta }
+}
+
+fn linear(terms: &[(&str, f64)]) -> LinearScoring {
+    let mut b = LinearScoring::builder();
+    for (name, w) in terms {
+        b = b.weight(*name, *w);
+    }
+    b.build_unchecked().expect("static weights")
+}
+
+/// Population spec of the TaskRabbit-like marketplace: US gig-work
+/// demographics, manual + service skills, and rating bias against women and
+/// African-American workers (the gaps Hannak et al. measured).
+pub fn taskrabbit_population(size: usize, seed: u64) -> PopulationSpec {
+    PopulationSpec::builder(size, seed)
+        .demographic("gender", vec![("Female", 0.45), ("Male", 0.55)])
+        .expect("static spec")
+        .demographic(
+            "ethnicity",
+            vec![
+                ("White", 0.5),
+                ("African-American", 0.22),
+                ("Asian", 0.15),
+                ("Other", 0.13),
+            ],
+        )
+        .expect("static spec")
+        .demographic(
+            "age_band",
+            vec![
+                ("18-29", 0.3),
+                ("30-44", 0.4),
+                ("45-59", 0.2),
+                ("60+", 0.1),
+            ],
+        )
+        .expect("static spec")
+        .demographic(
+            "city",
+            vec![
+                ("NYC", 0.3),
+                ("SF", 0.25),
+                ("Chicago", 0.25),
+                ("Austin", 0.2),
+            ],
+        )
+        .expect("static spec")
+        .skill("rating", beta(4.0, 1.8))
+        .skill("tasks_done", beta(1.6, 3.0))
+        .skill("carpentry", beta(2.0, 2.5))
+        .skill("cleaning", beta(2.5, 2.0))
+        .skill("moving", beta(2.2, 2.2))
+        .skill("punctuality", beta(5.0, 1.5))
+        .bias(BiasRule::shift("gender", "Female", "rating", -0.10))
+        .bias(BiasRule::shift("ethnicity", "African-American", "rating", -0.13))
+        .bias(
+            BiasRule::shift("ethnicity", "African-American", "tasks_done", -0.08)
+                .and("gender", "Female"),
+        )
+        .bias(BiasRule::shift("age_band", "60+", "moving", -0.15))
+        .build()
+}
+
+/// The TaskRabbit-like marketplace: biased population + six manual-work
+/// jobs, each scoring a different skill mix.
+pub fn taskrabbit_like(size: usize, seed: u64) -> Result<Marketplace> {
+    let workers = taskrabbit_population(size, seed).generate()?;
+    let jobs = vec![
+        Job::new(
+            "wood-panels",
+            "Installing wood panels",
+            linear(&[("carpentry", 0.6), ("rating", 0.3), ("punctuality", 0.1)]),
+        ),
+        Job::new(
+            "furniture",
+            "Furniture assembly",
+            linear(&[("carpentry", 0.5), ("tasks_done", 0.2), ("rating", 0.3)]),
+        ),
+        Job::new(
+            "deep-clean",
+            "Apartment deep clean",
+            linear(&[("cleaning", 0.6), ("rating", 0.4)]),
+        ),
+        Job::new(
+            "moving-help",
+            "Moving help",
+            linear(&[("moving", 0.7), ("punctuality", 0.2), ("rating", 0.1)]),
+        ),
+        Job::new(
+            "errands",
+            "Running errands",
+            linear(&[("punctuality", 0.5), ("rating", 0.5)]),
+        ),
+        Job::new(
+            "rated-anything",
+            "Any task, best rated",
+            linear(&[("rating", 1.0)]),
+        ),
+    ];
+    Marketplace::new("taskrabbit-like", workers, jobs)
+}
+
+/// Population spec of the Qapa-like marketplace: French temp-work
+/// demographics (the paper's French Criminal Law framing) with
+/// origin/gender wage-proxy bias.
+pub fn qapa_population(size: usize, seed: u64) -> PopulationSpec {
+    PopulationSpec::builder(size, seed)
+        .demographic("gender", vec![("Femme", 0.48), ("Homme", 0.52)])
+        .expect("static spec")
+        .demographic(
+            "origin",
+            vec![
+                ("France", 0.6),
+                ("Maghreb", 0.18),
+                ("Afrique", 0.12),
+                ("Autre", 0.1),
+            ],
+        )
+        .expect("static spec")
+        .demographic(
+            "region",
+            vec![
+                ("Île-de-France", 0.35),
+                ("Auvergne-Rhône-Alpes", 0.25),
+                ("Occitanie", 0.2),
+                ("Autre", 0.2),
+            ],
+        )
+        .expect("static spec")
+        .demographic(
+            "age_band",
+            vec![("18-25", 0.25), ("26-40", 0.4), ("41-55", 0.25), ("56+", 0.1)],
+        )
+        .expect("static spec")
+        .skill("french_test", beta(5.0, 1.6))
+        .skill("experience", beta(1.8, 2.8))
+        .skill("customer_rating", beta(4.0, 2.0))
+        .skill("writing", beta(2.5, 2.5))
+        .skill("coding", beta(1.8, 3.2))
+        .bias(BiasRule::shift("origin", "Maghreb", "customer_rating", -0.11))
+        .bias(BiasRule::shift("origin", "Afrique", "customer_rating", -0.12))
+        .bias(BiasRule::shift("gender", "Femme", "experience", -0.06))
+        .bias(
+            BiasRule::shift("age_band", "56+", "coding", -0.1),
+        )
+        .build()
+}
+
+/// The Qapa-like marketplace: biased population + five jobs including the
+/// paper's code-writing job-owner example.
+pub fn qapa_like(size: usize, seed: u64) -> Result<Marketplace> {
+    let workers = qapa_population(size, seed).generate()?;
+    let jobs = vec![
+        Job::new(
+            "redaction",
+            "Rédaction web",
+            linear(&[("writing", 0.5), ("french_test", 0.4), ("customer_rating", 0.1)]),
+        ),
+        Job::new(
+            "code",
+            "Write code online",
+            linear(&[("coding", 0.7), ("customer_rating", 0.3)]),
+        ),
+        Job::new(
+            "accueil",
+            "Agent d'accueil",
+            linear(&[("french_test", 0.5), ("customer_rating", 0.5)]),
+        ),
+        Job::new(
+            "manutention",
+            "Manutention",
+            linear(&[("experience", 0.6), ("customer_rating", 0.4)]),
+        ),
+        Job::new(
+            "best-rated",
+            "Mission au mieux noté",
+            linear(&[("customer_rating", 1.0)]),
+        ),
+    ];
+    Marketplace::new("qapa-like", workers, jobs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::crawler::crawl_marketplace;
+    use crate::platform::Transparency;
+    use fairank_core::fairness::FairnessCriterion;
+
+    #[test]
+    fn taskrabbit_builds_and_ranks() {
+        let m = taskrabbit_like(200, 42).unwrap();
+        assert_eq!(m.jobs().len(), 6);
+        assert_eq!(m.workers().num_rows(), 200);
+        let ranking = m.ranking_for("wood-panels").unwrap();
+        assert_eq!(ranking.len(), 200);
+    }
+
+    #[test]
+    fn qapa_builds_and_ranks() {
+        let m = qapa_like(150, 7).unwrap();
+        assert_eq!(m.jobs().len(), 5);
+        let scores = m.scores_for("code").unwrap();
+        assert!(scores.iter().all(|s| (0.0..=1.0).contains(s)));
+    }
+
+    #[test]
+    fn presets_are_deterministic() {
+        let a = taskrabbit_like(100, 3).unwrap();
+        let b = taskrabbit_like(100, 3).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn injected_bias_is_detectable_by_audit() {
+        let m = taskrabbit_like(400, 11).unwrap();
+        let crawl = crawl_marketplace(
+            &m,
+            &Transparency::full(),
+            &FairnessCriterion::default(),
+        )
+        .unwrap();
+        // The pure-rating job carries the strongest injected bias signal;
+        // every job's quantification must at least find some unfairness.
+        for job in &crawl.jobs {
+            assert!(job.outcome.unfairness > 0.0, "{}", job.job_id);
+        }
+        let ranked = crawl.ranked_by_unfairness();
+        assert!(ranked[0].outcome.unfairness > 0.05);
+    }
+}

@@ -1,0 +1,862 @@
+//! The command language driving the FaiRank REPL.
+//!
+//! Every interaction of the Figure 3 interface has a textual command:
+//! loading/generating datasets, defining scoring functions, filtering,
+//! anonymizing, quantifying into panels, inspecting trees and nodes,
+//! comparing panels, exporting, and running the three §4 scenario reports.
+//!
+//! Grammar: whitespace-separated tokens; `key=value` options; values with
+//! spaces are double-quoted (`where="gender=F & country=India"`).
+
+use fairank_core::emd::{Emd, EmdBackend};
+use fairank_core::fairness::{Aggregator, FairnessCriterion, Objective};
+use fairank_core::histogram::HistogramSpec;
+use fairank_core::scoring::{scores_to_ranking, LinearScoring, ScoreSource};
+use fairank_data::csv::CsvOptions;
+use fairank_data::filter::Filter;
+use fairank_data::synth;
+use fairank_marketplace::scenario;
+use fairank_marketplace::Transparency;
+
+use crate::config::Configuration;
+use crate::error::{Result, SessionError};
+use crate::render;
+use crate::report;
+use crate::session::{AnonMethod, Session};
+
+/// A parsed command.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Show the command reference.
+    Help,
+    /// List registered datasets.
+    Datasets,
+    /// List registered functions.
+    Functions,
+    /// List panels.
+    Panels,
+    /// Load a CSV dataset: `load <name> <path>`.
+    Load { name: String, path: String },
+    /// Generate a synthetic dataset: `generate <name> <preset> [n=] [seed=]`.
+    Generate {
+        name: String,
+        preset: String,
+        n: usize,
+        seed: u64,
+    },
+    /// Define a scoring function: `define <name> <attr*w+attr*w…>`.
+    Define { name: String, expr: String },
+    /// Print the head of a dataset: `data <name> [rows]`.
+    ShowData { name: String, rows: usize },
+    /// Per-column summary statistics: `describe <name>`.
+    Describe { name: String },
+    /// Save the session's datasets and functions: `save <dir>`.
+    Save { dir: String },
+    /// Replace the session with a saved one: `open <dir>`.
+    Open { dir: String },
+    /// Derive a filtered dataset: `filter <new> <source> <expr>`.
+    DeriveFilter {
+        new_name: String,
+        source: String,
+        expr: String,
+    },
+    /// Derive an anonymized dataset: `anonymize <new> <source> k=<k>
+    /// [method=mondrian|datafly]`.
+    Anonymize {
+        new_name: String,
+        source: String,
+        k: usize,
+        method: AnonMethod,
+    },
+    /// Quantify into a new panel.
+    Quantify {
+        dataset: String,
+        function: String,
+        objective: Objective,
+        aggregator: Aggregator,
+        bins: usize,
+        emd: EmdBackend,
+        filter: Option<String>,
+        /// Simulate function opacity: rank by the function, then quantify
+        /// from the ranking only.
+        opaque: bool,
+    },
+    /// Render a panel's tree: `show <panel>`.
+    Show { panel: usize },
+    /// Render a node box: `node <panel> <node>`.
+    Node { panel: usize, node: usize },
+    /// Explain a search decision: `why <panel> <node>`.
+    Why { panel: usize, node: usize },
+    /// Compare two panels: `compare <a> <b>`.
+    Compare { a: usize, b: usize },
+    /// Export a panel to JSON: `export <panel> <path>`.
+    Export { panel: usize, path: String },
+    /// Subgroup lattice statistics: `subgroups <dataset> <function>
+    /// [depth=2] [min=5] [top=5]`.
+    Subgroups {
+        dataset: String,
+        function: String,
+        depth: usize,
+        min_size: usize,
+        top: usize,
+    },
+    /// Auditor scenario on a canned marketplace.
+    Audit {
+        preset: String,
+        n: usize,
+        seed: u64,
+        k: Option<usize>,
+        ranking_only: bool,
+    },
+    /// Job-owner scenario: sweep a skill weight.
+    JobOwner {
+        preset: String,
+        job: String,
+        skill: String,
+        n: usize,
+        seed: u64,
+    },
+    /// End-user scenario: evaluate a group across jobs.
+    EndUser {
+        preset: String,
+        group: String,
+        n: usize,
+        seed: u64,
+    },
+    /// Leave the REPL.
+    Quit,
+}
+
+/// Splits a line into tokens, honoring double quotes.
+fn tokenize(line: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    let mut in_quotes = false;
+    for ch in line.chars() {
+        match ch {
+            '"' => in_quotes = !in_quotes,
+            c if c.is_whitespace() && !in_quotes => {
+                if !cur.is_empty() {
+                    out.push(std::mem::take(&mut cur));
+                }
+            }
+            c => cur.push(c),
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+fn opt<'a>(tokens: &'a [String], key: &str) -> Option<&'a str> {
+    let prefix = format!("{key}=");
+    tokens
+        .iter()
+        .find_map(|t| t.strip_prefix(prefix.as_str()))
+}
+
+fn opt_parse<T: std::str::FromStr>(tokens: &[String], key: &str, default: T) -> Result<T> {
+    match opt(tokens, key) {
+        None => Ok(default),
+        Some(raw) => raw
+            .parse()
+            .map_err(|_| SessionError::Command(format!("cannot parse {key}={raw}"))),
+    }
+}
+
+fn positional<'a>(tokens: &'a [String], idx: usize, what: &str) -> Result<&'a str> {
+    tokens
+        .iter()
+        .filter(|t| !t.contains('='))
+        .nth(idx)
+        .map(String::as_str)
+        .ok_or_else(|| SessionError::Command(format!("missing {what}")))
+}
+
+/// Positional argument by raw index — for arguments that may themselves
+/// contain `=` (filter expressions). Such arguments must precede options.
+fn raw_positional<'a>(tokens: &'a [String], idx: usize, what: &str) -> Result<&'a str> {
+    tokens
+        .get(idx)
+        .map(String::as_str)
+        .ok_or_else(|| SessionError::Command(format!("missing {what}")))
+}
+
+impl Command {
+    /// Parses one REPL line. Empty lines parse to `Help`.
+    pub fn parse(line: &str) -> Result<Command> {
+        let tokens = tokenize(line);
+        let Some(verb) = tokens.first() else {
+            return Ok(Command::Help);
+        };
+        let rest = &tokens[1..];
+        match verb.as_str() {
+            "help" | "?" => Ok(Command::Help),
+            "datasets" => Ok(Command::Datasets),
+            "funcs" | "functions" => Ok(Command::Functions),
+            "panels" => Ok(Command::Panels),
+            "quit" | "exit" => Ok(Command::Quit),
+            "load" => Ok(Command::Load {
+                name: positional(rest, 0, "dataset name")?.to_string(),
+                path: positional(rest, 1, "CSV path")?.to_string(),
+            }),
+            "generate" => Ok(Command::Generate {
+                name: positional(rest, 0, "dataset name")?.to_string(),
+                preset: positional(rest, 1, "preset")?.to_string(),
+                n: opt_parse(rest, "n", 200)?,
+                seed: opt_parse(rest, "seed", 42)?,
+            }),
+            "define" => Ok(Command::Define {
+                name: positional(rest, 0, "function name")?.to_string(),
+                expr: positional(rest, 1, "expression")?.to_string(),
+            }),
+            "data" => Ok(Command::ShowData {
+                name: positional(rest, 0, "dataset name")?.to_string(),
+                rows: opt_parse(rest, "rows", 10)?,
+            }),
+            "describe" => Ok(Command::Describe {
+                name: positional(rest, 0, "dataset name")?.to_string(),
+            }),
+            "save" => Ok(Command::Save {
+                dir: positional(rest, 0, "directory")?.to_string(),
+            }),
+            "open" => Ok(Command::Open {
+                dir: positional(rest, 0, "directory")?.to_string(),
+            }),
+            "filter" => Ok(Command::DeriveFilter {
+                new_name: raw_positional(rest, 0, "new dataset name")?.to_string(),
+                source: raw_positional(rest, 1, "source dataset")?.to_string(),
+                expr: raw_positional(rest, 2, "filter expression")?.to_string(),
+            }),
+            "anonymize" => {
+                let method = match opt(rest, "method").unwrap_or("mondrian") {
+                    "mondrian" => AnonMethod::Mondrian,
+                    "datafly" => AnonMethod::Datafly,
+                    "incognito" => AnonMethod::Incognito,
+                    other => {
+                        return Err(SessionError::Command(format!(
+                            "unknown anonymization method {other:?}"
+                        )))
+                    }
+                };
+                Ok(Command::Anonymize {
+                    new_name: positional(rest, 0, "new dataset name")?.to_string(),
+                    source: positional(rest, 1, "source dataset")?.to_string(),
+                    k: opt_parse(rest, "k", 2)?,
+                    method,
+                })
+            }
+            "quantify" => {
+                let objective = match opt(rest, "objective") {
+                    None => Objective::default(),
+                    Some(raw) => Objective::parse(raw).ok_or_else(|| {
+                        SessionError::Command(format!("unknown objective {raw:?}"))
+                    })?,
+                };
+                let aggregator = match opt(rest, "agg") {
+                    None => Aggregator::default(),
+                    Some(raw) => Aggregator::parse(raw).ok_or_else(|| {
+                        SessionError::Command(format!("unknown aggregator {raw:?}"))
+                    })?,
+                };
+                let emd = match opt(rest, "emd").unwrap_or("1d") {
+                    "1d" => EmdBackend::OneD,
+                    "transport" => EmdBackend::Transport,
+                    other => {
+                        return Err(SessionError::Command(format!(
+                            "unknown EMD backend {other:?}"
+                        )))
+                    }
+                };
+                Ok(Command::Quantify {
+                    dataset: positional(rest, 0, "dataset")?.to_string(),
+                    function: positional(rest, 1, "function")?.to_string(),
+                    objective,
+                    aggregator,
+                    bins: opt_parse(rest, "bins", 10)?,
+                    emd,
+                    filter: opt(rest, "where").map(str::to_string),
+                    opaque: rest.iter().any(|t| t == "opaque"),
+                })
+            }
+            "show" => Ok(Command::Show {
+                panel: positional(rest, 0, "panel id")?
+                    .parse()
+                    .map_err(|_| SessionError::Command("panel id must be a number".into()))?,
+            }),
+            "node" => Ok(Command::Node {
+                panel: positional(rest, 0, "panel id")?
+                    .parse()
+                    .map_err(|_| SessionError::Command("panel id must be a number".into()))?,
+                node: positional(rest, 1, "node id")?
+                    .parse()
+                    .map_err(|_| SessionError::Command("node id must be a number".into()))?,
+            }),
+            "why" => Ok(Command::Why {
+                panel: positional(rest, 0, "panel id")?
+                    .parse()
+                    .map_err(|_| SessionError::Command("panel id must be a number".into()))?,
+                node: positional(rest, 1, "node id")?
+                    .parse()
+                    .map_err(|_| SessionError::Command("node id must be a number".into()))?,
+            }),
+            "compare" => Ok(Command::Compare {
+                a: positional(rest, 0, "first panel")?
+                    .parse()
+                    .map_err(|_| SessionError::Command("panel id must be a number".into()))?,
+                b: positional(rest, 1, "second panel")?
+                    .parse()
+                    .map_err(|_| SessionError::Command("panel id must be a number".into()))?,
+            }),
+            "export" => Ok(Command::Export {
+                panel: positional(rest, 0, "panel id")?
+                    .parse()
+                    .map_err(|_| SessionError::Command("panel id must be a number".into()))?,
+                path: positional(rest, 1, "output path")?.to_string(),
+            }),
+            "subgroups" => Ok(Command::Subgroups {
+                dataset: positional(rest, 0, "dataset")?.to_string(),
+                function: positional(rest, 1, "function")?.to_string(),
+                depth: opt_parse(rest, "depth", 2)?,
+                min_size: opt_parse(rest, "min", 5)?,
+                top: opt_parse(rest, "top", 5)?,
+            }),
+            "audit" => Ok(Command::Audit {
+                preset: positional(rest, 0, "marketplace preset")?.to_string(),
+                n: opt_parse(rest, "n", 300)?,
+                seed: opt_parse(rest, "seed", 42)?,
+                k: opt(rest, "k")
+                    .map(|raw| {
+                        raw.parse().map_err(|_| {
+                            SessionError::Command(format!("cannot parse k={raw}"))
+                        })
+                    })
+                    .transpose()?,
+                ranking_only: rest.iter().any(|t| t == "ranking-only"),
+            }),
+            "jobowner" => Ok(Command::JobOwner {
+                preset: positional(rest, 0, "marketplace preset")?.to_string(),
+                job: positional(rest, 1, "job id")?.to_string(),
+                skill: positional(rest, 2, "skill")?.to_string(),
+                n: opt_parse(rest, "n", 300)?,
+                seed: opt_parse(rest, "seed", 42)?,
+            }),
+            "enduser" => Ok(Command::EndUser {
+                preset: raw_positional(rest, 0, "marketplace preset")?.to_string(),
+                group: raw_positional(rest, 1, "group filter")?.to_string(),
+                n: opt_parse(&rest[2..], "n", 300)?,
+                seed: opt_parse(&rest[2..], "seed", 42)?,
+            }),
+            other => Err(SessionError::Command(format!("unknown command {other:?}"))),
+        }
+    }
+}
+
+/// Parses a scoring expression like `rating*0.7+language_test*0.3`.
+pub fn parse_scoring(expr: &str) -> Result<LinearScoring> {
+    let mut builder = LinearScoring::builder();
+    for term in expr.split('+') {
+        let term = term.trim();
+        let (name, weight) = term.split_once('*').ok_or_else(|| {
+            SessionError::Command(format!(
+                "term {term:?} must look like attribute*weight"
+            ))
+        })?;
+        let weight: f64 = weight.trim().parse().map_err(|_| {
+            SessionError::Command(format!("weight {weight:?} is not a number"))
+        })?;
+        builder = builder.weight(name.trim(), weight);
+    }
+    Ok(builder.build_unchecked()?)
+}
+
+const HELP: &str = "\
+FaiRank commands:
+  datasets | funcs | panels            list session objects
+  load <name> <path.csv>               load a CSV dataset
+  generate <name> <preset> [n=] [seed=]  presets: crowdsourcing, biased,
+                                       taskrabbit, qapa
+  define <name> <attr*w+attr*w…>       define a scoring function
+  data <name> [rows=10]                print the head of a dataset
+  describe <name>                      per-column summary statistics
+  save <dir> | open <dir>              persist / restore the session
+  filter <new> <src> \"<expr>\"          derive a filtered dataset
+  anonymize <new> <src> k=2 [method=mondrian|datafly]
+  quantify <dataset> <func> [objective=most|least] [agg=mean|max|min|variance]
+           [bins=10] [emd=1d|transport] [where=\"<expr>\"] [opaque]
+  subgroups <dataset> <func> [depth=2] [min=5] [top=5]
+                                       most/least favored subgroups
+  show <panel>                         render a panel's partitioning tree
+  node <panel> <node>                  the Node box for one tree node
+  why <panel> <node>                   explain the search decision at a node
+  compare <a> <b>                      compare two panels
+  export <panel> <path.json>           export a panel as JSON
+  audit <taskrabbit|qapa> [n=] [seed=] [k=] [ranking-only]
+  jobowner <preset> <job> <skill> [n=] [seed=]
+  enduser <preset> \"<group expr>\" [n=] [seed=]
+  help | quit
+";
+
+fn generate_dataset(preset: &str, n: usize, seed: u64) -> Result<fairank_data::Dataset> {
+    let spec = match preset {
+        "crowdsourcing" => synth::crowdsourcing_spec(n, seed),
+        "biased" => synth::biased_crowdsourcing_spec(n, seed),
+        "taskrabbit" => scenario::taskrabbit_population(n, seed),
+        "qapa" => scenario::qapa_population(n, seed),
+        other => {
+            return Err(SessionError::Command(format!(
+                "unknown preset {other:?} (try crowdsourcing, biased, taskrabbit, qapa)"
+            )))
+        }
+    };
+    Ok(spec.generate()?)
+}
+
+fn marketplace(preset: &str, n: usize, seed: u64) -> Result<fairank_marketplace::Marketplace> {
+    match preset {
+        "taskrabbit" => Ok(scenario::taskrabbit_like(n, seed)?),
+        "qapa" => Ok(scenario::qapa_like(n, seed)?),
+        other => Err(SessionError::Command(format!(
+            "unknown marketplace preset {other:?} (try taskrabbit, qapa)"
+        ))),
+    }
+}
+
+/// Executes a command against a session, returning the text to print.
+/// `Quit` returns the string `"quit"`; the REPL loop watches for it.
+pub fn execute(session: &mut Session, command: Command) -> Result<String> {
+    match command {
+        Command::Help => Ok(HELP.to_string()),
+        Command::Quit => Ok("quit".to_string()),
+        Command::Datasets => {
+            let names = session.dataset_names();
+            if names.is_empty() {
+                return Ok("no datasets — try `generate d biased` or `load d file.csv`".into());
+            }
+            Ok(names
+                .iter()
+                .map(|n| {
+                    let ds = session.dataset(n).expect("listed");
+                    format!("{n}  ({} rows, {} columns)", ds.num_rows(), ds.schema().len())
+                })
+                .collect::<Vec<_>>()
+                .join("\n"))
+        }
+        Command::Functions => {
+            let names = session.function_names();
+            if names.is_empty() {
+                return Ok("no functions — try `define f rating*0.7+language_test*0.3`".into());
+            }
+            Ok(names
+                .iter()
+                .map(|n| {
+                    let f = session.function(n).expect("listed");
+                    let terms: Vec<String> = f
+                        .terms()
+                        .iter()
+                        .map(|(a, w)| format!("{w}·{a}"))
+                        .collect();
+                    format!("{n} = {}", terms.join(" + "))
+                })
+                .collect::<Vec<_>>()
+                .join("\n"))
+        }
+        Command::Panels => {
+            if session.panels().is_empty() {
+                return Ok("no panels — run `quantify <dataset> <function>`".into());
+            }
+            Ok(session
+                .panels()
+                .iter()
+                .map(|p| {
+                    format!(
+                        "#{}  u={:.4}  {}",
+                        p.id,
+                        p.outcome.unfairness,
+                        p.config.describe()
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join("\n"))
+        }
+        Command::Load { name, path } => {
+            let ds = fairank_data::csv::read_csv_file(&path, &CsvOptions::default())?;
+            let rows = ds.num_rows();
+            session.add_dataset(&name, ds)?;
+            Ok(format!("loaded {name} ({rows} rows) from {path}"))
+        }
+        Command::Generate {
+            name,
+            preset,
+            n,
+            seed,
+        } => {
+            let ds = generate_dataset(&preset, n, seed)?;
+            session.add_dataset(&name, ds)?;
+            Ok(format!("generated {name} = {preset}(n={n}, seed={seed})"))
+        }
+        Command::Define { name, expr } => {
+            let f = parse_scoring(&expr)?;
+            session.add_function(&name, f)?;
+            Ok(format!("defined {name} = {expr}"))
+        }
+        Command::ShowData { name, rows } => {
+            Ok(session.dataset(&name)?.render_head(rows))
+        }
+        Command::Describe { name } => {
+            Ok(fairank_data::stats::describe(session.dataset(&name)?))
+        }
+        Command::Save { dir } => {
+            crate::persist::save_session(session, &dir)?;
+            Ok(format!(
+                "saved {} dataset(s) and {} function(s) to {dir}",
+                session.dataset_names().len(),
+                session.function_names().len()
+            ))
+        }
+        Command::Open { dir } => {
+            let loaded = crate::persist::load_session(&dir)?;
+            let datasets = loaded.dataset_names().len();
+            let functions = loaded.function_names().len();
+            *session = loaded;
+            Ok(format!(
+                "opened session from {dir}: {datasets} dataset(s), {functions} function(s)"
+            ))
+        }
+        Command::DeriveFilter {
+            new_name,
+            source,
+            expr,
+        } => {
+            let filter = Filter::parse(&expr)?;
+            let rows = session.derive_filtered(&new_name, &source, &filter)?;
+            Ok(format!("{new_name} = {source} where {expr} ({rows} rows)"))
+        }
+        Command::Anonymize {
+            new_name,
+            source,
+            k,
+            method,
+        } => {
+            let suppressed = session.derive_anonymized(&new_name, &source, k, method)?;
+            Ok(format!(
+                "{new_name} = {method:?}({source}, k={k}), {suppressed} rows suppressed"
+            ))
+        }
+        Command::Quantify {
+            dataset,
+            function,
+            objective,
+            aggregator,
+            bins,
+            emd,
+            filter,
+            opaque,
+        } => {
+            let criterion = FairnessCriterion::new(objective, aggregator)
+                .with_hist(HistogramSpec::unit(bins)?)
+                .with_emd(Emd::new(emd));
+            let mut config = Configuration::new(&dataset, &function).with_criterion(criterion);
+            if let Some(expr) = &filter {
+                config = config.with_filter(Filter::parse(expr)?);
+            }
+            if opaque {
+                // Simulate function opacity: rank with the true function,
+                // hand the engine only the ranking.
+                let f = session.function(&function)?.clone();
+                let ds = session.dataset(&dataset)?;
+                let working = match &filter {
+                    Some(expr) => ds.filter(&Filter::parse(expr)?)?,
+                    None => ds.clone(),
+                };
+                let scores = ScoreSource::Function(f).resolve(&working)?;
+                config = config.with_source(ScoreSource::Ranking(scores_to_ranking(&scores)));
+            }
+            let id = session.quantify(config)?;
+            let panel = session.panel(id)?;
+            Ok(format!(
+                "panel #{id}: unfairness {:.6} over {} partitions\n{}",
+                panel.outcome.unfairness,
+                panel.outcome.partitions.len(),
+                render::render_tree(panel)
+            ))
+        }
+        Command::Show { panel } => {
+            let p = session.panel(panel)?;
+            Ok(format!(
+                "{}\n{}",
+                render::render_general(p),
+                render::render_tree(p)
+            ))
+        }
+        Command::Node { panel, node } => {
+            let p = session.panel(panel)?;
+            render::render_node_box(p, node)
+        }
+        Command::Why { panel, node } => {
+            use fairank_core::explain::{explain_tree, render_explanation};
+            let p = session.panel(panel)?;
+            if node >= p.outcome.tree.len() {
+                return Err(SessionError::UnknownNode { panel, node });
+            }
+            let explanations = explain_tree(&p.space, &p.outcome.tree, p.criterion())?;
+            Ok(render_explanation(&explanations[node]))
+        }
+        Command::Compare { a, b } => session.compare(a, b),
+        Command::Export { panel, path } => {
+            let p = session.panel(panel)?;
+            crate::export::write_panel_json(p, &path)?;
+            Ok(format!("exported panel #{panel} to {path}"))
+        }
+        Command::Subgroups {
+            dataset,
+            function,
+            depth,
+            min_size,
+            top,
+        } => {
+            use fairank_core::subgroup::{least_favored, most_favored, subgroup_stats};
+            let f = session.function(&function)?.clone();
+            let ds = session.dataset(&dataset)?;
+            let space = ds.to_space(&ScoreSource::Function(f))?;
+            let criterion = FairnessCriterion::default();
+            let stats = subgroup_stats(&space, &criterion, depth, min_size)?;
+            let mut out = format!(
+                "subgroups of {dataset} under {function} (depth ≤ {depth}, size ≥ {min_size}): {}\n",
+                stats.len()
+            );
+            out.push_str("most favored:\n");
+            for s in most_favored(&stats, top) {
+                out.push_str(&format!(
+                    "  {:<44} n={:<4} advantage {:+.3}  divergence {:.3}\n",
+                    s.label, s.size, s.advantage, s.divergence
+                ));
+            }
+            out.push_str("least favored:\n");
+            for s in least_favored(&stats, top) {
+                out.push_str(&format!(
+                    "  {:<44} n={:<4} advantage {:+.3}  divergence {:.3}\n",
+                    s.label, s.size, s.advantage, s.divergence
+                ));
+            }
+            Ok(out)
+        }
+        Command::Audit {
+            preset,
+            n,
+            seed,
+            k,
+            ranking_only,
+        } => {
+            let market = marketplace(&preset, n, seed)?;
+            let transparency = Transparency {
+                function: if ranking_only {
+                    fairank_marketplace::FunctionTransparency::RankingOnly
+                } else {
+                    fairank_marketplace::FunctionTransparency::Visible
+                },
+                data: match k {
+                    Some(k) => fairank_marketplace::DataTransparency::Anonymized { k },
+                    None => fairank_marketplace::DataTransparency::Full,
+                },
+            };
+            let report = report::auditor_report(
+                &market,
+                &transparency,
+                &FairnessCriterion::default(),
+                2,
+                (n / 20).max(2),
+            )?;
+            Ok(report.render())
+        }
+        Command::JobOwner {
+            preset,
+            job,
+            skill,
+            n,
+            seed,
+        } => {
+            let market = marketplace(&preset, n, seed)?;
+            let base = market.job(&job)?.scoring.clone();
+            let report = report::job_owner_sweep(
+                market.workers(),
+                &base,
+                &skill,
+                &[0.0, 0.2, 0.4, 0.6, 0.8, 1.0],
+                &FairnessCriterion::default(),
+            )?;
+            Ok(report.render())
+        }
+        Command::EndUser {
+            preset,
+            group,
+            n,
+            seed,
+        } => {
+            let market = marketplace(&preset, n, seed)?;
+            let filter = Filter::parse(&group)?;
+            let report =
+                report::end_user_report(&market, &filter, &FairnessCriterion::default())?;
+            Ok(report.render())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(session: &mut Session, line: &str) -> String {
+        execute(session, Command::parse(line).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn tokenizer_honors_quotes() {
+        assert_eq!(
+            tokenize(r#"filter f src "gender=F & country=India""#),
+            vec!["filter", "f", "src", "gender=F & country=India"]
+        );
+        assert_eq!(tokenize("  a   b "), vec!["a", "b"]);
+        assert!(tokenize("").is_empty());
+    }
+
+    #[test]
+    fn parse_scoring_expressions() {
+        let f = parse_scoring("rating*0.7+language_test*0.3").unwrap();
+        assert_eq!(f.terms().len(), 2);
+        assert!(parse_scoring("rating").is_err());
+        assert!(parse_scoring("rating*x").is_err());
+    }
+
+    #[test]
+    fn parse_errors_are_informative() {
+        assert!(Command::parse("bogus").is_err());
+        assert!(Command::parse("load onlyname").is_err());
+        assert!(Command::parse("quantify d f objective=sideways").is_err());
+        assert!(Command::parse("show notanumber").is_err());
+        assert!(Command::parse("generate d biased n=abc").is_err());
+    }
+
+    #[test]
+    fn full_session_script() {
+        let mut s = Session::new();
+        assert!(run(&mut s, "help").contains("FaiRank commands"));
+        assert!(run(&mut s, "datasets").contains("no datasets"));
+        run(&mut s, "generate pop biased n=120 seed=5");
+        assert!(run(&mut s, "datasets").contains("pop"));
+        run(&mut s, "define f rating*0.7+language_test*0.3");
+        assert!(run(&mut s, "funcs").contains("0.7·rating"));
+        let out = run(&mut s, "quantify pop f");
+        assert!(out.contains("panel #0"));
+        assert!(run(&mut s, "panels").contains("#0"));
+        assert!(run(&mut s, "show 0").contains("unfairness"));
+        assert!(run(&mut s, "node 0 0").contains("Node [0] ALL"));
+        let why = run(&mut s, "why 0 0");
+        assert!(why.contains("SPLIT on") || why.contains("STOP"));
+        let out = run(&mut s, "quantify pop f objective=least agg=max bins=5");
+        assert!(out.contains("panel #1"));
+        assert!(run(&mut s, "compare 0 1").contains("Δ"));
+        assert_eq!(run(&mut s, "quit"), "quit");
+    }
+
+    #[test]
+    fn filtered_and_anonymized_flow() {
+        let mut s = Session::new();
+        run(&mut s, "generate pop biased n=100 seed=9");
+        let out = run(&mut s, r#"filter women pop "gender=Female""#);
+        assert!(out.contains("women = pop"));
+        run(&mut s, "anonymize anon pop k=5 method=mondrian");
+        run(&mut s, "define f rating*1.0");
+        let out = run(&mut s, "quantify anon f");
+        assert!(out.contains("panel #0"));
+    }
+
+    #[test]
+    fn opaque_quantification_uses_ranks() {
+        let mut s = Session::new();
+        run(&mut s, "generate pop biased n=80 seed=2");
+        run(&mut s, "define f rating*1.0");
+        let transparent = run(&mut s, "quantify pop f");
+        let opaque = run(&mut s, "quantify pop f opaque");
+        assert!(transparent.contains("panel #0"));
+        assert!(opaque.contains("panel #1"));
+        // Both find unfairness; values differ because histograms differ.
+        let u0 = s.panel(0).unwrap().outcome.unfairness;
+        let u1 = s.panel(1).unwrap().outcome.unfairness;
+        assert!(u0 > 0.0 && u1 > 0.0);
+    }
+
+    #[test]
+    fn where_option_filters_inline() {
+        let mut s = Session::new();
+        run(&mut s, "generate pop biased n=100 seed=3");
+        run(&mut s, "define f rating*1.0");
+        run(&mut s, r#"quantify pop f where="gender=Female""#);
+        let p = s.panel(0).unwrap();
+        assert!(p.general_info().individuals < 100);
+    }
+
+    #[test]
+    fn describe_save_open_cycle() {
+        let dir = std::env::temp_dir().join("fairank_cmd_persist");
+        std::fs::remove_dir_all(&dir).ok();
+        let mut s = Session::new();
+        run(&mut s, "generate pop biased n=60 seed=2");
+        run(&mut s, "define f rating*1.0");
+        let described = run(&mut s, "describe pop");
+        assert!(described.contains("rating [observed]"));
+        assert!(described.contains("distinct values"));
+        let saved = run(&mut s, &format!("save {}", dir.display()));
+        assert!(saved.contains("saved 1 dataset"));
+        let mut fresh = Session::new();
+        let opened = run(&mut fresh, &format!("open {}", dir.display()));
+        assert!(opened.contains("1 dataset(s), 1 function(s)"));
+        assert!(run(&mut fresh, "quantify pop f").contains("panel #0"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn subgroups_command_lists_extremes() {
+        let mut s = Session::new();
+        run(&mut s, "generate pop biased n=200 seed=5");
+        run(&mut s, "define f rating*1.0");
+        let out = run(&mut s, "subgroups pop f depth=2 min=10 top=3");
+        assert!(out.contains("most favored"));
+        assert!(out.contains("least favored"));
+        assert!(out.contains("advantage"));
+    }
+
+    #[test]
+    fn scenario_commands_render_reports() {
+        let mut s = Session::new();
+        let audit = run(&mut s, "audit taskrabbit n=120 seed=4");
+        assert!(audit.contains("AUDITOR REPORT"));
+        let owner = run(&mut s, "jobowner taskrabbit wood-panels rating n=120 seed=4");
+        assert!(owner.contains("← fairest"));
+        let user = run(&mut s, r#"enduser taskrabbit "gender=Female" n=120 seed=4"#);
+        assert!(user.contains("END-USER REPORT"));
+    }
+
+    #[test]
+    fn audit_with_transparency_options() {
+        let mut s = Session::new();
+        let out = run(&mut s, "audit taskrabbit n=80 seed=6 k=4 ranking-only");
+        assert!(out.contains("AUDITOR REPORT"));
+    }
+
+    #[test]
+    fn export_command_writes_file() {
+        let dir = std::env::temp_dir().join("fairank_cmd_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("p.json");
+        let mut s = Session::new();
+        run(&mut s, "generate pop biased n=60 seed=8");
+        run(&mut s, "define f rating*1.0");
+        run(&mut s, "quantify pop f");
+        let out = run(&mut s, &format!("export 0 {}", path.display()));
+        assert!(out.contains("exported"));
+        assert!(path.exists());
+        std::fs::remove_file(&path).ok();
+    }
+}

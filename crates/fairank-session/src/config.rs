@@ -1,0 +1,147 @@
+//! The Configuration box (Figure 3, left): dataset, scoring, filter,
+//! fairness criterion.
+
+use fairank_core::fairness::FairnessCriterion;
+use fairank_core::scoring::ScoreSource;
+use fairank_data::filter::Filter;
+use serde::{Deserialize, Serialize};
+
+/// How a configuration obtains scores — by a named session function, an
+/// inline source, or ranks.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ScoringChoice {
+    /// A scoring function registered in the session under this name.
+    Named(String),
+    /// An inline score source (function, raw scores or ranking).
+    Inline(ScoreSource),
+}
+
+/// A complete exploration configuration. Panels are produced by running a
+/// configuration against the session.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Configuration {
+    /// Name of the dataset registered in the session.
+    pub dataset: String,
+    /// Score source choice.
+    pub scoring: ScoringChoice,
+    /// Protected-attribute filter applied before quantification.
+    pub filter: Filter,
+    /// The fairness criterion to optimize.
+    pub criterion: FairnessCriterion,
+}
+
+impl Configuration {
+    /// A configuration over `dataset` using a named function and defaults
+    /// everywhere else.
+    pub fn new(dataset: impl Into<String>, function: impl Into<String>) -> Self {
+        Configuration {
+            dataset: dataset.into(),
+            scoring: ScoringChoice::Named(function.into()),
+            filter: Filter::all(),
+            criterion: FairnessCriterion::default(),
+        }
+    }
+
+    /// Replaces the criterion.
+    pub fn with_criterion(mut self, criterion: FairnessCriterion) -> Self {
+        self.criterion = criterion;
+        self
+    }
+
+    /// Replaces the filter.
+    pub fn with_filter(mut self, filter: Filter) -> Self {
+        self.filter = filter;
+        self
+    }
+
+    /// Uses an inline score source instead of a named function.
+    pub fn with_source(mut self, source: ScoreSource) -> Self {
+        self.scoring = ScoringChoice::Inline(source);
+        self
+    }
+
+    /// One-line description shown in panel headers.
+    pub fn describe(&self) -> String {
+        let scoring = match &self.scoring {
+            ScoringChoice::Named(n) => n.clone(),
+            ScoringChoice::Inline(ScoreSource::Function(f)) => {
+                let terms: Vec<String> = f
+                    .terms()
+                    .iter()
+                    .map(|(n, w)| format!("{w}·{n}"))
+                    .collect();
+                terms.join(" + ")
+            }
+            ScoringChoice::Inline(ScoreSource::Scores(_)) => "<provided scores>".into(),
+            ScoringChoice::Inline(ScoreSource::Ranking(_)) => "<ranking only>".into(),
+        };
+        format!(
+            "{} | f: {} | filter: {} | {} {} ({} bins)",
+            self.dataset,
+            scoring,
+            self.filter.render(),
+            self.criterion.objective.name(),
+            self.criterion.aggregator.name(),
+            self.criterion.hist.bins(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairank_core::fairness::{Aggregator, Objective};
+    use fairank_core::scoring::LinearScoring;
+
+    #[test]
+    fn describe_named() {
+        let c = Configuration::new("table1", "paper-f");
+        let d = c.describe();
+        assert!(d.contains("table1"));
+        assert!(d.contains("paper-f"));
+        assert!(d.contains("most-unfair mean"));
+        assert!(d.contains("10 bins"));
+        assert!(d.contains("filter: *"));
+    }
+
+    #[test]
+    fn describe_inline_function() {
+        let f = LinearScoring::builder()
+            .weight("rating", 0.7)
+            .weight("language_test", 0.3)
+            .build_unchecked()
+            .unwrap();
+        let c = Configuration::new("d", "x").with_source(ScoreSource::Function(f));
+        let d = c.describe();
+        assert!(d.contains("0.7·rating"));
+        assert!(d.contains("0.3·language_test"));
+    }
+
+    #[test]
+    fn describe_ranking_and_scores() {
+        let c = Configuration::new("d", "x").with_source(ScoreSource::Ranking(vec![]));
+        assert!(c.describe().contains("<ranking only>"));
+        let c = Configuration::new("d", "x").with_source(ScoreSource::Scores(vec![]));
+        assert!(c.describe().contains("<provided scores>"));
+    }
+
+    #[test]
+    fn builders_compose() {
+        let c = Configuration::new("d", "f")
+            .with_criterion(FairnessCriterion::new(
+                Objective::LeastUnfair,
+                Aggregator::Max,
+            ))
+            .with_filter(Filter::all().eq("gender", "F"));
+        assert!(c.describe().contains("least-unfair max"));
+        assert!(c.describe().contains("gender=F"));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let c = Configuration::new("d", "f");
+        let json = serde_json::to_string(&c).unwrap();
+        let back: Configuration = serde_json::from_str(&json).unwrap();
+        assert_eq!(c, back);
+    }
+}

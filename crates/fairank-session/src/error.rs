@@ -1,0 +1,106 @@
+//! Errors of the session engine.
+
+use std::fmt;
+
+use fairank_core::CoreError;
+use fairank_data::DataError;
+use fairank_marketplace::MarketError;
+
+/// Errors produced by sessions, commands and reports.
+#[derive(Debug)]
+pub enum SessionError {
+    /// A referenced dataset is not registered in the session.
+    UnknownDataset(String),
+    /// A referenced scoring function is not registered in the session.
+    UnknownFunction(String),
+    /// A referenced panel does not exist.
+    UnknownPanel(usize),
+    /// A referenced tree node does not exist in the panel.
+    UnknownNode { panel: usize, node: usize },
+    /// A name is already taken.
+    NameTaken(String),
+    /// A command failed to parse.
+    Command(String),
+    /// An error bubbled up from the core crate.
+    Core(CoreError),
+    /// An error bubbled up from the dataset substrate.
+    Data(DataError),
+    /// An error bubbled up from the anonymization substrate.
+    Anon(fairank_anonymize::AnonError),
+    /// An error bubbled up from the marketplace substrate.
+    Market(MarketError),
+    /// JSON export failed.
+    Json(String),
+    /// IO failure (export to file).
+    Io(std::io::Error),
+}
+
+impl fmt::Display for SessionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SessionError::UnknownDataset(name) => write!(f, "unknown dataset {name:?}"),
+            SessionError::UnknownFunction(name) => write!(f, "unknown function {name:?}"),
+            SessionError::UnknownPanel(id) => write!(f, "unknown panel #{id}"),
+            SessionError::UnknownNode { panel, node } => {
+                write!(f, "panel #{panel} has no node {node}")
+            }
+            SessionError::NameTaken(name) => write!(f, "name {name:?} is already in use"),
+            SessionError::Command(msg) => write!(f, "command error: {msg}"),
+            SessionError::Core(e) => write!(f, "{e}"),
+            SessionError::Data(e) => write!(f, "{e}"),
+            SessionError::Anon(e) => write!(f, "{e}"),
+            SessionError::Market(e) => write!(f, "{e}"),
+            SessionError::Json(msg) => write!(f, "JSON error: {msg}"),
+            SessionError::Io(e) => write!(f, "IO error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+impl From<CoreError> for SessionError {
+    fn from(e: CoreError) -> Self {
+        SessionError::Core(e)
+    }
+}
+impl From<DataError> for SessionError {
+    fn from(e: DataError) -> Self {
+        SessionError::Data(e)
+    }
+}
+impl From<fairank_anonymize::AnonError> for SessionError {
+    fn from(e: fairank_anonymize::AnonError) -> Self {
+        SessionError::Anon(e)
+    }
+}
+impl From<MarketError> for SessionError {
+    fn from(e: MarketError) -> Self {
+        SessionError::Market(e)
+    }
+}
+impl From<std::io::Error> for SessionError {
+    fn from(e: std::io::Error) -> Self {
+        SessionError::Io(e)
+    }
+}
+
+/// Convenience alias for this crate.
+pub type Result<T> = std::result::Result<T, SessionError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(SessionError::UnknownDataset("d".into()).to_string().contains("d"));
+        assert!(SessionError::UnknownFunction("f".into()).to_string().contains("f"));
+        assert!(SessionError::UnknownPanel(3).to_string().contains("#3"));
+        assert!(SessionError::UnknownNode { panel: 1, node: 9 }
+            .to_string()
+            .contains("node 9"));
+        assert!(SessionError::NameTaken("x".into()).to_string().contains("in use"));
+        assert!(SessionError::Command("bad".into()).to_string().contains("bad"));
+        assert!(SessionError::Json("eof".into()).to_string().contains("eof"));
+    }
+}

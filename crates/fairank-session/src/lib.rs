@@ -1,0 +1,36 @@
+//! # fairank-session
+//!
+//! The interactive exploration engine of FaiRank — everything the paper's
+//! Figure 1 architecture and Figure 3 interface do, as a headless,
+//! deterministic library:
+//!
+//! * [`config::Configuration`] — the *Configuration box*: which dataset,
+//!   which scoring function (or ranking), which filter, which fairness
+//!   criterion.
+//! * [`panel::Panel`] — one quantification result: the partitioning tree,
+//!   its unfairness, per-node statistics (the *General* and *Node* boxes).
+//! * [`session::Session`] — the multi-panel workspace: register datasets
+//!   and functions, run quantifications, compare panels side by side.
+//! * [`command`] — the textual command language driving the CLI REPL.
+//! * [`render`] — ASCII partitioning trees and histogram sparklines.
+//! * [`report`] — the three §4 demonstration scenarios as reports:
+//!   auditor, job owner, end user.
+//! * [`export`] — JSON export of panels and reports.
+//!
+//! The paper's web UI is substituted by this engine plus the `fairank`
+//! REPL; see DESIGN.md for the substitution rationale.
+
+pub mod command;
+pub mod config;
+pub mod error;
+pub mod export;
+pub mod panel;
+pub mod persist;
+pub mod render;
+pub mod report;
+pub mod session;
+
+pub use config::Configuration;
+pub use error::{Result, SessionError};
+pub use panel::Panel;
+pub use session::Session;

@@ -1,0 +1,242 @@
+//! Panels: one quantification result each (Figure 3, right side).
+//!
+//! A panel bundles the configuration that produced it, the resolved ranking
+//! space, and the `QUANTIFY` outcome. The *General box* statistics describe
+//! the whole tree; the *Node box* statistics describe one clicked node.
+
+use fairank_core::fairness::FairnessCriterion;
+use fairank_core::histogram::Histogram;
+use fairank_core::quantify::QuantifyOutcome;
+use fairank_core::space::RankingSpace;
+
+use crate::config::Configuration;
+use crate::error::{Result, SessionError};
+
+/// General information about a panel (the *General* box).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GeneralInfo {
+    /// Unfairness of the final partitioning under the panel's criterion.
+    pub unfairness: f64,
+    /// Number of final partitions (tree leaves).
+    pub num_partitions: usize,
+    /// Total nodes in the partitioning tree.
+    pub tree_nodes: usize,
+    /// Maximum tree depth.
+    pub max_depth: usize,
+    /// Individuals analyzed (after filtering).
+    pub individuals: usize,
+    /// Search wall-clock time in microseconds.
+    pub elapsed_us: u128,
+}
+
+/// Statistics of one tree node (the *Node* box).
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeStats {
+    /// Node id within the tree.
+    pub node: usize,
+    /// Human-readable partition label.
+    pub label: String,
+    /// Number of individuals in the partition.
+    pub size: usize,
+    /// Mean score of the partition.
+    pub mean_score: f64,
+    /// Minimum score.
+    pub min_score: f64,
+    /// Maximum score.
+    pub max_score: f64,
+    /// The partition's score histogram.
+    pub histogram: Histogram,
+    /// Whether the node is a final partition (leaf).
+    pub is_leaf: bool,
+    /// The attribute the node was split on, if any.
+    pub split_attribute: Option<String>,
+    /// Aggregated EMD between this node and its siblings under the panel's
+    /// criterion — the quantity Algorithm 1's split test compares
+    /// (`None` for the root, which has no siblings).
+    pub divergence_vs_siblings: Option<f64>,
+}
+
+/// One exploration panel.
+#[derive(Debug, Clone)]
+pub struct Panel {
+    /// Panel id within the session (stable; shown as `#id`).
+    pub id: usize,
+    /// The configuration that produced this panel.
+    pub config: Configuration,
+    /// The resolved ranking space (after filtering).
+    pub space: RankingSpace,
+    /// The quantification outcome.
+    pub outcome: QuantifyOutcome,
+}
+
+impl Panel {
+    /// The criterion this panel ran under.
+    pub fn criterion(&self) -> &FairnessCriterion {
+        &self.config.criterion
+    }
+
+    /// The *General* box.
+    pub fn general_info(&self) -> GeneralInfo {
+        GeneralInfo {
+            unfairness: self.outcome.unfairness,
+            num_partitions: self.outcome.partitions.len(),
+            tree_nodes: self.outcome.tree.len(),
+            max_depth: self.outcome.tree.max_depth(),
+            individuals: self.space.num_individuals(),
+            elapsed_us: self.outcome.elapsed.as_micros(),
+        }
+    }
+
+    /// The *Node* box for tree node `node`.
+    pub fn node_stats(&self, node: usize) -> Result<NodeStats> {
+        if node >= self.outcome.tree.len() {
+            return Err(SessionError::UnknownNode {
+                panel: self.id,
+                node,
+            });
+        }
+        let tree_node = self.outcome.tree.node(node);
+        let partition = &tree_node.partition;
+        let scores = self.space.scores();
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        let mut sum = 0.0;
+        for s in partition.scores(scores) {
+            min = min.min(s);
+            max = max.max(s);
+            sum += s;
+        }
+        let mean = if partition.is_empty() {
+            0.0
+        } else {
+            sum / partition.len() as f64
+        };
+        let histogram = self.config.criterion.histogram(partition, scores);
+        let divergence_vs_siblings = tree_node.parent.map(|parent| {
+            let siblings: Vec<_> = self
+                .outcome
+                .tree
+                .node(parent)
+                .children
+                .iter()
+                .filter(|&&c| c != node)
+                .map(|&c| self.outcome.tree.node(c).partition.clone())
+                .collect();
+            self.config
+                .criterion
+                .versus(partition, &siblings, scores)
+                .unwrap_or(0.0)
+        });
+        Ok(NodeStats {
+            node,
+            label: partition.label(&self.space),
+            size: partition.len(),
+            mean_score: mean,
+            min_score: if partition.is_empty() { 0.0 } else { min },
+            max_score: if partition.is_empty() { 0.0 } else { max },
+            histogram,
+            is_leaf: tree_node.children.is_empty(),
+            split_attribute: tree_node
+                .split_attr
+                .and_then(|a| self.space.attribute(a))
+                .map(|a| a.name.clone()),
+            divergence_vs_siblings,
+        })
+    }
+
+    /// Node stats for every leaf (final partition), in tree order.
+    pub fn leaf_stats(&self) -> Vec<NodeStats> {
+        self.outcome
+            .tree
+            .leaf_ids()
+            .into_iter()
+            .map(|id| self.node_stats(id).expect("leaf ids are valid"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairank_core::quantify::Quantify;
+    use fairank_core::scoring::ScoreSource;
+    use fairank_data::paper;
+
+    fn panel() -> Panel {
+        let ds = paper::table1_dataset();
+        let source = ScoreSource::Function(paper::table1_scoring());
+        let space = ds.to_space(&source).unwrap();
+        let config = Configuration::new("table1", "paper-f");
+        let outcome = Quantify::new(config.criterion).run_space(&space).unwrap();
+        Panel {
+            id: 1,
+            config,
+            space,
+            outcome,
+        }
+    }
+
+    #[test]
+    fn general_info_is_consistent() {
+        let p = panel();
+        let info = p.general_info();
+        assert_eq!(info.individuals, 10);
+        assert!(info.num_partitions >= 1);
+        assert!(info.tree_nodes >= info.num_partitions);
+        assert!(info.unfairness >= 0.0);
+    }
+
+    #[test]
+    fn root_node_stats() {
+        let p = panel();
+        let stats = p.node_stats(0).unwrap();
+        assert_eq!(stats.label, "ALL");
+        assert_eq!(stats.size, 10);
+        assert!(stats.mean_score > 0.0);
+        assert!(stats.min_score <= stats.max_score);
+        assert_eq!(stats.histogram.total(), 10);
+        // Table 1's scores range from 0.195 to 0.971.
+        assert!((stats.min_score - 0.195).abs() < 1e-9);
+        assert!((stats.max_score - 0.971).abs() < 1e-9);
+    }
+
+    #[test]
+    fn leaf_stats_cover_all_individuals() {
+        let p = panel();
+        let leaves = p.leaf_stats();
+        let total: usize = leaves.iter().map(|l| l.size).sum();
+        assert_eq!(total, 10);
+        assert!(leaves.iter().all(|l| l.is_leaf));
+    }
+
+    #[test]
+    fn unknown_node_errors() {
+        let p = panel();
+        assert!(matches!(
+            p.node_stats(999).unwrap_err(),
+            SessionError::UnknownNode { .. }
+        ));
+    }
+
+    #[test]
+    fn split_attribute_is_named() {
+        let p = panel();
+        let root = p.node_stats(0).unwrap();
+        if !root.is_leaf {
+            assert!(root.split_attribute.is_some());
+        }
+    }
+
+    #[test]
+    fn divergence_is_none_for_root_and_set_for_children() {
+        let p = panel();
+        assert!(p.node_stats(0).unwrap().divergence_vs_siblings.is_none());
+        // Every non-root node has at least one sibling (splits produce ≥ 2
+        // children), so divergence is defined and non-negative.
+        for id in 1..p.outcome.tree.len() {
+            let d = p.node_stats(id).unwrap().divergence_vs_siblings;
+            let d = d.expect("non-root nodes have siblings");
+            assert!(d >= 0.0);
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! Session persistence: save and restore a workspace.
+//!
+//! The demo's users build up state (uploaded datasets, defined scoring
+//! functions) they expect to keep across sessions. A saved session is a
+//! directory containing a `manifest.json` plus one JSON file per dataset;
+//! functions live inline in the manifest. Panels are *results*, not state —
+//! they re-run cheaply and depend on the code version, so they are not
+//! persisted (their exports are, via `export`).
+
+use std::path::Path;
+
+use fairank_core::scoring::LinearScoring;
+use serde::{Deserialize, Serialize};
+
+use crate::error::{Result, SessionError};
+use crate::session::Session;
+
+/// The manifest written at the root of a session directory.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Manifest {
+    /// Format version, for forward compatibility.
+    pub version: u32,
+    /// Dataset names, each stored as `<name>.dataset.json`.
+    pub datasets: Vec<String>,
+    /// Named scoring functions.
+    pub functions: Vec<(String, LinearScoring)>,
+}
+
+/// Current manifest format version.
+pub const MANIFEST_VERSION: u32 = 1;
+
+/// Saves the session's datasets and functions into `dir` (created if
+/// absent). Existing files of a previous save are overwritten.
+pub fn save_session(session: &Session, dir: impl AsRef<Path>) -> Result<()> {
+    let dir = dir.as_ref();
+    std::fs::create_dir_all(dir)?;
+    let mut manifest = Manifest {
+        version: MANIFEST_VERSION,
+        datasets: Vec::new(),
+        functions: Vec::new(),
+    };
+    for name in session.dataset_names() {
+        let ds = session.dataset(name)?;
+        let path = dir.join(format!("{name}.dataset.json"));
+        fairank_data::json::write_json_file(ds, &path)?;
+        manifest.datasets.push(name.to_string());
+    }
+    for name in session.function_names() {
+        manifest
+            .functions
+            .push((name.to_string(), session.function(name)?.clone()));
+    }
+    let manifest_text = serde_json::to_string_pretty(&manifest)
+        .map_err(|e| SessionError::Json(e.to_string()))?;
+    std::fs::write(dir.join("manifest.json"), manifest_text)?;
+    Ok(())
+}
+
+/// Loads a saved session directory into a fresh [`Session`].
+pub fn load_session(dir: impl AsRef<Path>) -> Result<Session> {
+    let dir = dir.as_ref();
+    let manifest_text = std::fs::read_to_string(dir.join("manifest.json"))?;
+    let manifest: Manifest = serde_json::from_str(&manifest_text)
+        .map_err(|e| SessionError::Json(e.to_string()))?;
+    if manifest.version != MANIFEST_VERSION {
+        return Err(SessionError::Json(format!(
+            "unsupported session format version {} (supported: {MANIFEST_VERSION})",
+            manifest.version
+        )));
+    }
+    let mut session = Session::new();
+    for name in &manifest.datasets {
+        let path = dir.join(format!("{name}.dataset.json"));
+        let ds = fairank_data::json::read_json_file(&path)?;
+        session.add_dataset(name, ds)?;
+    }
+    for (name, function) in manifest.functions {
+        session.add_function(name, function)?;
+    }
+    Ok(session)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairank_data::paper;
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("fairank_persist_{tag}"));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    fn populated() -> Session {
+        let mut s = Session::new();
+        s.add_dataset("table1", paper::table1_dataset()).unwrap();
+        s.add_function("paper-f", paper::table1_scoring()).unwrap();
+        s
+    }
+
+    #[test]
+    fn save_and_load_round_trip() {
+        let dir = tmpdir("round_trip");
+        let session = populated();
+        save_session(&session, &dir).unwrap();
+        let loaded = load_session(&dir).unwrap();
+        assert_eq!(loaded.dataset_names(), vec!["table1"]);
+        assert_eq!(loaded.function_names(), vec!["paper-f"]);
+        assert_eq!(
+            loaded.dataset("table1").unwrap(),
+            session.dataset("table1").unwrap()
+        );
+        assert_eq!(
+            loaded.function("paper-f").unwrap(),
+            session.function("paper-f").unwrap()
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn loaded_session_is_quantifiable() {
+        let dir = tmpdir("quantifiable");
+        save_session(&populated(), &dir).unwrap();
+        let mut loaded = load_session(&dir).unwrap();
+        let id = loaded
+            .quantify(crate::config::Configuration::new("table1", "paper-f"))
+            .unwrap();
+        assert!(loaded.panel(id).unwrap().outcome.unfairness > 0.0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_manifest_errors() {
+        let dir = tmpdir("missing");
+        std::fs::create_dir_all(&dir).unwrap();
+        assert!(load_session(&dir).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn version_mismatch_errors() {
+        let dir = tmpdir("version");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(
+            dir.join("manifest.json"),
+            r#"{"version": 99, "datasets": [], "functions": []}"#,
+        )
+        .unwrap();
+        let err = load_session(&dir).unwrap_err();
+        assert!(err.to_string().contains("version"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn resave_overwrites() {
+        let dir = tmpdir("resave");
+        let session = populated();
+        save_session(&session, &dir).unwrap();
+        save_session(&session, &dir).unwrap(); // idempotent
+        let loaded = load_session(&dir).unwrap();
+        assert_eq!(loaded.dataset_names().len(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,243 @@
+//! Text rendering: partitioning trees and histogram sparklines.
+//!
+//! The Figure 3 interface draws partitioning trees in panels; here they are
+//! rendered with box-drawing characters, one node per line, each leaf
+//! carrying its size, mean score and a histogram sparkline.
+
+use fairank_core::histogram::Histogram;
+
+use crate::panel::Panel;
+
+const SPARK_LEVELS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+
+/// Renders a histogram as a sparkline, one character per bin. An empty
+/// histogram renders as dots.
+pub fn sparkline(hist: &Histogram) -> String {
+    if hist.is_empty() {
+        return "·".repeat(hist.spec().bins());
+    }
+    let max = hist.counts().iter().copied().max().unwrap_or(0).max(1);
+    hist.counts()
+        .iter()
+        .map(|&c| {
+            if c == 0 {
+                SPARK_LEVELS[0]
+            } else {
+                let idx = ((c as f64 / max as f64) * (SPARK_LEVELS.len() - 1) as f64).round()
+                    as usize;
+                SPARK_LEVELS[idx.clamp(1, SPARK_LEVELS.len() - 1)]
+            }
+        })
+        .collect()
+}
+
+/// Renders the panel's partitioning tree.
+pub fn render_tree(panel: &Panel) -> String {
+    let mut out = String::new();
+    render_node(panel, 0, "", true, true, &mut out);
+    out
+}
+
+fn render_node(
+    panel: &Panel,
+    node: usize,
+    prefix: &str,
+    is_last: bool,
+    is_root: bool,
+    out: &mut String,
+) {
+    let stats = panel.node_stats(node).expect("tree node exists");
+    let connector = if is_root {
+        ""
+    } else if is_last {
+        "└─ "
+    } else {
+        "├─ "
+    };
+    let label = if is_root {
+        let step = stats
+            .label
+            .rsplit(" ∧ ")
+            .next()
+            .unwrap_or(&stats.label)
+            .to_string();
+        step
+    } else {
+        // Only the last path step is new information at this depth.
+        stats
+            .label
+            .rsplit(" ∧ ")
+            .next()
+            .unwrap_or(&stats.label)
+            .to_string()
+    };
+    let annotation = if stats.is_leaf {
+        format!(
+            " (n={}, μ={:.3}) {}",
+            stats.size,
+            stats.mean_score,
+            sparkline(&stats.histogram)
+        )
+    } else {
+        format!(
+            " (n={}) ⊢ split on {}",
+            stats.size,
+            stats.split_attribute.as_deref().unwrap_or("?")
+        )
+    };
+    out.push_str(prefix);
+    out.push_str(connector);
+    out.push_str(&format!("[{node}] "));
+    out.push_str(&label);
+    out.push_str(&annotation);
+    out.push('\n');
+
+    let children = &panel.outcome.tree.node(node).children;
+    let child_prefix = if is_root {
+        String::new()
+    } else {
+        format!("{prefix}{}", if is_last { "   " } else { "│  " })
+    };
+    for (i, &child) in children.iter().enumerate() {
+        render_node(
+            panel,
+            child,
+            &child_prefix,
+            i + 1 == children.len(),
+            false,
+            out,
+        );
+    }
+}
+
+/// Renders the *General* box of a panel.
+pub fn render_general(panel: &Panel) -> String {
+    let info = panel.general_info();
+    format!(
+        "Panel #{} — {}\n\
+         unfairness      {:.6}\n\
+         partitions      {}\n\
+         tree nodes      {}\n\
+         max depth       {}\n\
+         individuals     {}\n\
+         search time     {} µs\n",
+        panel.id,
+        panel.config.describe(),
+        info.unfairness,
+        info.num_partitions,
+        info.tree_nodes,
+        info.max_depth,
+        info.individuals,
+        info.elapsed_us
+    )
+}
+
+/// Renders the *Node* box for one node of a panel.
+pub fn render_node_box(panel: &Panel, node: usize) -> crate::error::Result<String> {
+    let stats = panel.node_stats(node)?;
+    let kind = if stats.is_leaf {
+        "final partition".to_string()
+    } else {
+        format!(
+            "internal, split on {}",
+            stats.split_attribute.as_deref().unwrap_or("?")
+        )
+    };
+    let divergence = stats
+        .divergence_vs_siblings
+        .map(|d| format!("{d:.4}"))
+        .unwrap_or_else(|| "-".into());
+    Ok(format!(
+        "Node [{}] {}\n\
+         kind            {}\n\
+         individuals     {}\n\
+         mean score      {:.4}\n\
+         score range     [{:.4}, {:.4}]\n\
+         vs siblings     {}\n\
+         histogram       {}  (bins of {:?})\n",
+        stats.node,
+        stats.label,
+        kind,
+        stats.size,
+        stats.mean_score,
+        stats.min_score,
+        stats.max_score,
+        divergence,
+        sparkline(&stats.histogram),
+        stats.histogram.counts(),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Configuration;
+    use fairank_core::histogram::HistogramSpec;
+    use fairank_core::quantify::Quantify;
+    use fairank_core::scoring::ScoreSource;
+    use fairank_data::paper;
+
+    fn panel() -> Panel {
+        let ds = paper::table1_dataset();
+        let source = ScoreSource::Function(paper::table1_scoring());
+        let space = ds.to_space(&source).unwrap();
+        let config = Configuration::new("table1", "paper-f");
+        let outcome = Quantify::new(config.criterion).run_space(&space).unwrap();
+        Panel {
+            id: 0,
+            config,
+            space,
+            outcome,
+        }
+    }
+
+    #[test]
+    fn sparkline_shapes() {
+        let spec = HistogramSpec::unit(5).unwrap();
+        let h = Histogram::from_scores(spec, [0.05, 0.05, 0.05, 0.5, 0.95]);
+        let s = sparkline(&h);
+        assert_eq!(s.chars().count(), 5);
+        assert!(s.starts_with('█'));
+        let empty = Histogram::empty(spec);
+        assert_eq!(sparkline(&empty), "·····");
+    }
+
+    #[test]
+    fn sparkline_zero_bins_are_lowest() {
+        let spec = HistogramSpec::unit(3).unwrap();
+        let h = Histogram::from_scores(spec, [0.9]);
+        let s: Vec<char> = sparkline(&h).chars().collect();
+        assert_eq!(s[0], '▁');
+        assert_eq!(s[2], '█');
+    }
+
+    #[test]
+    fn tree_rendering_contains_all_nodes() {
+        let p = panel();
+        let text = render_tree(&p);
+        for id in 0..p.outcome.tree.len() {
+            assert!(text.contains(&format!("[{id}]")), "missing node {id}:\n{text}");
+        }
+        // Root labelled ALL, leaves carry sparkline + mean.
+        assert!(text.contains("ALL"));
+        assert!(text.contains("μ="));
+    }
+
+    #[test]
+    fn general_box_fields() {
+        let p = panel();
+        let text = render_general(&p);
+        assert!(text.contains("unfairness"));
+        assert!(text.contains("partitions"));
+        assert!(text.contains("table1"));
+    }
+
+    #[test]
+    fn node_box_renders_and_errors() {
+        let p = panel();
+        let text = render_node_box(&p, 0).unwrap();
+        assert!(text.contains("Node [0] ALL"));
+        assert!(text.contains("individuals     10"));
+        assert!(render_node_box(&p, 999).is_err());
+    }
+}

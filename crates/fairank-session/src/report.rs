@@ -1,0 +1,486 @@
+//! Role-specific reports: the paper's three demonstration scenarios (§4).
+//!
+//! * [`auditor_report`] — AUDITOR: "quantify the fairness for each job
+//!   offered on the platform, and identify demographics groups that are
+//!   least/most favored on the platform by each job".
+//! * [`job_owner_sweep`] — JOB OWNER: "define different scoring functions
+//!   and examine their impact … choose the best function for their job".
+//! * [`end_user_report`] — END-USER: "given a group to which the end-user
+//!   belongs and a job of interest, see how well the marketplace is
+//!   treating that group".
+
+use fairank_core::fairness::FairnessCriterion;
+use fairank_core::quantify::Quantify;
+use fairank_core::scoring::{LinearScoring, ScoreSource};
+use fairank_core::subgroup::{least_favored, most_favored, subgroup_stats};
+use fairank_data::dataset::Dataset;
+use fairank_data::filter::Filter;
+use fairank_marketplace::{Marketplace, Transparency};
+use serde::{Deserialize, Serialize};
+
+use crate::error::Result;
+
+// ---------------------------------------------------------------- auditor
+
+/// One job row of an auditor report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AuditorJobRow {
+    /// Job id.
+    pub job_id: String,
+    /// Job title.
+    pub title: String,
+    /// Quantified unfairness of the job's ranking.
+    pub unfairness: f64,
+    /// Number of partitions in the most-unfair partitioning.
+    pub partitions: usize,
+    /// Label of the most favored subgroup (highest score advantage).
+    pub most_favored: Option<String>,
+    /// Its mean-score advantage over the rest of the population.
+    pub most_favored_advantage: f64,
+    /// Label of the least favored subgroup.
+    pub least_favored: Option<String>,
+    /// Its (negative) mean-score advantage.
+    pub least_favored_advantage: f64,
+}
+
+/// The auditor's marketplace-wide fairness report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AuditorReport {
+    /// Marketplace name.
+    pub marketplace: String,
+    /// Transparency setting the audit ran under.
+    pub transparency: Transparency,
+    /// Per-job rows, most unfair first.
+    pub rows: Vec<AuditorJobRow>,
+}
+
+/// Audits every job of a marketplace under a transparency setting.
+/// `subgroup_depth` bounds the subgroup conjunction length;
+/// `min_subgroup` skips groups smaller than that.
+pub fn auditor_report(
+    marketplace: &Marketplace,
+    transparency: &Transparency,
+    criterion: &FairnessCriterion,
+    subgroup_depth: usize,
+    min_subgroup: usize,
+) -> Result<AuditorReport> {
+    let mut rows = Vec::with_capacity(marketplace.jobs().len());
+    for job in marketplace.jobs() {
+        let obs = marketplace.observe(&job.id, transparency)?;
+        let space = obs.dataset.to_space(&obs.source)?;
+        let outcome = Quantify::new(*criterion).run_space(&space)?;
+        let stats = subgroup_stats(&space, criterion, subgroup_depth, min_subgroup)?;
+        let most = most_favored(&stats, 1);
+        let least = least_favored(&stats, 1);
+        rows.push(AuditorJobRow {
+            job_id: job.id.clone(),
+            title: job.title.clone(),
+            unfairness: outcome.unfairness,
+            partitions: outcome.partitions.len(),
+            most_favored: most.first().map(|s| s.label.clone()),
+            most_favored_advantage: most.first().map_or(0.0, |s| s.advantage),
+            least_favored: least.first().map(|s| s.label.clone()),
+            least_favored_advantage: least.first().map_or(0.0, |s| s.advantage),
+        });
+    }
+    rows.sort_by(|a, b| {
+        b.unfairness
+            .partial_cmp(&a.unfairness)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    Ok(AuditorReport {
+        marketplace: marketplace.name.clone(),
+        transparency: transparency.clone(),
+        rows,
+    })
+}
+
+impl AuditorReport {
+    /// Renders the report as an aligned text table.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "AUDITOR REPORT — marketplace {:?}\n{:<16} {:>10} {:>6}  {:<34} {:<34}\n",
+            self.marketplace, "job", "unfairness", "parts", "most favored", "least favored"
+        );
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{:<16} {:>10.4} {:>6}  {:<34} {:<34}\n",
+                r.job_id,
+                r.unfairness,
+                r.partitions,
+                r.most_favored
+                    .as_deref()
+                    .map(|l| format!("{l} ({:+.3})", r.most_favored_advantage))
+                    .unwrap_or_else(|| "-".into()),
+                r.least_favored
+                    .as_deref()
+                    .map(|l| format!("{l} ({:+.3})", r.least_favored_advantage))
+                    .unwrap_or_else(|| "-".into()),
+            ));
+        }
+        out
+    }
+}
+
+// -------------------------------------------------------------- job owner
+
+/// One scoring-function variant of a job-owner sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VariantRow {
+    /// Display label, e.g. `rating=0.4`.
+    pub label: String,
+    /// The full weight vector of the variant.
+    pub weights: Vec<(String, f64)>,
+    /// Quantified (most-unfair) unfairness under the variant.
+    pub unfairness: f64,
+    /// Partitions found.
+    pub partitions: usize,
+}
+
+/// The job-owner exploration result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobOwnerReport {
+    /// The swept skill.
+    pub skill: String,
+    /// One row per weight tried, in sweep order.
+    pub rows: Vec<VariantRow>,
+    /// Index (into `rows`) of the fairest variant — the one whose
+    /// most-unfair partitioning has the *lowest* unfairness.
+    pub fairest: usize,
+}
+
+/// Sweeps the weight of `skill` in `base` over `weights` and quantifies
+/// each variant on `dataset`. The remaining weights are rescaled so all
+/// weights sum to 1 (keeping scores in `[0, 1]`).
+pub fn job_owner_sweep(
+    dataset: &Dataset,
+    base: &LinearScoring,
+    skill: &str,
+    weights: &[f64],
+    criterion: &FairnessCriterion,
+) -> Result<JobOwnerReport> {
+    let mut rows = Vec::with_capacity(weights.len());
+    for &w in weights {
+        let variant = rebalanced_variant(base, skill, w)?;
+        let space = dataset.to_space(&ScoreSource::Function(variant.clone()))?;
+        let outcome = Quantify::new(*criterion).run_space(&space)?;
+        rows.push(VariantRow {
+            label: format!("{skill}={w:.2}"),
+            weights: variant.terms().to_vec(),
+            unfairness: outcome.unfairness,
+            partitions: outcome.partitions.len(),
+        });
+    }
+    let fairest = rows
+        .iter()
+        .enumerate()
+        .min_by(|(_, a), (_, b)| {
+            a.unfairness
+                .partial_cmp(&b.unfairness)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })
+        .map(|(i, _)| i)
+        .unwrap_or(0);
+    Ok(JobOwnerReport {
+        skill: skill.to_string(),
+        rows,
+        fairest,
+    })
+}
+
+/// Sets `skill` to `weight` and rescales the other weights so the total
+/// stays 1.0 (the paper's functions map into `[0, 1]`).
+fn rebalanced_variant(
+    base: &LinearScoring,
+    skill: &str,
+    weight: f64,
+) -> Result<LinearScoring> {
+    let others_total: f64 = base
+        .terms()
+        .iter()
+        .filter(|(n, _)| n != skill)
+        .map(|(_, w)| w)
+        .sum();
+    let mut builder = LinearScoring::builder();
+    for (name, w) in base.terms() {
+        if name == skill {
+            continue;
+        }
+        let rescaled = if others_total > 0.0 {
+            w / others_total * (1.0 - weight)
+        } else {
+            0.0
+        };
+        builder = builder.weight(name.clone(), rescaled);
+    }
+    builder = builder.weight(skill, weight);
+    Ok(builder.build_unchecked()?)
+}
+
+impl JobOwnerReport {
+    /// Renders the sweep as a table with the fairest row marked.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "JOB OWNER SWEEP — skill {:?}\n{:<16} {:>10} {:>6}\n",
+            self.skill, "variant", "unfairness", "parts"
+        );
+        for (i, r) in self.rows.iter().enumerate() {
+            let marker = if i == self.fairest { "  ← fairest" } else { "" };
+            out.push_str(&format!(
+                "{:<16} {:>10.4} {:>6}{}\n",
+                r.label, r.unfairness, r.partitions, marker
+            ));
+        }
+        out
+    }
+}
+
+// --------------------------------------------------------------- end user
+
+/// How one job treats the end-user's group.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EndUserJobRow {
+    /// Job id.
+    pub job_id: String,
+    /// Job title.
+    pub title: String,
+    /// Mean percentile of the group's members in the job's ranking
+    /// (1.0 = always at the top, 0.0 = always at the bottom).
+    pub group_mean_percentile: f64,
+    /// Mean score of the group.
+    pub group_mean_score: f64,
+    /// Mean score of everyone else.
+    pub others_mean_score: f64,
+    /// Members of the group.
+    pub group_size: usize,
+}
+
+/// The end-user's cross-job view of their group.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EndUserReport {
+    /// The group definition (rendered filter).
+    pub group: String,
+    /// Per-job rows, best-treated first.
+    pub rows: Vec<EndUserJobRow>,
+}
+
+/// Evaluates how every job of the marketplace treats the group selected by
+/// `group` (e.g. `gender=Female & city=Grenoble`).
+pub fn end_user_report(
+    marketplace: &Marketplace,
+    group: &Filter,
+    _criterion: &FairnessCriterion,
+) -> Result<EndUserReport> {
+    let workers = marketplace.workers();
+    let group_rows = group.matching_rows(workers)?;
+    let n = workers.num_rows();
+    let mut member = vec![false; n];
+    for &r in &group_rows {
+        member[r as usize] = true;
+    }
+    let mut rows = Vec::with_capacity(marketplace.jobs().len());
+    for job in marketplace.jobs() {
+        let scores = marketplace.scores_for(&job.id)?;
+        let ranking = marketplace.ranking_for(&job.id)?;
+        // Percentile of each group member: 1 - rank/(n-1).
+        let mut rank_of = vec![0usize; n];
+        for (rank, &row) in ranking.iter().enumerate() {
+            rank_of[row as usize] = rank;
+        }
+        let denom = (n.max(2) - 1) as f64;
+        let (mut pct_sum, mut g_sum, mut o_sum, mut o_count) = (0.0, 0.0, 0.0, 0usize);
+        for row in 0..n {
+            if member[row] {
+                pct_sum += 1.0 - rank_of[row] as f64 / denom;
+                g_sum += scores[row];
+            } else {
+                o_sum += scores[row];
+                o_count += 1;
+            }
+        }
+        let g_count = group_rows.len();
+        rows.push(EndUserJobRow {
+            job_id: job.id.clone(),
+            title: job.title.clone(),
+            group_mean_percentile: if g_count == 0 { 0.0 } else { pct_sum / g_count as f64 },
+            group_mean_score: if g_count == 0 { 0.0 } else { g_sum / g_count as f64 },
+            others_mean_score: if o_count == 0 { 0.0 } else { o_sum / o_count as f64 },
+            group_size: g_count,
+        });
+    }
+    rows.sort_by(|a, b| {
+        b.group_mean_percentile
+            .partial_cmp(&a.group_mean_percentile)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    Ok(EndUserReport {
+        group: group.render(),
+        rows,
+    })
+}
+
+impl EndUserReport {
+    /// Renders the report; the top row is the job to target.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "END-USER REPORT — group {}\n{:<16} {:>11} {:>12} {:>12}\n",
+            self.group, "job", "percentile", "group score", "others score"
+        );
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{:<16} {:>11.3} {:>12.3} {:>12.3}\n",
+                r.job_id, r.group_mean_percentile, r.group_mean_score, r.others_mean_score
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairank_marketplace::scenario::taskrabbit_like;
+
+    fn market() -> Marketplace {
+        taskrabbit_like(300, 17).unwrap()
+    }
+
+    #[test]
+    fn auditor_report_covers_all_jobs() {
+        let m = market();
+        let report = auditor_report(
+            &m,
+            &Transparency::full(),
+            &FairnessCriterion::default(),
+            2,
+            10,
+        )
+        .unwrap();
+        assert_eq!(report.rows.len(), m.jobs().len());
+        // Sorted most unfair first.
+        for w in report.rows.windows(2) {
+            assert!(w[0].unfairness >= w[1].unfairness);
+        }
+        // Favored subgroups identified with sensible signs.
+        let top = &report.rows[0];
+        assert!(top.most_favored.is_some());
+        assert!(top.most_favored_advantage >= 0.0);
+        assert!(top.least_favored_advantage <= 0.0);
+        let text = report.render();
+        assert!(text.contains("AUDITOR REPORT"));
+        assert!(text.contains(&top.job_id));
+    }
+
+    #[test]
+    fn auditor_bias_targets_show_up_as_least_favored() {
+        let m = market();
+        let report = auditor_report(
+            &m,
+            &Transparency::full(),
+            &FairnessCriterion::default(),
+            1,
+            20,
+        )
+        .unwrap();
+        // On the pure-rating job the injected penalties hit Female /
+        // African-American workers; one of them must be least favored.
+        let rated = report
+            .rows
+            .iter()
+            .find(|r| r.job_id == "rated-anything")
+            .unwrap();
+        let least = rated.least_favored.as_deref().unwrap();
+        assert!(
+            least.contains("Female") || least.contains("African-American"),
+            "least favored was {least}"
+        );
+    }
+
+    #[test]
+    fn job_owner_sweep_finds_fairest_weight() {
+        let m = market();
+        let base = m.job("wood-panels").unwrap().scoring.clone();
+        let report = job_owner_sweep(
+            m.workers(),
+            &base,
+            "rating",
+            &[0.0, 0.25, 0.5, 0.75, 1.0],
+            &FairnessCriterion::default(),
+        )
+        .unwrap();
+        assert_eq!(report.rows.len(), 5);
+        let fairest = &report.rows[report.fairest];
+        for r in &report.rows {
+            assert!(fairest.unfairness <= r.unfairness + 1e-12);
+        }
+        // Rating carries the injected bias: weighting it fully should be
+        // no fairer than the fairest option.
+        let full_rating = report.rows.last().unwrap();
+        assert!(full_rating.unfairness >= fairest.unfairness);
+        assert!(report.render().contains("← fairest"));
+    }
+
+    #[test]
+    fn rebalanced_weights_sum_to_one() {
+        let base = LinearScoring::builder()
+            .weight("a", 0.5)
+            .weight("b", 0.3)
+            .weight("c", 0.2)
+            .build_unchecked()
+            .unwrap();
+        let v = rebalanced_variant(&base, "a", 0.8).unwrap();
+        let total: f64 = v.terms().iter().map(|(_, w)| w).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        let a = v.terms().iter().find(|(n, _)| n == "a").unwrap().1;
+        assert!((a - 0.8).abs() < 1e-12);
+        // b : c keeps its 3:2 proportion within the remaining 0.2.
+        let b = v.terms().iter().find(|(n, _)| n == "b").unwrap().1;
+        assert!((b - 0.12).abs() < 1e-12);
+    }
+
+    #[test]
+    fn end_user_report_ranks_jobs_for_group() {
+        let m = market();
+        let group = Filter::all().eq("gender", "Female");
+        let report = end_user_report(&m, &group, &FairnessCriterion::default()).unwrap();
+        assert_eq!(report.rows.len(), m.jobs().len());
+        assert!(report.rows[0].group_size > 0);
+        for w in report.rows.windows(2) {
+            assert!(w[0].group_mean_percentile >= w[1].group_mean_percentile);
+        }
+        // The biased rating-only job should treat women worse than the
+        // best job for them.
+        let rated = report
+            .rows
+            .iter()
+            .find(|r| r.job_id == "rated-anything")
+            .unwrap();
+        assert!(report.rows[0].group_mean_percentile >= rated.group_mean_percentile);
+        assert!(rated.group_mean_score < rated.others_mean_score);
+        assert!(report.render().contains("END-USER REPORT"));
+    }
+
+    #[test]
+    fn end_user_empty_group_is_safe() {
+        let m = market();
+        let group = Filter::all().eq("gender", "Nonexistent");
+        let report = end_user_report(&m, &group, &FairnessCriterion::default()).unwrap();
+        assert!(report.rows.iter().all(|r| r.group_size == 0));
+    }
+
+    #[test]
+    fn reports_serialize() {
+        let m = market();
+        let report = auditor_report(
+            &m,
+            &Transparency::full(),
+            &FairnessCriterion::default(),
+            1,
+            20,
+        )
+        .unwrap();
+        let json = serde_json::to_string(&report).unwrap();
+        let back: AuditorReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(report, back);
+    }
+}

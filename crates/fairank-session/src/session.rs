@@ -1,0 +1,430 @@
+//! The multi-panel exploration session (Figure 1's engine).
+//!
+//! A session holds named datasets and scoring functions, runs
+//! configurations into [`Panel`]s, and supports the derived-dataset
+//! operations of the architecture: filtering, anonymization and
+//! transparency changes. "The user can also choose to modify the scoring
+//! function or the fairness formulation, and obtain several panels to
+//! explore how that impacts fairness quantification" (§2).
+
+use std::collections::BTreeMap;
+
+use fairank_anonymize::{datafly, mondrian, DataflyConfig, MondrianConfig};
+use fairank_core::quantify::Quantify;
+use fairank_core::scoring::{LinearScoring, ScoreSource};
+use fairank_data::dataset::Dataset;
+use fairank_data::filter::Filter;
+use fairank_data::schema::AttributeRole;
+
+use crate::config::{Configuration, ScoringChoice};
+use crate::error::{Result, SessionError};
+use crate::panel::Panel;
+
+/// Which anonymization algorithm a session command uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AnonMethod {
+    /// Mondrian multidimensional recoding (keeps every row).
+    #[default]
+    Mondrian,
+    /// Datafly full-domain generalization (may suppress rows).
+    Datafly,
+    /// Incognito: optimal full-domain generalization (no suppression).
+    Incognito,
+}
+
+/// The exploration workspace: datasets, functions, panels.
+#[derive(Debug, Default)]
+pub struct Session {
+    datasets: BTreeMap<String, Dataset>,
+    functions: BTreeMap<String, LinearScoring>,
+    panels: Vec<Panel>,
+}
+
+impl Session {
+    /// An empty session.
+    pub fn new() -> Self {
+        Session::default()
+    }
+
+    // ---- datasets -------------------------------------------------------
+
+    /// Registers a dataset under a unique name.
+    pub fn add_dataset(&mut self, name: impl Into<String>, dataset: Dataset) -> Result<()> {
+        let name = name.into();
+        if self.datasets.contains_key(&name) {
+            return Err(SessionError::NameTaken(name));
+        }
+        self.datasets.insert(name, dataset);
+        Ok(())
+    }
+
+    /// A registered dataset.
+    pub fn dataset(&self, name: &str) -> Result<&Dataset> {
+        self.datasets
+            .get(name)
+            .ok_or_else(|| SessionError::UnknownDataset(name.to_string()))
+    }
+
+    /// Names of all registered datasets.
+    pub fn dataset_names(&self) -> Vec<&str> {
+        self.datasets.keys().map(String::as_str).collect()
+    }
+
+    /// Registers `new_name` as `source` filtered by `filter`.
+    pub fn derive_filtered(
+        &mut self,
+        new_name: impl Into<String>,
+        source: &str,
+        filter: &Filter,
+    ) -> Result<usize> {
+        let filtered = self.dataset(source)?.filter(filter)?;
+        let rows = filtered.num_rows();
+        self.add_dataset(new_name, filtered)?;
+        Ok(rows)
+    }
+
+    /// Registers `new_name` as a k-anonymized copy of `source` over all its
+    /// protected attributes. Returns the number of suppressed rows (always
+    /// 0 for Mondrian).
+    pub fn derive_anonymized(
+        &mut self,
+        new_name: impl Into<String>,
+        source: &str,
+        k: usize,
+        method: AnonMethod,
+    ) -> Result<usize> {
+        let ds = self.dataset(source)?;
+        let qis: Vec<&str> = ds
+            .schema()
+            .fields()
+            .iter()
+            .filter(|f| f.role == AttributeRole::Protected)
+            .map(|f| f.name.as_str())
+            .collect();
+        let (anon, suppressed) = match method {
+            AnonMethod::Mondrian => {
+                let out = mondrian(ds, &qis, MondrianConfig { k })?;
+                (out.dataset, 0)
+            }
+            AnonMethod::Datafly => {
+                let out = datafly(
+                    ds,
+                    &qis,
+                    &[],
+                    DataflyConfig {
+                        k,
+                        max_suppression: 0.05,
+                    },
+                )?;
+                (out.dataset, out.suppressed)
+            }
+            AnonMethod::Incognito => {
+                let hierarchies = fairank_anonymize::datafly::auto_hierarchies(ds, &qis)?;
+                let out = fairank_anonymize::incognito(ds, &qis, &hierarchies, k)?;
+                (out.dataset, 0)
+            }
+        };
+        self.add_dataset(new_name, anon)?;
+        Ok(suppressed)
+    }
+
+    // ---- scoring functions ----------------------------------------------
+
+    /// Registers a scoring function under a unique name.
+    pub fn add_function(
+        &mut self,
+        name: impl Into<String>,
+        function: LinearScoring,
+    ) -> Result<()> {
+        let name = name.into();
+        if self.functions.contains_key(&name) {
+            return Err(SessionError::NameTaken(name));
+        }
+        self.functions.insert(name, function);
+        Ok(())
+    }
+
+    /// A registered function.
+    pub fn function(&self, name: &str) -> Result<&LinearScoring> {
+        self.functions
+            .get(name)
+            .ok_or_else(|| SessionError::UnknownFunction(name.to_string()))
+    }
+
+    /// Names of all registered functions.
+    pub fn function_names(&self) -> Vec<&str> {
+        self.functions.keys().map(String::as_str).collect()
+    }
+
+    // ---- panels -----------------------------------------------------------
+
+    /// Runs a configuration and appends the resulting panel. Returns the
+    /// new panel's id.
+    pub fn quantify(&mut self, config: Configuration) -> Result<usize> {
+        let dataset = self.dataset(&config.dataset)?;
+        let working = if config.filter.is_empty() {
+            dataset.clone()
+        } else {
+            dataset.filter(&config.filter)?
+        };
+        let source = match &config.scoring {
+            ScoringChoice::Named(name) => ScoreSource::Function(self.function(name)?.clone()),
+            ScoringChoice::Inline(source) => source.clone(),
+        };
+        let space = working.to_space(&source)?;
+        let outcome = Quantify::new(config.criterion).run_space(&space)?;
+        let id = self.panels.len();
+        self.panels.push(Panel {
+            id,
+            config,
+            space,
+            outcome,
+        });
+        Ok(id)
+    }
+
+    /// A panel by id.
+    pub fn panel(&self, id: usize) -> Result<&Panel> {
+        self.panels
+            .get(id)
+            .ok_or(SessionError::UnknownPanel(id))
+    }
+
+    /// All panels, oldest first.
+    pub fn panels(&self) -> &[Panel] {
+        &self.panels
+    }
+
+    /// Runs a whole grid of configurations in parallel (one panel each) —
+    /// the Figure 3 multi-panel layout at scale, e.g. every scoring variant
+    /// × every aggregator. Panels are appended in grid order; the returned
+    /// ids follow it. Uses one OS thread per configuration via scoped
+    /// threads (quantifications are CPU-bound and independent).
+    pub fn quantify_grid(&mut self, configs: Vec<Configuration>) -> Result<Vec<usize>> {
+        // Resolve and validate everything up front, before spawning.
+        let mut prepared = Vec::with_capacity(configs.len());
+        for config in &configs {
+            let dataset = self.dataset(&config.dataset)?;
+            let working = if config.filter.is_empty() {
+                dataset.clone()
+            } else {
+                dataset.filter(&config.filter)?
+            };
+            let source = match &config.scoring {
+                ScoringChoice::Named(name) => {
+                    ScoreSource::Function(self.function(name)?.clone())
+                }
+                ScoringChoice::Inline(source) => source.clone(),
+            };
+            let space = working.to_space(&source)?;
+            prepared.push((config.clone(), space));
+        }
+        let outcomes: Vec<Result<_>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = prepared
+                .iter()
+                .map(|(config, space)| {
+                    scope.spawn(move || Quantify::new(config.criterion).run_space(space))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| {
+                    h.join()
+                        .expect("quantification threads do not panic")
+                        .map_err(SessionError::from)
+                })
+                .collect()
+        });
+        // Commit atomically: surface any failure before appending panels.
+        let outcomes: Vec<_> = outcomes.into_iter().collect::<Result<_>>()?;
+        let mut ids = Vec::with_capacity(prepared.len());
+        for ((config, space), outcome) in prepared.into_iter().zip(outcomes) {
+            let id = self.panels.len();
+            self.panels.push(Panel {
+                id,
+                config,
+                space,
+                outcome,
+            });
+            ids.push(id);
+        }
+        Ok(ids)
+    }
+
+    /// Side-by-side comparison of two panels' general info, as the Figure 3
+    /// multi-panel layout enables.
+    pub fn compare(&self, a: usize, b: usize) -> Result<String> {
+        let pa = self.panel(a)?;
+        let pb = self.panel(b)?;
+        let ia = pa.general_info();
+        let ib = pb.general_info();
+        let delta = ib.unfairness - ia.unfairness;
+        Ok(format!(
+            "compare      #{a:<28} #{b}\n\
+             config       {:<28} {}\n\
+             unfairness   {:<28.6} {:.6}  (Δ {:+.6})\n\
+             partitions   {:<28} {}\n\
+             individuals  {:<28} {}\n",
+            pa.config.describe(),
+            pb.config.describe(),
+            ia.unfairness,
+            ib.unfairness,
+            delta,
+            ia.num_partitions,
+            ib.num_partitions,
+            ia.individuals,
+            ib.individuals,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairank_core::fairness::{Aggregator, FairnessCriterion, Objective};
+    use fairank_data::paper;
+
+    fn session_with_table1() -> Session {
+        let mut s = Session::new();
+        s.add_dataset("table1", paper::table1_dataset()).unwrap();
+        s.add_function("paper-f", paper::table1_scoring()).unwrap();
+        s
+    }
+
+    #[test]
+    fn dataset_and_function_registry() {
+        let mut s = session_with_table1();
+        assert_eq!(s.dataset_names(), vec!["table1"]);
+        assert_eq!(s.function_names(), vec!["paper-f"]);
+        assert!(s.dataset("table1").is_ok());
+        assert!(s.dataset("ghost").is_err());
+        assert!(s.function("ghost").is_err());
+        // Duplicates rejected.
+        assert!(s.add_dataset("table1", paper::table1_dataset()).is_err());
+        assert!(s.add_function("paper-f", paper::table1_scoring()).is_err());
+    }
+
+    #[test]
+    fn quantify_produces_panels() {
+        let mut s = session_with_table1();
+        let id = s.quantify(Configuration::new("table1", "paper-f")).unwrap();
+        assert_eq!(id, 0);
+        let p = s.panel(0).unwrap();
+        assert_eq!(p.general_info().individuals, 10);
+        assert!(s.panel(5).is_err());
+    }
+
+    #[test]
+    fn filtered_quantification_shrinks_population() {
+        let mut s = session_with_table1();
+        let config = Configuration::new("table1", "paper-f")
+            .with_filter(Filter::all().eq("gender", "Male"));
+        let id = s.quantify(config).unwrap();
+        assert_eq!(s.panel(id).unwrap().general_info().individuals, 6);
+    }
+
+    #[test]
+    fn derive_filtered_registers_new_dataset() {
+        let mut s = session_with_table1();
+        let rows = s
+            .derive_filtered("males", "table1", &Filter::all().eq("gender", "Male"))
+            .unwrap();
+        assert_eq!(rows, 6);
+        assert_eq!(s.dataset("males").unwrap().num_rows(), 6);
+        assert!(s
+            .derive_filtered("males", "table1", &Filter::all())
+            .is_err());
+    }
+
+    #[test]
+    fn derive_anonymized_both_methods() {
+        let mut s = session_with_table1();
+        let suppressed = s
+            .derive_anonymized("anon-m", "table1", 2, AnonMethod::Mondrian)
+            .unwrap();
+        assert_eq!(suppressed, 0);
+        assert_eq!(s.dataset("anon-m").unwrap().num_rows(), 10);
+
+        let _ = s
+            .derive_anonymized("anon-d", "table1", 2, AnonMethod::Datafly)
+            .unwrap();
+        assert!(s.dataset("anon-d").unwrap().num_rows() <= 10);
+    }
+
+    #[test]
+    fn anonymized_dataset_can_be_quantified() {
+        let mut s = session_with_table1();
+        s.derive_anonymized("anon", "table1", 3, AnonMethod::Mondrian)
+            .unwrap();
+        let id = s.quantify(Configuration::new("anon", "paper-f")).unwrap();
+        let info = s.panel(id).unwrap().general_info();
+        assert!(info.unfairness >= 0.0);
+    }
+
+    #[test]
+    fn compare_reports_delta() {
+        let mut s = session_with_table1();
+        let a = s.quantify(Configuration::new("table1", "paper-f")).unwrap();
+        let b = s
+            .quantify(
+                Configuration::new("table1", "paper-f").with_criterion(
+                    FairnessCriterion::new(Objective::LeastUnfair, Aggregator::Mean),
+                ),
+            )
+            .unwrap();
+        let text = s.compare(a, b).unwrap();
+        assert!(text.contains("Δ"));
+        assert!(text.contains("most-unfair"));
+        assert!(text.contains("least-unfair"));
+        assert!(s.compare(0, 99).is_err());
+    }
+
+    #[test]
+    fn quantify_grid_runs_configs_in_parallel() {
+        let mut s = session_with_table1();
+        let configs: Vec<Configuration> = Aggregator::all()
+            .into_iter()
+            .map(|agg| {
+                Configuration::new("table1", "paper-f")
+                    .with_criterion(FairnessCriterion::new(Objective::MostUnfair, agg))
+            })
+            .collect();
+        let ids = s.quantify_grid(configs).unwrap();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4, 5]);
+        // Each grid panel matches its sequential counterpart.
+        for (id, agg) in ids.iter().zip(Aggregator::all()) {
+            let sequential = Quantify::new(FairnessCriterion::new(
+                Objective::MostUnfair,
+                agg,
+            ))
+            .run_space(&s.panel(*id).unwrap().space)
+            .unwrap();
+            assert!(
+                (s.panel(*id).unwrap().outcome.unfairness - sequential.unfairness).abs()
+                    < 1e-12
+            );
+        }
+    }
+
+    #[test]
+    fn quantify_grid_validates_before_spawning() {
+        let mut s = session_with_table1();
+        let configs = vec![
+            Configuration::new("table1", "paper-f"),
+            Configuration::new("ghost", "paper-f"),
+        ];
+        assert!(s.quantify_grid(configs).is_err());
+        // Nothing was committed.
+        assert!(s.panels().is_empty());
+    }
+
+    #[test]
+    fn panel_ids_are_stable() {
+        let mut s = session_with_table1();
+        let a = s.quantify(Configuration::new("table1", "paper-f")).unwrap();
+        let b = s.quantify(Configuration::new("table1", "paper-f")).unwrap();
+        assert_eq!((a, b), (0, 1));
+        assert_eq!(s.panels().len(), 2);
+        assert_eq!(s.panel(1).unwrap().id, 1);
+    }
+}

@@ -1,0 +1,45 @@
+//! AUDITOR scenario (§4): monitor a whole marketplace.
+//!
+//! Crawls a TaskRabbit-like marketplace, quantifies the fairness of every
+//! job's ranking, names the most/least favored demographics per job, and
+//! shows how the picture degrades when the platform only exposes rankings
+//! over k-anonymized profiles (the blackbox setting).
+//!
+//! ```text
+//! cargo run --example auditor_report
+//! ```
+
+use fairank::core::fairness::FairnessCriterion;
+use fairank::marketplace::scenario::taskrabbit_like;
+use fairank::marketplace::Transparency;
+use fairank::session::report::auditor_report;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let market = taskrabbit_like(400, 42)?;
+    let criterion = FairnessCriterion::default();
+
+    println!("=== Full transparency ===");
+    let full = auditor_report(&market, &Transparency::full(), &criterion, 2, 20)?;
+    print!("{}", full.render());
+
+    println!("\n=== Blackbox: ranking-only over 10-anonymized profiles ===");
+    let blackbox = auditor_report(&market, &Transparency::blackbox(10), &criterion, 2, 20)?;
+    print!("{}", blackbox.render());
+
+    // The headline the auditor writes down: the most unfair job and who it
+    // disadvantages.
+    let worst = &full.rows[0];
+    println!(
+        "\nMost unfair job: {:?} (unfairness {:.3}); least favored: {} ({:+.3} mean score)",
+        worst.title,
+        worst.unfairness,
+        worst.least_favored.as_deref().unwrap_or("-"),
+        worst.least_favored_advantage,
+    );
+    let worst_bb = &blackbox.rows[0];
+    println!(
+        "Under blackbox observation the top finding becomes: {:?} (unfairness {:.3})",
+        worst_bb.title, worst_bb.unfairness
+    );
+    Ok(())
+}

@@ -1,0 +1,41 @@
+//! END-USER scenario (§4): "how well is the marketplace treating my group,
+//! and which job should I target?"
+//!
+//! A worker who is Female and based in Chicago examines every job of the
+//! TaskRabbit-like marketplace and gets them ranked by how well her group
+//! fares (mean ranking percentile).
+//!
+//! ```text
+//! cargo run --example end_user_view
+//! ```
+
+use fairank::core::fairness::FairnessCriterion;
+use fairank::data::filter::Filter;
+use fairank::marketplace::scenario::taskrabbit_like;
+use fairank::session::report::end_user_report;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let market = taskrabbit_like(400, 42)?;
+    let group = Filter::parse("gender=Female & city=Chicago")?;
+
+    let report = end_user_report(&market, &group, &FairnessCriterion::default())?;
+    print!("{}", report.render());
+
+    let best = &report.rows[0];
+    let worst = report.rows.last().expect("catalog is non-empty");
+    println!(
+        "\nfor group `{}` ({} members):",
+        report.group, best.group_size
+    );
+    println!(
+        "  target  {:?} — the group averages the {:.0}th percentile there",
+        best.title,
+        best.group_mean_percentile * 100.0
+    );
+    println!(
+        "  avoid   {:?} — only the {:.0}th percentile",
+        worst.title,
+        worst.group_mean_percentile * 100.0
+    );
+    Ok(())
+}

@@ -1,0 +1,49 @@
+//! Ranking feedback dynamics: watch repeated ranking amplify an initial
+//! demographic gap (extension experiment E14 as a runnable walkthrough).
+//!
+//! ```text
+//! cargo run --example feedback_loop
+//! ```
+
+use fairank::core::fairness::FairnessCriterion;
+use fairank::marketplace::dynamics::{simulate_feedback, FeedbackConfig};
+use fairank::marketplace::scenario::taskrabbit_like;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let market = taskrabbit_like(300, 42)?;
+    println!(
+        "simulating 12 hire-and-rate rounds on job {:?} (top 30 hired per round)…\n",
+        market.job("rated-anything")?.title
+    );
+    let outcome = simulate_feedback(
+        &market,
+        "rated-anything",
+        "rating",
+        "gender",
+        &FairnessCriterion::default(),
+        FeedbackConfig {
+            rounds: 12,
+            top_k: 30,
+            boost: 0.1,
+            decay: 0.02,
+        },
+    )?;
+
+    println!("{:<7} {:>12} {:>12} {:>8}", "round", "gender gap", "mean rating", "gini");
+    for r in &outcome.rounds {
+        let bar = "#".repeat((r.tracked_gap * 300.0) as usize);
+        println!(
+            "{:<7} {:>12.4} {:>12.4} {:>8.3}  {}",
+            r.round, r.tracked_gap, r.mean_rating, r.rating_gini, bar
+        );
+    }
+    let first = &outcome.rounds[0];
+    let last = outcome.rounds.last().expect("non-empty");
+    println!(
+        "\nthe injected gender rating gap widened by {:+.1}% over {} rounds — \
+         rankings don't just reflect bias, they compound it.",
+        (last.tracked_gap / first.tracked_gap - 1.0) * 100.0,
+        last.round
+    );
+    Ok(())
+}

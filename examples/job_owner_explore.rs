@@ -1,0 +1,47 @@
+//! JOB OWNER scenario (§4): explore scoring-function variants.
+//!
+//! The owner of the "Installing wood panels" job sweeps the weight of the
+//! (bias-carrying) rating attribute, watches unfairness respond, and picks
+//! the fairest variant — "the one that satisfies some desired fairness".
+//!
+//! ```text
+//! cargo run --example job_owner_explore
+//! ```
+
+use fairank::core::fairness::FairnessCriterion;
+use fairank::marketplace::scenario::taskrabbit_like;
+use fairank::session::report::job_owner_sweep;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let market = taskrabbit_like(400, 42)?;
+    let job = market.job("wood-panels")?;
+    println!(
+        "job {:?} currently scores candidates with:",
+        job.title
+    );
+    for (attr, w) in job.scoring.terms() {
+        println!("  {w:.2} · {attr}");
+    }
+
+    let weights: Vec<f64> = (0..=10).map(|i| i as f64 / 10.0).collect();
+    let report = job_owner_sweep(
+        market.workers(),
+        &job.scoring,
+        "rating",
+        &weights,
+        &FairnessCriterion::default(),
+    )?;
+    println!("\n{}", report.render());
+
+    let fairest = &report.rows[report.fairest];
+    println!("recommendation: use {:?} —", fairest.label);
+    for (attr, w) in &fairest.weights {
+        println!("  {w:.3} · {attr}");
+    }
+    println!(
+        "worst-case unfairness drops from {:.4} (rating=1.00) to {:.4}",
+        report.rows.last().expect("non-empty sweep").unfairness,
+        fairest.unfairness
+    );
+    Ok(())
+}

@@ -1,0 +1,41 @@
+//! Quickstart: quantify the fairness of a scoring function in ~30 lines.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use fairank::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A dataset: individuals with protected attributes (gender, country,
+    //    year of birth, language, ethnicity) and observed skills. Here: the
+    //    paper's Table 1, built in.
+    let dataset = fairank::data::paper::table1_dataset();
+    println!("{}", dataset.render_head(10));
+
+    // 2. A scoring function over observed attributes (Definition 1):
+    //    f(w) = 0.3 · language_test + 0.7 · rating — the paper's function.
+    let scoring = LinearScoring::builder()
+        .weight("language_test", 0.3)
+        .weight("rating", 0.7)
+        .build(&dataset)?;
+
+    // 3. A fairness criterion: search direction × pairwise-EMD aggregation.
+    let criterion = FairnessCriterion::new(Objective::MostUnfair, Aggregator::Mean);
+
+    // 4. Run Algorithm 1 (QUANTIFY): greedily grow the partitioning tree.
+    let outcome = Quantify::new(criterion).run(&dataset, &ScoreSource::from(scoring))?;
+
+    println!(
+        "most unfair partitioning: {} groups, unfairness = {:.4}",
+        outcome.partitions.len(),
+        outcome.unfairness
+    );
+    let space = dataset.to_space(&ScoreSource::from(fairank::data::paper::table1_scoring()))?;
+    for p in &outcome.partitions {
+        let mean: f64 =
+            p.scores(space.scores()).sum::<f64>() / p.len() as f64;
+        println!("  {:<45} n={:<2} mean score {:.3}", p.label(&space), p.len(), mean);
+    }
+    Ok(())
+}

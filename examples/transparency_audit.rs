@@ -1,0 +1,61 @@
+//! Transparency settings and their effect on fairness quantification
+//! (§1 feature 2, §4): k-anonymized attributes and function-opaque
+//! (ranking-only) observation.
+//!
+//! ```text
+//! cargo run --example transparency_audit
+//! ```
+
+use fairank::anonymize::{mondrian, MondrianConfig};
+use fairank::core::fairness::FairnessCriterion;
+use fairank::core::quantify::Quantify;
+use fairank::core::scoring::{scores_to_ranking, LinearScoring, ScoreSource};
+use fairank::data::synth::biased_crowdsourcing_spec;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dataset = biased_crowdsourcing_spec(500, 42).generate()?;
+    let scoring = LinearScoring::builder()
+        .weight("rating", 0.7)
+        .weight("language_test", 0.3)
+        .build(&dataset)?;
+    let criterion = FairnessCriterion::default();
+    let quantify = Quantify::new(criterion);
+
+    // Baseline: full data + visible function.
+    let source = ScoreSource::Function(scoring.clone());
+    let baseline = quantify.run(&dataset, &source)?;
+    println!(
+        "baseline (full transparency):        unfairness {:.4} over {} partitions",
+        baseline.unfairness,
+        baseline.partitions.len()
+    );
+
+    // Data transparency axis: k-anonymize the protected attributes.
+    let qis = ["gender", "country", "birth_decade", "language", "ethnicity"];
+    for k in [2, 5, 10, 25, 50] {
+        let anon = mondrian(&dataset, &qis, MondrianConfig { k })?.dataset;
+        let outcome = quantify.run(&anon, &source)?;
+        println!(
+            "k-anonymized (k={k:>2}):                unfairness {:.4} over {} partitions",
+            outcome.unfairness,
+            outcome.partitions.len()
+        );
+    }
+
+    // Process transparency axis: only the ranking is visible.
+    let scores = source.resolve(&dataset)?;
+    let ranking = ScoreSource::Ranking(scores_to_ranking(&scores));
+    let opaque = quantify.run(&dataset, &ranking)?;
+    println!(
+        "function-opaque (ranks only):        unfairness {:.4} over {} partitions",
+        opaque.unfairness,
+        opaque.partitions.len()
+    );
+
+    println!(
+        "\nreading: anonymization coarsens the groups the auditor can blame \
+         (fewer partitions),\nwhile rank-histograms change the unfairness scale \
+         but keep the signal detectable."
+    );
+    Ok(())
+}

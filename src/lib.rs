@@ -1,0 +1,80 @@
+//! # FaiRank
+//!
+//! A from-scratch Rust reproduction of *FaiRank: An Interactive System to
+//! Explore Fairness of Ranking in Online Job Marketplaces* (Ghizzawi,
+//! Marinescu, Elbassuoni, Amer-Yahia, Bisson — EDBT 2019).
+//!
+//! FaiRank takes a set of individuals with *protected* attributes (gender,
+//! age, ethnicity, …) and *observed* attributes (skills, reputation), plus a
+//! scoring function used to rank them for jobs. It searches the space of
+//! partitionings of the individuals induced by protected-attribute values for
+//! the partitioning on which the scoring function is most (or least) unfair,
+//! where unfairness aggregates pairwise Earth Mover's Distances between the
+//! partitions' score histograms.
+//!
+//! This facade crate re-exports the entire workspace:
+//!
+//! * [`core`] — the paper's contribution: scoring, histograms, EMD,
+//!   unfairness, the `QUANTIFY` greedy partitioning algorithm and its
+//!   exhaustive baseline.
+//! * [`data`] — dataset substrate: columnar storage, CSV/JSON IO, filters,
+//!   the paper's Table 1 dataset, and synthetic crowdsourcing generators.
+//! * [`anonymize`] — data-transparency substrate: k-anonymity (Datafly and
+//!   Mondrian), l-diversity, generalization hierarchies (ARX substitute).
+//! * [`marketplace`] — simulated online job marketplaces with transparency
+//!   modes and a blackbox crawler.
+//! * [`session`] — the interactive exploration engine: configurations,
+//!   panels, node statistics, role-specific reports.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use fairank::prelude::*;
+//!
+//! // The example dataset the paper uses throughout (Table 1).
+//! let dataset = fairank::data::paper::table1_dataset();
+//!
+//! // The paper's scoring function, recovered from the published f(w)
+//! // column: f = 0.3 · language_test + 0.7 · rating.
+//! let scoring = LinearScoring::builder()
+//!     .weight("language_test", 0.3)
+//!     .weight("rating", 0.7)
+//!     .build(&dataset)
+//!     .unwrap();
+//!
+//! // Find the most-unfair partitioning under average pairwise EMD.
+//! let criterion = FairnessCriterion::new(Objective::MostUnfair, Aggregator::Mean);
+//! let outcome = Quantify::new(criterion)
+//!     .run(&dataset, &ScoreSource::from(scoring))
+//!     .unwrap();
+//! assert!(outcome.unfairness > 0.0);
+//! assert!(!outcome.partitions.is_empty());
+//! ```
+
+pub use fairank_anonymize as anonymize;
+pub use fairank_core as core;
+pub use fairank_data as data;
+pub use fairank_marketplace as marketplace;
+pub use fairank_session as session;
+
+/// One-stop imports for the most common FaiRank workflow.
+pub mod prelude {
+    pub use fairank_core::{
+        emd::{emd_1d, Emd, EmdBackend},
+        fairness::{Aggregator, FairnessCriterion, Objective},
+        histogram::{Histogram, HistogramSpec},
+        partition::{Partition, PartitioningTree},
+        quantify::{Quantify, QuantifyOutcome},
+        scoring::{LinearScoring, ScoreSource},
+    };
+    pub use fairank_data::{
+        dataset::Dataset,
+        filter::Filter,
+        schema::{AttributeRole, Schema},
+    };
+    pub use fairank_session::{
+        config::Configuration,
+        panel::Panel,
+        session::Session,
+    };
+}

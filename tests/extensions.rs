@@ -1,0 +1,139 @@
+//! Integration tests for the extension features (beyond the paper's demo):
+//! beam search, decision explanations, exposure fairness, ranking feedback
+//! dynamics, Incognito anonymization, conditional demographics.
+
+use fairank::anonymize::datafly::auto_hierarchies;
+use fairank::anonymize::{incognito, is_k_anonymous};
+use fairank::core::beam::BeamSearch;
+use fairank::core::explain::{explain_tree, Decision};
+use fairank::core::exposure::{exposure_disparity, exposures_from_scores};
+use fairank::core::fairness::{Aggregator, FairnessCriterion};
+use fairank::core::partition::Partition;
+use fairank::core::quantify::Quantify;
+use fairank::core::scoring::ScoreSource;
+use fairank::data::paper;
+use fairank::marketplace::dynamics::{simulate_feedback, FeedbackConfig};
+use fairank::marketplace::scenario::taskrabbit_like;
+
+#[test]
+fn beam_search_beats_greedy_on_table1() {
+    let space = paper::table1_space().unwrap();
+    let criterion = FairnessCriterion::default();
+    let greedy = Quantify::new(criterion).run_space(&space).unwrap();
+    let beam = BeamSearch::new(criterion, 16).run_space(&space).unwrap();
+    assert!(
+        beam.unfairness >= greedy.unfairness - 1e-12,
+        "beam {} vs greedy {}",
+        beam.unfairness,
+        greedy.unfairness
+    );
+}
+
+#[test]
+fn explanations_cover_the_table1_tree_and_name_the_first_split() {
+    let space = paper::table1_space().unwrap();
+    let criterion = FairnessCriterion::default();
+    let outcome = Quantify::new(criterion).run_space(&space).unwrap();
+    let explanations = explain_tree(&space, &outcome.tree, &criterion).unwrap();
+    assert_eq!(explanations.len(), outcome.tree.len());
+    match &explanations[0].decision {
+        Decision::Split { name, .. } => {
+            // The root split attribute must be one of Table 1's protected
+            // attributes, and the candidate table must list alternatives.
+            assert!(
+                ["gender", "country", "year_of_birth", "language", "ethnicity"]
+                    .contains(&name.as_str()),
+                "unexpected first split {name}"
+            );
+            assert!(explanations[0].candidates.len() >= 2);
+        }
+        other => panic!("root should split, got {other:?}"),
+    }
+}
+
+#[test]
+fn exposure_and_emd_agree_on_the_figure2_partitioning() {
+    let space = paper::table1_space().unwrap();
+    let parts = paper::figure2_partitioning(&space);
+    let criterion = FairnessCriterion::default();
+    let emd_u = criterion.unfairness(&parts, space.scores()).unwrap();
+    let exposure = exposures_from_scores(space.scores()).unwrap();
+    let gap = exposure_disparity(&parts, &exposure, Aggregator::Mean);
+    assert!(emd_u > 0.0 && gap > 0.0);
+}
+
+#[test]
+fn exposure_is_zero_for_the_trivial_partitioning() {
+    let space = paper::table1_space().unwrap();
+    let exposure = exposures_from_scores(space.scores()).unwrap();
+    let root = vec![Partition::root(&space)];
+    assert_eq!(exposure_disparity(&root, &exposure, Aggregator::Mean), 0.0);
+}
+
+#[test]
+fn feedback_loop_runs_on_a_marketplace_and_reports_series() {
+    let market = taskrabbit_like(150, 23).unwrap();
+    let outcome = simulate_feedback(
+        &market,
+        "rated-anything",
+        "rating",
+        "ethnicity",
+        &FairnessCriterion::default(),
+        FeedbackConfig {
+            rounds: 5,
+            top_k: 15,
+            boost: 0.08,
+            decay: 0.01,
+        },
+    )
+    .unwrap();
+    assert_eq!(outcome.rounds.len(), 6);
+    assert!(outcome.rounds.iter().all(|r| r.unfairness.is_finite()));
+    assert!(outcome.rounds.iter().all(|r| r.tracked_gap >= 0.0));
+}
+
+#[test]
+fn incognito_anonymizes_table1_and_stays_quantifiable() {
+    let ds = paper::table1_dataset();
+    let qis = ["gender", "country", "year_of_birth", "language", "ethnicity"];
+    let hierarchies = auto_hierarchies(&ds, &qis).unwrap();
+    let out = incognito(&ds, &qis, &hierarchies, 2).unwrap();
+    assert!(is_k_anonymous(&out.dataset, &qis, 2).unwrap());
+    // The anonymized Table 1 still quantifies.
+    let outcome = Quantify::new(FairnessCriterion::default())
+        .run(&out.dataset, &ScoreSource::Function(paper::table1_scoring()))
+        .unwrap();
+    assert!(outcome.unfairness >= 0.0);
+    // With 10 individuals and 5 high-cardinality QIs, most attributes must
+    // generalize substantially.
+    assert!(out.precision < 1.0);
+}
+
+#[test]
+fn conditional_demographics_flow_into_quantification() {
+    use fairank::data::bias::BiasRule;
+    use fairank::data::dist::SkillDistribution;
+    use fairank::data::synth::PopulationSpec;
+
+    let spec = PopulationSpec::builder(400, 9)
+        .demographic("country", vec![("India", 0.5), ("America", 0.5)])
+        .unwrap()
+        .demographic("language", vec![("English", 1.0)])
+        .unwrap()
+        .conditioned_on("country", "India", vec![("Indian", 0.7), ("English", 0.3)])
+        .unwrap()
+        .skill("rating", SkillDistribution::Beta { alpha: 3.0, beta: 2.0 })
+        .bias(BiasRule::shift("language", "Indian", "rating", -0.2))
+        .build();
+    let ds = spec.generate().unwrap();
+    let f = fairank::core::scoring::LinearScoring::builder()
+        .weight("rating", 1.0)
+        .build(&ds)
+        .unwrap();
+    let outcome = Quantify::new(FairnessCriterion::default())
+        .run(&ds, &ScoreSource::Function(f))
+        .unwrap();
+    // The bias rides on language, which correlates with country; the
+    // search must find substantial unfairness.
+    assert!(outcome.unfairness > 0.05, "u = {}", outcome.unfairness);
+}

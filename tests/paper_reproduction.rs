@@ -1,0 +1,101 @@
+//! Integration tests for the paper's published artifacts (experiments E1
+//! and E2): Table 1 scores and the Figure 2 partitioning.
+
+use fairank::core::emd::{Emd, EmdBackend};
+use fairank::core::fairness::{Aggregator, FairnessCriterion, Objective};
+use fairank::core::partition::is_full_disjoint;
+use fairank::core::quantify::Quantify;
+use fairank::core::scoring::ScoreSource;
+use fairank::data::paper;
+
+#[test]
+fn e1_table1_scores_match_published_values() {
+    let dataset = paper::table1_dataset();
+    let scores = ScoreSource::Function(paper::table1_scoring())
+        .resolve(&dataset)
+        .expect("scoring resolves");
+    assert_eq!(scores.len(), 10);
+    for (i, (got, want)) in scores.iter().zip(paper::TABLE1_FW).enumerate() {
+        assert!(
+            (got - want).abs() < 1e-9,
+            "w{}: computed {got}, published {want}",
+            i + 1
+        );
+    }
+}
+
+#[test]
+fn e2_figure2_partitioning_structure_and_unfairness() {
+    let space = paper::table1_space().expect("table 1 space");
+    let parts = paper::figure2_partitioning(&space);
+    assert_eq!(parts.len(), 4);
+    assert!(is_full_disjoint(&parts, 10));
+
+    // Figure 2's member sets.
+    let by_label: Vec<(String, Vec<u32>)> = parts
+        .iter()
+        .map(|p| (p.label(&space), p.rows.clone()))
+        .collect();
+    let find = |label: &str| -> &Vec<u32> {
+        &by_label
+            .iter()
+            .find(|(l, _)| l == label)
+            .unwrap_or_else(|| panic!("missing partition {label}"))
+            .1
+    };
+    // w1,w5,w7,w10 are rows 0,4,6,9; w2,w6,w8,w9 are rows 1,5,7,8.
+    assert_eq!(find("gender=Female"), &vec![0, 4, 6, 9]);
+    assert_eq!(find("gender=Male ∧ language=English"), &vec![1, 5, 7, 8]);
+    assert_eq!(find("gender=Male ∧ language=Indian"), &vec![2]);
+    assert_eq!(find("gender=Male ∧ language=Other"), &vec![3]);
+
+    // Average pairwise EMD of the partitioning is a stable, positive value.
+    let criterion = FairnessCriterion::default();
+    let u = criterion.unfairness(&parts, space.scores()).unwrap();
+    assert!(u > 0.2 && u < 0.5, "unexpected unfairness {u}");
+
+    // Both EMD backends agree on it.
+    let transport = FairnessCriterion::default().with_emd(Emd::new(EmdBackend::Transport));
+    let u2 = transport.unfairness(&parts, space.scores()).unwrap();
+    assert!((u - u2).abs() < 1e-9);
+}
+
+#[test]
+fn quantify_beats_or_matches_figure2_on_most_unfair() {
+    let space = paper::table1_space().unwrap();
+    let criterion = FairnessCriterion::default();
+    let figure2 = paper::figure2_unfairness(&criterion).unwrap();
+    let outcome = Quantify::new(criterion).run_space(&space).unwrap();
+    assert!(
+        outcome.unfairness >= figure2 - 1e-12,
+        "greedy {} < figure2 {}",
+        outcome.unfairness,
+        figure2
+    );
+    assert!(is_full_disjoint(&outcome.partitions, 10));
+}
+
+#[test]
+fn least_unfair_on_table1_is_no_more_unfair_than_figure2() {
+    let space = paper::table1_space().unwrap();
+    let criterion = FairnessCriterion::new(Objective::LeastUnfair, Aggregator::Mean);
+    let outcome = Quantify::new(criterion).run_space(&space).unwrap();
+    let figure2 = paper::figure2_unfairness(&FairnessCriterion::default()).unwrap();
+    assert!(outcome.unfairness <= figure2 + 1e-12);
+}
+
+#[test]
+fn all_aggregators_work_on_table1() {
+    let space = paper::table1_space().unwrap();
+    for objective in [Objective::MostUnfair, Objective::LeastUnfair] {
+        for aggregator in Aggregator::all() {
+            let criterion = FairnessCriterion::new(objective, aggregator);
+            let outcome = Quantify::new(criterion).run_space(&space).unwrap();
+            assert!(
+                is_full_disjoint(&outcome.partitions, 10),
+                "{objective:?}/{aggregator:?}"
+            );
+            assert!(outcome.unfairness.is_finite());
+        }
+    }
+}

@@ -1,0 +1,370 @@
+//! Property-based tests (proptest) over the core invariants:
+//! EMD metric axioms, backend agreement, QUANTIFY partitioning validity,
+//! rank/score consistency, k-anonymity postconditions, CSV round-trips.
+
+use proptest::prelude::*;
+
+use fairank::anonymize::{is_k_anonymous, mondrian, MondrianConfig};
+use fairank::core::emd::{one_d::emd_1d_mass, transport::transport_emd, Emd, EmdBackend};
+use fairank::core::fairness::{Aggregator, FairnessCriterion, Objective};
+use fairank::core::histogram::{Histogram, HistogramSpec};
+use fairank::core::exhaustive::ExhaustiveSearch;
+use fairank::core::partition::is_full_disjoint;
+use fairank::core::quantify::Quantify;
+use fairank::core::scoring::{ranking_to_scores, scores_to_ranking};
+use fairank::core::space::{ProtectedAttribute, RankingSpace};
+use fairank::data::csv::{read_csv_str, write_csv_string, CsvOptions};
+use fairank::data::schema::AttributeRole;
+use fairank::data::Dataset;
+
+// ---------------------------------------------------------------- helpers
+
+fn mass_vector(bins: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.0f64..1.0, bins).prop_map(|mut v| {
+        let sum: f64 = v.iter().sum();
+        if sum <= 0.0 {
+            v[0] = 1.0;
+        } else {
+            for x in v.iter_mut() {
+                *x /= sum;
+            }
+        }
+        v
+    })
+}
+
+fn abs_cost(n: usize) -> Vec<f64> {
+    let mut c = vec![0.0; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            c[i * n + j] = (i as f64 - j as f64).abs();
+        }
+    }
+    c
+}
+
+/// A random small ranking space: 2–4 protected attributes with 2–4 values
+/// each, 8–60 individuals, scores in [0, 1].
+fn ranking_space() -> impl Strategy<Value = RankingSpace> {
+    (2usize..=4, 8usize..=60).prop_flat_map(|(n_attrs, n_rows)| {
+        let attrs = prop::collection::vec(
+            (2u32..=4).prop_flat_map(move |card| {
+                prop::collection::vec(0..card, n_rows)
+            }),
+            n_attrs,
+        );
+        let scores = prop::collection::vec(0.0f64..=1.0, n_rows);
+        (attrs, scores).prop_map(|(attr_codes, scores)| {
+            let attributes = attr_codes
+                .into_iter()
+                .enumerate()
+                .map(|(i, codes)| {
+                    let card = codes.iter().copied().max().unwrap_or(0) + 1;
+                    ProtectedAttribute {
+                        name: format!("a{i}"),
+                        codes,
+                        labels: (0..card).map(|c| format!("v{c}")).collect(),
+                    }
+                })
+                .collect();
+            RankingSpace::new(attributes, scores).expect("generated space is valid")
+        })
+    })
+}
+
+/// A smaller space the exhaustive search can enumerate: 2 attributes of
+/// 2–3 values, 6–20 individuals.
+fn small_ranking_space() -> impl Strategy<Value = RankingSpace> {
+    (6usize..=20).prop_flat_map(|n_rows| {
+        let attrs = prop::collection::vec(
+            (2u32..=3).prop_flat_map(move |card| prop::collection::vec(0..card, n_rows)),
+            2,
+        );
+        let scores = prop::collection::vec(0.0f64..=1.0, n_rows);
+        (attrs, scores).prop_map(|(attr_codes, scores)| {
+            let attributes = attr_codes
+                .into_iter()
+                .enumerate()
+                .map(|(i, codes)| {
+                    let card = codes.iter().copied().max().unwrap_or(0) + 1;
+                    ProtectedAttribute {
+                        name: format!("a{i}"),
+                        codes,
+                        labels: (0..card).map(|c| format!("v{c}")).collect(),
+                    }
+                })
+                .collect();
+            RankingSpace::new(attributes, scores).expect("generated space is valid")
+        })
+    })
+}
+
+// ------------------------------------------------------------- EMD axioms
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn emd_is_nonnegative_and_zero_on_identity(a in mass_vector(12)) {
+        let d = emd_1d_mass(&a, &a, 0.1);
+        prop_assert!(d.abs() < 1e-12);
+    }
+
+    #[test]
+    fn emd_is_symmetric(a in mass_vector(10), b in mass_vector(10)) {
+        let ab = emd_1d_mass(&a, &b, 0.1);
+        let ba = emd_1d_mass(&b, &a, 0.1);
+        prop_assert!(ab >= 0.0);
+        prop_assert!((ab - ba).abs() < 1e-12);
+    }
+
+    #[test]
+    fn emd_satisfies_triangle_inequality(
+        a in mass_vector(8),
+        b in mass_vector(8),
+        c in mass_vector(8),
+    ) {
+        let ab = emd_1d_mass(&a, &b, 1.0);
+        let bc = emd_1d_mass(&b, &c, 1.0);
+        let ac = emd_1d_mass(&a, &c, 1.0);
+        prop_assert!(ac <= ab + bc + 1e-9);
+    }
+
+    #[test]
+    fn transport_solver_matches_cdf_closed_form(
+        a in mass_vector(9),
+        b in mass_vector(9),
+    ) {
+        let plan = transport_emd(&a, &b, &abs_cost(9), 9).unwrap();
+        let cdf = emd_1d_mass(&a, &b, 1.0);
+        prop_assert!((plan.cost - cdf).abs() < 1e-8,
+            "transport {} vs cdf {}", plan.cost, cdf);
+    }
+
+    #[test]
+    fn emd_backends_agree_on_histograms(
+        scores_a in prop::collection::vec(0.0f64..=1.0, 1..40),
+        scores_b in prop::collection::vec(0.0f64..=1.0, 1..40),
+    ) {
+        let spec = HistogramSpec::unit(10).unwrap();
+        let ha = Histogram::from_scores(spec, scores_a);
+        let hb = Histogram::from_scores(spec, scores_b);
+        let d1 = Emd::new(EmdBackend::OneD).distance(&ha, &hb).unwrap();
+        let d2 = Emd::new(EmdBackend::Transport).distance(&ha, &hb).unwrap();
+        prop_assert!((d1 - d2).abs() < 1e-8);
+        // Bounded by the score range.
+        prop_assert!(d1 <= 1.0 + 1e-12);
+    }
+}
+
+// -------------------------------------------------------------- histograms
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn histogram_conserves_mass(
+        scores in prop::collection::vec(-1.0f64..=2.0, 0..100),
+        bins in 1usize..40,
+    ) {
+        let spec = HistogramSpec::unit(bins).unwrap();
+        let h = Histogram::from_scores(spec, scores.iter().copied());
+        prop_assert_eq!(h.total() as usize, scores.len());
+        let count_sum: u64 = h.counts().iter().sum();
+        prop_assert_eq!(count_sum, h.total());
+        if !scores.is_empty() {
+            let mass_sum: f64 = h.mass().iter().sum();
+            prop_assert!((mass_sum - 1.0).abs() < 1e-9);
+        }
+    }
+}
+
+// ---------------------------------------------------------------- quantify
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn quantify_always_yields_full_disjoint_partitionings(space in ranking_space()) {
+        for objective in [Objective::MostUnfair, Objective::LeastUnfair] {
+            let criterion = FairnessCriterion::new(objective, Aggregator::Mean);
+            let outcome = Quantify::new(criterion).run_space(&space).unwrap();
+            prop_assert!(is_full_disjoint(&outcome.partitions, space.num_individuals()));
+            prop_assert!(outcome.unfairness.is_finite());
+            prop_assert!(outcome.unfairness >= 0.0);
+            // Leaves of the tree are exactly the partitions.
+            prop_assert_eq!(outcome.tree.leaf_partitions().len(), outcome.partitions.len());
+        }
+    }
+
+    #[test]
+    fn exhaustive_optimum_bounds_the_greedy(space in small_ranking_space()) {
+        // Note: greedy-most vs greedy-least need NOT dominate each other
+        // (both are heuristics); the sound invariant is that the exact
+        // search bounds each greedy result from its own side.
+        for objective in [Objective::MostUnfair, Objective::LeastUnfair] {
+            let criterion = FairnessCriterion::new(objective, Aggregator::Mean);
+            let exact = ExhaustiveSearch::new(criterion)
+                .with_budget(200_000)
+                .without_dedupe()
+                .run_space(&space);
+            let Ok(exact) = exact else { continue }; // budget blown: skip
+            let greedy = Quantify::new(criterion).run_space(&space).unwrap();
+            match objective {
+                Objective::MostUnfair => {
+                    prop_assert!(greedy.unfairness <= exact.best_value + 1e-9)
+                }
+                Objective::LeastUnfair => {
+                    prop_assert!(greedy.unfairness >= exact.best_value - 1e-9)
+                }
+            }
+        }
+    }
+}
+
+// ------------------------------------------------------------ rank ↔ score
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn ranking_round_trip_preserves_order(
+        scores in prop::collection::vec(0.0f64..=1.0, 2..50),
+    ) {
+        let ranking = scores_to_ranking(&scores);
+        let pseudo = ranking_to_scores(&ranking, scores.len()).unwrap();
+        let reranked = scores_to_ranking(&pseudo);
+        prop_assert_eq!(ranking, reranked);
+        // Pseudo-scores span exactly [0, 1].
+        let max = pseudo.iter().cloned().fold(f64::MIN, f64::max);
+        let min = pseudo.iter().cloned().fold(f64::MAX, f64::min);
+        prop_assert!((max - 1.0).abs() < 1e-12);
+        prop_assert!(min.abs() < 1e-12);
+    }
+}
+
+// --------------------------------------------------------------- exposure
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn exposures_have_unit_mean_and_positive_values(
+        scores in prop::collection::vec(0.0f64..=1.0, 1..80),
+    ) {
+        use fairank::core::exposure::exposures_from_scores;
+        let exp = exposures_from_scores(&scores).unwrap();
+        prop_assert_eq!(exp.len(), scores.len());
+        let mean: f64 = exp.iter().sum::<f64>() / exp.len() as f64;
+        prop_assert!((mean - 1.0).abs() < 1e-9);
+        prop_assert!(exp.iter().all(|&e| e > 0.0));
+    }
+
+    #[test]
+    fn exposure_disparity_is_bounded_by_group_extremes(space in small_ranking_space()) {
+        use fairank::core::exposure::{
+            exposure_disparity, exposures_from_scores, group_exposures,
+        };
+        use fairank::core::partition::Partition;
+        let exp = exposures_from_scores(space.scores()).unwrap();
+        let parts = Partition::root(&space).split(&space, 0);
+        prop_assume!(parts.len() >= 2);
+        let groups = group_exposures(&parts, &exp);
+        let max = groups.iter().map(|g| g.mean_exposure).fold(f64::MIN, f64::max);
+        let min = groups.iter().map(|g| g.mean_exposure).fold(f64::MAX, f64::min);
+        for agg in Aggregator::all() {
+            if matches!(agg, Aggregator::Variance | Aggregator::StdDev) {
+                continue; // different units
+            }
+            let d = exposure_disparity(&parts, &exp, agg);
+            prop_assert!(d <= max - min + 1e-9, "{agg:?}: {d} > {}", max - min);
+            prop_assert!(d >= -1e-12);
+        }
+    }
+}
+
+// ------------------------------------------------------------------- beam
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn beam_is_bounded_by_exhaustive_and_improves_with_width(
+        space in small_ranking_space(),
+    ) {
+        use fairank::core::beam::BeamSearch;
+        let criterion = FairnessCriterion::default();
+        let exact = ExhaustiveSearch::new(criterion)
+            .with_budget(200_000)
+            .without_dedupe()
+            .run_space(&space);
+        let Ok(exact) = exact else { return Ok(()); };
+        let narrow = BeamSearch::new(criterion, 1).run_space(&space).unwrap();
+        let wide = BeamSearch::new(criterion, 32).run_space(&space).unwrap();
+        prop_assert!(narrow.unfairness <= exact.best_value + 1e-9);
+        prop_assert!(wide.unfairness <= exact.best_value + 1e-9);
+        prop_assert!(wide.unfairness >= narrow.unfairness - 1e-9);
+        prop_assert!(is_full_disjoint(&wide.partitions, space.num_individuals()));
+    }
+}
+
+// ------------------------------------------------------------- k-anonymity
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn mondrian_output_is_always_k_anonymous(
+        genders in prop::collection::vec(0u8..3, 12..60),
+        years in prop::collection::vec(1950i64..2010, 12..60),
+        k in 2usize..6,
+    ) {
+        let n = genders.len().min(years.len());
+        let gender_strs: Vec<String> =
+            genders[..n].iter().map(|g| format!("g{g}")).collect();
+        let ds = Dataset::builder()
+            .categorical("gender", AttributeRole::Protected, &gender_strs)
+            .integer("year", AttributeRole::Protected, years[..n].to_vec())
+            .float("s", AttributeRole::Observed, vec![0.5; n])
+            .build()
+            .unwrap();
+        prop_assume!(k <= n);
+        let out = mondrian(&ds, &["gender", "year"], MondrianConfig { k }).unwrap();
+        prop_assert!(is_k_anonymous(&out.dataset, &["gender", "year"], k).unwrap());
+        prop_assert_eq!(out.dataset.num_rows(), n);
+    }
+}
+
+// ------------------------------------------------------------------- CSV
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn csv_round_trip_is_lossless_for_categoricals(
+        // Non-empty values: an empty value in a single-column CSV is
+        // indistinguishable from a blank line, which the reader skips.
+        values in prop::collection::vec("[a-z ,\"\n]{1,12}", 1..30),
+    ) {
+        let ds = Dataset::builder()
+            .categorical("text", AttributeRole::Meta, &values)
+            .build()
+            .unwrap();
+        let csv = write_csv_string(&ds);
+        let back = read_csv_str(&csv, &CsvOptions::default());
+        // Values that are pure numbers may legitimately re-infer as numeric;
+        // restrict the check to datasets that round-trip as text.
+        if let Ok(back) = back {
+            if back.schema().field("text").map(|f| f.dtype)
+                == ds.schema().field("text").map(|f| f.dtype)
+            {
+                for r in 0..ds.num_rows() {
+                    prop_assert_eq!(
+                        ds.column("text").unwrap().data.render(r),
+                        back.column("text").unwrap().data.render(r)
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! Integration tests for the transparency settings (experiments E5, E6):
+//! fairness quantification under k-anonymized data and ranking-only
+//! observation.
+
+use fairank::anonymize::{datafly, is_k_anonymous, mondrian, DataflyConfig, MondrianConfig};
+use fairank::core::fairness::FairnessCriterion;
+use fairank::core::quantify::Quantify;
+use fairank::core::scoring::{scores_to_ranking, LinearScoring, ScoreSource};
+use fairank::data::synth::biased_crowdsourcing_spec;
+use fairank::data::Dataset;
+
+const QIS: [&str; 5] = ["gender", "country", "birth_decade", "language", "ethnicity"];
+
+fn population() -> Dataset {
+    biased_crowdsourcing_spec(400, 21).generate().unwrap()
+}
+
+fn rating_fn(ds: &Dataset) -> LinearScoring {
+    LinearScoring::builder()
+        .weight("rating", 1.0)
+        .build(ds)
+        .unwrap()
+}
+
+#[test]
+fn e5_mondrian_anonymization_preserves_quantifiability() {
+    let ds = population();
+    let source = ScoreSource::Function(rating_fn(&ds));
+    let quantify = Quantify::new(FairnessCriterion::default());
+    let baseline = quantify.run(&ds, &source).unwrap();
+    assert!(baseline.unfairness > 0.0);
+
+    let mut last_partitions = usize::MAX;
+    for k in [2, 10, 50] {
+        let anon = mondrian(&ds, &QIS, MondrianConfig { k }).unwrap().dataset;
+        assert!(is_k_anonymous(&anon, &QIS, k).unwrap());
+        let outcome = quantify.run(&anon, &source).unwrap();
+        // Quantification still works and still finds unfairness.
+        assert!(outcome.unfairness > 0.0, "k={k}");
+        // Higher k → coarser groups → no more partitions than before.
+        assert!(
+            outcome.partitions.len() <= last_partitions,
+            "k={k}: {} partitions after {}",
+            outcome.partitions.len(),
+            last_partitions
+        );
+        last_partitions = outcome.partitions.len();
+    }
+}
+
+#[test]
+fn e5_datafly_anonymization_pipeline() {
+    let ds = population();
+    let out = datafly(
+        &ds,
+        &QIS,
+        &[],
+        DataflyConfig {
+            k: 5,
+            max_suppression: 0.05,
+        },
+    )
+    .unwrap();
+    assert!(is_k_anonymous(&out.dataset, &QIS, 5).unwrap());
+    assert!(out.dataset.num_rows() >= (0.95 * ds.num_rows() as f64) as usize);
+    let source = ScoreSource::Function(rating_fn(&out.dataset));
+    let outcome = Quantify::new(FairnessCriterion::default())
+        .run(&out.dataset, &source)
+        .unwrap();
+    assert!(outcome.unfairness >= 0.0);
+}
+
+#[test]
+fn e6_ranking_only_detects_the_same_biased_attribute() {
+    let ds = population();
+    let source = ScoreSource::Function(rating_fn(&ds));
+    let quantify = Quantify::new(FairnessCriterion::default());
+    let transparent = quantify.run(&ds, &source).unwrap();
+
+    let scores = source.resolve(&ds).unwrap();
+    let ranking = ScoreSource::Ranking(scores_to_ranking(&scores));
+    let opaque = quantify.run(&ds, &ranking).unwrap();
+
+    assert!(transparent.unfairness > 0.0);
+    assert!(opaque.unfairness > 0.0);
+
+    // Both settings should pick a bias-carrying attribute for the first
+    // split (gender or ethnicity carry the injected rating penalties).
+    let space = ds.to_space(&source).unwrap();
+    let first_attr = |outcome: &fairank::core::quantify::QuantifyOutcome| -> String {
+        let root = outcome.tree.node(outcome.tree.root());
+        root.split_attr
+            .and_then(|a| space.attribute(a))
+            .map(|a| a.name.clone())
+            .unwrap_or_default()
+    };
+    let t_attr = first_attr(&transparent);
+    let o_attr = first_attr(&opaque);
+    for attr in [&t_attr, &o_attr] {
+        assert!(
+            attr == "gender" || attr == "ethnicity" || attr == "country",
+            "first split should reflect injected bias, got {attr}"
+        );
+    }
+}
+
+#[test]
+fn anonymization_shrinks_the_attack_surface_monotonically() {
+    let ds = population();
+    // Count distinct QI combinations (equivalence classes) at each k.
+    let raw_classes = fairank::anonymize::equivalence_classes(&ds, &QIS)
+        .unwrap()
+        .len();
+    let mut last = raw_classes;
+    for k in [2, 5, 20] {
+        let anon = mondrian(&ds, &QIS, MondrianConfig { k }).unwrap().dataset;
+        let classes = fairank::anonymize::equivalence_classes(&anon, &QIS)
+            .unwrap()
+            .len();
+        assert!(classes <= last, "k={k}");
+        last = classes;
+    }
+}
