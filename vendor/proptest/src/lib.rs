@@ -1,0 +1,137 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset of the proptest API that FaiRank's property suite
+//! uses: the [`Strategy`] trait with `prop_map` / `prop_flat_map`, range and
+//! tuple strategies, `collection::vec`, simple char-class string strategies
+//! (`"[a-z]{1,12}"`), `ProptestConfig::with_cases`, `prop_assume!`, the
+//! `prop_assert*` macros, and the `proptest!` test-harness macro.
+//!
+//! Differences from upstream: cases are generated from a per-test
+//! deterministic seed and **failures do not shrink** — the failing case is
+//! reported as-is with its case index and seed.
+
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+pub mod collection {
+    //! Collection strategies (`prop::collection::vec`).
+
+    use crate::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Size specification for collection strategies.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        /// Inclusive upper bound.
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange { lo: r.start, hi: r.end - 1 }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange { lo: *r.start(), hi: *r.end() }
+        }
+    }
+
+    /// Generates `Vec`s whose length is drawn from `size` and whose
+    /// elements are drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    /// Strategy produced by [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn gen_value(&self, rng: &mut StdRng) -> Self::Value {
+            let len = if self.size.lo == self.size.hi {
+                self.size.lo
+            } else {
+                rng.gen_range(self.size.lo..=self.size.hi)
+            };
+            (0..len).map(|_| self.element.gen_value(rng)).collect()
+        }
+    }
+}
+
+// The harness macro needs the vendored rand from the caller's context.
+#[doc(hidden)]
+pub use rand as __rand;
+
+pub mod prelude {
+    //! One-stop imports mirroring `proptest::prelude`.
+
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+    /// The `prop` module alias (`prop::collection::vec`, ...).
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn vec_strategy_respects_bounds(
+            xs in prop::collection::vec(0.0f64..1.0, 3..10),
+        ) {
+            prop_assert!(xs.len() >= 3 && xs.len() < 10);
+            prop_assert!(xs.iter().all(|&x| (0.0..1.0).contains(&x)));
+        }
+
+        #[test]
+        fn flat_map_threads_runtime_values(
+            v in (2u32..=4).prop_flat_map(|card| prop::collection::vec(0..card, 5)),
+        ) {
+            prop_assert_eq!(v.len(), 5);
+            prop_assert!(v.iter().all(|&c| c < 4));
+        }
+
+        #[test]
+        fn string_regex_strategy_matches_class(
+            s in "[a-c]{2,5}",
+        ) {
+            prop_assert!((2..=5).contains(&s.chars().count()));
+            prop_assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        #[test]
+        fn assume_rejections_do_not_fail_the_test(x in 0u32..10) {
+            prop_assume!(x % 2 == 0);
+            prop_assert!(x % 2 == 0);
+        }
+    }
+}

@@ -1,0 +1,170 @@
+//! A tiny char-class regex generator backing `&'static str` strategies.
+//!
+//! Supports the pattern shapes FaiRank's property tests use: a sequence of
+//! atoms, where an atom is a character class `[...]` (with `a-z` ranges and
+//! the escapes `\n`, `\r`, `\t`, `\\`, `\"`, `\]`) or a literal character,
+//! optionally followed by a `{m,n}` / `{n}` repetition. Anything fancier
+//! panics loudly rather than generating the wrong language.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+enum Atom {
+    Class(Vec<(char, char)>),
+    Literal(char),
+}
+
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+/// Generates one string matching `pattern`.
+pub fn generate(pattern: &str, rng: &mut StdRng) -> String {
+    let pieces = parse(pattern);
+    let mut out = String::new();
+    for piece in &pieces {
+        let reps = if piece.min == piece.max {
+            piece.min
+        } else {
+            rng.gen_range(piece.min..=piece.max)
+        };
+        for _ in 0..reps {
+            match &piece.atom {
+                Atom::Literal(c) => out.push(*c),
+                Atom::Class(ranges) => out.push(sample_class(ranges, rng)),
+            }
+        }
+    }
+    out
+}
+
+fn sample_class(ranges: &[(char, char)], rng: &mut StdRng) -> char {
+    let total: u32 = ranges.iter().map(|(lo, hi)| *hi as u32 - *lo as u32 + 1).sum();
+    let mut pick = rng.gen_range(0..total);
+    for (lo, hi) in ranges {
+        let span = *hi as u32 - *lo as u32 + 1;
+        if pick < span {
+            return char::from_u32(*lo as u32 + pick)
+                .expect("class ranges only cover valid chars");
+        }
+        pick -= span;
+    }
+    unreachable!("pick is bounded by the total span");
+}
+
+fn parse(pattern: &str) -> Vec<Piece> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut pieces = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '[' => {
+                i += 1;
+                let mut ranges = Vec::new();
+                while i < chars.len() && chars[i] != ']' {
+                    let lo = read_class_char(&chars, &mut i);
+                    if i + 1 < chars.len() && chars[i] == '-' && chars[i + 1] != ']' {
+                        i += 1;
+                        let hi = read_class_char(&chars, &mut i);
+                        assert!(lo <= hi, "inverted range in class: {pattern}");
+                        ranges.push((lo, hi));
+                    } else {
+                        ranges.push((lo, lo));
+                    }
+                }
+                assert!(
+                    i < chars.len(),
+                    "unterminated character class in pattern: {pattern}"
+                );
+                i += 1; // the `]`
+                assert!(!ranges.is_empty(), "empty character class in {pattern}");
+                Atom::Class(ranges)
+            }
+            '\\' => {
+                i += 1;
+                let c = unescape(chars[i]);
+                i += 1;
+                Atom::Literal(c)
+            }
+            '(' | ')' | '|' | '*' | '+' | '?' | '.' => {
+                panic!("proptest stub: unsupported regex feature `{}` in {pattern}", chars[i])
+            }
+            c => {
+                i += 1;
+                Atom::Literal(c)
+            }
+        };
+        let (min, max) = if i < chars.len() && chars[i] == '{' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .map(|p| p + i)
+                .unwrap_or_else(|| panic!("unterminated repetition in {pattern}"));
+            let body: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match body.split_once(',') {
+                Some((m, n)) => (
+                    m.trim().parse().expect("repetition lower bound"),
+                    n.trim().parse().expect("repetition upper bound"),
+                ),
+                None => {
+                    let n = body.trim().parse().expect("repetition count");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        assert!(min <= max, "inverted repetition in {pattern}");
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+fn read_class_char(chars: &[char], i: &mut usize) -> char {
+    let c = if chars[*i] == '\\' {
+        *i += 1;
+        unescape(chars[*i])
+    } else {
+        chars[*i]
+    };
+    *i += 1;
+    c
+}
+
+fn unescape(c: char) -> char {
+    match c {
+        'n' => '\n',
+        'r' => '\r',
+        't' => '\t',
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn generates_only_class_members_with_bounded_length() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..200 {
+            let s = generate("[a-z ,\"\n]{1,12}", &mut rng);
+            let n = s.chars().count();
+            assert!((1..=12).contains(&n), "len {n}");
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c == ' ' || c == ',' || c == '"' || c == '\n'));
+        }
+    }
+
+    #[test]
+    fn literals_and_fixed_repetitions() {
+        let mut rng = StdRng::seed_from_u64(5);
+        assert_eq!(generate("abc", &mut rng), "abc");
+        assert_eq!(generate("x{3}", &mut rng), "xxx");
+    }
+}

@@ -1,0 +1,277 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The crates.io registry is unreachable in the build environment, so this
+//! workspace vendors the slice of the rand 0.8 API that FaiRank actually
+//! uses: [`rngs::StdRng`], [`SeedableRng::seed_from_u64`], and the [`Rng`]
+//! extension trait with `gen::<f64>()` and `gen_range(..)` over integer and
+//! float ranges.
+//!
+//! The generator is xoshiro256++ seeded through SplitMix64 — a different
+//! stream than upstream's ChaCha12-based `StdRng`, but with the same
+//! contract the codebase relies on: deterministic for a fixed seed, with
+//! high-quality 64-bit output.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core 64-bit generator interface.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Seedable construction, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// The seed byte-array type.
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Builds the generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Builds the generator from a single `u64`, expanded with SplitMix64.
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            let word = splitmix64(&mut state);
+            for (b, s) in chunk.iter_mut().zip(word.to_le_bytes()) {
+                *b = s;
+            }
+        }
+        Self::from_seed(seed)
+    }
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// Samples a `Self` from raw random bits; backs [`Rng::gen`].
+pub trait Sample01: Sized {
+    /// Draws one value from the generator's "standard" distribution
+    /// (uniform over the type's natural unit domain).
+    fn sample01<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Sample01 for f64 {
+    fn sample01<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 random mantissa bits -> uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Sample01 for f32 {
+    fn sample01<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Sample01 for u64 {
+    fn sample01<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Sample01 for u32 {
+    fn sample01<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Sample01 for bool {
+    fn sample01<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// A range that can be sampled uniformly; backs [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let offset = (rng.next_u64() as u128) % span;
+                (self.start as i128 + offset as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range: empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let offset = (rng.next_u64() as u128) % span;
+                (lo as i128 + offset as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let unit = <$t as Sample01>::sample01(rng);
+                let v = self.start + unit * (self.end - self.start);
+                // lo + unit*(hi-lo) can round up to exactly `end`; keep the
+                // documented exclusive upper bound.
+                if v < self.end {
+                    v
+                } else {
+                    self.end.next_down().max(self.start)
+                }
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range: empty range");
+                let unit = <$t as Sample01>::sample01(rng);
+                lo + unit * (hi - lo)
+            }
+        }
+    )*};
+}
+
+float_sample_range!(f32, f64);
+
+/// User-facing extension methods, mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Draws a value from the type's standard distribution
+    /// (`gen::<f64>()` is uniform in `[0, 1)`).
+    fn gen<T: Sample01>(&mut self) -> T {
+        T::sample01(self)
+    }
+
+    /// Draws uniformly from `range` (half-open or inclusive).
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_from(self)
+    }
+
+    /// Bernoulli draw with probability `p` of `true`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        f64::sample01(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::{RngCore, SeedableRng};
+
+    /// xoshiro256++ — the stand-in for rand's `StdRng`.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut s = [0u64; 4];
+            for (i, chunk) in seed.chunks(8).enumerate() {
+                let mut bytes = [0u8; 8];
+                bytes.copy_from_slice(chunk);
+                s[i] = u64::from_le_bytes(bytes);
+            }
+            // xoshiro must not start from the all-zero state.
+            if s == [0; 4] {
+                s = [
+                    0x9E3779B97F4A7C15,
+                    0x6A09E667F3BCC909,
+                    0xBB67AE8584CAA73B,
+                    0x3C6EF372FE94F82B,
+                ];
+            }
+            StdRng { s }
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use crate::Rng;
+
+        #[test]
+        fn deterministic_for_fixed_seed() {
+            let mut a = StdRng::seed_from_u64(42);
+            let mut b = StdRng::seed_from_u64(42);
+            for _ in 0..100 {
+                assert_eq!(a.next_u64(), b.next_u64());
+            }
+        }
+
+        #[test]
+        fn different_seeds_differ() {
+            let mut a = StdRng::seed_from_u64(1);
+            let mut b = StdRng::seed_from_u64(2);
+            assert_ne!(
+                (0..8).map(|_| a.next_u64()).collect::<Vec<_>>(),
+                (0..8).map(|_| b.next_u64()).collect::<Vec<_>>()
+            );
+        }
+
+        #[test]
+        fn unit_floats_stay_in_unit_interval_and_cover_it() {
+            let mut rng = StdRng::seed_from_u64(7);
+            let xs: Vec<f64> = (0..10_000).map(|_| rng.gen::<f64>()).collect();
+            assert!(xs.iter().all(|&x| (0.0..1.0).contains(&x)));
+            let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+            assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+        }
+
+        #[test]
+        fn gen_range_respects_bounds() {
+            let mut rng = StdRng::seed_from_u64(3);
+            for _ in 0..1000 {
+                let x: u32 = rng.gen_range(0..5);
+                assert!(x < 5);
+                let y: f64 = rng.gen_range(0.25..=0.75);
+                assert!((0.25..=0.75).contains(&y));
+                let z: i64 = rng.gen_range(1950i64..2010);
+                assert!((1950..2010).contains(&z));
+            }
+        }
+    }
+}

@@ -1,0 +1,385 @@
+//! Offline stand-in for `serde`.
+//!
+//! The registry is unreachable in the build environment, so this crate
+//! provides the serde façade the workspace compiles against: `Serialize` /
+//! `Deserialize` traits plus same-named derive macros (re-exported from the
+//! sibling `serde_derive` stub). Instead of serde's visitor architecture it
+//! uses a single self-describing [`value::Value`] tree; `serde_json` (also
+//! vendored) renders that tree to and from JSON text. The derive macros emit
+//! serde's default *externally tagged* enum representation, so the JSON
+//! shape matches what upstream serde_json would produce for this codebase.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod value {
+    //! The self-describing data model all (de)serialization routes through.
+
+    /// A JSON-shaped value tree.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        /// Null / missing.
+        Null,
+        /// Boolean.
+        Bool(bool),
+        /// Signed integer.
+        I64(i64),
+        /// Unsigned integer too large for `i64`.
+        U64(u64),
+        /// Floating point.
+        F64(f64),
+        /// String.
+        Str(String),
+        /// Sequence.
+        Seq(Vec<Value>),
+        /// Key-ordered map (field order preserved).
+        Map(Vec<(String, Value)>),
+    }
+
+    impl Value {
+        /// Map accessor.
+        pub fn as_map(&self) -> Option<&[(String, Value)]> {
+            match self {
+                Value::Map(m) => Some(m),
+                _ => None,
+            }
+        }
+
+        /// Sequence accessor.
+        pub fn as_seq(&self) -> Option<&[Value]> {
+            match self {
+                Value::Seq(s) => Some(s),
+                _ => None,
+            }
+        }
+
+        /// String accessor.
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Value::Str(s) => Some(s),
+                _ => None,
+            }
+        }
+
+        /// Numeric accessor with lossless-enough widening to `f64`.
+        /// `null` is not a number (upstream serde_json errors there too).
+        pub fn as_f64(&self) -> Option<f64> {
+            match *self {
+                Value::I64(i) => Some(i as f64),
+                Value::U64(u) => Some(u as f64),
+                Value::F64(f) => Some(f),
+                _ => None,
+            }
+        }
+
+        /// Signed-integer accessor.
+        pub fn as_i64(&self) -> Option<i64> {
+            match *self {
+                Value::I64(i) => Some(i),
+                Value::U64(u) => i64::try_from(u).ok(),
+                Value::F64(f) if f.fract() == 0.0 && f.abs() < 9.0e18 => Some(f as i64),
+                _ => None,
+            }
+        }
+
+        /// Unsigned-integer accessor.
+        pub fn as_u64(&self) -> Option<u64> {
+            match *self {
+                Value::I64(i) => u64::try_from(i).ok(),
+                Value::U64(u) => Some(u),
+                // `u64::MAX as f64` rounds up to 2^64, so `<` keeps the
+                // saturating cast exact for every accepted value.
+                Value::F64(f) if f.fract() == 0.0 && (0.0..u64::MAX as f64).contains(&f) => {
+                    Some(f as u64)
+                }
+                _ => None,
+            }
+        }
+
+        /// Boolean accessor.
+        pub fn as_bool(&self) -> Option<bool> {
+            match *self {
+                Value::Bool(b) => Some(b),
+                _ => None,
+            }
+        }
+    }
+}
+
+pub mod de {
+    //! Deserialization error type.
+
+    /// A deserialization failure.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct Error(String);
+
+    impl Error {
+        /// Builds an error from any displayable message.
+        pub fn custom<T: std::fmt::Display>(msg: T) -> Self {
+            Error(msg.to_string())
+        }
+    }
+
+    impl std::fmt::Display for Error {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "{}", self.0)
+        }
+    }
+
+    impl std::error::Error for Error {}
+}
+
+use de::Error;
+use value::Value;
+
+/// Types that can render themselves as a [`Value`] tree.
+pub trait Serialize {
+    /// Converts `self` into the data-model tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can rebuild themselves from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Parses `self` out of the data-model tree.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+
+    /// Called when a struct field is absent. `Option<T>` overrides this to
+    /// yield `None`; everything else errors.
+    fn missing_field(name: &str) -> Result<Self, Error> {
+        Err(Error::custom(format!("missing field `{name}`")))
+    }
+}
+
+/// Looks up a struct field by name during derive-generated deserialization.
+pub fn __field<T: Deserialize>(map: &[(String, Value)], name: &str) -> Result<T, Error> {
+    match map.iter().find(|(k, _)| k == name) {
+        Some((_, v)) => T::from_value(v)
+            .map_err(|e| Error::custom(format!("field `{name}`: {e}"))),
+        None => T::missing_field(name),
+    }
+}
+
+// ------------------------------------------------------------- primitives
+
+macro_rules! signed_impl {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::I64(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let i = v.as_i64().ok_or_else(|| {
+                    Error::custom(concat!("expected ", stringify!($t)))
+                })?;
+                <$t>::try_from(i).map_err(Error::custom)
+            }
+        }
+    )*};
+}
+
+signed_impl!(i8, i16, i32, i64, isize);
+
+macro_rules! unsigned_impl {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let u = v.as_u64().ok_or_else(|| {
+                    Error::custom(concat!("expected ", stringify!($t)))
+                })?;
+                <$t>::try_from(u).map_err(Error::custom)
+            }
+        }
+    )*};
+}
+
+unsigned_impl!(u8, u16, u32, u64, usize);
+
+macro_rules! float_impl {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                // JSON has no non-finite numbers; mirror serde_json's
+                // permissive mode by emitting null.
+                let f = *self as f64;
+                if f.is_finite() { Value::F64(f) } else { Value::Null }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                v.as_f64()
+                    .map(|f| f as $t)
+                    .ok_or_else(|| Error::custom(concat!("expected ", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+float_impl!(f32, f64);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_bool().ok_or_else(|| Error::custom("expected bool"))
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| Error::custom("expected string"))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let s = v.as_str().ok_or_else(|| Error::custom("expected char"))?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(Error::custom("expected single-character string")),
+        }
+    }
+}
+
+// ------------------------------------------------------------- containers
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+
+    fn missing_field(_name: &str) -> Result<Self, Error> {
+        Ok(None)
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_seq()
+            .ok_or_else(|| Error::custom("expected sequence"))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Map(
+            self.iter()
+                .map(|(k, v)| {
+                    let key = match k.to_value() {
+                        Value::Str(s) => s,
+                        other => panic!("non-string map key: {other:?}"),
+                    };
+                    (key, v.to_value())
+                })
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for std::collections::BTreeMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_map()
+            .ok_or_else(|| Error::custom("expected map"))?
+            .iter()
+            .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+            .collect()
+    }
+}
+
+macro_rules! tuple_impl {
+    ($(($($idx:tt $t:ident),+),)*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let seq = v.as_seq().ok_or_else(|| Error::custom("expected tuple sequence"))?;
+                let expected = [$(stringify!($idx)),+].len();
+                if seq.len() != expected {
+                    return Err(Error::custom(format!(
+                        "expected tuple of {expected}, got {}", seq.len()
+                    )));
+                }
+                Ok(($($t::from_value(&seq[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+tuple_impl! {
+    (0 A),
+    (0 A, 1 B),
+    (0 A, 1 B, 2 C),
+    (0 A, 1 B, 2 C, 3 D),
+}

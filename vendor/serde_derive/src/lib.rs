@@ -1,0 +1,385 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! No `syn`/`quote` are available, so this crate parses the derive input by
+//! walking `proc_macro::TokenTree`s directly and emits impls of the vendored
+//! `serde::Serialize` / `serde::Deserialize` traits (Value-tree model) as
+//! formatted source strings.
+//!
+//! Supported shapes — exactly what the FaiRank workspace derives:
+//! * structs with named fields (any visibility, no generics),
+//! * enums with unit, tuple, and struct variants (externally tagged).
+//!
+//! Container/field attributes (`#[serde(...)]`) are not supported and the
+//! macro panics on them rather than silently ignoring semantics.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+// ------------------------------------------------------------------ model
+
+struct Input {
+    name: String,
+    body: Body,
+}
+
+enum Body {
+    /// Named-field struct: field names in declaration order.
+    Struct(Vec<String>),
+    /// Enum: variants in declaration order.
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    /// Tuple variant with this many fields.
+    Tuple(usize),
+    /// Struct variant with these field names.
+    Struct(Vec<String>),
+}
+
+// ------------------------------------------------------------------ parse
+
+fn parse_input(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attributes(&tokens, &mut i);
+    skip_visibility(&tokens, &mut i);
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive stub: expected struct/enum, found {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive stub: expected type name, found {other}"),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive stub: generic type `{name}` is not supported");
+    }
+    let body_group = match &tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g,
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            panic!("serde_derive stub: tuple struct `{name}` is not supported")
+        }
+        other => panic!("serde_derive stub: expected body for `{name}`, found {other:?}"),
+    };
+    let body_tokens: Vec<TokenTree> = body_group.stream().into_iter().collect();
+    let body = match kind.as_str() {
+        "struct" => Body::Struct(parse_named_fields(&body_tokens)),
+        "enum" => Body::Enum(parse_variants(&body_tokens)),
+        other => panic!("serde_derive stub: cannot derive for `{other}`"),
+    };
+    Input { name, body }
+}
+
+/// Skips `#[...]` (and `#![...]`) attribute groups, rejecting `#[serde(...)]`.
+fn skip_attributes(tokens: &[TokenTree], i: &mut usize) {
+    while matches!(tokens.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        *i += 1;
+        if matches!(tokens.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '!') {
+            *i += 1;
+        }
+        match tokens.get(*i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                let inner = g.stream().to_string();
+                if inner.starts_with("serde") {
+                    panic!("serde_derive stub: #[serde(...)] attributes are not supported");
+                }
+                *i += 1;
+            }
+            other => panic!("serde_derive stub: malformed attribute: {other:?}"),
+        }
+    }
+}
+
+/// Skips `pub`, `pub(crate)`, `pub(in ...)`.
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if matches!(tokens.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *i += 1;
+        }
+    }
+}
+
+/// Advances past one type expression: everything until a `,` at zero
+/// angle-bracket depth. Parens/brackets/braces are single `Group` tokens, so
+/// only `<`/`>` need explicit depth tracking.
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle_depth = 0usize;
+    while let Some(tt) = tokens.get(*i) {
+        if let TokenTree::Punct(p) = tt {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth = angle_depth.saturating_sub(1),
+                ',' if angle_depth == 0 => return,
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(tokens: &[TokenTree]) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attributes(tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        skip_visibility(tokens, &mut i);
+        let field = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive stub: expected field name, found {other}"),
+        };
+        i += 1;
+        match &tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("serde_derive stub: expected `:` after `{field}`, found {other:?}"),
+        }
+        skip_type(tokens, &mut i);
+        i += 1; // consume the comma (or run off the end, which is fine)
+        fields.push(field);
+    }
+    fields
+}
+
+fn parse_variants(tokens: &[TokenTree]) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attributes(tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive stub: expected variant name, found {other}"),
+        };
+        i += 1;
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(count_tuple_fields(
+                    &g.stream().into_iter().collect::<Vec<_>>(),
+                ))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Struct(parse_named_fields(
+                    &g.stream().into_iter().collect::<Vec<_>>(),
+                ))
+            }
+            _ => VariantKind::Unit,
+        };
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            panic!("serde_derive stub: explicit discriminants are not supported");
+        }
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+fn count_tuple_fields(tokens: &[TokenTree]) -> usize {
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut i = 0;
+    while i < tokens.len() {
+        // Each skip_type stops at a top-level comma or the end.
+        skip_type(tokens, &mut i);
+        if i < tokens.len() {
+            i += 1; // the comma
+            if i < tokens.len() {
+                count += 1; // ignore a trailing comma
+            }
+        }
+    }
+    count
+}
+
+// ---------------------------------------------------------------- codegen
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    let name = &input.name;
+    let body = match &input.body {
+        Body::Struct(fields) => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(String::from(\"{f}\"), ::serde::Serialize::to_value(&self.{f})),"
+                    )
+                })
+                .collect();
+            format!("::serde::value::Value::Map(vec![{pushes}])")
+        }
+        Body::Enum(variants) => {
+            let arms: String = variants.iter().map(|v| serialize_arm(name, v)).collect();
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::value::Value {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .expect("serde_derive stub: generated Serialize impl parses")
+}
+
+fn serialize_arm(type_name: &str, v: &Variant) -> String {
+    let vname = &v.name;
+    match &v.kind {
+        VariantKind::Unit => format!(
+            "{type_name}::{vname} => \
+             ::serde::value::Value::Str(String::from(\"{vname}\")),"
+        ),
+        VariantKind::Tuple(1) => format!(
+            "{type_name}::{vname}(f0) => ::serde::value::Value::Map(vec![\
+             (String::from(\"{vname}\"), ::serde::Serialize::to_value(f0))]),"
+        ),
+        VariantKind::Tuple(n) => {
+            let binds: Vec<String> = (0..*n).map(|k| format!("f{k}")).collect();
+            let items: String = binds
+                .iter()
+                .map(|b| format!("::serde::Serialize::to_value({b}),"))
+                .collect();
+            format!(
+                "{type_name}::{vname}({}) => ::serde::value::Value::Map(vec![\
+                 (String::from(\"{vname}\"), \
+                  ::serde::value::Value::Seq(vec![{items}]))]),",
+                binds.join(", ")
+            )
+        }
+        VariantKind::Struct(fields) => {
+            let binds = fields.join(", ");
+            let items: String = fields
+                .iter()
+                .map(|f| {
+                    format!("(String::from(\"{f}\"), ::serde::Serialize::to_value({f})),")
+                })
+                .collect();
+            format!(
+                "{type_name}::{vname} {{ {binds} }} => ::serde::value::Value::Map(vec![\
+                 (String::from(\"{vname}\"), \
+                  ::serde::value::Value::Map(vec![{items}]))]),"
+            )
+        }
+    }
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    let name = &input.name;
+    let body = match &input.body {
+        Body::Struct(fields) => {
+            let field_inits: String = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::__field(map, \"{f}\")?,"))
+                .collect();
+            format!(
+                "let map = v.as_map().ok_or_else(|| \
+                     ::serde::de::Error::custom(\"expected map for struct {name}\"))?;\n\
+                 Ok({name} {{ {field_inits} }})"
+            )
+        }
+        Body::Enum(variants) => deserialize_enum_body(name, variants),
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::value::Value) \
+                 -> ::std::result::Result<Self, ::serde::de::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .expect("serde_derive stub: generated Deserialize impl parses")
+}
+
+fn deserialize_enum_body(name: &str, variants: &[Variant]) -> String {
+    let unit_arms: String = variants
+        .iter()
+        .filter(|v| matches!(v.kind, VariantKind::Unit))
+        .map(|v| format!("\"{0}\" => Ok({name}::{0}),", v.name))
+        .collect();
+    let tagged_arms: String = variants
+        .iter()
+        .filter(|v| !matches!(v.kind, VariantKind::Unit))
+        .map(|v| deserialize_tagged_arm(name, v))
+        .collect();
+    format!(
+        "match v {{\n\
+             ::serde::value::Value::Str(tag) => match tag.as_str() {{\n\
+                 {unit_arms}\n\
+                 other => Err(::serde::de::Error::custom(format!(\
+                     \"unknown variant `{{other}}` for enum {name}\"))),\n\
+             }},\n\
+             ::serde::value::Value::Map(entries) if entries.len() == 1 => {{\n\
+                 let (tag, payload) = (&entries[0].0, &entries[0].1);\n\
+                 match tag.as_str() {{\n\
+                     {tagged_arms}\n\
+                     other => Err(::serde::de::Error::custom(format!(\
+                         \"unknown variant `{{other}}` for enum {name}\"))),\n\
+                 }}\n\
+             }}\n\
+             _ => Err(::serde::de::Error::custom(\
+                 \"expected string or single-key map for enum {name}\")),\n\
+         }}"
+    )
+}
+
+fn deserialize_tagged_arm(name: &str, v: &Variant) -> String {
+    let vname = &v.name;
+    match &v.kind {
+        VariantKind::Unit => unreachable!("unit variants handled separately"),
+        VariantKind::Tuple(1) => format!(
+            "\"{vname}\" => Ok({name}::{vname}(\
+             ::serde::Deserialize::from_value(payload)?)),"
+        ),
+        VariantKind::Tuple(n) => {
+            let elems: String = (0..*n)
+                .map(|k| format!("::serde::Deserialize::from_value(&seq[{k}])?,"))
+                .collect();
+            format!(
+                "\"{vname}\" => {{\n\
+                     let seq = payload.as_seq().ok_or_else(|| \
+                         ::serde::de::Error::custom(\"expected sequence payload\"))?;\n\
+                     if seq.len() != {n} {{\n\
+                         return Err(::serde::de::Error::custom(\
+                             \"wrong tuple arity for {name}::{vname}\"));\n\
+                     }}\n\
+                     Ok({name}::{vname}({elems}))\n\
+                 }}"
+            )
+        }
+        VariantKind::Struct(fields) => {
+            let field_inits: String = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::__field(map, \"{f}\")?,"))
+                .collect();
+            format!(
+                "\"{vname}\" => {{\n\
+                     let map = payload.as_map().ok_or_else(|| \
+                         ::serde::de::Error::custom(\"expected map payload\"))?;\n\
+                     Ok({name}::{vname} {{ {field_inits} }})\n\
+                 }}"
+            )
+        }
+    }
+}
