@@ -31,5 +31,34 @@ fn bench_pairwise(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_pairwise);
+/// Repeated unfairness evaluation of the same partitioning: the naive
+/// criterion rebuilds every histogram and EMD each time, while the split
+/// engine serves everything from its caches after the first pass — the
+/// access pattern of the beam/exhaustive searches and of interactive
+/// re-quantification.
+fn bench_unfairness_memo(c: &mut Criterion) {
+    use fairank_bench::synthetic_space;
+    use fairank_core::engine::SplitEngine;
+    use fairank_core::fairness::FairnessCriterion;
+    use fairank_core::partition::Partition;
+
+    let mut group = c.benchmark_group("pairwise/unfairness");
+    let space = synthetic_space(5_000, 1, 16, 0.3, 7);
+    let partitions = Partition::root(&space).split(&space, 0);
+    let criterion = FairnessCriterion::default();
+    group.bench_function("naive", |bencher| {
+        bencher.iter(|| {
+            criterion
+                .unfairness(&partitions, space.scores())
+                .expect("computable")
+        })
+    });
+    let mut engine = SplitEngine::new(&space, criterion);
+    group.bench_function("engine-cached", |bencher| {
+        bencher.iter(|| engine.unfairness(&partitions).expect("computable"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pairwise, bench_unfairness_memo);
 criterion_main!(benches);

@@ -34,5 +34,28 @@ fn bench_attribute_scaling(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_population_scaling, bench_attribute_scaling);
+/// The split engine against the naive evaluation on the BENCH_quantify
+/// reference configuration (10k individuals, 8 attributes) — the tracked
+/// head-to-head behind the `BENCH_quantify.json` emitter.
+fn bench_engine_vs_naive(c: &mut Criterion) {
+    let mut group = c.benchmark_group("quantify/engine-vs-naive");
+    group.sample_size(10);
+    let space = synthetic_space(10_000, 8, 3, 0.3, 7);
+    let engine = Quantify::new(FairnessCriterion::default());
+    let naive = Quantify::new(FairnessCriterion::default()).with_naive_evaluation();
+    group.bench_function("engine", |bencher| {
+        bencher.iter(|| engine.run_space(&space).expect("runs"))
+    });
+    group.bench_function("naive", |bencher| {
+        bencher.iter(|| naive.run_space(&space).expect("runs"))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_population_scaling,
+    bench_attribute_scaling,
+    bench_engine_vs_naive
+);
 criterion_main!(benches);

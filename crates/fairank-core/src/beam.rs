@@ -14,6 +14,7 @@
 
 use std::time::{Duration, Instant};
 
+use crate::engine::{EngineStats, SplitEngine};
 use crate::error::{CoreError, Result};
 use crate::fairness::FairnessCriterion;
 use crate::partition::{is_full_disjoint, Partition};
@@ -49,6 +50,9 @@ pub struct BeamOutcome {
     pub unfairness: f64,
     /// States expanded during the search.
     pub states_expanded: usize,
+    /// Evaluation-work counters from the shared split engine (states
+    /// revisit the same partitions constantly, so cache hits dominate).
+    pub engine_stats: EngineStats,
     /// Wall-clock time.
     pub elapsed: Duration,
 }
@@ -80,7 +84,7 @@ impl BeamSearch {
             return Err(CoreError::EmptyInput);
         }
         let start = Instant::now();
-        let scores = space.scores();
+        let mut engine = SplitEngine::new(space, self.criterion);
         let attrs: Vec<usize> = (0..space.attributes().len()).collect();
         let root = Partition::root(space);
         let initial = State {
@@ -116,9 +120,7 @@ impl BeamSearch {
                 {
                     let mut s = state.clone();
                     s.finalized.push(group.clone());
-                    s.value = self
-                        .criterion
-                        .unfairness(&s.all_partitions(), scores)?;
+                    s.value = engine.unfairness(&s.all_partitions())?;
                     next.push(s);
                 }
                 // Branch 2: split on each attribute that divides the group.
@@ -133,9 +135,7 @@ impl BeamSearch {
                     for child in children {
                         s.frontier.push((child, rest.clone()));
                     }
-                    s.value = self
-                        .criterion
-                        .unfairness(&s.all_partitions(), scores)?;
+                    s.value = engine.unfairness(&s.all_partitions())?;
                     next.push(s);
                 }
             }
@@ -158,6 +158,7 @@ impl BeamSearch {
             partitions,
             unfairness,
             states_expanded,
+            engine_stats: engine.stats(),
             elapsed: start.elapsed(),
         })
     }
@@ -250,6 +251,19 @@ mod tests {
         let greedy = Quantify::new(crit).run_space(&s).unwrap();
         let beam = BeamSearch::new(crit, 16).run_space(&s).unwrap();
         assert!(beam.unfairness >= greedy.unfairness - 1e-12);
+    }
+
+    #[test]
+    fn beam_states_share_the_engine_caches() {
+        let s = space();
+        let out = BeamSearch::new(FairnessCriterion::default(), 4)
+            .run_space(&s)
+            .unwrap();
+        // Sibling states differ in one group only, so most distance lookups
+        // are repeats served from the memo.
+        assert!(out.engine_stats.emd_cache_hits > 0);
+        assert!(out.engine_stats.emd_calls > 0);
+        assert!(out.engine_stats.histograms_built > 0);
     }
 
     #[test]

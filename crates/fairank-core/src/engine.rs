@@ -1,0 +1,528 @@
+//! The split-evaluation engine shared by every partitioning search.
+//!
+//! Evaluating candidate splits dominates the `QUANTIFY` hot path: the naive
+//! formulation re-derives `bin_of(score)` for every row of every histogram,
+//! materializes a `Vec<u32>` row-set per candidate child just to histogram
+//! it, recomputes the winning split that `mostUnfair` already scored, and
+//! re-evaluates the same partition-pair EMDs at every recursion level.
+//! [`SplitEngine`] removes all four costs while remaining *bit-identical*
+//! to the naive evaluation order (asserted by the `engine_equivalence`
+//! property suite):
+//!
+//! 1. **Binned-score cache** — [`RankingSpace::bin_codes`] is computed once
+//!    per run, so building a histogram over a row subset is pure counting.
+//! 2. **One-pass counting splits** — [`SplitEngine::best_split`] scores
+//!    every candidate attribute of a node with a single scan over the
+//!    node's rows, accumulating `counts[value][bin]` directly; candidate
+//!    children get histograms without child row vectors ever materializing
+//!    (rows materialize only for the winning attribute, and only once the
+//!    split is accepted).
+//! 3. **Winner cache** — the winning attribute and interned handles to its
+//!    child histograms are handed back in a [`CandidateSplit`]; the
+//!    histograms live on in the engine's arena and their pairwise
+//!    distances in the memo, so the recursion's follow-up evaluations
+//!    reuse what `mostUnfair` already built.
+//! 4. **EMD memo table** — histogram cache entries are keyed by partition
+//!    *path* (the conjunction of attribute constraints uniquely identifies
+//!    a partition's rows within one space) and each distinct histogram
+//!    *content* is interned to a small id; distances are memoized by id
+//!    pair. Content keying subsumes path identity — a node's histogram,
+//!    hence its distance to any fixed sibling, is identical across
+//!    recursion levels — and additionally collapses the huge pairwise
+//!    matrices over fine partitionings, whose small partitions repeat the
+//!    same few score distributions constantly.
+//!
+//! The engine mirrors [`FairnessCriterion`]'s aggregation orders exactly
+//! (pairwise `(0,1), (0,2), …` and children-outer cross products), so
+//! floating-point accumulation is unchanged and search results do not move
+//! by a single bit.
+
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+use crate::emd::EmdBackend;
+use crate::error::Result;
+use crate::fairness::FairnessCriterion;
+use crate::histogram::Histogram;
+use crate::partition::{Partition, PathStep};
+use crate::space::RankingSpace;
+
+/// Multiply-rotate hasher for the engine's internal maps. The keys are
+/// small, trusted, and hashed millions of times per search (every memoized
+/// distance lookup), where SipHash's DoS resistance costs more than the
+/// EMD it saves; this is the FxHash folding scheme over 8-byte chunks.
+#[derive(Default)]
+struct EngineHasher(u64);
+
+impl EngineHasher {
+    #[inline]
+    fn fold(&mut self, word: u64) {
+        const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+        self.0 = (self.0.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for EngineHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.fold(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut word = [0u8; 8];
+            word[..rest.len()].copy_from_slice(rest);
+            self.fold(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.fold(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.fold(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.fold(n as u64);
+    }
+}
+
+type EngineMap<K, V> = HashMap<K, V, BuildHasherDefault<EngineHasher>>;
+
+/// Work counters the engine maintains, surfaced through `SearchStats` and
+/// the beam/exhaustive outcomes so perf regressions are assertable.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Histograms actually constructed (cache misses included, cache hits
+    /// not).
+    pub histograms_built: usize,
+    /// EMD distances actually computed (memo misses).
+    pub emd_calls: usize,
+    /// Distance lookups served from the memo table.
+    pub emd_cache_hits: usize,
+}
+
+/// The winning candidate split of a node: the attribute, its `mostUnfair`
+/// score, and interned handles to the children's histograms (in ascending
+/// value-code order, the same order [`Partition::split`] produces). The
+/// handles are how the winner cache works: the children's histograms live
+/// in the engine's arena and their pairwise distances in the memo, so the
+/// recursion's follow-up evaluations reuse both instead of recomputing.
+#[derive(Debug, Clone)]
+pub struct CandidateSplit {
+    /// The winning attribute index.
+    pub attr: usize,
+    /// Aggregated pairwise distance among the children (the `mostUnfair`
+    /// score of this split).
+    pub value: f64,
+    /// Interned content id of each child histogram (engine-internal memo
+    /// handles).
+    pub(crate) child_ids: Vec<u32>,
+}
+
+/// Shared evaluation context for one search run over one ranking space.
+#[derive(Debug)]
+pub struct SplitEngine<'a> {
+    space: &'a RankingSpace,
+    criterion: FairnessCriterion,
+    /// `bin_codes[row]` = histogram bin of the row's score.
+    bin_codes: Vec<u32>,
+    /// Histogram cache: partition path → interned content id.
+    hists: EngineMap<Vec<PathStep>, u32>,
+    /// Interning table: distinct histogram contents (per-bin counts) → id.
+    content_ids: EngineMap<Vec<u64>, u32>,
+    /// One canonical histogram per content id; every lookup borrows from
+    /// here, so cache hits never allocate.
+    hist_arena: Vec<Histogram>,
+    /// EMD memo keyed by the (directed) pair of content ids.
+    emd_memo: EngineMap<(u32, u32), f64>,
+    stats: EngineStats,
+}
+
+impl<'a> SplitEngine<'a> {
+    /// An engine for one run of a search under `criterion` on `space`.
+    pub fn new(space: &'a RankingSpace, criterion: FairnessCriterion) -> Self {
+        SplitEngine {
+            bin_codes: space.bin_codes(&criterion.hist),
+            space,
+            criterion,
+            hists: EngineMap::default(),
+            content_ids: EngineMap::default(),
+            hist_arena: Vec::new(),
+            emd_memo: EngineMap::default(),
+            stats: EngineStats::default(),
+        }
+    }
+
+    /// The space this engine evaluates over.
+    pub fn space(&self) -> &'a RankingSpace {
+        self.space
+    }
+
+    /// The criterion this engine evaluates under.
+    pub fn criterion(&self) -> &FairnessCriterion {
+        &self.criterion
+    }
+
+    /// Work counters accumulated so far.
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    /// Interns histogram content, returning a small id such that equal
+    /// per-bin counts always map to the same id. New content gets one
+    /// canonical [`Histogram`] in the arena.
+    fn intern(&mut self, counts: &[u64]) -> u32 {
+        if let Some(&id) = self.content_ids.get(counts) {
+            return id;
+        }
+        let id = self.hist_arena.len() as u32;
+        self.content_ids.insert(counts.to_vec(), id);
+        self.hist_arena
+            .push(Histogram::from_counts(self.criterion.hist, counts.to_vec()));
+        id
+    }
+
+    /// The partition's histogram content id, built through the binned-score
+    /// cache on a path-cache miss. Hits allocate nothing.
+    fn hist_id(&mut self, partition: &Partition) -> u32 {
+        if let Some(&id) = self.hists.get(&partition.path) {
+            return id;
+        }
+        let bins = self.criterion.hist.bins();
+        let mut counts = vec![0u64; bins];
+        for &row in &partition.rows {
+            counts[self.bin_codes[row as usize] as usize] += 1;
+        }
+        self.stats.histograms_built += 1;
+        let id = self.intern(&counts);
+        self.hists.insert(partition.path.clone(), id);
+        id
+    }
+
+    /// The partition's score histogram (cloned from the arena entry).
+    pub fn histogram(&mut self, partition: &Partition) -> Histogram {
+        let id = self.hist_id(partition);
+        self.hist_arena[id as usize].clone()
+    }
+
+    /// Memoized EMD between two content-identified histograms. The distance
+    /// is a pure function of the two count vectors (and the shared spec),
+    /// so equal content ids always reproduce the exact bits of a fresh
+    /// computation. The 1-D closed form is additionally bitwise symmetric
+    /// (CDF differences negate exactly), so one computation serves both
+    /// directions; the transport solver's pivoting is not guaranteed
+    /// symmetric at the bit level, so it only reuses directional repeats.
+    fn distance(&mut self, id_a: u32, id_b: u32) -> Result<f64> {
+        if let Some(&d) = self.emd_memo.get(&(id_a, id_b)) {
+            self.stats.emd_cache_hits += 1;
+            return Ok(d);
+        }
+        self.stats.emd_calls += 1;
+        let d = self
+            .criterion
+            .emd
+            .distance(&self.hist_arena[id_a as usize], &self.hist_arena[id_b as usize])?;
+        if self.criterion.emd.backend() == EmdBackend::OneD {
+            self.emd_memo.insert((id_b, id_a), d);
+        }
+        self.emd_memo.insert((id_a, id_b), d);
+        Ok(d)
+    }
+
+    /// Aggregated pairwise distance over content-identified histograms, in
+    /// the same `(0,1), (0,2), …` order as `pairwise_distances`.
+    fn pairwise_value(&mut self, ids: &[u32]) -> Result<f64> {
+        let n = ids.len();
+        let mut dists = Vec::with_capacity(n.saturating_sub(1) * n / 2);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                dists.push(self.distance(ids[i], ids[j])?);
+            }
+        }
+        Ok(self.criterion.aggregator.apply(&dists))
+    }
+
+    /// `unfairness(P, f)` with cached histograms and memoized distances —
+    /// the drop-in for [`FairnessCriterion::unfairness`] used by the beam
+    /// and exhaustive searches, whose states revisit the same partitions
+    /// over and over.
+    pub fn unfairness(&mut self, partitions: &[Partition]) -> Result<f64> {
+        let mut ids = Vec::with_capacity(partitions.len());
+        for p in partitions {
+            ids.push(self.hist_id(p));
+        }
+        self.pairwise_value(&ids)
+    }
+
+    /// Aggregate distance of `partition` vs. each of `others` — the memoized
+    /// drop-in for [`FairnessCriterion::versus`] (same distance order).
+    pub fn versus(&mut self, partition: &Partition, others: &[Partition]) -> Result<f64> {
+        let id = self.hist_id(partition);
+        let mut dists = Vec::with_capacity(others.len());
+        for other in others {
+            let other_id = self.hist_id(other);
+            dists.push(self.distance(id, other_id)?);
+        }
+        Ok(self.criterion.aggregator.apply(&dists))
+    }
+
+    /// Aggregate of all child-vs-sibling distances (Algorithm 1 line 8),
+    /// reusing the winner cache's child ids. Distance order matches
+    /// `cross_distances` (children outer, siblings inner).
+    pub fn children_versus_siblings(
+        &mut self,
+        candidate: &CandidateSplit,
+        siblings: &[Partition],
+    ) -> Result<f64> {
+        let mut sib_ids = Vec::with_capacity(siblings.len());
+        for s in siblings {
+            sib_ids.push(self.hist_id(s));
+        }
+        let mut dists = Vec::with_capacity(candidate.child_ids.len() * siblings.len());
+        for &child_id in &candidate.child_ids {
+            for &sib_id in &sib_ids {
+                dists.push(self.distance(child_id, sib_id)?);
+            }
+        }
+        Ok(self.criterion.aggregator.apply(&dists))
+    }
+
+    /// The holistic split test: `unfairness(siblings ∪ {current})` vs.
+    /// `unfairness(siblings ∪ children)`, with the children taken from the
+    /// winner cache. List orders match the naive construction (siblings
+    /// first, then current / children).
+    pub fn holistic_values(
+        &mut self,
+        siblings: &[Partition],
+        current: &Partition,
+        candidate: &CandidateSplit,
+    ) -> Result<(f64, f64)> {
+        let mut ids = Vec::with_capacity(siblings.len() + 1);
+        for s in siblings {
+            ids.push(self.hist_id(s));
+        }
+        ids.push(self.hist_id(current));
+        let before = self.pairwise_value(&ids)?;
+        ids.truncate(siblings.len());
+        ids.extend(candidate.child_ids.iter().copied());
+        let after = self.pairwise_value(&ids)?;
+        Ok((before, after))
+    }
+
+    /// `mostUnfair(current, f, A)` via one-pass counting splits: each
+    /// candidate attribute is scored with a single scan over the node's
+    /// rows accumulating `counts[value][bin]`, so no child row vector is
+    /// ever materialized here. Attributes producing fewer than two children
+    /// (or any child below `min_partition_size`) are not candidates, and
+    /// ties keep the earlier attribute — both exactly as the naive
+    /// evaluation. Returns the winner (with its histograms and pairwise
+    /// distances preserved for the recursion) and the number of candidate
+    /// splits scored.
+    pub fn best_split(
+        &mut self,
+        current: &Partition,
+        avail: &[usize],
+        min_partition_size: usize,
+    ) -> Result<(Option<CandidateSplit>, usize)> {
+        let bins = self.criterion.hist.bins();
+        let mut best: Option<CandidateSplit> = None;
+        let mut scored = 0usize;
+        for &attr in avail {
+            let Some(attribute) = self.space.attribute(attr) else {
+                continue;
+            };
+            let card = attribute.cardinality();
+            let mut counts = vec![0u64; card * bins];
+            let mut sizes = vec![0usize; card];
+            for &row in &current.rows {
+                let code = attribute.codes[row as usize] as usize;
+                counts[code * bins + self.bin_codes[row as usize] as usize] += 1;
+                sizes[code] += 1;
+            }
+            let present: Vec<usize> = (0..card).filter(|&c| sizes[c] > 0).collect();
+            if present.len() < 2 {
+                continue;
+            }
+            if present.iter().any(|&c| sizes[c] < min_partition_size) {
+                continue;
+            }
+            scored += 1;
+            let mut child_ids = Vec::with_capacity(present.len());
+            for &code in &present {
+                let mut path = current.path.clone();
+                path.push(PathStep {
+                    attr,
+                    code: code as u32,
+                });
+                let id = match self.hists.get(&path) {
+                    Some(&id) => id,
+                    None => {
+                        self.stats.histograms_built += 1;
+                        let id = self.intern(&counts[code * bins..(code + 1) * bins]);
+                        self.hists.insert(path, id);
+                        id
+                    }
+                };
+                child_ids.push(id);
+            }
+            let k = child_ids.len();
+            let mut pairwise = Vec::with_capacity(k * (k - 1) / 2);
+            for i in 0..k {
+                for j in (i + 1)..k {
+                    pairwise.push(self.distance(child_ids[i], child_ids[j])?);
+                }
+            }
+            let value = self.criterion.aggregator.apply(&pairwise);
+            let better = match &best {
+                None => true,
+                Some(incumbent) => self.criterion.objective.is_better(value, incumbent.value),
+            };
+            if better {
+                best = Some(CandidateSplit {
+                    attr,
+                    value,
+                    child_ids,
+                });
+            }
+        }
+        Ok((best, scored))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fairness::{Aggregator, Objective};
+    use crate::space::ProtectedAttribute;
+
+    fn space() -> RankingSpace {
+        let gender = ProtectedAttribute::from_values(
+            "gender",
+            &["F", "M", "F", "M", "F", "M", "F", "M"],
+        );
+        let noise = ProtectedAttribute::from_values(
+            "noise",
+            &["x", "x", "y", "y", "x", "y", "x", "y"],
+        );
+        RankingSpace::new(
+            vec![gender, noise],
+            vec![0.1, 0.9, 0.2, 0.8, 0.15, 0.85, 0.12, 0.88],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn engine_histogram_matches_criterion_histogram() {
+        let s = space();
+        let crit = FairnessCriterion::default();
+        let mut engine = SplitEngine::new(&s, crit);
+        let root = Partition::root(&s);
+        for p in std::iter::once(root.clone()).chain(root.split(&s, 0)) {
+            assert_eq!(engine.histogram(&p), crit.histogram(&p, s.scores()));
+        }
+        // Second lookups are cache hits: no new builds.
+        let built = engine.stats().histograms_built;
+        let _ = engine.histogram(&root);
+        assert_eq!(engine.stats().histograms_built, built);
+    }
+
+    #[test]
+    fn engine_unfairness_and_versus_match_criterion() {
+        let s = space();
+        let crit = FairnessCriterion::new(Objective::MostUnfair, Aggregator::Mean);
+        let mut engine = SplitEngine::new(&s, crit);
+        let parts = Partition::root(&s).split(&s, 0);
+        let u_engine = engine.unfairness(&parts).unwrap();
+        let u_naive = crit.unfairness(&parts, s.scores()).unwrap();
+        assert_eq!(u_engine, u_naive);
+        let v_engine = engine.versus(&parts[0], &parts[1..]).unwrap();
+        let v_naive = crit.versus(&parts[0], &parts[1..], s.scores()).unwrap();
+        assert_eq!(v_engine, v_naive);
+    }
+
+    #[test]
+    fn repeated_unfairness_hits_the_memo() {
+        let s = space();
+        let mut engine = SplitEngine::new(&s, FairnessCriterion::default());
+        let parts = Partition::root(&s).split(&s, 0);
+        let first = engine.unfairness(&parts).unwrap();
+        let calls_after_first = engine.stats().emd_calls;
+        let second = engine.unfairness(&parts).unwrap();
+        assert_eq!(first, second);
+        assert_eq!(engine.stats().emd_calls, calls_after_first);
+        assert!(engine.stats().emd_cache_hits > 0);
+    }
+
+    #[test]
+    fn one_d_memo_serves_both_directions() {
+        let s = space();
+        let mut engine = SplitEngine::new(&s, FairnessCriterion::default());
+        let parts = Partition::root(&s).split(&s, 0);
+        // Forward direction computes, reverse direction must hit.
+        let _ = engine.versus(&parts[0], &parts[1..]).unwrap();
+        let calls = engine.stats().emd_calls;
+        let _ = engine.versus(&parts[1], &parts[..1]).unwrap();
+        assert_eq!(engine.stats().emd_calls, calls);
+        assert!(engine.stats().emd_cache_hits > 0);
+    }
+
+    #[test]
+    fn best_split_matches_naive_most_unfair() {
+        let s = space();
+        let crit = FairnessCriterion::default();
+        let mut engine = SplitEngine::new(&s, crit);
+        let root = Partition::root(&s);
+        let (cand, scored) = engine.best_split(&root, &[0, 1], 1).unwrap();
+        let cand = cand.expect("both attributes split the root");
+        assert_eq!(scored, 2);
+        // Gender (attribute 0) separates scores; noise does not.
+        assert_eq!(cand.attr, 0);
+        let children = root.split(&s, 0);
+        assert_eq!(cand.child_ids.len(), children.len());
+        // The one-pass counting histograms equal the per-child rebuilds —
+        // and they were cached during best_split, so no new builds occur.
+        let built = engine.stats().histograms_built;
+        for child in &children {
+            assert_eq!(
+                engine.histogram(child),
+                crit.histogram(child, s.scores())
+            );
+        }
+        assert_eq!(engine.stats().histograms_built, built);
+        assert_eq!(cand.value, crit.unfairness(&children, s.scores()).unwrap());
+    }
+
+    #[test]
+    fn best_split_honors_min_partition_size() {
+        let s = space();
+        let mut engine = SplitEngine::new(&s, FairnessCriterion::default());
+        let root = Partition::root(&s);
+        // Both attributes give 4/4 children; a floor of 5 blocks everything.
+        let (cand, scored) = engine.best_split(&root, &[0, 1], 5).unwrap();
+        assert!(cand.is_none());
+        assert_eq!(scored, 0);
+    }
+
+    #[test]
+    fn best_split_skips_constant_and_invalid_attributes() {
+        let constant = ProtectedAttribute::from_values("k", &["x", "x", "x"]);
+        let s = RankingSpace::new(vec![constant], vec![0.1, 0.5, 0.9]).unwrap();
+        let mut engine = SplitEngine::new(&s, FairnessCriterion::default());
+        let root = Partition::root(&s);
+        let (cand, scored) = engine.best_split(&root, &[0, 7], 1).unwrap();
+        assert!(cand.is_none());
+        assert_eq!(scored, 0);
+    }
+}

@@ -18,6 +18,7 @@
 use std::collections::HashSet;
 use std::time::{Duration, Instant};
 
+use crate::engine::{EngineStats, SplitEngine};
 use crate::error::{CoreError, Result};
 use crate::fairness::FairnessCriterion;
 use crate::partition::{is_full_disjoint, Partition};
@@ -38,6 +39,9 @@ pub struct ExhaustiveOutcome {
     pub trees_enumerated: u64,
     /// Number of *distinct* leaf partitionings among them.
     pub distinct_partitionings: u64,
+    /// Evaluation-work counters from the shared split engine (enumerated
+    /// partitionings overlap heavily, so cache hits dominate).
+    pub engine_stats: EngineStats,
     /// Wall-clock time of the enumeration.
     pub elapsed: Duration,
 }
@@ -94,6 +98,7 @@ impl ExhaustiveSearch {
         let mut state = EnumState {
             space,
             criterion: &self.criterion,
+            engine: SplitEngine::new(space, self.criterion),
             budget: self.budget,
             trees: 0,
             best: None,
@@ -112,6 +117,7 @@ impl ExhaustiveSearch {
             best_value,
             trees_enumerated: state.trees,
             distinct_partitionings: state.seen.map_or(0, |s| s.len() as u64),
+            engine_stats: state.engine.stats(),
             elapsed: start.elapsed(),
         })
     }
@@ -168,6 +174,7 @@ impl ExhaustiveSearch {
 struct EnumState<'a> {
     space: &'a RankingSpace,
     criterion: &'a FairnessCriterion,
+    engine: SplitEngine<'a>,
     budget: u64,
     trees: u64,
     best: Option<(Vec<Partition>, f64)>,
@@ -191,7 +198,7 @@ impl EnumState<'_> {
                     budget: self.budget,
                 });
             }
-            let value = self.criterion.unfairness(acc, self.space.scores())?;
+            let value = self.engine.unfairness(acc)?;
             if let Some(seen) = &mut self.seen {
                 seen.insert(signature(acc, self.space.num_individuals()));
             }
@@ -354,6 +361,17 @@ mod tests {
             &out.best_partitions,
             space.num_individuals()
         ));
+    }
+
+    #[test]
+    fn enumeration_shares_the_engine_caches() {
+        let space = small_space();
+        let out = ExhaustiveSearch::default().run_space(&space).unwrap();
+        // Enumerated partitionings overlap heavily, so repeated distance
+        // lookups are served from the memo.
+        assert!(out.engine_stats.emd_cache_hits > 0);
+        assert!(out.engine_stats.emd_calls > 0);
+        assert!(out.engine_stats.histograms_built > 0);
     }
 
     #[test]

@@ -120,6 +120,26 @@ impl Histogram {
         Histogram::from_scores(spec, rows.iter().map(|&r| scores[r as usize]))
     }
 
+    /// Builds a histogram directly from per-bin counts (used by the split
+    /// engine, which accumulates counts in one pass instead of re-binning
+    /// scores). Equivalent to adding each counted score individually.
+    ///
+    /// # Panics
+    /// If `counts.len()` does not match the spec's bin count.
+    pub fn from_counts(spec: HistogramSpec, counts: Vec<u64>) -> Self {
+        assert_eq!(
+            counts.len(),
+            spec.bins(),
+            "counts must have one entry per bin"
+        );
+        let total = counts.iter().sum();
+        Histogram {
+            spec,
+            counts,
+            total,
+        }
+    }
+
     /// Adds one score.
     pub fn add(&mut self, score: f64) {
         let bin = self.spec.bin_of(score);
@@ -244,6 +264,22 @@ mod tests {
         assert!(h.is_empty());
         assert_eq!(h.mass(), vec![0.0, 0.0, 0.0]);
         assert_eq!(h.approx_mean(), None);
+    }
+
+    #[test]
+    fn from_counts_matches_from_scores() {
+        let spec = HistogramSpec::unit(5).unwrap();
+        let by_scores = Histogram::from_scores(spec, [0.05, 0.15, 0.25, 0.95, 1.0]);
+        let by_counts = Histogram::from_counts(spec, vec![2, 1, 0, 0, 2]);
+        assert_eq!(by_scores, by_counts);
+        assert_eq!(by_counts.total(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "one entry per bin")]
+    fn from_counts_rejects_wrong_arity() {
+        let spec = HistogramSpec::unit(5).unwrap();
+        let _ = Histogram::from_counts(spec, vec![1, 2]);
     }
 
     #[test]

@@ -21,6 +21,10 @@
 //!    decision-tree-style search for an extremal partitioning;
 //!    [`exhaustive`] enumerates the full tree-partitioning space as the
 //!    exact (exponential) baseline.
+//! 6. All searches evaluate splits through [`engine::SplitEngine`], which
+//!    caches per-row bin indices, histograms, and EMDs (keyed by partition
+//!    path) and scores candidate splits in one counting pass — bit-identical
+//!    results, an order of magnitude less work.
 //!
 //! The crate is deliberately self-contained: it knows nothing about CSV
 //! files, anonymization or marketplaces. Those substrates live in the
@@ -29,6 +33,7 @@
 
 pub mod beam;
 pub mod emd;
+pub mod engine;
 pub mod error;
 pub mod exhaustive;
 pub mod explain;

@@ -27,6 +27,7 @@
 
 use std::time::{Duration, Instant};
 
+use crate::engine::SplitEngine;
 use crate::error::{CoreError, Result};
 use crate::fairness::FairnessCriterion;
 use crate::partition::{Partition, PartitioningTree};
@@ -56,6 +57,13 @@ pub struct SearchStats {
     pub splits_performed: usize,
     /// Candidate (node, attribute) splits scored by `mostUnfair`.
     pub candidate_splits: usize,
+    /// Histograms actually constructed during evaluation.
+    pub histograms_built: usize,
+    /// EMD distances actually computed.
+    pub emd_calls: usize,
+    /// Distance lookups served from the engine's memo table (always 0 for
+    /// the naive evaluation, which has no cache).
+    pub emd_cache_hits: usize,
 }
 
 /// The result of a `QUANTIFY` run.
@@ -80,6 +88,7 @@ pub struct Quantify {
     split_eval: SplitEvaluation,
     min_partition_size: usize,
     max_depth: Option<usize>,
+    naive: bool,
 }
 
 impl Quantify {
@@ -90,6 +99,7 @@ impl Quantify {
             split_eval: SplitEvaluation::default(),
             min_partition_size: 1,
             max_depth: None,
+            naive: false,
         }
     }
 
@@ -113,9 +123,19 @@ impl Quantify {
     }
 
     /// Caps the tree depth (i.e. the number of attributes any one partition
-    /// may be refined on).
+    /// may be refined on). A depth of 0 yields the trivial single-partition
+    /// outcome without performing any split.
     pub fn with_max_depth(mut self, depth: usize) -> Self {
         self.max_depth = Some(depth);
+        self
+    }
+
+    /// Disables the shared [`SplitEngine`] and evaluates every split the
+    /// way the original implementation did (per-candidate row
+    /// materialization, no caches). Produces bit-identical results; exists
+    /// as the baseline for equivalence tests and perf benchmarks.
+    pub fn with_naive_evaluation(mut self) -> Self {
+        self.naive = true;
         self
     }
 
@@ -136,6 +156,187 @@ impl Quantify {
             return Err(CoreError::EmptyInput);
         }
         let start = Instant::now();
+        if self.max_depth == Some(0) {
+            // Depth 0 forbids any refinement: the trivial single-partition
+            // outcome, without performing the initial split.
+            let root = Partition::root(space);
+            let tree = PartitioningTree::new(root.clone());
+            let partitions = vec![root];
+            let unfairness = self.criterion.unfairness(&partitions, space.scores())?;
+            return Ok(QuantifyOutcome {
+                tree,
+                partitions,
+                unfairness,
+                stats: SearchStats {
+                    histograms_built: 1,
+                    ..SearchStats::default()
+                },
+                elapsed: start.elapsed(),
+            });
+        }
+        if self.naive {
+            self.run_space_naive(space, start)
+        } else {
+            self.run_space_engine(space, start)
+        }
+    }
+
+    // ---- engine-backed evaluation (default) -----------------------------
+
+    fn run_space_engine(&self, space: &RankingSpace, start: Instant) -> Result<QuantifyOutcome> {
+        let mut stats = SearchStats::default();
+        let mut engine = SplitEngine::new(space, self.criterion);
+        let root = Partition::root(space);
+        let mut tree = PartitioningTree::new(root.clone());
+
+        let all_attrs: Vec<usize> = (0..space.attributes().len()).collect();
+
+        // Initial invocation (§3.2): split the whole population on the most
+        // unfair attribute, then run QUANTIFY once per resulting partition.
+        let (candidate, scored) =
+            engine.best_split(&root, &all_attrs, self.min_partition_size)?;
+        stats.candidate_splits += scored;
+        let Some(candidate) = candidate else {
+            // Nothing splits the population: the trivial partitioning.
+            let partitions = vec![root];
+            let unfairness = engine.unfairness(&partitions)?;
+            Self::merge_engine_stats(&mut stats, &engine);
+            return Ok(QuantifyOutcome {
+                tree,
+                partitions,
+                unfairness,
+                stats,
+                elapsed: start.elapsed(),
+            });
+        };
+
+        let first_attr = candidate.attr;
+        let children = root.split(space, first_attr);
+        let remaining: Vec<usize> =
+            all_attrs.iter().copied().filter(|&a| a != first_attr).collect();
+        let ids = tree.split_node(tree.root(), first_attr, children.clone());
+        stats.splits_performed += 1;
+
+        for (i, id) in ids.iter().enumerate() {
+            let siblings: Vec<Partition> = children
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| *j != i)
+                .map(|(_, p)| p.clone())
+                .collect();
+            self.quantify_rec_engine(
+                &mut engine,
+                &mut tree,
+                *id,
+                &siblings,
+                &remaining,
+                1,
+                &mut stats,
+            )?;
+        }
+
+        let partitions = tree.leaf_partitions();
+        let unfairness = engine.unfairness(&partitions)?;
+        Self::merge_engine_stats(&mut stats, &engine);
+        Ok(QuantifyOutcome {
+            tree,
+            partitions,
+            unfairness,
+            stats,
+            elapsed: start.elapsed(),
+        })
+    }
+
+    fn merge_engine_stats(stats: &mut SearchStats, engine: &SplitEngine<'_>) {
+        let e = engine.stats();
+        stats.histograms_built = e.histograms_built;
+        stats.emd_calls = e.emd_calls;
+        stats.emd_cache_hits = e.emd_cache_hits;
+    }
+
+    /// The recursive body of Algorithm 1, evaluated through the engine.
+    /// Candidate children never materialize row vectors; the winning
+    /// attribute's rows materialize only once the split is accepted.
+    #[allow(clippy::too_many_arguments)]
+    fn quantify_rec_engine(
+        &self,
+        engine: &mut SplitEngine<'_>,
+        tree: &mut PartitioningTree,
+        node_id: usize,
+        siblings: &[Partition],
+        avail: &[usize],
+        depth: usize,
+        stats: &mut SearchStats,
+    ) -> Result<()> {
+        // Line 1: no attributes left — the node is a final partition.
+        if avail.is_empty() {
+            return Ok(());
+        }
+        if self.max_depth.is_some_and(|d| depth >= d) {
+            return Ok(());
+        }
+        stats.nodes_evaluated += 1;
+        let current = tree.node(node_id).partition.clone();
+
+        // Line 5: the most unfair attribute — one counting pass per
+        // candidate, winner cache handed back.
+        let (candidate, scored) =
+            engine.best_split(&current, avail, self.min_partition_size)?;
+        stats.candidate_splits += scored;
+        let Some(candidate) = candidate else {
+            return Ok(()); // no attribute splits this node
+        };
+
+        // Lines 4 & 8: aggregate distances of current-vs-siblings and
+        // children-vs-siblings, reusing the winner cache's histograms.
+        let (current_val, children_val) = match self.split_eval {
+            SplitEvaluation::PaperSiblings => {
+                let cur = engine.versus(&current, siblings)?;
+                let ch = engine.children_versus_siblings(&candidate, siblings)?;
+                (cur, ch)
+            }
+            SplitEvaluation::Holistic => {
+                engine.holistic_values(siblings, &current, &candidate)?
+            }
+        };
+
+        // Line 9, generalized: keep the node unless replacing it by its
+        // children strictly improves the objective.
+        if !self.criterion.objective.is_better(children_val, current_val) {
+            return Ok(());
+        }
+
+        // Lines 12–14: split (materializing rows for the winner only) and
+        // recurse with the new sibling sets.
+        let attr = candidate.attr;
+        let children = current.split(engine.space(), attr);
+        debug_assert!(children.len() >= 2);
+        let remaining: Vec<usize> = avail.iter().copied().filter(|&a| a != attr).collect();
+        let ids = tree.split_node(node_id, attr, children.clone());
+        stats.splits_performed += 1;
+        for (i, id) in ids.iter().enumerate() {
+            let new_siblings: Vec<Partition> = children
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| *j != i)
+                .map(|(_, p)| p.clone())
+                .collect();
+            self.quantify_rec_engine(
+                engine,
+                tree,
+                *id,
+                &new_siblings,
+                &remaining,
+                depth + 1,
+                stats,
+            )?;
+        }
+        Ok(())
+    }
+
+    // ---- naive evaluation (seed behavior, instrumented) -----------------
+
+    fn run_space_naive(&self, space: &RankingSpace, start: Instant) -> Result<QuantifyOutcome> {
         let mut stats = SearchStats::default();
         let root = Partition::root(space);
         let mut tree = PartitioningTree::new(root.clone());
@@ -149,6 +350,7 @@ impl Quantify {
             // Nothing splits the population: the trivial partitioning.
             let partitions = vec![root];
             let unfairness = self.criterion.unfairness(&partitions, space.scores())?;
+            stats.histograms_built += 1;
             return Ok(QuantifyOutcome {
                 tree,
                 partitions,
@@ -176,6 +378,8 @@ impl Quantify {
 
         let partitions = tree.leaf_partitions();
         let unfairness = self.criterion.unfairness(&partitions, space.scores())?;
+        stats.histograms_built += partitions.len();
+        stats.emd_calls += partitions.len() * partitions.len().saturating_sub(1) / 2;
         Ok(QuantifyOutcome {
             tree,
             partitions,
@@ -220,6 +424,8 @@ impl Quantify {
         let (current_val, children_val) = match self.split_eval {
             SplitEvaluation::PaperSiblings => {
                 let cur = self.criterion.versus(&current, siblings, scores)?;
+                stats.histograms_built += 1 + siblings.len();
+                stats.emd_calls += siblings.len();
                 let hists_children: Vec<_> = children
                     .iter()
                     .map(|p| self.criterion.histogram(p, scores))
@@ -233,6 +439,8 @@ impl Quantify {
                     &hists_sib,
                     &self.criterion.emd,
                 )?;
+                stats.histograms_built += children.len() + siblings.len();
+                stats.emd_calls += children.len() * siblings.len();
                 (cur, self.criterion.aggregator.apply(&cross))
             }
             SplitEvaluation::Holistic => {
@@ -240,6 +448,9 @@ impl Quantify {
                 before.push(current.clone());
                 let mut after: Vec<Partition> = siblings.to_vec();
                 after.extend(children.iter().cloned());
+                stats.histograms_built += before.len() + after.len();
+                stats.emd_calls += before.len() * (before.len() - 1) / 2
+                    + after.len() * (after.len() - 1) / 2;
                 (
                     self.criterion.unfairness(&before, scores)?,
                     self.criterion.unfairness(&after, scores)?,
@@ -291,6 +502,8 @@ impl Quantify {
             }
             stats.candidate_splits += 1;
             let value = self.criterion.unfairness(&children, space.scores())?;
+            stats.histograms_built += children.len();
+            stats.emd_calls += children.len() * (children.len() - 1) / 2;
             let better = match best {
                 None => true,
                 Some((_, incumbent)) => self.criterion.objective.is_better(value, incumbent),
@@ -414,6 +627,63 @@ mod tests {
             .unwrap();
         assert!(outcome.tree.max_depth() <= 1);
         assert_eq!(outcome.partitions.len(), 2); // just the gender split
+    }
+
+    #[test]
+    fn max_depth_zero_yields_trivial_partitioning() {
+        let space = biased_space();
+        let outcome = Quantify::default()
+            .with_max_depth(0)
+            .run_space(&space)
+            .unwrap();
+        assert_eq!(outcome.partitions.len(), 1);
+        assert_eq!(outcome.unfairness, 0.0);
+        assert_eq!(outcome.stats.splits_performed, 0);
+        assert_eq!(outcome.tree.len(), 1);
+    }
+
+    #[test]
+    fn engine_and_naive_evaluations_agree_bitwise() {
+        let space = biased_space();
+        for objective in [Objective::MostUnfair, Objective::LeastUnfair] {
+            for eval in [SplitEvaluation::PaperSiblings, SplitEvaluation::Holistic] {
+                let crit = FairnessCriterion::new(objective, Aggregator::Mean);
+                let engine = Quantify::new(crit)
+                    .with_split_evaluation(eval)
+                    .run_space(&space)
+                    .unwrap();
+                let naive = Quantify::new(crit)
+                    .with_split_evaluation(eval)
+                    .with_naive_evaluation()
+                    .run_space(&space)
+                    .unwrap();
+                assert_eq!(engine.unfairness, naive.unfairness, "{objective:?}/{eval:?}");
+                assert_eq!(engine.partitions, naive.partitions);
+                assert_eq!(engine.tree, naive.tree);
+                assert_eq!(engine.stats.candidate_splits, naive.stats.candidate_splits);
+                assert_eq!(engine.stats.splits_performed, naive.stats.splits_performed);
+                assert_eq!(engine.stats.nodes_evaluated, naive.stats.nodes_evaluated);
+            }
+        }
+    }
+
+    #[test]
+    fn engine_does_strictly_less_work_than_naive() {
+        let space = biased_space();
+        let engine = Quantify::default().run_space(&space).unwrap();
+        let naive = Quantify::default()
+            .with_naive_evaluation()
+            .run_space(&space)
+            .unwrap();
+        assert!(
+            engine.stats.histograms_built < naive.stats.histograms_built,
+            "engine {} vs naive {}",
+            engine.stats.histograms_built,
+            naive.stats.histograms_built
+        );
+        assert!(engine.stats.emd_calls < naive.stats.emd_calls);
+        assert!(engine.stats.emd_cache_hits > 0);
+        assert_eq!(naive.stats.emd_cache_hits, 0);
     }
 
     #[test]

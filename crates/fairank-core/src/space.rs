@@ -166,6 +166,14 @@ impl RankingSpace {
         (0..self.scores.len() as u32).collect()
     }
 
+    /// The binned-score cache: each individual's histogram bin under `spec`,
+    /// computed once so repeated histogram builds over row subsets become
+    /// pure counting instead of re-deriving `bin_of(score)` per row (the
+    /// hottest inner loop of split evaluation).
+    pub fn bin_codes(&self, spec: &crate::histogram::HistogramSpec) -> Vec<u32> {
+        self.scores.iter().map(|&s| spec.bin_of(s) as u32).collect()
+    }
+
     /// Restricts the space to the given rows, producing a new, re-indexed
     /// space (used by protected-attribute filters).
     pub fn select(&self, rows: &[u32]) -> Result<Self> {
@@ -275,6 +283,18 @@ mod tests {
         let space = RankingSpace::new(vec![], vec![0.1, 0.2]).unwrap();
         assert!(space.select(&[5]).is_err());
         assert_eq!(space.select(&[]).unwrap_err(), CoreError::EmptyInput);
+    }
+
+    #[test]
+    fn bin_codes_match_bin_of() {
+        use crate::histogram::HistogramSpec;
+        let space = RankingSpace::new(vec![], vec![0.05, 0.55, 0.95, 1.0]).unwrap();
+        let spec = HistogramSpec::unit(10).unwrap();
+        let codes = space.bin_codes(&spec);
+        assert_eq!(codes.len(), 4);
+        for (&code, &score) in codes.iter().zip(space.scores()) {
+            assert_eq!(code as usize, spec.bin_of(score));
+        }
     }
 
     #[test]

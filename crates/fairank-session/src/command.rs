@@ -149,15 +149,38 @@ fn tokenize(line: &str) -> Vec<String> {
     out
 }
 
-fn opt<'a>(tokens: &'a [String], key: &str) -> Option<&'a str> {
+// Per-command `key=value` option sets. Each parse arm passes its own set to
+// `opt`/`opt_parse`/`positional`, which (a) keeps tokens with `=` under any
+// *other* key as positionals — file paths like `n=final.csv` only clash with
+// commands that actually take `n=` — and (b) debug-asserts that every option
+// lookup is listed, so the sets cannot drift from the lookups.
+const NO_OPTS: &[&str] = &[];
+const GENERATE_OPTS: &[&str] = &["n", "seed"];
+const DATA_OPTS: &[&str] = &["rows"];
+const ANONYMIZE_OPTS: &[&str] = &["k", "method"];
+const QUANTIFY_OPTS: &[&str] = &["objective", "agg", "bins", "emd", "where"];
+const SUBGROUPS_OPTS: &[&str] = &["depth", "min", "top"];
+const AUDIT_OPTS: &[&str] = &["n", "seed", "k"];
+const SCENARIO_OPTS: &[&str] = &["n", "seed"];
+
+fn opt<'a>(tokens: &'a [String], opts: &[&str], key: &str) -> Option<&'a str> {
+    debug_assert!(
+        opts.contains(&key),
+        "option key {key:?} is missing from the command's option set"
+    );
     let prefix = format!("{key}=");
     tokens
         .iter()
         .find_map(|t| t.strip_prefix(prefix.as_str()))
 }
 
-fn opt_parse<T: std::str::FromStr>(tokens: &[String], key: &str, default: T) -> Result<T> {
-    match opt(tokens, key) {
+fn opt_parse<T: std::str::FromStr>(
+    tokens: &[String],
+    opts: &[&str],
+    key: &str,
+    default: T,
+) -> Result<T> {
+    match opt(tokens, opts, key) {
         None => Ok(default),
         Some(raw) => raw
             .parse()
@@ -165,10 +188,17 @@ fn opt_parse<T: std::str::FromStr>(tokens: &[String], key: &str, default: T) -> 
     }
 }
 
-fn positional<'a>(tokens: &'a [String], idx: usize, what: &str) -> Result<&'a str> {
+fn positional<'a>(
+    tokens: &'a [String],
+    opts: &[&str],
+    idx: usize,
+    what: &str,
+) -> Result<&'a str> {
+    let is_option =
+        |t: &str| t.split_once('=').is_some_and(|(key, _)| opts.contains(&key));
     tokens
         .iter()
-        .filter(|t| !t.contains('='))
+        .filter(|t| !is_option(t))
         .nth(idx)
         .map(String::as_str)
         .ok_or_else(|| SessionError::Command(format!("missing {what}")))
@@ -198,31 +228,31 @@ impl Command {
             "panels" => Ok(Command::Panels),
             "quit" | "exit" => Ok(Command::Quit),
             "load" => Ok(Command::Load {
-                name: positional(rest, 0, "dataset name")?.to_string(),
-                path: positional(rest, 1, "CSV path")?.to_string(),
+                name: positional(rest, NO_OPTS, 0, "dataset name")?.to_string(),
+                path: positional(rest, NO_OPTS, 1, "CSV path")?.to_string(),
             }),
             "generate" => Ok(Command::Generate {
-                name: positional(rest, 0, "dataset name")?.to_string(),
-                preset: positional(rest, 1, "preset")?.to_string(),
-                n: opt_parse(rest, "n", 200)?,
-                seed: opt_parse(rest, "seed", 42)?,
+                name: positional(rest, GENERATE_OPTS, 0, "dataset name")?.to_string(),
+                preset: positional(rest, GENERATE_OPTS, 1, "preset")?.to_string(),
+                n: opt_parse(rest, GENERATE_OPTS, "n", 200)?,
+                seed: opt_parse(rest, GENERATE_OPTS, "seed", 42)?,
             }),
             "define" => Ok(Command::Define {
-                name: positional(rest, 0, "function name")?.to_string(),
-                expr: positional(rest, 1, "expression")?.to_string(),
+                name: positional(rest, NO_OPTS, 0, "function name")?.to_string(),
+                expr: positional(rest, NO_OPTS, 1, "expression")?.to_string(),
             }),
             "data" => Ok(Command::ShowData {
-                name: positional(rest, 0, "dataset name")?.to_string(),
-                rows: opt_parse(rest, "rows", 10)?,
+                name: positional(rest, DATA_OPTS, 0, "dataset name")?.to_string(),
+                rows: opt_parse(rest, DATA_OPTS, "rows", 10)?,
             }),
             "describe" => Ok(Command::Describe {
-                name: positional(rest, 0, "dataset name")?.to_string(),
+                name: positional(rest, NO_OPTS, 0, "dataset name")?.to_string(),
             }),
             "save" => Ok(Command::Save {
-                dir: positional(rest, 0, "directory")?.to_string(),
+                dir: positional(rest, NO_OPTS, 0, "directory")?.to_string(),
             }),
             "open" => Ok(Command::Open {
-                dir: positional(rest, 0, "directory")?.to_string(),
+                dir: positional(rest, NO_OPTS, 0, "directory")?.to_string(),
             }),
             "filter" => Ok(Command::DeriveFilter {
                 new_name: raw_positional(rest, 0, "new dataset name")?.to_string(),
@@ -230,7 +260,7 @@ impl Command {
                 expr: raw_positional(rest, 2, "filter expression")?.to_string(),
             }),
             "anonymize" => {
-                let method = match opt(rest, "method").unwrap_or("mondrian") {
+                let method = match opt(rest, ANONYMIZE_OPTS, "method").unwrap_or("mondrian") {
                     "mondrian" => AnonMethod::Mondrian,
                     "datafly" => AnonMethod::Datafly,
                     "incognito" => AnonMethod::Incognito,
@@ -241,26 +271,27 @@ impl Command {
                     }
                 };
                 Ok(Command::Anonymize {
-                    new_name: positional(rest, 0, "new dataset name")?.to_string(),
-                    source: positional(rest, 1, "source dataset")?.to_string(),
-                    k: opt_parse(rest, "k", 2)?,
+                    new_name: positional(rest, ANONYMIZE_OPTS, 0, "new dataset name")?
+                        .to_string(),
+                    source: positional(rest, ANONYMIZE_OPTS, 1, "source dataset")?.to_string(),
+                    k: opt_parse(rest, ANONYMIZE_OPTS, "k", 2)?,
                     method,
                 })
             }
             "quantify" => {
-                let objective = match opt(rest, "objective") {
+                let objective = match opt(rest, QUANTIFY_OPTS, "objective") {
                     None => Objective::default(),
                     Some(raw) => Objective::parse(raw).ok_or_else(|| {
                         SessionError::Command(format!("unknown objective {raw:?}"))
                     })?,
                 };
-                let aggregator = match opt(rest, "agg") {
+                let aggregator = match opt(rest, QUANTIFY_OPTS, "agg") {
                     None => Aggregator::default(),
                     Some(raw) => Aggregator::parse(raw).ok_or_else(|| {
                         SessionError::Command(format!("unknown aggregator {raw:?}"))
                     })?,
                 };
-                let emd = match opt(rest, "emd").unwrap_or("1d") {
+                let emd = match opt(rest, QUANTIFY_OPTS, "emd").unwrap_or("1d") {
                     "1d" => EmdBackend::OneD,
                     "transport" => EmdBackend::Transport,
                     other => {
@@ -270,63 +301,63 @@ impl Command {
                     }
                 };
                 Ok(Command::Quantify {
-                    dataset: positional(rest, 0, "dataset")?.to_string(),
-                    function: positional(rest, 1, "function")?.to_string(),
+                    dataset: positional(rest, QUANTIFY_OPTS, 0, "dataset")?.to_string(),
+                    function: positional(rest, QUANTIFY_OPTS, 1, "function")?.to_string(),
                     objective,
                     aggregator,
-                    bins: opt_parse(rest, "bins", 10)?,
+                    bins: opt_parse(rest, QUANTIFY_OPTS, "bins", 10)?,
                     emd,
-                    filter: opt(rest, "where").map(str::to_string),
+                    filter: opt(rest, QUANTIFY_OPTS, "where").map(str::to_string),
                     opaque: rest.iter().any(|t| t == "opaque"),
                 })
             }
             "show" => Ok(Command::Show {
-                panel: positional(rest, 0, "panel id")?
+                panel: positional(rest, NO_OPTS, 0, "panel id")?
                     .parse()
                     .map_err(|_| SessionError::Command("panel id must be a number".into()))?,
             }),
             "node" => Ok(Command::Node {
-                panel: positional(rest, 0, "panel id")?
+                panel: positional(rest, NO_OPTS, 0, "panel id")?
                     .parse()
                     .map_err(|_| SessionError::Command("panel id must be a number".into()))?,
-                node: positional(rest, 1, "node id")?
+                node: positional(rest, NO_OPTS, 1, "node id")?
                     .parse()
                     .map_err(|_| SessionError::Command("node id must be a number".into()))?,
             }),
             "why" => Ok(Command::Why {
-                panel: positional(rest, 0, "panel id")?
+                panel: positional(rest, NO_OPTS, 0, "panel id")?
                     .parse()
                     .map_err(|_| SessionError::Command("panel id must be a number".into()))?,
-                node: positional(rest, 1, "node id")?
+                node: positional(rest, NO_OPTS, 1, "node id")?
                     .parse()
                     .map_err(|_| SessionError::Command("node id must be a number".into()))?,
             }),
             "compare" => Ok(Command::Compare {
-                a: positional(rest, 0, "first panel")?
+                a: positional(rest, NO_OPTS, 0, "first panel")?
                     .parse()
                     .map_err(|_| SessionError::Command("panel id must be a number".into()))?,
-                b: positional(rest, 1, "second panel")?
+                b: positional(rest, NO_OPTS, 1, "second panel")?
                     .parse()
                     .map_err(|_| SessionError::Command("panel id must be a number".into()))?,
             }),
             "export" => Ok(Command::Export {
-                panel: positional(rest, 0, "panel id")?
+                panel: positional(rest, NO_OPTS, 0, "panel id")?
                     .parse()
                     .map_err(|_| SessionError::Command("panel id must be a number".into()))?,
-                path: positional(rest, 1, "output path")?.to_string(),
+                path: positional(rest, NO_OPTS, 1, "output path")?.to_string(),
             }),
             "subgroups" => Ok(Command::Subgroups {
-                dataset: positional(rest, 0, "dataset")?.to_string(),
-                function: positional(rest, 1, "function")?.to_string(),
-                depth: opt_parse(rest, "depth", 2)?,
-                min_size: opt_parse(rest, "min", 5)?,
-                top: opt_parse(rest, "top", 5)?,
+                dataset: positional(rest, SUBGROUPS_OPTS, 0, "dataset")?.to_string(),
+                function: positional(rest, SUBGROUPS_OPTS, 1, "function")?.to_string(),
+                depth: opt_parse(rest, SUBGROUPS_OPTS, "depth", 2)?,
+                min_size: opt_parse(rest, SUBGROUPS_OPTS, "min", 5)?,
+                top: opt_parse(rest, SUBGROUPS_OPTS, "top", 5)?,
             }),
             "audit" => Ok(Command::Audit {
-                preset: positional(rest, 0, "marketplace preset")?.to_string(),
-                n: opt_parse(rest, "n", 300)?,
-                seed: opt_parse(rest, "seed", 42)?,
-                k: opt(rest, "k")
+                preset: positional(rest, AUDIT_OPTS, 0, "marketplace preset")?.to_string(),
+                n: opt_parse(rest, AUDIT_OPTS, "n", 300)?,
+                seed: opt_parse(rest, AUDIT_OPTS, "seed", 42)?,
+                k: opt(rest, AUDIT_OPTS, "k")
                     .map(|raw| {
                         raw.parse().map_err(|_| {
                             SessionError::Command(format!("cannot parse k={raw}"))
@@ -336,17 +367,17 @@ impl Command {
                 ranking_only: rest.iter().any(|t| t == "ranking-only"),
             }),
             "jobowner" => Ok(Command::JobOwner {
-                preset: positional(rest, 0, "marketplace preset")?.to_string(),
-                job: positional(rest, 1, "job id")?.to_string(),
-                skill: positional(rest, 2, "skill")?.to_string(),
-                n: opt_parse(rest, "n", 300)?,
-                seed: opt_parse(rest, "seed", 42)?,
+                preset: positional(rest, SCENARIO_OPTS, 0, "marketplace preset")?.to_string(),
+                job: positional(rest, SCENARIO_OPTS, 1, "job id")?.to_string(),
+                skill: positional(rest, SCENARIO_OPTS, 2, "skill")?.to_string(),
+                n: opt_parse(rest, SCENARIO_OPTS, "n", 300)?,
+                seed: opt_parse(rest, SCENARIO_OPTS, "seed", 42)?,
             }),
             "enduser" => Ok(Command::EndUser {
                 preset: raw_positional(rest, 0, "marketplace preset")?.to_string(),
                 group: raw_positional(rest, 1, "group filter")?.to_string(),
-                n: opt_parse(&rest[2..], "n", 300)?,
-                seed: opt_parse(&rest[2..], "seed", 42)?,
+                n: opt_parse(&rest[2..], SCENARIO_OPTS, "n", 300)?,
+                seed: opt_parse(&rest[2..], SCENARIO_OPTS, "seed", 42)?,
             }),
             other => Err(SessionError::Command(format!("unknown command {other:?}"))),
         }
@@ -620,7 +651,10 @@ pub fn execute(session: &mut Session, command: Command) -> Result<String> {
             let f = session.function(&function)?.clone();
             let ds = session.dataset(&dataset)?;
             let space = ds.to_space(&ScoreSource::Function(f))?;
-            let criterion = FairnessCriterion::default();
+            // Fit the histogram range to the observed scores, as `quantify`
+            // does — otherwise out-of-range scores saturate the edge bins
+            // and every subgroup reports zero divergence.
+            let criterion = FairnessCriterion::default().fit_range(&space);
             let stats = subgroup_stats(&space, &criterion, depth, min_size)?;
             let mut out = format!(
                 "subgroups of {dataset} under {function} (depth ≤ {depth}, size ≥ {min_size}): {}\n",
@@ -727,6 +761,48 @@ mod tests {
         assert_eq!(f.terms().len(), 2);
         assert!(parse_scoring("rating").is_err());
         assert!(parse_scoring("rating*x").is_err());
+    }
+
+    #[test]
+    fn positionals_may_contain_equals_signs() {
+        // A path with `=` is not a recognized key=value option, so it stays
+        // a positional instead of producing "missing CSV path".
+        let cmd = Command::parse("load d results=final.csv").unwrap();
+        assert_eq!(
+            cmd,
+            Command::Load {
+                name: "d".into(),
+                path: "results=final.csv".into(),
+            }
+        );
+        // Option sets are per command: `load` takes no options, so even a
+        // path that collides with another command's key stays positional.
+        let cmd = Command::parse("load d n=final.csv").unwrap();
+        assert_eq!(
+            cmd,
+            Command::Load {
+                name: "d".into(),
+                path: "n=final.csv".into(),
+            }
+        );
+        // Recognized options are still skipped by positional lookup.
+        let cmd = Command::parse("data pop rows=3").unwrap();
+        assert_eq!(
+            cmd,
+            Command::ShowData {
+                name: "pop".into(),
+                rows: 3,
+            }
+        );
+        // An export path with `=` works too.
+        let cmd = Command::parse("export 0 out=dir/panel.json").unwrap();
+        assert_eq!(
+            cmd,
+            Command::Export {
+                panel: 0,
+                path: "out=dir/panel.json".into(),
+            }
+        );
     }
 
     #[test]

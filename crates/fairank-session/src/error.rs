@@ -19,6 +19,9 @@ pub enum SessionError {
     UnknownNode { panel: usize, node: usize },
     /// A name is already taken.
     NameTaken(String),
+    /// A dataset name is unusable as a session file stem (path separators,
+    /// `..` or other traversal material).
+    InvalidName(String),
     /// A command failed to parse.
     Command(String),
     /// An error bubbled up from the core crate.
@@ -45,6 +48,11 @@ impl fmt::Display for SessionError {
                 write!(f, "panel #{panel} has no node {node}")
             }
             SessionError::NameTaken(name) => write!(f, "name {name:?} is already in use"),
+            SessionError::InvalidName(name) => write!(
+                f,
+                "dataset name {name:?} cannot be used as a session file name \
+                 (path separators and '..' are not allowed)"
+            ),
             SessionError::Command(msg) => write!(f, "command error: {msg}"),
             SessionError::Core(e) => write!(f, "{e}"),
             SessionError::Data(e) => write!(f, "{e}"),
@@ -100,6 +108,9 @@ mod tests {
             .to_string()
             .contains("node 9"));
         assert!(SessionError::NameTaken("x".into()).to_string().contains("in use"));
+        assert!(SessionError::InvalidName("../x".into())
+            .to_string()
+            .contains("not allowed"));
         assert!(SessionError::Command("bad".into()).to_string().contains("bad"));
         assert!(SessionError::Json("eof".into()).to_string().contains("eof"));
     }

@@ -27,6 +27,14 @@ pub struct GeneralInfo {
     pub individuals: usize,
     /// Search wall-clock time in microseconds.
     pub elapsed_us: u128,
+    /// Candidate (node, attribute) splits the search scored.
+    pub candidate_splits: usize,
+    /// Histograms the evaluation engine actually built.
+    pub histograms_built: usize,
+    /// EMD distances actually computed.
+    pub emd_calls: usize,
+    /// Distance lookups served from the engine's memo table.
+    pub emd_cache_hits: usize,
 }
 
 /// Statistics of one tree node (the *Node* box).
@@ -84,6 +92,10 @@ impl Panel {
             max_depth: self.outcome.tree.max_depth(),
             individuals: self.space.num_individuals(),
             elapsed_us: self.outcome.elapsed.as_micros(),
+            candidate_splits: self.outcome.stats.candidate_splits,
+            histograms_built: self.outcome.stats.histograms_built,
+            emd_calls: self.outcome.stats.emd_calls,
+            emd_cache_hits: self.outcome.stats.emd_cache_hits,
         }
     }
 

@@ -29,10 +29,32 @@ pub struct Manifest {
 /// Current manifest format version.
 pub const MANIFEST_VERSION: u32 = 1;
 
+/// Rejects dataset names that cannot serve as a file stem inside the
+/// session directory: path separators, `..`, leading dots, or anything
+/// else that would let `<name>.dataset.json` escape (or hide inside) the
+/// directory. [`Session::add_dataset`] applies it when a name enters the
+/// session (so a bad name cannot wedge a later save), and save *and* load
+/// re-check, so a hand-edited manifest cannot traverse either.
+pub(crate) fn validate_dataset_name(name: &str) -> Result<()> {
+    // `:` blocks Windows drive-relative names like `C:evil`, whose Prefix
+    // component makes `Path::join` discard the session directory entirely.
+    let traverses = name.is_empty()
+        || name.contains(['/', '\\', ':'])
+        || name.contains("..")
+        || name.starts_with('.');
+    if traverses {
+        return Err(SessionError::InvalidName(name.to_string()));
+    }
+    Ok(())
+}
+
 /// Saves the session's datasets and functions into `dir` (created if
 /// absent). Existing files of a previous save are overwritten.
 pub fn save_session(session: &Session, dir: impl AsRef<Path>) -> Result<()> {
     let dir = dir.as_ref();
+    for name in session.dataset_names() {
+        validate_dataset_name(name)?;
+    }
     std::fs::create_dir_all(dir)?;
     let mut manifest = Manifest {
         version: MANIFEST_VERSION,
@@ -70,6 +92,7 @@ pub fn load_session(dir: impl AsRef<Path>) -> Result<Session> {
     }
     let mut session = Session::new();
     for name in &manifest.datasets {
+        validate_dataset_name(name)?;
         let path = dir.join(format!("{name}.dataset.json"));
         let ds = fairank_data::json::read_json_file(&path)?;
         session.add_dataset(name, ds)?;
@@ -126,6 +149,34 @@ mod tests {
             .quantify(crate::config::Configuration::new("table1", "paper-f"))
             .unwrap();
         assert!(loaded.panel(id).unwrap().outcome.unfairness > 0.0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn traversing_dataset_names_cannot_escape_the_session_dir() {
+        let dir = tmpdir("traversal");
+        for bad in ["../evil", "a/b", r"a\b", "..", ".hidden", "C:evil"] {
+            // Rejected at the session chokepoint, before any save can run.
+            let mut s = Session::new();
+            let err = s.add_dataset(bad, paper::table1_dataset()).unwrap_err();
+            assert!(
+                matches!(err, SessionError::InvalidName(_)),
+                "{bad:?} gave {err}"
+            );
+        }
+        // Nothing was written outside (or inside) the target directory.
+        assert!(!dir.exists());
+        // A hand-edited manifest with a traversing name is rejected too.
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(
+            dir.join("manifest.json"),
+            r#"{"version": 1, "datasets": ["../evil"], "functions": []}"#,
+        )
+        .unwrap();
+        assert!(matches!(
+            load_session(&dir).unwrap_err(),
+            SessionError::InvalidName(_)
+        ));
         std::fs::remove_dir_all(&dir).ok();
     }
 

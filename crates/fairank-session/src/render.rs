@@ -110,7 +110,9 @@ fn render_node(
     }
 }
 
-/// Renders the *General* box of a panel.
+/// Renders the *General* box of a panel, including the evaluation engine's
+/// work counters (how much the caches saved is `emd cache hits` relative to
+/// `EMD calls`).
 pub fn render_general(panel: &Panel) -> String {
     let info = panel.general_info();
     format!(
@@ -120,7 +122,10 @@ pub fn render_general(panel: &Panel) -> String {
          tree nodes      {}\n\
          max depth       {}\n\
          individuals     {}\n\
-         search time     {} µs\n",
+         search time     {} µs\n\
+         splits scored   {}\n\
+         histograms      {}\n\
+         EMD calls       {} ({} cache hits)\n",
         panel.id,
         panel.config.describe(),
         info.unfairness,
@@ -128,7 +133,11 @@ pub fn render_general(panel: &Panel) -> String {
         info.tree_nodes,
         info.max_depth,
         info.individuals,
-        info.elapsed_us
+        info.elapsed_us,
+        info.candidate_splits,
+        info.histograms_built,
+        info.emd_calls,
+        info.emd_cache_hits,
     )
 }
 
@@ -230,6 +239,9 @@ mod tests {
         assert!(text.contains("unfairness"));
         assert!(text.contains("partitions"));
         assert!(text.contains("table1"));
+        assert!(text.contains("splits scored"));
+        assert!(text.contains("EMD calls"));
+        assert!(text.contains("cache hits"));
     }
 
     #[test]

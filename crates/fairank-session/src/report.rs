@@ -68,8 +68,12 @@ pub fn auditor_report(
     for job in marketplace.jobs() {
         let obs = marketplace.observe(&job.id, transparency)?;
         let space = obs.dataset.to_space(&obs.source)?;
-        let outcome = Quantify::new(*criterion).run_space(&space)?;
-        let stats = subgroup_stats(&space, criterion, subgroup_depth, min_subgroup)?;
+        // Fit the histogram to the observed score range, as the session's
+        // quantify does — unnormalized job scorings must not saturate the
+        // unit-range edge bins.
+        let fitted = criterion.fit_range(&space);
+        let outcome = Quantify::new(fitted).run_space(&space)?;
+        let stats = subgroup_stats(&space, &fitted, subgroup_depth, min_subgroup)?;
         let most = most_favored(&stats, 1);
         let least = least_favored(&stats, 1);
         rows.push(AuditorJobRow {
@@ -152,6 +156,11 @@ pub struct JobOwnerReport {
 /// Sweeps the weight of `skill` in `base` over `weights` and quantifies
 /// each variant on `dataset`. The remaining weights are rescaled so all
 /// weights sum to 1 (keeping scores in `[0, 1]`).
+///
+/// The sweep deliberately keeps the criterion's histogram range fixed
+/// across variants instead of fitting it per variant: rebalancing already
+/// guarantees `[0, 1]` scores, and picking the fairest variant requires
+/// every row's unfairness to be measured in the same score units.
 pub fn job_owner_sweep(
     dataset: &Dataset,
     base: &LinearScoring,

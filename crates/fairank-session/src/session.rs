@@ -48,9 +48,13 @@ impl Session {
 
     // ---- datasets -------------------------------------------------------
 
-    /// Registers a dataset under a unique name.
+    /// Registers a dataset under a unique name. Names are validated here —
+    /// the chokepoint every dataset passes through — so a name that could
+    /// escape the session directory on `save` is rejected immediately
+    /// instead of wedging the save later.
     pub fn add_dataset(&mut self, name: impl Into<String>, dataset: Dataset) -> Result<()> {
         let name = name.into();
+        crate::persist::validate_dataset_name(&name)?;
         if self.datasets.contains_key(&name) {
             return Err(SessionError::NameTaken(name));
         }
@@ -160,7 +164,13 @@ impl Session {
 
     /// Runs a configuration and appends the resulting panel. Returns the
     /// new panel's id.
-    pub fn quantify(&mut self, config: Configuration) -> Result<usize> {
+    ///
+    /// The criterion's histogram range is fitted to the observed score
+    /// range first ("equal bins over the range of f"), so scoring functions
+    /// outside `[0, 1]` no longer saturate the edge bins; the fitted
+    /// criterion is stored in the panel's configuration so node statistics
+    /// and renderings use the same bins the search did.
+    pub fn quantify(&mut self, mut config: Configuration) -> Result<usize> {
         let dataset = self.dataset(&config.dataset)?;
         let working = if config.filter.is_empty() {
             dataset.clone()
@@ -172,6 +182,7 @@ impl Session {
             ScoringChoice::Inline(source) => source.clone(),
         };
         let space = working.to_space(&source)?;
+        config.criterion = config.criterion.fit_range(&space);
         let outcome = Quantify::new(config.criterion).run_space(&space)?;
         let id = self.panels.len();
         self.panels.push(Panel {
@@ -217,7 +228,9 @@ impl Session {
                 ScoringChoice::Inline(source) => source.clone(),
             };
             let space = working.to_space(&source)?;
-            prepared.push((config.clone(), space));
+            let mut config = config.clone();
+            config.criterion = config.criterion.fit_range(&space);
+            prepared.push((config, space));
         }
         let outcomes: Vec<Result<_>> = std::thread::scope(|scope| {
             let handles: Vec<_> = prepared
@@ -391,19 +404,50 @@ mod tests {
             .collect();
         let ids = s.quantify_grid(configs).unwrap();
         assert_eq!(ids, vec![0, 1, 2, 3, 4, 5]);
-        // Each grid panel matches its sequential counterpart.
-        for (id, agg) in ids.iter().zip(Aggregator::all()) {
-            let sequential = Quantify::new(FairnessCriterion::new(
-                Objective::MostUnfair,
-                agg,
-            ))
-            .run_space(&s.panel(*id).unwrap().space)
-            .unwrap();
+        // Each grid panel matches its sequential counterpart (the panel's
+        // stored criterion is the range-fitted one the grid ran with).
+        for id in &ids {
+            let sequential = Quantify::new(s.panel(*id).unwrap().config.criterion)
+                .run_space(&s.panel(*id).unwrap().space)
+                .unwrap();
             assert!(
                 (s.panel(*id).unwrap().outcome.unfairness - sequential.unfairness).abs()
                     < 1e-12
             );
         }
+    }
+
+    #[test]
+    fn quantify_fits_histogram_to_score_range() {
+        // Scores far outside [0, 1]: under the old hard-coded unit-range
+        // histogram every score saturated into the last bin and unfairness
+        // read 0.0 despite the groups being perfectly separated.
+        let mut s = Session::new();
+        let ds = Dataset::builder()
+            .categorical(
+                "g",
+                AttributeRole::Protected,
+                &["a", "a", "a", "b", "b", "b"],
+            )
+            .float(
+                "skill",
+                AttributeRole::Observed,
+                vec![10.0, 11.0, 10.5, 19.0, 20.0, 19.5],
+            )
+            .build()
+            .unwrap();
+        s.add_dataset("wide", ds).unwrap();
+        let f = LinearScoring::builder()
+            .weight("skill", 1.0)
+            .build_unchecked()
+            .unwrap();
+        s.add_function("f", f).unwrap();
+        let id = s.quantify(Configuration::new("wide", "f")).unwrap();
+        let p = s.panel(id).unwrap();
+        assert!(p.outcome.unfairness > 0.5, "u = {}", p.outcome.unfairness);
+        // The stored criterion reflects the fitted range, so node boxes and
+        // renderings bin the same way the search did.
+        assert!(p.config.criterion.hist.hi() > 1.0);
     }
 
     #[test]
