@@ -1,24 +1,42 @@
-//! `fairank` — the interactive REPL over the FaiRank session engine.
+//! `fairank` — the interactive front end over the FaiRank session engine.
 //!
 //! This binary is the reproduction's stand-in for the paper's web interface
 //! (Figure 3): the same Configuration/General/Node interactions, driven by
-//! the command language of `fairank_session::command`.
+//! the command language of `fairank_session::command`. Since the typed-API
+//! redesign it is a thin renderer over `apply` — every mode runs commands
+//! through the same structured [`Response`] layer the server ships as JSON.
 //!
-//! Run `fairank` and type `help`, or pipe a script:
+//! Modes:
+//! * **REPL** (default): `fairank` and type `help`, or pipe a script.
+//! * **Script**: `fairank script.frk` runs a command file (`#` comments).
+//! * **Demo**: a `demo` argument preloads the paper's Table 1 dataset and
+//!   scoring function as `table1` / `paper-f`.
+//! * **Serve**: `fairank serve --addr 127.0.0.1:4915` exposes the
+//!   multi-session JSON-lines server of `fairank-service`.
+//! * **Connect**: `fairank connect 127.0.0.1:4915 [--session name]` is a
+//!   remote REPL: commands go over the wire, structured replies render
+//!   locally to the exact same text.
+//!
 //! ```text
 //! printf 'generate pop biased\ndefine f rating*1.0\nquantify pop f\n' | fairank
 //! ```
-//! A `demo` argument preloads the paper's Table 1 dataset and scoring
-//! function under the names `table1` / `paper-f`.
 
-use std::io::{BufRead, Write};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
 
-use fairank_session::command::{execute, Command};
-use fairank_session::Session;
+use fairank_service::{Reply, Request, Server, ServerConfig};
+use fairank_session::command::{apply, Command};
+use fairank_session::{present, Response, Session};
 
 fn main() {
-    let mut session = Session::new();
     let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("serve") => return serve_mode(&args[1..]),
+        Some("connect") => return connect_mode(&args[1..]),
+        _ => {}
+    }
+
+    let mut session = Session::new();
     if args.iter().any(|a| a == "demo") {
         session
             .add_dataset("table1", fairank_data::paper::table1_dataset())
@@ -47,9 +65,9 @@ fn main() {
                     continue;
                 }
                 println!("fairank> {line}");
-                match Command::parse(line).and_then(|c| execute(&mut session, c)) {
-                    Ok(out) if out == "quit" => return,
-                    Ok(out) => println!("{out}"),
+                match Command::parse(line).and_then(|c| apply(&mut session, c)) {
+                    Ok(Response::Quit) => return,
+                    Ok(response) => println!("{}", present::render(&response)),
                     Err(e) => {
                         eprintln!("error: {e}");
                         std::process::exit(1);
@@ -78,10 +96,121 @@ fn main() {
         if line.is_empty() {
             continue;
         }
-        match Command::parse(line).and_then(|c| execute(&mut session, c)) {
-            Ok(out) if out == "quit" => break,
-            Ok(out) => println!("{out}"),
+        match Command::parse(line).and_then(|c| apply(&mut session, c)) {
+            Ok(Response::Quit) => break,
+            Ok(response) => println!("{}", present::render(&response)),
             Err(e) => eprintln!("error: {e}"),
+        }
+    }
+}
+
+/// Reads the value following `--<key>` in an argument list.
+fn flag_value<'a>(args: &'a [String], key: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+/// `fairank serve [--addr host:port] [--workers n] [--allow-fs]` — the
+/// multi-session JSON-lines server. `--addr` with port 0 picks an
+/// ephemeral port; the actual address is printed as `listening on <addr>`.
+/// Filesystem commands (`load`/`save`/`open`/`export`) are refused from
+/// the wire unless `--allow-fs` is given.
+fn serve_mode(args: &[String]) {
+    let addr = flag_value(args, "--addr").unwrap_or("127.0.0.1:4915");
+    let workers = flag_value(args, "--workers")
+        .map(|raw| match raw.parse::<usize>() {
+            Ok(n) => n,
+            Err(_) => {
+                eprintln!("--workers must be a number, got {raw:?}");
+                std::process::exit(2);
+            }
+        })
+        .unwrap_or(0);
+    let config = ServerConfig {
+        workers,
+        queue_depth: 0,
+        allow_fs_commands: args.iter().any(|a| a == "--allow-fs"),
+    };
+    let server = match Server::bind(addr, config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("cannot bind {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let local = server.local_addr().expect("bound listener has an address");
+    println!("listening on {local}");
+    std::io::stdout().flush().ok();
+    server.run();
+}
+
+/// `fairank connect <addr> [--session name]` — a remote REPL: each input
+/// line becomes one wire request; structured replies render locally.
+fn connect_mode(args: &[String]) {
+    let Some(addr) = args.first().filter(|a| !a.starts_with("--")) else {
+        eprintln!("usage: fairank connect <host:port> [--session name]");
+        std::process::exit(2);
+    };
+    let session = flag_value(args, "--session").unwrap_or(fairank_service::DEFAULT_SESSION);
+    let stream = match TcpStream::connect(addr) {
+        Ok(stream) => stream,
+        Err(e) => {
+            eprintln!("cannot connect to {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
+    let mut writer = stream;
+    let stdin = std::io::stdin();
+    println!("connected to {addr} (session {session:?}; type `help`, `quit` to leave)");
+    loop {
+        print!("fairank> ");
+        std::io::stdout().flush().ok();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break, // EOF
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("input error: {e}");
+                break;
+            }
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let request = Request::in_session(session, line);
+        let payload = serde_json::to_string(&request).expect("request serializes");
+        if writer
+            .write_all(payload.as_bytes())
+            .and_then(|()| writer.write_all(b"\n"))
+            .and_then(|()| writer.flush())
+            .is_err()
+        {
+            eprintln!("connection lost");
+            std::process::exit(1);
+        }
+        let mut reply_line = String::new();
+        match reader.read_line(&mut reply_line) {
+            Ok(0) => {
+                eprintln!("server closed the connection");
+                break;
+            }
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("connection error: {e}");
+                std::process::exit(1);
+            }
+        }
+        match serde_json::from_str::<Reply>(reply_line.trim()) {
+            Ok(reply) => match reply.into_result() {
+                Ok(Response::Quit) => break,
+                Ok(response) => println!("{}", present::render(&response)),
+                Err(e) => eprintln!("error: {}", e.message),
+            },
+            Err(e) => eprintln!("malformed reply: {e}"),
         }
     }
 }

@@ -1,0 +1,149 @@
+//! End-to-end smoke test of `fairank serve`: spawn the real binary on an
+//! ephemeral port, drive a scripted quantification over TCP, and assert
+//! the reply is structured (parsed from the wire envelope, not scraped
+//! from rendered text).
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::process::{Child, Command, Stdio};
+
+use fairank_service::{Reply, Request};
+use fairank_session::Response;
+
+struct ServeGuard(Child);
+
+impl Drop for ServeGuard {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+/// Spawns `fairank serve --addr 127.0.0.1:0` and returns the child plus
+/// the actual address parsed from its `listening on <addr>` banner.
+fn spawn_server() -> (ServeGuard, String) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_fairank"))
+        .args(["serve", "--addr", "127.0.0.1:0", "--workers", "2"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("binary spawns");
+    let stdout = child.stdout.take().expect("stdout piped");
+    let mut banner = String::new();
+    BufReader::new(stdout)
+        .read_line(&mut banner)
+        .expect("read banner");
+    let addr = banner
+        .trim()
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected banner {banner:?}"))
+        .to_string();
+    (ServeGuard(child), addr)
+}
+
+fn roundtrip(
+    reader: &mut BufReader<TcpStream>,
+    writer: &mut TcpStream,
+    request: &Request,
+) -> Reply {
+    let line = serde_json::to_string(request).expect("serialize request");
+    writer
+        .write_all(line.as_bytes())
+        .and_then(|()| writer.write_all(b"\n"))
+        .and_then(|()| writer.flush())
+        .expect("send request");
+    let mut reply = String::new();
+    reader.read_line(&mut reply).expect("read reply");
+    serde_json::from_str(reply.trim()).expect("reply parses")
+}
+
+#[test]
+fn serve_mode_answers_scripted_quantify_with_structured_response() {
+    let (_guard, addr) = spawn_server();
+    let stream = TcpStream::connect(&addr).expect("connect to served port");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut writer = stream;
+
+    for setup in [
+        "generate pop biased n=100 seed=11",
+        "define f rating*0.7+language_test*0.3",
+    ] {
+        let reply = roundtrip(&mut reader, &mut writer, &Request::in_session("smoke", setup));
+        assert!(reply.is_ok(), "{setup:?} failed: {reply:?}");
+    }
+
+    let reply = roundtrip(
+        &mut reader,
+        &mut writer,
+        &Request::in_session("smoke", "quantify pop f bins=8"),
+    );
+    match reply.into_result().expect("quantify succeeds") {
+        Response::PanelCreated(view) => {
+            assert_eq!(view.id, 0);
+            assert!(view.unfairness > 0.0);
+            assert!(view.num_partitions >= 1);
+            assert_eq!(view.individuals, 100);
+            // The tree came through as data: every leaf histogram has the
+            // requested number of bins.
+            assert!(view
+                .nodes
+                .iter()
+                .filter(|n| n.is_leaf)
+                .all(|n| n.histogram.len() == 8));
+        }
+        other => panic!("expected PanelCreated, got {other:?}"),
+    }
+
+    // Errors are structured too.
+    let reply = roundtrip(
+        &mut reader,
+        &mut writer,
+        &Request::in_session("smoke", "show 9"),
+    );
+    assert_eq!(reply.into_result().unwrap_err().kind, "unknown_panel");
+}
+
+#[test]
+fn connect_mode_renders_the_classic_transcript() {
+    let (_guard, addr) = spawn_server();
+    let mut client = Command::new(env!("CARGO_BIN_EXE_fairank"))
+        .args(["connect", &addr, "--session", "remote"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("client spawns");
+    client
+        .stdin
+        .as_mut()
+        .expect("stdin piped")
+        .write_all(
+            b"generate pop biased n=80 seed=4\n\
+              define f rating*1.0\n\
+              quantify pop f\n\
+              node 0 0\n\
+              quit\n",
+        )
+        .expect("write stdin");
+    let output = client.wait_with_output().expect("client exits");
+    assert!(
+        output.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    // The remote transcript is the same text the local REPL prints.
+    assert!(stdout.contains("generated pop = biased(n=80, seed=4)"));
+    assert!(stdout.contains("panel #0"));
+    assert!(stdout.contains("Node [0] ALL"));
+}
+
+#[test]
+fn serve_mode_rejects_bad_flags() {
+    let output = Command::new(env!("CARGO_BIN_EXE_fairank"))
+        .args(["serve", "--workers", "many"])
+        .output()
+        .expect("binary runs");
+    assert!(!output.status.success());
+    assert!(String::from_utf8_lossy(&output.stderr).contains("--workers"));
+}

@@ -100,6 +100,134 @@ impl Hasher for EngineHasher {
 
 type EngineMap<K, V> = HashMap<K, V, BuildHasherDefault<EngineHasher>>;
 
+// ---- small-input bypass ---------------------------------------------------
+//
+// On small spaces the hash maps' per-lookup overhead (hashing a path
+// vector, probing, allocation growth) exceeds the arithmetic it saves —
+// the ROADMAP's "slightly slower than naive on ≤1k rows" soft spot. Small
+// runs produce only a handful of distinct paths/contents, so the engine
+// swaps each map for a compact structure with identical semantics: linear
+// scans for the two interning tables, a dense id×id matrix for the EMD
+// memo. Caching behavior (hence stats and results) is bit-for-bit the
+// same; only the container changes.
+
+/// Row-count ceiling for the compact (bypass) caches.
+const SMALL_SPACE_ROWS: usize = 1024;
+/// Attribute-count ceiling for the compact caches (more attributes mean
+/// more distinct paths, where linear scans stop paying off).
+const SMALL_SPACE_ATTRS: usize = 4;
+/// Total-cardinality ceiling (sum over attributes of distinct values).
+/// Cache entry counts — and the dense matrix's stride — grow with the
+/// number of distinct partitions, which is driven by cardinality, not by
+/// attribute count; a 2-attribute space with a 1000-value column would
+/// turn the linear scans quadratic and the matrix huge.
+const SMALL_SPACE_CARDINALITY: usize = 64;
+
+/// Histogram path cache: partition path → interned content id.
+#[derive(Debug)]
+enum PathCache {
+    Hashed(EngineMap<Vec<PathStep>, u32>),
+    Compact(Vec<(Vec<PathStep>, u32)>),
+}
+
+impl PathCache {
+    fn get(&self, path: &[PathStep]) -> Option<u32> {
+        match self {
+            PathCache::Hashed(map) => map.get(path).copied(),
+            PathCache::Compact(entries) => entries
+                .iter()
+                .find(|(key, _)| key.as_slice() == path)
+                .map(|&(_, id)| id),
+        }
+    }
+
+    fn insert(&mut self, path: Vec<PathStep>, id: u32) {
+        match self {
+            PathCache::Hashed(map) => {
+                map.insert(path, id);
+            }
+            PathCache::Compact(entries) => entries.push((path, id)),
+        }
+    }
+}
+
+/// Interning table: distinct histogram contents → id.
+#[derive(Debug)]
+enum ContentCache {
+    Hashed(EngineMap<Vec<u64>, u32>),
+    Compact(Vec<(Vec<u64>, u32)>),
+}
+
+impl ContentCache {
+    fn get(&self, counts: &[u64]) -> Option<u32> {
+        match self {
+            ContentCache::Hashed(map) => map.get(counts).copied(),
+            ContentCache::Compact(entries) => entries
+                .iter()
+                .find(|(key, _)| key.as_slice() == counts)
+                .map(|&(_, id)| id),
+        }
+    }
+
+    fn insert(&mut self, counts: Vec<u64>, id: u32) {
+        match self {
+            ContentCache::Hashed(map) => {
+                map.insert(counts, id);
+            }
+            ContentCache::Compact(entries) => entries.push((counts, id)),
+        }
+    }
+}
+
+/// EMD memo keyed by the (directed) pair of content ids. The compact form
+/// is a dense stride×stride matrix: content ids are small and dense, so a
+/// direct index beats hashing by an order of magnitude on the memo's very
+/// hot lookup path.
+#[derive(Debug)]
+enum EmdMemo {
+    Hashed(EngineMap<(u32, u32), f64>),
+    Dense { stride: usize, cells: Vec<Option<f64>> },
+}
+
+impl EmdMemo {
+    fn get(&self, a: u32, b: u32) -> Option<f64> {
+        match self {
+            EmdMemo::Hashed(map) => map.get(&(a, b)).copied(),
+            EmdMemo::Dense { stride, cells } => {
+                let (a, b) = (a as usize, b as usize);
+                if a < *stride && b < *stride {
+                    cells[a * stride + b]
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    fn insert(&mut self, a: u32, b: u32, d: f64) {
+        match self {
+            EmdMemo::Hashed(map) => {
+                map.insert((a, b), d);
+            }
+            EmdMemo::Dense { stride, cells } => {
+                let needed = (a.max(b) as usize) + 1;
+                if needed > *stride {
+                    let new_stride = needed.next_power_of_two().max(8);
+                    let mut grown = vec![None; new_stride * new_stride];
+                    for row in 0..*stride {
+                        for col in 0..*stride {
+                            grown[row * new_stride + col] = cells[row * *stride + col];
+                        }
+                    }
+                    *cells = grown;
+                    *stride = new_stride;
+                }
+                cells[(a as usize) * *stride + (b as usize)] = Some(d);
+            }
+        }
+    }
+}
+
 /// Work counters the engine maintains, surfaced through `SearchStats` and
 /// the beam/exhaustive outcomes so perf regressions are assertable.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -139,30 +267,62 @@ pub struct SplitEngine<'a> {
     /// `bin_codes[row]` = histogram bin of the row's score.
     bin_codes: Vec<u32>,
     /// Histogram cache: partition path → interned content id.
-    hists: EngineMap<Vec<PathStep>, u32>,
+    hists: PathCache,
     /// Interning table: distinct histogram contents (per-bin counts) → id.
-    content_ids: EngineMap<Vec<u64>, u32>,
+    content_ids: ContentCache,
     /// One canonical histogram per content id; every lookup borrows from
     /// here, so cache hits never allocate.
     hist_arena: Vec<Histogram>,
     /// EMD memo keyed by the (directed) pair of content ids.
-    emd_memo: EngineMap<(u32, u32), f64>,
+    emd_memo: EmdMemo,
     stats: EngineStats,
 }
 
 impl<'a> SplitEngine<'a> {
     /// An engine for one run of a search under `criterion` on `space`.
+    /// Small spaces (≤ [`SMALL_SPACE_ROWS`] rows, ≤ [`SMALL_SPACE_ATTRS`]
+    /// attributes, ≤ [`SMALL_SPACE_CARDINALITY`] total distinct values)
+    /// get the compact caches — identical semantics, no hashing overhead.
     pub fn new(space: &'a RankingSpace, criterion: FairnessCriterion) -> Self {
+        let total_cardinality: usize = space
+            .attributes()
+            .iter()
+            .map(|a| a.cardinality())
+            .sum();
+        let compact = space.num_individuals() <= SMALL_SPACE_ROWS
+            && space.attributes().len() <= SMALL_SPACE_ATTRS
+            && total_cardinality <= SMALL_SPACE_CARDINALITY;
+        let (hists, content_ids, emd_memo) = if compact {
+            (
+                PathCache::Compact(Vec::new()),
+                ContentCache::Compact(Vec::new()),
+                EmdMemo::Dense {
+                    stride: 0,
+                    cells: Vec::new(),
+                },
+            )
+        } else {
+            (
+                PathCache::Hashed(EngineMap::default()),
+                ContentCache::Hashed(EngineMap::default()),
+                EmdMemo::Hashed(EngineMap::default()),
+            )
+        };
         SplitEngine {
             bin_codes: space.bin_codes(&criterion.hist),
             space,
             criterion,
-            hists: EngineMap::default(),
-            content_ids: EngineMap::default(),
+            hists,
+            content_ids,
             hist_arena: Vec::new(),
-            emd_memo: EngineMap::default(),
+            emd_memo,
             stats: EngineStats::default(),
         }
+    }
+
+    /// Whether this engine runs on the compact small-input caches.
+    pub fn uses_compact_caches(&self) -> bool {
+        matches!(self.hists, PathCache::Compact(_))
     }
 
     /// The space this engine evaluates over.
@@ -184,7 +344,7 @@ impl<'a> SplitEngine<'a> {
     /// per-bin counts always map to the same id. New content gets one
     /// canonical [`Histogram`] in the arena.
     fn intern(&mut self, counts: &[u64]) -> u32 {
-        if let Some(&id) = self.content_ids.get(counts) {
+        if let Some(id) = self.content_ids.get(counts) {
             return id;
         }
         let id = self.hist_arena.len() as u32;
@@ -197,7 +357,7 @@ impl<'a> SplitEngine<'a> {
     /// The partition's histogram content id, built through the binned-score
     /// cache on a path-cache miss. Hits allocate nothing.
     fn hist_id(&mut self, partition: &Partition) -> u32 {
-        if let Some(&id) = self.hists.get(&partition.path) {
+        if let Some(id) = self.hists.get(&partition.path) {
             return id;
         }
         let bins = self.criterion.hist.bins();
@@ -225,7 +385,7 @@ impl<'a> SplitEngine<'a> {
     /// directions; the transport solver's pivoting is not guaranteed
     /// symmetric at the bit level, so it only reuses directional repeats.
     fn distance(&mut self, id_a: u32, id_b: u32) -> Result<f64> {
-        if let Some(&d) = self.emd_memo.get(&(id_a, id_b)) {
+        if let Some(d) = self.emd_memo.get(id_a, id_b) {
             self.stats.emd_cache_hits += 1;
             return Ok(d);
         }
@@ -235,9 +395,9 @@ impl<'a> SplitEngine<'a> {
             .emd
             .distance(&self.hist_arena[id_a as usize], &self.hist_arena[id_b as usize])?;
         if self.criterion.emd.backend() == EmdBackend::OneD {
-            self.emd_memo.insert((id_b, id_a), d);
+            self.emd_memo.insert(id_b, id_a, d);
         }
-        self.emd_memo.insert((id_a, id_b), d);
+        self.emd_memo.insert(id_a, id_b, d);
         Ok(d)
     }
 
@@ -367,7 +527,7 @@ impl<'a> SplitEngine<'a> {
                     code: code as u32,
                 });
                 let id = match self.hists.get(&path) {
-                    Some(&id) => id,
+                    Some(id) => id,
                     None => {
                         self.stats.histograms_built += 1;
                         let id = self.intern(&counts[code * bins..(code + 1) * bins]);
@@ -513,6 +673,98 @@ mod tests {
         let (cand, scored) = engine.best_split(&root, &[0, 1], 5).unwrap();
         assert!(cand.is_none());
         assert_eq!(scored, 0);
+    }
+
+    #[test]
+    fn small_spaces_select_the_compact_caches() {
+        let s = space(); // 8 rows, 2 attributes
+        let engine = SplitEngine::new(&s, FairnessCriterion::default());
+        assert!(engine.uses_compact_caches());
+
+        // Too many rows → hashed.
+        let n = SMALL_SPACE_ROWS + 1;
+        let labels: Vec<String> = (0..n).map(|i| format!("v{}", i % 2)).collect();
+        let refs: Vec<&str> = labels.iter().map(String::as_str).collect();
+        let attr = ProtectedAttribute::from_values("g", &refs);
+        let scores: Vec<f64> = (0..n).map(|i| (i % 10) as f64 / 10.0).collect();
+        let big = RankingSpace::new(vec![attr], scores).unwrap();
+        let engine = SplitEngine::new(&big, FairnessCriterion::default());
+        assert!(!engine.uses_compact_caches());
+
+        // Too many attributes → hashed even when rows are few.
+        let attrs: Vec<ProtectedAttribute> = (0..SMALL_SPACE_ATTRS + 1)
+            .map(|a| {
+                ProtectedAttribute::from_values(
+                    format!("a{a}"),
+                    &["x", "y", "x", "y", "x", "y", "x", "y"],
+                )
+            })
+            .collect();
+        let wide = RankingSpace::new(
+            attrs,
+            vec![0.1, 0.9, 0.2, 0.8, 0.15, 0.85, 0.12, 0.88],
+        )
+        .unwrap();
+        let engine = SplitEngine::new(&wide, FairnessCriterion::default());
+        assert!(!engine.uses_compact_caches());
+
+        // High total cardinality → hashed even with few rows/attributes:
+        // linear scans and the dense matrix scale with distinct values.
+        let n = 800;
+        let ids: Vec<String> = (0..n).map(|i| format!("id{i}")).collect();
+        let refs: Vec<&str> = ids.iter().map(String::as_str).collect();
+        let high_card = ProtectedAttribute::from_values("worker_id", &refs);
+        let scores: Vec<f64> = (0..n).map(|i| (i % 7) as f64 / 7.0).collect();
+        let carded = RankingSpace::new(vec![high_card], scores).unwrap();
+        let engine = SplitEngine::new(&carded, FairnessCriterion::default());
+        assert!(!engine.uses_compact_caches());
+    }
+
+    #[test]
+    fn compact_and_hashed_caches_are_bitwise_equivalent() {
+        // The same tiny space forced through both cache families must do
+        // the same work and produce the same bits everywhere.
+        let s = space();
+        let crit = FairnessCriterion::default();
+        let mut compact = SplitEngine::new(&s, crit);
+        assert!(compact.uses_compact_caches());
+        let mut hashed = SplitEngine::new(&s, crit);
+        hashed.hists = PathCache::Hashed(EngineMap::default());
+        hashed.content_ids = ContentCache::Hashed(EngineMap::default());
+        hashed.emd_memo = EmdMemo::Hashed(EngineMap::default());
+
+        let root = Partition::root(&s);
+        let parts = root.split(&s, 0);
+        for engine in [&mut compact, &mut hashed] {
+            let _ = engine.best_split(&root, &[0, 1], 1).unwrap();
+        }
+        assert_eq!(
+            compact.unfairness(&parts).unwrap(),
+            hashed.unfairness(&parts).unwrap()
+        );
+        assert_eq!(
+            compact.versus(&parts[0], &parts[1..]).unwrap(),
+            hashed.versus(&parts[0], &parts[1..]).unwrap()
+        );
+        assert_eq!(compact.stats(), hashed.stats());
+        assert!(compact.stats().emd_cache_hits > 0);
+    }
+
+    #[test]
+    fn dense_memo_grows_and_keeps_entries() {
+        let mut memo = EmdMemo::Dense {
+            stride: 0,
+            cells: Vec::new(),
+        };
+        assert_eq!(memo.get(0, 0), None);
+        memo.insert(0, 1, 0.5);
+        assert_eq!(memo.get(0, 1), Some(0.5));
+        assert_eq!(memo.get(1, 0), None);
+        // Growth past the stride keeps earlier cells.
+        memo.insert(40, 3, 0.25);
+        assert_eq!(memo.get(0, 1), Some(0.5));
+        assert_eq!(memo.get(40, 3), Some(0.25));
+        assert_eq!(memo.get(3, 40), None);
     }
 
     #[test]

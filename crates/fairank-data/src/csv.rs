@@ -47,7 +47,9 @@ pub fn read_csv_str(text: &str, options: &CsvOptions) -> Result<Dataset> {
     let sep = options.separator.unwrap_or(',');
     let records = parse_records(text, sep)?;
     let mut iter = records.into_iter();
-    let raw_header = iter.next().ok_or(DataError::Csv {
+    let Record {
+        fields: raw_header, ..
+    } = iter.next().ok_or(DataError::Csv {
         line: 0,
         message: "input is empty (missing header)".into(),
     })?;
@@ -69,13 +71,20 @@ pub fn read_csv_str(text: &str, options: &CsvOptions) -> Result<Dataset> {
     let ncols = header.len();
     let mut cells: Vec<Vec<String>> = vec![Vec::new(); ncols];
     for (i, record) in iter.enumerate() {
-        if record.len() != ncols {
+        if record.fields.len() != ncols {
+            // Report the record index *and* the physical line the record
+            // starts on — they differ whenever earlier quoted fields
+            // contain newlines, and a text editor only understands lines.
             return Err(DataError::Csv {
-                line: i + 2,
-                message: format!("expected {ncols} fields, found {}", record.len()),
+                line: record.line,
+                message: format!(
+                    "record {}: expected {ncols} fields, found {}",
+                    i + 1,
+                    record.fields.len()
+                ),
             });
         }
-        for (col, value) in cells.iter_mut().zip(record) {
+        for (col, value) in cells.iter_mut().zip(record.fields) {
             col.push(value);
         }
     }
@@ -202,13 +211,26 @@ fn infer_type(values: &[String]) -> Inferred {
     }
 }
 
+/// One parsed record plus the physical line it starts on. Records and
+/// lines diverge as soon as a quoted field embeds newlines, so both are
+/// tracked: error messages cite the record, editors need the line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Record {
+    /// 1-based physical line of the record's first character.
+    line: usize,
+    /// The record's fields.
+    fields: Vec<String>,
+}
+
 /// State machine over characters; handles quotes per RFC 4180.
-fn parse_records(text: &str, sep: char) -> Result<Vec<Vec<String>>> {
+fn parse_records(text: &str, sep: char) -> Result<Vec<Record>> {
     let mut records = Vec::new();
     let mut record: Vec<String> = Vec::new();
     let mut field = String::new();
     let mut in_quotes = false;
     let mut line = 1usize;
+    // Physical line the current record started on; `None` between records.
+    let mut start_line: Option<usize> = None;
     let mut chars = text.chars().peekable();
     let mut saw_any = false;
 
@@ -240,6 +262,7 @@ fn parse_records(text: &str, sep: char) -> Result<Vec<Vec<String>>> {
                         message: "quote inside unquoted field".into(),
                     });
                 }
+                start_line.get_or_insert(line);
                 in_quotes = true;
             }
             '\r' => {
@@ -250,15 +273,23 @@ fn parse_records(text: &str, sep: char) -> Result<Vec<Vec<String>>> {
                 record.push(std::mem::take(&mut field));
                 // Skip blank lines (a record of one empty field).
                 if !(record.len() == 1 && record[0].is_empty()) {
-                    records.push(std::mem::take(&mut record));
+                    records.push(Record {
+                        line: start_line.take().unwrap_or(line - 1),
+                        fields: std::mem::take(&mut record),
+                    });
                 } else {
                     record.clear();
+                    start_line = None;
                 }
             }
             c if c == sep => {
+                start_line.get_or_insert(line);
                 record.push(std::mem::take(&mut field));
             }
-            _ => field.push(ch),
+            _ => {
+                start_line.get_or_insert(line);
+                field.push(ch);
+            }
         }
     }
     if in_quotes {
@@ -269,7 +300,10 @@ fn parse_records(text: &str, sep: char) -> Result<Vec<Vec<String>>> {
     }
     if !field.is_empty() || !record.is_empty() {
         record.push(field);
-        records.push(record);
+        records.push(Record {
+            line: start_line.take().unwrap_or(line),
+            fields: record,
+        });
     }
     if !saw_any {
         return Err(DataError::Csv {
@@ -370,7 +404,41 @@ mod tests {
     fn ragged_rows_are_rejected() {
         let err = read_csv_str("a,b\n1\n", &CsvOptions::default()).unwrap_err();
         match err {
-            DataError::Csv { line, .. } => assert_eq!(line, 2),
+            DataError::Csv { line, ref message } => {
+                assert_eq!(line, 2);
+                assert!(message.contains("record 1"), "{message}");
+            }
+            e => panic!("unexpected {e}"),
+        }
+    }
+
+    #[test]
+    fn ragged_row_after_quoted_newlines_reports_physical_line() {
+        // Record 1 spans physical lines 2–4 (two embedded newlines); the
+        // ragged record 2 therefore *starts* on physical line 5. The old
+        // record-index arithmetic would have blamed line 3.
+        let text = "a,b\n\"multi\nline\ncell\",x\n1\n";
+        let err = read_csv_str(text, &CsvOptions::default()).unwrap_err();
+        match err {
+            DataError::Csv { line, ref message } => {
+                assert_eq!(line, 5, "{message}");
+                assert!(message.contains("record 2"), "{message}");
+                assert!(message.contains("expected 2 fields, found 1"), "{message}");
+            }
+            e => panic!("unexpected {e}"),
+        }
+    }
+
+    #[test]
+    fn ragged_row_line_accounts_for_blank_lines_and_missing_trailing_newline() {
+        // A blank line shifts physical positions but produces no record;
+        // the ragged final record has no trailing newline.
+        let err = read_csv_str("a,b\n\n1,2\n3", &CsvOptions::default()).unwrap_err();
+        match err {
+            DataError::Csv { line, ref message } => {
+                assert_eq!(line, 4, "{message}");
+                assert!(message.contains("record 2"), "{message}");
+            }
             e => panic!("unexpected {e}"),
         }
     }

@@ -1,0 +1,32 @@
+//! # fairank-service
+//!
+//! The serving layer over the typed session API: where `fairank-session`
+//! is one auditor exploring one workspace, this crate multiplexes many
+//! concurrent clients over many named sessions — the shape production
+//! fairness-measurement services take (fairness quantified as a *service*
+//! queried over many rankings, not a single-user REPL).
+//!
+//! * [`registry`] — the concurrent session store: named [`Session`]s
+//!   behind `RwLock<HashMap<_, Arc<Mutex<_>>>>`, with create / attach /
+//!   detach / evict.
+//! * [`pool`] — a bounded worker pool that caps how many quantify-class
+//!   (CPU-bound) requests run at once, independent of connection count.
+//! * [`protocol`] — the JSON-lines wire format: one request per line
+//!   (`{"session": .., "command": ..}`), one reply per line
+//!   (`{"ok": Response}` / `{"err": {"kind", "message"}}`). Commands use
+//!   the *exact* REPL syntax (`Command::parse`), so any transcript that
+//!   works in the CLI works over the wire.
+//! * [`server`] — the TCP front end: `std::net` only, thread per
+//!   connection, heavy requests routed through the pool.
+//!
+//! [`Session`]: fairank_session::Session
+
+pub mod pool;
+pub mod protocol;
+pub mod registry;
+pub mod server;
+
+pub use pool::WorkerPool;
+pub use protocol::{Reply, Request, DEFAULT_SESSION};
+pub use registry::{RegistryError, SessionRegistry};
+pub use server::{dispatch, DispatchPolicy, Server, ServerConfig, ServerHandle, MAX_REQUEST_BYTES};

@@ -1,0 +1,189 @@
+//! A bounded worker pool for CPU-bound requests.
+//!
+//! The server spawns one thread per connection (cheap: they mostly block
+//! on socket reads), but quantify-class commands are CPU-bound searches;
+//! running one per connection would let N clients oversubscribe the host
+//! N-fold. The pool caps concurrent heavy work at a fixed number of worker
+//! threads, with a bounded submission queue providing backpressure: when
+//! every worker is busy and the queue is full, `run` blocks the submitting
+//! connection thread — the client simply observes a slower reply.
+
+use std::sync::mpsc::{Receiver, SyncSender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A fixed-size pool of worker threads consuming a bounded job queue.
+pub struct WorkerPool {
+    sender: Option<SyncSender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("workers", &self.workers.len())
+            .finish()
+    }
+}
+
+impl WorkerPool {
+    /// A pool of `workers` threads with a queue bounded at `queue_depth`
+    /// pending jobs (both floored at 1).
+    pub fn new(workers: usize, queue_depth: usize) -> Self {
+        let workers = workers.max(1);
+        let (sender, receiver) = std::sync::mpsc::sync_channel::<Job>(queue_depth.max(1));
+        let receiver = Arc::new(Mutex::new(receiver));
+        let handles = (0..workers)
+            .map(|i| {
+                let receiver = Arc::clone(&receiver);
+                std::thread::Builder::new()
+                    .name(format!("fairank-worker-{i}"))
+                    .spawn(move || worker_loop(&receiver))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        WorkerPool {
+            sender: Some(sender),
+            workers: handles,
+        }
+    }
+
+    /// The host-sized worker count: one per available core, minus one for
+    /// the accept/connection threads.
+    pub fn default_workers() -> usize {
+        let cores = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(2);
+        cores.saturating_sub(1).max(1)
+    }
+
+    /// A pool sized to the host ([`WorkerPool::default_workers`]), queue
+    /// twice as deep.
+    pub fn sized_for_host() -> Self {
+        let workers = Self::default_workers();
+        WorkerPool::new(workers, workers * 2)
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Runs `job` on a pool worker and blocks until it finishes, returning
+    /// its result — or `None` if the job panicked (the worker survives the
+    /// panic; a permanently shrinking pool would silently degrade the
+    /// server to light-commands-only). Submission blocks while the queue
+    /// is full (bounded backpressure).
+    pub fn run<T, F>(&self, job: F) -> Option<T>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        let (tx, rx) = std::sync::mpsc::sync_channel::<T>(1);
+        let sender = self.sender.as_ref().expect("pool is live until dropped");
+        sender
+            .send(Box::new(move || {
+                // A dropped receiver (submitter gone) is fine: the work
+                // still completed; nobody is left to observe it.
+                let _ = tx.send(job());
+            }))
+            .expect("worker threads outlive the pool handle");
+        // A panicking job drops `tx` without sending: recv errors, None.
+        rx.recv().ok()
+    }
+}
+
+fn worker_loop(receiver: &Mutex<Receiver<Job>>) {
+    loop {
+        // Hold the lock only to pull the next job, never while running it.
+        // A job that panicked while holding the lock poisons only the
+        // queue handoff, not any session state; recover the guard.
+        let job = match receiver
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .recv()
+        {
+            Ok(job) => job,
+            Err(_) => return, // pool dropped: no more jobs will arrive
+        };
+        // Contain job panics: the worker must outlive any single request.
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Closing the channel wakes every idle worker with RecvError.
+        self.sender.take();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn runs_jobs_and_returns_results() {
+        let pool = WorkerPool::new(2, 4);
+        assert_eq!(pool.workers(), 2);
+        assert_eq!(pool.run(|| 40 + 2), Some(42));
+        let s = pool.run(|| "hello".to_string());
+        assert_eq!(s.as_deref(), Some("hello"));
+    }
+
+    #[test]
+    fn panicking_jobs_do_not_kill_workers() {
+        let pool = WorkerPool::new(1, 2);
+        // With a single worker, surviving this panic is observable: the
+        // next job must still run on it.
+        assert_eq!(pool.run(|| panic!("job blew up")), None::<i32>);
+        assert_eq!(pool.run(|| 7), Some(7));
+        assert_eq!(pool.run(|| panic!("again")), None::<i32>);
+        assert_eq!(pool.run(|| 8), Some(8));
+    }
+
+    #[test]
+    fn bounds_concurrent_execution() {
+        let pool = Arc::new(WorkerPool::new(2, 2));
+        let running = Arc::new(AtomicUsize::new(0));
+        let peak = Arc::new(AtomicUsize::new(0));
+        let mut submitters = Vec::new();
+        for _ in 0..8 {
+            let pool = Arc::clone(&pool);
+            let running = Arc::clone(&running);
+            let peak = Arc::clone(&peak);
+            submitters.push(std::thread::spawn(move || {
+                pool.run(move || {
+                    let now = running.fetch_add(1, Ordering::SeqCst) + 1;
+                    peak.fetch_max(now, Ordering::SeqCst);
+                    std::thread::sleep(std::time::Duration::from_millis(10));
+                    running.fetch_sub(1, Ordering::SeqCst);
+                });
+            }));
+        }
+        for s in submitters {
+            s.join().unwrap();
+        }
+        // Never more heavy jobs in flight than workers.
+        assert!(peak.load(Ordering::SeqCst) <= 2, "peak {}", peak.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn drop_joins_workers() {
+        let pool = WorkerPool::new(3, 3);
+        assert_eq!(pool.run(|| 1), Some(1));
+        drop(pool); // must not hang
+    }
+
+    #[test]
+    fn host_sizing_is_sane() {
+        let pool = WorkerPool::sized_for_host();
+        assert!(pool.workers() >= 1);
+    }
+}

@@ -1,0 +1,159 @@
+//! The JSON-lines wire protocol.
+//!
+//! One request per line, one reply per line, newline-delimited JSON both
+//! ways:
+//!
+//! ```text
+//! → {"session": "audit-2024", "command": "quantify pop f bins=5"}
+//! ← {"ok": {"PanelCreated": {"id": 0, "unfairness": 0.31, ...}}}
+//! → {"session": "audit-2024", "command": "show 99"}
+//! ← {"err": {"kind": "unknown_panel", "message": "unknown panel #99"}}
+//! ```
+//!
+//! `command` is the *exact* REPL syntax (parsed by
+//! [`fairank_session::Command::parse`]); `session` names the registry
+//! entry to run against and may be omitted (the `"default"` session).
+//! Successful replies carry the externally tagged
+//! [`fairank_session::Response`] payload, so clients switch on the variant
+//! name instead of scraping strings.
+
+use fairank_session::{ErrorResponse, Response, SessionError};
+use serde::{Deserialize, Serialize};
+
+/// The session name used when a request does not specify one.
+pub const DEFAULT_SESSION: &str = "default";
+
+/// One wire request: a session name plus a REPL-syntax command line.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Request {
+    /// Target session; `None` means [`DEFAULT_SESSION`].
+    pub session: Option<String>,
+    /// One command in the exact REPL syntax.
+    pub command: String,
+}
+
+impl Request {
+    /// A request against the default session.
+    pub fn new(command: impl Into<String>) -> Self {
+        Request {
+            session: None,
+            command: command.into(),
+        }
+    }
+
+    /// A request against a named session.
+    pub fn in_session(session: impl Into<String>, command: impl Into<String>) -> Self {
+        Request {
+            session: Some(session.into()),
+            command: command.into(),
+        }
+    }
+
+    /// The effective session name.
+    pub fn session_name(&self) -> &str {
+        self.session.as_deref().unwrap_or(DEFAULT_SESSION)
+    }
+}
+
+/// One wire reply: `{"ok": Response}` or `{"err": {kind, message}}`.
+///
+/// The lowercase variant names are deliberate — serde's externally tagged
+/// representation turns them directly into the protocol's `ok`/`err` keys
+/// without any rename machinery.
+#[allow(non_camel_case_types)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Reply {
+    /// The command succeeded with this structured payload.
+    ok(Response),
+    /// The command failed; the payload is the structured error.
+    err(ErrorResponse),
+}
+
+impl Reply {
+    /// Wraps a session-API result into the wire envelope.
+    pub fn from_result(result: Result<Response, SessionError>) -> Self {
+        match result {
+            Ok(response) => Reply::ok(response),
+            Err(e) => Reply::err((&e).into()),
+        }
+    }
+
+    /// A protocol-level failure (malformed request line, not a session
+    /// error).
+    pub fn protocol_error(message: impl Into<String>) -> Self {
+        Reply::err(ErrorResponse {
+            kind: "protocol".to_string(),
+            message: message.into(),
+        })
+    }
+
+    /// Unwraps the envelope into a plain `Result`.
+    pub fn into_result(self) -> Result<Response, ErrorResponse> {
+        match self {
+            Reply::ok(response) => Ok(response),
+            Reply::err(e) => Err(e),
+        }
+    }
+
+    /// Whether the reply is a success.
+    pub fn is_ok(&self) -> bool {
+        matches!(self, Reply::ok(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_round_trips_with_and_without_session() {
+        let named = Request::in_session("s1", "help");
+        let json = serde_json::to_string(&named).unwrap();
+        assert!(json.contains("\"session\""));
+        assert!(json.contains("\"command\""));
+        let back: Request = serde_json::from_str(&json).unwrap();
+        assert_eq!(named, back);
+        assert_eq!(back.session_name(), "s1");
+
+        let default = Request::new("datasets");
+        let back: Request = serde_json::from_str(&serde_json::to_string(&default).unwrap()).unwrap();
+        assert_eq!(back.session_name(), DEFAULT_SESSION);
+    }
+
+    #[test]
+    fn request_parses_without_session_field() {
+        // A request whose JSON omits `session` entirely (not just null).
+        let back: Request = serde_json::from_str(r#"{"command": "help"}"#).unwrap();
+        assert_eq!(back.session, None);
+        assert_eq!(back.command, "help");
+    }
+
+    #[test]
+    fn reply_envelope_uses_ok_and_err_keys() {
+        let ok = Reply::ok(Response::Help);
+        let json = serde_json::to_string(&ok).unwrap();
+        assert!(json.starts_with(r#"{"ok":"#), "{json}");
+        let back: Reply = serde_json::from_str(&json).unwrap();
+        assert_eq!(ok, back);
+        assert!(back.is_ok());
+
+        let err = Reply::from_result(Err(SessionError::UnknownPanel(3)));
+        let json = serde_json::to_string(&err).unwrap();
+        assert!(json.starts_with(r#"{"err":"#), "{json}");
+        assert!(json.contains("unknown_panel"));
+        let back: Reply = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.into_result().unwrap_err().kind, "unknown_panel");
+    }
+
+    #[test]
+    fn protocol_errors_are_tagged() {
+        let reply = Reply::protocol_error("not json");
+        match reply.into_result() {
+            Err(e) => {
+                assert_eq!(e.kind, "protocol");
+                assert!(e.message.contains("not json"));
+            }
+            Ok(_) => panic!("expected err"),
+        }
+    }
+}

@@ -1,0 +1,222 @@
+//! The concurrent session store.
+//!
+//! Sessions are named; every name maps to one `Arc<Mutex<Session>>`. The
+//! outer `RwLock<HashMap<..>>` is only held long enough to resolve a name
+//! to its handle (or to create/evict an entry), so resolving sessions
+//! never blocks behind a running quantification; the per-session `Mutex`
+//! serializes commands *within* one session, which is exactly the REPL's
+//! consistency model — concurrent clients attached to the same session
+//! behave like one user typing fast.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{Arc, Mutex, RwLock};
+
+use fairank_session::Session;
+
+/// Errors of the registry itself (distinct from session errors).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegistryError {
+    /// `create` on a name that already exists.
+    AlreadyExists(String),
+    /// `attach`/`evict` on a name that does not exist.
+    NotFound(String),
+    /// A session mutex was poisoned by a panicking holder.
+    Poisoned,
+}
+
+impl fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegistryError::AlreadyExists(name) => {
+                write!(f, "session {name:?} already exists")
+            }
+            RegistryError::NotFound(name) => write!(f, "no session named {name:?}"),
+            RegistryError::Poisoned => write!(f, "session state poisoned by a panic"),
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
+/// A shared handle to one live session.
+pub type SessionHandle = Arc<Mutex<Session>>;
+
+/// The concurrent multi-session store.
+#[derive(Debug, Default)]
+pub struct SessionRegistry {
+    sessions: RwLock<HashMap<String, SessionHandle>>,
+}
+
+impl SessionRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        SessionRegistry::default()
+    }
+
+    /// Creates a fresh named session. Fails if the name is taken.
+    pub fn create(&self, name: &str) -> Result<SessionHandle, RegistryError> {
+        let mut sessions = self.sessions.write().expect("registry lock");
+        if sessions.contains_key(name) {
+            return Err(RegistryError::AlreadyExists(name.to_string()));
+        }
+        let handle = Arc::new(Mutex::new(Session::new()));
+        sessions.insert(name.to_string(), Arc::clone(&handle));
+        Ok(handle)
+    }
+
+    /// A handle to an existing named session.
+    pub fn attach(&self, name: &str) -> Result<SessionHandle, RegistryError> {
+        self.sessions
+            .read()
+            .expect("registry lock")
+            .get(name)
+            .cloned()
+            .ok_or_else(|| RegistryError::NotFound(name.to_string()))
+    }
+
+    /// A handle to the named session, creating it on first use — the wire
+    /// protocol's behavior: naming a session is enough to bring it up.
+    pub fn attach_or_create(&self, name: &str) -> SessionHandle {
+        if let Ok(handle) = self.attach(name) {
+            return handle;
+        }
+        match self.create(name) {
+            Ok(handle) => handle,
+            // Lost a create race: the winner's session is the one to use.
+            Err(_) => self.attach(name).expect("racing create inserted the session"),
+        }
+    }
+
+    /// Removes a session from the registry. Clients still holding the
+    /// handle keep a working (now anonymous) session; new attaches fail.
+    pub fn evict(&self, name: &str) -> Result<(), RegistryError> {
+        self.sessions
+            .write()
+            .expect("registry lock")
+            .remove(name)
+            .map(|_| ())
+            .ok_or_else(|| RegistryError::NotFound(name.to_string()))
+    }
+
+    /// Names of all live sessions, sorted.
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .sessions
+            .read()
+            .expect("registry lock")
+            .keys()
+            .cloned()
+            .collect();
+        names.sort();
+        names
+    }
+
+    /// Number of live sessions.
+    pub fn len(&self) -> usize {
+        self.sessions.read().expect("registry lock").len()
+    }
+
+    /// Whether no session is registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairank_session::command::{apply, Command};
+    use fairank_session::Response;
+
+    #[test]
+    fn create_attach_evict_lifecycle() {
+        let registry = SessionRegistry::new();
+        assert!(registry.is_empty());
+        registry.create("a").unwrap();
+        assert_eq!(registry.create("a").unwrap_err(), RegistryError::AlreadyExists("a".into()));
+        assert!(registry.attach("a").is_ok());
+        assert_eq!(
+            registry.attach("ghost").unwrap_err(),
+            RegistryError::NotFound("ghost".into())
+        );
+        registry.create("b").unwrap();
+        assert_eq!(registry.names(), vec!["a", "b"]);
+        registry.evict("a").unwrap();
+        assert_eq!(registry.evict("a").unwrap_err(), RegistryError::NotFound("a".into()));
+        assert_eq!(registry.len(), 1);
+    }
+
+    #[test]
+    fn attach_or_create_is_idempotent() {
+        let registry = SessionRegistry::new();
+        let first = registry.attach_or_create("s");
+        let second = registry.attach_or_create("s");
+        assert!(Arc::ptr_eq(&first, &second));
+        assert_eq!(registry.len(), 1);
+    }
+
+    #[test]
+    fn detached_handles_outlive_eviction() {
+        let registry = SessionRegistry::new();
+        let handle = registry.attach_or_create("s");
+        {
+            let mut session = handle.lock().unwrap();
+            apply(
+                &mut session,
+                Command::parse("generate pop biased n=40 seed=1").unwrap(),
+            )
+            .unwrap();
+        }
+        registry.evict("s").unwrap();
+        // The evicted session keeps working for existing holders.
+        let session = handle.lock().unwrap();
+        assert_eq!(session.dataset_names(), vec!["pop"]);
+        drop(session);
+        // A new attach under the same name is a *fresh* session.
+        let fresh = registry.attach_or_create("s");
+        assert!(fresh.lock().unwrap().dataset_names().is_empty());
+    }
+
+    #[test]
+    fn sessions_are_isolated() {
+        let registry = SessionRegistry::new();
+        let a = registry.attach_or_create("a");
+        let b = registry.attach_or_create("b");
+        {
+            let mut session = a.lock().unwrap();
+            let response = apply(
+                &mut session,
+                Command::parse("generate pop biased n=40 seed=1").unwrap(),
+            )
+            .unwrap();
+            assert!(matches!(response, Response::DatasetGenerated { .. }));
+        }
+        assert!(b.lock().unwrap().dataset_names().is_empty());
+    }
+
+    #[test]
+    fn concurrent_attaches_share_one_session() {
+        let registry = Arc::new(SessionRegistry::new());
+        let mut handles = Vec::new();
+        for i in 0..8 {
+            let registry = Arc::clone(&registry);
+            handles.push(std::thread::spawn(move || {
+                let handle = registry.attach_or_create("shared");
+                let mut session = handle.lock().unwrap();
+                apply(
+                    &mut session,
+                    Command::parse(&format!("generate d{i} biased n=20 seed={i}")).unwrap(),
+                )
+                .unwrap();
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(registry.len(), 1);
+        let handle = registry.attach("shared").unwrap();
+        let session = handle.lock().unwrap();
+        assert_eq!(session.dataset_names().len(), 8);
+    }
+}

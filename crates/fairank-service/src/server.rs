@@ -1,0 +1,370 @@
+//! The TCP front end: `std::net` only, thread per connection, heavy
+//! requests routed through the bounded [`WorkerPool`].
+//!
+//! Connection threads are cheap (they block on socket reads); the CPU
+//! budget is governed by the pool, so 100 idle clients cost 100 parked
+//! threads while at most `workers` quantifications run at once.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use fairank_session::command::{apply, Command};
+use fairank_session::Response;
+
+use crate::pool::WorkerPool;
+use crate::protocol::{Reply, Request};
+use crate::registry::SessionRegistry;
+
+/// Hard cap on one request line. A client that streams bytes without a
+/// newline is cut off here instead of growing the read buffer without
+/// bound; 1 MiB comfortably fits any real command (they are REPL lines).
+pub const MAX_REQUEST_BYTES: u64 = 1 << 20;
+
+/// Tunables of a [`Server`].
+#[derive(Debug, Clone, Default)]
+pub struct ServerConfig {
+    /// Worker threads for quantify-class requests (0 = size to the host).
+    pub workers: usize,
+    /// Pending heavy jobs the queue holds before submitters block
+    /// (0 = twice the worker count).
+    pub queue_depth: usize,
+    /// Allow wire clients to run commands that touch the server's
+    /// filesystem (`load`, `save`, `open`, `export`). Off by default: a
+    /// reachable port must not hand out file read/write on the host.
+    pub allow_fs_commands: bool,
+}
+
+/// A running multi-session FaiRank server.
+#[derive(Debug)]
+pub struct Server {
+    listener: TcpListener,
+    registry: Arc<SessionRegistry>,
+    pool: Arc<WorkerPool>,
+    allow_fs_commands: bool,
+    stop: Arc<AtomicBool>,
+}
+
+/// Handle to a server running on a background thread (see
+/// [`Server::spawn`]).
+#[derive(Debug)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds the listener (use port 0 for an ephemeral port) and prepares
+    /// the registry and worker pool. Nothing is served until [`Server::run`]
+    /// or [`Server::spawn`].
+    pub fn bind(addr: impl ToSocketAddrs, config: ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let workers = if config.workers == 0 {
+            WorkerPool::default_workers()
+        } else {
+            config.workers
+        };
+        let depth = if config.queue_depth == 0 {
+            workers * 2
+        } else {
+            config.queue_depth
+        };
+        Ok(Server {
+            listener,
+            registry: Arc::new(SessionRegistry::new()),
+            pool: Arc::new(WorkerPool::new(workers, depth)),
+            allow_fs_commands: config.allow_fs_commands,
+            stop: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The bound address (the actual port when 0 was requested).
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// The shared session registry (for in-process inspection/eviction).
+    pub fn registry(&self) -> Arc<SessionRegistry> {
+        Arc::clone(&self.registry)
+    }
+
+    /// Serves connections on the calling thread until stopped.
+    pub fn run(self) {
+        let policy = DispatchPolicy {
+            allow_fs_commands: self.allow_fs_commands,
+        };
+        for stream in self.listener.incoming() {
+            if self.stop.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(stream) = stream else { continue };
+            let registry = Arc::clone(&self.registry);
+            let pool = Arc::clone(&self.pool);
+            std::thread::spawn(move || serve_connection(stream, &registry, &pool, policy));
+        }
+    }
+
+    /// Serves on a background thread, returning a [`ServerHandle`] for the
+    /// address and shutdown.
+    pub fn spawn(self) -> std::io::Result<ServerHandle> {
+        let addr = self.local_addr()?;
+        let stop = Arc::clone(&self.stop);
+        let thread = std::thread::Builder::new()
+            .name("fairank-server".into())
+            .spawn(move || self.run())?;
+        Ok(ServerHandle {
+            addr,
+            stop,
+            thread: Some(thread),
+        })
+    }
+}
+
+impl ServerHandle {
+    /// The address the server accepts on.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting new connections and joins the accept thread.
+    /// Already-open connections finish at their own pace.
+    pub fn stop(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Wake the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        if let Some(thread) = self.thread.take() {
+            self.stop.store(true, Ordering::SeqCst);
+            let _ = TcpStream::connect(self.addr);
+            let _ = thread.join();
+        }
+    }
+}
+
+/// What a wire client is allowed to run (see [`ServerConfig`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DispatchPolicy {
+    /// Permit `load`/`save`/`open`/`export` from the wire.
+    pub allow_fs_commands: bool,
+}
+
+/// Executes one parsed request against the registry, routing CPU-bound
+/// commands through the pool. This is the whole request semantics — the
+/// TCP layer only adds line framing around it.
+pub fn dispatch(
+    registry: &SessionRegistry,
+    pool: &WorkerPool,
+    request: Request,
+    policy: DispatchPolicy,
+) -> Reply {
+    let command = match Command::parse(&request.command) {
+        Ok(command) => command,
+        Err(e) => return Reply::from_result(Err(e)),
+    };
+    if command.touches_filesystem() && !policy.allow_fs_commands {
+        return Reply::err(fairank_session::ErrorResponse {
+            kind: "forbidden".to_string(),
+            message: "filesystem commands (load/save/open/export) are disabled \
+                      on this server (start it with --allow-fs to permit them)"
+                .to_string(),
+        });
+    }
+    let handle = registry.attach_or_create(request.session_name());
+    let result = if command.is_compute_heavy() {
+        match pool.run(move || {
+            let mut session = handle.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            apply(&mut session, command)
+        }) {
+            Some(result) => result,
+            // The job panicked; the worker survived, the session may be
+            // partially mutated but stays serviceable.
+            None => {
+                return Reply::err(fairank_session::ErrorResponse {
+                    kind: "internal".to_string(),
+                    message: "command panicked while executing".to_string(),
+                })
+            }
+        }
+    } else {
+        let mut session = handle.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        apply(&mut session, command)
+    };
+    Reply::from_result(result)
+}
+
+fn serve_connection(
+    stream: TcpStream,
+    registry: &SessionRegistry,
+    pool: &WorkerPool,
+    policy: DispatchPolicy,
+) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = stream;
+    loop {
+        let mut line = String::new();
+        // Cap each request line: a peer streaming bytes without a newline
+        // must not grow this buffer without bound.
+        match (&mut reader).take(MAX_REQUEST_BYTES).read_line(&mut line) {
+            Ok(0) => break, // EOF
+            Ok(_) => {}
+            Err(_) => break, // includes non-UTF-8 input
+        }
+        if !line.ends_with('\n') && line.len() as u64 >= MAX_REQUEST_BYTES {
+            // Oversized request: answer once, then drop the connection
+            // (the rest of the line cannot be resynchronized).
+            let reply = Reply::protocol_error(format!(
+                "request line exceeds {MAX_REQUEST_BYTES} bytes"
+            ));
+            if let Ok(text) = serde_json::to_string(&reply) {
+                let _ = writer
+                    .write_all(text.as_bytes())
+                    .and_then(|()| writer.write_all(b"\n"));
+            }
+            break;
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let reply = match serde_json::from_str::<Request>(line) {
+            Ok(request) => dispatch(registry, pool, request, policy),
+            Err(e) => Reply::protocol_error(format!("malformed request: {e}")),
+        };
+        let quit = matches!(reply, Reply::ok(Response::Quit));
+        let Ok(text) = serde_json::to_string(&reply) else {
+            break;
+        };
+        if writer
+            .write_all(text.as_bytes())
+            .and_then(|()| writer.write_all(b"\n"))
+            .and_then(|()| writer.flush())
+            .is_err()
+        {
+            break;
+        }
+        if quit {
+            break; // `quit` ends the connection, not the server
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_setup() -> (SessionRegistry, WorkerPool) {
+        (SessionRegistry::new(), WorkerPool::new(2, 4))
+    }
+
+    const OPEN: DispatchPolicy = DispatchPolicy {
+        allow_fs_commands: true,
+    };
+    const LOCKED: DispatchPolicy = DispatchPolicy {
+        allow_fs_commands: false,
+    };
+
+    #[test]
+    fn dispatch_routes_to_named_sessions() {
+        let (registry, pool) = test_setup();
+        let reply = dispatch(
+            &registry,
+            &pool,
+            Request::in_session("a", "generate pop biased n=40 seed=1"),
+            LOCKED,
+        );
+        assert!(reply.is_ok());
+        // The dataset exists in `a`, not in `b`.
+        let reply = dispatch(&registry, &pool, Request::in_session("a", "datasets"), LOCKED);
+        match reply.into_result().unwrap() {
+            Response::DatasetList(entries) => assert_eq!(entries.len(), 1),
+            other => panic!("unexpected {other:?}"),
+        }
+        let reply = dispatch(&registry, &pool, Request::in_session("b", "datasets"), LOCKED);
+        match reply.into_result().unwrap() {
+            Response::DatasetList(entries) => assert!(entries.is_empty()),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(registry.names(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn dispatch_reports_structured_errors() {
+        let (registry, pool) = test_setup();
+        let reply = dispatch(&registry, &pool, Request::new("show 7"), LOCKED);
+        let err = reply.into_result().unwrap_err();
+        assert_eq!(err.kind, "unknown_panel");
+        let reply = dispatch(&registry, &pool, Request::new("bogus"), LOCKED);
+        assert_eq!(reply.into_result().unwrap_err().kind, "command");
+    }
+
+    #[test]
+    fn filesystem_commands_are_refused_unless_allowed() {
+        let (registry, pool) = test_setup();
+        for line in [
+            "load d /etc/passwd",
+            "save /tmp/exfil",
+            "open /tmp/exfil",
+            "export 0 /tmp/exfil.json",
+        ] {
+            let parsed = Command::parse(line).unwrap();
+            assert!(parsed.touches_filesystem(), "{line}");
+            let reply = dispatch(&registry, &pool, Request::new(line), LOCKED);
+            assert_eq!(
+                reply.into_result().unwrap_err().kind,
+                "forbidden",
+                "{line} must be refused"
+            );
+        }
+        // No session state was touched by refused commands.
+        assert!(registry.is_empty() || registry.names() == vec!["default"]);
+        // The same command under an open policy reaches the session layer
+        // (and fails there for its own reasons, not with `forbidden`).
+        let reply = dispatch(&registry, &pool, Request::new("export 0 /tmp/x.json"), OPEN);
+        assert_eq!(reply.into_result().unwrap_err().kind, "unknown_panel");
+    }
+
+    #[test]
+    fn heavy_commands_run_on_the_pool() {
+        let (registry, pool) = test_setup();
+        for line in [
+            "generate pop biased n=60 seed=2",
+            "define f rating*1.0",
+        ] {
+            assert!(dispatch(&registry, &pool, Request::new(line), LOCKED).is_ok());
+        }
+        // `quantify` is compute-heavy: is_compute_heavy gates the pool path.
+        assert!(Command::parse("quantify pop f").unwrap().is_compute_heavy());
+        assert!(!Command::parse("panels").unwrap().is_compute_heavy());
+        let reply = dispatch(&registry, &pool, Request::new("quantify pop f"), LOCKED);
+        match reply.into_result().unwrap() {
+            Response::PanelCreated(view) => {
+                assert_eq!(view.id, 0);
+                assert!(view.unfairness > 0.0);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn server_binds_ephemeral_and_stops() {
+        let server = Server::bind("127.0.0.1:0", ServerConfig::default()).unwrap();
+        let addr = server.local_addr().unwrap();
+        assert_ne!(addr.port(), 0);
+        let handle = server.spawn().unwrap();
+        assert_eq!(handle.addr(), addr);
+        handle.stop(); // must not hang
+    }
+}

@@ -1,0 +1,208 @@
+//! End-to-end tests of the JSON-lines TCP server: real sockets, real
+//! threads, structured (non-string-scraped) responses.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+use fairank_service::{Reply, Request, Server, ServerConfig, ServerHandle};
+use fairank_session::Response;
+
+/// One live client connection speaking the JSON-lines protocol.
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    fn connect(handle: &ServerHandle) -> Client {
+        let stream = TcpStream::connect(handle.addr()).expect("connect to server");
+        let reader = BufReader::new(stream.try_clone().expect("clone stream"));
+        Client {
+            reader,
+            writer: stream,
+        }
+    }
+
+    fn send_raw(&mut self, line: &str) -> Reply {
+        self.writer
+            .write_all(line.as_bytes())
+            .and_then(|()| self.writer.write_all(b"\n"))
+            .expect("send request");
+        let mut reply = String::new();
+        self.reader.read_line(&mut reply).expect("read reply");
+        serde_json::from_str(reply.trim()).expect("reply parses as the wire envelope")
+    }
+
+    fn send(&mut self, request: &Request) -> Reply {
+        self.send_raw(&serde_json::to_string(request).expect("serialize request"))
+    }
+
+    /// Sends a command to a named session and unwraps the success payload.
+    fn command(&mut self, session: &str, command: &str) -> Response {
+        self.send(&Request::in_session(session, command))
+            .into_result()
+            .unwrap_or_else(|e| panic!("{command:?} failed: {e}"))
+    }
+}
+
+fn start_server() -> ServerHandle {
+    Server::bind(
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: 2,
+            queue_depth: 4,
+            allow_fs_commands: false,
+        },
+    )
+    .expect("bind ephemeral port")
+    .spawn()
+    .expect("spawn server")
+}
+
+#[test]
+fn concurrent_clients_quantify_in_distinct_sessions() {
+    let handle = start_server();
+    const CLIENTS: usize = 5;
+
+    let unfairness: Vec<f64> = std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..CLIENTS)
+            .map(|i| {
+                let handle = &handle;
+                scope.spawn(move || {
+                    let mut client = Client::connect(handle);
+                    let session = format!("client-{i}");
+                    client.command(&session, "generate pop biased n=150 seed=9");
+                    client.command(&session, "define f rating*0.7+language_test*0.3");
+                    match client.command(&session, "quantify pop f") {
+                        Response::PanelCreated(view) => {
+                            // Structured access, no string scraping: each
+                            // client owns its session, so its first panel
+                            // is #0 and the tree rides along.
+                            assert_eq!(view.id, 0, "session {session}");
+                            assert!(view.num_partitions >= 1);
+                            assert_eq!(view.nodes.len(), view.tree_nodes);
+                            assert_eq!(view.individuals, 150);
+                            view.unfairness
+                        }
+                        other => panic!("expected PanelCreated, got {other:?}"),
+                    }
+                })
+            })
+            .collect();
+        workers.into_iter().map(|w| w.join().unwrap()).collect()
+    });
+
+    // Identical seeds through independent sessions: identical results.
+    assert_eq!(unfairness.len(), CLIENTS);
+    for u in &unfairness {
+        assert!(*u > 0.0);
+        assert_eq!(u, &unfairness[0]);
+    }
+    handle.stop();
+}
+
+#[test]
+fn concurrent_clients_share_one_session() {
+    let handle = start_server();
+
+    // One client sets the shared state up.
+    let mut setup = Client::connect(&handle);
+    setup.command("shared", "generate pop biased n=100 seed=3");
+    setup.command("shared", "define f rating*1.0");
+
+    // Four clients quantify into the same session at once; the per-session
+    // mutex serializes them, so panel ids are a permutation of 0..4.
+    let mut ids: Vec<usize> = std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..4)
+            .map(|_| {
+                let handle = &handle;
+                scope.spawn(move || {
+                    let mut client = Client::connect(handle);
+                    match client.command("shared", "quantify pop f") {
+                        Response::PanelCreated(view) => view.id,
+                        other => panic!("expected PanelCreated, got {other:?}"),
+                    }
+                })
+            })
+            .collect();
+        workers.into_iter().map(|w| w.join().unwrap()).collect()
+    });
+    ids.sort_unstable();
+    assert_eq!(ids, vec![0, 1, 2, 3]);
+
+    // The shared session saw every panel.
+    match setup.command("shared", "panels") {
+        Response::PanelList(entries) => assert_eq!(entries.len(), 4),
+        other => panic!("expected PanelList, got {other:?}"),
+    }
+    handle.stop();
+}
+
+#[test]
+fn errors_and_malformed_lines_are_structured() {
+    let handle = start_server();
+    let mut client = Client::connect(&handle);
+
+    // Session error: stable kind, human message.
+    let reply = client.send(&Request::new("show 42"));
+    let err = reply.into_result().unwrap_err();
+    assert_eq!(err.kind, "unknown_panel");
+    assert!(err.message.contains("#42"));
+
+    // Parse error in the command language.
+    let reply = client.send(&Request::new("frobnicate"));
+    assert_eq!(reply.into_result().unwrap_err().kind, "command");
+
+    // A line that is not JSON at all: protocol error, connection survives.
+    let reply = client.send_raw("this is not json");
+    assert_eq!(reply.into_result().unwrap_err().kind, "protocol");
+    let reply = client.send(&Request::new("help"));
+    assert!(matches!(reply.into_result().unwrap(), Response::Help));
+
+    // Filesystem commands are forbidden from the wire by default.
+    for line in ["load d /etc/passwd", "save /tmp/exfil", "export 0 /tmp/x.json"] {
+        let reply = client.send(&Request::new(line));
+        assert_eq!(reply.into_result().unwrap_err().kind, "forbidden", "{line}");
+    }
+    handle.stop();
+}
+
+#[test]
+fn quit_ends_the_connection_but_not_the_session() {
+    let handle = start_server();
+
+    let mut first = Client::connect(&handle);
+    first.command("sticky", "generate pop biased n=50 seed=1");
+    let reply = first.send(&Request::in_session("sticky", "quit"));
+    assert!(matches!(reply.into_result().unwrap(), Response::Quit));
+    // The server closed this connection after the quit reply.
+    let mut line = String::new();
+    assert_eq!(first.reader.read_line(&mut line).unwrap(), 0);
+
+    // The session itself survives for the next client.
+    let mut second = Client::connect(&handle);
+    match second.command("sticky", "datasets") {
+        Response::DatasetList(entries) => {
+            assert_eq!(entries.len(), 1);
+            assert_eq!(entries[0].name, "pop");
+        }
+        other => panic!("expected DatasetList, got {other:?}"),
+    }
+    handle.stop();
+}
+
+#[test]
+fn rendered_transcript_matches_local_rendering() {
+    // A remote client can reproduce the exact REPL text from the wire
+    // payload alone: render(response) over the deserialized Response.
+    let handle = start_server();
+    let mut client = Client::connect(&handle);
+    client.command("render", "generate pop biased n=80 seed=7");
+    client.command("render", "define f rating*1.0");
+    let response = client.command("render", "quantify pop f");
+    let remote_text = fairank_session::present::render(&response);
+    assert!(remote_text.starts_with("panel #0: unfairness "));
+    assert!(remote_text.contains("ALL"));
+    assert!(remote_text.contains("μ="));
+    handle.stop();
+}

@@ -20,8 +20,12 @@ use fairank_marketplace::Transparency;
 
 use crate::config::Configuration;
 use crate::error::{Result, SessionError};
-use crate::render;
+use crate::present;
 use crate::report;
+use crate::response::{
+    CompareView, DataHeadView, DatasetEntry, FunctionEntry, NodeView, PanelEntry, PanelView,
+    Response, SubgroupEntry, SubgroupView,
+};
 use crate::session::{AnonMethod, Session};
 
 /// A parsed command.
@@ -382,6 +386,36 @@ impl Command {
             other => Err(SessionError::Command(format!("unknown command {other:?}"))),
         }
     }
+
+    /// Whether the command reads or writes the host filesystem (`load`,
+    /// `save`, `open`, `export`). Network services refuse these by
+    /// default: a reachable port must not hand out file access on the
+    /// serving host.
+    pub fn touches_filesystem(&self) -> bool {
+        matches!(
+            self,
+            Command::Load { .. }
+                | Command::Save { .. }
+                | Command::Open { .. }
+                | Command::Export { .. }
+        )
+    }
+
+    /// Whether the command runs a partitioning search (or another
+    /// CPU-bound analysis) rather than a cheap registry/rendering
+    /// operation. Services route these through a bounded worker pool so a
+    /// burst of concurrent quantifications cannot oversubscribe the host.
+    pub fn is_compute_heavy(&self) -> bool {
+        matches!(
+            self,
+            Command::Quantify { .. }
+                | Command::Subgroups { .. }
+                | Command::Anonymize { .. }
+                | Command::Audit { .. }
+                | Command::JobOwner { .. }
+                | Command::EndUser { .. }
+        )
+    }
 }
 
 /// Parses a scoring expression like `rating*0.7+language_test*0.3`.
@@ -401,33 +435,6 @@ pub fn parse_scoring(expr: &str) -> Result<LinearScoring> {
     }
     Ok(builder.build_unchecked()?)
 }
-
-const HELP: &str = "\
-FaiRank commands:
-  datasets | funcs | panels            list session objects
-  load <name> <path.csv>               load a CSV dataset
-  generate <name> <preset> [n=] [seed=]  presets: crowdsourcing, biased,
-                                       taskrabbit, qapa
-  define <name> <attr*w+attr*w…>       define a scoring function
-  data <name> [rows=10]                print the head of a dataset
-  describe <name>                      per-column summary statistics
-  save <dir> | open <dir>              persist / restore the session
-  filter <new> <src> \"<expr>\"          derive a filtered dataset
-  anonymize <new> <src> k=2 [method=mondrian|datafly]
-  quantify <dataset> <func> [objective=most|least] [agg=mean|max|min|variance]
-           [bins=10] [emd=1d|transport] [where=\"<expr>\"] [opaque]
-  subgroups <dataset> <func> [depth=2] [min=5] [top=5]
-                                       most/least favored subgroups
-  show <panel>                         render a panel's partitioning tree
-  node <panel> <node>                  the Node box for one tree node
-  why <panel> <node>                   explain the search decision at a node
-  compare <a> <b>                      compare two panels
-  export <panel> <path.json>           export a panel as JSON
-  audit <taskrabbit|qapa> [n=] [seed=] [k=] [ranking-only]
-  jobowner <preset> <job> <skill> [n=] [seed=]
-  enduser <preset> \"<group expr>\" [n=] [seed=]
-  help | quit
-";
 
 fn generate_dataset(preset: &str, n: usize, seed: u64) -> Result<fairank_data::Dataset> {
     let spec = match preset {
@@ -454,68 +461,60 @@ fn marketplace(preset: &str, n: usize, seed: u64) -> Result<fairank_marketplace:
     }
 }
 
-/// Executes a command against a session, returning the text to print.
-/// `Quit` returns the string `"quit"`; the REPL loop watches for it.
-pub fn execute(session: &mut Session, command: Command) -> Result<String> {
+/// Applies a command to a session, returning the structured [`Response`].
+///
+/// This is the typed core of the session API: every front end — the REPL,
+/// script mode, the `fairank-service` JSON-lines server — goes through it
+/// and decides separately how (or whether) to render the payload. The
+/// text-era behavior is exactly `present::render(&apply(..)?)`, which
+/// [`execute`] still provides.
+pub fn apply(session: &mut Session, command: Command) -> Result<Response> {
     match command {
-        Command::Help => Ok(HELP.to_string()),
-        Command::Quit => Ok("quit".to_string()),
-        Command::Datasets => {
-            let names = session.dataset_names();
-            if names.is_empty() {
-                return Ok("no datasets — try `generate d biased` or `load d file.csv`".into());
-            }
-            Ok(names
+        Command::Help => Ok(Response::Help),
+        Command::Quit => Ok(Response::Quit),
+        Command::Datasets => Ok(Response::DatasetList(
+            session
+                .dataset_names()
                 .iter()
                 .map(|n| {
                     let ds = session.dataset(n).expect("listed");
-                    format!("{n}  ({} rows, {} columns)", ds.num_rows(), ds.schema().len())
+                    DatasetEntry {
+                        name: n.to_string(),
+                        rows: ds.num_rows(),
+                        columns: ds.schema().len(),
+                    }
                 })
-                .collect::<Vec<_>>()
-                .join("\n"))
-        }
-        Command::Functions => {
-            let names = session.function_names();
-            if names.is_empty() {
-                return Ok("no functions — try `define f rating*0.7+language_test*0.3`".into());
-            }
-            Ok(names
+                .collect(),
+        )),
+        Command::Functions => Ok(Response::FunctionList(
+            session
+                .function_names()
                 .iter()
                 .map(|n| {
                     let f = session.function(n).expect("listed");
-                    let terms: Vec<String> = f
-                        .terms()
-                        .iter()
-                        .map(|(a, w)| format!("{w}·{a}"))
-                        .collect();
-                    format!("{n} = {}", terms.join(" + "))
+                    FunctionEntry {
+                        name: n.to_string(),
+                        terms: f.terms().to_vec(),
+                    }
                 })
-                .collect::<Vec<_>>()
-                .join("\n"))
-        }
-        Command::Panels => {
-            if session.panels().is_empty() {
-                return Ok("no panels — run `quantify <dataset> <function>`".into());
-            }
-            Ok(session
+                .collect(),
+        )),
+        Command::Panels => Ok(Response::PanelList(
+            session
                 .panels()
                 .iter()
-                .map(|p| {
-                    format!(
-                        "#{}  u={:.4}  {}",
-                        p.id,
-                        p.outcome.unfairness,
-                        p.config.describe()
-                    )
+                .map(|p| PanelEntry {
+                    id: p.id,
+                    unfairness: p.outcome.unfairness,
+                    config: p.config.describe(),
                 })
-                .collect::<Vec<_>>()
-                .join("\n"))
-        }
+                .collect(),
+        )),
         Command::Load { name, path } => {
             let ds = fairank_data::csv::read_csv_file(&path, &CsvOptions::default())?;
             let rows = ds.num_rows();
             session.add_dataset(&name, ds)?;
-            Ok(format!("loaded {name} ({rows} rows) from {path}"))
+            Ok(Response::DatasetLoaded { name, rows, path })
         }
         Command::Generate {
             name,
@@ -525,35 +524,55 @@ pub fn execute(session: &mut Session, command: Command) -> Result<String> {
         } => {
             let ds = generate_dataset(&preset, n, seed)?;
             session.add_dataset(&name, ds)?;
-            Ok(format!("generated {name} = {preset}(n={n}, seed={seed})"))
+            Ok(Response::DatasetGenerated {
+                name,
+                preset,
+                n,
+                seed,
+            })
         }
         Command::Define { name, expr } => {
             let f = parse_scoring(&expr)?;
             session.add_function(&name, f)?;
-            Ok(format!("defined {name} = {expr}"))
+            Ok(Response::FunctionDefined { name, expr })
         }
         Command::ShowData { name, rows } => {
-            Ok(session.dataset(&name)?.render_head(rows))
+            let ds = session.dataset(&name)?;
+            let shown = rows.min(ds.num_rows());
+            let columns: Vec<String> =
+                ds.columns().iter().map(|c| c.name.clone()).collect();
+            let cells: Vec<Vec<String>> = (0..shown)
+                .map(|r| ds.columns().iter().map(|c| c.data.render(r)).collect())
+                .collect();
+            Ok(Response::DataHead(DataHeadView {
+                name,
+                columns,
+                rows: cells,
+                total_rows: ds.num_rows(),
+            }))
         }
         Command::Describe { name } => {
-            Ok(fairank_data::stats::describe(session.dataset(&name)?))
+            let text = fairank_data::stats::describe(session.dataset(&name)?);
+            Ok(Response::Description { name, text })
         }
         Command::Save { dir } => {
             crate::persist::save_session(session, &dir)?;
-            Ok(format!(
-                "saved {} dataset(s) and {} function(s) to {dir}",
-                session.dataset_names().len(),
-                session.function_names().len()
-            ))
+            Ok(Response::SessionSaved {
+                datasets: session.dataset_names().len(),
+                functions: session.function_names().len(),
+                dir,
+            })
         }
         Command::Open { dir } => {
             let loaded = crate::persist::load_session(&dir)?;
             let datasets = loaded.dataset_names().len();
             let functions = loaded.function_names().len();
             *session = loaded;
-            Ok(format!(
-                "opened session from {dir}: {datasets} dataset(s), {functions} function(s)"
-            ))
+            Ok(Response::SessionOpened {
+                dir,
+                datasets,
+                functions,
+            })
         }
         Command::DeriveFilter {
             new_name,
@@ -562,7 +581,12 @@ pub fn execute(session: &mut Session, command: Command) -> Result<String> {
         } => {
             let filter = Filter::parse(&expr)?;
             let rows = session.derive_filtered(&new_name, &source, &filter)?;
-            Ok(format!("{new_name} = {source} where {expr} ({rows} rows)"))
+            Ok(Response::DatasetDerived {
+                name: new_name,
+                source,
+                expr,
+                rows,
+            })
         }
         Command::Anonymize {
             new_name,
@@ -571,9 +595,13 @@ pub fn execute(session: &mut Session, command: Command) -> Result<String> {
             method,
         } => {
             let suppressed = session.derive_anonymized(&new_name, &source, k, method)?;
-            Ok(format!(
-                "{new_name} = {method:?}({source}, k={k}), {suppressed} rows suppressed"
-            ))
+            Ok(Response::DatasetAnonymized {
+                name: new_name,
+                source,
+                method: format!("{method:?}"),
+                k,
+                suppressed,
+            })
         }
         Command::Quantify {
             dataset,
@@ -605,25 +633,22 @@ pub fn execute(session: &mut Session, command: Command) -> Result<String> {
                 config = config.with_source(ScoreSource::Ranking(scores_to_ranking(&scores)));
             }
             let id = session.quantify(config)?;
-            let panel = session.panel(id)?;
-            Ok(format!(
-                "panel #{id}: unfairness {:.6} over {} partitions\n{}",
-                panel.outcome.unfairness,
-                panel.outcome.partitions.len(),
-                render::render_tree(panel)
-            ))
+            Ok(Response::PanelCreated(PanelView::from_panel(
+                session.panel(id)?,
+            )?))
         }
-        Command::Show { panel } => {
-            let p = session.panel(panel)?;
-            Ok(format!(
-                "{}\n{}",
-                render::render_general(p),
-                render::render_tree(p)
-            ))
-        }
+        Command::Show { panel } => Ok(Response::PanelDetail(PanelView::from_panel(
+            session.panel(panel)?,
+        )?)),
         Command::Node { panel, node } => {
             let p = session.panel(panel)?;
-            render::render_node_box(p, node)
+            let stats = p.node_stats(node)?;
+            let tree_node = p.outcome.tree.node(node);
+            Ok(Response::NodeDetail(NodeView::from_stats(
+                stats,
+                tree_node.parent,
+                tree_node.children.clone(),
+            )))
         }
         Command::Why { panel, node } => {
             use fairank_core::explain::{explain_tree, render_explanation};
@@ -632,13 +657,20 @@ pub fn execute(session: &mut Session, command: Command) -> Result<String> {
                 return Err(SessionError::UnknownNode { panel, node });
             }
             let explanations = explain_tree(&p.space, &p.outcome.tree, p.criterion())?;
-            Ok(render_explanation(&explanations[node]))
+            Ok(Response::Explanation {
+                panel,
+                node,
+                text: render_explanation(&explanations[node]),
+            })
         }
-        Command::Compare { a, b } => session.compare(a, b),
+        Command::Compare { a, b } => Ok(Response::CompareReport(CompareView::new(
+            session.panel(a)?,
+            session.panel(b)?,
+        ))),
         Command::Export { panel, path } => {
             let p = session.panel(panel)?;
             crate::export::write_panel_json(p, &path)?;
-            Ok(format!("exported panel #{panel} to {path}"))
+            Ok(Response::Exported { panel, path })
         }
         Command::Subgroups {
             dataset,
@@ -656,25 +688,21 @@ pub fn execute(session: &mut Session, command: Command) -> Result<String> {
             // and every subgroup reports zero divergence.
             let criterion = FairnessCriterion::default().fit_range(&space);
             let stats = subgroup_stats(&space, &criterion, depth, min_size)?;
-            let mut out = format!(
-                "subgroups of {dataset} under {function} (depth ≤ {depth}, size ≥ {min_size}): {}\n",
-                stats.len()
-            );
-            out.push_str("most favored:\n");
-            for s in most_favored(&stats, top) {
-                out.push_str(&format!(
-                    "  {:<44} n={:<4} advantage {:+.3}  divergence {:.3}\n",
-                    s.label, s.size, s.advantage, s.divergence
-                ));
-            }
-            out.push_str("least favored:\n");
-            for s in least_favored(&stats, top) {
-                out.push_str(&format!(
-                    "  {:<44} n={:<4} advantage {:+.3}  divergence {:.3}\n",
-                    s.label, s.size, s.advantage, s.divergence
-                ));
-            }
-            Ok(out)
+            let entry = |s: &fairank_core::subgroup::SubgroupStats| SubgroupEntry {
+                label: s.label.clone(),
+                size: s.size,
+                advantage: s.advantage,
+                divergence: s.divergence,
+            };
+            Ok(Response::Subgroups(SubgroupView {
+                dataset,
+                function,
+                depth,
+                min_size,
+                total: stats.len(),
+                most_favored: most_favored(&stats, top).into_iter().map(entry).collect(),
+                least_favored: least_favored(&stats, top).into_iter().map(entry).collect(),
+            }))
         }
         Command::Audit {
             preset,
@@ -702,7 +730,7 @@ pub fn execute(session: &mut Session, command: Command) -> Result<String> {
                 2,
                 (n / 20).max(2),
             )?;
-            Ok(report.render())
+            Ok(Response::Audit(report))
         }
         Command::JobOwner {
             preset,
@@ -720,7 +748,7 @@ pub fn execute(session: &mut Session, command: Command) -> Result<String> {
                 &[0.0, 0.2, 0.4, 0.6, 0.8, 1.0],
                 &FairnessCriterion::default(),
             )?;
-            Ok(report.render())
+            Ok(Response::JobOwnerSweep(report))
         }
         Command::EndUser {
             preset,
@@ -732,9 +760,18 @@ pub fn execute(session: &mut Session, command: Command) -> Result<String> {
             let filter = Filter::parse(&group)?;
             let report =
                 report::end_user_report(&market, &filter, &FairnessCriterion::default())?;
-            Ok(report.render())
+            Ok(Response::EndUserView(report))
         }
     }
+}
+
+/// Executes a command against a session, returning the text to print.
+/// `Quit` returns the string `"quit"`; the REPL loop watches for it.
+///
+/// This is the string-era façade kept for callers that only want the
+/// rendered transcript: exactly `present::render(&apply(..)?)`.
+pub fn execute(session: &mut Session, command: Command) -> Result<String> {
+    Ok(present::render(&apply(session, command)?))
 }
 
 #[cfg(test)]

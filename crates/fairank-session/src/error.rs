@@ -1,10 +1,11 @@
-//! Errors of the session engine.
+//! Errors of the session engine, plus their structured wire form.
 
 use std::fmt;
 
 use fairank_core::CoreError;
 use fairank_data::DataError;
 use fairank_marketplace::MarketError;
+use serde::{Deserialize, Serialize};
 
 /// Errors produced by sessions, commands and reports.
 #[derive(Debug)]
@@ -92,6 +93,59 @@ impl From<std::io::Error> for SessionError {
     }
 }
 
+impl SessionError {
+    /// The stable machine-readable error kind used on the wire. Kinds name
+    /// *classes* of failure; `message` carries the human specifics.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            SessionError::UnknownDataset(_) => "unknown_dataset",
+            SessionError::UnknownFunction(_) => "unknown_function",
+            SessionError::UnknownPanel(_) => "unknown_panel",
+            SessionError::UnknownNode { .. } => "unknown_node",
+            SessionError::NameTaken(_) => "name_taken",
+            SessionError::InvalidName(_) => "invalid_name",
+            SessionError::Command(_) => "command",
+            SessionError::Core(_) => "core",
+            SessionError::Data(_) => "data",
+            SessionError::Anon(_) => "anonymize",
+            SessionError::Market(_) => "market",
+            SessionError::Json(_) => "json",
+            SessionError::Io(_) => "io",
+        }
+    }
+}
+
+/// The structured wire form of a [`SessionError`]: a stable `kind` tag for
+/// programmatic handling plus the human `message` the REPL prints.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ErrorResponse {
+    /// Stable machine-readable error class (see [`SessionError::kind`]).
+    pub kind: String,
+    /// Human-readable description (the error's `Display` text).
+    pub message: String,
+}
+
+impl From<&SessionError> for ErrorResponse {
+    fn from(e: &SessionError) -> Self {
+        ErrorResponse {
+            kind: e.kind().to_string(),
+            message: e.to_string(),
+        }
+    }
+}
+
+impl From<SessionError> for ErrorResponse {
+    fn from(e: SessionError) -> Self {
+        ErrorResponse::from(&e)
+    }
+}
+
+impl fmt::Display for ErrorResponse {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({})", self.message, self.kind)
+    }
+}
+
 /// Convenience alias for this crate.
 pub type Result<T> = std::result::Result<T, SessionError>;
 
@@ -113,5 +167,33 @@ mod tests {
             .contains("not allowed"));
         assert!(SessionError::Command("bad".into()).to_string().contains("bad"));
         assert!(SessionError::Json("eof".into()).to_string().contains("eof"));
+    }
+
+    #[test]
+    fn error_kinds_are_stable_and_distinct() {
+        let cases = [
+            (SessionError::UnknownDataset("d".into()), "unknown_dataset"),
+            (SessionError::UnknownFunction("f".into()), "unknown_function"),
+            (SessionError::UnknownPanel(1), "unknown_panel"),
+            (SessionError::UnknownNode { panel: 0, node: 1 }, "unknown_node"),
+            (SessionError::NameTaken("x".into()), "name_taken"),
+            (SessionError::InvalidName("../x".into()), "invalid_name"),
+            (SessionError::Command("bad".into()), "command"),
+            (SessionError::Json("eof".into()), "json"),
+        ];
+        for (err, kind) in cases {
+            assert_eq!(err.kind(), kind);
+        }
+    }
+
+    #[test]
+    fn error_response_round_trips() {
+        let wire: ErrorResponse = SessionError::UnknownPanel(7).into();
+        assert_eq!(wire.kind, "unknown_panel");
+        assert!(wire.message.contains("#7"));
+        let json = serde_json::to_string(&wire).unwrap();
+        let back: ErrorResponse = serde_json::from_str(&json).unwrap();
+        assert_eq!(wire, back);
+        assert!(wire.to_string().contains("unknown_panel"));
     }
 }

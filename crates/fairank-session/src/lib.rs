@@ -11,14 +11,22 @@
 //!   its unfairness, per-node statistics (the *General* and *Node* boxes).
 //! * [`session::Session`] — the multi-panel workspace: register datasets
 //!   and functions, run quantifications, compare panels side by side.
-//! * [`command`] — the textual command language driving the CLI REPL.
-//! * [`render`] — ASCII partitioning trees and histogram sparklines.
+//! * [`command`] — the textual command language driving the CLI REPL, and
+//!   [`command::apply`], the typed entry point every front end shares.
+//! * [`response`] — the structured request/response layer: every command
+//!   yields a serde-serializable [`response::Response`] payload.
+//! * [`present`] — the only place responses become human text;
+//!   `render(&apply(..)?)` reproduces the classic REPL transcript byte for
+//!   byte.
+//! * [`render`] — panel-handle conveniences over [`present`] (ASCII
+//!   partitioning trees and histogram sparklines).
 //! * [`report`] — the three §4 demonstration scenarios as reports:
 //!   auditor, job owner, end user.
 //! * [`export`] — JSON export of panels and reports.
 //!
 //! The paper's web UI is substituted by this engine plus the `fairank`
-//! REPL; see DESIGN.md for the substitution rationale.
+//! REPL and the `fairank-service` JSON-lines server; see DESIGN.md for the
+//! substitution rationale.
 
 pub mod command;
 pub mod config;
@@ -26,11 +34,15 @@ pub mod error;
 pub mod export;
 pub mod panel;
 pub mod persist;
+pub mod present;
 pub mod render;
 pub mod report;
+pub mod response;
 pub mod session;
 
+pub use command::{apply, execute, Command};
 pub use config::Configuration;
-pub use error::{Result, SessionError};
+pub use error::{ErrorResponse, Result, SessionError};
 pub use panel::Panel;
+pub use response::Response;
 pub use session::Session;

@@ -1,0 +1,456 @@
+//! Human rendering of [`Response`] payloads.
+//!
+//! This module is the *only* place structured session results become text.
+//! [`render`] turns any [`Response`] into exactly the string the old
+//! string-in/string-out `execute` API produced (the `api_equivalence` suite
+//! pins this byte for byte), so the CLI REPL is `render(apply(..)?)` and a
+//! remote client that received a response as JSON renders the identical
+//! transcript locally.
+
+use crate::response::{
+    CompareView, DataHeadView, DatasetEntry, FunctionEntry, NodeView, PanelEntry, PanelView,
+    Response, SubgroupView,
+};
+
+/// The command reference shown by `help`.
+pub const HELP: &str = "\
+FaiRank commands:
+  datasets | funcs | panels            list session objects
+  load <name> <path.csv>               load a CSV dataset
+  generate <name> <preset> [n=] [seed=]  presets: crowdsourcing, biased,
+                                       taskrabbit, qapa
+  define <name> <attr*w+attr*w…>       define a scoring function
+  data <name> [rows=10]                print the head of a dataset
+  describe <name>                      per-column summary statistics
+  save <dir> | open <dir>              persist / restore the session
+  filter <new> <src> \"<expr>\"          derive a filtered dataset
+  anonymize <new> <src> k=2 [method=mondrian|datafly]
+  quantify <dataset> <func> [objective=most|least] [agg=mean|max|min|variance]
+           [bins=10] [emd=1d|transport] [where=\"<expr>\"] [opaque]
+  subgroups <dataset> <func> [depth=2] [min=5] [top=5]
+                                       most/least favored subgroups
+  show <panel>                         render a panel's partitioning tree
+  node <panel> <node>                  the Node box for one tree node
+  why <panel> <node>                   explain the search decision at a node
+  compare <a> <b>                      compare two panels
+  export <panel> <path.json>           export a panel as JSON
+  audit <taskrabbit|qapa> [n=] [seed=] [k=] [ranking-only]
+  jobowner <preset> <job> <skill> [n=] [seed=]
+  enduser <preset> \"<group expr>\" [n=] [seed=]
+  help | quit
+";
+
+const SPARK_LEVELS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+
+/// Renders histogram bin counts as a sparkline, one character per bin. An
+/// empty histogram (no mass anywhere) renders as dots.
+pub fn sparkline_counts(counts: &[u64]) -> String {
+    if counts.iter().all(|&c| c == 0) {
+        return "·".repeat(counts.len());
+    }
+    let max = counts.iter().copied().max().unwrap_or(0).max(1);
+    counts
+        .iter()
+        .map(|&c| {
+            if c == 0 {
+                SPARK_LEVELS[0]
+            } else {
+                let idx = ((c as f64 / max as f64) * (SPARK_LEVELS.len() - 1) as f64).round()
+                    as usize;
+                SPARK_LEVELS[idx.clamp(1, SPARK_LEVELS.len() - 1)]
+            }
+        })
+        .collect()
+}
+
+/// Renders the structured response exactly as the REPL prints it.
+pub fn render(response: &Response) -> String {
+    match response {
+        Response::Help => HELP.to_string(),
+        Response::Quit => "quit".to_string(),
+        Response::DatasetList(entries) => render_dataset_list(entries),
+        Response::FunctionList(entries) => render_function_list(entries),
+        Response::PanelList(entries) => render_panel_list(entries),
+        Response::DatasetLoaded { name, rows, path } => {
+            format!("loaded {name} ({rows} rows) from {path}")
+        }
+        Response::DatasetGenerated {
+            name,
+            preset,
+            n,
+            seed,
+        } => format!("generated {name} = {preset}(n={n}, seed={seed})"),
+        Response::FunctionDefined { name, expr } => format!("defined {name} = {expr}"),
+        Response::DataHead(head) => render_data_head(head),
+        Response::Description { text, .. } => text.clone(),
+        Response::SessionSaved {
+            dir,
+            datasets,
+            functions,
+        } => format!("saved {datasets} dataset(s) and {functions} function(s) to {dir}"),
+        Response::SessionOpened {
+            dir,
+            datasets,
+            functions,
+        } => format!("opened session from {dir}: {datasets} dataset(s), {functions} function(s)"),
+        Response::DatasetDerived {
+            name,
+            source,
+            expr,
+            rows,
+        } => format!("{name} = {source} where {expr} ({rows} rows)"),
+        Response::DatasetAnonymized {
+            name,
+            source,
+            method,
+            k,
+            suppressed,
+        } => format!("{name} = {method}({source}, k={k}), {suppressed} rows suppressed"),
+        Response::PanelCreated(view) => format!(
+            "panel #{}: unfairness {:.6} over {} partitions\n{}",
+            view.id,
+            view.unfairness,
+            view.num_partitions,
+            render_tree_view(&view.nodes)
+        ),
+        Response::PanelDetail(view) => format!(
+            "{}\n{}",
+            render_general_view(view),
+            render_tree_view(&view.nodes)
+        ),
+        Response::NodeDetail(node) => render_node_view(node),
+        Response::Explanation { text, .. } => text.clone(),
+        Response::CompareReport(view) => render_compare_view(view),
+        Response::Exported { panel, path } => format!("exported panel #{panel} to {path}"),
+        Response::Subgroups(view) => render_subgroups_view(view),
+        Response::Audit(report) => report.render(),
+        Response::JobOwnerSweep(report) => report.render(),
+        Response::EndUserView(report) => report.render(),
+    }
+}
+
+fn render_dataset_list(entries: &[DatasetEntry]) -> String {
+    if entries.is_empty() {
+        return "no datasets — try `generate d biased` or `load d file.csv`".into();
+    }
+    entries
+        .iter()
+        .map(|e| format!("{}  ({} rows, {} columns)", e.name, e.rows, e.columns))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+fn render_function_list(entries: &[FunctionEntry]) -> String {
+    if entries.is_empty() {
+        return "no functions — try `define f rating*0.7+language_test*0.3`".into();
+    }
+    entries
+        .iter()
+        .map(|e| {
+            let terms: Vec<String> = e
+                .terms
+                .iter()
+                .map(|(a, w)| format!("{w}·{a}"))
+                .collect();
+            format!("{} = {}", e.name, terms.join(" + "))
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+fn render_panel_list(entries: &[PanelEntry]) -> String {
+    if entries.is_empty() {
+        return "no panels — run `quantify <dataset> <function>`".into();
+    }
+    entries
+        .iter()
+        .map(|e| format!("#{}  u={:.4}  {}", e.id, e.unfairness, e.config))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+fn render_data_head(head: &DataHeadView) -> String {
+    let mut widths: Vec<usize> = head.columns.iter().map(String::len).collect();
+    for row in &head.rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    for (i, name) in head.columns.iter().enumerate() {
+        if i > 0 {
+            out.push_str("  ");
+        }
+        out.push_str(&format!("{:width$}", name, width = widths[i]));
+    }
+    out.push('\n');
+    for row in &head.rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            out.push_str(&format!("{:width$}", cell, width = widths[i]));
+        }
+        out.push('\n');
+    }
+    if head.rows.len() < head.total_rows {
+        out.push_str(&format!(
+            "… ({} more rows)\n",
+            head.total_rows - head.rows.len()
+        ));
+    }
+    out
+}
+
+/// Renders a partitioning tree from its wire nodes (`nodes[0]` is the
+/// root), with box-drawing connectors and leaf sparklines.
+pub fn render_tree_view(nodes: &[NodeView]) -> String {
+    let mut out = String::new();
+    if !nodes.is_empty() {
+        render_tree_node(nodes, 0, "", true, true, &mut out);
+    }
+    out
+}
+
+fn render_tree_node(
+    nodes: &[NodeView],
+    node: usize,
+    prefix: &str,
+    is_last: bool,
+    is_root: bool,
+    out: &mut String,
+) {
+    let view = &nodes[node];
+    let connector = if is_root {
+        ""
+    } else if is_last {
+        "└─ "
+    } else {
+        "├─ "
+    };
+    // Only the last path step is new information at this depth.
+    let label = view
+        .label
+        .rsplit(" ∧ ")
+        .next()
+        .unwrap_or(&view.label)
+        .to_string();
+    let annotation = if view.is_leaf {
+        format!(
+            " (n={}, μ={:.3}) {}",
+            view.size,
+            view.mean_score,
+            sparkline_counts(&view.histogram)
+        )
+    } else {
+        format!(
+            " (n={}) ⊢ split on {}",
+            view.size,
+            view.split_attribute.as_deref().unwrap_or("?")
+        )
+    };
+    out.push_str(prefix);
+    out.push_str(connector);
+    out.push_str(&format!("[{node}] "));
+    out.push_str(&label);
+    out.push_str(&annotation);
+    out.push('\n');
+
+    let child_prefix = if is_root {
+        String::new()
+    } else {
+        format!("{prefix}{}", if is_last { "   " } else { "│  " })
+    };
+    for (i, &child) in view.children.iter().enumerate() {
+        render_tree_node(
+            nodes,
+            child,
+            &child_prefix,
+            i + 1 == view.children.len(),
+            false,
+            out,
+        );
+    }
+}
+
+/// Renders the *General* box of a panel view (the tree nodes are ignored).
+pub fn render_general_view(view: &PanelView) -> String {
+    format!(
+        "Panel #{} — {}\n\
+         unfairness      {:.6}\n\
+         partitions      {}\n\
+         tree nodes      {}\n\
+         max depth       {}\n\
+         individuals     {}\n\
+         search time     {} µs\n\
+         splits scored   {}\n\
+         histograms      {}\n\
+         EMD calls       {} ({} cache hits)\n",
+        view.id,
+        view.config,
+        view.unfairness,
+        view.num_partitions,
+        view.tree_nodes,
+        view.max_depth,
+        view.individuals,
+        view.elapsed_us,
+        view.candidate_splits,
+        view.histograms_built,
+        view.emd_calls,
+        view.emd_cache_hits,
+    )
+}
+
+/// Renders the *Node* box for one wire node.
+pub fn render_node_view(view: &NodeView) -> String {
+    let kind = if view.is_leaf {
+        "final partition".to_string()
+    } else {
+        format!(
+            "internal, split on {}",
+            view.split_attribute.as_deref().unwrap_or("?")
+        )
+    };
+    let divergence = view
+        .divergence_vs_siblings
+        .map(|d| format!("{d:.4}"))
+        .unwrap_or_else(|| "-".into());
+    format!(
+        "Node [{}] {}\n\
+         kind            {}\n\
+         individuals     {}\n\
+         mean score      {:.4}\n\
+         score range     [{:.4}, {:.4}]\n\
+         vs siblings     {}\n\
+         histogram       {}  (bins of {:?})\n",
+        view.node,
+        view.label,
+        kind,
+        view.size,
+        view.mean_score,
+        view.min_score,
+        view.max_score,
+        divergence,
+        sparkline_counts(&view.histogram),
+        view.histogram,
+    )
+}
+
+fn render_compare_view(view: &CompareView) -> String {
+    format!(
+        "compare      #{:<28} #{}\n\
+         config       {:<28} {}\n\
+         unfairness   {:<28.6} {:.6}  (Δ {:+.6})\n\
+         partitions   {:<28} {}\n\
+         individuals  {:<28} {}\n",
+        view.a_id,
+        view.b_id,
+        view.a_config,
+        view.b_config,
+        view.a_unfairness,
+        view.b_unfairness,
+        view.delta,
+        view.a_partitions,
+        view.b_partitions,
+        view.a_individuals,
+        view.b_individuals,
+    )
+}
+
+fn render_subgroups_view(view: &SubgroupView) -> String {
+    let mut out = format!(
+        "subgroups of {} under {} (depth ≤ {}, size ≥ {}): {}\n",
+        view.dataset, view.function, view.depth, view.min_size, view.total
+    );
+    out.push_str("most favored:\n");
+    for s in &view.most_favored {
+        out.push_str(&format!(
+            "  {:<44} n={:<4} advantage {:+.3}  divergence {:.3}\n",
+            s.label, s.size, s.advantage, s.divergence
+        ));
+    }
+    out.push_str("least favored:\n");
+    for s in &view.least_favored {
+        out.push_str(&format!(
+            "  {:<44} n={:<4} advantage {:+.3}  divergence {:.3}\n",
+            s.label, s.size, s.advantage, s.divergence
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparkline_counts_shapes() {
+        assert_eq!(sparkline_counts(&[0, 0, 0]), "···");
+        let s = sparkline_counts(&[3, 0, 1]);
+        assert_eq!(s.chars().count(), 3);
+        assert!(s.starts_with('█'));
+        assert_eq!(s.chars().nth(1), Some('▁'));
+    }
+
+    #[test]
+    fn empty_listings_render_hints() {
+        assert!(render(&Response::DatasetList(Vec::new())).contains("no datasets"));
+        assert!(render(&Response::FunctionList(Vec::new())).contains("no functions"));
+        assert!(render(&Response::PanelList(Vec::new())).contains("no panels"));
+    }
+
+    #[test]
+    fn quit_and_help_are_stable() {
+        assert_eq!(render(&Response::Quit), "quit");
+        assert!(render(&Response::Help).contains("FaiRank commands"));
+    }
+
+    #[test]
+    fn data_head_alignment_and_ellipsis() {
+        let head = DataHeadView {
+            name: "pop".into(),
+            columns: vec!["gender".into(), "r".into()],
+            rows: vec![
+                vec!["F".into(), "0.25".into()],
+                vec!["M".into(), "0.5".into()],
+            ],
+            total_rows: 4,
+        };
+        let text = render(&Response::DataHead(head));
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4); // header + 2 rows + ellipsis
+        assert!(lines[0].starts_with("gender"));
+        // The `r` column is padded to the widest cell (`0.25`).
+        assert_eq!(lines[0], "gender  r   ");
+        assert_eq!(lines[3], "… (2 more rows)");
+    }
+
+    #[test]
+    fn simple_ack_lines() {
+        assert_eq!(
+            render(&Response::DatasetLoaded {
+                name: "d".into(),
+                rows: 3,
+                path: "x.csv".into()
+            }),
+            "loaded d (3 rows) from x.csv"
+        );
+        assert_eq!(
+            render(&Response::DatasetAnonymized {
+                name: "a".into(),
+                source: "d".into(),
+                method: "Mondrian".into(),
+                k: 2,
+                suppressed: 0
+            }),
+            "a = Mondrian(d, k=2), 0 rows suppressed"
+        );
+        assert_eq!(
+            render(&Response::Exported {
+                panel: 1,
+                path: "p.json".into()
+            }),
+            "exported panel #1 to p.json"
+        );
+    }
+}

@@ -1,180 +1,41 @@
-//! Text rendering: partitioning trees and histogram sparklines.
+//! Panel-level text rendering: partitioning trees and histogram sparklines.
 //!
-//! The Figure 3 interface draws partitioning trees in panels; here they are
-//! rendered with box-drawing characters, one node per line, each leaf
-//! carrying its size, mean score and a histogram sparkline.
+//! The Figure 3 interface draws partitioning trees in panels. Since the
+//! typed-response redesign the actual formatting lives in [`crate::present`]
+//! (which renders wire views, so remote clients produce identical text);
+//! this module keeps the panel-handle convenience API and delegates.
 
 use fairank_core::histogram::Histogram;
 
 use crate::panel::Panel;
-
-const SPARK_LEVELS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+use crate::present;
+use crate::response::{node_views, NodeView, PanelView};
 
 /// Renders a histogram as a sparkline, one character per bin. An empty
 /// histogram renders as dots.
 pub fn sparkline(hist: &Histogram) -> String {
-    if hist.is_empty() {
-        return "·".repeat(hist.spec().bins());
-    }
-    let max = hist.counts().iter().copied().max().unwrap_or(0).max(1);
-    hist.counts()
-        .iter()
-        .map(|&c| {
-            if c == 0 {
-                SPARK_LEVELS[0]
-            } else {
-                let idx = ((c as f64 / max as f64) * (SPARK_LEVELS.len() - 1) as f64).round()
-                    as usize;
-                SPARK_LEVELS[idx.clamp(1, SPARK_LEVELS.len() - 1)]
-            }
-        })
-        .collect()
+    present::sparkline_counts(hist.counts())
 }
 
 /// Renders the panel's partitioning tree.
 pub fn render_tree(panel: &Panel) -> String {
-    let mut out = String::new();
-    render_node(panel, 0, "", true, true, &mut out);
-    out
-}
-
-fn render_node(
-    panel: &Panel,
-    node: usize,
-    prefix: &str,
-    is_last: bool,
-    is_root: bool,
-    out: &mut String,
-) {
-    let stats = panel.node_stats(node).expect("tree node exists");
-    let connector = if is_root {
-        ""
-    } else if is_last {
-        "└─ "
-    } else {
-        "├─ "
-    };
-    let label = if is_root {
-        let step = stats
-            .label
-            .rsplit(" ∧ ")
-            .next()
-            .unwrap_or(&stats.label)
-            .to_string();
-        step
-    } else {
-        // Only the last path step is new information at this depth.
-        stats
-            .label
-            .rsplit(" ∧ ")
-            .next()
-            .unwrap_or(&stats.label)
-            .to_string()
-    };
-    let annotation = if stats.is_leaf {
-        format!(
-            " (n={}, μ={:.3}) {}",
-            stats.size,
-            stats.mean_score,
-            sparkline(&stats.histogram)
-        )
-    } else {
-        format!(
-            " (n={}) ⊢ split on {}",
-            stats.size,
-            stats.split_attribute.as_deref().unwrap_or("?")
-        )
-    };
-    out.push_str(prefix);
-    out.push_str(connector);
-    out.push_str(&format!("[{node}] "));
-    out.push_str(&label);
-    out.push_str(&annotation);
-    out.push('\n');
-
-    let children = &panel.outcome.tree.node(node).children;
-    let child_prefix = if is_root {
-        String::new()
-    } else {
-        format!("{prefix}{}", if is_last { "   " } else { "│  " })
-    };
-    for (i, &child) in children.iter().enumerate() {
-        render_node(
-            panel,
-            child,
-            &child_prefix,
-            i + 1 == children.len(),
-            false,
-            out,
-        );
-    }
+    let nodes = node_views(panel).expect("panel tree nodes are valid");
+    present::render_tree_view(&nodes)
 }
 
 /// Renders the *General* box of a panel, including the evaluation engine's
 /// work counters (how much the caches saved is `emd cache hits` relative to
 /// `EMD calls`).
 pub fn render_general(panel: &Panel) -> String {
-    let info = panel.general_info();
-    format!(
-        "Panel #{} — {}\n\
-         unfairness      {:.6}\n\
-         partitions      {}\n\
-         tree nodes      {}\n\
-         max depth       {}\n\
-         individuals     {}\n\
-         search time     {} µs\n\
-         splits scored   {}\n\
-         histograms      {}\n\
-         EMD calls       {} ({} cache hits)\n",
-        panel.id,
-        panel.config.describe(),
-        info.unfairness,
-        info.num_partitions,
-        info.tree_nodes,
-        info.max_depth,
-        info.individuals,
-        info.elapsed_us,
-        info.candidate_splits,
-        info.histograms_built,
-        info.emd_calls,
-        info.emd_cache_hits,
-    )
+    present::render_general_view(&PanelView::general_only(panel))
 }
 
 /// Renders the *Node* box for one node of a panel.
 pub fn render_node_box(panel: &Panel, node: usize) -> crate::error::Result<String> {
     let stats = panel.node_stats(node)?;
-    let kind = if stats.is_leaf {
-        "final partition".to_string()
-    } else {
-        format!(
-            "internal, split on {}",
-            stats.split_attribute.as_deref().unwrap_or("?")
-        )
-    };
-    let divergence = stats
-        .divergence_vs_siblings
-        .map(|d| format!("{d:.4}"))
-        .unwrap_or_else(|| "-".into());
-    Ok(format!(
-        "Node [{}] {}\n\
-         kind            {}\n\
-         individuals     {}\n\
-         mean score      {:.4}\n\
-         score range     [{:.4}, {:.4}]\n\
-         vs siblings     {}\n\
-         histogram       {}  (bins of {:?})\n",
-        stats.node,
-        stats.label,
-        kind,
-        stats.size,
-        stats.mean_score,
-        stats.min_score,
-        stats.max_score,
-        divergence,
-        sparkline(&stats.histogram),
-        stats.histogram.counts(),
-    ))
+    let tree_node = panel.outcome.tree.node(node);
+    let view = NodeView::from_stats(stats, tree_node.parent, tree_node.children.clone());
+    Ok(present::render_node_view(&view))
 }
 
 #[cfg(test)]

@@ -265,28 +265,12 @@ impl Session {
     }
 
     /// Side-by-side comparison of two panels' general info, as the Figure 3
-    /// multi-panel layout enables.
+    /// multi-panel layout enables. The structured form of this comparison
+    /// is [`crate::response::CompareView`]; this renders it.
     pub fn compare(&self, a: usize, b: usize) -> Result<String> {
-        let pa = self.panel(a)?;
-        let pb = self.panel(b)?;
-        let ia = pa.general_info();
-        let ib = pb.general_info();
-        let delta = ib.unfairness - ia.unfairness;
-        Ok(format!(
-            "compare      #{a:<28} #{b}\n\
-             config       {:<28} {}\n\
-             unfairness   {:<28.6} {:.6}  (Δ {:+.6})\n\
-             partitions   {:<28} {}\n\
-             individuals  {:<28} {}\n",
-            pa.config.describe(),
-            pb.config.describe(),
-            ia.unfairness,
-            ib.unfairness,
-            delta,
-            ia.num_partitions,
-            ib.num_partitions,
-            ia.individuals,
-            ib.individuals,
+        let view = crate::response::CompareView::new(self.panel(a)?, self.panel(b)?);
+        Ok(crate::present::render(
+            &crate::response::Response::CompareReport(view),
         ))
     }
 }

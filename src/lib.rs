@@ -24,7 +24,12 @@
 //! * [`marketplace`] — simulated online job marketplaces with transparency
 //!   modes and a blackbox crawler.
 //! * [`session`] — the interactive exploration engine: configurations,
-//!   panels, node statistics, role-specific reports.
+//!   panels, node statistics, role-specific reports — exposed through the
+//!   typed request/response API (`apply` → `Response`, rendered by
+//!   `present`).
+//! * [`service`] — the serving layer: a concurrent session registry and a
+//!   JSON-lines TCP server multiplexing many clients over many sessions
+//!   (`fairank serve` / `fairank connect`).
 //!
 //! ## Quickstart
 //!
@@ -55,6 +60,7 @@ pub use fairank_anonymize as anonymize;
 pub use fairank_core as core;
 pub use fairank_data as data;
 pub use fairank_marketplace as marketplace;
+pub use fairank_service as service;
 pub use fairank_session as session;
 
 /// One-stop imports for the most common FaiRank workflow.
@@ -72,9 +78,13 @@ pub mod prelude {
         filter::Filter,
         schema::{AttributeRole, Schema},
     };
+    pub use fairank_service::{Reply, Request, Server, ServerConfig, SessionRegistry};
     pub use fairank_session::{
+        command::{apply, Command},
         config::Configuration,
         panel::Panel,
+        present,
+        response::Response,
         session::Session,
     };
 }
