@@ -112,11 +112,15 @@ fn flag_value<'a>(args: &'a [String], key: &str) -> Option<&'a str> {
         .map(String::as_str)
 }
 
-/// `fairank serve [--addr host:port] [--workers n] [--allow-fs]` — the
-/// multi-session JSON-lines server. `--addr` with port 0 picks an
-/// ephemeral port; the actual address is printed as `listening on <addr>`.
-/// Filesystem commands (`load`/`save`/`open`/`export`) are refused from
-/// the wire unless `--allow-fs` is given.
+/// `fairank serve [--addr host:port] [--workers n] [--allow-fs] [--admin]
+/// [--session-ttl secs]` — the multi-session JSON-lines server. `--addr`
+/// with port 0 picks an ephemeral port; the actual address is printed as
+/// `listening on <addr>`. Filesystem commands
+/// (`load`/`save`/`open`/`export`/`scenario <file>`) are refused from the
+/// wire unless `--allow-fs` is given; registry admin (`sessions`/`evict`)
+/// is refused unless `--admin` is given. `--session-ttl` evicts sessions
+/// idle longer than the window (sweep runs on the accept loop; default:
+/// sessions live forever).
 fn serve_mode(args: &[String]) {
     let addr = flag_value(args, "--addr").unwrap_or("127.0.0.1:4915");
     let workers = flag_value(args, "--workers")
@@ -128,10 +132,21 @@ fn serve_mode(args: &[String]) {
             }
         })
         .unwrap_or(0);
+    let session_ttl = flag_value(args, "--session-ttl").map(|raw| {
+        match raw.parse::<u64>() {
+            Ok(secs) if secs > 0 => std::time::Duration::from_secs(secs),
+            _ => {
+                eprintln!("--session-ttl must be a positive number of seconds, got {raw:?}");
+                std::process::exit(2);
+            }
+        }
+    });
     let config = ServerConfig {
         workers,
         queue_depth: 0,
         allow_fs_commands: args.iter().any(|a| a == "--allow-fs"),
+        admin: args.iter().any(|a| a == "--admin"),
+        session_ttl,
     };
     let server = match Server::bind(addr, config) {
         Ok(server) => server,

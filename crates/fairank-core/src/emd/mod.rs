@@ -36,6 +36,26 @@ pub enum EmdBackend {
     Transport,
 }
 
+impl EmdBackend {
+    /// The command-syntax name of the backend (`1d` / `transport`) — the
+    /// single source for both parsing and display.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EmdBackend::OneD => "1d",
+            EmdBackend::Transport => "transport",
+        }
+    }
+
+    /// Parses a command-syntax backend name.
+    pub fn parse(s: &str) -> Option<EmdBackend> {
+        match s {
+            "1d" => Some(EmdBackend::OneD),
+            "transport" => Some(EmdBackend::Transport),
+            _ => None,
+        }
+    }
+}
+
 /// Configured EMD distance between histograms.
 ///
 /// Empty-vs-nonempty comparisons are defined as the maximum possible

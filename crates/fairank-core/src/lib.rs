@@ -42,6 +42,7 @@ pub mod fairness;
 pub mod histogram;
 pub mod pairwise;
 pub mod partition;
+pub mod plan;
 pub mod quantify;
 pub mod scoring;
 pub mod space;

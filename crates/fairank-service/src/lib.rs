@@ -8,16 +8,24 @@
 //!
 //! * [`registry`] — the concurrent session store: named [`Session`]s
 //!   behind `RwLock<HashMap<_, Arc<Mutex<_>>>>`, with create / attach /
-//!   detach / evict.
+//!   detach / evict, per-entry last-use tracking, and idle-TTL expiry
+//!   (`serve --session-ttl`).
 //! * [`pool`] — a bounded worker pool that caps how many quantify-class
 //!   (CPU-bound) requests run at once, independent of connection count.
+//!   Scenario plans fan out through [`pool::WorkerPool::run_batch`]: an
+//!   N-cell grid saturates all workers instead of occupying one slot.
 //! * [`protocol`] — the JSON-lines wire format: one request per line
-//!   (`{"session": .., "command": ..}`), one reply per line
+//!   (`{"session": .., "command": ..}` — or `{"session": .., "scenario":
+//!   <spec>}` for structured scenario plans), one reply per line
 //!   (`{"ok": Response}` / `{"err": {"kind", "message"}}`). Commands use
 //!   the *exact* REPL syntax (`Command::parse`), so any transcript that
-//!   works in the CLI works over the wire.
+//!   works in the CLI works over the wire. Oversized request lines are
+//!   refused with the structured `request_too_large` kind before the
+//!   connection closes.
 //! * [`server`] — the TCP front end: `std::net` only, thread per
-//!   connection, heavy requests routed through the pool.
+//!   connection, heavy requests routed through the pool; registry admin
+//!   (`sessions` / `evict`) is served at the dispatch layer behind
+//!   `serve --admin`.
 //!
 //! [`Session`]: fairank_session::Session
 

@@ -93,6 +93,38 @@ impl WorkerPool {
         // A panicking job drops `tx` without sending: recv errors, None.
         rx.recv().ok()
     }
+
+    /// Submits a whole batch of jobs and blocks until all of them finish,
+    /// returning their results in submission order (`None` for jobs that
+    /// panicked). Unlike calling [`WorkerPool::run`] once per job from one
+    /// thread — which would serialize the batch — every job is enqueued
+    /// before any result is awaited, so an N-job batch saturates all
+    /// workers at once. Submission still respects the bounded queue:
+    /// enqueueing blocks while the queue is full, and the already-queued
+    /// jobs drain meanwhile.
+    ///
+    /// Jobs must not submit work to the same pool (a job blocking on a
+    /// nested `run` could deadlock a fully-busy pool).
+    pub fn run_batch<T, F>(&self, jobs: Vec<F>) -> Vec<Option<T>>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        let sender = self.sender.as_ref().expect("pool is live until dropped");
+        let receivers: Vec<_> = jobs
+            .into_iter()
+            .map(|job| {
+                let (tx, rx) = std::sync::mpsc::sync_channel::<T>(1);
+                sender
+                    .send(Box::new(move || {
+                        let _ = tx.send(job());
+                    }))
+                    .expect("worker threads outlive the pool handle");
+                rx
+            })
+            .collect();
+        receivers.into_iter().map(|rx| rx.recv().ok()).collect()
+    }
 }
 
 fn worker_loop(receiver: &Mutex<Receiver<Job>>) {

@@ -17,19 +17,26 @@
 //! [`fairank_session::Response`] payload, so clients switch on the variant
 //! name instead of scraping strings.
 
-use fairank_session::{ErrorResponse, Response, SessionError};
+use fairank_session::{ErrorResponse, Response, ScenarioSpec, SessionError};
 use serde::{Deserialize, Serialize};
 
 /// The session name used when a request does not specify one.
 pub const DEFAULT_SESSION: &str = "default";
 
-/// One wire request: a session name plus a REPL-syntax command line.
+/// One wire request: a session name plus a REPL-syntax command line —
+/// or, instead of the command string, a structured scenario spec
+/// (`scenario`) so whole plans ship as one request without string
+/// embedding.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Request {
     /// Target session; `None` means [`DEFAULT_SESSION`].
     pub session: Option<String>,
-    /// One command in the exact REPL syntax.
-    pub command: String,
+    /// One command in the exact REPL syntax. May be omitted entirely when
+    /// `scenario` carries the request instead.
+    pub command: Option<String>,
+    /// A structured scenario plan to run; takes precedence over
+    /// `command`.
+    pub scenario: Option<ScenarioSpec>,
 }
 
 impl Request {
@@ -37,7 +44,8 @@ impl Request {
     pub fn new(command: impl Into<String>) -> Self {
         Request {
             session: None,
-            command: command.into(),
+            command: Some(command.into()),
+            scenario: None,
         }
     }
 
@@ -45,13 +53,29 @@ impl Request {
     pub fn in_session(session: impl Into<String>, command: impl Into<String>) -> Self {
         Request {
             session: Some(session.into()),
-            command: command.into(),
+            command: Some(command.into()),
+            scenario: None,
+        }
+    }
+
+    /// A structured scenario-plan request against a named session.
+    pub fn scenario(session: impl Into<String>, spec: ScenarioSpec) -> Self {
+        Request {
+            session: Some(session.into()),
+            command: None,
+            scenario: Some(spec),
         }
     }
 
     /// The effective session name.
     pub fn session_name(&self) -> &str {
         self.session.as_deref().unwrap_or(DEFAULT_SESSION)
+    }
+
+    /// The command text (empty when the request is scenario-only; an empty
+    /// line parses to `help`).
+    pub fn command_text(&self) -> &str {
+        self.command.as_deref().unwrap_or("")
     }
 }
 
@@ -84,6 +108,21 @@ impl Reply {
         Reply::err(ErrorResponse {
             kind: "protocol".to_string(),
             message: message.into(),
+        })
+    }
+
+    /// The structured refusal for a request line exceeding the server's
+    /// size cap. Sent once before the connection closes (the rest of the
+    /// line cannot be resynchronized), so clients see *why* instead of a
+    /// silent drop.
+    pub fn request_too_large(limit: u64) -> Self {
+        Reply::err(ErrorResponse {
+            kind: "request_too_large".to_string(),
+            message: format!(
+                "request line exceeds the {limit}-byte cap; the connection will \
+                 close (split the request or ship large plans as structured \
+                 `scenario` specs)"
+            ),
         })
     }
 
@@ -125,7 +164,34 @@ mod tests {
         // A request whose JSON omits `session` entirely (not just null).
         let back: Request = serde_json::from_str(r#"{"command": "help"}"#).unwrap();
         assert_eq!(back.session, None);
-        assert_eq!(back.command, "help");
+        assert_eq!(back.command_text(), "help");
+    }
+
+    #[test]
+    fn scenario_only_requests_parse_without_a_command_field() {
+        // The documented structured form: no "command" key at all.
+        let json = r#"{"session": "audit-1", "scenario": {"perspective":
+            {"Grid": {"datasets": ["pop"], "functions": ["f"], "filter": null}},
+            "strategy": null, "criteria": null}}"#;
+        let back: Request = serde_json::from_str(json).unwrap();
+        assert_eq!(back.session_name(), "audit-1");
+        assert_eq!(back.command, None);
+        assert_eq!(back.command_text(), "");
+        assert!(back.scenario.is_some());
+        // The constructor produces the same shape and round-trips.
+        let spec = back.scenario.clone().unwrap();
+        let request = Request::scenario("audit-1", spec);
+        let round: Request =
+            serde_json::from_str(&serde_json::to_string(&request).unwrap()).unwrap();
+        assert_eq!(request, round);
+    }
+
+    #[test]
+    fn request_too_large_reply_is_structured() {
+        let reply = Reply::request_too_large(1 << 20);
+        let err = reply.into_result().unwrap_err();
+        assert_eq!(err.kind, "request_too_large");
+        assert!(err.message.contains("1048576"));
     }
 
     #[test]

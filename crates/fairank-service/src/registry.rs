@@ -7,10 +7,15 @@
 //! serializes commands *within* one session, which is exactly the REPL's
 //! consistency model — concurrent clients attached to the same session
 //! behave like one user typing fast.
+//!
+//! Every entry tracks when it was last attached, so long-running servers
+//! can expire idle sessions ([`SessionRegistry::evict_idle`], surfaced as
+//! `serve --session-ttl`).
 
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::{Arc, Mutex, RwLock};
+use std::time::{Duration, Instant};
 
 use fairank_session::Session;
 
@@ -42,10 +47,40 @@ impl std::error::Error for RegistryError {}
 /// A shared handle to one live session.
 pub type SessionHandle = Arc<Mutex<Session>>;
 
+/// One registry entry: the session handle plus its last-attach time.
+#[derive(Debug)]
+struct Entry {
+    handle: SessionHandle,
+    last_used: Mutex<Instant>,
+}
+
+impl Entry {
+    fn new() -> Arc<Entry> {
+        Arc::new(Entry {
+            handle: Arc::new(Mutex::new(Session::new())),
+            last_used: Mutex::new(Instant::now()),
+        })
+    }
+
+    fn touch(&self) {
+        *self
+            .last_used
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = Instant::now();
+    }
+
+    fn idle_for(&self) -> Duration {
+        self.last_used
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .elapsed()
+    }
+}
+
 /// The concurrent multi-session store.
 #[derive(Debug, Default)]
 pub struct SessionRegistry {
-    sessions: RwLock<HashMap<String, SessionHandle>>,
+    sessions: RwLock<HashMap<String, Arc<Entry>>>,
 }
 
 impl SessionRegistry {
@@ -60,18 +95,24 @@ impl SessionRegistry {
         if sessions.contains_key(name) {
             return Err(RegistryError::AlreadyExists(name.to_string()));
         }
-        let handle = Arc::new(Mutex::new(Session::new()));
-        sessions.insert(name.to_string(), Arc::clone(&handle));
+        let entry = Entry::new();
+        let handle = Arc::clone(&entry.handle);
+        sessions.insert(name.to_string(), entry);
         Ok(handle)
     }
 
-    /// A handle to an existing named session.
+    /// A handle to an existing named session. Attaching marks the session
+    /// as used (it will not be expired by [`SessionRegistry::evict_idle`]
+    /// until a full idle window passes again).
     pub fn attach(&self, name: &str) -> Result<SessionHandle, RegistryError> {
         self.sessions
             .read()
             .expect("registry lock")
             .get(name)
-            .cloned()
+            .map(|entry| {
+                entry.touch();
+                Arc::clone(&entry.handle)
+            })
             .ok_or_else(|| RegistryError::NotFound(name.to_string()))
     }
 
@@ -97,6 +138,26 @@ impl SessionRegistry {
             .remove(name)
             .map(|_| ())
             .ok_or_else(|| RegistryError::NotFound(name.to_string()))
+    }
+
+    /// Evicts every session not attached for at least `ttl`, returning the
+    /// evicted names sorted. As with [`SessionRegistry::evict`], clients
+    /// still holding a handle keep a working session — eviction only
+    /// forgets the name. A session executing a long command counts as idle
+    /// from its last *attach*; servers sweep between requests, so this
+    /// only matters for TTLs shorter than a single command.
+    pub fn evict_idle(&self, ttl: Duration) -> Vec<String> {
+        let mut sessions = self.sessions.write().expect("registry lock");
+        let mut evicted: Vec<String> = sessions
+            .iter()
+            .filter(|(_, entry)| entry.idle_for() >= ttl)
+            .map(|(name, _)| name.clone())
+            .collect();
+        for name in &evicted {
+            sessions.remove(name);
+        }
+        evicted.sort();
+        evicted
     }
 
     /// Names of all live sessions, sorted.
@@ -218,5 +279,25 @@ mod tests {
         let handle = registry.attach("shared").unwrap();
         let session = handle.lock().unwrap();
         assert_eq!(session.dataset_names().len(), 8);
+    }
+
+    #[test]
+    fn evict_idle_expires_only_stale_sessions() {
+        let registry = SessionRegistry::new();
+        registry.attach_or_create("old");
+        registry.attach_or_create("fresh");
+        std::thread::sleep(Duration::from_millis(30));
+        // Re-attaching refreshes the idle clock.
+        registry.attach("fresh").unwrap();
+        let evicted = registry.evict_idle(Duration::from_millis(25));
+        assert_eq!(evicted, vec!["old"]);
+        assert_eq!(registry.names(), vec!["fresh"]);
+        // A zero TTL expires everything not attached in this instant.
+        std::thread::sleep(Duration::from_millis(1));
+        let evicted = registry.evict_idle(Duration::ZERO);
+        assert_eq!(evicted, vec!["fresh"]);
+        assert!(registry.is_empty());
+        // Idempotent on an empty registry.
+        assert!(registry.evict_idle(Duration::ZERO).is_empty());
     }
 }

@@ -32,9 +32,17 @@ pub struct ServerConfig {
     /// (0 = twice the worker count).
     pub queue_depth: usize,
     /// Allow wire clients to run commands that touch the server's
-    /// filesystem (`load`, `save`, `open`, `export`). Off by default: a
-    /// reachable port must not hand out file read/write on the host.
+    /// filesystem (`load`, `save`, `open`, `export`, `scenario
+    /// <spec.json>`). Off by default: a reachable port must not hand out
+    /// file read/write on the host.
     pub allow_fs_commands: bool,
+    /// Allow wire clients to run registry-admin commands (`sessions`,
+    /// `evict <name>`). Off by default.
+    pub admin: bool,
+    /// Evict sessions idle for at least this long. The sweep runs on the
+    /// accept loop (each new connection triggers one pass). `None` (the
+    /// default) keeps sessions forever.
+    pub session_ttl: Option<std::time::Duration>,
 }
 
 /// A running multi-session FaiRank server.
@@ -43,7 +51,8 @@ pub struct Server {
     listener: TcpListener,
     registry: Arc<SessionRegistry>,
     pool: Arc<WorkerPool>,
-    allow_fs_commands: bool,
+    policy: DispatchPolicy,
+    session_ttl: Option<std::time::Duration>,
     stop: Arc<AtomicBool>,
 }
 
@@ -76,7 +85,11 @@ impl Server {
             listener,
             registry: Arc::new(SessionRegistry::new()),
             pool: Arc::new(WorkerPool::new(workers, depth)),
-            allow_fs_commands: config.allow_fs_commands,
+            policy: DispatchPolicy {
+                allow_fs_commands: config.allow_fs_commands,
+                admin: config.admin,
+            },
+            session_ttl: config.session_ttl,
             stop: Arc::new(AtomicBool::new(false)),
         })
     }
@@ -93,12 +106,16 @@ impl Server {
 
     /// Serves connections on the calling thread until stopped.
     pub fn run(self) {
-        let policy = DispatchPolicy {
-            allow_fs_commands: self.allow_fs_commands,
-        };
+        let policy = self.policy;
         for stream in self.listener.incoming() {
             if self.stop.load(Ordering::SeqCst) {
                 break;
+            }
+            // Idle-session TTL: sweep on the accept loop, so the cost is
+            // one registry pass per new connection and an idle server
+            // holds no timers.
+            if let Some(ttl) = self.session_ttl {
+                self.registry.evict_idle(ttl);
             }
             let Ok(stream) = stream else { continue };
             let registry = Arc::clone(&self.registry);
@@ -154,8 +171,18 @@ impl Drop for ServerHandle {
 /// What a wire client is allowed to run (see [`ServerConfig`]).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct DispatchPolicy {
-    /// Permit `load`/`save`/`open`/`export` from the wire.
+    /// Permit `load`/`save`/`open`/`export`/`scenario <file>` from the
+    /// wire.
     pub allow_fs_commands: bool,
+    /// Permit registry-admin commands (`sessions`, `evict`) from the wire.
+    pub admin: bool,
+}
+
+fn forbidden(message: &str) -> Reply {
+    Reply::err(fairank_session::ErrorResponse {
+        kind: "forbidden".to_string(),
+        message: message.to_string(),
+    })
 }
 
 /// Executes one parsed request against the registry, routing CPU-bound
@@ -167,19 +194,54 @@ pub fn dispatch(
     request: Request,
     policy: DispatchPolicy,
 ) -> Reply {
-    let command = match Command::parse(&request.command) {
-        Ok(command) => command,
-        Err(e) => return Reply::from_result(Err(e)),
+    let session_name = request.session_name().to_string();
+    // A structured scenario spec takes precedence over the command string.
+    let command = match request.scenario {
+        Some(spec) => Command::RunScenario {
+            spec: Box::new(spec),
+        },
+        None => match Command::parse(request.command_text()) {
+            Ok(command) => command,
+            Err(e) => return Reply::from_result(Err(e)),
+        },
     };
     if command.touches_filesystem() && !policy.allow_fs_commands {
-        return Reply::err(fairank_session::ErrorResponse {
-            kind: "forbidden".to_string(),
-            message: "filesystem commands (load/save/open/export) are disabled \
-                      on this server (start it with --allow-fs to permit them)"
-                .to_string(),
-        });
+        return forbidden(
+            "filesystem commands (load/save/open/export/scenario <file>) are \
+             disabled on this server (start it with --allow-fs to permit them)",
+        );
     }
-    let handle = registry.attach_or_create(request.session_name());
+    // Registry admin never reaches a session: it operates on the registry
+    // itself, and only over an `--admin` server.
+    if command.is_registry_admin() {
+        if !policy.admin {
+            return forbidden(
+                "registry admin commands (sessions/evict) are disabled on this \
+                 server (start it with --admin to permit them)",
+            );
+        }
+        return match command {
+            Command::Sessions => Reply::ok(Response::SessionList(registry.names())),
+            Command::Evict { name } => match registry.evict(&name) {
+                Ok(()) => Reply::ok(Response::SessionEvicted { name }),
+                Err(e) => Reply::err(fairank_session::ErrorResponse {
+                    kind: "unknown_session".to_string(),
+                    message: e.to_string(),
+                }),
+            },
+            _ => unreachable!("is_registry_admin covers exactly these commands"),
+        };
+    }
+    let handle = registry.attach_or_create(&session_name);
+    // Scenario plans do not occupy one worker slot for their whole run:
+    // the connection thread compiles the plan and fans the independent
+    // cells across the pool, so an N-cell grid saturates all workers.
+    if matches!(
+        command,
+        Command::RunScenario { .. } | Command::RunScenarioFile { .. }
+    ) {
+        return Reply::from_result(run_scenario_on_pool(&handle, command, pool));
+    }
     let result = if command.is_compute_heavy() {
         match pool.run(move || {
             let mut session = handle.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
@@ -202,6 +264,62 @@ pub fn dispatch(
     Reply::from_result(result)
 }
 
+/// Compiles a scenario command against the session and executes its cells
+/// on the worker pool — one pool job per cell, all enqueued before any is
+/// awaited, so the grid runs as wide as the pool allows.
+///
+/// The session lock is held only around compile and the final reduce,
+/// NEVER while waiting on the pool: a regular heavy command for the same
+/// session runs as a pool job that starts by taking this lock, so a
+/// connection thread that held it while blocking on workers would wedge
+/// the whole pool (worker waits on the lock, lock holder waits on
+/// workers). Releasing it between the phases lets interleaved commands
+/// proceed; panel ids are assigned at reduce time against the
+/// then-current session, exactly as two users typing concurrently would
+/// see.
+fn run_scenario_on_pool(
+    handle: &crate::registry::SessionHandle,
+    command: Command,
+    pool: &WorkerPool,
+) -> Result<Response, fairank_session::SessionError> {
+    use fairank_session::plan;
+
+    let spec = match command {
+        Command::RunScenario { spec } => *spec,
+        // Only reachable under `--allow-fs`.
+        Command::RunScenarioFile { path } => {
+            let text = std::fs::read_to_string(&path)?;
+            serde_json::from_str(&text).map_err(|e| {
+                fairank_session::SessionError::Json(format!("spec {path}: {e}"))
+            })?
+        }
+        _ => unreachable!("caller matched scenario commands"),
+    };
+    let compiled = {
+        let session = handle.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        plan::compile(&session, &spec)?
+    };
+    let executed = compiled.execute_with(|cells| {
+        pool.run_batch(
+            cells
+                .into_iter()
+                .map(|cell| move || cell.execute())
+                .collect(),
+        )
+        .into_iter()
+        .map(|result| {
+            result.unwrap_or_else(|| {
+                Err(fairank_session::SessionError::Internal(
+                    "a scenario cell panicked while executing".into(),
+                ))
+            })
+        })
+        .collect()
+    });
+    let mut session = handle.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    Ok(Response::Scenario(executed.finish(Some(&mut session))?))
+}
+
 fn serve_connection(
     stream: TcpStream,
     registry: &SessionRegistry,
@@ -214,27 +332,30 @@ fn serve_connection(
     let mut reader = BufReader::new(read_half);
     let mut writer = stream;
     loop {
-        let mut line = String::new();
-        // Cap each request line: a peer streaming bytes without a newline
-        // must not grow this buffer without bound.
-        match (&mut reader).take(MAX_REQUEST_BYTES).read_line(&mut line) {
+        // Read raw bytes, capped per request line: a peer streaming bytes
+        // without a newline must not grow this buffer without bound, and
+        // the size check must happen *before* UTF-8 validation so an
+        // oversized (or binary) line still gets a structured refusal
+        // instead of a silent drop.
+        let mut buf: Vec<u8> = Vec::new();
+        match (&mut reader).take(MAX_REQUEST_BYTES).read_until(b'\n', &mut buf) {
             Ok(0) => break, // EOF
             Ok(_) => {}
-            Err(_) => break, // includes non-UTF-8 input
+            Err(_) => break,
         }
-        if !line.ends_with('\n') && line.len() as u64 >= MAX_REQUEST_BYTES {
+        if !buf.ends_with(b"\n") && buf.len() as u64 >= MAX_REQUEST_BYTES {
             // Oversized request: answer once, then drop the connection
             // (the rest of the line cannot be resynchronized).
-            let reply = Reply::protocol_error(format!(
-                "request line exceeds {MAX_REQUEST_BYTES} bytes"
-            ));
-            if let Ok(text) = serde_json::to_string(&reply) {
-                let _ = writer
-                    .write_all(text.as_bytes())
-                    .and_then(|()| writer.write_all(b"\n"));
-            }
+            send_reply(&mut writer, &Reply::request_too_large(MAX_REQUEST_BYTES));
             break;
         }
+        let Ok(line) = std::str::from_utf8(&buf) else {
+            send_reply(
+                &mut writer,
+                &Reply::protocol_error("request line is not valid UTF-8"),
+            );
+            break;
+        };
         let line = line.trim();
         if line.is_empty() {
             continue;
@@ -261,6 +382,17 @@ fn serve_connection(
     }
 }
 
+/// Serializes and writes one reply line, ignoring write failures (the
+/// connection is ending or the peer is gone either way).
+fn send_reply(writer: &mut TcpStream, reply: &Reply) {
+    if let Ok(text) = serde_json::to_string(reply) {
+        let _ = writer
+            .write_all(text.as_bytes())
+            .and_then(|()| writer.write_all(b"\n"))
+            .and_then(|()| writer.flush());
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -271,9 +403,15 @@ mod tests {
 
     const OPEN: DispatchPolicy = DispatchPolicy {
         allow_fs_commands: true,
+        admin: false,
     };
     const LOCKED: DispatchPolicy = DispatchPolicy {
         allow_fs_commands: false,
+        admin: false,
+    };
+    const ADMIN: DispatchPolicy = DispatchPolicy {
+        allow_fs_commands: false,
+        admin: true,
     };
 
     #[test]
@@ -354,6 +492,129 @@ mod tests {
                 assert_eq!(view.id, 0);
                 assert!(view.unfairness > 0.0);
             }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn registry_admin_is_gated_by_policy() {
+        let (registry, pool) = test_setup();
+        registry.attach_or_create("a");
+        registry.attach_or_create("b");
+        // Without --admin: forbidden, nothing evicted.
+        for line in ["sessions", "evict a"] {
+            let reply = dispatch(&registry, &pool, Request::new(line), LOCKED);
+            assert_eq!(reply.into_result().unwrap_err().kind, "forbidden", "{line}");
+        }
+        assert_eq!(registry.len(), 2);
+        // With --admin: list and evict operate on the registry.
+        let reply = dispatch(&registry, &pool, Request::new("sessions"), ADMIN);
+        match reply.into_result().unwrap() {
+            Response::SessionList(names) => assert_eq!(names, vec!["a", "b"]),
+            other => panic!("unexpected {other:?}"),
+        }
+        let reply = dispatch(&registry, &pool, Request::new("evict a"), ADMIN);
+        match reply.into_result().unwrap() {
+            Response::SessionEvicted { name } => assert_eq!(name, "a"),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(registry.names(), vec!["b"]);
+        let reply = dispatch(&registry, &pool, Request::new("evict ghost"), ADMIN);
+        assert_eq!(reply.into_result().unwrap_err().kind, "unknown_session");
+        // Admin commands never create a session as a side effect.
+        assert_eq!(registry.names(), vec!["b"]);
+    }
+
+    #[test]
+    fn scenario_requests_fan_cells_across_the_pool() {
+        let (registry, pool) = test_setup();
+        for line in [
+            "generate pop biased n=60 seed=2",
+            "define f rating*1.0",
+            "define g rating*0.5+language_test*0.5",
+        ] {
+            assert!(dispatch(&registry, &pool, Request::new(line), LOCKED).is_ok());
+        }
+        // Command-string form.
+        let reply = dispatch(
+            &registry,
+            &pool,
+            Request::new("scenario grid pop f,g aggs=mean,max"),
+            LOCKED,
+        );
+        let response = reply.into_result().unwrap();
+        let Response::Scenario(report) = &response else {
+            panic!("expected Scenario, got {response:?}");
+        };
+        assert_eq!(report.cells.len(), 4);
+        assert_eq!(report.perspective, "grid");
+        // Panels were committed into the session behind the wire.
+        let reply = dispatch(&registry, &pool, Request::new("panels"), LOCKED);
+        match reply.into_result().unwrap() {
+            Response::PanelList(entries) => assert_eq!(entries.len(), 4),
+            other => panic!("unexpected {other:?}"),
+        }
+        // Structured-spec form (no command string at all).
+        let spec = fairank_session::ScenarioSpec::new(
+            fairank_session::plan::Perspective::Grid {
+                datasets: vec!["pop".into()],
+                functions: vec!["f".into()],
+                filter: None,
+            },
+        );
+        let reply = dispatch(
+            &registry,
+            &pool,
+            Request::scenario(crate::protocol::DEFAULT_SESSION, spec),
+            LOCKED,
+        );
+        let Response::Scenario(report) = reply.into_result().unwrap() else {
+            panic!("expected Scenario");
+        };
+        assert_eq!(report.cells.len(), 1);
+        // A scenario spec file is a filesystem command: refused by default.
+        let reply = dispatch(
+            &registry,
+            &pool,
+            Request::new("scenario /tmp/spec.json"),
+            LOCKED,
+        );
+        assert_eq!(reply.into_result().unwrap_err().kind, "forbidden");
+    }
+
+    #[test]
+    fn concurrent_scenario_and_heavy_command_on_one_worker_do_not_deadlock() {
+        // Regression: the scenario path must not hold the session lock
+        // while blocking on pool results. With a single worker, a heavy
+        // command for the same session runs as a pool job that starts by
+        // taking that lock — if the scenario's connection thread held it,
+        // the lone worker would block forever and the queued cells would
+        // never run.
+        let registry = Arc::new(SessionRegistry::new());
+        let pool = Arc::new(WorkerPool::new(1, 2));
+        for line in ["generate pop biased n=60 seed=2", "define f rating*1.0"] {
+            assert!(dispatch(&registry, &pool, Request::new(line), LOCKED).is_ok());
+        }
+        let (done_tx, done_rx) = std::sync::mpsc::channel();
+        for line in ["scenario grid pop f aggs=mean,max,min", "quantify pop f"] {
+            let registry = Arc::clone(&registry);
+            let pool = Arc::clone(&pool);
+            let done = done_tx.clone();
+            std::thread::spawn(move || {
+                let reply = dispatch(&registry, &pool, Request::new(line), LOCKED);
+                done.send((line, reply.is_ok())).unwrap();
+            });
+        }
+        for _ in 0..2 {
+            let (line, ok) = done_rx
+                .recv_timeout(std::time::Duration::from_secs(60))
+                .expect("a request wedged: scenario fan-out deadlocked the pool");
+            assert!(ok, "{line} failed");
+        }
+        // All four panels (3 scenario cells + 1 quantify) landed.
+        let reply = dispatch(&registry, &pool, Request::new("panels"), LOCKED);
+        match reply.into_result().unwrap() {
+            Response::PanelList(entries) => assert_eq!(entries.len(), 4),
             other => panic!("unexpected {other:?}"),
         }
     }

@@ -46,17 +46,18 @@ impl Client {
 }
 
 fn start_server() -> ServerHandle {
-    Server::bind(
-        "127.0.0.1:0",
-        ServerConfig {
-            workers: 2,
-            queue_depth: 4,
-            allow_fs_commands: false,
-        },
-    )
-    .expect("bind ephemeral port")
-    .spawn()
-    .expect("spawn server")
+    start_server_with(ServerConfig {
+        workers: 2,
+        queue_depth: 4,
+        ..ServerConfig::default()
+    })
+}
+
+fn start_server_with(config: ServerConfig) -> ServerHandle {
+    Server::bind("127.0.0.1:0", config)
+        .expect("bind ephemeral port")
+        .spawn()
+        .expect("spawn server")
 }
 
 #[test]
@@ -188,6 +189,158 @@ fn quit_ends_the_connection_but_not_the_session() {
         }
         other => panic!("expected DatasetList, got {other:?}"),
     }
+    handle.stop();
+}
+
+#[test]
+fn scenario_plan_runs_as_one_wire_request() {
+    let handle = start_server();
+    let mut client = Client::connect(&handle);
+    client.command("plans", "generate pop biased n=100 seed=5");
+    client.command("plans", "define f rating*1.0");
+    client.command("plans", "define g rating*0.6+language_test*0.4");
+
+    // The whole grid — 2 functions × 3 aggregators — is one request; the
+    // server fans the 6 cells across its worker pool.
+    let response = client.command("plans", "scenario grid pop f,g aggs=mean,max,min");
+    let Response::Scenario(report) = &response else {
+        panic!("expected Scenario, got {response:?}");
+    };
+    assert_eq!(report.perspective, "grid");
+    assert_eq!(report.cells.len(), 6);
+    assert!(report.cells.iter().all(|c| c.unfairness.is_some()));
+
+    // The committed panels are visible to subsequent commands.
+    match client.command("plans", "panels") {
+        Response::PanelList(entries) => assert_eq!(entries.len(), 6),
+        other => panic!("expected PanelList, got {other:?}"),
+    }
+
+    // The structured-spec request form carries the plan as JSON, not as a
+    // command string.
+    let spec = fairank_session::ScenarioSpec::new(
+        fairank_session::plan::Perspective::EndUser {
+            market: fairank_session::plan::MarketSpec {
+                preset: "taskrabbit".into(),
+                n: 60,
+                seed: 3,
+            },
+            groups: vec!["gender=Female".into()],
+        },
+    );
+    let reply = client.send(&Request::scenario("plans", spec));
+    let Response::Scenario(report) = reply.into_result().unwrap() else {
+        panic!("expected Scenario");
+    };
+    assert_eq!(report.perspective, "end-user");
+    assert!(!report.cells.is_empty());
+    handle.stop();
+}
+
+#[test]
+fn admin_commands_require_the_admin_flag() {
+    // Plain server: sessions/evict are refused.
+    let handle = start_server();
+    let mut client = Client::connect(&handle);
+    client.command("alpha", "help");
+    let reply = client.send(&Request::new("sessions"));
+    assert_eq!(reply.into_result().unwrap_err().kind, "forbidden");
+    let reply = client.send(&Request::new("evict alpha"));
+    assert_eq!(reply.into_result().unwrap_err().kind, "forbidden");
+    handle.stop();
+
+    // Admin server: the registry is listable and evictable over the wire.
+    let handle = start_server_with(ServerConfig {
+        workers: 2,
+        queue_depth: 4,
+        admin: true,
+        ..ServerConfig::default()
+    });
+    let mut client = Client::connect(&handle);
+    client.command("alpha", "generate pop biased n=30 seed=1");
+    client.command("beta", "help");
+    // Admin commands operate on the registry without creating a session
+    // for the requesting name.
+    match client.command("any", "sessions") {
+        Response::SessionList(names) => {
+            assert_eq!(names, vec!["alpha", "beta"]);
+        }
+        other => panic!("expected SessionList, got {other:?}"),
+    }
+    match client.command("any", "evict alpha") {
+        Response::SessionEvicted { name } => assert_eq!(name, "alpha"),
+        other => panic!("expected SessionEvicted, got {other:?}"),
+    }
+    // Evicted: a new attach under the name is a fresh session.
+    match client.command("alpha", "datasets") {
+        Response::DatasetList(entries) => assert!(entries.is_empty()),
+        other => panic!("expected DatasetList, got {other:?}"),
+    }
+    let reply = client.send(&Request::in_session("any", "evict ghost"));
+    assert_eq!(reply.into_result().unwrap_err().kind, "unknown_session");
+    handle.stop();
+}
+
+#[test]
+fn idle_sessions_expire_after_the_ttl() {
+    let handle = start_server_with(ServerConfig {
+        workers: 2,
+        queue_depth: 4,
+        admin: true,
+        session_ttl: Some(std::time::Duration::from_millis(50)),
+        ..ServerConfig::default()
+    });
+    {
+        let mut early = Client::connect(&handle);
+        early.command("stale", "generate pop biased n=30 seed=1");
+    }
+    std::thread::sleep(std::time::Duration::from_millis(80));
+    // The sweep runs on the accept loop: this connection triggers it.
+    let mut late = Client::connect(&handle);
+    late.command("keeper", "generate pop biased n=20 seed=2");
+    match late.command("keeper", "sessions") {
+        Response::SessionList(names) => {
+            assert!(
+                !names.contains(&"stale".to_string()),
+                "stale session survived the TTL: {names:?}"
+            );
+            assert!(names.contains(&"keeper".to_string()));
+        }
+        other => panic!("expected SessionList, got {other:?}"),
+    }
+    handle.stop();
+}
+
+#[test]
+fn oversized_request_lines_get_a_structured_refusal() {
+    use fairank_service::MAX_REQUEST_BYTES;
+
+    let handle = start_server();
+    let mut client = Client::connect(&handle);
+    // Exactly the cap, no newline: the server must reply once with the
+    // `request_too_large` kind, then close — not silently drop the line.
+    let oversized = vec![b'a'; MAX_REQUEST_BYTES as usize];
+    client.writer.write_all(&oversized).expect("send oversized line");
+    client.writer.flush().expect("flush oversized line");
+    let mut reply = String::new();
+    client
+        .reader
+        .read_line(&mut reply)
+        .expect("read the refusal");
+    let reply: Reply = serde_json::from_str(reply.trim()).expect("refusal parses");
+    let err = reply.into_result().unwrap_err();
+    assert_eq!(err.kind, "request_too_large");
+    assert!(err.message.contains(&MAX_REQUEST_BYTES.to_string()));
+    // The connection is closed afterwards.
+    let mut rest = String::new();
+    assert_eq!(client.reader.read_line(&mut rest).unwrap(), 0);
+
+    // A fresh connection still serves normally.
+    let mut fresh = Client::connect(&handle);
+    assert!(matches!(
+        fresh.command("ok", "help"),
+        Response::Help
+    ));
     handle.stop();
 }
 

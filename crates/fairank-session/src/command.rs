@@ -11,6 +11,7 @@
 use fairank_core::emd::{Emd, EmdBackend};
 use fairank_core::fairness::{Aggregator, FairnessCriterion, Objective};
 use fairank_core::histogram::HistogramSpec;
+use fairank_core::plan::SearchStrategy;
 use fairank_core::scoring::{scores_to_ranking, LinearScoring, ScoreSource};
 use fairank_data::csv::CsvOptions;
 use fairank_data::filter::Filter;
@@ -20,6 +21,7 @@ use fairank_marketplace::Transparency;
 
 use crate::config::Configuration;
 use crate::error::{Result, SessionError};
+use crate::plan::{self, CriterionGrid, MarketSpec, Perspective, ScenarioSpec};
 use crate::present;
 use crate::report;
 use crate::response::{
@@ -127,6 +129,17 @@ pub enum Command {
         n: usize,
         seed: u64,
     },
+    /// Run a whole scenario plan (grid/sweep/report compiled into parallel
+    /// cells): `scenario grid|auditor|jobowner|enduser …`.
+    RunScenario { spec: Box<ScenarioSpec> },
+    /// Run a scenario plan from a JSON spec file: `scenario <spec.json>`.
+    RunScenarioFile { path: String },
+    /// List the server's live sessions (registry admin; servers refuse it
+    /// unless started with `--admin`).
+    Sessions,
+    /// Evict a named session from the server registry (admin only):
+    /// `evict <name>`.
+    Evict { name: String },
     /// Leave the REPL.
     Quit,
 }
@@ -166,6 +179,24 @@ const QUANTIFY_OPTS: &[&str] = &["objective", "agg", "bins", "emd", "where"];
 const SUBGROUPS_OPTS: &[&str] = &["depth", "min", "top"];
 const AUDIT_OPTS: &[&str] = &["n", "seed", "k"];
 const SCENARIO_OPTS: &[&str] = &["n", "seed"];
+const PLAN_OPTS: &[&str] = &[
+    "n",
+    "seed",
+    "k",
+    "sg-depth",
+    "sg-min",
+    "weights",
+    "objectives",
+    "aggs",
+    "bins",
+    "emd",
+    "strategy",
+    "width",
+    "depth",
+    "min",
+    "budget",
+    "where",
+];
 
 fn opt<'a>(tokens: &'a [String], opts: &[&str], key: &str) -> Option<&'a str> {
     debug_assert!(
@@ -215,6 +246,222 @@ fn raw_positional<'a>(tokens: &'a [String], idx: usize, what: &str) -> Result<&'
         .get(idx)
         .map(String::as_str)
         .ok_or_else(|| SessionError::Command(format!("missing {what}")))
+}
+
+/// Parses a comma-separated option value into trimmed, non-empty items.
+fn csv_items(raw: &str) -> Vec<&str> {
+    raw.split(',').map(str::trim).filter(|s| !s.is_empty()).collect()
+}
+
+/// Parses the criterion-grid options (`objectives=`, `aggs=`, `bins=`,
+/// `emd=`) shared by all `scenario` subcommands. Returns `None` when no
+/// axis was given (the spec then uses the single default criterion).
+fn parse_criterion_grid(tokens: &[String]) -> Result<Option<CriterionGrid>> {
+    let objectives = opt(tokens, PLAN_OPTS, "objectives")
+        .map(|raw| {
+            csv_items(raw)
+                .into_iter()
+                .map(|s| {
+                    Objective::parse(s).ok_or_else(|| {
+                        SessionError::Command(format!("unknown objective {s:?}"))
+                    })
+                })
+                .collect::<Result<Vec<_>>>()
+        })
+        .transpose()?;
+    let aggregators = opt(tokens, PLAN_OPTS, "aggs")
+        .map(|raw| {
+            csv_items(raw)
+                .into_iter()
+                .map(|s| {
+                    Aggregator::parse(s).ok_or_else(|| {
+                        SessionError::Command(format!("unknown aggregator {s:?}"))
+                    })
+                })
+                .collect::<Result<Vec<_>>>()
+        })
+        .transpose()?;
+    let bins = opt(tokens, PLAN_OPTS, "bins")
+        .map(|raw| {
+            csv_items(raw)
+                .into_iter()
+                .map(|s| {
+                    s.parse::<usize>().map_err(|_| {
+                        SessionError::Command(format!("cannot parse bins value {s:?}"))
+                    })
+                })
+                .collect::<Result<Vec<_>>>()
+        })
+        .transpose()?;
+    let emds = opt(tokens, PLAN_OPTS, "emd")
+        .map(|raw| {
+            csv_items(raw)
+                .into_iter()
+                .map(|s| {
+                    EmdBackend::parse(s).ok_or_else(|| {
+                        SessionError::Command(format!("unknown EMD backend {s:?}"))
+                    })
+                })
+                .collect::<Result<Vec<_>>>()
+        })
+        .transpose()?;
+    if objectives.is_none() && aggregators.is_none() && bins.is_none() && emds.is_none() {
+        return Ok(None);
+    }
+    let defaults = CriterionGrid::default();
+    Ok(Some(CriterionGrid {
+        objectives: objectives.unwrap_or(defaults.objectives),
+        aggregators: aggregators.unwrap_or(defaults.aggregators),
+        bins: bins.unwrap_or(defaults.bins),
+        emds: emds.unwrap_or(defaults.emds),
+    }))
+}
+
+/// Parses the search-strategy options (`strategy=`, `width=`, `depth=`,
+/// `min=`, `budget=`) shared by all `scenario` subcommands.
+fn parse_search_strategy(tokens: &[String]) -> Result<Option<SearchStrategy>> {
+    let max_depth = opt(tokens, PLAN_OPTS, "depth")
+        .map(|raw| {
+            raw.parse::<usize>().map_err(|_| {
+                SessionError::Command(format!("cannot parse depth={raw}"))
+            })
+        })
+        .transpose()?;
+    let Some(name) = opt(tokens, PLAN_OPTS, "strategy") else {
+        // Quantify refinements may be given without naming the strategy.
+        if max_depth.is_none() && opt(tokens, PLAN_OPTS, "min").is_none() {
+            return Ok(None);
+        }
+        return Ok(Some(SearchStrategy::Quantify {
+            max_depth,
+            min_partition: opt_parse(tokens, PLAN_OPTS, "min", 1)?,
+        }));
+    };
+    match name {
+        "quantify" => Ok(Some(SearchStrategy::Quantify {
+            max_depth,
+            min_partition: opt_parse(tokens, PLAN_OPTS, "min", 1)?,
+        })),
+        "beam" => Ok(Some(SearchStrategy::Beam {
+            width: opt_parse(tokens, PLAN_OPTS, "width", 4)?,
+        })),
+        "exhaustive" => Ok(Some(SearchStrategy::Exhaustive {
+            budget: opt_parse(
+                tokens,
+                PLAN_OPTS,
+                "budget",
+                fairank_core::exhaustive::DEFAULT_BUDGET,
+            )?,
+        })),
+        other => Err(SessionError::Command(format!(
+            "unknown strategy {other:?} (try quantify, beam, exhaustive)"
+        ))),
+    }
+}
+
+/// Parses the `scenario` subcommands into a full [`ScenarioSpec`].
+fn parse_scenario(rest: &[String]) -> Result<Command> {
+    let Some(kind) = rest.first() else {
+        return Err(SessionError::Command(
+            "scenario needs a perspective (grid/auditor/jobowner/enduser) or a \
+             JSON spec path"
+                .into(),
+        ));
+    };
+    let strategy = parse_search_strategy(rest)?;
+    let criteria = parse_criterion_grid(rest)?;
+    let perspective = match kind.as_str() {
+        "grid" => Perspective::Grid {
+            datasets: csv_items(positional(rest, PLAN_OPTS, 1, "dataset list")?)
+                .into_iter()
+                .map(str::to_string)
+                .collect(),
+            functions: csv_items(positional(rest, PLAN_OPTS, 2, "function list")?)
+                .into_iter()
+                .map(str::to_string)
+                .collect(),
+            filter: opt(rest, PLAN_OPTS, "where").map(str::to_string),
+        },
+        "auditor" => {
+            let n = opt_parse(rest, PLAN_OPTS, "n", 300)?;
+            Perspective::Auditor {
+                market: MarketSpec {
+                    preset: positional(rest, PLAN_OPTS, 1, "marketplace preset")?
+                        .to_string(),
+                    n,
+                    seed: opt_parse(rest, PLAN_OPTS, "seed", 42)?,
+                },
+                k: opt(rest, PLAN_OPTS, "k")
+                    .map(|raw| {
+                        raw.parse().map_err(|_| {
+                            SessionError::Command(format!("cannot parse k={raw}"))
+                        })
+                    })
+                    .transpose()?,
+                ranking_only: rest.iter().any(|t| t == "ranking-only"),
+                subgroup_depth: opt_parse(rest, PLAN_OPTS, "sg-depth", 2)?,
+                min_subgroup: opt_parse(rest, PLAN_OPTS, "sg-min", (n / 20).max(2))?,
+            }
+        }
+        "jobowner" => Perspective::JobOwner {
+            market: MarketSpec {
+                preset: positional(rest, PLAN_OPTS, 1, "marketplace preset")?.to_string(),
+                n: opt_parse(rest, PLAN_OPTS, "n", 300)?,
+                seed: opt_parse(rest, PLAN_OPTS, "seed", 42)?,
+            },
+            job: positional(rest, PLAN_OPTS, 2, "job id")?.to_string(),
+            skill: positional(rest, PLAN_OPTS, 3, "skill")?.to_string(),
+            weights: match opt(rest, PLAN_OPTS, "weights") {
+                None => vec![0.0, 0.2, 0.4, 0.6, 0.8, 1.0],
+                Some(raw) => csv_items(raw)
+                    .into_iter()
+                    .map(|s| {
+                        s.parse::<f64>().map_err(|_| {
+                            SessionError::Command(format!("cannot parse weight {s:?}"))
+                        })
+                    })
+                    .collect::<Result<Vec<_>>>()?,
+            },
+        },
+        "enduser" => {
+            // Every positional after the preset is one group expression
+            // (quote expressions containing spaces).
+            let preset = positional(rest, PLAN_OPTS, 1, "marketplace preset")?.to_string();
+            let is_option = |t: &str| {
+                t.split_once('=').is_some_and(|(key, _)| PLAN_OPTS.contains(&key))
+            };
+            let groups: Vec<String> = rest
+                .iter()
+                .filter(|t| !is_option(t))
+                .skip(2)
+                .map(String::clone)
+                .collect();
+            if groups.is_empty() {
+                return Err(SessionError::Command("missing group expression".into()));
+            }
+            Perspective::EndUser {
+                market: MarketSpec {
+                    preset,
+                    n: opt_parse(rest, PLAN_OPTS, "n", 300)?,
+                    seed: opt_parse(rest, PLAN_OPTS, "seed", 42)?,
+                },
+                groups,
+            }
+        }
+        // Anything else is a JSON spec path.
+        path => {
+            return Ok(Command::RunScenarioFile {
+                path: path.to_string(),
+            })
+        }
+    };
+    Ok(Command::RunScenario {
+        spec: Box::new(ScenarioSpec {
+            perspective,
+            strategy,
+            criteria,
+        }),
+    })
 }
 
 impl Command {
@@ -295,14 +542,11 @@ impl Command {
                         SessionError::Command(format!("unknown aggregator {raw:?}"))
                     })?,
                 };
-                let emd = match opt(rest, QUANTIFY_OPTS, "emd").unwrap_or("1d") {
-                    "1d" => EmdBackend::OneD,
-                    "transport" => EmdBackend::Transport,
-                    other => {
-                        return Err(SessionError::Command(format!(
-                            "unknown EMD backend {other:?}"
-                        )))
-                    }
+                let emd = match opt(rest, QUANTIFY_OPTS, "emd") {
+                    None => EmdBackend::default(),
+                    Some(raw) => EmdBackend::parse(raw).ok_or_else(|| {
+                        SessionError::Command(format!("unknown EMD backend {raw:?}"))
+                    })?,
                 };
                 Ok(Command::Quantify {
                     dataset: positional(rest, QUANTIFY_OPTS, 0, "dataset")?.to_string(),
@@ -383,6 +627,11 @@ impl Command {
                 n: opt_parse(&rest[2..], SCENARIO_OPTS, "n", 300)?,
                 seed: opt_parse(&rest[2..], SCENARIO_OPTS, "seed", 42)?,
             }),
+            "scenario" => parse_scenario(rest),
+            "sessions" => Ok(Command::Sessions),
+            "evict" => Ok(Command::Evict {
+                name: positional(rest, NO_OPTS, 0, "session name")?.to_string(),
+            }),
             other => Err(SessionError::Command(format!("unknown command {other:?}"))),
         }
     }
@@ -398,6 +647,7 @@ impl Command {
                 | Command::Save { .. }
                 | Command::Open { .. }
                 | Command::Export { .. }
+                | Command::RunScenarioFile { .. }
         )
     }
 
@@ -414,7 +664,17 @@ impl Command {
                 | Command::Audit { .. }
                 | Command::JobOwner { .. }
                 | Command::EndUser { .. }
+                | Command::RunScenario { .. }
+                | Command::RunScenarioFile { .. }
         )
+    }
+
+    /// Whether the command manages a server's session registry rather than
+    /// one session's state (`sessions`, `evict`). Servers handle these at
+    /// the dispatch layer — and only when started with `--admin`; applying
+    /// them to a plain [`Session`] is an error.
+    pub fn is_registry_admin(&self) -> bool {
+        matches!(self, Command::Sessions | Command::Evict { .. })
     }
 }
 
@@ -451,7 +711,11 @@ fn generate_dataset(preset: &str, n: usize, seed: u64) -> Result<fairank_data::D
     Ok(spec.generate()?)
 }
 
-fn marketplace(preset: &str, n: usize, seed: u64) -> Result<fairank_marketplace::Marketplace> {
+pub(crate) fn marketplace(
+    preset: &str,
+    n: usize,
+    seed: u64,
+) -> Result<fairank_marketplace::Marketplace> {
     match preset {
         "taskrabbit" => Ok(scenario::taskrabbit_like(n, seed)?),
         "qapa" => Ok(scenario::qapa_like(n, seed)?),
@@ -762,6 +1026,22 @@ pub fn apply(session: &mut Session, command: Command) -> Result<Response> {
                 report::end_user_report(&market, &filter, &FairnessCriterion::default())?;
             Ok(Response::EndUserView(report))
         }
+        Command::RunScenario { spec } => {
+            let compiled = plan::compile(session, &spec)?;
+            Ok(Response::Scenario(compiled.run_parallel(session)?))
+        }
+        Command::RunScenarioFile { path } => {
+            let text = std::fs::read_to_string(&path)?;
+            let spec: ScenarioSpec = serde_json::from_str(&text)
+                .map_err(|e| SessionError::Json(format!("spec {path}: {e}")))?;
+            let compiled = plan::compile(session, &spec)?;
+            Ok(Response::Scenario(compiled.run_parallel(session)?))
+        }
+        Command::Sessions | Command::Evict { .. } => Err(SessionError::Command(
+            "`sessions` and `evict` manage a server's session registry; run them \
+             against a `fairank serve --admin` server"
+                .into(),
+        )),
     }
 }
 
@@ -956,6 +1236,142 @@ mod tests {
         let mut s = Session::new();
         let out = run(&mut s, "audit taskrabbit n=80 seed=6 k=4 ranking-only");
         assert!(out.contains("AUDITOR REPORT"));
+    }
+
+    #[test]
+    fn scenario_grid_command_parses_and_runs() {
+        let cmd = Command::parse(
+            "scenario grid pop f,g aggs=mean,max bins=5,10 strategy=beam width=3",
+        )
+        .unwrap();
+        let Command::RunScenario { spec } = &cmd else {
+            panic!("expected RunScenario, got {cmd:?}");
+        };
+        assert_eq!(
+            spec.perspective,
+            crate::plan::Perspective::Grid {
+                datasets: vec!["pop".into()],
+                functions: vec!["f".into(), "g".into()],
+                filter: None,
+            }
+        );
+        assert_eq!(spec.strategy(), SearchStrategy::Beam { width: 3 });
+        assert_eq!(spec.criterion_grid().cardinality(), 4);
+        assert!(cmd.is_compute_heavy());
+        assert!(!cmd.touches_filesystem());
+
+        let mut s = Session::new();
+        run(&mut s, "generate pop biased n=80 seed=2");
+        run(&mut s, "define f rating*1.0");
+        run(&mut s, "define g rating*0.5+language_test*0.5");
+        let out = run(&mut s, "scenario grid pop f,g aggs=mean,max");
+        assert!(out.contains("SCENARIO REPORT"), "{out}");
+        assert!(out.contains("cell stats:"));
+        // quantify strategy commits one panel per cell, in grid order.
+        assert_eq!(s.panels().len(), 4);
+    }
+
+    #[test]
+    fn scenario_perspectives_parse() {
+        let cmd = Command::parse(
+            "scenario auditor taskrabbit n=100 seed=3 k=4 ranking-only sg-depth=1 sg-min=8",
+        )
+        .unwrap();
+        let Command::RunScenario { spec } = cmd else {
+            panic!("expected RunScenario");
+        };
+        assert_eq!(
+            spec.perspective,
+            crate::plan::Perspective::Auditor {
+                market: crate::plan::MarketSpec {
+                    preset: "taskrabbit".into(),
+                    n: 100,
+                    seed: 3,
+                },
+                k: Some(4),
+                ranking_only: true,
+                subgroup_depth: 1,
+                min_subgroup: 8,
+            }
+        );
+
+        let cmd = Command::parse(
+            "scenario jobowner taskrabbit wood-panels rating weights=0.0,0.5,1.0",
+        )
+        .unwrap();
+        let Command::RunScenario { spec } = cmd else {
+            panic!("expected RunScenario");
+        };
+        let crate::plan::Perspective::JobOwner { weights, skill, .. } = &spec.perspective
+        else {
+            panic!("expected job-owner perspective");
+        };
+        assert_eq!(weights, &[0.0, 0.5, 1.0]);
+        assert_eq!(skill, "rating");
+
+        let cmd = Command::parse(
+            r#"scenario enduser taskrabbit "gender=Female" "gender=Male" n=90"#,
+        )
+        .unwrap();
+        let Command::RunScenario { spec } = cmd else {
+            panic!("expected RunScenario");
+        };
+        let crate::plan::Perspective::EndUser { groups, market } = &spec.perspective else {
+            panic!("expected end-user perspective");
+        };
+        assert_eq!(groups, &["gender=Female".to_string(), "gender=Male".to_string()]);
+        assert_eq!(market.n, 90);
+
+        // Anything that is not a known perspective is a JSON spec path.
+        assert_eq!(
+            Command::parse("scenario plans/audit.json").unwrap(),
+            Command::RunScenarioFile {
+                path: "plans/audit.json".into(),
+            }
+        );
+        assert!(Command::parse("scenario plans/audit.json")
+            .unwrap()
+            .touches_filesystem());
+        assert!(Command::parse("scenario grid pop f strategy=sideways").is_err());
+    }
+
+    #[test]
+    fn scenario_file_command_round_trips_a_spec() {
+        let dir = std::env::temp_dir().join("fairank_cmd_scenario");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("spec.json");
+        let spec = ScenarioSpec::new(Perspective::Grid {
+            datasets: vec!["pop".into()],
+            functions: vec!["f".into()],
+            filter: None,
+        });
+        std::fs::write(&path, serde_json::to_string(&spec).unwrap()).unwrap();
+        let mut s = Session::new();
+        run(&mut s, "generate pop biased n=60 seed=4");
+        run(&mut s, "define f rating*1.0");
+        let out = run(&mut s, &format!("scenario {}", path.display()));
+        assert!(out.contains("SCENARIO REPORT"), "{out}");
+        assert_eq!(s.panels().len(), 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn registry_admin_commands_parse_but_refuse_plain_sessions() {
+        assert_eq!(Command::parse("sessions").unwrap(), Command::Sessions);
+        assert_eq!(
+            Command::parse("evict audit-1").unwrap(),
+            Command::Evict {
+                name: "audit-1".into(),
+            }
+        );
+        assert!(Command::parse("sessions").unwrap().is_registry_admin());
+        assert!(Command::parse("evict x").unwrap().is_registry_admin());
+        assert!(!Command::parse("help").unwrap().is_registry_admin());
+        let mut s = Session::new();
+        let err = apply(&mut s, Command::Sessions).unwrap_err();
+        assert!(err.to_string().contains("--admin"));
+        let err = apply(&mut s, Command::Evict { name: "x".into() }).unwrap_err();
+        assert!(err.to_string().contains("registry"));
     }
 
     #[test]

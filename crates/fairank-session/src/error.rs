@@ -25,6 +25,9 @@ pub enum SessionError {
     InvalidName(String),
     /// A command failed to parse.
     Command(String),
+    /// An invariant of the execution machinery broke (an executor lost a
+    /// cell, a reduce saw a foreign payload, a worker panicked).
+    Internal(String),
     /// An error bubbled up from the core crate.
     Core(CoreError),
     /// An error bubbled up from the dataset substrate.
@@ -55,6 +58,7 @@ impl fmt::Display for SessionError {
                  (path separators and '..' are not allowed)"
             ),
             SessionError::Command(msg) => write!(f, "command error: {msg}"),
+            SessionError::Internal(msg) => write!(f, "internal error: {msg}"),
             SessionError::Core(e) => write!(f, "{e}"),
             SessionError::Data(e) => write!(f, "{e}"),
             SessionError::Anon(e) => write!(f, "{e}"),
@@ -105,6 +109,7 @@ impl SessionError {
             SessionError::NameTaken(_) => "name_taken",
             SessionError::InvalidName(_) => "invalid_name",
             SessionError::Command(_) => "command",
+            SessionError::Internal(_) => "internal",
             SessionError::Core(_) => "core",
             SessionError::Data(_) => "data",
             SessionError::Anon(_) => "anonymize",

@@ -34,6 +34,7 @@ pub mod error;
 pub mod export;
 pub mod panel;
 pub mod persist;
+pub mod plan;
 pub mod present;
 pub mod render;
 pub mod report;
@@ -44,5 +45,6 @@ pub use command::{apply, execute, Command};
 pub use config::Configuration;
 pub use error::{ErrorResponse, Result, SessionError};
 pub use panel::Panel;
+pub use plan::{Plan, ScenarioReport, ScenarioSpec};
 pub use response::Response;
 pub use session::Session;

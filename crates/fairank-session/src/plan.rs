@@ -1,0 +1,1426 @@
+//! Declarative scenario plans: grids, sweeps and perspective reports
+//! compiled into independent cell jobs plus a deterministic reduce.
+//!
+//! The four analysis entry points of the session layer — `quantify_grid`,
+//! `auditor_report`, `job_owner_sweep` and `end_user_report` — used to
+//! hand-roll their own loops and run them serially. This module replaces
+//! the loops with one substrate:
+//!
+//! 1. A serde-serializable [`ScenarioSpec`] *says* what the workload is:
+//!    a [`Perspective`] (raw grid / auditor / job owner / end user), a
+//!    [`SearchStrategy`] and a [`CriterionGrid`] of fairness criteria.
+//! 2. [`compile`] turns a spec into a [`Plan`]: an explicit list of
+//!    independent [`Cell`] jobs (every input resolved and validated up
+//!    front, each cell self-contained and `Send`) plus a deterministic
+//!    reduce step.
+//! 3. The plan runs through any executor — [`Plan::run`] (sequential),
+//!    [`Plan::run_parallel`] (one scoped thread per cell), or
+//!    [`Plan::run_with`] (caller-provided, e.g. the `fairank-service`
+//!    worker pool) — and reduces to a serializable [`ScenarioReport`]
+//!    carrying per-cell engine counters and wall-clock stats.
+//!
+//! Cell execution is deterministic (a cell's result depends only on its
+//! compiled inputs), so every executor produces bit-identical reports;
+//! the legacy entry points are thin builders over this layer and render
+//! byte-identically to their pre-plan implementations.
+
+use std::time::Instant;
+
+use fairank_core::emd::{Emd, EmdBackend};
+use fairank_core::fairness::{Aggregator, FairnessCriterion, Objective};
+use fairank_core::histogram::HistogramSpec;
+use fairank_core::plan::{CellOutcome, SearchStrategy};
+use fairank_core::scoring::{LinearScoring, ScoreSource};
+use fairank_core::space::RankingSpace;
+use fairank_core::subgroup::{least_favored, most_favored, subgroup_stats};
+use fairank_data::dataset::Dataset;
+use fairank_data::filter::Filter;
+use fairank_marketplace::{Marketplace, Transparency};
+use serde::{Deserialize, Serialize};
+
+use crate::config::{Configuration, ScoringChoice};
+use crate::error::{Result, SessionError};
+use crate::report::{
+    rebalanced_variant, AuditorJobRow, AuditorReport, EndUserJobRow, EndUserReport,
+    JobOwnerReport, VariantRow,
+};
+use crate::session::Session;
+
+// ------------------------------------------------------------------- spec
+
+/// A canned marketplace to analyze (the scenario presets).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MarketSpec {
+    /// Preset name (`taskrabbit` or `qapa`).
+    pub preset: String,
+    /// Population size.
+    pub n: usize,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+impl MarketSpec {
+    /// Builds the marketplace this spec describes.
+    pub fn build(&self) -> Result<Marketplace> {
+        crate::command::marketplace(&self.preset, self.n, self.seed)
+    }
+}
+
+/// Whose question the scenario answers — this decides what the cells
+/// compute and how the reduce step assembles them.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Perspective {
+    /// Raw quantification grid over session datasets × functions ×
+    /// criteria; with the `quantify` strategy each cell also commits a
+    /// session panel (the batched form of `quantify`).
+    Grid {
+        /// Session dataset names.
+        datasets: Vec<String>,
+        /// Session scoring-function names.
+        functions: Vec<String>,
+        /// Optional filter expression applied before quantification.
+        filter: Option<String>,
+    },
+    /// The §4 auditor: quantify every job of a marketplace and identify
+    /// most/least favored subgroups. One cell per job × criterion.
+    Auditor {
+        /// The marketplace to audit.
+        market: MarketSpec,
+        /// Anonymize worker data to `k`-anonymity before auditing.
+        k: Option<usize>,
+        /// Observe rankings only (function opacity).
+        ranking_only: bool,
+        /// Subgroup conjunction-depth bound.
+        subgroup_depth: usize,
+        /// Minimum subgroup size considered.
+        min_subgroup: usize,
+    },
+    /// The §4 job owner: sweep one skill's weight across variants. One
+    /// cell per weight × criterion.
+    JobOwner {
+        /// The marketplace the job lives in.
+        market: MarketSpec,
+        /// Job id whose scoring is swept.
+        job: String,
+        /// The skill (attribute) to sweep.
+        skill: String,
+        /// Weights to try, in sweep order.
+        weights: Vec<f64>,
+    },
+    /// The §4 end user: evaluate how every job treats given groups. One
+    /// cell per group × job.
+    EndUser {
+        /// The marketplace to evaluate.
+        market: MarketSpec,
+        /// Group filter expressions (e.g. `gender=Female`).
+        groups: Vec<String>,
+    },
+}
+
+impl Perspective {
+    /// Short perspective name (`grid` / `auditor` / `job-owner` /
+    /// `end-user`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Perspective::Grid { .. } => "grid",
+            Perspective::Auditor { .. } => "auditor",
+            Perspective::JobOwner { .. } => "job-owner",
+            Perspective::EndUser { .. } => "end-user",
+        }
+    }
+}
+
+/// The cartesian grid of fairness criteria a scenario evaluates: every
+/// objective × aggregator × bin count × EMD backend.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CriterionGrid {
+    /// Objectives to evaluate.
+    pub objectives: Vec<Objective>,
+    /// Pairwise-distance aggregators to evaluate.
+    pub aggregators: Vec<Aggregator>,
+    /// Histogram bin counts to evaluate.
+    pub bins: Vec<usize>,
+    /// EMD backends to evaluate.
+    pub emds: Vec<EmdBackend>,
+}
+
+impl Default for CriterionGrid {
+    fn default() -> Self {
+        CriterionGrid {
+            objectives: vec![Objective::default()],
+            aggregators: vec![Aggregator::default()],
+            bins: vec![10],
+            emds: vec![EmdBackend::default()],
+        }
+    }
+}
+
+impl CriterionGrid {
+    /// Number of criteria in the grid (product of the axis sizes).
+    pub fn cardinality(&self) -> usize {
+        self.objectives.len() * self.aggregators.len() * self.bins.len() * self.emds.len()
+    }
+
+    /// Materializes the grid as `(label, criterion)` pairs in
+    /// objective-major order. Every axis must be non-empty.
+    pub fn criteria(&self) -> Result<Vec<(String, FairnessCriterion)>> {
+        if self.cardinality() == 0 {
+            return Err(SessionError::Command(
+                "criterion grid has an empty axis (objectives, aggregators, bins \
+                 and emds must each name at least one value)"
+                    .into(),
+            ));
+        }
+        let mut out = Vec::with_capacity(self.cardinality());
+        for &objective in &self.objectives {
+            for &aggregator in &self.aggregators {
+                for &bins in &self.bins {
+                    for &backend in &self.emds {
+                        let criterion = FairnessCriterion::new(objective, aggregator)
+                            .with_hist(HistogramSpec::unit(bins)?)
+                            .with_emd(Emd::new(backend));
+                        out.push((
+                            format!(
+                                "{} {} ({} bins, {} emd)",
+                                objective.name(),
+                                aggregator.name(),
+                                bins,
+                                backend.name()
+                            ),
+                            criterion,
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// A whole scenario as data: what to analyze (perspective), how to search
+/// (strategy) and under which criteria (grid). One spec compiles into one
+/// [`Plan`] and runs as one command/wire request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioSpec {
+    /// What the cells compute and how results reduce.
+    pub perspective: Perspective,
+    /// Search strategy; `None` means the default `QUANTIFY` search.
+    pub strategy: Option<SearchStrategy>,
+    /// Criterion grid; `None` means the single default criterion.
+    pub criteria: Option<CriterionGrid>,
+}
+
+impl ScenarioSpec {
+    /// A spec over `perspective` with the default strategy and criteria.
+    pub fn new(perspective: Perspective) -> Self {
+        ScenarioSpec {
+            perspective,
+            strategy: None,
+            criteria: None,
+        }
+    }
+
+    /// The effective search strategy.
+    pub fn strategy(&self) -> SearchStrategy {
+        self.strategy.unwrap_or_default()
+    }
+
+    /// The effective criterion grid.
+    pub fn criterion_grid(&self) -> CriterionGrid {
+        self.criteria.clone().unwrap_or_default()
+    }
+}
+
+// ------------------------------------------------------------------ cells
+
+/// One independent unit of plan work. Cells own every input they need
+/// (resolved at compile time), so they can execute on any thread in any
+/// order; results are deterministic functions of the compiled inputs.
+#[derive(Debug)]
+pub struct Cell {
+    index: usize,
+    label: String,
+    work: CellWork,
+}
+
+#[derive(Debug)]
+enum CellWork {
+    /// A grid cell: run the strategy on a prepared configuration. With the
+    /// `quantify` strategy the outcome can be committed as a session panel.
+    Panel {
+        config: Configuration,
+        space: RankingSpace,
+        strategy: SearchStrategy,
+    },
+    /// An auditor cell: quantify one job's observed ranking and find its
+    /// extremal subgroups.
+    AuditJob {
+        criterion_idx: usize,
+        job_id: String,
+        title: String,
+        space: RankingSpace,
+        criterion: FairnessCriterion,
+        strategy: SearchStrategy,
+        subgroup_depth: usize,
+        min_subgroup: usize,
+    },
+    /// A job-owner cell: quantify one scoring-function variant.
+    SweepVariant {
+        criterion_idx: usize,
+        label: String,
+        weights: Vec<(String, f64)>,
+        space: RankingSpace,
+        criterion: FairnessCriterion,
+        strategy: SearchStrategy,
+    },
+    /// An end-user cell: closed-form group statistics for one job.
+    EndUserJob {
+        group_idx: usize,
+        job_id: String,
+        title: String,
+        scores: Vec<f64>,
+        ranking: Vec<u32>,
+        member: Vec<bool>,
+        group_size: usize,
+    },
+}
+
+/// Per-cell engine counters and wall-clock, surfaced in the report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellStat {
+    /// Cell label (what the cell computed).
+    pub label: String,
+    /// Cell wall-clock time in microseconds.
+    pub elapsed_us: u64,
+    /// Nodes/states/partitionings the search evaluated.
+    pub nodes_evaluated: usize,
+    /// Candidate (node, attribute) splits scored.
+    pub candidate_splits: usize,
+    /// Histograms the engine actually built.
+    pub histograms_built: usize,
+    /// EMD distances actually computed.
+    pub emd_calls: usize,
+    /// Distance lookups served from the engine memo.
+    pub emd_cache_hits: usize,
+    /// Unfairness the cell measured (`None` for cells that do not quantify,
+    /// e.g. end-user statistics).
+    pub unfairness: Option<f64>,
+}
+
+/// The result of one executed cell: its stat line plus the payload the
+/// reduce step assembles.
+#[derive(Debug)]
+pub struct CellResult {
+    index: usize,
+    stat: CellStat,
+    payload: CellPayload,
+}
+
+#[derive(Debug)]
+enum CellPayload {
+    Panel {
+        // Boxed: a panel payload (configuration + resolved space + full
+        // outcome) dwarfs the row payloads of the other perspectives.
+        config: Box<Configuration>,
+        space: Box<RankingSpace>,
+        outcome: Box<CellOutcome>,
+    },
+    AuditRow {
+        criterion_idx: usize,
+        row: AuditorJobRow,
+    },
+    Variant {
+        criterion_idx: usize,
+        row: VariantRow,
+    },
+    EndUserRow {
+        group_idx: usize,
+        row: EndUserJobRow,
+    },
+}
+
+fn elapsed_us(elapsed: std::time::Duration) -> u64 {
+    u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX)
+}
+
+impl Cell {
+    /// The cell's display label.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Position of the cell within its plan.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// Executes the cell. Self-contained and deterministic: the result
+    /// depends only on the compiled inputs, never on execution order.
+    pub fn execute(self) -> Result<CellResult> {
+        let Cell { index, label, work } = self;
+        match work {
+            CellWork::Panel {
+                config,
+                space,
+                strategy,
+            } => {
+                let outcome = strategy.run(config.criterion, &space)?;
+                Ok(CellResult {
+                    index,
+                    stat: CellStat {
+                        label,
+                        elapsed_us: elapsed_us(outcome.elapsed),
+                        nodes_evaluated: outcome.stats.nodes_evaluated,
+                        candidate_splits: outcome.stats.candidate_splits,
+                        histograms_built: outcome.stats.histograms_built,
+                        emd_calls: outcome.stats.emd_calls,
+                        emd_cache_hits: outcome.stats.emd_cache_hits,
+                        unfairness: Some(outcome.unfairness),
+                    },
+                    payload: CellPayload::Panel {
+                        config: Box::new(config),
+                        space: Box::new(space),
+                        outcome: Box::new(outcome),
+                    },
+                })
+            }
+            CellWork::AuditJob {
+                criterion_idx,
+                job_id,
+                title,
+                space,
+                criterion,
+                strategy,
+                subgroup_depth,
+                min_subgroup,
+            } => {
+                let outcome = strategy.run(criterion, &space)?;
+                let stats = subgroup_stats(&space, &criterion, subgroup_depth, min_subgroup)?;
+                let most = most_favored(&stats, 1);
+                let least = least_favored(&stats, 1);
+                let row = AuditorJobRow {
+                    job_id,
+                    title,
+                    unfairness: outcome.unfairness,
+                    partitions: outcome.num_partitions,
+                    most_favored: most.first().map(|s| s.label.clone()),
+                    most_favored_advantage: most.first().map_or(0.0, |s| s.advantage),
+                    least_favored: least.first().map(|s| s.label.clone()),
+                    least_favored_advantage: least.first().map_or(0.0, |s| s.advantage),
+                };
+                Ok(CellResult {
+                    index,
+                    stat: CellStat {
+                        label,
+                        elapsed_us: elapsed_us(outcome.elapsed),
+                        nodes_evaluated: outcome.stats.nodes_evaluated,
+                        candidate_splits: outcome.stats.candidate_splits,
+                        histograms_built: outcome.stats.histograms_built,
+                        emd_calls: outcome.stats.emd_calls,
+                        emd_cache_hits: outcome.stats.emd_cache_hits,
+                        unfairness: Some(outcome.unfairness),
+                    },
+                    payload: CellPayload::AuditRow { criterion_idx, row },
+                })
+            }
+            CellWork::SweepVariant {
+                criterion_idx,
+                label: variant_label,
+                weights,
+                space,
+                criterion,
+                strategy,
+            } => {
+                let outcome = strategy.run(criterion, &space)?;
+                let row = VariantRow {
+                    label: variant_label,
+                    weights,
+                    unfairness: outcome.unfairness,
+                    partitions: outcome.num_partitions,
+                };
+                Ok(CellResult {
+                    index,
+                    stat: CellStat {
+                        label,
+                        elapsed_us: elapsed_us(outcome.elapsed),
+                        nodes_evaluated: outcome.stats.nodes_evaluated,
+                        candidate_splits: outcome.stats.candidate_splits,
+                        histograms_built: outcome.stats.histograms_built,
+                        emd_calls: outcome.stats.emd_calls,
+                        emd_cache_hits: outcome.stats.emd_cache_hits,
+                        unfairness: Some(outcome.unfairness),
+                    },
+                    payload: CellPayload::Variant { criterion_idx, row },
+                })
+            }
+            CellWork::EndUserJob {
+                group_idx,
+                job_id,
+                title,
+                scores,
+                ranking,
+                member,
+                group_size,
+            } => {
+                let start = Instant::now();
+                let n = member.len();
+                let mut rank_of = vec![0usize; n];
+                for (rank, &row) in ranking.iter().enumerate() {
+                    rank_of[row as usize] = rank;
+                }
+                let denom = (n.max(2) - 1) as f64;
+                let (mut pct_sum, mut g_sum, mut o_sum, mut o_count) =
+                    (0.0, 0.0, 0.0, 0usize);
+                for row in 0..n {
+                    if member[row] {
+                        pct_sum += 1.0 - rank_of[row] as f64 / denom;
+                        g_sum += scores[row];
+                    } else {
+                        o_sum += scores[row];
+                        o_count += 1;
+                    }
+                }
+                let row = EndUserJobRow {
+                    job_id,
+                    title,
+                    group_mean_percentile: if group_size == 0 {
+                        0.0
+                    } else {
+                        pct_sum / group_size as f64
+                    },
+                    group_mean_score: if group_size == 0 {
+                        0.0
+                    } else {
+                        g_sum / group_size as f64
+                    },
+                    others_mean_score: if o_count == 0 {
+                        0.0
+                    } else {
+                        o_sum / o_count as f64
+                    },
+                    group_size,
+                };
+                Ok(CellResult {
+                    index,
+                    stat: CellStat {
+                        label,
+                        elapsed_us: elapsed_us(start.elapsed()),
+                        nodes_evaluated: 0,
+                        candidate_splits: 0,
+                        histograms_built: 0,
+                        emd_calls: 0,
+                        emd_cache_hits: 0,
+                        unfairness: None,
+                    },
+                    payload: CellPayload::EndUserRow { group_idx, row },
+                })
+            }
+        }
+    }
+}
+
+// ----------------------------------------------------------------- report
+
+/// One row of a grid-perspective scenario outcome.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GridRow {
+    /// Configuration description (dataset | function | filter | criterion).
+    pub config: String,
+    /// Quantified unfairness.
+    pub unfairness: f64,
+    /// Partitions in the final partitioning.
+    pub partitions: usize,
+    /// Session panel id the cell committed (`quantify` strategy runs
+    /// against a session only).
+    pub panel: Option<usize>,
+}
+
+/// An auditor report for one criterion of the grid.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AuditOutcome {
+    /// Criterion label (empty when a single implicit criterion was used).
+    pub criterion: String,
+    /// The marketplace-wide audit under that criterion.
+    pub report: AuditorReport,
+}
+
+/// A job-owner sweep for one criterion of the grid.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobOwnerOutcome {
+    /// Criterion label (empty when a single implicit criterion was used).
+    pub criterion: String,
+    /// The sweep under that criterion.
+    pub report: JobOwnerReport,
+}
+
+/// An end-user view for one group of the spec.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EndUserOutcome {
+    /// The group definition (rendered filter).
+    pub group: String,
+    /// The cross-job view for that group.
+    pub report: EndUserReport,
+}
+
+/// The perspective-specific payload of a [`ScenarioReport`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ScenarioOutcome {
+    /// Grid rows, in grid order.
+    Grid(Vec<GridRow>),
+    /// One audit per criterion.
+    Audit(Vec<AuditOutcome>),
+    /// One sweep per criterion.
+    JobOwner(Vec<JobOwnerOutcome>),
+    /// One view per group.
+    EndUser(Vec<EndUserOutcome>),
+}
+
+/// The result of running a whole plan: the reduced outcome plus per-cell
+/// execution statistics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioReport {
+    /// Perspective name (`grid` / `auditor` / `job-owner` / `end-user`).
+    pub perspective: String,
+    /// Strategy description (e.g. `quantify`, `beam(width=4)`).
+    pub strategy: String,
+    /// Total wall-clock of the run (execution + reduce) in microseconds.
+    pub total_elapsed_us: u64,
+    /// Per-cell stats, in plan order.
+    pub cells: Vec<CellStat>,
+    /// The reduced, perspective-specific outcome.
+    pub outcome: ScenarioOutcome,
+}
+
+// ------------------------------------------------------------------- plan
+
+#[derive(Debug)]
+enum Reduce {
+    Grid,
+    Auditor {
+        marketplace: String,
+        transparency: Transparency,
+        criteria: Vec<String>,
+    },
+    JobOwner {
+        skill: String,
+        criteria: Vec<String>,
+    },
+    EndUser {
+        groups: Vec<String>,
+    },
+}
+
+/// A compiled scenario: independent cells plus the deterministic reduce.
+#[derive(Debug)]
+pub struct Plan {
+    perspective: &'static str,
+    strategy: String,
+    cells: Vec<Cell>,
+    reduce: Reduce,
+}
+
+/// Compiles a spec against a session into an executable plan. All names
+/// are resolved and all inputs prepared here, before anything runs — a
+/// plan that compiles cannot fail on missing session state.
+pub fn compile(session: &Session, spec: &ScenarioSpec) -> Result<Plan> {
+    let strategy = spec.strategy();
+    let grid = spec.criterion_grid();
+    let criteria = grid.criteria()?;
+    match &spec.perspective {
+        Perspective::Grid {
+            datasets,
+            functions,
+            filter,
+        } => {
+            if datasets.is_empty() || functions.is_empty() {
+                return Err(SessionError::Command(
+                    "a grid scenario needs at least one dataset and one function".into(),
+                ));
+            }
+            let filter = filter
+                .as_deref()
+                .map(Filter::parse)
+                .transpose()?;
+            let mut configs = Vec::with_capacity(
+                datasets.len() * functions.len() * criteria.len(),
+            );
+            for dataset in datasets {
+                for function in functions {
+                    for (_, criterion) in &criteria {
+                        let mut config =
+                            Configuration::new(dataset, function).with_criterion(*criterion);
+                        if let Some(filter) = &filter {
+                            config = config.with_filter(filter.clone());
+                        }
+                        configs.push(config);
+                    }
+                }
+            }
+            Plan::for_configurations(session, configs, strategy)
+        }
+        Perspective::Auditor {
+            market,
+            k,
+            ranking_only,
+            subgroup_depth,
+            min_subgroup,
+        } => {
+            let market = market.build()?;
+            let transparency = Transparency {
+                function: if *ranking_only {
+                    fairank_marketplace::FunctionTransparency::RankingOnly
+                } else {
+                    fairank_marketplace::FunctionTransparency::Visible
+                },
+                data: match k {
+                    Some(k) => fairank_marketplace::DataTransparency::Anonymized { k: *k },
+                    None => fairank_marketplace::DataTransparency::Full,
+                },
+            };
+            Plan::for_auditor(
+                &market,
+                &transparency,
+                &criteria,
+                strategy,
+                *subgroup_depth,
+                *min_subgroup,
+            )
+        }
+        Perspective::JobOwner {
+            market,
+            job,
+            skill,
+            weights,
+        } => {
+            let market = market.build()?;
+            let base = market.job(job)?.scoring.clone();
+            Plan::for_job_owner(market.workers(), &base, skill, weights, &criteria, strategy)
+        }
+        Perspective::EndUser { market, groups } => {
+            if groups.is_empty() {
+                return Err(SessionError::Command(
+                    "an end-user scenario needs at least one group expression".into(),
+                ));
+            }
+            let market = market.build()?;
+            let filters = groups
+                .iter()
+                .map(|g| Filter::parse(g))
+                .collect::<std::result::Result<Vec<_>, _>>()?;
+            Plan::for_end_user(&market, &filters, strategy)
+        }
+    }
+}
+
+fn audit_label(job_id: &str, criterion_label: &str) -> String {
+    if criterion_label.is_empty() {
+        format!("audit {job_id}")
+    } else {
+        format!("audit {job_id} · {criterion_label}")
+    }
+}
+
+impl Plan {
+    /// Number of cells the plan fans out.
+    pub fn cell_count(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Labels of every cell, in plan order.
+    pub fn cell_labels(&self) -> Vec<&str> {
+        self.cells.iter().map(Cell::label).collect()
+    }
+
+    /// A grid plan over explicit configurations — the substrate
+    /// [`Session::quantify_grid`] builds on. Resolves and validates every
+    /// configuration up front, exactly as the pre-plan implementation did.
+    pub(crate) fn for_configurations(
+        session: &Session,
+        configs: Vec<Configuration>,
+        strategy: SearchStrategy,
+    ) -> Result<Plan> {
+        let mut cells = Vec::with_capacity(configs.len());
+        for (index, config) in configs.iter().enumerate() {
+            let dataset = session.dataset(&config.dataset)?;
+            let working = if config.filter.is_empty() {
+                dataset.clone()
+            } else {
+                dataset.filter(&config.filter)?
+            };
+            let source = match &config.scoring {
+                ScoringChoice::Named(name) => {
+                    ScoreSource::Function(session.function(name)?.clone())
+                }
+                ScoringChoice::Inline(source) => source.clone(),
+            };
+            let space = working.to_space(&source)?;
+            let mut config = config.clone();
+            config.criterion = config.criterion.fit_range(&space);
+            cells.push(Cell {
+                index,
+                label: config.describe(),
+                work: CellWork::Panel {
+                    config,
+                    space,
+                    strategy,
+                },
+            });
+        }
+        Ok(Plan {
+            perspective: "grid",
+            strategy: strategy.describe(),
+            cells,
+            reduce: Reduce::Grid,
+        })
+    }
+
+    /// An auditor plan over an already-built marketplace — the substrate
+    /// [`crate::report::auditor_report`] builds on.
+    pub(crate) fn for_auditor(
+        market: &Marketplace,
+        transparency: &Transparency,
+        criteria: &[(String, FairnessCriterion)],
+        strategy: SearchStrategy,
+        subgroup_depth: usize,
+        min_subgroup: usize,
+    ) -> Result<Plan> {
+        let mut cells = Vec::with_capacity(criteria.len() * market.jobs().len());
+        for (criterion_idx, (criterion_label, criterion)) in criteria.iter().enumerate() {
+            for job in market.jobs() {
+                let obs = market.observe(&job.id, transparency)?;
+                let space = obs.dataset.to_space(&obs.source)?;
+                // Fit the histogram to the observed score range, as the
+                // session's quantify does — unnormalized job scorings must
+                // not saturate the unit-range edge bins.
+                let fitted = criterion.fit_range(&space);
+                cells.push(Cell {
+                    index: cells.len(),
+                    label: audit_label(&job.id, criterion_label),
+                    work: CellWork::AuditJob {
+                        criterion_idx,
+                        job_id: job.id.clone(),
+                        title: job.title.clone(),
+                        space,
+                        criterion: fitted,
+                        strategy,
+                        subgroup_depth,
+                        min_subgroup,
+                    },
+                });
+            }
+        }
+        Ok(Plan {
+            perspective: "auditor",
+            strategy: strategy.describe(),
+            cells,
+            reduce: Reduce::Auditor {
+                marketplace: market.name.clone(),
+                transparency: transparency.clone(),
+                criteria: criteria.iter().map(|(l, _)| l.clone()).collect(),
+            },
+        })
+    }
+
+    /// A job-owner plan over an explicit dataset and base scoring — the
+    /// substrate [`crate::report::job_owner_sweep`] builds on.
+    ///
+    /// The sweep deliberately keeps the criterion's histogram range fixed
+    /// across variants instead of fitting it per variant: rebalancing
+    /// already guarantees `[0, 1]` scores, and picking the fairest variant
+    /// requires every row's unfairness in the same score units.
+    pub(crate) fn for_job_owner(
+        dataset: &Dataset,
+        base: &LinearScoring,
+        skill: &str,
+        weights: &[f64],
+        criteria: &[(String, FairnessCriterion)],
+        strategy: SearchStrategy,
+    ) -> Result<Plan> {
+        if weights.is_empty() {
+            return Err(SessionError::Command(
+                "a job-owner scenario needs at least one weight to sweep".into(),
+            ));
+        }
+        let mut cells = Vec::with_capacity(criteria.len() * weights.len());
+        for (criterion_idx, (criterion_label, criterion)) in criteria.iter().enumerate() {
+            for &w in weights {
+                let variant = rebalanced_variant(base, skill, w)?;
+                let space = dataset.to_space(&ScoreSource::Function(variant.clone()))?;
+                let variant_label = format!("{skill}={w:.2}");
+                let label = if criterion_label.is_empty() {
+                    format!("sweep {variant_label}")
+                } else {
+                    format!("sweep {variant_label} · {criterion_label}")
+                };
+                cells.push(Cell {
+                    index: cells.len(),
+                    label,
+                    work: CellWork::SweepVariant {
+                        criterion_idx,
+                        label: variant_label,
+                        weights: variant.terms().to_vec(),
+                        space,
+                        criterion: *criterion,
+                        strategy,
+                    },
+                });
+            }
+        }
+        Ok(Plan {
+            perspective: "job-owner",
+            strategy: strategy.describe(),
+            cells,
+            reduce: Reduce::JobOwner {
+                skill: skill.to_string(),
+                criteria: criteria.iter().map(|(l, _)| l.clone()).collect(),
+            },
+        })
+    }
+
+    /// An end-user plan over an already-built marketplace — the substrate
+    /// [`crate::report::end_user_report`] builds on. The strategy is
+    /// recorded for the report header; end-user cells are closed-form.
+    pub(crate) fn for_end_user(
+        market: &Marketplace,
+        groups: &[Filter],
+        strategy: SearchStrategy,
+    ) -> Result<Plan> {
+        let workers = market.workers();
+        let n = workers.num_rows();
+        let mut cells = Vec::with_capacity(groups.len() * market.jobs().len());
+        for (group_idx, group) in groups.iter().enumerate() {
+            let group_rows = group.matching_rows(workers)?;
+            let mut member = vec![false; n];
+            for &r in &group_rows {
+                member[r as usize] = true;
+            }
+            for job in market.jobs() {
+                cells.push(Cell {
+                    index: cells.len(),
+                    label: format!("end-user {} · {}", group.render(), job.id),
+                    work: CellWork::EndUserJob {
+                        group_idx,
+                        job_id: job.id.clone(),
+                        title: job.title.clone(),
+                        scores: market.scores_for(&job.id)?,
+                        ranking: market.ranking_for(&job.id)?,
+                        member: member.clone(),
+                        group_size: group_rows.len(),
+                    },
+                });
+            }
+        }
+        Ok(Plan {
+            perspective: "end-user",
+            strategy: strategy.describe(),
+            cells,
+            reduce: Reduce::EndUser {
+                groups: groups.iter().map(Filter::render).collect(),
+            },
+        })
+    }
+
+    /// Runs every cell sequentially on the calling thread, then reduces.
+    pub fn run(self, session: &mut Session) -> Result<ScenarioReport> {
+        self.execute_with(run_cells_sequential).finish(Some(session))
+    }
+
+    /// Runs cells on bounded scoped OS threads (they are CPU-bound and
+    /// independent), then reduces. Results are identical to [`Plan::run`].
+    pub fn run_parallel(self, session: &mut Session) -> Result<ScenarioReport> {
+        self.execute_with(run_cells_scoped).finish(Some(session))
+    }
+
+    /// Runs cells through a caller-provided executor (e.g. a server worker
+    /// pool), then reduces. The executor must return one result per cell;
+    /// order does not matter (results carry their cell index).
+    pub fn run_with<E>(self, session: &mut Session, executor: E) -> Result<ScenarioReport>
+    where
+        E: FnOnce(Vec<Cell>) -> Vec<Result<CellResult>>,
+    {
+        self.execute_with(executor).finish(Some(session))
+    }
+
+    /// Runs sequentially without a session: marketplace perspectives never
+    /// touch one, and grid plans simply skip the panel commit.
+    pub(crate) fn run_detached(self) -> Result<ScenarioReport> {
+        self.execute_with(run_cells_sequential).finish(None)
+    }
+
+    /// The execution half of a run: hands every cell to the executor and
+    /// captures the results. No session is involved, so callers that keep
+    /// sessions behind locks (the service) can release the lock while the
+    /// cells run and re-acquire it only for [`ExecutedPlan::finish`] — a
+    /// worker that needs the same session's lock must never wait on a
+    /// thread that is waiting on workers.
+    pub fn execute_with<E>(self, executor: E) -> ExecutedPlan
+    where
+        E: FnOnce(Vec<Cell>) -> Vec<Result<CellResult>>,
+    {
+        let started = Instant::now();
+        let Plan {
+            perspective,
+            strategy,
+            cells,
+            reduce,
+        } = self;
+        let expected = cells.len();
+        let results = executor(cells);
+        ExecutedPlan {
+            perspective,
+            strategy,
+            reduce,
+            started,
+            expected,
+            results,
+        }
+    }
+}
+
+/// A plan whose cells have executed, waiting for the reduce step.
+#[derive(Debug)]
+pub struct ExecutedPlan {
+    perspective: &'static str,
+    strategy: String,
+    reduce: Reduce,
+    started: Instant,
+    expected: usize,
+    results: Vec<Result<CellResult>>,
+}
+
+impl ExecutedPlan {
+    /// Reduces the cell results into the report. Grid plans run against a
+    /// session commit one panel per `quantify` cell; pass `None` to skip
+    /// commits (marketplace perspectives never need a session).
+    pub fn finish(self, mut session: Option<&mut Session>) -> Result<ScenarioReport> {
+        let ExecutedPlan {
+            perspective,
+            strategy,
+            reduce,
+            started,
+            expected,
+            results,
+        } = self;
+        let mut results = results
+            .into_iter()
+            .collect::<Result<Vec<CellResult>>>()?;
+        if results.len() != expected {
+            return Err(SessionError::Internal(format!(
+                "plan executor returned {} results for {expected} cells",
+                results.len()
+            )));
+        }
+        // Executors may complete out of order; the reduce is defined over
+        // plan order.
+        results.sort_by_key(|r| r.index);
+        let stats: Vec<CellStat> = results.iter().map(|r| r.stat.clone()).collect();
+
+        let outcome = match reduce {
+            Reduce::Grid => {
+                let mut rows = Vec::with_capacity(results.len());
+                for result in results {
+                    let CellPayload::Panel {
+                        config,
+                        space,
+                        outcome,
+                    } = result.payload
+                    else {
+                        return Err(SessionError::Internal(
+                            "grid reduce received a non-grid cell".into(),
+                        ));
+                    };
+                    let description = config.describe();
+                    let (unfairness, partitions) =
+                        (outcome.unfairness, outcome.num_partitions);
+                    let panel = match (&mut session, outcome.quantify) {
+                        (Some(session), Some(quantify)) => {
+                            Some(session.commit_panel(*config, *space, quantify))
+                        }
+                        _ => None,
+                    };
+                    rows.push(GridRow {
+                        config: description,
+                        unfairness,
+                        partitions,
+                        panel,
+                    });
+                }
+                ScenarioOutcome::Grid(rows)
+            }
+            Reduce::Auditor {
+                marketplace,
+                transparency,
+                criteria,
+            } => {
+                let mut buckets: Vec<Vec<AuditorJobRow>> =
+                    criteria.iter().map(|_| Vec::new()).collect();
+                for result in results {
+                    let CellPayload::AuditRow { criterion_idx, row } = result.payload
+                    else {
+                        return Err(SessionError::Internal(
+                            "auditor reduce received a non-audit cell".into(),
+                        ));
+                    };
+                    buckets[criterion_idx].push(row);
+                }
+                ScenarioOutcome::Audit(
+                    criteria
+                        .into_iter()
+                        .zip(buckets)
+                        .map(|(criterion, mut rows)| {
+                            rows.sort_by(|a, b| {
+                                b.unfairness
+                                    .partial_cmp(&a.unfairness)
+                                    .unwrap_or(std::cmp::Ordering::Equal)
+                            });
+                            AuditOutcome {
+                                criterion,
+                                report: AuditorReport {
+                                    marketplace: marketplace.clone(),
+                                    transparency: transparency.clone(),
+                                    rows,
+                                },
+                            }
+                        })
+                        .collect(),
+                )
+            }
+            Reduce::JobOwner { skill, criteria } => {
+                let mut buckets: Vec<Vec<VariantRow>> =
+                    criteria.iter().map(|_| Vec::new()).collect();
+                for result in results {
+                    let CellPayload::Variant { criterion_idx, row } = result.payload
+                    else {
+                        return Err(SessionError::Internal(
+                            "job-owner reduce received a non-sweep cell".into(),
+                        ));
+                    };
+                    buckets[criterion_idx].push(row);
+                }
+                ScenarioOutcome::JobOwner(
+                    criteria
+                        .into_iter()
+                        .zip(buckets)
+                        .map(|(criterion, rows)| {
+                            let fairest = rows
+                                .iter()
+                                .enumerate()
+                                .min_by(|(_, a), (_, b)| {
+                                    a.unfairness
+                                        .partial_cmp(&b.unfairness)
+                                        .unwrap_or(std::cmp::Ordering::Equal)
+                                })
+                                .map(|(i, _)| i)
+                                .unwrap_or(0);
+                            JobOwnerOutcome {
+                                criterion,
+                                report: JobOwnerReport {
+                                    skill: skill.clone(),
+                                    rows,
+                                    fairest,
+                                },
+                            }
+                        })
+                        .collect(),
+                )
+            }
+            Reduce::EndUser { groups } => {
+                let mut buckets: Vec<Vec<EndUserJobRow>> =
+                    groups.iter().map(|_| Vec::new()).collect();
+                for result in results {
+                    let CellPayload::EndUserRow { group_idx, row } = result.payload
+                    else {
+                        return Err(SessionError::Internal(
+                            "end-user reduce received a non-end-user cell".into(),
+                        ));
+                    };
+                    buckets[group_idx].push(row);
+                }
+                ScenarioOutcome::EndUser(
+                    groups
+                        .into_iter()
+                        .zip(buckets)
+                        .map(|(group, mut rows)| {
+                            rows.sort_by(|a, b| {
+                                b.group_mean_percentile
+                                    .partial_cmp(&a.group_mean_percentile)
+                                    .unwrap_or(std::cmp::Ordering::Equal)
+                            });
+                            EndUserOutcome {
+                                group,
+                                report: EndUserReport { group: String::new(), rows },
+                            }
+                        })
+                        .collect(),
+                )
+            }
+        };
+
+        let mut report = ScenarioReport {
+            perspective: perspective.to_string(),
+            strategy,
+            total_elapsed_us: 0,
+            cells: stats,
+            outcome,
+        };
+        // Fix up the EndUserReport group fields (the inner report repeats
+        // the group for standalone rendering).
+        if let ScenarioOutcome::EndUser(views) = &mut report.outcome {
+            for view in views {
+                view.report.group = view.group.clone();
+            }
+        }
+        report.total_elapsed_us = elapsed_us(started.elapsed());
+        Ok(report)
+    }
+}
+
+/// The sequential executor: cells run in plan order on this thread.
+pub fn run_cells_sequential(cells: Vec<Cell>) -> Vec<Result<CellResult>> {
+    cells.into_iter().map(Cell::execute).collect()
+}
+
+/// The scoped-thread executor: cells drain a shared queue across at most
+/// `available_parallelism` OS threads (cells are CPU-bound, so more
+/// threads than cores only adds oversubscription — a 384-cell grid must
+/// not spawn 384 concurrent searches). Panicking cells become `Internal`
+/// errors; the other cells still run.
+pub fn run_cells_scoped(cells: Vec<Cell>) -> Vec<Result<CellResult>> {
+    let workers = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(cells.len());
+    if workers <= 1 {
+        return run_cells_sequential(cells);
+    }
+    let queue = std::sync::Mutex::new(cells.into_iter());
+    let results = std::sync::Mutex::new(Vec::new());
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                // Hold the queue lock only to pull the next cell.
+                let Some(cell) = queue
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .next()
+                else {
+                    break;
+                };
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+                    || cell.execute(),
+                ))
+                .unwrap_or_else(|_| {
+                    Err(SessionError::Internal(
+                        "a scenario cell panicked while executing".into(),
+                    ))
+                });
+                results
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .push(result);
+            });
+        }
+    });
+    // Completion order is arbitrary; the reduce orders by cell index.
+    results.into_inner().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn session() -> Session {
+        let mut s = Session::new();
+        s.add_dataset("table1", fairank_data::paper::table1_dataset())
+            .unwrap();
+        s.add_function("paper-f", fairank_data::paper::table1_scoring())
+            .unwrap();
+        s
+    }
+
+    fn grid_spec() -> ScenarioSpec {
+        ScenarioSpec {
+            perspective: Perspective::Grid {
+                datasets: vec!["table1".into()],
+                functions: vec!["paper-f".into()],
+                filter: None,
+            },
+            strategy: None,
+            criteria: Some(CriterionGrid {
+                objectives: vec![Objective::MostUnfair],
+                aggregators: vec![Aggregator::Mean, Aggregator::Max],
+                bins: vec![5, 10],
+                emds: vec![EmdBackend::OneD],
+            }),
+        }
+    }
+
+    #[test]
+    fn grid_compile_counts_cells() {
+        let s = session();
+        let plan = compile(&s, &grid_spec()).unwrap();
+        assert_eq!(plan.cell_count(), 4); // 1 dataset × 1 function × 4 criteria
+        assert_eq!(plan.cell_labels().len(), 4);
+    }
+
+    #[test]
+    fn grid_run_commits_panels_in_order() {
+        let mut s = session();
+        let plan = compile(&s, &grid_spec()).unwrap();
+        let report = plan.run(&mut s).unwrap();
+        let ScenarioOutcome::Grid(rows) = &report.outcome else {
+            panic!("expected grid outcome");
+        };
+        assert_eq!(rows.len(), 4);
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(row.panel, Some(i));
+            assert_eq!(
+                s.panel(i).unwrap().outcome.unfairness,
+                row.unfairness
+            );
+        }
+        assert_eq!(report.cells.len(), 4);
+        assert!(report.cells.iter().all(|c| c.unfairness.is_some()));
+    }
+
+    #[test]
+    fn sequential_and_parallel_runs_agree() {
+        let mut a = session();
+        let mut b = session();
+        let ra = compile(&a, &grid_spec()).unwrap().run(&mut a).unwrap();
+        let rb = compile(&b, &grid_spec())
+            .unwrap()
+            .run_parallel(&mut b)
+            .unwrap();
+        let (ScenarioOutcome::Grid(rows_a), ScenarioOutcome::Grid(rows_b)) =
+            (&ra.outcome, &rb.outcome)
+        else {
+            panic!("expected grid outcomes");
+        };
+        assert_eq!(rows_a, rows_b);
+    }
+
+    #[test]
+    fn beam_strategy_reports_without_panels() {
+        let mut s = session();
+        let mut spec = grid_spec();
+        spec.strategy = Some(SearchStrategy::Beam { width: 2 });
+        let report = compile(&s, &spec).unwrap().run(&mut s).unwrap();
+        let ScenarioOutcome::Grid(rows) = &report.outcome else {
+            panic!("expected grid outcome");
+        };
+        assert!(rows.iter().all(|r| r.panel.is_none()));
+        assert!(s.panels().is_empty());
+        assert!(report.strategy.starts_with("beam"));
+    }
+
+    #[test]
+    fn compile_validates_names_before_running() {
+        let s = session();
+        let mut spec = grid_spec();
+        spec.perspective = Perspective::Grid {
+            datasets: vec!["ghost".into()],
+            functions: vec!["paper-f".into()],
+            filter: None,
+        };
+        assert!(matches!(
+            compile(&s, &spec),
+            Err(SessionError::UnknownDataset(_))
+        ));
+    }
+
+    #[test]
+    fn criterion_grid_cardinality_and_labels() {
+        let grid = CriterionGrid {
+            objectives: vec![Objective::MostUnfair, Objective::LeastUnfair],
+            aggregators: vec![Aggregator::Mean],
+            bins: vec![5, 10, 20],
+            emds: vec![EmdBackend::OneD, EmdBackend::Transport],
+        };
+        assert_eq!(grid.cardinality(), 12);
+        let criteria = grid.criteria().unwrap();
+        assert_eq!(criteria.len(), 12);
+        assert!(criteria[0].0.contains("most-unfair mean"));
+        // Empty axis is an error.
+        let empty = CriterionGrid {
+            objectives: vec![],
+            ..CriterionGrid::default()
+        };
+        assert_eq!(empty.cardinality(), 0);
+        assert!(empty.criteria().is_err());
+    }
+
+    #[test]
+    fn auditor_spec_compiles_one_cell_per_job_and_criterion() {
+        let s = Session::new();
+        let spec = ScenarioSpec {
+            perspective: Perspective::Auditor {
+                market: MarketSpec {
+                    preset: "taskrabbit".into(),
+                    n: 80,
+                    seed: 7,
+                },
+                k: None,
+                ranking_only: false,
+                subgroup_depth: 1,
+                min_subgroup: 10,
+            },
+            strategy: None,
+            criteria: Some(CriterionGrid {
+                objectives: vec![Objective::MostUnfair],
+                aggregators: vec![Aggregator::Mean, Aggregator::Max],
+                bins: vec![10],
+                emds: vec![EmdBackend::OneD],
+            }),
+        };
+        let market = fairank_marketplace::scenario::taskrabbit_like(80, 7).unwrap();
+        let plan = compile(&s, &spec).unwrap();
+        assert_eq!(plan.cell_count(), 2 * market.jobs().len());
+        let mut s2 = Session::new();
+        let report = plan.run_parallel(&mut s2).unwrap();
+        let ScenarioOutcome::Audit(audits) = &report.outcome else {
+            panic!("expected audit outcome");
+        };
+        assert_eq!(audits.len(), 2);
+        for audit in audits {
+            assert_eq!(audit.report.rows.len(), market.jobs().len());
+            assert!(!audit.criterion.is_empty());
+        }
+    }
+
+    #[test]
+    fn end_user_spec_supports_multiple_groups() {
+        let s = Session::new();
+        let spec = ScenarioSpec::new(Perspective::EndUser {
+            market: MarketSpec {
+                preset: "taskrabbit".into(),
+                n: 80,
+                seed: 7,
+            },
+            groups: vec!["gender=Female".into(), "gender=Male".into()],
+        });
+        let mut s2 = Session::new();
+        let report = compile(&s, &spec).unwrap().run(&mut s2).unwrap();
+        let ScenarioOutcome::EndUser(views) = &report.outcome else {
+            panic!("expected end-user outcome");
+        };
+        assert_eq!(views.len(), 2);
+        assert_eq!(views[0].report.group, views[0].group);
+        assert!(report.cells.iter().all(|c| c.unfairness.is_none()));
+    }
+
+    #[test]
+    fn spec_serde_round_trip() {
+        let spec = grid_spec();
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: ScenarioSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(spec, back);
+        // Strategy/criteria may be omitted entirely in hand-written JSON.
+        let minimal: ScenarioSpec = serde_json::from_str(
+            r#"{"perspective": {"Grid": {"datasets": ["a"], "functions": ["f"], "filter": null}}}"#,
+        )
+        .unwrap();
+        assert_eq!(minimal.strategy(), SearchStrategy::default());
+        assert_eq!(minimal.criterion_grid(), CriterionGrid::default());
+    }
+}

@@ -37,6 +37,14 @@ FaiRank commands:
   audit <taskrabbit|qapa> [n=] [seed=] [k=] [ranking-only]
   jobowner <preset> <job> <skill> [n=] [seed=]
   enduser <preset> \"<group expr>\" [n=] [seed=]
+  scenario grid <ds,..> <func,..> [objectives=] [aggs=] [bins=] [emd=]
+           [strategy=quantify|beam|exhaustive] [width=] [depth=] [min=]
+           [budget=] [where=\"<expr>\"]   compile a grid into parallel cells
+  scenario auditor <preset> [n=] [seed=] [k=] [ranking-only] [sg-depth=] [sg-min=]
+  scenario jobowner <preset> <job> <skill> [weights=w1,w2,..] [n=] [seed=]
+  scenario enduser <preset> \"<group>\"… [n=] [seed=]
+  scenario <spec.json>                 run a scenario plan from a JSON spec
+  sessions | evict <name>              registry admin (server --admin only)
   help | quit
 ";
 
@@ -126,7 +134,87 @@ pub fn render(response: &Response) -> String {
         Response::Audit(report) => report.render(),
         Response::JobOwnerSweep(report) => report.render(),
         Response::EndUserView(report) => report.render(),
+        Response::Scenario(report) => render_scenario_report(report),
+        Response::SessionList(names) => {
+            if names.is_empty() {
+                "no live sessions".to_string()
+            } else {
+                names
+                    .iter()
+                    .map(|n| format!("session {n}"))
+                    .collect::<Vec<_>>()
+                    .join("\n")
+            }
+        }
+        Response::SessionEvicted { name } => format!("evicted session {name:?}"),
     }
+}
+
+/// Renders a scenario-plan report: header, the perspective-specific
+/// outcome, then one stat line per cell.
+fn render_scenario_report(report: &crate::plan::ScenarioReport) -> String {
+    use crate::plan::ScenarioOutcome;
+
+    let mut out = format!(
+        "SCENARIO REPORT — {} · strategy {} · {} cell(s) · {} µs\n",
+        report.perspective,
+        report.strategy,
+        report.cells.len(),
+        report.total_elapsed_us,
+    );
+    match &report.outcome {
+        ScenarioOutcome::Grid(rows) => {
+            for row in rows {
+                let panel = row
+                    .panel
+                    .map(|id| format!("#{id}"))
+                    .unwrap_or_else(|| "-".into());
+                out.push_str(&format!(
+                    "{:<5} u={:.6}  parts={:<3} {}\n",
+                    panel, row.unfairness, row.partitions, row.config
+                ));
+            }
+        }
+        ScenarioOutcome::Audit(audits) => {
+            for audit in audits {
+                if !audit.criterion.is_empty() {
+                    out.push_str(&format!("criterion: {}\n", audit.criterion));
+                }
+                out.push_str(&audit.report.render());
+            }
+        }
+        ScenarioOutcome::JobOwner(sweeps) => {
+            for sweep in sweeps {
+                if !sweep.criterion.is_empty() {
+                    out.push_str(&format!("criterion: {}\n", sweep.criterion));
+                }
+                out.push_str(&sweep.report.render());
+            }
+        }
+        ScenarioOutcome::EndUser(views) => {
+            for view in views {
+                out.push_str(&view.report.render());
+            }
+        }
+    }
+    out.push_str("cell stats:\n");
+    for cell in &report.cells {
+        let unfairness = cell
+            .unfairness
+            .map(|u| format!("u={u:.4}  "))
+            .unwrap_or_default();
+        out.push_str(&format!(
+            "  {:<44} {:>8} µs  {}cand={} hists={} emds={} (hits {})\n",
+            cell.label,
+            cell.elapsed_us,
+            unfairness,
+            cell.candidate_splits,
+            cell.histograms_built,
+            cell.emd_calls,
+            cell.emd_cache_hits,
+        ));
+    }
+    out
 }
 
 fn render_dataset_list(entries: &[DatasetEntry]) -> String {

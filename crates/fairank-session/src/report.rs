@@ -10,15 +10,15 @@
 //!   treating that group".
 
 use fairank_core::fairness::FairnessCriterion;
-use fairank_core::quantify::Quantify;
-use fairank_core::scoring::{LinearScoring, ScoreSource};
-use fairank_core::subgroup::{least_favored, most_favored, subgroup_stats};
+use fairank_core::plan::SearchStrategy;
+use fairank_core::scoring::LinearScoring;
 use fairank_data::dataset::Dataset;
 use fairank_data::filter::Filter;
 use fairank_marketplace::{Marketplace, Transparency};
 use serde::{Deserialize, Serialize};
 
 use crate::error::Result;
+use crate::plan::{Plan, ScenarioOutcome};
 
 // ---------------------------------------------------------------- auditor
 
@@ -57,6 +57,9 @@ pub struct AuditorReport {
 /// Audits every job of a marketplace under a transparency setting.
 /// `subgroup_depth` bounds the subgroup conjunction length;
 /// `min_subgroup` skips groups smaller than that.
+///
+/// A thin builder over the scenario plan layer: one plan cell per job
+/// (quantification + extremal subgroups), reduced into the sorted report.
 pub fn auditor_report(
     marketplace: &Marketplace,
     transparency: &Transparency,
@@ -64,39 +67,23 @@ pub fn auditor_report(
     subgroup_depth: usize,
     min_subgroup: usize,
 ) -> Result<AuditorReport> {
-    let mut rows = Vec::with_capacity(marketplace.jobs().len());
-    for job in marketplace.jobs() {
-        let obs = marketplace.observe(&job.id, transparency)?;
-        let space = obs.dataset.to_space(&obs.source)?;
-        // Fit the histogram to the observed score range, as the session's
-        // quantify does — unnormalized job scorings must not saturate the
-        // unit-range edge bins.
-        let fitted = criterion.fit_range(&space);
-        let outcome = Quantify::new(fitted).run_space(&space)?;
-        let stats = subgroup_stats(&space, &fitted, subgroup_depth, min_subgroup)?;
-        let most = most_favored(&stats, 1);
-        let least = least_favored(&stats, 1);
-        rows.push(AuditorJobRow {
-            job_id: job.id.clone(),
-            title: job.title.clone(),
-            unfairness: outcome.unfairness,
-            partitions: outcome.partitions.len(),
-            most_favored: most.first().map(|s| s.label.clone()),
-            most_favored_advantage: most.first().map_or(0.0, |s| s.advantage),
-            least_favored: least.first().map(|s| s.label.clone()),
-            least_favored_advantage: least.first().map_or(0.0, |s| s.advantage),
-        });
+    let criteria = [(String::new(), *criterion)];
+    let plan = Plan::for_auditor(
+        marketplace,
+        transparency,
+        &criteria,
+        SearchStrategy::default(),
+        subgroup_depth,
+        min_subgroup,
+    )?;
+    match plan.run_detached()?.outcome {
+        ScenarioOutcome::Audit(mut audits) if audits.len() == 1 => {
+            Ok(audits.remove(0).report)
+        }
+        _ => Err(crate::error::SessionError::Internal(
+            "auditor plan reduced to a non-audit outcome".into(),
+        )),
     }
-    rows.sort_by(|a, b| {
-        b.unfairness
-            .partial_cmp(&a.unfairness)
-            .unwrap_or(std::cmp::Ordering::Equal)
-    });
-    Ok(AuditorReport {
-        marketplace: marketplace.name.clone(),
-        transparency: transparency.clone(),
-        rows,
-    })
 }
 
 impl AuditorReport {
@@ -168,38 +155,28 @@ pub fn job_owner_sweep(
     weights: &[f64],
     criterion: &FairnessCriterion,
 ) -> Result<JobOwnerReport> {
-    let mut rows = Vec::with_capacity(weights.len());
-    for &w in weights {
-        let variant = rebalanced_variant(base, skill, w)?;
-        let space = dataset.to_space(&ScoreSource::Function(variant.clone()))?;
-        let outcome = Quantify::new(*criterion).run_space(&space)?;
-        rows.push(VariantRow {
-            label: format!("{skill}={w:.2}"),
-            weights: variant.terms().to_vec(),
-            unfairness: outcome.unfairness,
-            partitions: outcome.partitions.len(),
-        });
+    let criteria = [(String::new(), *criterion)];
+    let plan = Plan::for_job_owner(
+        dataset,
+        base,
+        skill,
+        weights,
+        &criteria,
+        SearchStrategy::default(),
+    )?;
+    match plan.run_detached()?.outcome {
+        ScenarioOutcome::JobOwner(mut sweeps) if sweeps.len() == 1 => {
+            Ok(sweeps.remove(0).report)
+        }
+        _ => Err(crate::error::SessionError::Internal(
+            "job-owner plan reduced to a non-sweep outcome".into(),
+        )),
     }
-    let fairest = rows
-        .iter()
-        .enumerate()
-        .min_by(|(_, a), (_, b)| {
-            a.unfairness
-                .partial_cmp(&b.unfairness)
-                .unwrap_or(std::cmp::Ordering::Equal)
-        })
-        .map(|(i, _)| i)
-        .unwrap_or(0);
-    Ok(JobOwnerReport {
-        skill: skill.to_string(),
-        rows,
-        fairest,
-    })
 }
 
 /// Sets `skill` to `weight` and rescales the other weights so the total
 /// stays 1.0 (the paper's functions map into `[0, 1]`).
-fn rebalanced_variant(
+pub(crate) fn rebalanced_variant(
     base: &LinearScoring,
     skill: &str,
     weight: f64,
@@ -275,57 +252,27 @@ pub struct EndUserReport {
 
 /// Evaluates how every job of the marketplace treats the group selected by
 /// `group` (e.g. `gender=Female & city=Grenoble`).
+///
+/// A thin builder over the scenario plan layer: one closed-form plan cell
+/// per job, reduced into the percentile-sorted report.
 pub fn end_user_report(
     marketplace: &Marketplace,
     group: &Filter,
     _criterion: &FairnessCriterion,
 ) -> Result<EndUserReport> {
-    let workers = marketplace.workers();
-    let group_rows = group.matching_rows(workers)?;
-    let n = workers.num_rows();
-    let mut member = vec![false; n];
-    for &r in &group_rows {
-        member[r as usize] = true;
-    }
-    let mut rows = Vec::with_capacity(marketplace.jobs().len());
-    for job in marketplace.jobs() {
-        let scores = marketplace.scores_for(&job.id)?;
-        let ranking = marketplace.ranking_for(&job.id)?;
-        // Percentile of each group member: 1 - rank/(n-1).
-        let mut rank_of = vec![0usize; n];
-        for (rank, &row) in ranking.iter().enumerate() {
-            rank_of[row as usize] = rank;
+    let plan = Plan::for_end_user(
+        marketplace,
+        std::slice::from_ref(group),
+        SearchStrategy::default(),
+    )?;
+    match plan.run_detached()?.outcome {
+        ScenarioOutcome::EndUser(mut views) if views.len() == 1 => {
+            Ok(views.remove(0).report)
         }
-        let denom = (n.max(2) - 1) as f64;
-        let (mut pct_sum, mut g_sum, mut o_sum, mut o_count) = (0.0, 0.0, 0.0, 0usize);
-        for row in 0..n {
-            if member[row] {
-                pct_sum += 1.0 - rank_of[row] as f64 / denom;
-                g_sum += scores[row];
-            } else {
-                o_sum += scores[row];
-                o_count += 1;
-            }
-        }
-        let g_count = group_rows.len();
-        rows.push(EndUserJobRow {
-            job_id: job.id.clone(),
-            title: job.title.clone(),
-            group_mean_percentile: if g_count == 0 { 0.0 } else { pct_sum / g_count as f64 },
-            group_mean_score: if g_count == 0 { 0.0 } else { g_sum / g_count as f64 },
-            others_mean_score: if o_count == 0 { 0.0 } else { o_sum / o_count as f64 },
-            group_size: g_count,
-        });
+        _ => Err(crate::error::SessionError::Internal(
+            "end-user plan reduced to a non-end-user outcome".into(),
+        )),
     }
-    rows.sort_by(|a, b| {
-        b.group_mean_percentile
-            .partial_cmp(&a.group_mean_percentile)
-            .unwrap_or(std::cmp::Ordering::Equal)
-    });
-    Ok(EndUserReport {
-        group: group.render(),
-        rows,
-    })
 }
 
 impl EndUserReport {

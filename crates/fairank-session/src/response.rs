@@ -14,6 +14,7 @@
 use serde::{Deserialize, Serialize};
 
 use crate::panel::{NodeStats, Panel};
+use crate::plan::ScenarioReport;
 use crate::report::{AuditorReport, EndUserReport, JobOwnerReport};
 
 /// One dataset line of a `datasets` listing.
@@ -398,6 +399,17 @@ pub enum Response {
     JobOwnerSweep(JobOwnerReport),
     /// The §4 end-user scenario (`enduser`).
     EndUserView(EndUserReport),
+    /// A whole scenario plan ran (`scenario`): the reduced outcome plus
+    /// per-cell engine counters and wall-clock stats.
+    Scenario(ScenarioReport),
+    /// The server's live sessions (`sessions`, admin only).
+    SessionList(Vec<String>),
+    /// A session was evicted from the server registry (`evict`, admin
+    /// only).
+    SessionEvicted {
+        /// The evicted session's name.
+        name: String,
+    },
 }
 
 #[cfg(test)]
@@ -580,6 +592,36 @@ mod tests {
                 divergence: 0.3,
             }],
         }));
+    }
+
+    #[test]
+    fn round_trip_registry_admin_variants() {
+        round_trip(&Response::SessionList(vec!["a".into(), "b".into()]));
+        round_trip(&Response::SessionList(Vec::new()));
+        round_trip(&Response::SessionEvicted { name: "a".into() });
+    }
+
+    #[test]
+    fn round_trip_scenario_variant() {
+        use crate::plan::{compile, Perspective, ScenarioSpec};
+
+        let mut session = crate::session::Session::new();
+        session
+            .add_dataset("table1", fairank_data::paper::table1_dataset())
+            .unwrap();
+        session
+            .add_function("paper-f", fairank_data::paper::table1_scoring())
+            .unwrap();
+        let spec = ScenarioSpec::new(Perspective::Grid {
+            datasets: vec!["table1".into()],
+            functions: vec!["paper-f".into()],
+            filter: None,
+        });
+        let report = compile(&session, &spec)
+            .unwrap()
+            .run(&mut session)
+            .unwrap();
+        round_trip(&Response::Scenario(report));
     }
 
     #[test]

@@ -194,6 +194,24 @@ impl Session {
         Ok(id)
     }
 
+    /// Appends an already-executed quantification as a panel — the commit
+    /// step of grid plan cells. Returns the new panel's id.
+    pub(crate) fn commit_panel(
+        &mut self,
+        config: Configuration,
+        space: fairank_core::space::RankingSpace,
+        outcome: fairank_core::quantify::QuantifyOutcome,
+    ) -> usize {
+        let id = self.panels.len();
+        self.panels.push(Panel {
+            id,
+            config,
+            space,
+            outcome,
+        });
+        id
+    }
+
     /// A panel by id.
     pub fn panel(&self, id: usize) -> Result<&Panel> {
         self.panels
@@ -209,59 +227,31 @@ impl Session {
     /// Runs a whole grid of configurations in parallel (one panel each) —
     /// the Figure 3 multi-panel layout at scale, e.g. every scoring variant
     /// × every aggregator. Panels are appended in grid order; the returned
-    /// ids follow it. Uses one OS thread per configuration via scoped
-    /// threads (quantifications are CPU-bound and independent).
+    /// ids follow it.
+    ///
+    /// This is a thin builder over the scenario plan layer: the grid
+    /// compiles into one [`crate::plan::Plan`] cell per configuration
+    /// (resolved and validated up front), executes on one scoped OS thread
+    /// per cell, and commits atomically — any failure surfaces before a
+    /// single panel is appended.
     pub fn quantify_grid(&mut self, configs: Vec<Configuration>) -> Result<Vec<usize>> {
-        // Resolve and validate everything up front, before spawning.
-        let mut prepared = Vec::with_capacity(configs.len());
-        for config in &configs {
-            let dataset = self.dataset(&config.dataset)?;
-            let working = if config.filter.is_empty() {
-                dataset.clone()
-            } else {
-                dataset.filter(&config.filter)?
-            };
-            let source = match &config.scoring {
-                ScoringChoice::Named(name) => {
-                    ScoreSource::Function(self.function(name)?.clone())
-                }
-                ScoringChoice::Inline(source) => source.clone(),
-            };
-            let space = working.to_space(&source)?;
-            let mut config = config.clone();
-            config.criterion = config.criterion.fit_range(&space);
-            prepared.push((config, space));
-        }
-        let outcomes: Vec<Result<_>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = prepared
-                .iter()
-                .map(|(config, space)| {
-                    scope.spawn(move || Quantify::new(config.criterion).run_space(space))
+        use crate::plan::{Plan, ScenarioOutcome};
+        use fairank_core::plan::SearchStrategy;
+
+        let plan = Plan::for_configurations(self, configs, SearchStrategy::default())?;
+        let report = plan.run_parallel(self)?;
+        let ScenarioOutcome::Grid(rows) = report.outcome else {
+            return Err(SessionError::Internal(
+                "grid plan reduced to a non-grid outcome".into(),
+            ));
+        };
+        rows.into_iter()
+            .map(|row| {
+                row.panel.ok_or_else(|| {
+                    SessionError::Internal("grid cell did not commit a panel".into())
                 })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| {
-                    h.join()
-                        .expect("quantification threads do not panic")
-                        .map_err(SessionError::from)
-                })
-                .collect()
-        });
-        // Commit atomically: surface any failure before appending panels.
-        let outcomes: Vec<_> = outcomes.into_iter().collect::<Result<_>>()?;
-        let mut ids = Vec::with_capacity(prepared.len());
-        for ((config, space), outcome) in prepared.into_iter().zip(outcomes) {
-            let id = self.panels.len();
-            self.panels.push(Panel {
-                id,
-                config,
-                space,
-                outcome,
-            });
-            ids.push(id);
-        }
-        Ok(ids)
+            })
+            .collect()
     }
 
     /// Side-by-side comparison of two panels' general info, as the Figure 3

@@ -51,6 +51,14 @@ FaiRank commands:
   audit <taskrabbit|qapa> [n=] [seed=] [k=] [ranking-only]
   jobowner <preset> <job> <skill> [n=] [seed=]
   enduser <preset> \"<group expr>\" [n=] [seed=]
+  scenario grid <ds,..> <func,..> [objectives=] [aggs=] [bins=] [emd=]
+           [strategy=quantify|beam|exhaustive] [width=] [depth=] [min=]
+           [budget=] [where=\"<expr>\"]   compile a grid into parallel cells
+  scenario auditor <preset> [n=] [seed=] [k=] [ranking-only] [sg-depth=] [sg-min=]
+  scenario jobowner <preset> <job> <skill> [weights=w1,w2,..] [n=] [seed=]
+  scenario enduser <preset> \"<group>\"… [n=] [seed=]
+  scenario <spec.json>                 run a scenario plan from a JSON spec
+  sessions | evict <name>              registry admin (server --admin only)
   help | quit
 ";
 

@@ -1,0 +1,302 @@
+//! The byte-identity contract of the scenario-plan redesign.
+//!
+//! `quantify_grid`, `auditor_report`, `job_owner_sweep` and
+//! `end_user_report` used to hand-roll imperative loops; they are now thin
+//! builders over `plan::compile`/`plan::run`. This suite freezes the
+//! pre-plan loops as local oracles (`legacy`) and asserts the plan-backed
+//! entry points still produce the *exact* reports — struct-equal and
+//! byte-identical once rendered. Wall-clock fields (panel `elapsed_us`)
+//! are the only values zeroed before comparison: they are measurements,
+//! not results.
+
+use fairank::core::fairness::{Aggregator, FairnessCriterion, Objective};
+use fairank::data::filter::Filter;
+use fairank::marketplace::scenario::taskrabbit_like;
+use fairank::marketplace::{Marketplace, Transparency};
+use fairank::session::config::Configuration;
+use fairank::session::present;
+use fairank::session::report::{
+    auditor_report, end_user_report, job_owner_sweep, AuditorJobRow, AuditorReport,
+    EndUserJobRow, EndUserReport, JobOwnerReport, VariantRow,
+};
+use fairank::session::response::{PanelView, Response};
+use fairank::session::Session;
+
+/// Frozen copies of the pre-plan imperative loops. Deliberately *not*
+/// shared with production code: this module is the oracle.
+mod legacy {
+    use super::*;
+    use fairank::core::quantify::Quantify;
+    use fairank::core::scoring::{LinearScoring, ScoreSource};
+    use fairank::core::subgroup::{least_favored, most_favored, subgroup_stats};
+    use fairank::data::Dataset;
+
+    pub fn auditor_report(
+        marketplace: &Marketplace,
+        transparency: &Transparency,
+        criterion: &FairnessCriterion,
+        subgroup_depth: usize,
+        min_subgroup: usize,
+    ) -> AuditorReport {
+        let mut rows = Vec::with_capacity(marketplace.jobs().len());
+        for job in marketplace.jobs() {
+            let obs = marketplace.observe(&job.id, transparency).unwrap();
+            let space = obs.dataset.to_space(&obs.source).unwrap();
+            let fitted = criterion.fit_range(&space);
+            let outcome = Quantify::new(fitted).run_space(&space).unwrap();
+            let stats =
+                subgroup_stats(&space, &fitted, subgroup_depth, min_subgroup).unwrap();
+            let most = most_favored(&stats, 1);
+            let least = least_favored(&stats, 1);
+            rows.push(AuditorJobRow {
+                job_id: job.id.clone(),
+                title: job.title.clone(),
+                unfairness: outcome.unfairness,
+                partitions: outcome.partitions.len(),
+                most_favored: most.first().map(|s| s.label.clone()),
+                most_favored_advantage: most.first().map_or(0.0, |s| s.advantage),
+                least_favored: least.first().map(|s| s.label.clone()),
+                least_favored_advantage: least.first().map_or(0.0, |s| s.advantage),
+            });
+        }
+        rows.sort_by(|a, b| {
+            b.unfairness
+                .partial_cmp(&a.unfairness)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        AuditorReport {
+            marketplace: marketplace.name.clone(),
+            transparency: transparency.clone(),
+            rows,
+        }
+    }
+
+    fn rebalanced_variant(base: &LinearScoring, skill: &str, weight: f64) -> LinearScoring {
+        let others_total: f64 = base
+            .terms()
+            .iter()
+            .filter(|(n, _)| n != skill)
+            .map(|(_, w)| w)
+            .sum();
+        let mut builder = LinearScoring::builder();
+        for (name, w) in base.terms() {
+            if name == skill {
+                continue;
+            }
+            let rescaled = if others_total > 0.0 {
+                w / others_total * (1.0 - weight)
+            } else {
+                0.0
+            };
+            builder = builder.weight(name.clone(), rescaled);
+        }
+        builder = builder.weight(skill, weight);
+        builder.build_unchecked().unwrap()
+    }
+
+    pub fn job_owner_sweep(
+        dataset: &Dataset,
+        base: &LinearScoring,
+        skill: &str,
+        weights: &[f64],
+        criterion: &FairnessCriterion,
+    ) -> JobOwnerReport {
+        let mut rows = Vec::with_capacity(weights.len());
+        for &w in weights {
+            let variant = rebalanced_variant(base, skill, w);
+            let space = dataset
+                .to_space(&ScoreSource::Function(variant.clone()))
+                .unwrap();
+            let outcome = Quantify::new(*criterion).run_space(&space).unwrap();
+            rows.push(VariantRow {
+                label: format!("{skill}={w:.2}"),
+                weights: variant.terms().to_vec(),
+                unfairness: outcome.unfairness,
+                partitions: outcome.partitions.len(),
+            });
+        }
+        let fairest = rows
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| {
+                a.unfairness
+                    .partial_cmp(&b.unfairness)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        JobOwnerReport {
+            skill: skill.to_string(),
+            rows,
+            fairest,
+        }
+    }
+
+    pub fn end_user_report(marketplace: &Marketplace, group: &Filter) -> EndUserReport {
+        let workers = marketplace.workers();
+        let group_rows = group.matching_rows(workers).unwrap();
+        let n = workers.num_rows();
+        let mut member = vec![false; n];
+        for &r in &group_rows {
+            member[r as usize] = true;
+        }
+        let mut rows = Vec::with_capacity(marketplace.jobs().len());
+        for job in marketplace.jobs() {
+            let scores = marketplace.scores_for(&job.id).unwrap();
+            let ranking = marketplace.ranking_for(&job.id).unwrap();
+            let mut rank_of = vec![0usize; n];
+            for (rank, &row) in ranking.iter().enumerate() {
+                rank_of[row as usize] = rank;
+            }
+            let denom = (n.max(2) - 1) as f64;
+            let (mut pct_sum, mut g_sum, mut o_sum, mut o_count) =
+                (0.0, 0.0, 0.0, 0usize);
+            for row in 0..n {
+                if member[row] {
+                    pct_sum += 1.0 - rank_of[row] as f64 / denom;
+                    g_sum += scores[row];
+                } else {
+                    o_sum += scores[row];
+                    o_count += 1;
+                }
+            }
+            let g_count = group_rows.len();
+            rows.push(EndUserJobRow {
+                job_id: job.id.clone(),
+                title: job.title.clone(),
+                group_mean_percentile: if g_count == 0 {
+                    0.0
+                } else {
+                    pct_sum / g_count as f64
+                },
+                group_mean_score: if g_count == 0 { 0.0 } else { g_sum / g_count as f64 },
+                others_mean_score: if o_count == 0 { 0.0 } else { o_sum / o_count as f64 },
+                group_size: g_count,
+            });
+        }
+        rows.sort_by(|a, b| {
+            b.group_mean_percentile
+                .partial_cmp(&a.group_mean_percentile)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        EndUserReport {
+            group: group.render(),
+            rows,
+        }
+    }
+}
+
+fn market() -> Marketplace {
+    taskrabbit_like(260, 17).unwrap()
+}
+
+#[test]
+fn auditor_report_is_byte_identical_to_the_pre_plan_loop() {
+    let m = market();
+    for (depth, min) in [(1usize, 20usize), (2, 10)] {
+        let criterion = FairnessCriterion::default();
+        let expected = legacy::auditor_report(&m, &Transparency::full(), &criterion, depth, min);
+        let actual =
+            auditor_report(&m, &Transparency::full(), &criterion, depth, min).unwrap();
+        assert_eq!(expected, actual, "depth={depth} min={min}");
+        assert_eq!(expected.render(), actual.render());
+    }
+    // Under reduced transparency too (anonymized data + ranking-only).
+    let blackbox = Transparency::blackbox(4);
+    let expected =
+        legacy::auditor_report(&m, &blackbox, &FairnessCriterion::default(), 1, 20);
+    let actual =
+        auditor_report(&m, &blackbox, &FairnessCriterion::default(), 1, 20).unwrap();
+    assert_eq!(expected, actual);
+    assert_eq!(expected.render(), actual.render());
+}
+
+#[test]
+fn job_owner_sweep_is_byte_identical_to_the_pre_plan_loop() {
+    let m = market();
+    let base = m.job("wood-panels").unwrap().scoring.clone();
+    for criterion in [
+        FairnessCriterion::default(),
+        FairnessCriterion::new(Objective::LeastUnfair, Aggregator::Max),
+    ] {
+        let weights = [0.0, 0.25, 0.5, 0.75, 1.0];
+        let expected =
+            legacy::job_owner_sweep(m.workers(), &base, "rating", &weights, &criterion);
+        let actual =
+            job_owner_sweep(m.workers(), &base, "rating", &weights, &criterion).unwrap();
+        assert_eq!(expected, actual);
+        assert_eq!(expected.render(), actual.render());
+    }
+}
+
+#[test]
+fn end_user_report_is_byte_identical_to_the_pre_plan_loop() {
+    let m = market();
+    for group in [
+        Filter::all().eq("gender", "Female"),
+        Filter::all().eq("gender", "Male").eq("city", "Paris"),
+        Filter::all().eq("gender", "Nonexistent"),
+    ] {
+        let expected = legacy::end_user_report(&m, &group);
+        let actual = end_user_report(&m, &group, &FairnessCriterion::default()).unwrap();
+        assert_eq!(expected, actual, "group {}", group.render());
+        assert_eq!(expected.render(), actual.render());
+    }
+}
+
+/// Renders a panel with its wall-clock zeroed (a measurement, not a
+/// result).
+fn render_panel_stable(session: &Session, id: usize) -> String {
+    let mut view = PanelView::from_panel(session.panel(id).unwrap()).unwrap();
+    view.elapsed_us = 0;
+    present::render(&Response::PanelDetail(view))
+}
+
+#[test]
+fn quantify_grid_matches_sequential_quantify_byte_for_byte() {
+    let mut grid_session = Session::new();
+    let mut seq_session = Session::new();
+    for s in [&mut grid_session, &mut seq_session] {
+        s.add_dataset("table1", fairank::data::paper::table1_dataset())
+            .unwrap();
+        s.add_function("paper-f", fairank::data::paper::table1_scoring())
+            .unwrap();
+    }
+    let configs: Vec<Configuration> = Aggregator::all()
+        .into_iter()
+        .flat_map(|agg| {
+            [Objective::MostUnfair, Objective::LeastUnfair].map(|objective| {
+                Configuration::new("table1", "paper-f")
+                    .with_criterion(FairnessCriterion::new(objective, agg))
+            })
+        })
+        .collect();
+
+    let ids = grid_session.quantify_grid(configs.clone()).unwrap();
+    assert_eq!(ids, (0..configs.len()).collect::<Vec<_>>());
+    for config in configs {
+        seq_session.quantify(config).unwrap();
+    }
+    for &id in &ids {
+        assert_eq!(
+            render_panel_stable(&grid_session, id),
+            render_panel_stable(&seq_session, id),
+            "panel #{id} diverged between grid and sequential quantification"
+        );
+    }
+}
+
+#[test]
+fn quantify_grid_still_validates_before_committing() {
+    let mut s = Session::new();
+    s.add_dataset("table1", fairank::data::paper::table1_dataset())
+        .unwrap();
+    s.add_function("paper-f", fairank::data::paper::table1_scoring())
+        .unwrap();
+    let configs = vec![
+        Configuration::new("table1", "paper-f"),
+        Configuration::new("ghost", "paper-f"),
+    ];
+    assert!(s.quantify_grid(configs).is_err());
+    assert!(s.panels().is_empty());
+}
