@@ -2,7 +2,7 @@
 //! 1-D closed form vs transportation solver across bin counts.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use fairank_core::emd::{Emd, EmdBackend};
+use fairank_core::emd::{Emd, EmdBackendKind};
 use fairank_core::histogram::{Histogram, HistogramSpec};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -19,13 +19,13 @@ fn bench_emd(c: &mut Criterion) {
     let mut group = c.benchmark_group("emd");
     for bins in [5usize, 10, 50, 200] {
         let (a, b) = hist_pair(bins, 42);
-        let one_d = Emd::new(EmdBackend::OneD);
+        let one_d = Emd::new(EmdBackendKind::OneD);
         group.bench_with_input(BenchmarkId::new("one_d", bins), &bins, |bencher, _| {
             bencher.iter(|| one_d.distance(&a, &b).expect("computable"))
         });
         // The transport solver is polynomial in bins; cap to keep runs short.
         if bins <= 50 {
-            let transport = Emd::new(EmdBackend::Transport);
+            let transport = Emd::new(EmdBackendKind::Transport);
             group.bench_with_input(
                 BenchmarkId::new("transport", bins),
                 &bins,

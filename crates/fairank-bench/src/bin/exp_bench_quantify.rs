@@ -37,6 +37,7 @@ struct BenchRecord {
     histograms_built: u64,
     emd_calls: u64,
     emd_cache_hits: u64,
+    pairwise_batches: u64,
 }
 
 /// The emitted report.
@@ -74,6 +75,7 @@ fn record(n: usize, attrs: usize, card: u32, mode: &str, ms: f64, o: &QuantifyOu
         histograms_built: o.stats.histograms_built as u64,
         emd_calls: o.stats.emd_calls as u64,
         emd_cache_hits: o.stats.emd_cache_hits as u64,
+        pairwise_batches: o.stats.pairwise_batches as u64,
     }
 }
 

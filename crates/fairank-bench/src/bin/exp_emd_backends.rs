@@ -9,7 +9,7 @@
 use std::time::Instant;
 
 use fairank_bench::{header, row};
-use fairank_core::emd::{Emd, EmdBackend};
+use fairank_core::emd::{Emd, EmdBackendKind};
 use fairank_core::histogram::{Histogram, HistogramSpec};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -43,14 +43,21 @@ fn main() {
             })
             .collect();
 
-        let one_d = Emd::new(EmdBackend::OneD);
-        let transport = Emd::new(EmdBackend::Transport);
+        let one_d = Emd::new(EmdBackendKind::OneD);
+        let transport = Emd::new(EmdBackendKind::Transport);
+        let batched = Emd::new(EmdBackendKind::Batched);
 
         let mut max_delta = 0.0f64;
         for (a, b) in &pairs {
             let d1 = one_d.distance(a, b).expect("computable");
             let d2 = transport.distance(a, b).expect("computable");
+            let d3 = batched.distance(a, b).expect("computable");
             max_delta = max_delta.max((d1 - d2).abs());
+            assert_eq!(
+                d1.to_bits(),
+                d3.to_bits(),
+                "batched backend must be bit-identical to the 1-D closed form"
+            );
         }
 
         let t0 = Instant::now();

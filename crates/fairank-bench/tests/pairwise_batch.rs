@@ -1,0 +1,139 @@
+//! Regression bench for the batched EMD backend: on the tracked
+//! 10k-row / 8-attribute reference space, the closed-form batched backend
+//! must resolve the search's pairwise aggregations with at least 4× fewer
+//! memo/EMD evaluations (`emd_calls + emd_cache_hits`) than the per-pair
+//! memo walk — with search results unchanged to the last bit. Emits
+//! `BENCH_pairwise.json` (the committed baseline at the workspace root; CI
+//! runs the smoke shape via `FAIRANK_BENCH_SMOKE=1` and uploads the JSON
+//! as an artifact, like `BENCH_quantify.json`).
+//!
+//! Output path override: `BENCH_PAIRWISE_OUT=<path>` (relative paths
+//! resolve against the workspace root).
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use fairank_bench::synthetic_space;
+use fairank_core::emd::{Emd, EmdBackendKind};
+use fairank_core::fairness::FairnessCriterion;
+use fairank_core::quantify::{Quantify, QuantifyOutcome};
+use serde::Serialize;
+
+/// One (backend, QUANTIFY run) measurement.
+#[derive(Debug, Serialize)]
+struct BackendRecord {
+    backend: String,
+    wall_ms: f64,
+    emd_calls: u64,
+    emd_cache_hits: u64,
+    /// `emd_calls + emd_cache_hits`: every pair-level resolution that went
+    /// through the memo — the per-pair walk the batched backend replaces.
+    pairwise_evaluations: u64,
+    pairwise_batches: u64,
+    unfairness: f64,
+    partitions: u64,
+}
+
+/// The emitted report.
+#[derive(Debug, Serialize)]
+struct BenchReport {
+    experiment: String,
+    smoke: bool,
+    n: u64,
+    attrs: u64,
+    cardinality: u64,
+    /// Per-pair evaluations divided by batched evaluations (≥ 4 required).
+    evaluation_reduction: f64,
+    records: Vec<BackendRecord>,
+}
+
+fn evaluations(outcome: &QuantifyOutcome) -> u64 {
+    (outcome.stats.emd_calls + outcome.stats.emd_cache_hits) as u64
+}
+
+fn out_path(smoke: bool) -> PathBuf {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    match std::env::var_os("BENCH_PAIRWISE_OUT") {
+        Some(p) => {
+            let p = PathBuf::from(p);
+            if p.is_absolute() {
+                p
+            } else {
+                root.join(p)
+            }
+        }
+        None if smoke => root.join("BENCH_pairwise.smoke.json"),
+        None => root.join("BENCH_pairwise.json"),
+    }
+}
+
+#[test]
+fn batched_backend_does_4x_fewer_pairwise_evaluations() {
+    let smoke = std::env::var_os("FAIRANK_BENCH_SMOKE").is_some();
+    // The smoke shape keeps the 8-attribute depth (that is what drives the
+    // fine partitioning whose repeated leaf contents the batch dedups) and
+    // shrinks the population so CI finishes in well under a second.
+    let (n, attrs, card) = if smoke {
+        (2_000usize, 8usize, 3u32)
+    } else {
+        (10_000, 8, 3)
+    };
+    let space = synthetic_space(n, attrs, card, 0.3, 7);
+
+    let mut records = Vec::new();
+    let mut outcomes = Vec::new();
+    for kind in [EmdBackendKind::OneD, EmdBackendKind::Batched] {
+        let quantify =
+            Quantify::new(FairnessCriterion::default().with_emd(Emd::new(kind)));
+        let start = Instant::now();
+        let outcome = quantify.run_space(&space).expect("quantify runs");
+        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+        records.push(BackendRecord {
+            backend: kind.name().to_string(),
+            wall_ms,
+            emd_calls: outcome.stats.emd_calls as u64,
+            emd_cache_hits: outcome.stats.emd_cache_hits as u64,
+            pairwise_evaluations: evaluations(&outcome),
+            pairwise_batches: outcome.stats.pairwise_batches as u64,
+            unfairness: outcome.unfairness,
+            partitions: outcome.partitions.len() as u64,
+        });
+        outcomes.push(outcome);
+    }
+    let (per_pair, batched) = (&outcomes[0], &outcomes[1]);
+
+    // Unchanged search results, to the last bit.
+    assert_eq!(per_pair.unfairness.to_bits(), batched.unfairness.to_bits());
+    assert_eq!(per_pair.partitions, batched.partitions);
+    assert_eq!(per_pair.tree, batched.tree);
+
+    // The acceptance bar: ≥ 4× fewer memo/EMD evaluations.
+    let walk = evaluations(per_pair);
+    let batch = evaluations(batched);
+    assert!(
+        batch * 4 <= walk,
+        "batched backend did {batch} pairwise evaluations vs {walk} for the \
+         per-pair walk (need ≥ 4× fewer)"
+    );
+    assert!(batched.stats.pairwise_batches > 0);
+    assert_eq!(per_pair.stats.pairwise_batches, 0);
+
+    let report = BenchReport {
+        experiment: "bench_pairwise".to_string(),
+        smoke,
+        n: n as u64,
+        attrs: attrs as u64,
+        cardinality: card as u64,
+        evaluation_reduction: walk as f64 / batch.max(1) as f64,
+        records,
+    };
+    let path = out_path(smoke);
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&path, json).expect("report is writable");
+    println!(
+        "pairwise evaluations: per-pair {walk} vs batched {batch} \
+         ({:.1}× reduction). Wrote {}.",
+        walk as f64 / batch.max(1) as f64,
+        path.display()
+    );
+}

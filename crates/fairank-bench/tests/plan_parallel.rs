@@ -6,7 +6,7 @@
 
 use std::time::{Duration, Instant};
 
-use fairank_core::emd::EmdBackend;
+use fairank_core::emd::EmdBackendKind;
 use fairank_core::fairness::{Aggregator, Objective};
 use fairank_data::synth;
 use fairank_service::WorkerPool;
@@ -50,7 +50,7 @@ fn spec() -> ScenarioSpec {
                 Aggregator::Variance,
             ],
             bins: vec![10, 14],
-            emds: vec![EmdBackend::OneD],
+            emds: vec![EmdBackendKind::OneD],
         }),
     }
 }

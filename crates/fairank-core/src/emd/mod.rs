@@ -2,22 +2,33 @@
 //!
 //! The paper quantifies the difference between two partitions' score
 //! distributions with the EMD (Definition 2, citing Pele & Werman's fast
-//! EMD work). Two backends are provided:
+//! EMD work). The implementations live behind the pluggable
+//! [`backend::EmdBackend`] trait (single-pair distance plus pairwise-batch
+//! entry points); three backends ship:
 //!
-//! * [`one_d::emd_1d`] — the exact closed form for one-dimensional
-//!   histograms over equal-width bins (the only case FaiRank needs):
-//!   the L1 distance between the two CDFs, scaled by the bin width.
-//! * [`transport`] — a general minimum-cost transportation solver
-//!   (successive shortest paths with potentials) that accepts arbitrary
-//!   ground-distance matrices. It is the reference implementation the 1-D
-//!   form is validated against, and supports non-uniform ground distances.
+//! * [`backend::OneDBackend`] (`1d`) — the exact closed form for
+//!   one-dimensional histograms over equal-width bins (the only case
+//!   FaiRank needs): the L1 distance between the two CDFs, scaled by the
+//!   bin width ([`one_d::emd_1d`]).
+//! * [`backend::TransportBackend`] (`transport`) — a general minimum-cost
+//!   transportation solver (successive shortest paths with potentials)
+//!   that accepts arbitrary ground-distance matrices. It is the reference
+//!   implementation the 1-D form is validated against, supports
+//!   non-uniform ground distances, and solves in a canonical input order
+//!   so its distances are bitwise symmetric.
+//! * [`backend::BatchedOneDBackend`] (`batched`) — the 1-D closed form
+//!   with batch-level hoisting of the normalized mass vectors;
+//!   bit-identical to `1d`, built for the O(L²) pairwise aggregations of
+//!   the QUANTIFY hot path.
 //!
 //! Distances are expressed in *score units*: for histograms over `[0, 1]`
 //! the EMD between any two probability distributions lies in `[0, 1]`.
 
+pub mod backend;
 pub mod one_d;
 pub mod transport;
 
+pub use backend::{BatchedOneDBackend, EmdBackend, OneDBackend, TransportBackend};
 pub use one_d::emd_1d;
 pub use transport::{transport_emd, TransportPlan};
 
@@ -26,33 +37,48 @@ use serde::{Deserialize, Serialize};
 use crate::error::Result;
 use crate::histogram::Histogram;
 
-/// Which EMD implementation to use.
+/// Which EMD implementation to use — the serializable selector behind
+/// which the [`backend::EmdBackend`] trait objects live.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
-pub enum EmdBackend {
+pub enum EmdBackendKind {
     /// Exact 1-D closed form (CDF difference). Fast path; default.
     #[default]
     OneD,
     /// General transportation solver with `|center_i - center_j|` costs.
     Transport,
+    /// Closed-form batched 1-D backend (bit-identical to `OneD`, hoists
+    /// per-histogram normalization out of pairwise batches).
+    Batched,
 }
 
-impl EmdBackend {
-    /// The command-syntax name of the backend (`1d` / `transport`) — the
-    /// single source for both parsing and display.
+impl EmdBackendKind {
+    /// The command-syntax name of the backend (`1d` / `transport` /
+    /// `batched`) — the single source for both parsing and display.
     pub fn name(&self) -> &'static str {
         match self {
-            EmdBackend::OneD => "1d",
-            EmdBackend::Transport => "transport",
+            EmdBackendKind::OneD => "1d",
+            EmdBackendKind::Transport => "transport",
+            EmdBackendKind::Batched => "batched",
         }
     }
 
     /// Parses a command-syntax backend name.
-    pub fn parse(s: &str) -> Option<EmdBackend> {
+    pub fn parse(s: &str) -> Option<EmdBackendKind> {
         match s {
-            "1d" => Some(EmdBackend::OneD),
-            "transport" => Some(EmdBackend::Transport),
+            "1d" => Some(EmdBackendKind::OneD),
+            "transport" => Some(EmdBackendKind::Transport),
+            "batched" => Some(EmdBackendKind::Batched),
             _ => None,
         }
+    }
+
+    /// Every backend, for sweeps and conformance suites.
+    pub fn all() -> [EmdBackendKind; 3] {
+        [
+            EmdBackendKind::OneD,
+            EmdBackendKind::Transport,
+            EmdBackendKind::Batched,
+        ]
     }
 }
 
@@ -65,45 +91,45 @@ impl EmdBackend {
 /// beats a panic there.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct Emd {
-    backend: EmdBackend,
+    backend: EmdBackendKind,
 }
 
 impl Emd {
     /// An EMD using the given backend.
-    pub fn new(backend: EmdBackend) -> Self {
+    pub fn new(backend: EmdBackendKind) -> Self {
         Emd { backend }
     }
 
-    /// The backend in use.
-    pub fn backend(&self) -> EmdBackend {
+    /// The backend selector in use.
+    pub fn backend(&self) -> EmdBackendKind {
         self.backend
+    }
+
+    /// The backend implementation in use.
+    pub fn implementation(&self) -> &'static dyn EmdBackend {
+        self.backend.implementation()
     }
 
     /// Distance between two histograms sharing a spec.
     pub fn distance(&self, a: &Histogram, b: &Histogram) -> Result<f64> {
-        a.check_compatible(b)?;
-        let spec = a.spec();
-        match (a.is_empty(), b.is_empty()) {
-            (true, true) => return Ok(0.0),
-            (true, false) | (false, true) => return Ok(spec.hi() - spec.lo()),
-            (false, false) => {}
-        }
-        let pa = a.mass();
-        let pb = b.mass();
-        match self.backend {
-            EmdBackend::OneD => Ok(one_d::emd_1d_mass(&pa, &pb, spec.bin_width())),
-            EmdBackend::Transport => {
-                let n = spec.bins();
-                let mut cost = vec![0.0; n * n];
-                for i in 0..n {
-                    for j in 0..n {
-                        cost[i * n + j] = (spec.bin_center(i) - spec.bin_center(j)).abs();
-                    }
-                }
-                let plan = transport::transport_emd(&pa, &pb, &cost, n)?;
-                Ok(plan.cost)
-            }
-        }
+        self.implementation().pair(a, b)
+    }
+
+    /// All `C(L, 2)` unordered pairwise distances among `hists`, in
+    /// lexicographic pair order `(0,1), (0,2), …` — one call per node, so
+    /// batching backends can hoist per-histogram work out of the pair loop.
+    pub fn pairwise(&self, hists: &[Histogram]) -> Result<Vec<f64>> {
+        let n = hists.len();
+        let mut out = Vec::with_capacity(n.saturating_sub(1) * n / 2);
+        self.implementation().pairwise(hists, &mut out)?;
+        Ok(out)
+    }
+
+    /// All `|left| × |right|` cross distances (left outer, right inner).
+    pub fn cross(&self, left: &[Histogram], right: &[Histogram]) -> Result<Vec<f64>> {
+        let mut out = Vec::with_capacity(left.len() * right.len());
+        self.implementation().cross(left, right, &mut out)?;
+        Ok(out)
     }
 }
 
@@ -119,7 +145,7 @@ mod tests {
     #[test]
     fn identical_histograms_have_zero_distance() {
         let h = hist(&[0.1, 0.5, 0.9]);
-        for backend in [EmdBackend::OneD, EmdBackend::Transport] {
+        for backend in EmdBackendKind::all() {
             let d = Emd::new(backend).distance(&h, &h).unwrap();
             assert!(d.abs() < 1e-12, "{backend:?} gave {d}");
         }
@@ -130,7 +156,7 @@ mod tests {
         let a = hist(&[0.0]);
         let b = hist(&[1.0]);
         // Mass sits at the centers of the first and last bins: 0.05 and 0.95.
-        for backend in [EmdBackend::OneD, EmdBackend::Transport] {
+        for backend in EmdBackendKind::all() {
             let d = Emd::new(backend).distance(&a, &b).unwrap();
             assert!((d - 0.9).abs() < 1e-9, "{backend:?} gave {d}");
         }
@@ -140,19 +166,23 @@ mod tests {
     fn backends_agree_on_arbitrary_histograms() {
         let a = hist(&[0.05, 0.15, 0.15, 0.35, 0.75, 0.85]);
         let b = hist(&[0.25, 0.45, 0.55, 0.95]);
-        let d1 = Emd::new(EmdBackend::OneD).distance(&a, &b).unwrap();
-        let d2 = Emd::new(EmdBackend::Transport).distance(&a, &b).unwrap();
+        let d1 = Emd::new(EmdBackendKind::OneD).distance(&a, &b).unwrap();
+        let d2 = Emd::new(EmdBackendKind::Transport).distance(&a, &b).unwrap();
+        let d3 = Emd::new(EmdBackendKind::Batched).distance(&a, &b).unwrap();
         assert!((d1 - d2).abs() < 1e-9, "one_d={d1} transport={d2}");
+        assert_eq!(d1.to_bits(), d3.to_bits(), "one_d={d1} batched={d3}");
     }
 
     #[test]
-    fn distance_is_symmetric() {
+    fn distance_is_bitwise_symmetric_for_every_backend() {
         let a = hist(&[0.1, 0.2, 0.3]);
         let b = hist(&[0.7, 0.8]);
-        let emd = Emd::default();
-        let ab = emd.distance(&a, &b).unwrap();
-        let ba = emd.distance(&b, &a).unwrap();
-        assert!((ab - ba).abs() < 1e-12);
+        for backend in EmdBackendKind::all() {
+            let emd = Emd::new(backend);
+            let ab = emd.distance(&a, &b).unwrap();
+            let ba = emd.distance(&b, &a).unwrap();
+            assert_eq!(ab.to_bits(), ba.to_bits(), "{backend:?}: {ab} vs {ba}");
+        }
     }
 
     #[test]
@@ -160,10 +190,12 @@ mod tests {
         let spec = HistogramSpec::unit(10).unwrap();
         let empty = Histogram::empty(spec);
         let full = hist(&[0.5]);
-        let emd = Emd::default();
-        assert_eq!(emd.distance(&empty, &empty).unwrap(), 0.0);
-        assert_eq!(emd.distance(&empty, &full).unwrap(), 1.0);
-        assert_eq!(emd.distance(&full, &empty).unwrap(), 1.0);
+        for backend in EmdBackendKind::all() {
+            let emd = Emd::new(backend);
+            assert_eq!(emd.distance(&empty, &empty).unwrap(), 0.0);
+            assert_eq!(emd.distance(&empty, &full).unwrap(), 1.0);
+            assert_eq!(emd.distance(&full, &empty).unwrap(), 1.0);
+        }
     }
 
     #[test]
@@ -171,5 +203,33 @@ mod tests {
         let a = Histogram::empty(HistogramSpec::unit(5).unwrap());
         let b = Histogram::empty(HistogramSpec::unit(10).unwrap());
         assert!(Emd::default().distance(&a, &b).is_err());
+    }
+
+    #[test]
+    fn pairwise_entry_matches_per_pair_distances() {
+        let hists = vec![hist(&[0.05, 0.05]), hist(&[0.55, 0.55]), hist(&[0.95])];
+        for backend in EmdBackendKind::all() {
+            let emd = Emd::new(backend);
+            let batch = emd.pairwise(&hists).unwrap();
+            assert_eq!(batch.len(), 3);
+            let mut k = 0;
+            for i in 0..hists.len() {
+                for j in (i + 1)..hists.len() {
+                    let d = emd.distance(&hists[i], &hists[j]).unwrap();
+                    assert_eq!(d.to_bits(), batch[k].to_bits(), "{backend:?} pair {i},{j}");
+                    k += 1;
+                }
+            }
+            assert!(emd.pairwise(&hists[..1]).unwrap().is_empty());
+            assert!(emd.pairwise(&[]).unwrap().is_empty());
+        }
+    }
+
+    #[test]
+    fn backend_names_round_trip() {
+        for backend in EmdBackendKind::all() {
+            assert_eq!(EmdBackendKind::parse(backend.name()), Some(backend));
+        }
+        assert_eq!(EmdBackendKind::parse("nonsense"), None);
     }
 }

@@ -40,7 +40,7 @@
 use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hasher};
 
-use crate::emd::EmdBackend;
+use crate::emd::EmdBackendKind;
 use crate::error::Result;
 use crate::fairness::FairnessCriterion;
 use crate::histogram::Histogram;
@@ -239,6 +239,10 @@ pub struct EngineStats {
     pub emd_calls: usize,
     /// Distance lookups served from the memo table.
     pub emd_cache_hits: usize,
+    /// Pairwise/cross aggregations resolved as one batch by the batched
+    /// backend (each batch touches the memo once per *distinct* histogram
+    /// pair instead of once per leaf pair).
+    pub pairwise_batches: usize,
 }
 
 /// The winning candidate split of a node: the attribute, its `mostUnfair`
@@ -273,7 +277,11 @@ pub struct SplitEngine<'a> {
     /// One canonical histogram per content id; every lookup borrows from
     /// here, so cache hits never allocate.
     hist_arena: Vec<Histogram>,
-    /// EMD memo keyed by the (directed) pair of content ids.
+    /// Lazily cached normalized mass vector per content id — the hoisted
+    /// per-histogram work of the batched backend (parallel to
+    /// `hist_arena`).
+    masses: Vec<Option<Box<[f64]>>>,
+    /// EMD memo keyed by the unordered (canonical) pair of content ids.
     emd_memo: EmdMemo,
     stats: EngineStats,
 }
@@ -315,6 +323,7 @@ impl<'a> SplitEngine<'a> {
             hists,
             content_ids,
             hist_arena: Vec::new(),
+            masses: Vec::new(),
             emd_memo,
             stats: EngineStats::default(),
         }
@@ -351,6 +360,7 @@ impl<'a> SplitEngine<'a> {
         self.content_ids.insert(counts.to_vec(), id);
         self.hist_arena
             .push(Histogram::from_counts(self.criterion.hist, counts.to_vec()));
+        self.masses.push(None);
         id
     }
 
@@ -380,12 +390,13 @@ impl<'a> SplitEngine<'a> {
     /// Memoized EMD between two content-identified histograms. The distance
     /// is a pure function of the two count vectors (and the shared spec),
     /// so equal content ids always reproduce the exact bits of a fresh
-    /// computation. The 1-D closed form is additionally bitwise symmetric
-    /// (CDF differences negate exactly), so one computation serves both
-    /// directions; the transport solver's pivoting is not guaranteed
-    /// symmetric at the bit level, so it only reuses directional repeats.
+    /// computation. Every backend is bitwise symmetric (the 1-D closed
+    /// form because CDF differences negate exactly, the transport solver
+    /// because it canonicalizes its input order), so the memo keys on the
+    /// unordered pair and one computation serves both directions.
     fn distance(&mut self, id_a: u32, id_b: u32) -> Result<f64> {
-        if let Some(d) = self.emd_memo.get(id_a, id_b) {
+        let (lo, hi) = if id_a <= id_b { (id_a, id_b) } else { (id_b, id_a) };
+        if let Some(d) = self.emd_memo.get(lo, hi) {
             self.stats.emd_cache_hits += 1;
             return Ok(d);
         }
@@ -393,17 +404,141 @@ impl<'a> SplitEngine<'a> {
         let d = self
             .criterion
             .emd
-            .distance(&self.hist_arena[id_a as usize], &self.hist_arena[id_b as usize])?;
-        if self.criterion.emd.backend() == EmdBackend::OneD {
-            self.emd_memo.insert(id_b, id_a, d);
-        }
-        self.emd_memo.insert(id_a, id_b, d);
+            .distance(&self.hist_arena[lo as usize], &self.hist_arena[hi as usize])?;
+        self.emd_memo.insert(lo, hi, d);
         Ok(d)
     }
 
-    /// Aggregated pairwise distance over content-identified histograms, in
-    /// the same `(0,1), (0,2), …` order as `pairwise_distances`.
-    fn pairwise_value(&mut self, ids: &[u32]) -> Result<f64> {
+    /// The hoisted normalized-mass vector of a content id (computed once,
+    /// reused by every batch the id participates in).
+    fn ensure_mass(&mut self, id: u32) {
+        let idx = id as usize;
+        if self.masses[idx].is_none() {
+            self.masses[idx] = Some(self.hist_arena[idx].mass().into_boxed_slice());
+        }
+    }
+
+    /// Memoized EMD resolved through the batched 1-D closed form: on a memo
+    /// miss the distance is folded directly from the hoisted mass vectors
+    /// in the reference summation order — bit-identical to
+    /// [`crate::emd::Emd::distance`] under the `1d`/`batched` backends,
+    /// without the per-pair normalization allocations.
+    fn batched_distance(&mut self, id_a: u32, id_b: u32) -> Result<f64> {
+        let (lo, hi) = if id_a <= id_b { (id_a, id_b) } else { (id_b, id_a) };
+        if let Some(d) = self.emd_memo.get(lo, hi) {
+            self.stats.emd_cache_hits += 1;
+            return Ok(d);
+        }
+        self.stats.emd_calls += 1;
+        self.ensure_mass(lo);
+        self.ensure_mass(hi);
+        // Arena histograms all share the criterion's spec, so no per-pair
+        // compatibility check is needed; conventions and the fold are the
+        // backend layer's single source, so the bits cannot drift from
+        // `Emd::distance`.
+        let d = crate::emd::backend::one_d_from_parts(
+            self.hist_arena[lo as usize].is_empty(),
+            self.hist_arena[hi as usize].is_empty(),
+            self.masses[lo as usize].as_deref().expect("cached"),
+            self.masses[hi as usize].as_deref().expect("cached"),
+            &self.criterion.hist,
+        );
+        self.emd_memo.insert(lo, hi, d);
+        Ok(d)
+    }
+
+    /// Appends `id` to the distinct-id list if unseen, returning its slot.
+    fn slot_of(distinct: &mut Vec<u32>, id: u32) -> usize {
+        match distinct.iter().position(|&d| d == id) {
+            Some(slot) => slot,
+            None => {
+                distinct.push(id);
+                distinct.len() - 1
+            }
+        }
+    }
+
+    /// The batched backend's pairwise aggregation: resolve each *distinct*
+    /// content pair once (through the memo), then expand to the full
+    /// `C(L, 2)` vector in the reference lexicographic order. Fine
+    /// partitionings repeat the same few score distributions constantly,
+    /// so this replaces the per-pair memo walk with `C(D, 2)` resolutions
+    /// for `D` distinct contents plus a table expansion.
+    fn batch_pairwise(&mut self, ids: &[u32]) -> Result<Vec<f64>> {
+        self.stats.pairwise_batches += 1;
+        let n = ids.len();
+        let mut out = Vec::with_capacity(n.saturating_sub(1) * n / 2);
+        if n < 2 {
+            return Ok(out);
+        }
+        let mut distinct: Vec<u32> = Vec::new();
+        let mut slots: Vec<u32> = Vec::with_capacity(n);
+        for &id in ids {
+            slots.push(Self::slot_of(&mut distinct, id) as u32);
+        }
+        let d = distinct.len();
+        // The diagonal stays 0.0 — exactly what a self-pair computes (the
+        // mass differences are exact zeros, so the fold yields +0.0).
+        let mut table = vec![0.0f64; d * d];
+        for i in 0..d {
+            for j in (i + 1)..d {
+                let v = self.batched_distance(distinct[i], distinct[j])?;
+                table[i * d + j] = v;
+                table[j * d + i] = v;
+            }
+        }
+        for i in 0..n {
+            for j in (i + 1)..n {
+                out.push(table[slots[i] as usize * d + slots[j] as usize]);
+            }
+        }
+        Ok(out)
+    }
+
+    /// The batched backend's cross aggregation (left outer, right inner),
+    /// resolving each distinct content pair once.
+    fn batch_cross(&mut self, left: &[u32], right: &[u32]) -> Result<Vec<f64>> {
+        self.stats.pairwise_batches += 1;
+        let mut distinct: Vec<u32> = Vec::new();
+        let left_slots: Vec<u32> = left
+            .iter()
+            .map(|&id| Self::slot_of(&mut distinct, id) as u32)
+            .collect();
+        let right_slots: Vec<u32> = right
+            .iter()
+            .map(|&id| Self::slot_of(&mut distinct, id) as u32)
+            .collect();
+        let d = distinct.len();
+        let mut table = vec![0.0f64; d * d];
+        let mut have = vec![false; d * d];
+        let mut out = Vec::with_capacity(left.len() * right.len());
+        for &ls in &left_slots {
+            for &rs in &right_slots {
+                let v = if ls == rs {
+                    0.0 // self-pair: exact zero, same as a fresh fold
+                } else {
+                    let (a, b) = if ls <= rs { (ls, rs) } else { (rs, ls) };
+                    let idx = a as usize * d + b as usize;
+                    if !have[idx] {
+                        table[idx] =
+                            self.batched_distance(distinct[a as usize], distinct[b as usize])?;
+                        have[idx] = true;
+                    }
+                    table[idx]
+                };
+                out.push(v);
+            }
+        }
+        Ok(out)
+    }
+
+    /// All pairwise distances over content ids in `(0,1), (0,2), …` order —
+    /// per-pair memo lookups for the `1d`/`transport` backends, one batch
+    /// for `batched`.
+    fn pairwise_dists(&mut self, ids: &[u32]) -> Result<Vec<f64>> {
+        if self.criterion.emd.backend() == EmdBackendKind::Batched {
+            return self.batch_pairwise(ids);
+        }
         let n = ids.len();
         let mut dists = Vec::with_capacity(n.saturating_sub(1) * n / 2);
         for i in 0..n {
@@ -411,6 +546,27 @@ impl<'a> SplitEngine<'a> {
                 dists.push(self.distance(ids[i], ids[j])?);
             }
         }
+        Ok(dists)
+    }
+
+    /// All cross distances (left outer, right inner) over content ids.
+    fn cross_dists(&mut self, left: &[u32], right: &[u32]) -> Result<Vec<f64>> {
+        if self.criterion.emd.backend() == EmdBackendKind::Batched {
+            return self.batch_cross(left, right);
+        }
+        let mut dists = Vec::with_capacity(left.len() * right.len());
+        for &a in left {
+            for &b in right {
+                dists.push(self.distance(a, b)?);
+            }
+        }
+        Ok(dists)
+    }
+
+    /// Aggregated pairwise distance over content-identified histograms, in
+    /// the same `(0,1), (0,2), …` order as `pairwise_distances`.
+    fn pairwise_value(&mut self, ids: &[u32]) -> Result<f64> {
+        let dists = self.pairwise_dists(ids)?;
         Ok(self.criterion.aggregator.apply(&dists))
     }
 
@@ -430,11 +586,11 @@ impl<'a> SplitEngine<'a> {
     /// drop-in for [`FairnessCriterion::versus`] (same distance order).
     pub fn versus(&mut self, partition: &Partition, others: &[Partition]) -> Result<f64> {
         let id = self.hist_id(partition);
-        let mut dists = Vec::with_capacity(others.len());
+        let mut other_ids = Vec::with_capacity(others.len());
         for other in others {
-            let other_id = self.hist_id(other);
-            dists.push(self.distance(id, other_id)?);
+            other_ids.push(self.hist_id(other));
         }
+        let dists = self.cross_dists(&[id], &other_ids)?;
         Ok(self.criterion.aggregator.apply(&dists))
     }
 
@@ -450,12 +606,7 @@ impl<'a> SplitEngine<'a> {
         for s in siblings {
             sib_ids.push(self.hist_id(s));
         }
-        let mut dists = Vec::with_capacity(candidate.child_ids.len() * siblings.len());
-        for &child_id in &candidate.child_ids {
-            for &sib_id in &sib_ids {
-                dists.push(self.distance(child_id, sib_id)?);
-            }
-        }
+        let dists = self.cross_dists(&candidate.child_ids, &sib_ids)?;
         Ok(self.criterion.aggregator.apply(&dists))
     }
 
@@ -537,14 +688,7 @@ impl<'a> SplitEngine<'a> {
                 };
                 child_ids.push(id);
             }
-            let k = child_ids.len();
-            let mut pairwise = Vec::with_capacity(k * (k - 1) / 2);
-            for i in 0..k {
-                for j in (i + 1)..k {
-                    pairwise.push(self.distance(child_ids[i], child_ids[j])?);
-                }
-            }
-            let value = self.criterion.aggregator.apply(&pairwise);
+            let value = self.pairwise_value(&child_ids)?;
             let better = match &best {
                 None => true,
                 Some(incumbent) => self.criterion.objective.is_better(value, incumbent.value),
@@ -765,6 +909,77 @@ mod tests {
         assert_eq!(memo.get(0, 1), Some(0.5));
         assert_eq!(memo.get(40, 3), Some(0.25));
         assert_eq!(memo.get(3, 40), None);
+    }
+
+    #[test]
+    fn batched_backend_matches_per_pair_engine_bitwise() {
+        use crate::emd::{Emd, EmdBackendKind};
+        let s = space();
+        let mut per_pair = SplitEngine::new(&s, FairnessCriterion::default());
+        let mut batched = SplitEngine::new(
+            &s,
+            FairnessCriterion::default().with_emd(Emd::new(EmdBackendKind::Batched)),
+        );
+        let root = Partition::root(&s);
+        let parts = root.split(&s, 0);
+
+        let u1 = per_pair.unfairness(&parts).unwrap();
+        let ub = batched.unfairness(&parts).unwrap();
+        assert_eq!(u1.to_bits(), ub.to_bits());
+        let v1 = per_pair.versus(&parts[0], &parts[1..]).unwrap();
+        let vb = batched.versus(&parts[0], &parts[1..]).unwrap();
+        assert_eq!(v1.to_bits(), vb.to_bits());
+        let (c1, s1) = per_pair.best_split(&root, &[0, 1], 1).unwrap();
+        let (cb, sb) = batched.best_split(&root, &[0, 1], 1).unwrap();
+        let (c1, cb) = (c1.unwrap(), cb.unwrap());
+        assert_eq!((s1, c1.attr), (sb, cb.attr));
+        assert_eq!(c1.value.to_bits(), cb.value.to_bits());
+
+        // The batch path is live, never does more memo/EMD evaluations
+        // than the per-pair walk, and only it counts batches.
+        assert!(batched.stats().pairwise_batches > 0);
+        assert_eq!(per_pair.stats().pairwise_batches, 0);
+        assert!(
+            batched.stats().emd_calls + batched.stats().emd_cache_hits
+                <= per_pair.stats().emd_calls + per_pair.stats().emd_cache_hits
+        );
+    }
+
+    #[test]
+    fn batch_dedup_collapses_repeated_contents() {
+        use crate::emd::{Emd, EmdBackendKind};
+        let s = space();
+        let mut engine = SplitEngine::new(
+            &s,
+            FairnessCriterion::default().with_emd(Emd::new(EmdBackendKind::Batched)),
+        );
+        let parts = Partition::root(&s).split(&s, 0);
+        // Four partitions but only two distinct contents: C(4,2) = 6 leaf
+        // pairs collapse to a single distinct-pair resolution.
+        let doubled: Vec<Partition> =
+            parts.iter().chain(parts.iter()).cloned().collect();
+        let _ = engine.unfairness(&doubled).unwrap();
+        let stats = engine.stats();
+        assert_eq!(stats.pairwise_batches, 1);
+        assert_eq!(stats.emd_calls + stats.emd_cache_hits, 1, "stats: {stats:?}");
+    }
+
+    #[test]
+    fn memo_key_is_unordered_for_the_transport_backend() {
+        use crate::emd::{Emd, EmdBackendKind};
+        let s = space();
+        let mut engine = SplitEngine::new(
+            &s,
+            FairnessCriterion::default().with_emd(Emd::new(EmdBackendKind::Transport)),
+        );
+        let parts = Partition::root(&s).split(&s, 0);
+        let forward = engine.versus(&parts[0], &parts[1..]).unwrap();
+        let calls = engine.stats().emd_calls;
+        let backward = engine.versus(&parts[1], &parts[..1]).unwrap();
+        // The reverse direction is a cache hit sharing the same entry.
+        assert_eq!(engine.stats().emd_calls, calls);
+        assert!(engine.stats().emd_cache_hits > 0);
+        assert_eq!(forward.to_bits(), backward.to_bits());
     }
 
     #[test]

@@ -360,8 +360,8 @@ mod tests {
     #[test]
     fn criterion_builders() {
         let crit = FairnessCriterion::new(Objective::LeastUnfair, Aggregator::Max)
-            .with_hist(HistogramSpec::unit(5).unwrap())
-            .with_emd(Emd::new(crate::emd::EmdBackend::Transport));
+            .with_emd(Emd::new(crate::emd::EmdBackendKind::Transport))
+            .with_hist(HistogramSpec::unit(5).unwrap());
         assert_eq!(crit.hist.bins(), 5);
         assert_eq!(crit.objective, Objective::LeastUnfair);
         assert_eq!(crit.aggregator, Aggregator::Max);

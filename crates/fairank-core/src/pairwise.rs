@@ -4,7 +4,9 @@
 //! distances within a partitioning and (b) cross distances between a
 //! candidate family and a set of siblings (Algorithm 1 lines 4 and 8).
 //! Distances are symmetric, so the full matrix stores only the upper
-//! triangle.
+//! triangle. Both aggregations hand the whole histogram set to the
+//! configured backend in one call ([`Emd::pairwise`] / [`Emd::cross`]), so
+//! batching backends can hoist per-histogram work out of the pair loop.
 
 use crate::emd::Emd;
 use crate::error::Result;
@@ -14,29 +16,16 @@ use crate::histogram::Histogram;
 /// order `(0,1), (0,2), …, (n-2, n-1)`. Fewer than two histograms yield an
 /// empty vector.
 pub fn pairwise_distances(hists: &[Histogram], emd: &Emd) -> Result<Vec<f64>> {
-    let n = hists.len();
-    if n < 2 {
+    if hists.len() < 2 {
         return Ok(Vec::new());
     }
-    let mut out = Vec::with_capacity(n * (n - 1) / 2);
-    for i in 0..n {
-        for j in (i + 1)..n {
-            out.push(emd.distance(&hists[i], &hists[j])?);
-        }
-    }
-    Ok(out)
+    emd.pairwise(hists)
 }
 
 /// All distances between each histogram in `left` and each in `right`
 /// (the `EMD(children, siblings, f)` set of Algorithm 1 line 8).
 pub fn cross_distances(left: &[Histogram], right: &[Histogram], emd: &Emd) -> Result<Vec<f64>> {
-    let mut out = Vec::with_capacity(left.len() * right.len());
-    for a in left {
-        for b in right {
-            out.push(emd.distance(a, b)?);
-        }
-    }
-    Ok(out)
+    emd.cross(left, right)
 }
 
 /// A symmetric distance matrix with zero diagonal, stored as the upper

@@ -125,6 +125,7 @@ impl SearchStrategy {
                         histograms_built: outcome.engine_stats.histograms_built,
                         emd_calls: outcome.engine_stats.emd_calls,
                         emd_cache_hits: outcome.engine_stats.emd_cache_hits,
+                        pairwise_batches: outcome.engine_stats.pairwise_batches,
                     },
                     elapsed: outcome.elapsed,
                     quantify: None,
@@ -145,6 +146,7 @@ impl SearchStrategy {
                         histograms_built: outcome.engine_stats.histograms_built,
                         emd_calls: outcome.engine_stats.emd_calls,
                         emd_cache_hits: outcome.engine_stats.emd_cache_hits,
+                        pairwise_batches: outcome.engine_stats.pairwise_batches,
                     },
                     elapsed: outcome.elapsed,
                     quantify: None,

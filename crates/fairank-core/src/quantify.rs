@@ -64,6 +64,10 @@ pub struct SearchStats {
     /// Distance lookups served from the engine's memo table (always 0 for
     /// the naive evaluation, which has no cache).
     pub emd_cache_hits: usize,
+    /// Pairwise/cross aggregations the batched EMD backend resolved as one
+    /// batch (always 0 under the per-pair `1d`/`transport` backends and
+    /// the naive evaluation).
+    pub pairwise_batches: usize,
 }
 
 /// The result of a `QUANTIFY` run.
@@ -252,6 +256,7 @@ impl Quantify {
         stats.histograms_built = e.histograms_built;
         stats.emd_calls = e.emd_calls;
         stats.emd_cache_hits = e.emd_cache_hits;
+        stats.pairwise_batches = e.pairwise_batches;
     }
 
     /// The recursive body of Algorithm 1, evaluated through the engine.

@@ -8,7 +8,7 @@
 //! Grammar: whitespace-separated tokens; `key=value` options; values with
 //! spaces are double-quoted (`where="gender=F & country=India"`).
 
-use fairank_core::emd::{Emd, EmdBackend};
+use fairank_core::emd::{Emd, EmdBackendKind};
 use fairank_core::fairness::{Aggregator, FairnessCriterion, Objective};
 use fairank_core::histogram::HistogramSpec;
 use fairank_core::plan::SearchStrategy;
@@ -81,7 +81,7 @@ pub enum Command {
         objective: Objective,
         aggregator: Aggregator,
         bins: usize,
-        emd: EmdBackend,
+        emd: EmdBackendKind,
         filter: Option<String>,
         /// Simulate function opacity: rank by the function, then quantify
         /// from the ranking only.
@@ -298,7 +298,7 @@ fn parse_criterion_grid(tokens: &[String]) -> Result<Option<CriterionGrid>> {
             csv_items(raw)
                 .into_iter()
                 .map(|s| {
-                    EmdBackend::parse(s).ok_or_else(|| {
+                    EmdBackendKind::parse(s).ok_or_else(|| {
                         SessionError::Command(format!("unknown EMD backend {s:?}"))
                     })
                 })
@@ -543,8 +543,8 @@ impl Command {
                     })?,
                 };
                 let emd = match opt(rest, QUANTIFY_OPTS, "emd") {
-                    None => EmdBackend::default(),
-                    Some(raw) => EmdBackend::parse(raw).ok_or_else(|| {
+                    None => EmdBackendKind::default(),
+                    Some(raw) => EmdBackendKind::parse(raw).ok_or_else(|| {
                         SessionError::Command(format!("unknown EMD backend {raw:?}"))
                     })?,
                 };

@@ -35,6 +35,9 @@ pub struct GeneralInfo {
     pub emd_calls: usize,
     /// Distance lookups served from the engine's memo table.
     pub emd_cache_hits: usize,
+    /// Pairwise/cross aggregations the batched EMD backend resolved as one
+    /// batch (0 under the per-pair backends).
+    pub pairwise_batches: usize,
 }
 
 /// Statistics of one tree node (the *Node* box).
@@ -96,6 +99,7 @@ impl Panel {
             histograms_built: self.outcome.stats.histograms_built,
             emd_calls: self.outcome.stats.emd_calls,
             emd_cache_hits: self.outcome.stats.emd_cache_hits,
+            pairwise_batches: self.outcome.stats.pairwise_batches,
         }
     }
 

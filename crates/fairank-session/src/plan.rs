@@ -26,7 +26,7 @@
 
 use std::time::Instant;
 
-use fairank_core::emd::{Emd, EmdBackend};
+use fairank_core::emd::{Emd, EmdBackendKind};
 use fairank_core::fairness::{Aggregator, FairnessCriterion, Objective};
 use fairank_core::histogram::HistogramSpec;
 use fairank_core::plan::{CellOutcome, SearchStrategy};
@@ -141,7 +141,7 @@ pub struct CriterionGrid {
     /// Histogram bin counts to evaluate.
     pub bins: Vec<usize>,
     /// EMD backends to evaluate.
-    pub emds: Vec<EmdBackend>,
+    pub emds: Vec<EmdBackendKind>,
 }
 
 impl Default for CriterionGrid {
@@ -150,7 +150,7 @@ impl Default for CriterionGrid {
             objectives: vec![Objective::default()],
             aggregators: vec![Aggregator::default()],
             bins: vec![10],
-            emds: vec![EmdBackend::default()],
+            emds: vec![EmdBackendKind::default()],
         }
     }
 }
@@ -302,6 +302,9 @@ pub struct CellStat {
     pub emd_calls: usize,
     /// Distance lookups served from the engine memo.
     pub emd_cache_hits: usize,
+    /// Pairwise/cross aggregations the batched EMD backend resolved as one
+    /// batch (0 under the per-pair backends).
+    pub pairwise_batches: usize,
     /// Unfairness the cell measured (`None` for cells that do not quantify,
     /// e.g. end-user statistics).
     pub unfairness: Option<f64>,
@@ -375,6 +378,7 @@ impl Cell {
                         histograms_built: outcome.stats.histograms_built,
                         emd_calls: outcome.stats.emd_calls,
                         emd_cache_hits: outcome.stats.emd_cache_hits,
+                        pairwise_batches: outcome.stats.pairwise_batches,
                         unfairness: Some(outcome.unfairness),
                     },
                     payload: CellPayload::Panel {
@@ -418,6 +422,7 @@ impl Cell {
                         histograms_built: outcome.stats.histograms_built,
                         emd_calls: outcome.stats.emd_calls,
                         emd_cache_hits: outcome.stats.emd_cache_hits,
+                        pairwise_batches: outcome.stats.pairwise_batches,
                         unfairness: Some(outcome.unfairness),
                     },
                     payload: CellPayload::AuditRow { criterion_idx, row },
@@ -448,6 +453,7 @@ impl Cell {
                         histograms_built: outcome.stats.histograms_built,
                         emd_calls: outcome.stats.emd_calls,
                         emd_cache_hits: outcome.stats.emd_cache_hits,
+                        pairwise_batches: outcome.stats.pairwise_batches,
                         unfairness: Some(outcome.unfairness),
                     },
                     payload: CellPayload::Variant { criterion_idx, row },
@@ -510,6 +516,7 @@ impl Cell {
                         histograms_built: 0,
                         emd_calls: 0,
                         emd_cache_hits: 0,
+                        pairwise_batches: 0,
                         unfairness: None,
                     },
                     payload: CellPayload::EndUserRow { group_idx, row },
@@ -1250,7 +1257,7 @@ mod tests {
                 objectives: vec![Objective::MostUnfair],
                 aggregators: vec![Aggregator::Mean, Aggregator::Max],
                 bins: vec![5, 10],
-                emds: vec![EmdBackend::OneD],
+                emds: vec![EmdBackendKind::OneD],
             }),
         }
     }
@@ -1335,7 +1342,7 @@ mod tests {
             objectives: vec![Objective::MostUnfair, Objective::LeastUnfair],
             aggregators: vec![Aggregator::Mean],
             bins: vec![5, 10, 20],
-            emds: vec![EmdBackend::OneD, EmdBackend::Transport],
+            emds: vec![EmdBackendKind::OneD, EmdBackendKind::Transport],
         };
         assert_eq!(grid.cardinality(), 12);
         let criteria = grid.criteria().unwrap();
@@ -1370,7 +1377,7 @@ mod tests {
                 objectives: vec![Objective::MostUnfair],
                 aggregators: vec![Aggregator::Mean, Aggregator::Max],
                 bins: vec![10],
-                emds: vec![EmdBackend::OneD],
+                emds: vec![EmdBackendKind::OneD],
             }),
         };
         let market = fairank_marketplace::scenario::taskrabbit_like(80, 7).unwrap();

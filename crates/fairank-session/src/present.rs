@@ -26,7 +26,7 @@ FaiRank commands:
   filter <new> <src> \"<expr>\"          derive a filtered dataset
   anonymize <new> <src> k=2 [method=mondrian|datafly]
   quantify <dataset> <func> [objective=most|least] [agg=mean|max|min|variance]
-           [bins=10] [emd=1d|transport] [where=\"<expr>\"] [opaque]
+           [bins=10] [emd=1d|transport|batched] [where=\"<expr>\"] [opaque]
   subgroups <dataset> <func> [depth=2] [min=5] [top=5]
                                        most/least favored subgroups
   show <panel>                         render a panel's partitioning tree
@@ -204,7 +204,7 @@ fn render_scenario_report(report: &crate::plan::ScenarioReport) -> String {
             .map(|u| format!("u={u:.4}  "))
             .unwrap_or_default();
         out.push_str(&format!(
-            "  {:<44} {:>8} µs  {}cand={} hists={} emds={} (hits {})\n",
+            "  {:<44} {:>8} µs  {}cand={} hists={} emds={} (hits {}, batches {})\n",
             cell.label,
             cell.elapsed_us,
             unfairness,
@@ -212,6 +212,7 @@ fn render_scenario_report(report: &crate::plan::ScenarioReport) -> String {
             cell.histograms_built,
             cell.emd_calls,
             cell.emd_cache_hits,
+            cell.pairwise_batches,
         ));
     }
     out
@@ -373,7 +374,7 @@ pub fn render_general_view(view: &PanelView) -> String {
          search time     {} µs\n\
          splits scored   {}\n\
          histograms      {}\n\
-         EMD calls       {} ({} cache hits)\n",
+         EMD calls       {} ({} cache hits, {} batches)\n",
         view.id,
         view.config,
         view.unfairness,
@@ -386,6 +387,7 @@ pub fn render_general_view(view: &PanelView) -> String {
         view.histograms_built,
         view.emd_calls,
         view.emd_cache_hits,
+        view.pairwise_batches,
     )
 }
 

@@ -127,6 +127,9 @@ pub struct PanelView {
     pub emd_calls: usize,
     /// Distance lookups served from the engine's memo table.
     pub emd_cache_hits: usize,
+    /// Pairwise/cross aggregations the batched EMD backend resolved as one
+    /// batch (0 under the per-pair backends).
+    pub pairwise_batches: usize,
     /// Every tree node, root first.
     pub nodes: Vec<NodeView>,
 }
@@ -156,6 +159,7 @@ impl PanelView {
             histograms_built: info.histograms_built,
             emd_calls: info.emd_calls,
             emd_cache_hits: info.emd_cache_hits,
+            pairwise_batches: info.pairwise_batches,
             nodes: Vec::new(),
         }
     }

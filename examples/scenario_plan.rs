@@ -5,7 +5,7 @@
 //! cargo run --example scenario_plan
 //! ```
 
-use fairank::core::emd::EmdBackend;
+use fairank::core::emd::EmdBackendKind;
 use fairank::core::fairness::{Aggregator, Objective};
 use fairank::session::plan::{
     compile, CriterionGrid, Perspective, ScenarioOutcome, ScenarioSpec,
@@ -43,7 +43,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             objectives: vec![Objective::MostUnfair, Objective::LeastUnfair],
             aggregators: vec![Aggregator::Mean, Aggregator::Max, Aggregator::Variance],
             bins: vec![10],
-            emds: vec![EmdBackend::OneD],
+            emds: vec![EmdBackendKind::OneD],
         }),
     };
     println!("spec as JSON:\n{}\n", serde_json::to_string(&spec)?);
@@ -69,8 +69,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!();
     for cell in &report.cells {
         println!(
-            "{:>8} µs  emds={:<6} (hits {:<6})  {}",
-            cell.elapsed_us, cell.emd_calls, cell.emd_cache_hits, cell.label
+            "{:>8} µs  emds={:<6} (hits {:<6} batches {:<4})  {}",
+            cell.elapsed_us,
+            cell.emd_calls,
+            cell.emd_cache_hits,
+            cell.pairwise_batches,
+            cell.label
         );
     }
     println!(

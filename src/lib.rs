@@ -66,7 +66,7 @@ pub use fairank_session as session;
 /// One-stop imports for the most common FaiRank workflow.
 pub mod prelude {
     pub use fairank_core::{
-        emd::{emd_1d, Emd, EmdBackend},
+        emd::{emd_1d, Emd, EmdBackend, EmdBackendKind},
         fairness::{Aggregator, FairnessCriterion, Objective},
         histogram::{Histogram, HistogramSpec},
         partition::{Partition, PartitioningTree},

@@ -40,7 +40,7 @@ FaiRank commands:
   filter <new> <src> \"<expr>\"          derive a filtered dataset
   anonymize <new> <src> k=2 [method=mondrian|datafly]
   quantify <dataset> <func> [objective=most|least] [agg=mean|max|min|variance]
-           [bins=10] [emd=1d|transport] [where=\"<expr>\"] [opaque]
+           [bins=10] [emd=1d|transport|batched] [where=\"<expr>\"] [opaque]
   subgroups <dataset> <func> [depth=2] [min=5] [top=5]
                                        most/least favored subgroups
   show <panel>                         render a panel's partitioning tree
@@ -162,7 +162,7 @@ FaiRank commands:
              search time     {} µs\n\
              splits scored   {}\n\
              histograms      {}\n\
-             EMD calls       {} ({} cache hits)\n",
+             EMD calls       {} ({} cache hits, {} batches)\n",
             panel.id,
             panel.config.describe(),
             info.unfairness,
@@ -175,6 +175,7 @@ FaiRank commands:
             info.histograms_built,
             info.emd_calls,
             info.emd_cache_hits,
+            info.pairwise_batches,
         )
     }
 

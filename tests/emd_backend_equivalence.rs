@@ -1,0 +1,307 @@
+//! The differential conformance suite of the pluggable EMD backend layer.
+//!
+//! Every [`EmdBackend`] implementation is pinned against the reference
+//! semantics on random histograms (proptest), on degenerate shapes (empty
+//! bins, single-leaf nodes, all-equal scores), and on real leaf sets from
+//! the seed datasets (Table 1 and the biased synthetic population). The
+//! pinned bounds, per backend:
+//!
+//! * `batched` vs `1d` — **bit-identical** (0 ULP): the batched backend
+//!   hoists normalized masses but folds every pair in the reference
+//!   summation order.
+//! * `transport` vs `1d` — within `1e-9` (successive-shortest-path solver
+//!   epsilon on ≤ 64-bin probability vectors).
+//! * every backend — **bitwise symmetric**: `d(a, b)` and `d(b, a)` have
+//!   equal bits (the transport solver canonicalizes its input order).
+//!
+//! The engine-level half property-tests that a `SplitEngine` running the
+//! batched backend reproduces the per-pair `1d` engine bit for bit while
+//! never doing more memo/EMD evaluations, and that QUANTIFY's search
+//! results do not depend on the backend choice.
+
+use proptest::prelude::*;
+
+use fairank::core::emd::{Emd, EmdBackendKind};
+use fairank::core::engine::SplitEngine;
+use fairank::core::fairness::{Aggregator, FairnessCriterion, Objective};
+use fairank::core::histogram::{Histogram, HistogramSpec};
+use fairank::core::partition::Partition;
+use fairank::core::quantify::Quantify;
+use fairank::core::scoring::ScoreSource;
+use fairank::core::space::{ProtectedAttribute, RankingSpace};
+
+/// Pinned agreement bound of the transport solver vs the 1-D closed form.
+const TRANSPORT_EPS: f64 = 1e-9;
+
+/// A set of 2–6 random histograms sharing one random spec (1–24 bins,
+/// per-bin counts up to 40 — including all-zero, i.e. empty, histograms).
+fn histogram_set() -> impl Strategy<Value = Vec<Histogram>> {
+    (1usize..=24, 2usize..=6).prop_flat_map(|(bins, count)| {
+        prop::collection::vec(prop::collection::vec(0u64..=40, bins), count).prop_map(
+            move |count_vecs| {
+                let spec = HistogramSpec::unit(bins).expect("valid spec");
+                count_vecs
+                    .into_iter()
+                    .map(|counts| Histogram::from_counts(spec, counts))
+                    .collect()
+            },
+        )
+    })
+}
+
+/// A random small ranking space (same shape as the engine-equivalence
+/// suite): 2–4 protected attributes with 2–4 values each, 8–60 rows.
+fn ranking_space() -> impl Strategy<Value = RankingSpace> {
+    (2usize..=4, 8usize..=60).prop_flat_map(|(n_attrs, n_rows)| {
+        let attrs = prop::collection::vec(
+            (2u32..=4).prop_flat_map(move |card| prop::collection::vec(0..card, n_rows)),
+            n_attrs,
+        );
+        let scores = prop::collection::vec(0.0f64..=1.0, n_rows);
+        (attrs, scores).prop_map(|(attr_codes, scores)| {
+            let attributes = attr_codes
+                .into_iter()
+                .enumerate()
+                .map(|(i, codes)| {
+                    let card = codes.iter().copied().max().unwrap_or(0) + 1;
+                    ProtectedAttribute {
+                        name: format!("a{i}"),
+                        codes,
+                        labels: (0..card).map(|c| format!("v{c}")).collect(),
+                    }
+                })
+                .collect();
+            RankingSpace::new(attributes, scores).expect("generated space is valid")
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn pair_distances_conform_on_random_histograms(hists in histogram_set()) {
+        let one_d = Emd::new(EmdBackendKind::OneD);
+        let transport = Emd::new(EmdBackendKind::Transport);
+        let batched = Emd::new(EmdBackendKind::Batched);
+        for a in &hists {
+            for b in &hists {
+                let reference = one_d.distance(a, b).unwrap();
+                // Batched: bit-identical to the closed form.
+                let d = batched.distance(a, b).unwrap();
+                prop_assert_eq!(reference.to_bits(), d.to_bits(), "batched {} vs {}", d, reference);
+                // Transport: within the pinned solver epsilon.
+                let d = transport.distance(a, b).unwrap();
+                prop_assert!(
+                    (d - reference).abs() <= TRANSPORT_EPS,
+                    "transport {} vs 1d {}", d, reference
+                );
+                // Every backend: bitwise symmetric.
+                for kind in EmdBackendKind::all() {
+                    let emd = Emd::new(kind);
+                    let ab = emd.distance(a, b).unwrap();
+                    let ba = emd.distance(b, a).unwrap();
+                    prop_assert_eq!(ab.to_bits(), ba.to_bits(), "{:?}: {} vs {}", kind, ab, ba);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pairwise_batches_conform_on_random_histograms(hists in histogram_set()) {
+        let one_d = Emd::new(EmdBackendKind::OneD);
+        for kind in EmdBackendKind::all() {
+            let emd = Emd::new(kind);
+            let batch = emd.pairwise(&hists).unwrap();
+            prop_assert_eq!(batch.len(), hists.len() * (hists.len() - 1) / 2);
+            let mut k = 0;
+            for i in 0..hists.len() {
+                for j in (i + 1)..hists.len() {
+                    // Each batch entry equals that backend's own pair
+                    // distance bit for bit (order preserved), and the 1-D
+                    // family is bit-identical to the reference closed form.
+                    let own = emd.distance(&hists[i], &hists[j]).unwrap();
+                    prop_assert_eq!(batch[k].to_bits(), own.to_bits(), "{:?}", kind);
+                    if kind != EmdBackendKind::Transport {
+                        let reference = one_d.distance(&hists[i], &hists[j]).unwrap();
+                        prop_assert_eq!(batch[k].to_bits(), reference.to_bits());
+                    }
+                    k += 1;
+                }
+            }
+            // Cross batches agree with the flattened pair loop too.
+            let (left, right) = hists.split_at(hists.len() / 2);
+            let cross = emd.cross(left, right).unwrap();
+            let mut k = 0;
+            for a in left {
+                for b in right {
+                    prop_assert_eq!(
+                        cross[k].to_bits(),
+                        emd.distance(a, b).unwrap().to_bits()
+                    );
+                    k += 1;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batched_engine_is_bit_identical_and_never_busier(space in ranking_space()) {
+        for objective in [Objective::MostUnfair, Objective::LeastUnfair] {
+            let one_d = FairnessCriterion::new(objective, Aggregator::Mean);
+            let batched = one_d.with_emd(Emd::new(EmdBackendKind::Batched));
+            let a = Quantify::new(one_d).run_space(&space).unwrap();
+            let b = Quantify::new(batched).run_space(&space).unwrap();
+            prop_assert_eq!(
+                a.unfairness.to_bits(),
+                b.unfairness.to_bits(),
+                "{:?}: {} vs {}", objective, a.unfairness, b.unfairness
+            );
+            prop_assert_eq!(&a.partitions, &b.partitions);
+            prop_assert_eq!(&a.tree, &b.tree);
+            prop_assert_eq!(a.stats.candidate_splits, b.stats.candidate_splits);
+            prop_assert_eq!(a.stats.histograms_built, b.stats.histograms_built);
+            // The batch path replaces the per-pair memo walk: never more
+            // memo/EMD evaluations, and the batch counter is live.
+            prop_assert!(
+                b.stats.emd_calls + b.stats.emd_cache_hits
+                    <= a.stats.emd_calls + a.stats.emd_cache_hits
+            );
+            prop_assert!(b.stats.pairwise_batches > 0);
+            prop_assert_eq!(a.stats.pairwise_batches, 0);
+        }
+    }
+
+    #[test]
+    fn transport_engine_still_matches_naive_evaluation(space in ranking_space()) {
+        // The canonical (unordered) memo key must stay a pure optimization
+        // for the transport backend too: engine == naive bit for bit.
+        let criterion = FairnessCriterion::default()
+            .with_emd(Emd::new(EmdBackendKind::Transport));
+        let engine = Quantify::new(criterion).run_space(&space).unwrap();
+        let naive = Quantify::new(criterion)
+            .with_naive_evaluation()
+            .run_space(&space)
+            .unwrap();
+        prop_assert_eq!(engine.unfairness.to_bits(), naive.unfairness.to_bits());
+        prop_assert_eq!(&engine.partitions, &naive.partitions);
+        prop_assert_eq!(&engine.tree, &naive.tree);
+    }
+}
+
+// ---- degenerate shapes ------------------------------------------------
+
+#[test]
+fn empty_bin_conventions_hold_for_every_backend() {
+    let spec = HistogramSpec::unit(10).unwrap();
+    let empty = Histogram::empty(spec);
+    let full = Histogram::from_scores(spec, [0.3, 0.8]);
+    for kind in EmdBackendKind::all() {
+        let emd = Emd::new(kind);
+        assert_eq!(emd.distance(&empty, &empty).unwrap(), 0.0, "{kind:?}");
+        assert_eq!(emd.distance(&empty, &full).unwrap(), 1.0, "{kind:?}");
+        assert_eq!(emd.distance(&full, &empty).unwrap(), 1.0, "{kind:?}");
+        let batch = emd.pairwise(&[empty.clone(), full.clone(), empty.clone()]).unwrap();
+        assert_eq!(batch, vec![1.0, 0.0, 1.0], "{kind:?}");
+    }
+}
+
+#[test]
+fn all_equal_scores_are_zero_distance_under_every_backend() {
+    // Every score in one bin: any two such histograms are identical
+    // distributions, whatever their sizes.
+    let spec = HistogramSpec::unit(10).unwrap();
+    let a = Histogram::from_scores(spec, std::iter::repeat_n(0.55, 3));
+    let b = Histogram::from_scores(spec, std::iter::repeat_n(0.55, 17));
+    for kind in EmdBackendKind::all() {
+        let d = Emd::new(kind).distance(&a, &b).unwrap();
+        assert!(d.abs() < 1e-12, "{kind:?} gave {d}");
+    }
+}
+
+#[test]
+fn single_leaf_nodes_aggregate_to_zero_under_every_backend() {
+    let g = ProtectedAttribute::from_values("g", &["a", "a", "b"]);
+    let space = RankingSpace::new(vec![g], vec![0.1, 0.2, 0.9]).unwrap();
+    for kind in EmdBackendKind::all() {
+        let criterion = FairnessCriterion::default().with_emd(Emd::new(kind));
+        let mut engine = SplitEngine::new(&space, criterion);
+        // A single partition has no pairs: unfairness is 0 by convention.
+        let u = engine.unfairness(&[Partition::root(&space)]).unwrap();
+        assert_eq!(u, 0.0, "{kind:?}");
+        // ... and versus an empty sibling set aggregates to 0 too.
+        let v = engine.versus(&Partition::root(&space), &[]).unwrap();
+        assert_eq!(v, 0.0, "{kind:?}");
+    }
+}
+
+#[test]
+fn degenerate_single_bin_spec_conforms() {
+    // One bin: every non-empty histogram is the same distribution.
+    let spec = HistogramSpec::unit(1).unwrap();
+    let a = Histogram::from_scores(spec, [0.1, 0.9]);
+    let b = Histogram::from_scores(spec, [0.5]);
+    for kind in EmdBackendKind::all() {
+        let d = Emd::new(kind).distance(&a, &b).unwrap();
+        assert!(d.abs() < 1e-12, "{kind:?} gave {d}");
+    }
+}
+
+// ---- real leaf sets from the seed datasets ----------------------------
+
+/// Runs QUANTIFY on a prepared space under every backend and checks the
+/// conformance contract: identical search results everywhere, bit-identical
+/// unfairness for the 1-D family, `TRANSPORT_EPS` agreement for transport.
+fn assert_backends_agree_on(space: &RankingSpace) {
+    let reference = Quantify::new(FairnessCriterion::default().fit_range(space))
+        .run_space(space)
+        .expect("reference run");
+    for kind in EmdBackendKind::all() {
+        let criterion = FairnessCriterion::default()
+            .with_emd(Emd::new(kind))
+            .fit_range(space);
+        let outcome = Quantify::new(criterion).run_space(space).expect("runs");
+        assert_eq!(
+            outcome.partitions, reference.partitions,
+            "{kind:?} found a different partitioning"
+        );
+        assert_eq!(outcome.tree, reference.tree, "{kind:?} tree differs");
+        match kind {
+            EmdBackendKind::Transport => assert!(
+                (outcome.unfairness - reference.unfairness).abs() <= TRANSPORT_EPS,
+                "{kind:?}: {} vs {}",
+                outcome.unfairness,
+                reference.unfairness
+            ),
+            _ => assert_eq!(
+                outcome.unfairness.to_bits(),
+                reference.unfairness.to_bits(),
+                "{kind:?}: {} vs {}",
+                outcome.unfairness,
+                reference.unfairness
+            ),
+        }
+    }
+}
+
+#[test]
+fn backends_agree_on_the_table1_leaf_sets() {
+    let space = fairank::data::paper::table1_space().expect("paper space builds");
+    assert_backends_agree_on(&space);
+}
+
+#[test]
+fn backends_agree_on_the_biased_synthetic_population() {
+    let dataset = fairank::data::synth::biased_crowdsourcing_spec(300, 11)
+        .generate()
+        .expect("generates");
+    let scoring = fairank::core::scoring::LinearScoring::builder()
+        .weight("rating", 0.7)
+        .weight("language_test", 0.3)
+        .build(&dataset)
+        .expect("builds");
+    let space = dataset
+        .to_space(&ScoreSource::Function(scoring))
+        .expect("space");
+    assert_backends_agree_on(&space);
+}

@@ -1,0 +1,112 @@
+//! Regression suite for the transport-memo symmetry fix.
+//!
+//! The seed's engine memo was keyed by the *directed* content-id pair, and
+//! only the 1-D closed form (bitwise symmetric by negation-exactness) got
+//! a mirror entry — a transport `(a, b)` computation was recomputed for
+//! `(b, a)`, and the two directions were not guaranteed bit-identical.
+//! The backend layer fixes both: the transport solver canonicalizes its
+//! input order (so `d(a, b)` and `d(b, a)` share bits by construction) and
+//! the memo keys on the unordered pair, so directional repeats share one
+//! entry and surface as `emd_cache_hits`.
+
+use fairank::core::emd::{Emd, EmdBackendKind};
+use fairank::core::engine::SplitEngine;
+use fairank::core::fairness::FairnessCriterion;
+use fairank::core::histogram::{Histogram, HistogramSpec};
+use fairank::core::partition::Partition;
+use fairank::core::space::{ProtectedAttribute, RankingSpace};
+
+fn hist(scores: &[f64]) -> Histogram {
+    Histogram::from_scores(HistogramSpec::unit(10).unwrap(), scores.iter().copied())
+}
+
+/// A two-attribute space whose groups have clearly distinct score
+/// distributions (so every pair distance is a real computation).
+fn space() -> RankingSpace {
+    let gender =
+        ProtectedAttribute::from_values("gender", &["F", "M", "F", "M", "F", "M", "F", "M"]);
+    let noise =
+        ProtectedAttribute::from_values("noise", &["x", "x", "y", "y", "x", "y", "x", "y"]);
+    RankingSpace::new(
+        vec![gender, noise],
+        vec![0.1, 0.9, 0.2, 0.8, 0.15, 0.85, 0.12, 0.88],
+    )
+    .unwrap()
+}
+
+#[test]
+fn transport_distance_is_bitwise_symmetric_at_the_emd_level() {
+    let emd = Emd::new(EmdBackendKind::Transport);
+    let pairs = [
+        (hist(&[0.05, 0.15, 0.8]), hist(&[0.4, 0.5, 0.6, 0.95])),
+        (hist(&[0.33, 0.66]), hist(&[0.1])),
+        (hist(&[0.0, 1.0]), hist(&[0.5, 0.5, 0.5])),
+    ];
+    for (a, b) in &pairs {
+        let ab = emd.distance(a, b).unwrap();
+        let ba = emd.distance(b, a).unwrap();
+        assert_eq!(ab.to_bits(), ba.to_bits(), "{ab} vs {ba}");
+    }
+}
+
+#[test]
+fn directional_repeats_hit_the_same_transport_memo_entry() {
+    let s = space();
+    let criterion =
+        FairnessCriterion::default().with_emd(Emd::new(EmdBackendKind::Transport));
+    let mut engine = SplitEngine::new(&s, criterion);
+    let parts = Partition::root(&s).split(&s, 0);
+
+    // (a, b): a real computation.
+    let forward = engine.versus(&parts[0], &parts[1..]).unwrap();
+    let calls_after_forward = engine.stats().emd_calls;
+    let hits_after_forward = engine.stats().emd_cache_hits;
+    assert!(calls_after_forward > 0);
+
+    // (b, a): the seed recomputed here; now it must hit the shared entry.
+    let backward = engine.versus(&parts[1], &parts[..1]).unwrap();
+    assert_eq!(
+        engine.stats().emd_calls,
+        calls_after_forward,
+        "the reverse direction must not recompute"
+    );
+    assert_eq!(
+        engine.stats().emd_cache_hits,
+        hits_after_forward + 1,
+        "the reverse lookup must be served from the memo"
+    );
+    assert_eq!(forward.to_bits(), backward.to_bits());
+}
+
+#[test]
+fn repeated_transport_unfairness_is_fully_cached() {
+    let s = space();
+    let criterion =
+        FairnessCriterion::default().with_emd(Emd::new(EmdBackendKind::Transport));
+    let mut engine = SplitEngine::new(&s, criterion);
+    let parts = Partition::root(&s).split(&s, 0);
+
+    let first = engine.unfairness(&parts).unwrap();
+    let calls = engine.stats().emd_calls;
+    // Reversed partition order flips every pair's direction.
+    let reversed: Vec<Partition> = parts.iter().rev().cloned().collect();
+    let second = engine.unfairness(&reversed).unwrap();
+    assert_eq!(engine.stats().emd_calls, calls);
+    assert!(engine.stats().emd_cache_hits > 0);
+    assert_eq!(first.to_bits(), second.to_bits());
+}
+
+#[test]
+fn every_backend_shares_one_memo_entry_per_unordered_pair() {
+    for kind in EmdBackendKind::all() {
+        let s = space();
+        let criterion = FairnessCriterion::default().with_emd(Emd::new(kind));
+        let mut engine = SplitEngine::new(&s, criterion);
+        let parts = Partition::root(&s).split(&s, 0);
+        let _ = engine.versus(&parts[0], &parts[1..]).unwrap();
+        let calls = engine.stats().emd_calls;
+        let _ = engine.versus(&parts[1], &parts[..1]).unwrap();
+        assert_eq!(engine.stats().emd_calls, calls, "{kind:?} recomputed");
+        assert!(engine.stats().emd_cache_hits > 0, "{kind:?} never hit");
+    }
+}

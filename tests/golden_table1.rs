@@ -54,27 +54,39 @@ fn table1_ranking_is_pinned() {
 }
 
 #[test]
-fn quantify_most_unfair_partitioning_is_pinned() {
-    let criterion = FairnessCriterion::new(Objective::MostUnfair, Aggregator::Mean);
-    let outcome = Quantify::new(criterion)
-        .run(&table1_dataset(), &ScoreSource::from(table1_scoring()))
-        .expect("quantify runs on Table 1");
-    assert!(
-        (outcome.unfairness - GOLDEN_UNFAIRNESS).abs() < 1e-12,
-        "unfairness drifted: {:.17} vs pinned {GOLDEN_UNFAIRNESS:.17}",
-        outcome.unfairness
-    );
+fn quantify_most_unfair_partitioning_is_pinned_under_every_backend() {
+    use fairank::core::emd::{Emd, EmdBackendKind};
+
     let space = table1_space().expect("paper space builds");
-    let got: Vec<(String, Vec<u32>)> = outcome
-        .partitions
-        .iter()
-        .map(|p| (p.label(&space), p.rows.clone()))
-        .collect();
     let want: Vec<(String, Vec<u32>)> = GOLDEN_PARTITIONS
         .iter()
         .map(|(label, rows)| (label.to_string(), rows.to_vec()))
         .collect();
-    assert_eq!(got, want);
+    // The backend choice must never change the reported unfairness or the
+    // partitioning: the 1-D family (`1d`, `batched`) reproduces the golden
+    // to the last bit, the transport solver to its pinned 1e-9 epsilon.
+    for backend in EmdBackendKind::all() {
+        let criterion = FairnessCriterion::new(Objective::MostUnfair, Aggregator::Mean)
+            .with_emd(Emd::new(backend));
+        let outcome = Quantify::new(criterion)
+            .run(&table1_dataset(), &ScoreSource::from(table1_scoring()))
+            .expect("quantify runs on Table 1");
+        let eps = match backend {
+            EmdBackendKind::Transport => 1e-9,
+            _ => 1e-12,
+        };
+        assert!(
+            (outcome.unfairness - GOLDEN_UNFAIRNESS).abs() < eps,
+            "{backend:?} unfairness drifted: {:.17} vs pinned {GOLDEN_UNFAIRNESS:.17}",
+            outcome.unfairness
+        );
+        let got: Vec<(String, Vec<u32>)> = outcome
+            .partitions
+            .iter()
+            .map(|p| (p.label(&space), p.rows.clone()))
+            .collect();
+        assert_eq!(got, want, "{backend:?} found a different partitioning");
+    }
 }
 
 #[test]

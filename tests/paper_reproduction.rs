@@ -1,7 +1,7 @@
 //! Integration tests for the paper's published artifacts (experiments E1
 //! and E2): Table 1 scores and the Figure 2 partitioning.
 
-use fairank::core::emd::{Emd, EmdBackend};
+use fairank::core::emd::{Emd, EmdBackendKind};
 use fairank::core::fairness::{Aggregator, FairnessCriterion, Objective};
 use fairank::core::partition::is_full_disjoint;
 use fairank::core::quantify::Quantify;
@@ -55,7 +55,7 @@ fn e2_figure2_partitioning_structure_and_unfairness() {
     assert!(u > 0.2 && u < 0.5, "unexpected unfairness {u}");
 
     // Both EMD backends agree on it.
-    let transport = FairnessCriterion::default().with_emd(Emd::new(EmdBackend::Transport));
+    let transport = FairnessCriterion::default().with_emd(Emd::new(EmdBackendKind::Transport));
     let u2 = transport.unfairness(&parts, space.scores()).unwrap();
     assert!((u - u2).abs() < 1e-9);
 }

@@ -5,7 +5,7 @@
 use proptest::prelude::*;
 
 use fairank::anonymize::{is_k_anonymous, mondrian, MondrianConfig};
-use fairank::core::emd::{one_d::emd_1d_mass, transport::transport_emd, Emd, EmdBackend};
+use fairank::core::emd::{one_d::emd_1d_mass, transport::transport_emd, Emd, EmdBackendKind};
 use fairank::core::fairness::{Aggregator, FairnessCriterion, Objective};
 use fairank::core::histogram::{Histogram, HistogramSpec};
 use fairank::core::exhaustive::ExhaustiveSearch;
@@ -149,8 +149,8 @@ proptest! {
         let spec = HistogramSpec::unit(10).unwrap();
         let ha = Histogram::from_scores(spec, scores_a);
         let hb = Histogram::from_scores(spec, scores_b);
-        let d1 = Emd::new(EmdBackend::OneD).distance(&ha, &hb).unwrap();
-        let d2 = Emd::new(EmdBackend::Transport).distance(&ha, &hb).unwrap();
+        let d1 = Emd::new(EmdBackendKind::OneD).distance(&ha, &hb).unwrap();
+        let d2 = Emd::new(EmdBackendKind::Transport).distance(&ha, &hb).unwrap();
         prop_assert!((d1 - d2).abs() < 1e-8);
         // Bounded by the score range.
         prop_assert!(d1 <= 1.0 + 1e-12);

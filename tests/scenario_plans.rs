@@ -5,7 +5,7 @@
 
 use proptest::prelude::*;
 
-use fairank::core::emd::EmdBackend;
+use fairank::core::emd::EmdBackendKind;
 use fairank::core::fairness::{Aggregator, Objective};
 use fairank::core::plan::SearchStrategy;
 use fairank::session::plan::{
@@ -55,7 +55,7 @@ fn scenario_spec_round_trips_every_perspective() {
             objectives: vec![Objective::MostUnfair, Objective::LeastUnfair],
             aggregators: vec![Aggregator::Mean, Aggregator::Variance],
             bins: vec![5, 10],
-            emds: vec![EmdBackend::OneD, EmdBackend::Transport],
+            emds: vec![EmdBackendKind::OneD, EmdBackendKind::Batched],
         }),
     });
     round_trip_spec(&ScenarioSpec {
@@ -147,7 +147,7 @@ fn scenario_report_carries_per_cell_engine_counters() {
             objectives: vec![Objective::MostUnfair],
             aggregators: vec![Aggregator::Mean, Aggregator::Max],
             bins: vec![10],
-            emds: vec![EmdBackend::OneD],
+            emds: vec![EmdBackendKind::OneD],
         }),
     };
     let report = compile(&s, &spec).unwrap().run_parallel(&mut s).unwrap();
@@ -169,7 +169,7 @@ proptest! {
         objective_count in 1usize..=2,
         aggregator_count in 1usize..=6,
         bins in prop::collection::vec(2usize..24, 1..4),
-        emd_count in 1usize..=2,
+        emd_count in 1usize..=3,
         dataset_copies in 1usize..4,
         function_copies in 1usize..4,
     ) {
@@ -189,8 +189,8 @@ proptest! {
             s.add_function(&name, fairank::data::paper::table1_scoring()).unwrap();
             functions.push(name);
         }
-        let emds: Vec<EmdBackend> =
-            [EmdBackend::OneD, EmdBackend::Transport][..emd_count].to_vec();
+        let emds: Vec<EmdBackendKind> =
+            EmdBackendKind::all()[..emd_count].to_vec();
         let grid = CriterionGrid {
             objectives,
             aggregators,
