@@ -82,7 +82,11 @@ fn batched_backend_does_4x_fewer_pairwise_evaluations() {
 
     let mut records = Vec::new();
     let mut outcomes = Vec::new();
-    for kind in [EmdBackendKind::OneD, EmdBackendKind::Batched] {
+    for kind in [
+        EmdBackendKind::OneD,
+        EmdBackendKind::Batched,
+        EmdBackendKind::Kernel,
+    ] {
         let quantify =
             Quantify::new(FairnessCriterion::default().with_emd(Emd::new(kind)));
         let start = Instant::now();
@@ -100,12 +104,16 @@ fn batched_backend_does_4x_fewer_pairwise_evaluations() {
         });
         outcomes.push(outcome);
     }
-    let (per_pair, batched) = (&outcomes[0], &outcomes[1]);
+    let (per_pair, batched, kernel) = (&outcomes[0], &outcomes[1], &outcomes[2]);
 
     // Unchanged search results, to the last bit.
-    assert_eq!(per_pair.unfairness.to_bits(), batched.unfairness.to_bits());
-    assert_eq!(per_pair.partitions, batched.partitions);
-    assert_eq!(per_pair.tree, batched.tree);
+    for other in [batched, kernel] {
+        assert_eq!(per_pair.unfairness.to_bits(), other.unfairness.to_bits());
+        assert_eq!(per_pair.partitions, other.partitions);
+        assert_eq!(per_pair.tree, other.tree);
+    }
+    // The SoA kernel folds the same distinct pairs the batched backend does.
+    assert_eq!(batched.stats, kernel.stats);
 
     // The acceptance bar: ≥ 4× fewer memo/EMD evaluations.
     let walk = evaluations(per_pair);

@@ -20,6 +20,32 @@ use crate::fairness::FairnessCriterion;
 use crate::partition::{is_full_disjoint, Partition};
 use crate::space::RankingSpace;
 
+/// Total order for beam pruning: best state first under `objective`, with
+/// NaN ranking strictly worst under *both* objectives.
+///
+/// The previous comparator (`partial_cmp(..).unwrap_or(Equal)`) was not a
+/// total order when a NaN value appeared — `sort_by` may panic on (or
+/// arbitrarily reorder under) an inconsistent comparator, and declaring NaN
+/// "equal" to everything let a poisoned state crowd real candidates out of
+/// the beam. A bare `total_cmp` + reverse would be worse still: positive
+/// NaN compares greatest, so reversing for `MostUnfair` would rank a NaN
+/// state *best*. Hence the explicit NaN arm before the objective flip.
+fn state_order(objective: crate::fairness::Objective, a: f64, b: f64) -> std::cmp::Ordering {
+    use std::cmp::Ordering;
+    match (a.is_nan(), b.is_nan()) {
+        (true, true) => Ordering::Equal,
+        (true, false) => Ordering::Greater,
+        (false, true) => Ordering::Less,
+        (false, false) => {
+            let ord = a.total_cmp(&b);
+            match objective {
+                crate::fairness::Objective::MostUnfair => ord.reverse(),
+                crate::fairness::Objective::LeastUnfair => ord,
+            }
+        }
+    }
+}
+
 /// One search state: finalized partitions + undecided frontier groups.
 #[derive(Debug, Clone)]
 struct State {
@@ -139,14 +165,9 @@ impl BeamSearch {
                     next.push(s);
                 }
             }
-            // Keep the `width` best states.
-            next.sort_by(|a, b| {
-                let ord = a.value.partial_cmp(&b.value).unwrap_or(std::cmp::Ordering::Equal);
-                match self.criterion.objective {
-                    crate::fairness::Objective::MostUnfair => ord.reverse(),
-                    crate::fairness::Objective::LeastUnfair => ord,
-                }
-            });
+            // Keep the `width` best states. The stable sort preserves
+            // creation order among equal values, so pruning is deterministic.
+            next.sort_by(|a, b| state_order(self.criterion.objective, a.value, b.value));
             next.truncate(self.width);
             beam = next;
         }
@@ -277,6 +298,56 @@ mod tests {
             BeamSearch::new(FairnessCriterion::default(), 0).width(),
             1
         );
+    }
+
+    #[test]
+    fn state_order_is_total_and_ranks_nan_strictly_worst() {
+        use std::cmp::Ordering;
+        let values = [f64::NAN, 0.3, f64::NAN, 0.0, 0.7, -0.0, 0.3];
+        for objective in [Objective::MostUnfair, Objective::LeastUnfair] {
+            // NaN loses to every real value under BOTH objectives (the old
+            // comparator declared NaN equal to everything, and a bare
+            // total_cmp+reverse would rank NaN *best* under MostUnfair).
+            assert_eq!(state_order(objective, f64::NAN, 0.0), Ordering::Greater);
+            assert_eq!(state_order(objective, 0.0, f64::NAN), Ordering::Less);
+            assert_eq!(state_order(objective, f64::NAN, f64::NAN), Ordering::Equal);
+
+            // Totality: antisymmetry and transitivity over a mixed set, so
+            // sort_by can never panic on an inconsistent comparator.
+            for &a in &values {
+                for &b in &values {
+                    let ab = state_order(objective, a, b);
+                    let ba = state_order(objective, b, a);
+                    assert_eq!(ab.reverse(), ba, "antisymmetry for {a} vs {b}");
+                    for &c in &values {
+                        if state_order(objective, a, b) != Ordering::Greater
+                            && state_order(objective, b, c) != Ordering::Greater
+                        {
+                            assert_ne!(
+                                state_order(objective, a, c),
+                                Ordering::Greater,
+                                "transitivity for {a} ≤ {b} ≤ {c}"
+                            );
+                        }
+                    }
+                }
+            }
+
+            // Sorting a beam containing NaN pushes it to the back, so
+            // truncation drops the poisoned state first.
+            let mut vals = values.to_vec();
+            vals.sort_by(|a, b| state_order(objective, *a, *b));
+            assert!(vals[vals.len() - 1].is_nan());
+            assert!(vals[vals.len() - 2].is_nan());
+            assert!(vals[..vals.len() - 2].iter().all(|v| !v.is_nan()));
+        }
+        // The finite prefix is objective-ordered: best first.
+        let mut most = [0.3, 0.0, 0.7].to_vec();
+        most.sort_by(|a, b| state_order(Objective::MostUnfair, *a, *b));
+        assert_eq!(most, vec![0.7, 0.3, 0.0]);
+        let mut least = [0.3, 0.0, 0.7].to_vec();
+        least.sort_by(|a, b| state_order(Objective::LeastUnfair, *a, *b));
+        assert_eq!(least, vec![0.0, 0.3, 0.7]);
     }
 
     #[test]

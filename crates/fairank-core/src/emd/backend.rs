@@ -25,12 +25,17 @@
 //!   Bins are already in ascending score order by construction, so no sort
 //!   step is needed.
 //!
+//! A fourth implementation, [`super::kernel::KernelOneDBackend`], lives in
+//! its own module: the same closed form folded in structure-of-arrays
+//! order, all pairs of a batch advancing one bin level at a time.
+//!
 //! Equivalence guarantees, pinned by `tests/emd_backend_equivalence.rs`:
 //!
 //! | backend     | vs. 1-D closed form | symmetry        |
 //! |-------------|---------------------|-----------------|
 //! | `1d`        | identity            | bitwise (exact) |
 //! | `batched`   | bit-identical (0 ULP) | bitwise (exact) |
+//! | `kernel`    | bit-identical (0 ULP) | bitwise (exact) |
 //! | `transport` | ≤ 1e-9 (solver eps) | bitwise (canonical input order) |
 
 use std::cmp::Ordering;
@@ -85,7 +90,7 @@ pub trait EmdBackend: Send + Sync {
 /// backend must compute. The single source every distance path — including
 /// the engine's id-level batch path via [`one_d_from_parts`] — goes
 /// through, so the conventions cannot drift apart.
-fn convention(a_empty: bool, b_empty: bool, spec: &HistogramSpec) -> Option<f64> {
+pub(crate) fn convention(a_empty: bool, b_empty: bool, spec: &HistogramSpec) -> Option<f64> {
     match (a_empty, b_empty) {
         (true, true) => Some(0.0),
         (true, false) | (false, true) => Some(spec.hi() - spec.lo()),
@@ -115,7 +120,7 @@ pub(crate) fn one_d_from_parts(
 }
 
 /// The 1-D closed-form pair distance on already-normalized masses.
-fn one_d_pair(a: &Histogram, b: &Histogram) -> Result<f64> {
+pub(crate) fn one_d_pair(a: &Histogram, b: &Histogram) -> Result<f64> {
     if let Some(d) = special_case(a, b)? {
         return Ok(d);
     }
@@ -281,10 +286,12 @@ impl EmdBackendKind {
         static ONE_D: OneDBackend = OneDBackend;
         static TRANSPORT: TransportBackend = TransportBackend;
         static BATCHED: BatchedOneDBackend = BatchedOneDBackend;
+        static KERNEL: super::kernel::KernelOneDBackend = super::kernel::KernelOneDBackend;
         match self {
             EmdBackendKind::OneD => &ONE_D,
             EmdBackendKind::Transport => &TRANSPORT,
             EmdBackendKind::Batched => &BATCHED,
+            EmdBackendKind::Kernel => &KERNEL,
         }
     }
 }

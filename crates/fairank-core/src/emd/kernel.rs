@@ -1,0 +1,288 @@
+//! The structure-of-arrays 1-D EMD kernel.
+//!
+//! [`one_d::emd_1d_mass`] folds one pair at a time: for each bin it updates
+//! a running CDF difference and accumulates its absolute value. That fold
+//! is a chain of dependent adds, so a per-pair loop leaves the FPU idle
+//! between bins. This module transposes the computation: masses are laid
+//! out bin-major (`soa[bin * width + slot]`, one *slot* per histogram of
+//! the batch) and **all pairs advance together**, one bin level at a time,
+//! over dense `cum`/`total` accumulator arrays indexed by pair. The inner
+//! loop over pairs is branchless (`abs` is a sign-bit mask) and carries no
+//! loop-to-loop dependency, so it autovectorizes; the dependent chain of
+//! any single pair is unchanged.
+//!
+//! Bit-identity: for a fixed pair `p`, the kernel executes *exactly* the
+//! reference sequence — `cum[p] += a_i − b_i; total[p] += |cum[p]|` for
+//! `i = 0, 1, …` — only interleaved with other pairs' (independent) IEEE
+//! operations. Floating-point results depend on the operation sequence per
+//! value, not on scheduling across independent values, so every distance is
+//! bit-identical (0 ULP) to [`super::backend::OneDBackend`]. The
+//! conformance suite (`tests/emd_backend_equivalence.rs`) pins this.
+
+use crate::error::Result;
+use crate::histogram::{Histogram, HistogramSpec};
+
+use super::backend::EmdBackend;
+use super::EmdBackendKind;
+
+/// One pair of slots (indices into the batch's SoA columns) to fold.
+pub(crate) type SlotPair = (u32, u32);
+
+/// Folds every `(a, b)` pair of `pairs` over a bin-major SoA mass matrix
+/// (`soa[bin * width + slot]`, `bins × width` entries), appending one
+/// distance per pair to `out` in `pairs` order. `cum` and `total` are
+/// caller-provided scratch (cleared here) so steady-state callers never
+/// reallocate. Empty-histogram conventions are the caller's business: the
+/// kernel folds whatever masses it is given (all-zero columns fold to 0).
+// The flat argument list IS the design: the kernel's inputs are disjoint
+// borrows of caller-owned scratch so the hot loop stays allocation-free;
+// bundling them into a struct would force either owned buffers or a
+// borrow-splitting wrapper at every call site.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn fold_pairs(
+    soa: &[f64],
+    width: usize,
+    bins: usize,
+    pairs: &[SlotPair],
+    bin_width: f64,
+    cum: &mut Vec<f64>,
+    total: &mut Vec<f64>,
+    out: &mut Vec<f64>,
+) {
+    debug_assert_eq!(soa.len(), bins * width, "SoA matrix must be bins × width");
+    let n = pairs.len();
+    cum.clear();
+    cum.resize(n, 0.0);
+    total.clear();
+    total.resize(n, 0.0);
+    for bin in 0..bins {
+        let level = &soa[bin * width..(bin + 1) * width];
+        // Branchless and dependency-free across pairs: each lane updates
+        // its own accumulators with the reference fold's two operations.
+        for (p, &(a, b)) in pairs.iter().enumerate() {
+            let c = cum[p] + (level[a as usize] - level[b as usize]);
+            cum[p] = c;
+            total[p] += c.abs();
+        }
+    }
+    out.extend(total.iter().map(|t| t * bin_width));
+}
+
+/// Scatters each histogram's normalized mass into column `slot` of a
+/// bin-major SoA matrix sized `bins × width`.
+fn fill_soa(hists: &[Histogram], bins: usize, scratch: &mut Vec<f64>) -> Vec<f64> {
+    let width = hists.len();
+    let mut soa = vec![0.0f64; bins * width];
+    for (slot, h) in hists.iter().enumerate() {
+        scratch.clear();
+        scratch.resize(bins, 0.0);
+        h.mass_into(scratch);
+        for (bin, &m) in scratch.iter().enumerate() {
+            soa[bin * width + slot] = m;
+        }
+    }
+    soa
+}
+
+/// Checks that all histograms of a batch share `spec`, and records which
+/// are empty (conventions are applied per pair after the fold).
+fn check_batch(hists: &[Histogram], spec: &HistogramSpec) -> Result<Vec<bool>> {
+    let probe = Histogram::empty(*spec);
+    hists
+        .iter()
+        .map(|h| probe.check_compatible(h).map(|()| h.is_empty()))
+        .collect()
+}
+
+/// The structure-of-arrays 1-D backend: bit-identical to
+/// [`super::backend::OneDBackend`], batch entry points fold all pairs
+/// together one bin level at a time.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct KernelOneDBackend;
+
+impl KernelOneDBackend {
+    /// Shared tail of both batch entry points: fold every pair over the
+    /// SoA matrix, then overwrite the pairs a convention decides.
+    fn fold_batch(
+        soa: &[f64],
+        width: usize,
+        spec: &HistogramSpec,
+        empties: &[bool],
+        pairs: &[SlotPair],
+        out: &mut Vec<f64>,
+    ) {
+        let base = out.len();
+        let mut cum = Vec::new();
+        let mut total = Vec::new();
+        fold_pairs(
+            soa,
+            width,
+            spec.bins(),
+            pairs,
+            spec.bin_width(),
+            &mut cum,
+            &mut total,
+            out,
+        );
+        for (p, &(a, b)) in pairs.iter().enumerate() {
+            if let Some(d) =
+                super::backend::convention(empties[a as usize], empties[b as usize], spec)
+            {
+                out[base + p] = d;
+            }
+        }
+    }
+}
+
+impl EmdBackend for KernelOneDBackend {
+    fn kind(&self) -> EmdBackendKind {
+        EmdBackendKind::Kernel
+    }
+
+    fn pair(&self, a: &Histogram, b: &Histogram) -> Result<f64> {
+        // A single pair has no batch to transpose over; the reference path
+        // already is the per-pair fold.
+        super::backend::one_d_pair(a, b)
+    }
+
+    fn pairwise(&self, hists: &[Histogram], out: &mut Vec<f64>) -> Result<()> {
+        let Some(first) = hists.first() else {
+            return Ok(());
+        };
+        let spec = *first.spec();
+        let empties = check_batch(hists, &spec)?;
+        let mut scratch = Vec::new();
+        let soa = fill_soa(hists, spec.bins(), &mut scratch);
+        let n = hists.len();
+        let mut pairs = Vec::with_capacity(n.saturating_sub(1) * n / 2);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                pairs.push((i as u32, j as u32));
+            }
+        }
+        Self::fold_batch(&soa, n, &spec, &empties, &pairs, out);
+        Ok(())
+    }
+
+    fn cross(&self, left: &[Histogram], right: &[Histogram], out: &mut Vec<f64>) -> Result<()> {
+        let Some(first) = left.first() else {
+            return Ok(());
+        };
+        let spec = *first.spec();
+        let mut empties = check_batch(left, &spec)?;
+        empties.extend(check_batch(right, &spec)?);
+        // One SoA over both sides: left occupies slots 0..|L|, right the
+        // rest, so a pair is (left slot, |L| + right slot).
+        let width = left.len() + right.len();
+        let mut scratch = Vec::new();
+        let mut soa = vec![0.0f64; spec.bins() * width];
+        for (slot, h) in left.iter().chain(right.iter()).enumerate() {
+            scratch.clear();
+            scratch.resize(spec.bins(), 0.0);
+            h.mass_into(&mut scratch);
+            for (bin, &m) in scratch.iter().enumerate() {
+                soa[bin * width + slot] = m;
+            }
+        }
+        let mut pairs = Vec::with_capacity(left.len() * right.len());
+        for i in 0..left.len() {
+            for j in 0..right.len() {
+                pairs.push((i as u32, (left.len() + j) as u32));
+            }
+        }
+        Self::fold_batch(&soa, width, &spec, &empties, &pairs, out);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::emd::backend::OneDBackend;
+    use crate::histogram::HistogramSpec;
+
+    fn hist(scores: &[f64]) -> Histogram {
+        Histogram::from_scores(HistogramSpec::unit(10).unwrap(), scores.iter().copied())
+    }
+
+    #[test]
+    fn fold_pairs_matches_reference_fold_bitwise() {
+        let masses = [
+            vec![0.5, 0.25, 0.125, 0.0625, 0.0625],
+            vec![0.1, 0.2, 0.3, 0.25, 0.15],
+            vec![0.0, 0.0, 1.0, 0.0, 0.0],
+            vec![0.33, 0.17, 0.0, 0.29, 0.21],
+        ];
+        let bins = 5;
+        let width = masses.len();
+        let mut soa = vec![0.0; bins * width];
+        for (slot, m) in masses.iter().enumerate() {
+            for (bin, &v) in m.iter().enumerate() {
+                soa[bin * width + slot] = v;
+            }
+        }
+        let pairs: Vec<SlotPair> =
+            vec![(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (3, 0)];
+        let (mut cum, mut total, mut out) = (Vec::new(), Vec::new(), Vec::new());
+        fold_pairs(&soa, width, bins, &pairs, 0.2, &mut cum, &mut total, &mut out);
+        for (k, &(a, b)) in pairs.iter().enumerate() {
+            let reference =
+                crate::emd::one_d::emd_1d_mass(&masses[a as usize], &masses[b as usize], 0.2);
+            assert_eq!(out[k].to_bits(), reference.to_bits(), "pair {a},{b}");
+        }
+    }
+
+    #[test]
+    fn kernel_batches_are_bit_identical_to_one_d() {
+        let hists = vec![
+            hist(&[0.05, 0.15, 0.15, 0.35, 0.75, 0.85]),
+            hist(&[0.25, 0.45, 0.55, 0.95]),
+            hist(&[0.95, 0.95]),
+            hist(&[0.05]),
+        ];
+        let mut reference = Vec::new();
+        OneDBackend.pairwise(&hists, &mut reference).unwrap();
+        let mut kernel = Vec::new();
+        KernelOneDBackend.pairwise(&hists, &mut kernel).unwrap();
+        assert_eq!(reference.len(), kernel.len());
+        for (r, k) in reference.iter().zip(&kernel) {
+            assert_eq!(r.to_bits(), k.to_bits());
+        }
+        let (left, right) = hists.split_at(2);
+        let mut reference = Vec::new();
+        OneDBackend.cross(left, right, &mut reference).unwrap();
+        let mut kernel = Vec::new();
+        KernelOneDBackend.cross(left, right, &mut kernel).unwrap();
+        for (r, k) in reference.iter().zip(&kernel) {
+            assert_eq!(r.to_bits(), k.to_bits());
+        }
+    }
+
+    #[test]
+    fn kernel_batches_honor_empty_conventions() {
+        let spec = HistogramSpec::unit(10).unwrap();
+        let empty = Histogram::empty(spec);
+        let full = hist(&[0.5]);
+        let hists = vec![empty.clone(), full.clone(), Histogram::empty(spec)];
+        let mut out = Vec::new();
+        KernelOneDBackend.pairwise(&hists, &mut out).unwrap();
+        assert_eq!(out, vec![1.0, 0.0, 1.0]);
+        let mut out = Vec::new();
+        KernelOneDBackend
+            .cross(std::slice::from_ref(&empty), &hists, &mut out)
+            .unwrap();
+        assert_eq!(out, vec![0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn kernel_rejects_incompatible_specs_in_batches() {
+        let a = Histogram::empty(HistogramSpec::unit(5).unwrap());
+        let b = Histogram::empty(HistogramSpec::unit(10).unwrap());
+        let mut out = Vec::new();
+        assert!(KernelOneDBackend.pairwise(&[a.clone(), b.clone()], &mut out).is_err());
+        let mut out = Vec::new();
+        assert!(KernelOneDBackend
+            .cross(std::slice::from_ref(&a), std::slice::from_ref(&b), &mut out)
+            .is_err());
+    }
+}

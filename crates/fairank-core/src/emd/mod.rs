@@ -4,7 +4,7 @@
 //! distributions with the EMD (Definition 2, citing Pele & Werman's fast
 //! EMD work). The implementations live behind the pluggable
 //! [`backend::EmdBackend`] trait (single-pair distance plus pairwise-batch
-//! entry points); three backends ship:
+//! entry points); four backends ship:
 //!
 //! * [`backend::OneDBackend`] (`1d`) — the exact closed form for
 //!   one-dimensional histograms over equal-width bins (the only case
@@ -20,15 +20,22 @@
 //!   with batch-level hoisting of the normalized mass vectors;
 //!   bit-identical to `1d`, built for the O(L²) pairwise aggregations of
 //!   the QUANTIFY hot path.
+//! * [`kernel::KernelOneDBackend`] (`kernel`) — the 1-D closed form over a
+//!   structure-of-arrays batch: all pairs of a batch fold together, one
+//!   bin level at a time, in a branchless inner loop over pairs. Per pair
+//!   the operation sequence is exactly the reference fold, so the backend
+//!   stays bit-identical to `1d` while the inner loop autovectorizes.
 //!
 //! Distances are expressed in *score units*: for histograms over `[0, 1]`
 //! the EMD between any two probability distributions lies in `[0, 1]`.
 
 pub mod backend;
+pub mod kernel;
 pub mod one_d;
 pub mod transport;
 
 pub use backend::{BatchedOneDBackend, EmdBackend, OneDBackend, TransportBackend};
+pub use kernel::KernelOneDBackend;
 pub use one_d::emd_1d;
 pub use transport::{transport_emd, TransportPlan};
 
@@ -49,16 +56,22 @@ pub enum EmdBackendKind {
     /// Closed-form batched 1-D backend (bit-identical to `OneD`, hoists
     /// per-histogram normalization out of pairwise batches).
     Batched,
+    /// Structure-of-arrays 1-D backend (bit-identical to `OneD`): a whole
+    /// batch's CDF folds advance together, bin level by bin level, with a
+    /// branchless inner loop over pairs.
+    Kernel,
 }
 
 impl EmdBackendKind {
     /// The command-syntax name of the backend (`1d` / `transport` /
-    /// `batched`) — the single source for both parsing and display.
+    /// `batched` / `kernel`) — the single source for both parsing and
+    /// display.
     pub fn name(&self) -> &'static str {
         match self {
             EmdBackendKind::OneD => "1d",
             EmdBackendKind::Transport => "transport",
             EmdBackendKind::Batched => "batched",
+            EmdBackendKind::Kernel => "kernel",
         }
     }
 
@@ -68,16 +81,18 @@ impl EmdBackendKind {
             "1d" => Some(EmdBackendKind::OneD),
             "transport" => Some(EmdBackendKind::Transport),
             "batched" => Some(EmdBackendKind::Batched),
+            "kernel" => Some(EmdBackendKind::Kernel),
             _ => None,
         }
     }
 
     /// Every backend, for sweeps and conformance suites.
-    pub fn all() -> [EmdBackendKind; 3] {
+    pub fn all() -> [EmdBackendKind; 4] {
         [
             EmdBackendKind::OneD,
             EmdBackendKind::Transport,
             EmdBackendKind::Batched,
+            EmdBackendKind::Kernel,
         ]
     }
 }
@@ -169,8 +184,10 @@ mod tests {
         let d1 = Emd::new(EmdBackendKind::OneD).distance(&a, &b).unwrap();
         let d2 = Emd::new(EmdBackendKind::Transport).distance(&a, &b).unwrap();
         let d3 = Emd::new(EmdBackendKind::Batched).distance(&a, &b).unwrap();
+        let d4 = Emd::new(EmdBackendKind::Kernel).distance(&a, &b).unwrap();
         assert!((d1 - d2).abs() < 1e-9, "one_d={d1} transport={d2}");
         assert_eq!(d1.to_bits(), d3.to_bits(), "one_d={d1} batched={d3}");
+        assert_eq!(d1.to_bits(), d4.to_bits(), "one_d={d1} kernel={d4}");
     }
 
     #[test]

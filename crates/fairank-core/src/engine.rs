@@ -19,7 +19,7 @@
 //!    split is accepted).
 //! 3. **Winner cache** — the winning attribute and interned handles to its
 //!    child histograms are handed back in a [`CandidateSplit`]; the
-//!    histograms live on in the engine's arena and their pairwise
+//!    histograms live on in the engine's arenas and their pairwise
 //!    distances in the memo, so the recursion's follow-up evaluations
 //!    reuse what `mostUnfair` already built.
 //! 4. **EMD memo table** — histogram cache entries are keyed by partition
@@ -32,6 +32,27 @@
 //!    matrices over fine partitionings, whose small partitions repeat the
 //!    same few score distributions constantly.
 //!
+//! The core is *data-oriented*: every cache is a flat, preallocated arena
+//! indexed by dense `u32` ids rather than a pointer-heavy map of owned
+//! keys.
+//!
+//! * Partition paths live in a [`PathTrie`] — parallel `Vec`s of nodes and
+//!   intrusive edge lists — so a path lookup is a walk over packed
+//!   `(attr, code)` words instead of hashing (and, on insert, cloning) a
+//!   `Vec<PathStep>` key.
+//! * Histogram contents live in a [`ContentTable`]: one flat `counts` row
+//!   per content id (stride = bins) plus a lazily-filled, equally flat
+//!   normalized-mass arena. No per-id `Histogram` or boxed mass vector is
+//!   allocated on the hot path; `Histogram` values materialize only for
+//!   the transport backend and the public [`SplitEngine::histogram`].
+//! * The EMD memo packs the unordered content-id pair into one `u64` key
+//!   over an open-addressed, linear-probing [`FlatMemo`] (Fibonacci
+//!   hashing) — the single hottest table of a search, probed once per
+//!   partition pair per recursion level.
+//! * All transient buffers (distance vectors, batch dedup tables, split
+//!   counting grids, SoA fold scratch) persist in a [`Scratch`] pool and
+//!   are reused across calls, so steady-state evaluation does not allocate.
+//!
 //! The engine mirrors [`FairnessCriterion`]'s aggregation orders exactly
 //! (pairwise `(0,1), (0,2), …` and children-outer cross products), so
 //! floating-point accumulation is unchanged and search results do not move
@@ -43,14 +64,14 @@ use std::hash::{BuildHasherDefault, Hasher};
 use crate::emd::EmdBackendKind;
 use crate::error::Result;
 use crate::fairness::FairnessCriterion;
-use crate::histogram::Histogram;
+use crate::histogram::{Histogram, HistogramSpec};
 use crate::partition::{Partition, PathStep};
 use crate::space::RankingSpace;
 
 /// Multiply-rotate hasher for the engine's internal maps. The keys are
-/// small, trusted, and hashed millions of times per search (every memoized
-/// distance lookup), where SipHash's DoS resistance costs more than the
-/// EMD it saves; this is the FxHash folding scheme over 8-byte chunks.
+/// small, trusted, and hashed millions of times per search, where SipHash's
+/// DoS resistance costs more than the EMD it saves; this is the FxHash
+/// folding scheme over 8-byte chunks.
 #[derive(Default)]
 struct EngineHasher(u64);
 
@@ -102,14 +123,13 @@ type EngineMap<K, V> = HashMap<K, V, BuildHasherDefault<EngineHasher>>;
 
 // ---- small-input bypass ---------------------------------------------------
 //
-// On small spaces the hash maps' per-lookup overhead (hashing a path
-// vector, probing, allocation growth) exceeds the arithmetic it saves —
-// the ROADMAP's "slightly slower than naive on ≤1k rows" soft spot. Small
-// runs produce only a handful of distinct paths/contents, so the engine
-// swaps each map for a compact structure with identical semantics: linear
-// scans for the two interning tables, a dense id×id matrix for the EMD
-// memo. Caching behavior (hence stats and results) is bit-for-bit the
-// same; only the container changes.
+// On small spaces even the flat tables' per-lookup overhead (hashing a
+// counts row, probing the open-addressed memo) exceeds the arithmetic it
+// saves — the ROADMAP's "slightly slower than naive on ≤1k rows" soft
+// spot. Small runs produce only a handful of distinct contents, so the
+// engine swaps the content index for a linear scan and the memo for a
+// dense id×id matrix. Caching behavior (hence stats and results) is
+// bit-for-bit the same; only the container changes.
 
 /// Row-count ceiling for the compact (bypass) caches.
 const SMALL_SPACE_ROWS: usize = 1024;
@@ -123,80 +143,332 @@ const SMALL_SPACE_ATTRS: usize = 4;
 /// turn the linear scans quadratic and the matrix huge.
 const SMALL_SPACE_CARDINALITY: usize = 64;
 
-/// Histogram path cache: partition path → interned content id.
+/// "No entry" marker for the trie's `u32` indices.
+const NONE32: u32 = u32::MAX;
+
+/// Packs one path constraint into a single trie-edge word.
+#[inline]
+fn pack_step(attr: usize, code: u32) -> u64 {
+    ((attr as u64) << 32) | code as u64
+}
+
+/// Path → content-id cache as a trie over packed `(attr, code)` edges,
+/// stored as parallel arrays: per node a head into an intrusive edge list
+/// and the interned content id (or [`NONE32`]); per edge the packed step,
+/// the child node, and the next edge of the same parent. Node 0 is the
+/// root (the empty path). Lookups walk words instead of hashing a
+/// `Vec<PathStep>`, and inserting a child never clones the parent path.
 #[derive(Debug)]
-enum PathCache {
-    Hashed(EngineMap<Vec<PathStep>, u32>),
-    Compact(Vec<(Vec<PathStep>, u32)>),
+struct PathTrie {
+    first_edge: Vec<u32>,
+    content: Vec<u32>,
+    edge_step: Vec<u64>,
+    edge_child: Vec<u32>,
+    edge_next: Vec<u32>,
 }
 
-impl PathCache {
-    fn get(&self, path: &[PathStep]) -> Option<u32> {
-        match self {
-            PathCache::Hashed(map) => map.get(path).copied(),
-            PathCache::Compact(entries) => entries
-                .iter()
-                .find(|(key, _)| key.as_slice() == path)
-                .map(|&(_, id)| id),
+impl PathTrie {
+    fn new() -> Self {
+        PathTrie {
+            first_edge: vec![NONE32],
+            content: vec![NONE32],
+            edge_step: Vec::new(),
+            edge_child: Vec::new(),
+            edge_next: Vec::new(),
         }
     }
 
-    fn insert(&mut self, path: Vec<PathStep>, id: u32) {
-        match self {
-            PathCache::Hashed(map) => {
-                map.insert(path, id);
+    /// The node for `path`, creating any missing suffix.
+    fn node_of(&mut self, path: &[PathStep]) -> u32 {
+        let mut node = 0u32;
+        for step in path {
+            node = self.child_node(node, pack_step(step.attr, step.code));
+        }
+        node
+    }
+
+    /// The child of `node` along `step`, created on first use.
+    fn child_node(&mut self, node: u32, step: u64) -> u32 {
+        let mut e = self.first_edge[node as usize];
+        while e != NONE32 {
+            let ei = e as usize;
+            if self.edge_step[ei] == step {
+                return self.edge_child[ei];
             }
-            PathCache::Compact(entries) => entries.push((path, id)),
+            e = self.edge_next[ei];
         }
+        let child = self.first_edge.len() as u32;
+        self.first_edge.push(NONE32);
+        self.content.push(NONE32);
+        let edge = self.edge_step.len() as u32;
+        self.edge_step.push(step);
+        self.edge_child.push(child);
+        self.edge_next.push(self.first_edge[node as usize]);
+        self.first_edge[node as usize] = edge;
+        child
+    }
+
+    #[inline]
+    fn content(&self, node: u32) -> Option<u32> {
+        let id = self.content[node as usize];
+        (id != NONE32).then_some(id)
+    }
+
+    #[inline]
+    fn set_content(&mut self, node: u32, id: u32) {
+        self.content[node as usize] = id;
     }
 }
 
-/// Interning table: distinct histogram contents → id.
+/// How the [`ContentTable`] finds an existing id for a counts row.
 #[derive(Debug)]
-enum ContentCache {
-    Hashed(EngineMap<Vec<u64>, u32>),
-    Compact(Vec<(Vec<u64>, u32)>),
+enum ContentIndex {
+    /// FxHash of the row → candidate ids (collisions resolved by comparing
+    /// the actual rows in the arena).
+    Hashed(EngineMap<u64, Vec<u32>>),
+    /// Linear scan over all rows — faster when only a handful of distinct
+    /// contents exist.
+    Compact,
 }
 
-impl ContentCache {
-    fn get(&self, counts: &[u64]) -> Option<u32> {
-        match self {
-            ContentCache::Hashed(map) => map.get(counts).copied(),
-            ContentCache::Compact(entries) => entries
+/// The interned-histogram arena: one flat `counts` row per content id
+/// (stride = bins), a parallel total, and a lazily-filled flat
+/// normalized-mass arena — the hoisted per-histogram work of the batched
+/// and kernel backends. `Histogram` values are materialized only on demand
+/// (transport backend, public histogram lookups); the hot path works on
+/// the raw rows.
+#[derive(Debug)]
+struct ContentTable {
+    spec: HistogramSpec,
+    bins: usize,
+    /// `counts[id * bins .. (id + 1) * bins]` is content `id`'s row.
+    counts: Vec<u64>,
+    /// Total count per content id.
+    totals: Vec<u64>,
+    /// `masses[id * bins ..]`, valid once `mass_ready[id]`.
+    masses: Vec<f64>,
+    mass_ready: Vec<bool>,
+    /// Lazily materialized canonical `Histogram` per id.
+    hists: Vec<Option<Histogram>>,
+    index: ContentIndex,
+}
+
+impl ContentTable {
+    fn new(spec: HistogramSpec, index: ContentIndex) -> Self {
+        ContentTable {
+            bins: spec.bins(),
+            spec,
+            counts: Vec::new(),
+            totals: Vec::new(),
+            masses: Vec::new(),
+            mass_ready: Vec::new(),
+            hists: Vec::new(),
+            index,
+        }
+    }
+
+    fn hash_row(row: &[u64]) -> u64 {
+        let mut h = EngineHasher::default();
+        for &w in row {
+            h.write_u64(w);
+        }
+        h.finish()
+    }
+
+    fn row(&self, id: u32) -> &[u64] {
+        let base = id as usize * self.bins;
+        &self.counts[base..base + self.bins]
+    }
+
+    fn find(&self, row: &[u64]) -> Option<u32> {
+        match &self.index {
+            ContentIndex::Compact => (0..self.totals.len() as u32).find(|&id| self.row(id) == row),
+            ContentIndex::Hashed(map) => map
+                .get(&Self::hash_row(row))?
                 .iter()
-                .find(|(key, _)| key.as_slice() == counts)
-                .map(|&(_, id)| id),
+                .copied()
+                .find(|&id| self.row(id) == row),
         }
     }
 
-    fn insert(&mut self, counts: Vec<u64>, id: u32) {
-        match self {
-            ContentCache::Hashed(map) => {
-                map.insert(counts, id);
+    /// Interns a counts row, returning a dense id such that equal rows
+    /// always map to the same id. Hits allocate nothing; a miss appends
+    /// one row to each arena.
+    fn intern(&mut self, row: &[u64]) -> u32 {
+        debug_assert_eq!(row.len(), self.bins, "one slot per bin");
+        if let Some(id) = self.find(row) {
+            return id;
+        }
+        let id = self.totals.len() as u32;
+        self.counts.extend_from_slice(row);
+        self.totals.push(row.iter().sum());
+        self.masses.resize(self.masses.len() + self.bins, 0.0);
+        self.mass_ready.push(false);
+        self.hists.push(None);
+        if let ContentIndex::Hashed(map) = &mut self.index {
+            let h = Self::hash_row(row);
+            map.entry(h).or_default().push(id);
+        }
+        id
+    }
+
+    #[inline]
+    fn is_empty(&self, id: u32) -> bool {
+        self.totals[id as usize] == 0
+    }
+
+    /// Fills the id's normalized-mass row on first use (bit-identical to
+    /// [`Histogram::mass`]: `count / total` per bin).
+    fn ensure_mass(&mut self, id: u32) {
+        let i = id as usize;
+        if self.mass_ready[i] {
+            return;
+        }
+        let total = self.totals[i];
+        let base = i * self.bins;
+        if total != 0 {
+            let t = total as f64;
+            for bin in 0..self.bins {
+                self.masses[base + bin] = self.counts[base + bin] as f64 / t;
             }
-            ContentCache::Compact(entries) => entries.push((counts, id)),
+        }
+        self.mass_ready[i] = true;
+    }
+
+    #[inline]
+    fn mass(&self, id: u32) -> &[f64] {
+        debug_assert!(self.mass_ready[id as usize], "ensure_mass first");
+        let base = id as usize * self.bins;
+        &self.masses[base..base + self.bins]
+    }
+
+    /// Materializes the id's canonical `Histogram` on first use.
+    fn ensure_hist(&mut self, id: u32) {
+        let i = id as usize;
+        if self.hists[i].is_none() {
+            let row = self.counts[i * self.bins..(i + 1) * self.bins].to_vec();
+            self.hists[i] = Some(Histogram::from_counts(self.spec, row));
+        }
+    }
+
+    #[inline]
+    fn hist(&self, id: u32) -> &Histogram {
+        self.hists[id as usize].as_ref().expect("ensure_hist first")
+    }
+
+    /// An owned `Histogram` of the id's content.
+    fn hist_owned(&self, id: u32) -> Histogram {
+        Histogram::from_counts(self.spec, self.row(id).to_vec())
+    }
+}
+
+/// Open-addressed, linear-probing memo from a packed unordered id pair to
+/// a distance. Fibonacci hashing over a power-of-two table, grown at 50%
+/// load — the hottest table of a search, where even an FxHash `HashMap`'s
+/// control-byte probing and tuple hashing are measurable.
+#[derive(Debug)]
+struct FlatMemo {
+    /// Slot keys; [`u64::MAX`] marks an empty slot (never a real key:
+    /// content ids stay far below `u32::MAX`).
+    keys: Vec<u64>,
+    vals: Vec<f64>,
+    len: usize,
+}
+
+impl FlatMemo {
+    const EMPTY: u64 = u64::MAX;
+
+    fn new() -> Self {
+        FlatMemo {
+            keys: vec![Self::EMPTY; 64],
+            vals: vec![0.0; 64],
+            len: 0,
+        }
+    }
+
+    #[inline]
+    fn start(&self, key: u64) -> usize {
+        // Fibonacci hashing: multiply by 2^64/φ, keep the top log2(cap) bits.
+        let shift = 64 - self.keys.len().trailing_zeros();
+        (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> shift) as usize
+    }
+
+    fn get(&self, key: u64) -> Option<f64> {
+        let mask = self.keys.len() - 1;
+        let mut i = self.start(key);
+        loop {
+            let k = self.keys[i];
+            if k == key {
+                return Some(self.vals[i]);
+            }
+            if k == Self::EMPTY {
+                return None;
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    fn insert(&mut self, key: u64, val: f64) {
+        debug_assert_ne!(key, Self::EMPTY, "key reserved for empty slots");
+        if (self.len + 1) * 2 > self.keys.len() {
+            self.grow();
+        }
+        let mask = self.keys.len() - 1;
+        let mut i = self.start(key);
+        loop {
+            let k = self.keys[i];
+            if k == Self::EMPTY {
+                self.keys[i] = key;
+                self.vals[i] = val;
+                self.len += 1;
+                return;
+            }
+            if k == key {
+                self.vals[i] = val;
+                return;
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    fn grow(&mut self) {
+        let cap = self.keys.len() * 2;
+        let old_keys = std::mem::replace(&mut self.keys, vec![Self::EMPTY; cap]);
+        let old_vals = std::mem::replace(&mut self.vals, vec![0.0; cap]);
+        self.len = 0;
+        for (k, v) in old_keys.into_iter().zip(old_vals) {
+            if k != Self::EMPTY {
+                self.insert(k, v);
+            }
         }
     }
 }
 
-/// EMD memo keyed by the (directed) pair of content ids. The compact form
+/// EMD memo keyed by the (canonical) pair of content ids. The compact form
 /// is a dense stride×stride matrix: content ids are small and dense, so a
-/// direct index beats hashing by an order of magnitude on the memo's very
-/// hot lookup path.
+/// direct index beats any probing on the memo's very hot lookup path. The
+/// general form is the open-addressed [`FlatMemo`]. Empty dense cells hold
+/// NaN — a value no (validated) distance ever takes.
 #[derive(Debug)]
 enum EmdMemo {
-    Hashed(EngineMap<(u32, u32), f64>),
-    Dense { stride: usize, cells: Vec<Option<f64>> },
+    Flat(FlatMemo),
+    Dense { stride: usize, cells: Vec<f64> },
 }
 
 impl EmdMemo {
+    #[inline]
+    fn pack(a: u32, b: u32) -> u64 {
+        ((a as u64) << 32) | b as u64
+    }
+
     fn get(&self, a: u32, b: u32) -> Option<f64> {
         match self {
-            EmdMemo::Hashed(map) => map.get(&(a, b)).copied(),
+            EmdMemo::Flat(memo) => memo.get(Self::pack(a, b)),
             EmdMemo::Dense { stride, cells } => {
                 let (a, b) = (a as usize, b as usize);
                 if a < *stride && b < *stride {
-                    cells[a * stride + b]
+                    let v = cells[a * stride + b];
+                    (!v.is_nan()).then_some(v)
                 } else {
                     None
                 }
@@ -206,14 +478,12 @@ impl EmdMemo {
 
     fn insert(&mut self, a: u32, b: u32, d: f64) {
         match self {
-            EmdMemo::Hashed(map) => {
-                map.insert((a, b), d);
-            }
+            EmdMemo::Flat(memo) => memo.insert(Self::pack(a, b), d),
             EmdMemo::Dense { stride, cells } => {
                 let needed = (a.max(b) as usize) + 1;
                 if needed > *stride {
                     let new_stride = needed.next_power_of_two().max(8);
-                    let mut grown = vec![None; new_stride * new_stride];
+                    let mut grown = vec![f64::NAN; new_stride * new_stride];
                     for row in 0..*stride {
                         for col in 0..*stride {
                             grown[row * new_stride + col] = cells[row * *stride + col];
@@ -222,10 +492,58 @@ impl EmdMemo {
                     *cells = grown;
                     *stride = new_stride;
                 }
-                cells[(a as usize) * *stride + (b as usize)] = Some(d);
+                cells[(a as usize) * *stride + (b as usize)] = d;
             }
         }
     }
+}
+
+/// Canonical (unordered) orientation of a content-id pair.
+#[inline]
+fn canon(a: u32, b: u32) -> (u32, u32) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+/// Reusable buffers for the engine's transient per-call state. Taken with
+/// `mem::take` for the duration of a call and put back afterwards, so
+/// nested calls use disjoint fields and steady-state evaluation never
+/// allocates.
+#[derive(Debug, Default)]
+struct Scratch {
+    /// Distance vectors handed to the aggregator.
+    dists: Vec<f64>,
+    /// Content-id lists of the partitions under evaluation.
+    ids: Vec<u32>,
+    /// Distinct content ids of one batch.
+    distinct: Vec<u32>,
+    /// content id → slot in `distinct` ([`NONE32`] = unseen), reset after
+    /// every batch by walking `distinct`, so dedup is O(L + D) instead of
+    /// a per-id linear scan.
+    slot_lookup: Vec<u32>,
+    /// Slot (index into `distinct`) per batch element.
+    slots: Vec<u32>,
+    /// Second slot list for cross batches.
+    slots2: Vec<u32>,
+    /// Dense distinct×distinct distance table of one batch.
+    table: Vec<f64>,
+    /// Which cross-batch table cells have been encountered.
+    have: Vec<bool>,
+    /// Distinct slot pairs not served by the memo.
+    missing: Vec<(u32, u32)>,
+    /// Bin-major SoA mass matrix for the kernel fold.
+    soa: Vec<f64>,
+    /// Kernel fold accumulators.
+    cum: Vec<f64>,
+    total: Vec<f64>,
+    folded: Vec<f64>,
+    /// `counts[value * bins + bin]` grid of `best_split`'s one-pass scan.
+    counts: Vec<u64>,
+    /// Rows per value code in `best_split`.
+    sizes: Vec<u32>,
 }
 
 /// Work counters the engine maintains, surfaced through `SearchStats` and
@@ -239,9 +557,9 @@ pub struct EngineStats {
     pub emd_calls: usize,
     /// Distance lookups served from the memo table.
     pub emd_cache_hits: usize,
-    /// Pairwise/cross aggregations resolved as one batch by the batched
-    /// backend (each batch touches the memo once per *distinct* histogram
-    /// pair instead of once per leaf pair).
+    /// Pairwise/cross aggregations resolved as one batch by the batched or
+    /// kernel backend (each batch touches the memo once per *distinct*
+    /// histogram pair instead of once per leaf pair).
     pub pairwise_batches: usize,
 }
 
@@ -271,19 +589,14 @@ pub struct SplitEngine<'a> {
     /// `bin_codes[row]` = histogram bin of the row's score.
     bin_codes: Vec<u32>,
     /// Histogram cache: partition path → interned content id.
-    hists: PathCache,
-    /// Interning table: distinct histogram contents (per-bin counts) → id.
-    content_ids: ContentCache,
-    /// One canonical histogram per content id; every lookup borrows from
-    /// here, so cache hits never allocate.
-    hist_arena: Vec<Histogram>,
-    /// Lazily cached normalized mass vector per content id — the hoisted
-    /// per-histogram work of the batched backend (parallel to
-    /// `hist_arena`).
-    masses: Vec<Option<Box<[f64]>>>,
+    paths: PathTrie,
+    /// Interned histogram contents: flat counts/mass arenas plus the
+    /// content → id index.
+    contents: ContentTable,
     /// EMD memo keyed by the unordered (canonical) pair of content ids.
     emd_memo: EmdMemo,
     stats: EngineStats,
+    scratch: Scratch,
 }
 
 impl<'a> SplitEngine<'a> {
@@ -300,10 +613,15 @@ impl<'a> SplitEngine<'a> {
         let compact = space.num_individuals() <= SMALL_SPACE_ROWS
             && space.attributes().len() <= SMALL_SPACE_ATTRS
             && total_cardinality <= SMALL_SPACE_CARDINALITY;
-        let (hists, content_ids, emd_memo) = if compact {
+        Self::new_with_layout(space, criterion, compact)
+    }
+
+    /// An engine with the cache layout chosen explicitly (`new` picks it
+    /// from the space's size; tests force both to pin their equivalence).
+    fn new_with_layout(space: &'a RankingSpace, criterion: FairnessCriterion, compact: bool) -> Self {
+        let (index, emd_memo) = if compact {
             (
-                PathCache::Compact(Vec::new()),
-                ContentCache::Compact(Vec::new()),
+                ContentIndex::Compact,
                 EmdMemo::Dense {
                     stride: 0,
                     cells: Vec::new(),
@@ -311,27 +629,25 @@ impl<'a> SplitEngine<'a> {
             )
         } else {
             (
-                PathCache::Hashed(EngineMap::default()),
-                ContentCache::Hashed(EngineMap::default()),
-                EmdMemo::Hashed(EngineMap::default()),
+                ContentIndex::Hashed(EngineMap::default()),
+                EmdMemo::Flat(FlatMemo::new()),
             )
         };
         SplitEngine {
             bin_codes: space.bin_codes(&criterion.hist),
             space,
+            contents: ContentTable::new(criterion.hist, index),
             criterion,
-            hists,
-            content_ids,
-            hist_arena: Vec::new(),
-            masses: Vec::new(),
+            paths: PathTrie::new(),
             emd_memo,
             stats: EngineStats::default(),
+            scratch: Scratch::default(),
         }
     }
 
     /// Whether this engine runs on the compact small-input caches.
     pub fn uses_compact_caches(&self) -> bool {
-        matches!(self.hists, PathCache::Compact(_))
+        matches!(self.emd_memo, EmdMemo::Dense { .. })
     }
 
     /// The space this engine evaluates over.
@@ -349,42 +665,54 @@ impl<'a> SplitEngine<'a> {
         self.stats
     }
 
-    /// Interns histogram content, returning a small id such that equal
-    /// per-bin counts always map to the same id. New content gets one
-    /// canonical [`Histogram`] in the arena.
-    fn intern(&mut self, counts: &[u64]) -> u32 {
-        if let Some(id) = self.content_ids.get(counts) {
-            return id;
-        }
-        let id = self.hist_arena.len() as u32;
-        self.content_ids.insert(counts.to_vec(), id);
-        self.hist_arena
-            .push(Histogram::from_counts(self.criterion.hist, counts.to_vec()));
-        self.masses.push(None);
-        id
-    }
-
     /// The partition's histogram content id, built through the binned-score
-    /// cache on a path-cache miss. Hits allocate nothing.
+    /// cache on a trie miss. Hits walk the trie and allocate nothing.
     fn hist_id(&mut self, partition: &Partition) -> u32 {
-        if let Some(id) = self.hists.get(&partition.path) {
+        let node = self.paths.node_of(&partition.path);
+        if let Some(id) = self.paths.content(node) {
             return id;
         }
-        let bins = self.criterion.hist.bins();
-        let mut counts = vec![0u64; bins];
+        let bins = self.contents.bins;
+        let mut counts = std::mem::take(&mut self.scratch.counts);
+        counts.clear();
+        counts.resize(bins, 0);
         for &row in &partition.rows {
             counts[self.bin_codes[row as usize] as usize] += 1;
         }
         self.stats.histograms_built += 1;
-        let id = self.intern(&counts);
-        self.hists.insert(partition.path.clone(), id);
+        let id = self.contents.intern(&counts);
+        self.scratch.counts = counts;
+        self.paths.set_content(node, id);
         id
     }
 
-    /// The partition's score histogram (cloned from the arena entry).
+    /// The partition's score histogram (materialized from the arena row).
     pub fn histogram(&mut self, partition: &Partition) -> Histogram {
         let id = self.hist_id(partition);
-        self.hist_arena[id as usize].clone()
+        self.contents.hist_owned(id)
+    }
+
+    /// A memo miss resolved for the per-pair backends: the 1-D closed form
+    /// folds directly from the hoisted mass arena (bit-identical to
+    /// [`crate::emd::Emd::distance`]; conventions and the fold are the
+    /// backend layer's single source), the transport solver gets lazily
+    /// materialized canonical `Histogram`s.
+    fn compute_pair(&mut self, lo: u32, hi: u32) -> Result<f64> {
+        if self.criterion.emd.backend() == EmdBackendKind::Transport {
+            let emd = self.criterion.emd;
+            self.contents.ensure_hist(lo);
+            self.contents.ensure_hist(hi);
+            return emd.distance(self.contents.hist(lo), self.contents.hist(hi));
+        }
+        self.contents.ensure_mass(lo);
+        self.contents.ensure_mass(hi);
+        Ok(crate::emd::backend::one_d_from_parts(
+            self.contents.is_empty(lo),
+            self.contents.is_empty(hi),
+            self.contents.mass(lo),
+            self.contents.mass(hi),
+            &self.criterion.hist,
+        ))
     }
 
     /// Memoized EMD between two content-identified histograms. The distance
@@ -395,179 +723,313 @@ impl<'a> SplitEngine<'a> {
     /// because it canonicalizes its input order), so the memo keys on the
     /// unordered pair and one computation serves both directions.
     fn distance(&mut self, id_a: u32, id_b: u32) -> Result<f64> {
-        let (lo, hi) = if id_a <= id_b { (id_a, id_b) } else { (id_b, id_a) };
+        let (lo, hi) = canon(id_a, id_b);
         if let Some(d) = self.emd_memo.get(lo, hi) {
             self.stats.emd_cache_hits += 1;
             return Ok(d);
         }
         self.stats.emd_calls += 1;
-        let d = self
-            .criterion
-            .emd
-            .distance(&self.hist_arena[lo as usize], &self.hist_arena[hi as usize])?;
-        self.emd_memo.insert(lo, hi, d);
-        Ok(d)
-    }
-
-    /// The hoisted normalized-mass vector of a content id (computed once,
-    /// reused by every batch the id participates in).
-    fn ensure_mass(&mut self, id: u32) {
-        let idx = id as usize;
-        if self.masses[idx].is_none() {
-            self.masses[idx] = Some(self.hist_arena[idx].mass().into_boxed_slice());
-        }
-    }
-
-    /// Memoized EMD resolved through the batched 1-D closed form: on a memo
-    /// miss the distance is folded directly from the hoisted mass vectors
-    /// in the reference summation order — bit-identical to
-    /// [`crate::emd::Emd::distance`] under the `1d`/`batched` backends,
-    /// without the per-pair normalization allocations.
-    fn batched_distance(&mut self, id_a: u32, id_b: u32) -> Result<f64> {
-        let (lo, hi) = if id_a <= id_b { (id_a, id_b) } else { (id_b, id_a) };
-        if let Some(d) = self.emd_memo.get(lo, hi) {
-            self.stats.emd_cache_hits += 1;
-            return Ok(d);
-        }
-        self.stats.emd_calls += 1;
-        self.ensure_mass(lo);
-        self.ensure_mass(hi);
-        // Arena histograms all share the criterion's spec, so no per-pair
-        // compatibility check is needed; conventions and the fold are the
-        // backend layer's single source, so the bits cannot drift from
-        // `Emd::distance`.
-        let d = crate::emd::backend::one_d_from_parts(
-            self.hist_arena[lo as usize].is_empty(),
-            self.hist_arena[hi as usize].is_empty(),
-            self.masses[lo as usize].as_deref().expect("cached"),
-            self.masses[hi as usize].as_deref().expect("cached"),
-            &self.criterion.hist,
-        );
+        let d = self.compute_pair(lo, hi)?;
         self.emd_memo.insert(lo, hi, d);
         Ok(d)
     }
 
     /// Appends `id` to the distinct-id list if unseen, returning its slot.
-    fn slot_of(distinct: &mut Vec<u32>, id: u32) -> usize {
-        match distinct.iter().position(|&d| d == id) {
-            Some(slot) => slot,
-            None => {
-                distinct.push(id);
-                distinct.len() - 1
+    /// `lookup` is the dense content-id → slot table; callers reset the
+    /// touched entries (one per distinct id) when the batch ends.
+    fn slot_of(lookup: &mut Vec<u32>, distinct: &mut Vec<u32>, id: u32) -> u32 {
+        let i = id as usize;
+        if i >= lookup.len() {
+            lookup.resize(i + 1, NONE32);
+        }
+        let slot = lookup[i];
+        if slot != NONE32 {
+            return slot;
+        }
+        let slot = distinct.len() as u32;
+        distinct.push(id);
+        lookup[i] = slot;
+        slot
+    }
+
+    /// Clears the slot-lookup entries a batch touched.
+    fn reset_slots(lookup: &mut [u32], distinct: &[u32]) {
+        for &id in distinct {
+            lookup[id as usize] = NONE32;
+        }
+    }
+
+    /// Computes every distinct slot pair of a batch the memo could not
+    /// serve, inserting each distance into the memo and mirroring it into
+    /// the batch's slot table. The batched backend folds pair by pair from
+    /// the hoisted mass arena; the kernel backend gathers the distinct
+    /// masses into one bin-major SoA matrix and folds **all** missing
+    /// pairs together, one bin level at a time. Both execute the reference
+    /// per-pair operation sequence, so the memoized bits are identical.
+    fn compute_missing(&mut self, distinct: &[u32], missing: &[(u32, u32)], table: &mut [f64]) {
+        if missing.is_empty() {
+            return;
+        }
+        self.stats.emd_calls += missing.len();
+        let d = distinct.len();
+        let spec = self.criterion.hist;
+        if self.criterion.emd.backend() == EmdBackendKind::Kernel {
+            for &id in distinct {
+                self.contents.ensure_mass(id);
+            }
+            let bins = self.contents.bins;
+            let mut soa = std::mem::take(&mut self.scratch.soa);
+            soa.clear();
+            soa.resize(bins * d, 0.0);
+            for (slot, &id) in distinct.iter().enumerate() {
+                for (bin, &m) in self.contents.mass(id).iter().enumerate() {
+                    soa[bin * d + slot] = m;
+                }
+            }
+            let mut cum = std::mem::take(&mut self.scratch.cum);
+            let mut total = std::mem::take(&mut self.scratch.total);
+            let mut folded = std::mem::take(&mut self.scratch.folded);
+            folded.clear();
+            crate::emd::kernel::fold_pairs(
+                &soa,
+                d,
+                bins,
+                missing,
+                spec.bin_width(),
+                &mut cum,
+                &mut total,
+                &mut folded,
+            );
+            for (p, &(i, j)) in missing.iter().enumerate() {
+                let (a, b) = (distinct[i as usize], distinct[j as usize]);
+                let mut v = folded[p];
+                if let Some(c) = crate::emd::backend::convention(
+                    self.contents.is_empty(a),
+                    self.contents.is_empty(b),
+                    &spec,
+                ) {
+                    v = c;
+                }
+                let (lo, hi) = canon(a, b);
+                self.emd_memo.insert(lo, hi, v);
+                table[i as usize * d + j as usize] = v;
+                table[j as usize * d + i as usize] = v;
+            }
+            self.scratch.soa = soa;
+            self.scratch.cum = cum;
+            self.scratch.total = total;
+            self.scratch.folded = folded;
+        } else {
+            for &(i, j) in missing {
+                let (a, b) = (distinct[i as usize], distinct[j as usize]);
+                self.contents.ensure_mass(a);
+                self.contents.ensure_mass(b);
+                let v = crate::emd::backend::one_d_from_parts(
+                    self.contents.is_empty(a),
+                    self.contents.is_empty(b),
+                    self.contents.mass(a),
+                    self.contents.mass(b),
+                    &spec,
+                );
+                let (lo, hi) = canon(a, b);
+                self.emd_memo.insert(lo, hi, v);
+                table[i as usize * d + j as usize] = v;
+                table[j as usize * d + i as usize] = v;
             }
         }
     }
 
-    /// The batched backend's pairwise aggregation: resolve each *distinct*
-    /// content pair once (through the memo), then expand to the full
-    /// `C(L, 2)` vector in the reference lexicographic order. Fine
+    /// The batching backends' pairwise aggregation: resolve each *distinct*
+    /// content pair once (through the memo), then aggregate the full
+    /// `C(L, 2)` sequence in the reference lexicographic order, streamed
+    /// straight out of the distinct×distinct table — the expanded vector
+    /// (millions of entries over fine partitionings) is never stored. Fine
     /// partitionings repeat the same few score distributions constantly,
     /// so this replaces the per-pair memo walk with `C(D, 2)` resolutions
-    /// for `D` distinct contents plus a table expansion.
-    fn batch_pairwise(&mut self, ids: &[u32]) -> Result<Vec<f64>> {
+    /// for `D` distinct contents plus a streamed expansion.
+    fn batch_pairwise_value(&mut self, ids: &[u32]) -> f64 {
         self.stats.pairwise_batches += 1;
         let n = ids.len();
-        let mut out = Vec::with_capacity(n.saturating_sub(1) * n / 2);
         if n < 2 {
-            return Ok(out);
+            return self.criterion.aggregator.apply(&[]);
         }
-        let mut distinct: Vec<u32> = Vec::new();
-        let mut slots: Vec<u32> = Vec::with_capacity(n);
+        let mut distinct = std::mem::take(&mut self.scratch.distinct);
+        distinct.clear();
+        let mut lookup = std::mem::take(&mut self.scratch.slot_lookup);
+        let mut slots = std::mem::take(&mut self.scratch.slots);
+        slots.clear();
         for &id in ids {
-            slots.push(Self::slot_of(&mut distinct, id) as u32);
+            slots.push(Self::slot_of(&mut lookup, &mut distinct, id));
         }
+        Self::reset_slots(&mut lookup, &distinct);
         let d = distinct.len();
         // The diagonal stays 0.0 — exactly what a self-pair computes (the
         // mass differences are exact zeros, so the fold yields +0.0).
-        let mut table = vec![0.0f64; d * d];
+        let mut table = std::mem::take(&mut self.scratch.table);
+        table.clear();
+        table.resize(d * d, 0.0);
+        let mut missing = std::mem::take(&mut self.scratch.missing);
+        missing.clear();
         for i in 0..d {
             for j in (i + 1)..d {
-                let v = self.batched_distance(distinct[i], distinct[j])?;
-                table[i * d + j] = v;
-                table[j * d + i] = v;
-            }
-        }
-        for i in 0..n {
-            for j in (i + 1)..n {
-                out.push(table[slots[i] as usize * d + slots[j] as usize]);
-            }
-        }
-        Ok(out)
-    }
-
-    /// The batched backend's cross aggregation (left outer, right inner),
-    /// resolving each distinct content pair once.
-    fn batch_cross(&mut self, left: &[u32], right: &[u32]) -> Result<Vec<f64>> {
-        self.stats.pairwise_batches += 1;
-        let mut distinct: Vec<u32> = Vec::new();
-        let left_slots: Vec<u32> = left
-            .iter()
-            .map(|&id| Self::slot_of(&mut distinct, id) as u32)
-            .collect();
-        let right_slots: Vec<u32> = right
-            .iter()
-            .map(|&id| Self::slot_of(&mut distinct, id) as u32)
-            .collect();
-        let d = distinct.len();
-        let mut table = vec![0.0f64; d * d];
-        let mut have = vec![false; d * d];
-        let mut out = Vec::with_capacity(left.len() * right.len());
-        for &ls in &left_slots {
-            for &rs in &right_slots {
-                let v = if ls == rs {
-                    0.0 // self-pair: exact zero, same as a fresh fold
+                let (lo, hi) = canon(distinct[i], distinct[j]);
+                if let Some(v) = self.emd_memo.get(lo, hi) {
+                    self.stats.emd_cache_hits += 1;
+                    table[i * d + j] = v;
+                    table[j * d + i] = v;
                 } else {
-                    let (a, b) = if ls <= rs { (ls, rs) } else { (rs, ls) };
-                    let idx = a as usize * d + b as usize;
-                    if !have[idx] {
-                        table[idx] =
-                            self.batched_distance(distinct[a as usize], distinct[b as usize])?;
-                        have[idx] = true;
-                    }
-                    table[idx]
-                };
-                out.push(v);
+                    missing.push((i as u32, j as u32));
+                }
             }
         }
-        Ok(out)
+        self.compute_missing(&distinct, &missing, &mut table);
+        let value = self.criterion.aggregator.apply_iter(|| {
+            (0..n).flat_map(|i| {
+                let row = &table[slots[i] as usize * d..][..d];
+                slots[i + 1..].iter().map(move |&sj| row[sj as usize])
+            })
+        });
+        self.scratch.distinct = distinct;
+        self.scratch.slot_lookup = lookup;
+        self.scratch.slots = slots;
+        self.scratch.table = table;
+        self.scratch.missing = missing;
+        value
     }
 
-    /// All pairwise distances over content ids in `(0,1), (0,2), …` order —
-    /// per-pair memo lookups for the `1d`/`transport` backends, one batch
-    /// for `batched`.
-    fn pairwise_dists(&mut self, ids: &[u32]) -> Result<Vec<f64>> {
-        if self.criterion.emd.backend() == EmdBackendKind::Batched {
-            return self.batch_pairwise(ids);
+    /// The batching backends' cross aggregation (left outer, right inner),
+    /// resolving each distinct content pair once and streaming the
+    /// expansion into the aggregator.
+    fn batch_cross_value(&mut self, left: &[u32], right: &[u32]) -> f64 {
+        self.stats.pairwise_batches += 1;
+        let mut distinct = std::mem::take(&mut self.scratch.distinct);
+        distinct.clear();
+        let mut lookup = std::mem::take(&mut self.scratch.slot_lookup);
+        let mut lslots = std::mem::take(&mut self.scratch.slots);
+        lslots.clear();
+        let mut rslots = std::mem::take(&mut self.scratch.slots2);
+        rslots.clear();
+        for &id in left {
+            lslots.push(Self::slot_of(&mut lookup, &mut distinct, id));
         }
+        for &id in right {
+            rslots.push(Self::slot_of(&mut lookup, &mut distinct, id));
+        }
+        Self::reset_slots(&mut lookup, &distinct);
+        let d = distinct.len();
+        let mut table = std::mem::take(&mut self.scratch.table);
+        table.clear();
+        table.resize(d * d, 0.0);
+        let mut have = std::mem::take(&mut self.scratch.have);
+        have.clear();
+        have.resize(d * d, false);
+        let mut missing = std::mem::take(&mut self.scratch.missing);
+        missing.clear();
+        for &ls in &lslots {
+            for &rs in &rslots {
+                if ls == rs {
+                    continue; // self-pair: exact zero, same as a fresh fold
+                }
+                let (a, b) = if ls <= rs { (ls, rs) } else { (rs, ls) };
+                let idx = a as usize * d + b as usize;
+                if have[idx] {
+                    continue;
+                }
+                have[idx] = true;
+                let (lo, hi) = canon(distinct[a as usize], distinct[b as usize]);
+                if let Some(v) = self.emd_memo.get(lo, hi) {
+                    self.stats.emd_cache_hits += 1;
+                    table[idx] = v;
+                    table[b as usize * d + a as usize] = v;
+                } else {
+                    missing.push((a, b));
+                }
+            }
+        }
+        self.compute_missing(&distinct, &missing, &mut table);
+        let value = self.criterion.aggregator.apply_iter(|| {
+            lslots.iter().flat_map(|&ls| {
+                let row = &table[ls as usize * d..][..d];
+                rslots
+                    .iter()
+                    .map(move |&rs| if ls == rs { 0.0 } else { row[rs as usize] })
+            })
+        });
+        self.scratch.distinct = distinct;
+        self.scratch.slot_lookup = lookup;
+        self.scratch.slots = lslots;
+        self.scratch.slots2 = rslots;
+        self.scratch.table = table;
+        self.scratch.have = have;
+        self.scratch.missing = missing;
+        value
+    }
+
+    /// Whether the criterion's backend resolves aggregations batch-wise.
+    fn batching(&self) -> bool {
+        matches!(
+            self.criterion.emd.backend(),
+            EmdBackendKind::Batched | EmdBackendKind::Kernel
+        )
+    }
+
+    /// All pairwise distances over content ids in `(0,1), (0,2), …` order,
+    /// through per-pair memo lookups (the `1d`/`transport` backends; the
+    /// batching backends aggregate without materializing, via
+    /// [`Self::batch_pairwise_value`]).
+    fn pairwise_dists_into(&mut self, ids: &[u32], out: &mut Vec<f64>) -> Result<()> {
         let n = ids.len();
-        let mut dists = Vec::with_capacity(n.saturating_sub(1) * n / 2);
+        out.reserve(n.saturating_sub(1) * n / 2);
         for i in 0..n {
             for j in (i + 1)..n {
-                dists.push(self.distance(ids[i], ids[j])?);
+                let d = self.distance(ids[i], ids[j])?;
+                out.push(d);
             }
         }
-        Ok(dists)
+        Ok(())
     }
 
-    /// All cross distances (left outer, right inner) over content ids.
-    fn cross_dists(&mut self, left: &[u32], right: &[u32]) -> Result<Vec<f64>> {
-        if self.criterion.emd.backend() == EmdBackendKind::Batched {
-            return self.batch_cross(left, right);
-        }
-        let mut dists = Vec::with_capacity(left.len() * right.len());
+    /// All cross distances (left outer, right inner) over content ids,
+    /// through per-pair memo lookups.
+    fn cross_dists_into(&mut self, left: &[u32], right: &[u32], out: &mut Vec<f64>) -> Result<()> {
+        out.reserve(left.len() * right.len());
         for &a in left {
             for &b in right {
-                dists.push(self.distance(a, b)?);
+                let d = self.distance(a, b)?;
+                out.push(d);
             }
         }
-        Ok(dists)
+        Ok(())
     }
 
     /// Aggregated pairwise distance over content-identified histograms, in
     /// the same `(0,1), (0,2), …` order as `pairwise_distances`.
     fn pairwise_value(&mut self, ids: &[u32]) -> Result<f64> {
-        let dists = self.pairwise_dists(ids)?;
-        Ok(self.criterion.aggregator.apply(&dists))
+        if self.batching() {
+            return Ok(self.batch_pairwise_value(ids));
+        }
+        let mut dists = std::mem::take(&mut self.scratch.dists);
+        dists.clear();
+        let result = self
+            .pairwise_dists_into(ids, &mut dists)
+            .map(|()| self.criterion.aggregator.apply(&dists));
+        self.scratch.dists = dists;
+        result
+    }
+
+    /// Aggregated cross distance (left outer, right inner) over content
+    /// ids, in the same order as `cross_distances`.
+    fn cross_value(&mut self, left: &[u32], right: &[u32]) -> Result<f64> {
+        if self.batching() {
+            return Ok(self.batch_cross_value(left, right));
+        }
+        let mut dists = std::mem::take(&mut self.scratch.dists);
+        dists.clear();
+        let result = self
+            .cross_dists_into(left, right, &mut dists)
+            .map(|()| self.criterion.aggregator.apply(&dists));
+        self.scratch.dists = dists;
+        result
     }
 
     /// `unfairness(P, f)` with cached histograms and memoized distances —
@@ -575,23 +1037,28 @@ impl<'a> SplitEngine<'a> {
     /// and exhaustive searches, whose states revisit the same partitions
     /// over and over.
     pub fn unfairness(&mut self, partitions: &[Partition]) -> Result<f64> {
-        let mut ids = Vec::with_capacity(partitions.len());
+        let mut ids = std::mem::take(&mut self.scratch.ids);
+        ids.clear();
         for p in partitions {
             ids.push(self.hist_id(p));
         }
-        self.pairwise_value(&ids)
+        let result = self.pairwise_value(&ids);
+        self.scratch.ids = ids;
+        result
     }
 
     /// Aggregate distance of `partition` vs. each of `others` — the memoized
     /// drop-in for [`FairnessCriterion::versus`] (same distance order).
     pub fn versus(&mut self, partition: &Partition, others: &[Partition]) -> Result<f64> {
         let id = self.hist_id(partition);
-        let mut other_ids = Vec::with_capacity(others.len());
+        let mut other_ids = std::mem::take(&mut self.scratch.ids);
+        other_ids.clear();
         for other in others {
             other_ids.push(self.hist_id(other));
         }
-        let dists = self.cross_dists(&[id], &other_ids)?;
-        Ok(self.criterion.aggregator.apply(&dists))
+        let result = self.cross_value(&[id], &other_ids);
+        self.scratch.ids = other_ids;
+        result
     }
 
     /// Aggregate of all child-vs-sibling distances (Algorithm 1 line 8),
@@ -602,12 +1069,14 @@ impl<'a> SplitEngine<'a> {
         candidate: &CandidateSplit,
         siblings: &[Partition],
     ) -> Result<f64> {
-        let mut sib_ids = Vec::with_capacity(siblings.len());
+        let mut sib_ids = std::mem::take(&mut self.scratch.ids);
+        sib_ids.clear();
         for s in siblings {
             sib_ids.push(self.hist_id(s));
         }
-        let dists = self.cross_dists(&candidate.child_ids, &sib_ids)?;
-        Ok(self.criterion.aggregator.apply(&dists))
+        let result = self.cross_value(&candidate.child_ids, &sib_ids);
+        self.scratch.ids = sib_ids;
+        result
     }
 
     /// The holistic split test: `unfairness(siblings ∪ {current})` vs.
@@ -620,75 +1089,98 @@ impl<'a> SplitEngine<'a> {
         current: &Partition,
         candidate: &CandidateSplit,
     ) -> Result<(f64, f64)> {
-        let mut ids = Vec::with_capacity(siblings.len() + 1);
+        let mut ids = std::mem::take(&mut self.scratch.ids);
+        ids.clear();
         for s in siblings {
             ids.push(self.hist_id(s));
         }
         ids.push(self.hist_id(current));
-        let before = self.pairwise_value(&ids)?;
-        ids.truncate(siblings.len());
-        ids.extend(candidate.child_ids.iter().copied());
-        let after = self.pairwise_value(&ids)?;
-        Ok((before, after))
+        let result = match self.pairwise_value(&ids) {
+            Ok(before) => {
+                ids.truncate(siblings.len());
+                ids.extend(candidate.child_ids.iter().copied());
+                self.pairwise_value(&ids).map(|after| (before, after))
+            }
+            Err(e) => Err(e),
+        };
+        self.scratch.ids = ids;
+        result
     }
 
     /// `mostUnfair(current, f, A)` via one-pass counting splits: each
     /// candidate attribute is scored with a single scan over the node's
-    /// rows accumulating `counts[value][bin]`, so no child row vector is
-    /// ever materialized here. Attributes producing fewer than two children
-    /// (or any child below `min_partition_size`) are not candidates, and
-    /// ties keep the earlier attribute — both exactly as the naive
-    /// evaluation. Returns the winner (with its histograms and pairwise
-    /// distances preserved for the recursion) and the number of candidate
-    /// splits scored.
+    /// rows accumulating `counts[value][bin]` into a reused flat grid, so
+    /// no child row vector (or per-attribute table) is ever materialized
+    /// here. Attributes producing fewer than two children (or any child
+    /// below `min_partition_size`) are not candidates, and ties keep the
+    /// earlier attribute — both exactly as the naive evaluation. Returns
+    /// the winner (with its histograms and pairwise distances preserved
+    /// for the recursion) and the number of candidate splits scored.
     pub fn best_split(
         &mut self,
         current: &Partition,
         avail: &[usize],
         min_partition_size: usize,
     ) -> Result<(Option<CandidateSplit>, usize)> {
-        let bins = self.criterion.hist.bins();
+        let bins = self.contents.bins;
+        let space = self.space;
+        let node = self.paths.node_of(&current.path);
+        let mut counts = std::mem::take(&mut self.scratch.counts);
+        let mut sizes = std::mem::take(&mut self.scratch.sizes);
         let mut best: Option<CandidateSplit> = None;
         let mut scored = 0usize;
+        let mut failure = None;
         for &attr in avail {
-            let Some(attribute) = self.space.attribute(attr) else {
+            let Some(attribute) = space.attribute(attr) else {
                 continue;
             };
             let card = attribute.cardinality();
-            let mut counts = vec![0u64; card * bins];
-            let mut sizes = vec![0usize; card];
+            counts.clear();
+            counts.resize(card * bins, 0);
+            sizes.clear();
+            sizes.resize(card, 0);
             for &row in &current.rows {
                 let code = attribute.codes[row as usize] as usize;
                 counts[code * bins + self.bin_codes[row as usize] as usize] += 1;
                 sizes[code] += 1;
             }
-            let present: Vec<usize> = (0..card).filter(|&c| sizes[c] > 0).collect();
-            if present.len() < 2 {
+            let present = sizes.iter().filter(|&&s| s > 0).count();
+            if present < 2 {
                 continue;
             }
-            if present.iter().any(|&c| sizes[c] < min_partition_size) {
+            if sizes
+                .iter()
+                .any(|&s| s > 0 && (s as usize) < min_partition_size)
+            {
                 continue;
             }
             scored += 1;
-            let mut child_ids = Vec::with_capacity(present.len());
-            for &code in &present {
-                let mut path = current.path.clone();
-                path.push(PathStep {
-                    attr,
-                    code: code as u32,
-                });
-                let id = match self.hists.get(&path) {
+            let mut child_ids = Vec::with_capacity(present);
+            for (code, &size) in sizes.iter().enumerate() {
+                if size == 0 {
+                    continue;
+                }
+                let child = self.paths.child_node(node, pack_step(attr, code as u32));
+                let id = match self.paths.content(child) {
                     Some(id) => id,
                     None => {
                         self.stats.histograms_built += 1;
-                        let id = self.intern(&counts[code * bins..(code + 1) * bins]);
-                        self.hists.insert(path, id);
+                        let id = self
+                            .contents
+                            .intern(&counts[code * bins..(code + 1) * bins]);
+                        self.paths.set_content(child, id);
                         id
                     }
                 };
                 child_ids.push(id);
             }
-            let value = self.pairwise_value(&child_ids)?;
+            let value = match self.pairwise_value(&child_ids) {
+                Ok(v) => v,
+                Err(e) => {
+                    failure = Some(e);
+                    break;
+                }
+            };
             let better = match &best {
                 None => true,
                 Some(incumbent) => self.criterion.objective.is_better(value, incumbent.value),
@@ -701,7 +1193,12 @@ impl<'a> SplitEngine<'a> {
                 });
             }
         }
-        Ok((best, scored))
+        self.scratch.counts = counts;
+        self.scratch.sizes = sizes;
+        match failure {
+            Some(e) => Err(e),
+            None => Ok((best, scored)),
+        }
     }
 }
 
@@ -872,10 +1369,8 @@ mod tests {
         let crit = FairnessCriterion::default();
         let mut compact = SplitEngine::new(&s, crit);
         assert!(compact.uses_compact_caches());
-        let mut hashed = SplitEngine::new(&s, crit);
-        hashed.hists = PathCache::Hashed(EngineMap::default());
-        hashed.content_ids = ContentCache::Hashed(EngineMap::default());
-        hashed.emd_memo = EmdMemo::Hashed(EngineMap::default());
+        let mut hashed = SplitEngine::new_with_layout(&s, crit, false);
+        assert!(!hashed.uses_compact_caches());
 
         let root = Partition::root(&s);
         let parts = root.split(&s, 0);
@@ -909,6 +1404,56 @@ mod tests {
         assert_eq!(memo.get(0, 1), Some(0.5));
         assert_eq!(memo.get(40, 3), Some(0.25));
         assert_eq!(memo.get(3, 40), None);
+    }
+
+    #[test]
+    fn flat_memo_grows_and_keeps_entries() {
+        let mut memo = FlatMemo::new();
+        // Push well past the initial 64-slot capacity (50% load → several
+        // doublings) and verify nothing is lost or corrupted.
+        for a in 0..40u32 {
+            for b in a..40u32 {
+                memo.insert(EmdMemo::pack(a, b), (a * 100 + b) as f64);
+            }
+        }
+        for a in 0..40u32 {
+            for b in a..40u32 {
+                assert_eq!(
+                    memo.get(EmdMemo::pack(a, b)),
+                    Some((a * 100 + b) as f64),
+                    "({a},{b})"
+                );
+            }
+        }
+        assert_eq!(memo.get(EmdMemo::pack(41, 41)), None);
+        // Overwrites update in place, not duplicate.
+        let len = memo.len;
+        memo.insert(EmdMemo::pack(0, 0), 9.0);
+        assert_eq!(memo.get(EmdMemo::pack(0, 0)), Some(9.0));
+        assert_eq!(memo.len, len);
+    }
+
+    #[test]
+    fn path_trie_distinguishes_prefixes_and_orders() {
+        let mut trie = PathTrie::new();
+        let a = PathStep { attr: 0, code: 1 };
+        let b = PathStep { attr: 1, code: 0 };
+        let root = trie.node_of(&[]);
+        let na = trie.node_of(&[a]);
+        let nab = trie.node_of(&[a, b]);
+        let nba = trie.node_of(&[b, a]);
+        // All four paths are distinct nodes; repeated walks are stable.
+        let nodes = [root, na, nab, nba];
+        for (i, &x) in nodes.iter().enumerate() {
+            for &y in &nodes[i + 1..] {
+                assert_ne!(x, y);
+            }
+        }
+        assert_eq!(trie.node_of(&[a, b]), nab);
+        assert_eq!(trie.content(nab), None);
+        trie.set_content(nab, 7);
+        assert_eq!(trie.content(nab), Some(7));
+        assert_eq!(trie.content(na), None);
     }
 
     #[test]
@@ -946,22 +1491,68 @@ mod tests {
     }
 
     #[test]
-    fn batch_dedup_collapses_repeated_contents() {
+    fn kernel_backend_matches_batched_engine_bitwise() {
         use crate::emd::{Emd, EmdBackendKind};
         let s = space();
-        let mut engine = SplitEngine::new(
+        let mut batched = SplitEngine::new(
             &s,
             FairnessCriterion::default().with_emd(Emd::new(EmdBackendKind::Batched)),
         );
-        let parts = Partition::root(&s).split(&s, 0);
-        // Four partitions but only two distinct contents: C(4,2) = 6 leaf
-        // pairs collapse to a single distinct-pair resolution.
-        let doubled: Vec<Partition> =
-            parts.iter().chain(parts.iter()).cloned().collect();
-        let _ = engine.unfairness(&doubled).unwrap();
-        let stats = engine.stats();
-        assert_eq!(stats.pairwise_batches, 1);
-        assert_eq!(stats.emd_calls + stats.emd_cache_hits, 1, "stats: {stats:?}");
+        let mut kernel = SplitEngine::new(
+            &s,
+            FairnessCriterion::default().with_emd(Emd::new(EmdBackendKind::Kernel)),
+        );
+        let root = Partition::root(&s);
+        let parts = root.split(&s, 0);
+        // Same values, bit for bit — the SoA fold replays the reference
+        // per-pair operation sequence — and the same work counters: the
+        // kernel path only changes *how* a batch's misses are folded.
+        for engine in [&mut batched, &mut kernel] {
+            let _ = engine.best_split(&root, &[0, 1], 1).unwrap();
+        }
+        let ub = batched.unfairness(&parts).unwrap();
+        let uk = kernel.unfairness(&parts).unwrap();
+        assert_eq!(ub.to_bits(), uk.to_bits());
+        let vb = batched.versus(&parts[0], &parts[1..]).unwrap();
+        let vk = kernel.versus(&parts[0], &parts[1..]).unwrap();
+        assert_eq!(vb.to_bits(), vk.to_bits());
+        let (cb, _) = batched.best_split(&parts[0], &[1], 1).unwrap();
+        let cb = cb.expect("noise splits the F partition");
+        let hb = batched
+            .holistic_values(&parts[1..], &parts[0], &cb)
+            .unwrap();
+        let (ck, _) = kernel.best_split(&parts[0], &[1], 1).unwrap();
+        let ck = ck.expect("noise splits the F partition");
+        let hk = kernel.holistic_values(&parts[1..], &parts[0], &ck).unwrap();
+        assert_eq!(hb.0.to_bits(), hk.0.to_bits());
+        assert_eq!(hb.1.to_bits(), hk.1.to_bits());
+        assert_eq!(batched.stats(), kernel.stats());
+        assert!(kernel.stats().pairwise_batches > 0);
+    }
+
+    #[test]
+    fn batch_dedup_collapses_repeated_contents() {
+        use crate::emd::{Emd, EmdBackendKind};
+        for backend in [EmdBackendKind::Batched, EmdBackendKind::Kernel] {
+            let s = space();
+            let mut engine = SplitEngine::new(
+                &s,
+                FairnessCriterion::default().with_emd(Emd::new(backend)),
+            );
+            let parts = Partition::root(&s).split(&s, 0);
+            // Four partitions but only two distinct contents: C(4,2) = 6 leaf
+            // pairs collapse to a single distinct-pair resolution.
+            let doubled: Vec<Partition> =
+                parts.iter().chain(parts.iter()).cloned().collect();
+            let _ = engine.unfairness(&doubled).unwrap();
+            let stats = engine.stats();
+            assert_eq!(stats.pairwise_batches, 1, "{backend:?}");
+            assert_eq!(
+                stats.emd_calls + stats.emd_cache_hits,
+                1,
+                "{backend:?} stats: {stats:?}"
+            );
+        }
     }
 
     #[test]

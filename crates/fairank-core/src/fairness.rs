@@ -38,23 +38,64 @@ impl Aggregator {
     /// than two partitions) aggregates to `0.0`: a single group cannot be
     /// treated unequally.
     pub fn apply(&self, distances: &[f64]) -> f64 {
-        if distances.is_empty() {
+        self.apply_iter(|| distances.iter().copied())
+    }
+
+    /// Applies the aggregator to a *replayable* stream of distances without
+    /// materializing them — the split engine's batched aggregations feed
+    /// `C(L, 2)` expanded values straight from a distinct-pair table, which
+    /// for fine partitionings is millions of reads better left unstored.
+    /// `distances` may be invoked more than once (the variance family
+    /// takes two passes), and every invocation must yield the same
+    /// sequence. The floating-point operation order per variant is
+    /// identical to feeding the materialized sequence to [`apply`], so the
+    /// two entry points are bit-identical (pinned by a unit test).
+    ///
+    /// [`apply`]: Aggregator::apply
+    pub fn apply_iter<I, F>(&self, distances: F) -> f64
+    where
+        I: Iterator<Item = f64>,
+        F: Fn() -> I,
+    {
+        if distances().next().is_none() {
             return 0.0;
         }
         match self {
-            Aggregator::Mean => distances.iter().sum::<f64>() / distances.len() as f64,
-            Aggregator::Max => distances.iter().copied().fold(f64::NEG_INFINITY, f64::max),
-            Aggregator::Min => distances.iter().copied().fold(f64::INFINITY, f64::min),
-            Aggregator::Variance => {
-                let mean = distances.iter().sum::<f64>() / distances.len() as f64;
-                distances.iter().map(|d| (d - mean).powi(2)).sum::<f64>()
-                    / distances.len() as f64
+            Aggregator::Mean => {
+                let (sum, n) = Self::sum_count(distances());
+                sum / n as f64
             }
-            Aggregator::StdDev => Aggregator::Variance.apply(distances).sqrt(),
-            Aggregator::Range => {
-                Aggregator::Max.apply(distances) - Aggregator::Min.apply(distances)
-            }
+            Aggregator::Max => Self::max_of(distances()),
+            Aggregator::Min => Self::min_of(distances()),
+            Aggregator::Variance => Self::variance_of(&distances),
+            Aggregator::StdDev => Self::variance_of(&distances).sqrt(),
+            Aggregator::Range => Self::max_of(distances()) - Self::min_of(distances()),
         }
+    }
+
+    /// One-pass sum and count. The sum folds with `+` from `0.0`, exactly
+    /// like `Iterator::sum` over the same sequence.
+    fn sum_count(iter: impl Iterator<Item = f64>) -> (f64, usize) {
+        iter.fold((0.0, 0usize), |(s, n), d| (s + d, n + 1))
+    }
+
+    fn max_of(iter: impl Iterator<Item = f64>) -> f64 {
+        iter.fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    fn min_of(iter: impl Iterator<Item = f64>) -> f64 {
+        iter.fold(f64::INFINITY, f64::min)
+    }
+
+    /// Two-pass population variance of a non-empty replayable stream.
+    fn variance_of<I, F>(distances: &F) -> f64
+    where
+        I: Iterator<Item = f64>,
+        F: Fn() -> I,
+    {
+        let (sum, n) = Self::sum_count(distances());
+        let mean = sum / n as f64;
+        distances().map(|d| (d - mean).powi(2)).sum::<f64>() / n as f64
     }
 
     /// All aggregators, for sweeps in the exploration UI and experiments.
@@ -365,5 +406,28 @@ mod tests {
         assert_eq!(crit.hist.bins(), 5);
         assert_eq!(crit.objective, Objective::LeastUnfair);
         assert_eq!(crit.aggregator, Aggregator::Max);
+    }
+
+    #[test]
+    fn apply_iter_matches_apply_bitwise() {
+        // The streaming entry point must reproduce the slice entry point
+        // bit for bit — the engine's batch aggregation depends on it.
+        let sets: [&[f64]; 4] = [
+            &[],
+            &[0.25],
+            &[0.1, 0.7, 0.3, 0.3, 0.0],
+            &[1e-3, 0.999, 0.5, 1e-3, 0.42, 0.17, 0.17],
+        ];
+        for agg in Aggregator::all() {
+            for set in sets {
+                let direct = agg.apply(set);
+                let streamed = agg.apply_iter(|| set.iter().copied());
+                assert_eq!(
+                    direct.to_bits(),
+                    streamed.to_bits(),
+                    "{agg:?} on {set:?}: {direct} vs {streamed}"
+                );
+            }
+        }
     }
 }

@@ -170,11 +170,29 @@ impl Histogram {
     /// The normalized probability mass per bin. An empty histogram yields an
     /// all-zero mass vector (callers treat empty partitions specially).
     pub fn mass(&self) -> Vec<f64> {
+        let mut out = vec![0.0; self.counts.len()];
+        self.mass_into(&mut out);
+        out
+    }
+
+    /// Writes the normalized probability mass per bin into `out` without
+    /// allocating — the batch backends' fill primitive for preallocated
+    /// structure-of-arrays matrices. Produces exactly the bits of
+    /// [`Histogram::mass`] (same `count / total` division per bin); an
+    /// empty histogram writes all zeros.
+    ///
+    /// # Panics
+    /// If `out.len()` does not match the bin count.
+    pub fn mass_into(&self, out: &mut [f64]) {
+        assert_eq!(out.len(), self.counts.len(), "one slot per bin");
         if self.total == 0 {
-            return vec![0.0; self.counts.len()];
+            out.fill(0.0);
+            return;
         }
         let t = self.total as f64;
-        self.counts.iter().map(|&c| c as f64 / t).collect()
+        for (slot, &c) in out.iter_mut().zip(&self.counts) {
+            *slot = c as f64 / t;
+        }
     }
 
     /// Mean score approximated from bin centers (used for node statistics).
@@ -255,6 +273,28 @@ mod tests {
         let h = Histogram::from_scores(spec, (0..100).map(|i| i as f64 / 100.0));
         let sum: f64 = h.mass().iter().sum();
         assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mass_into_matches_mass_bitwise() {
+        let spec = HistogramSpec::unit(5).unwrap();
+        let h = Histogram::from_scores(spec, [0.05, 0.15, 0.25, 0.95, 1.0, 0.3]);
+        let mut out = vec![f64::NAN; 5];
+        h.mass_into(&mut out);
+        for (a, b) in h.mass().iter().zip(&out) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // Empty histograms overwrite stale slots with zeros.
+        let mut out = vec![f64::NAN; 5];
+        Histogram::empty(spec).mass_into(&mut out);
+        assert_eq!(out, vec![0.0; 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one slot per bin")]
+    fn mass_into_rejects_wrong_arity() {
+        let h = Histogram::empty(HistogramSpec::unit(5).unwrap());
+        h.mass_into(&mut [0.0; 3]);
     }
 
     #[test]

@@ -150,6 +150,17 @@ impl RankingSpace {
         &self.scores
     }
 
+    /// The largest cardinality over all attributes (0 when the space has
+    /// none) — what split evaluators size their per-value scratch tables
+    /// to, so one preallocation covers every candidate attribute.
+    pub fn max_cardinality(&self) -> usize {
+        self.attributes
+            .iter()
+            .map(ProtectedAttribute::cardinality)
+            .max()
+            .unwrap_or(0)
+    }
+
     /// Observed score range `(min, max)`.
     pub fn score_range(&self) -> (f64, f64) {
         let mut lo = f64::INFINITY;
@@ -295,6 +306,15 @@ mod tests {
         for (&code, &score) in codes.iter().zip(space.scores()) {
             assert_eq!(code as usize, spec.bin_of(score));
         }
+    }
+
+    #[test]
+    fn max_cardinality_spans_attributes() {
+        let bare = RankingSpace::new(vec![], vec![0.1]).unwrap();
+        assert_eq!(bare.max_cardinality(), 0);
+        let trio = ProtectedAttribute::from_values("trio", &["x", "y", "z", "x", "y"]);
+        let space = RankingSpace::new(vec![gender(), trio], vec![0.1; 5]).unwrap();
+        assert_eq!(space.max_cardinality(), 3);
     }
 
     #[test]

@@ -8,14 +8,30 @@
 //! every worker is busy and the queue is full, `run` blocks the submitting
 //! connection thread — the client simply observes a slower reply.
 
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
+/// Source of unique pool ids (see [`CURRENT_POOL`]).
+static NEXT_POOL_ID: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    /// The id of the pool this thread is a worker of, if any. Set once at
+    /// worker startup; `run`/`run_batch` consult it to detect a job
+    /// submitting to its own pool — such work runs inline on the worker
+    /// instead of being enqueued, because a fully-busy pool would never
+    /// pick it up while the submitting worker blocks on the result
+    /// (nested-submission deadlock).
+    static CURRENT_POOL: Cell<Option<u64>> = const { Cell::new(None) };
+}
+
 /// A fixed-size pool of worker threads consuming a bounded job queue.
 pub struct WorkerPool {
+    id: u64,
     sender: Option<SyncSender<Job>>,
     workers: Vec<JoinHandle<()>>,
 }
@@ -33,6 +49,7 @@ impl WorkerPool {
     /// pending jobs (both floored at 1).
     pub fn new(workers: usize, queue_depth: usize) -> Self {
         let workers = workers.max(1);
+        let id = NEXT_POOL_ID.fetch_add(1, Ordering::Relaxed);
         let (sender, receiver) = std::sync::mpsc::sync_channel::<Job>(queue_depth.max(1));
         let receiver = Arc::new(Mutex::new(receiver));
         let handles = (0..workers)
@@ -40,14 +57,30 @@ impl WorkerPool {
                 let receiver = Arc::clone(&receiver);
                 std::thread::Builder::new()
                     .name(format!("fairank-worker-{i}"))
-                    .spawn(move || worker_loop(&receiver))
+                    .spawn(move || {
+                        CURRENT_POOL.set(Some(id));
+                        worker_loop(&receiver);
+                    })
                     .expect("spawn worker thread")
             })
             .collect();
         WorkerPool {
+            id,
             sender: Some(sender),
             workers: handles,
         }
+    }
+
+    /// True when the calling thread is one of this pool's own workers —
+    /// i.e. a running job is submitting back into the pool it runs on.
+    fn on_own_worker(&self) -> bool {
+        CURRENT_POOL.get() == Some(self.id)
+    }
+
+    /// Runs a job on the calling thread with the same panic containment a
+    /// worker would apply (`None` for a panicked job).
+    fn run_inline<T>(job: impl FnOnce() -> T) -> Option<T> {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(job)).ok()
     }
 
     /// The host-sized worker count: one per available core, minus one for
@@ -76,11 +109,19 @@ impl WorkerPool {
     /// panic; a permanently shrinking pool would silently degrade the
     /// server to light-commands-only). Submission blocks while the queue
     /// is full (bounded backpressure).
+    ///
+    /// A job submitting to its own pool runs inline on the calling worker:
+    /// enqueueing would deadlock once every worker blocks on a nested
+    /// result no peer is free to compute, and running nested work on the
+    /// already-occupied worker keeps the concurrency cap intact.
     pub fn run<T, F>(&self, job: F) -> Option<T>
     where
         T: Send + 'static,
         F: FnOnce() -> T + Send + 'static,
     {
+        if self.on_own_worker() {
+            return Self::run_inline(job);
+        }
         let (tx, rx) = std::sync::mpsc::sync_channel::<T>(1);
         let sender = self.sender.as_ref().expect("pool is live until dropped");
         sender
@@ -103,13 +144,18 @@ impl WorkerPool {
     /// enqueueing blocks while the queue is full, and the already-queued
     /// jobs drain meanwhile.
     ///
-    /// Jobs must not submit work to the same pool (a job blocking on a
-    /// nested `run` could deadlock a fully-busy pool).
+    /// Like [`WorkerPool::run`], a batch submitted from one of this pool's
+    /// own workers runs inline (sequentially) on that worker instead of
+    /// being enqueued — nested submission must never deadlock a fully-busy
+    /// pool.
     pub fn run_batch<T, F>(&self, jobs: Vec<F>) -> Vec<Option<T>>
     where
         T: Send + 'static,
         F: FnOnce() -> T + Send + 'static,
     {
+        if self.on_own_worker() {
+            return jobs.into_iter().map(|job| Self::run_inline(job)).collect();
+        }
         let sender = self.sender.as_ref().expect("pool is live until dropped");
         let receivers: Vec<_> = jobs
             .into_iter()
@@ -204,6 +250,67 @@ mod tests {
         }
         // Never more heavy jobs in flight than workers.
         assert!(peak.load(Ordering::SeqCst) <= 2, "peak {}", peak.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn nested_submission_to_own_pool_does_not_deadlock() {
+        // Regression: a job calling `run`/`run_batch` on its own pool used
+        // to enqueue and block on the result. With every worker busy (here:
+        // the only worker is running the outer job), the nested job could
+        // never be picked up — the pool wedged forever. Nested submissions
+        // now execute inline on the submitting worker.
+        let pool = Arc::new(WorkerPool::new(1, 2));
+        let (done_tx, done_rx) = std::sync::mpsc::channel();
+        let inner_pool = Arc::clone(&pool);
+        std::thread::spawn(move || {
+            let outer = inner_pool.run({
+                let pool = Arc::clone(&inner_pool);
+                move || {
+                    let nested = pool.run(|| 21);
+                    let batch: Vec<Option<i32>> =
+                        pool.run_batch(vec![|| 1, || 2, || 3]);
+                    (nested, batch)
+                }
+            });
+            done_tx.send(outer).unwrap();
+        });
+        let outer = done_rx
+            .recv_timeout(std::time::Duration::from_secs(30))
+            .expect("nested submission deadlocked the pool");
+        let (nested, batch) = outer.expect("outer job completed");
+        assert_eq!(nested, Some(21));
+        assert_eq!(batch, vec![Some(1), Some(2), Some(3)]);
+        // Panic containment matches the enqueued path: inline nested jobs
+        // report None, and the worker survives.
+        let nested_panic = pool.run({
+            let pool = Arc::clone(&pool);
+            move || pool.run(|| -> i32 { panic!("nested job blew up") })
+        });
+        assert_eq!(nested_panic, Some(None));
+        assert_eq!(pool.run(|| 7), Some(7));
+    }
+
+    #[test]
+    fn worker_threads_know_their_own_pool_only() {
+        let a = WorkerPool::new(1, 1);
+        let b = WorkerPool::new(1, 1);
+        // A submitter thread is no pool's worker.
+        assert!(!a.on_own_worker());
+        // From inside pool `a`, submitting to `b` takes the normal queue
+        // path (distinct ids), and `a` recognizes itself.
+        // (Both facts observed from within the worker thread itself.)
+        let b = Arc::new(b);
+        let b2 = Arc::clone(&b);
+        let saw = a.run(move || {
+            let own = CURRENT_POOL.get().is_some();
+            let cross = b2.run(|| CURRENT_POOL.get());
+            (own, cross)
+        });
+        let (own, cross) = saw.expect("job ran");
+        assert!(own, "worker thread must carry its pool id");
+        // The job forwarded to `b` ran on b's worker, which carries b's id,
+        // not a's.
+        assert_eq!(cross, Some(Some(b.id)));
     }
 
     #[test]

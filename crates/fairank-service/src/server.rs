@@ -39,9 +39,10 @@ pub struct ServerConfig {
     /// Allow wire clients to run registry-admin commands (`sessions`,
     /// `evict <name>`). Off by default.
     pub admin: bool,
-    /// Evict sessions idle for at least this long. The sweep runs on the
-    /// accept loop (each new connection triggers one pass). `None` (the
-    /// default) keeps sessions forever.
+    /// Evict sessions idle for at least this long. A dedicated sweeper
+    /// thread wakes periodically (at most every [`sweep_interval`]), so
+    /// idle sessions expire even on a server that never accepts another
+    /// connection. `None` (the default) keeps sessions forever.
     pub session_ttl: Option<std::time::Duration>,
 }
 
@@ -107,20 +108,24 @@ impl Server {
     /// Serves connections on the calling thread until stopped.
     pub fn run(self) {
         let policy = self.policy;
+        // Idle-session TTL: a dedicated sweeper thread, NOT a pass on the
+        // accept loop. Sweeping only on accept meant a quiet server (no new
+        // connections) never expired anything — sessions pinned their
+        // memory until the next client happened to connect.
+        let sweeper = self.session_ttl.map(|ttl| {
+            spawn_ttl_sweeper(Arc::clone(&self.registry), Arc::clone(&self.stop), ttl)
+        });
         for stream in self.listener.incoming() {
             if self.stop.load(Ordering::SeqCst) {
                 break;
-            }
-            // Idle-session TTL: sweep on the accept loop, so the cost is
-            // one registry pass per new connection and an idle server
-            // holds no timers.
-            if let Some(ttl) = self.session_ttl {
-                self.registry.evict_idle(ttl);
             }
             let Ok(stream) = stream else { continue };
             let registry = Arc::clone(&self.registry);
             let pool = Arc::clone(&self.pool);
             std::thread::spawn(move || serve_connection(stream, &registry, &pool, policy));
+        }
+        if let Some(thread) = sweeper {
+            let _ = thread.join();
         }
     }
 
@@ -166,6 +171,43 @@ impl Drop for ServerHandle {
             let _ = thread.join();
         }
     }
+}
+
+/// Time between idle-session sweeps for a given TTL: half the TTL (so a
+/// session overstays by at most ~50%), clamped to `[5 ms, 1 s]` — the floor
+/// keeps tiny test TTLs from spinning, the ceiling bounds how stale the
+/// sweep can get on long TTLs.
+pub fn sweep_interval(ttl: std::time::Duration) -> std::time::Duration {
+    (ttl / 2).clamp(
+        std::time::Duration::from_millis(5),
+        std::time::Duration::from_secs(1),
+    )
+}
+
+/// Spawns the idle-session sweeper: wakes every [`sweep_interval`], evicts
+/// sessions idle past `ttl`, and exits promptly when `stop` is raised (it
+/// sleeps in short ticks so server shutdown never waits a full interval).
+fn spawn_ttl_sweeper(
+    registry: Arc<SessionRegistry>,
+    stop: Arc<AtomicBool>,
+    ttl: std::time::Duration,
+) -> JoinHandle<()> {
+    let interval = sweep_interval(ttl);
+    std::thread::Builder::new()
+        .name("fairank-ttl-sweeper".into())
+        .spawn(move || {
+            let tick = interval.min(std::time::Duration::from_millis(10));
+            let mut since_sweep = std::time::Duration::ZERO;
+            while !stop.load(Ordering::SeqCst) {
+                std::thread::sleep(tick);
+                since_sweep += tick;
+                if since_sweep >= interval {
+                    registry.evict_idle(ttl);
+                    since_sweep = std::time::Duration::ZERO;
+                }
+            }
+        })
+        .expect("sweeper thread spawns")
 }
 
 /// What a wire client is allowed to run (see [`ServerConfig`]).

@@ -1123,6 +1123,18 @@ mod tests {
     }
 
     #[test]
+    fn quantify_accepts_every_emd_backend_name() {
+        for kind in EmdBackendKind::all() {
+            let line = format!("quantify pop f emd={}", kind.name());
+            match Command::parse(&line).unwrap() {
+                Command::Quantify { emd, .. } => assert_eq!(emd, kind),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert!(Command::parse("quantify pop f emd=sideways").is_err());
+    }
+
+    #[test]
     fn parse_errors_are_informative() {
         assert!(Command::parse("bogus").is_err());
         assert!(Command::parse("load onlyname").is_err());
