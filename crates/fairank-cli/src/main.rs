@@ -112,26 +112,71 @@ fn flag_value<'a>(args: &'a [String], key: &str) -> Option<&'a str> {
         .map(String::as_str)
 }
 
-/// `fairank serve [--addr host:port] [--workers n] [--allow-fs] [--admin]
-/// [--session-ttl secs]` — the multi-session JSON-lines server. `--addr`
-/// with port 0 picks an ephemeral port; the actual address is printed as
-/// `listening on <addr>`. Filesystem commands
-/// (`load`/`save`/`open`/`export`/`scenario <file>`) are refused from the
-/// wire unless `--allow-fs` is given; registry admin (`sessions`/`evict`)
-/// is refused unless `--admin` is given. `--session-ttl` evicts sessions
-/// idle longer than the window (sweep runs on the accept loop; default:
-/// sessions live forever).
+/// Parses a duration flag value: `50ms`, `2s`, or a bare number of
+/// milliseconds (`250`).
+fn parse_duration(raw: &str) -> Option<std::time::Duration> {
+    if let Some(ms) = raw.strip_suffix("ms") {
+        ms.trim().parse::<u64>().ok().map(std::time::Duration::from_millis)
+    } else if let Some(secs) = raw.strip_suffix('s') {
+        secs.trim().parse::<u64>().ok().map(std::time::Duration::from_secs)
+    } else {
+        raw.parse::<u64>().ok().map(std::time::Duration::from_millis)
+    }
+}
+
+const SERVE_USAGE: &str = "usage: fairank serve [--addr host:port] [--workers n] \
+[--queue-depth n] [--session-cap n] [--request-timeout dur] [--session-ttl secs] \
+[--allow-fs] [--admin]
+
+  --addr host:port     bind address (default 127.0.0.1:4915; port 0 = ephemeral)
+  --workers n          worker threads for compute requests (default: host cores - 1)
+  --queue-depth n      pending compute jobs held before new ones are refused
+                       with the structured `overloaded` error (default: 2x workers)
+  --session-cap n      max in-flight compute requests per session; extras are
+                       refused with `overloaded` (default: unlimited)
+  --request-timeout d  per-request compute deadline, e.g. 500ms or 2s (bare
+                       number = milliseconds); expired requests return the
+                       structured `deadline_exceeded` error with partial stats
+  --session-ttl secs   evict sessions idle longer than this
+  --allow-fs           permit load/save/open/export/scenario-file from the wire
+  --admin              permit registry admin (sessions/evict) from the wire";
+
+/// `fairank serve` — the multi-session JSON-lines server. `--addr` with
+/// port 0 picks an ephemeral port; the actual address is printed as
+/// `listening on <addr>`. See [`SERVE_USAGE`] for the operational-limit
+/// flags (`--queue-depth`, `--session-cap`, `--request-timeout`) and the
+/// structured errors they map to.
 fn serve_mode(args: &[String]) {
+    if args.iter().any(|a| a == "--help") {
+        println!("{SERVE_USAGE}");
+        return;
+    }
     let addr = flag_value(args, "--addr").unwrap_or("127.0.0.1:4915");
-    let workers = flag_value(args, "--workers")
-        .map(|raw| match raw.parse::<usize>() {
-            Ok(n) => n,
-            Err(_) => {
-                eprintln!("--workers must be a number, got {raw:?}");
+    let parse_count = |flag: &str| -> usize {
+        flag_value(args, flag)
+            .map(|raw| match raw.parse::<usize>() {
+                Ok(n) => n,
+                Err(_) => {
+                    eprintln!("{flag} must be a number, got {raw:?}");
+                    std::process::exit(2);
+                }
+            })
+            .unwrap_or(0)
+    };
+    let workers = parse_count("--workers");
+    let queue_depth = parse_count("--queue-depth");
+    let session_inflight_cap = parse_count("--session-cap");
+    let request_timeout = flag_value(args, "--request-timeout").map(|raw| {
+        match parse_duration(raw) {
+            Some(d) if !d.is_zero() => d,
+            _ => {
+                eprintln!(
+                    "--request-timeout must be a duration like 500ms or 2s, got {raw:?}"
+                );
                 std::process::exit(2);
             }
-        })
-        .unwrap_or(0);
+        }
+    });
     let session_ttl = flag_value(args, "--session-ttl").map(|raw| {
         match raw.parse::<u64>() {
             Ok(secs) if secs > 0 => std::time::Duration::from_secs(secs),
@@ -143,10 +188,12 @@ fn serve_mode(args: &[String]) {
     });
     let config = ServerConfig {
         workers,
-        queue_depth: 0,
+        queue_depth,
         allow_fs_commands: args.iter().any(|a| a == "--allow-fs"),
         admin: args.iter().any(|a| a == "--admin"),
         session_ttl,
+        request_timeout,
+        session_inflight_cap,
     };
     let server = match Server::bind(addr, config) {
         Ok(server) => server,
@@ -161,14 +208,57 @@ fn serve_mode(args: &[String]) {
     server.run();
 }
 
-/// `fairank connect <addr> [--session name]` — a remote REPL: each input
-/// line becomes one wire request; structured replies render locally.
+const CONNECT_USAGE: &str = "usage: fairank connect <host:port> [--session name] \
+[--retries n]
+
+  --session name   session to attach to (default \"default\")
+  --retries n      bounded retries on the server's `overloaded` refusal,
+                   with exponential backoff + jitter, honoring the reply's
+                   retry_after_ms hint (default 5; 0 disables retrying)";
+
+/// How many times connect mode re-sends a request refused with
+/// `overloaded` before surfacing the error.
+const DEFAULT_CONNECT_RETRIES: u32 = 5;
+
+/// The backoff before retry attempt `attempt` (0-based): the server's
+/// `retry_after_ms` hint (or 50 ms) doubled per attempt, capped at 2 s,
+/// plus up to 50% uniform jitter so synchronized clients don't re-stampede
+/// the queue in lockstep.
+fn retry_backoff(
+    attempt: u32,
+    hint_ms: Option<u64>,
+    rng: &mut rand::rngs::StdRng,
+) -> std::time::Duration {
+    use rand::Rng;
+    let base = hint_ms.unwrap_or(50).max(1);
+    let scaled = base.saturating_mul(1u64 << attempt.min(16)).min(2_000);
+    let jitter = rng.gen_range(0..=scaled / 2);
+    std::time::Duration::from_millis(scaled + jitter)
+}
+
+/// `fairank connect <addr> [--session name] [--retries n]` — a remote
+/// REPL: each input line becomes one wire request; structured replies
+/// render locally. Transient `overloaded` refusals are retried with
+/// exponential backoff + jitter (bounded; see `--retries`).
 fn connect_mode(args: &[String]) {
+    if args.iter().any(|a| a == "--help") {
+        println!("{CONNECT_USAGE}");
+        return;
+    }
     let Some(addr) = args.first().filter(|a| !a.starts_with("--")) else {
-        eprintln!("usage: fairank connect <host:port> [--session name]");
+        eprintln!("{CONNECT_USAGE}");
         std::process::exit(2);
     };
     let session = flag_value(args, "--session").unwrap_or(fairank_service::DEFAULT_SESSION);
+    let retries = flag_value(args, "--retries")
+        .map(|raw| match raw.parse::<u32>() {
+            Ok(n) => n,
+            Err(_) => {
+                eprintln!("--retries must be a number, got {raw:?}");
+                std::process::exit(2);
+            }
+        })
+        .unwrap_or(DEFAULT_CONNECT_RETRIES);
     let stream = match TcpStream::connect(addr) {
         Ok(stream) => stream,
         Err(e) => {
@@ -179,8 +269,17 @@ fn connect_mode(args: &[String]) {
     let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
     let mut writer = stream;
     let stdin = std::io::stdin();
+    // Jitter source for retry backoff: seeded from the wall clock so
+    // concurrent clients desynchronize (determinism is worthless here —
+    // lockstep retries are exactly the failure mode jitter prevents).
+    let clock_seed = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.subsec_nanos() as u64 ^ d.as_secs())
+        .unwrap_or(0x5eed)
+        ^ u64::from(std::process::id());
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(clock_seed);
     println!("connected to {addr} (session {session:?}; type `help`, `quit` to leave)");
-    loop {
+    'repl: loop {
         print!("fairank> ");
         std::io::stdout().flush().ok();
         let mut line = String::new();
@@ -198,34 +297,51 @@ fn connect_mode(args: &[String]) {
         }
         let request = Request::in_session(session, line);
         let payload = serde_json::to_string(&request).expect("request serializes");
-        if writer
-            .write_all(payload.as_bytes())
-            .and_then(|()| writer.write_all(b"\n"))
-            .and_then(|()| writer.flush())
-            .is_err()
-        {
-            eprintln!("connection lost");
-            std::process::exit(1);
-        }
-        let mut reply_line = String::new();
-        match reader.read_line(&mut reply_line) {
-            Ok(0) => {
-                eprintln!("server closed the connection");
-                break;
-            }
-            Ok(_) => {}
-            Err(e) => {
-                eprintln!("connection error: {e}");
+        let mut attempt: u32 = 0;
+        loop {
+            if writer
+                .write_all(payload.as_bytes())
+                .and_then(|()| writer.write_all(b"\n"))
+                .and_then(|()| writer.flush())
+                .is_err()
+            {
+                eprintln!("connection lost");
                 std::process::exit(1);
             }
-        }
-        match serde_json::from_str::<Reply>(reply_line.trim()) {
-            Ok(reply) => match reply.into_result() {
-                Ok(Response::Quit) => break,
-                Ok(response) => println!("{}", present::render(&response)),
-                Err(e) => eprintln!("error: {}", e.message),
-            },
-            Err(e) => eprintln!("malformed reply: {e}"),
+            let mut reply_line = String::new();
+            match reader.read_line(&mut reply_line) {
+                Ok(0) => {
+                    eprintln!("server closed the connection");
+                    break 'repl;
+                }
+                Ok(_) => {}
+                Err(e) => {
+                    eprintln!("connection error: {e}");
+                    std::process::exit(1);
+                }
+            }
+            match serde_json::from_str::<Reply>(reply_line.trim()) {
+                Ok(reply) => match reply.into_result() {
+                    Ok(Response::Quit) => break 'repl,
+                    Ok(response) => println!("{}", present::render(&response)),
+                    // Transient refusal: the server is at capacity. Back
+                    // off (honoring its retry_after_ms hint) and re-send
+                    // the same request, a bounded number of times.
+                    Err(e) if e.kind == "overloaded" && attempt < retries => {
+                        let pause = retry_backoff(attempt, e.retry_after_ms, &mut rng);
+                        attempt += 1;
+                        eprintln!(
+                            "server overloaded; retry {attempt}/{retries} in {} ms",
+                            pause.as_millis()
+                        );
+                        std::thread::sleep(pause);
+                        continue;
+                    }
+                    Err(e) => eprintln!("error: {}", e.message),
+                },
+                Err(e) => eprintln!("malformed reply: {e}"),
+            }
+            break;
         }
     }
 }

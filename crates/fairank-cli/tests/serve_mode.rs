@@ -147,3 +147,110 @@ fn serve_mode_rejects_bad_flags() {
     assert!(!output.status.success());
     assert!(String::from_utf8_lossy(&output.stderr).contains("--workers"));
 }
+
+#[test]
+fn serve_mode_rejects_bad_request_timeouts() {
+    for bad in ["soon", "0ms", "-5s"] {
+        let output = Command::new(env!("CARGO_BIN_EXE_fairank"))
+            .args(["serve", "--request-timeout", bad])
+            .output()
+            .expect("binary runs");
+        assert!(!output.status.success(), "timeout {bad:?} must be rejected");
+        assert!(
+            String::from_utf8_lossy(&output.stderr).contains("--request-timeout"),
+            "stderr names the bad flag for {bad:?}"
+        );
+    }
+}
+
+#[test]
+fn help_documents_the_operational_flags() {
+    let serve = Command::new(env!("CARGO_BIN_EXE_fairank"))
+        .args(["serve", "--help"])
+        .output()
+        .expect("binary runs");
+    assert!(serve.status.success());
+    let text = String::from_utf8_lossy(&serve.stdout);
+    for flag in ["--queue-depth", "--session-cap", "--request-timeout", "--session-ttl"] {
+        assert!(text.contains(flag), "serve --help must document {flag}");
+    }
+
+    let connect = Command::new(env!("CARGO_BIN_EXE_fairank"))
+        .args(["connect", "--help"])
+        .output()
+        .expect("binary runs");
+    assert!(connect.status.success());
+    let text = String::from_utf8_lossy(&connect.stdout);
+    assert!(text.contains("--retries"), "connect --help must document --retries");
+}
+
+/// A quantify that outlives the configured deadline by a wide margin in
+/// the profile the binary under test was built with: the transportation
+/// EMD backend at a high bin count (seconds; the 1-D backends finish in
+/// tens of milliseconds at any reasonable dataset size).
+#[cfg(debug_assertions)]
+const DEADLINE_N: usize = 1_500;
+#[cfg(debug_assertions)]
+const DEADLINE_BINS: usize = 32;
+#[cfg(not(debug_assertions))]
+const DEADLINE_N: usize = 4_000;
+#[cfg(not(debug_assertions))]
+const DEADLINE_BINS: usize = 64;
+
+#[test]
+fn served_request_timeout_produces_structured_deadline_replies() {
+    // The real binary with a real deadline flag: an over-budget quantify
+    // must come back as `deadline_exceeded` (with the partial counters),
+    // and the connection must keep serving afterwards.
+    let mut child = Command::new(env!("CARGO_BIN_EXE_fairank"))
+        .args([
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--workers",
+            "2",
+            "--request-timeout",
+            "80ms",
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("binary spawns");
+    let stdout = child.stdout.take().expect("stdout piped");
+    let mut banner = String::new();
+    BufReader::new(stdout)
+        .read_line(&mut banner)
+        .expect("read banner");
+    let addr = banner
+        .trim()
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected banner {banner:?}"))
+        .to_string();
+    let _guard = ServeGuard(child);
+
+    let stream = TcpStream::connect(&addr).expect("connect to served port");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut writer = stream;
+    for setup in [
+        format!("generate pop biased n={DEADLINE_N} seed=7"),
+        "define f rating*0.7+language_test*0.3".to_string(),
+    ] {
+        let reply = roundtrip(&mut reader, &mut writer, &Request::in_session("d", &setup));
+        assert!(reply.is_ok(), "{setup:?} failed: {reply:?}");
+    }
+    let reply = roundtrip(
+        &mut reader,
+        &mut writer,
+        &Request::in_session(
+            "d",
+            format!("quantify pop f emd=transport bins={DEADLINE_BINS}"),
+        ),
+    );
+    let err = reply.into_result().expect_err("deadline must trip");
+    assert_eq!(err.kind, "deadline_exceeded");
+    assert!(err.partial.is_some(), "deadline reply carries partial stats");
+
+    // The worker is free again: a light command answers immediately.
+    let reply = roundtrip(&mut reader, &mut writer, &Request::in_session("d", "help"));
+    assert!(reply.is_ok(), "post-deadline request failed: {reply:?}");
+}

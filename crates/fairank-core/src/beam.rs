@@ -14,6 +14,7 @@
 
 use std::time::{Duration, Instant};
 
+use crate::cancel::RunBudget;
 use crate::engine::{EngineStats, SplitEngine};
 use crate::error::{CoreError, Result};
 use crate::fairness::FairnessCriterion;
@@ -88,6 +89,7 @@ pub struct BeamOutcome {
 pub struct BeamSearch {
     criterion: FairnessCriterion,
     width: usize,
+    budget: RunBudget,
 }
 
 impl BeamSearch {
@@ -96,12 +98,20 @@ impl BeamSearch {
         BeamSearch {
             criterion,
             width: width.max(1),
+            budget: RunBudget::unlimited(),
         }
     }
 
     /// The beam width.
     pub fn width(&self) -> usize {
         self.width
+    }
+
+    /// Attaches a cooperative cancellation budget; a fired budget aborts
+    /// with [`CoreError::Cancelled`] (`nodes_evaluated` = states expanded).
+    pub fn with_run_budget(mut self, budget: RunBudget) -> Self {
+        self.budget = budget;
+        self
     }
 
     /// Runs the search on a prepared ranking space.
@@ -111,6 +121,30 @@ impl BeamSearch {
         }
         let start = Instant::now();
         let mut engine = SplitEngine::new(space, self.criterion);
+        engine.set_run_budget(&self.budget);
+        let mut states_expanded = 0usize;
+        match self.search(&mut engine, space, &mut states_expanded) {
+            Ok((partitions, unfairness)) => Ok(BeamOutcome {
+                partitions,
+                unfairness,
+                states_expanded,
+                engine_stats: engine.stats(),
+                elapsed: start.elapsed(),
+            }),
+            Err(CoreError::Cancelled { reason, mut stats }) => {
+                stats.nodes_evaluated = states_expanded;
+                Err(CoreError::Cancelled { reason, stats })
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    fn search(
+        &self,
+        engine: &mut SplitEngine<'_>,
+        space: &RankingSpace,
+        states_expanded: &mut usize,
+    ) -> Result<(Vec<Partition>, f64)> {
         let attrs: Vec<usize> = (0..space.attributes().len()).collect();
         let root = Partition::root(space);
         let initial = State {
@@ -121,7 +155,6 @@ impl BeamSearch {
 
         let mut beam = vec![initial];
         let mut best: Option<(Vec<Partition>, f64)> = None;
-        let mut states_expanded = 0usize;
 
         while !beam.is_empty() {
             let mut next: Vec<State> = Vec::new();
@@ -138,7 +171,10 @@ impl BeamSearch {
                     }
                     continue;
                 }
-                states_expanded += 1;
+                // State boundary: poll even when the state's evaluation is
+                // fully memoized.
+                engine.check_budget()?;
+                *states_expanded += 1;
                 let mut state = state;
                 let (group, avail) = state.frontier.pop().expect("non-complete state");
 
@@ -175,13 +211,7 @@ impl BeamSearch {
         let (partitions, unfairness) =
             best.expect("the all-leaf branch always completes");
         debug_assert!(is_full_disjoint(&partitions, space.num_individuals()));
-        Ok(BeamOutcome {
-            partitions,
-            unfairness,
-            states_expanded,
-            engine_stats: engine.stats(),
-            elapsed: start.elapsed(),
-        })
+        Ok((partitions, unfairness))
     }
 }
 
@@ -272,6 +302,25 @@ mod tests {
         let greedy = Quantify::new(crit).run_space(&s).unwrap();
         let beam = BeamSearch::new(crit, 16).run_space(&s).unwrap();
         assert!(beam.unfairness >= greedy.unfairness - 1e-12);
+    }
+
+    #[test]
+    fn cancelled_token_aborts_beam_search() {
+        use crate::cancel::{CancelReason, CancelToken, RunBudget};
+        let space = space();
+        let criterion = FairnessCriterion::default().fit_range(&space);
+        let token = CancelToken::new();
+        token.cancel(CancelReason::Disconnected);
+        let err = BeamSearch::new(criterion, 3)
+            .with_run_budget(RunBudget::unlimited().with_token(token))
+            .run_space(&space)
+            .unwrap_err();
+        match err {
+            CoreError::Cancelled { reason, .. } => {
+                assert_eq!(reason, CancelReason::Disconnected);
+            }
+            other => panic!("expected cancellation, got {other:?}"),
+        }
     }
 
     #[test]

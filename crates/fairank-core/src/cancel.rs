@@ -1,0 +1,322 @@
+//! Cooperative cancellation for long-running searches.
+//!
+//! The serving tier hands every request a [`RunBudget`]: an optional wall
+//! clock deadline plus any number of shared [`CancelToken`]s (one per
+//! request for client disconnects, one per server for shutdown). Search
+//! loops poll the budget through a [`BudgetChecker`], which amortizes the
+//! atomic load / clock read over [`BudgetChecker::STRIDE`] evaluations so
+//! the hot path pays one decrement-and-branch per tick.
+//!
+//! Cancellation is *cooperative*: nothing is interrupted mid-operation.
+//! A cancelled search unwinds with [`crate::CoreError::Cancelled`]
+//! carrying the [`crate::quantify::SearchStats`] accumulated so far, so
+//! callers can report how much work a deadline cut short.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Why a run was cancelled. The first cause to fire wins and sticks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CancelReason {
+    /// The per-request deadline elapsed.
+    Deadline,
+    /// The client went away; nobody is waiting for the answer.
+    Disconnected,
+    /// The server is shutting down and draining in-flight work.
+    Shutdown,
+}
+
+impl CancelReason {
+    const CODE_DEADLINE: u8 = 1;
+    const CODE_DISCONNECTED: u8 = 2;
+    const CODE_SHUTDOWN: u8 = 3;
+
+    fn code(self) -> u8 {
+        match self {
+            CancelReason::Deadline => Self::CODE_DEADLINE,
+            CancelReason::Disconnected => Self::CODE_DISCONNECTED,
+            CancelReason::Shutdown => Self::CODE_SHUTDOWN,
+        }
+    }
+
+    fn from_code(code: u8) -> Option<Self> {
+        match code {
+            Self::CODE_DEADLINE => Some(CancelReason::Deadline),
+            Self::CODE_DISCONNECTED => Some(CancelReason::Disconnected),
+            Self::CODE_SHUTDOWN => Some(CancelReason::Shutdown),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for CancelReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CancelReason::Deadline => write!(f, "deadline exceeded"),
+            CancelReason::Disconnected => write!(f, "client disconnected"),
+            CancelReason::Shutdown => write!(f, "server shutting down"),
+        }
+    }
+}
+
+/// A shared flag that flips once, from "live" to "cancelled for a reason".
+///
+/// Clones observe the same underlying state. The first `cancel` call wins;
+/// later calls with a different reason are ignored so the reported cause
+/// is the one that actually aborted the work.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    state: Arc<AtomicU8>,
+}
+
+impl CancelToken {
+    /// A live (uncancelled) token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Flip the token. The first reason to land is the one observers see.
+    pub fn cancel(&self, reason: CancelReason) {
+        let _ = self
+            .state
+            .compare_exchange(0, reason.code(), Ordering::AcqRel, Ordering::Acquire);
+    }
+
+    /// `Some(reason)` once cancelled, `None` while live.
+    pub fn cancelled(&self) -> Option<CancelReason> {
+        CancelReason::from_code(self.state.load(Ordering::Acquire))
+    }
+}
+
+/// The cancellation envelope for one unit of work: a deadline plus the
+/// tokens that may abort it. Cheap to clone; clones share the tokens.
+///
+/// The default budget is unlimited and checks reduce to a constant branch.
+#[derive(Debug, Clone, Default)]
+pub struct RunBudget {
+    deadline: Option<Instant>,
+    tokens: Vec<CancelToken>,
+}
+
+impl RunBudget {
+    /// A budget that never cancels.
+    pub fn unlimited() -> Self {
+        Self::default()
+    }
+
+    /// Attach an absolute deadline (keeps the earlier one if already set).
+    pub fn with_deadline(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(match self.deadline {
+            Some(existing) => existing.min(deadline),
+            None => deadline,
+        });
+        self
+    }
+
+    /// Attach a deadline `timeout` from now.
+    pub fn with_timeout(self, timeout: Duration) -> Self {
+        self.with_deadline(Instant::now() + timeout)
+    }
+
+    /// Attach a cancellation token; any attached token can abort the run.
+    pub fn with_token(mut self, token: CancelToken) -> Self {
+        self.tokens.push(token);
+        self
+    }
+
+    /// True when no deadline and no token can ever fire.
+    pub fn is_unlimited(&self) -> bool {
+        self.deadline.is_none() && self.tokens.is_empty()
+    }
+
+    /// The configured deadline, if any.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+
+    /// Poll the budget once. Explicit tokens win over the deadline so the
+    /// reported reason matches the actual cause when both have fired.
+    pub fn check(&self) -> Result<(), CancelReason> {
+        for token in &self.tokens {
+            if let Some(reason) = token.cancelled() {
+                return Err(reason);
+            }
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                return Err(CancelReason::Deadline);
+            }
+        }
+        Ok(())
+    }
+
+    /// A strided checker for hot loops.
+    pub fn checker(&self) -> BudgetChecker {
+        BudgetChecker::new(self.clone())
+    }
+}
+
+/// Amortizes [`RunBudget::check`] over [`Self::STRIDE`] ticks. One tick is
+/// a u32 decrement and branch; the atomic loads and `Instant::now()` run
+/// once per stride, keeping cancellation off the kernel profile.
+#[derive(Debug, Clone)]
+pub struct BudgetChecker {
+    budget: RunBudget,
+    unlimited: bool,
+    countdown: u32,
+}
+
+impl BudgetChecker {
+    /// Evaluations between real budget polls.
+    pub const STRIDE: u32 = 256;
+
+    fn new(budget: RunBudget) -> Self {
+        let unlimited = budget.is_unlimited();
+        Self {
+            budget,
+            unlimited,
+            countdown: Self::STRIDE,
+        }
+    }
+
+    /// Record one unit of work; polls the budget every [`Self::STRIDE`] ticks.
+    #[inline]
+    pub fn tick(&mut self) -> Result<(), CancelReason> {
+        if self.unlimited {
+            return Ok(());
+        }
+        self.countdown -= 1;
+        if self.countdown == 0 {
+            self.countdown = Self::STRIDE;
+            return self.budget.check();
+        }
+        Ok(())
+    }
+
+    /// Record `n` units of work at once (batch evaluation paths).
+    #[inline]
+    pub fn tick_n(&mut self, n: usize) -> Result<(), CancelReason> {
+        if self.unlimited {
+            return Ok(());
+        }
+        let n = u32::try_from(n).unwrap_or(u32::MAX);
+        if let Some(rest) = self.countdown.checked_sub(n) {
+            if rest > 0 {
+                self.countdown = rest;
+                return Ok(());
+            }
+        }
+        self.countdown = Self::STRIDE;
+        self.budget.check()
+    }
+
+    /// Poll the budget immediately, ignoring the stride.
+    pub fn check_now(&self) -> Result<(), CancelReason> {
+        if self.unlimited {
+            return Ok(());
+        }
+        self.budget.check()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_budget_never_fires() {
+        let budget = RunBudget::unlimited();
+        assert!(budget.is_unlimited());
+        assert_eq!(budget.check(), Ok(()));
+        let mut checker = budget.checker();
+        for _ in 0..10_000 {
+            assert_eq!(checker.tick(), Ok(()));
+        }
+    }
+
+    #[test]
+    fn first_cancel_reason_sticks() {
+        let token = CancelToken::new();
+        assert_eq!(token.cancelled(), None);
+        token.cancel(CancelReason::Disconnected);
+        token.cancel(CancelReason::Shutdown);
+        assert_eq!(token.cancelled(), Some(CancelReason::Disconnected));
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let token = CancelToken::new();
+        let clone = token.clone();
+        token.cancel(CancelReason::Shutdown);
+        assert_eq!(clone.cancelled(), Some(CancelReason::Shutdown));
+    }
+
+    #[test]
+    fn expired_deadline_fires() {
+        let budget = RunBudget::unlimited().with_deadline(Instant::now() - Duration::from_millis(1));
+        assert_eq!(budget.check(), Err(CancelReason::Deadline));
+    }
+
+    #[test]
+    fn earlier_deadline_wins() {
+        let near = Instant::now() + Duration::from_millis(5);
+        let far = near + Duration::from_secs(60);
+        let budget = RunBudget::unlimited().with_deadline(far).with_deadline(near);
+        assert_eq!(budget.deadline(), Some(near));
+        let budget = RunBudget::unlimited().with_deadline(near).with_deadline(far);
+        assert_eq!(budget.deadline(), Some(near));
+    }
+
+    #[test]
+    fn token_beats_deadline_in_reported_reason() {
+        let token = CancelToken::new();
+        token.cancel(CancelReason::Shutdown);
+        let budget = RunBudget::unlimited()
+            .with_deadline(Instant::now() - Duration::from_millis(1))
+            .with_token(token);
+        assert_eq!(budget.check(), Err(CancelReason::Shutdown));
+    }
+
+    #[test]
+    fn strided_checker_detects_cancellation_within_a_stride() {
+        let token = CancelToken::new();
+        let budget = RunBudget::unlimited().with_token(token.clone());
+        let mut checker = budget.checker();
+        token.cancel(CancelReason::Disconnected);
+        let mut fired = None;
+        for i in 0..(BudgetChecker::STRIDE * 2) {
+            if let Err(reason) = checker.tick() {
+                fired = Some((i, reason));
+                break;
+            }
+        }
+        let (ticks, reason) = fired.expect("checker fires within two strides");
+        assert!(ticks < BudgetChecker::STRIDE);
+        assert_eq!(reason, CancelReason::Disconnected);
+    }
+
+    #[test]
+    fn tick_n_covers_large_batches() {
+        let token = CancelToken::new();
+        let budget = RunBudget::unlimited().with_token(token.clone());
+        let mut checker = budget.checker();
+        token.cancel(CancelReason::Deadline);
+        // A single batch larger than the stride must poll.
+        assert_eq!(
+            checker.tick_n(BudgetChecker::STRIDE as usize * 4),
+            Err(CancelReason::Deadline)
+        );
+    }
+
+    #[test]
+    fn check_now_ignores_stride() {
+        let token = CancelToken::new();
+        let budget = RunBudget::unlimited().with_token(token.clone());
+        let checker = budget.checker();
+        assert_eq!(checker.check_now(), Ok(()));
+        token.cancel(CancelReason::Shutdown);
+        assert_eq!(checker.check_now(), Err(CancelReason::Shutdown));
+    }
+}

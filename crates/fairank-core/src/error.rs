@@ -2,6 +2,9 @@
 
 use std::fmt;
 
+use crate::cancel::CancelReason;
+use crate::quantify::SearchStats;
+
 /// Errors produced by the core crate.
 #[derive(Debug, Clone, PartialEq)]
 pub enum CoreError {
@@ -24,6 +27,12 @@ pub enum CoreError {
     BudgetExceeded { budget: u64 },
     /// The operation needs at least one individual.
     EmptyInput,
+    /// A cooperative [`crate::cancel::RunBudget`] aborted the search.
+    /// Carries the statistics accumulated before the run was cut short.
+    Cancelled {
+        reason: CancelReason,
+        stats: SearchStats,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -49,6 +58,11 @@ impl fmt::Display for CoreError {
                 "exhaustive enumeration exceeded its budget of {budget} partitionings"
             ),
             CoreError::EmptyInput => write!(f, "operation requires at least one individual"),
+            CoreError::Cancelled { reason, stats } => write!(
+                f,
+                "search cancelled ({reason}) after {} node evaluations and {} EMD calls",
+                stats.nodes_evaluated, stats.emd_calls
+            ),
         }
     }
 }
@@ -88,6 +102,13 @@ mod tests {
             ),
             (CoreError::BudgetExceeded { budget: 10 }, "10"),
             (CoreError::EmptyInput, "at least one"),
+            (
+                CoreError::Cancelled {
+                    reason: CancelReason::Deadline,
+                    stats: SearchStats::default(),
+                },
+                "deadline exceeded",
+            ),
         ];
         for (err, needle) in cases {
             let rendered = err.to_string();

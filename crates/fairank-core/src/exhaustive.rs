@@ -18,6 +18,7 @@
 use std::collections::HashSet;
 use std::time::{Duration, Instant};
 
+use crate::cancel::RunBudget;
 use crate::engine::{EngineStats, SplitEngine};
 use crate::error::{CoreError, Result};
 use crate::fairness::FairnessCriterion;
@@ -52,6 +53,7 @@ pub struct ExhaustiveSearch {
     criterion: FairnessCriterion,
     budget: u64,
     dedupe: bool,
+    run_budget: RunBudget,
 }
 
 impl Default for ExhaustiveSearch {
@@ -60,6 +62,7 @@ impl Default for ExhaustiveSearch {
             criterion: FairnessCriterion::default(),
             budget: DEFAULT_BUDGET,
             dedupe: true,
+            run_budget: RunBudget::unlimited(),
         }
     }
 }
@@ -86,6 +89,13 @@ impl ExhaustiveSearch {
         self
     }
 
+    /// Attaches a cooperative cancellation budget; a fired budget aborts
+    /// with [`CoreError::Cancelled`] (`nodes_evaluated` = trees enumerated).
+    pub fn with_run_budget(mut self, budget: RunBudget) -> Self {
+        self.run_budget = budget;
+        self
+    }
+
     /// Runs the enumeration, returning the optimum under the criterion.
     pub fn run_space(&self, space: &RankingSpace) -> Result<ExhaustiveOutcome> {
         if space.num_individuals() == 0 {
@@ -95,10 +105,12 @@ impl ExhaustiveSearch {
         let root = Partition::root(space);
         let attrs: Vec<usize> = (0..space.attributes().len()).collect();
 
+        let mut engine = SplitEngine::new(space, self.criterion);
+        engine.set_run_budget(&self.run_budget);
         let mut state = EnumState {
             space,
             criterion: &self.criterion,
-            engine: SplitEngine::new(space, self.criterion),
+            engine,
             budget: self.budget,
             trees: 0,
             best: None,
@@ -106,7 +118,13 @@ impl ExhaustiveSearch {
         };
         let mut worklist = vec![(root, attrs)];
         let mut acc: Vec<Partition> = Vec::new();
-        state.recurse(&mut worklist, &mut acc)?;
+        if let Err(err) = state.recurse(&mut worklist, &mut acc) {
+            if let CoreError::Cancelled { reason, mut stats } = err {
+                stats.nodes_evaluated = usize::try_from(state.trees).unwrap_or(usize::MAX);
+                return Err(CoreError::Cancelled { reason, stats });
+            }
+            return Err(err);
+        }
 
         let (best_partitions, best_value) = state
             .best
@@ -198,6 +216,8 @@ impl EnumState<'_> {
                     budget: self.budget,
                 });
             }
+            // Tree boundary: poll even when evaluation is fully memoized.
+            self.engine.check_budget()?;
             let value = self.engine.unfairness(acc)?;
             if let Some(seen) = &mut self.seen {
                 seen.insert(signature(acc, self.space.num_individuals()));
@@ -361,6 +381,25 @@ mod tests {
             &out.best_partitions,
             space.num_individuals()
         ));
+    }
+
+    #[test]
+    fn cancelled_token_aborts_enumeration() {
+        use crate::cancel::{CancelReason, CancelToken, RunBudget};
+        let space = small_space();
+        let criterion = FairnessCriterion::default().fit_range(&space);
+        let token = CancelToken::new();
+        token.cancel(CancelReason::Deadline);
+        let err = ExhaustiveSearch::new(criterion)
+            .with_run_budget(RunBudget::unlimited().with_token(token))
+            .run_space(&space)
+            .unwrap_err();
+        match err {
+            CoreError::Cancelled { reason, .. } => {
+                assert_eq!(reason, CancelReason::Deadline);
+            }
+            other => panic!("expected cancellation, got {other:?}"),
+        }
     }
 
     #[test]

@@ -32,10 +32,12 @@
 //! [`scoring::ObservedTable`] trait.
 
 pub mod beam;
+pub mod cancel;
 pub mod emd;
 pub mod engine;
 pub mod error;
 pub mod exhaustive;
+pub mod fault;
 pub mod explain;
 pub mod exposure;
 pub mod fairness;
@@ -48,4 +50,5 @@ pub mod scoring;
 pub mod space;
 pub mod subgroup;
 
+pub use cancel::{CancelReason, CancelToken, RunBudget};
 pub use error::{CoreError, Result};

@@ -14,9 +14,11 @@ use std::time::Duration;
 use serde::{Deserialize, Serialize};
 
 use crate::beam::BeamSearch;
+use crate::cancel::RunBudget;
 use crate::error::Result;
 use crate::exhaustive::ExhaustiveSearch;
 use crate::fairness::FairnessCriterion;
+use crate::fault;
 use crate::quantify::{Quantify, QuantifyOutcome, SearchStats};
 use crate::space::RankingSpace;
 
@@ -94,13 +96,27 @@ impl SearchStrategy {
         criterion: FairnessCriterion,
         space: &RankingSpace,
     ) -> Result<CellOutcome> {
+        self.run_budgeted(criterion, space, &RunBudget::unlimited())
+    }
+
+    /// Runs the strategy under a cooperative cancellation budget: a fired
+    /// deadline or token aborts the search with
+    /// [`crate::CoreError::Cancelled`] carrying partial [`SearchStats`].
+    pub fn run_budgeted(
+        &self,
+        criterion: FairnessCriterion,
+        space: &RankingSpace,
+        budget: &RunBudget,
+    ) -> Result<CellOutcome> {
+        fault::sleep_point(fault::SLOW_CELL);
         match *self {
             SearchStrategy::Quantify {
                 max_depth,
                 min_partition,
             } => {
-                let mut search =
-                    Quantify::new(criterion).with_min_partition_size(min_partition);
+                let mut search = Quantify::new(criterion)
+                    .with_min_partition_size(min_partition)
+                    .with_run_budget(budget.clone());
                 if let Some(depth) = max_depth {
                     search = search.with_max_depth(depth);
                 }
@@ -114,7 +130,9 @@ impl SearchStrategy {
                 })
             }
             SearchStrategy::Beam { width } => {
-                let outcome = BeamSearch::new(criterion, width).run_space(space)?;
+                let outcome = BeamSearch::new(criterion, width)
+                    .with_run_budget(budget.clone())
+                    .run_space(space)?;
                 Ok(CellOutcome {
                     unfairness: outcome.unfairness,
                     num_partitions: outcome.partitions.len(),
@@ -131,9 +149,10 @@ impl SearchStrategy {
                     quantify: None,
                 })
             }
-            SearchStrategy::Exhaustive { budget } => {
+            SearchStrategy::Exhaustive { budget: cap } => {
                 let outcome = ExhaustiveSearch::new(criterion)
-                    .with_budget(budget)
+                    .with_budget(cap)
+                    .with_run_budget(budget.clone())
                     .run_space(space)?;
                 Ok(CellOutcome {
                     unfairness: outcome.best_value,

@@ -27,6 +27,9 @@
 
 use std::time::{Duration, Instant};
 
+use serde::{Deserialize, Serialize};
+
+use crate::cancel::RunBudget;
 use crate::engine::SplitEngine;
 use crate::error::{CoreError, Result};
 use crate::fairness::FairnessCriterion;
@@ -48,8 +51,9 @@ pub enum SplitEvaluation {
     Holistic,
 }
 
-/// Counters describing the work a search performed.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+/// Counters describing the work a search performed. Serializable so a
+/// cancelled request can report its partial progress on the wire.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SearchStats {
     /// Nodes on which a split decision was evaluated.
     pub nodes_evaluated: usize,
@@ -93,6 +97,7 @@ pub struct Quantify {
     min_partition_size: usize,
     max_depth: Option<usize>,
     naive: bool,
+    budget: RunBudget,
 }
 
 impl Quantify {
@@ -104,6 +109,7 @@ impl Quantify {
             min_partition_size: 1,
             max_depth: None,
             naive: false,
+            budget: RunBudget::unlimited(),
         }
     }
 
@@ -140,6 +146,14 @@ impl Quantify {
     /// as the baseline for equivalence tests and perf benchmarks.
     pub fn with_naive_evaluation(mut self) -> Self {
         self.naive = true;
+        self
+    }
+
+    /// Attaches a cooperative cancellation budget (deadline and/or cancel
+    /// tokens). A fired budget aborts the search with
+    /// [`CoreError::Cancelled`] carrying the partial [`SearchStats`].
+    pub fn with_run_budget(mut self, budget: RunBudget) -> Self {
+        self.budget = budget;
         self
     }
 
@@ -190,6 +204,26 @@ impl Quantify {
     fn run_space_engine(&self, space: &RankingSpace, start: Instant) -> Result<QuantifyOutcome> {
         let mut stats = SearchStats::default();
         let mut engine = SplitEngine::new(space, self.criterion);
+        engine.set_run_budget(&self.budget);
+        match self.engine_search(&mut engine, &mut stats, space, start) {
+            Err(CoreError::Cancelled { reason, .. }) => {
+                // The engine reports its own counters at the moment the
+                // budget fired; graft on the search-level counters so the
+                // caller sees the full partial progress.
+                Self::merge_engine_stats(&mut stats, &engine);
+                Err(CoreError::Cancelled { reason, stats })
+            }
+            other => other,
+        }
+    }
+
+    fn engine_search(
+        &self,
+        engine: &mut SplitEngine<'_>,
+        stats: &mut SearchStats,
+        space: &RankingSpace,
+        start: Instant,
+    ) -> Result<QuantifyOutcome> {
         let root = Partition::root(space);
         let mut tree = PartitioningTree::new(root.clone());
 
@@ -204,12 +238,12 @@ impl Quantify {
             // Nothing splits the population: the trivial partitioning.
             let partitions = vec![root];
             let unfairness = engine.unfairness(&partitions)?;
-            Self::merge_engine_stats(&mut stats, &engine);
+            Self::merge_engine_stats(stats, engine);
             return Ok(QuantifyOutcome {
                 tree,
                 partitions,
                 unfairness,
-                stats,
+                stats: *stats,
                 elapsed: start.elapsed(),
             });
         };
@@ -229,24 +263,24 @@ impl Quantify {
                 .map(|(_, p)| p.clone())
                 .collect();
             self.quantify_rec_engine(
-                &mut engine,
+                engine,
                 &mut tree,
                 *id,
                 &siblings,
                 &remaining,
                 1,
-                &mut stats,
+                stats,
             )?;
         }
 
         let partitions = tree.leaf_partitions();
         let unfairness = engine.unfairness(&partitions)?;
-        Self::merge_engine_stats(&mut stats, &engine);
+        Self::merge_engine_stats(stats, engine);
         Ok(QuantifyOutcome {
             tree,
             partitions,
             unfairness,
-            stats,
+            stats: *stats,
             elapsed: start.elapsed(),
         })
     }
@@ -280,6 +314,9 @@ impl Quantify {
         if self.max_depth.is_some_and(|d| depth >= d) {
             return Ok(());
         }
+        // Node boundary: poll the budget even when the node's distance
+        // work is served entirely from the memo (no ticks).
+        engine.check_budget()?;
         stats.nodes_evaluated += 1;
         let current = tree.node(node_id).partition.clone();
 
@@ -340,6 +377,17 @@ impl Quantify {
     }
 
     // ---- naive evaluation (seed behavior, instrumented) -----------------
+
+    /// Budget poll for the naive path, which has no engine to tick: the
+    /// current counters ride along in the cancellation error.
+    fn check_budget_naive(&self, stats: &SearchStats) -> Result<()> {
+        self.budget
+            .check()
+            .map_err(|reason| CoreError::Cancelled {
+                reason,
+                stats: *stats,
+            })
+    }
 
     fn run_space_naive(&self, space: &RankingSpace, start: Instant) -> Result<QuantifyOutcome> {
         let mut stats = SearchStats::default();
@@ -413,6 +461,7 @@ impl Quantify {
         if self.max_depth.is_some_and(|d| depth >= d) {
             return Ok(());
         }
+        self.check_budget_naive(stats)?;
         stats.nodes_evaluated += 1;
         let current = tree.node(node_id).partition.clone();
 
@@ -498,6 +547,7 @@ impl Quantify {
     ) -> Result<Option<usize>> {
         let mut best: Option<(usize, f64)> = None;
         for &attr in avail {
+            self.check_budget_naive(stats)?;
             let children = current.split(space, attr);
             if children.len() < 2 {
                 continue;
@@ -729,6 +779,49 @@ mod tests {
         assert!(outcome.stats.candidate_splits >= 2);
         assert!(outcome.stats.splits_performed >= 1);
         assert!(outcome.elapsed.as_nanos() > 0);
+    }
+
+    #[test]
+    fn cancelled_token_aborts_engine_search_with_reason() {
+        use crate::cancel::{CancelReason, CancelToken, RunBudget};
+        let space = biased_space();
+        let token = CancelToken::new();
+        token.cancel(CancelReason::Shutdown);
+        let err = Quantify::default()
+            .with_run_budget(RunBudget::unlimited().with_token(token))
+            .run_space(&space)
+            .unwrap_err();
+        match err {
+            CoreError::Cancelled { reason, .. } => {
+                assert_eq!(reason, CancelReason::Shutdown);
+            }
+            other => panic!("expected cancellation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn expired_deadline_aborts_both_evaluations_with_partial_stats() {
+        use crate::cancel::{CancelReason, RunBudget};
+        use std::time::{Duration, Instant};
+        let space = biased_space();
+        let expired =
+            RunBudget::unlimited().with_deadline(Instant::now() - Duration::from_millis(1));
+        for search in [
+            Quantify::default().with_run_budget(expired.clone()),
+            Quantify::default()
+                .with_naive_evaluation()
+                .with_run_budget(expired),
+        ] {
+            match search.run_space(&space).unwrap_err() {
+                CoreError::Cancelled { reason, stats } => {
+                    assert_eq!(reason, CancelReason::Deadline);
+                    // Partial progress: strictly less work than a full run.
+                    let full = Quantify::default().run_space(&space).unwrap();
+                    assert!(stats.splits_performed <= full.stats.splits_performed);
+                }
+                other => panic!("expected deadline cancellation, got {other:?}"),
+            }
+        }
     }
 
     #[test]

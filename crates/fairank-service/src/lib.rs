@@ -34,7 +34,10 @@ pub mod protocol;
 pub mod registry;
 pub mod server;
 
-pub use pool::WorkerPool;
+pub use pool::{PoolFull, WorkerPool};
 pub use protocol::{Reply, Request, DEFAULT_SESSION};
-pub use registry::{RegistryError, SessionRegistry};
-pub use server::{dispatch, DispatchPolicy, Server, ServerConfig, ServerHandle, MAX_REQUEST_BYTES};
+pub use registry::{RegistryError, SessionLease, SessionRegistry};
+pub use server::{
+    dispatch, dispatch_with, DispatchPolicy, RequestContext, Server, ServerConfig,
+    ServerHandle, MAX_REQUEST_BYTES, RETRY_AFTER_MS,
+};

@@ -16,6 +16,10 @@ use std::thread::JoinHandle;
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
+/// Admission refused: every worker is busy and the pending queue is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolFull;
+
 /// Source of unique pool ids (see [`CURRENT_POOL`]).
 static NEXT_POOL_ID: AtomicU64 = AtomicU64::new(0);
 
@@ -102,6 +106,35 @@ impl WorkerPool {
     /// Number of worker threads.
     pub fn workers(&self) -> usize {
         self.workers.len()
+    }
+
+    /// Non-blocking admission: runs `job` like [`WorkerPool::run`] but
+    /// refuses instead of blocking when every worker is busy *and* the
+    /// pending queue is full. The refusal is the server's backpressure
+    /// signal — the dispatch layer turns it into a structured `overloaded`
+    /// reply with a retry hint rather than silently queueing the caller.
+    ///
+    /// A job submitting to its own pool still runs inline (a busy worker
+    /// asking itself for capacity must neither deadlock nor be refused).
+    pub fn try_run<T, F>(&self, job: F) -> Result<Option<T>, PoolFull>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        if self.on_own_worker() {
+            return Ok(Self::run_inline(job));
+        }
+        let (tx, rx) = std::sync::mpsc::sync_channel::<T>(1);
+        let sender = self.sender.as_ref().expect("pool is live until dropped");
+        match sender.try_send(Box::new(move || {
+            let _ = tx.send(job());
+        })) {
+            Ok(()) => Ok(rx.recv().ok()),
+            Err(std::sync::mpsc::TrySendError::Full(_)) => Err(PoolFull),
+            // Workers gone means the pool is tearing down; treat it as
+            // "no capacity" rather than panicking mid-shutdown.
+            Err(std::sync::mpsc::TrySendError::Disconnected(_)) => Err(PoolFull),
+        }
     }
 
     /// Runs `job` on a pool worker and blocks until it finishes, returning

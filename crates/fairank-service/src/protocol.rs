@@ -105,10 +105,7 @@ impl Reply {
     /// A protocol-level failure (malformed request line, not a session
     /// error).
     pub fn protocol_error(message: impl Into<String>) -> Self {
-        Reply::err(ErrorResponse {
-            kind: "protocol".to_string(),
-            message: message.into(),
-        })
+        Reply::err(ErrorResponse::new("protocol", message))
     }
 
     /// The structured refusal for a request line exceeding the server's
@@ -116,17 +113,51 @@ impl Reply {
     /// line cannot be resynchronized), so clients see *why* instead of a
     /// silent drop.
     pub fn request_too_large(limit: u64) -> Self {
-        Reply::err(ErrorResponse {
-            kind: "request_too_large".to_string(),
-            message: format!(
+        Reply::err(ErrorResponse::new(
+            "request_too_large",
+            format!(
                 "request line exceeds the {limit}-byte cap; the connection will \
                  close (split the request or ship large plans as structured \
                  `scenario` specs)"
             ),
-        })
+        ))
+    }
+
+    /// The transient admission refusal: every worker is busy and the
+    /// pending queue (or the session's in-flight cap) is full. Carries a
+    /// back-off hint so well-behaved clients retry instead of hammering.
+    pub fn overloaded(message: impl Into<String>, retry_after_ms: u64) -> Self {
+        let mut err = ErrorResponse::new("overloaded", message);
+        err.retry_after_ms = Some(retry_after_ms);
+        Reply::err(err)
+    }
+
+    /// The refusal a draining server sends for work it will not start.
+    pub fn shutting_down() -> Self {
+        Reply::err(ErrorResponse::new(
+            "shutting_down",
+            "server is shutting down and no longer accepts new work",
+        ))
+    }
+
+    /// The structured report that a session's state was discarded because
+    /// a panic poisoned it; the name now maps to a fresh session.
+    pub fn session_poisoned(session: &str) -> Self {
+        Reply::err(ErrorResponse::new(
+            "session_poisoned",
+            format!(
+                "session {session:?} was poisoned by a panicking command and has \
+                 been replaced with a fresh session; re-run your setup commands"
+            ),
+        ))
     }
 
     /// Unwraps the envelope into a plain `Result`.
+    ///
+    /// `ErrorResponse` carries the partial `SearchStats` of a cancelled
+    /// search inline, so the `Err` variant is wide; this is a
+    /// client-side convenience called once per reply, not a hot path.
+    #[allow(clippy::result_large_err)]
     pub fn into_result(self) -> Result<Response, ErrorResponse> {
         match self {
             Reply::ok(response) => Ok(response),
@@ -209,6 +240,64 @@ mod tests {
         assert!(json.contains("unknown_panel"));
         let back: Reply = serde_json::from_str(&json).unwrap();
         assert_eq!(back.into_result().unwrap_err().kind, "unknown_panel");
+    }
+
+    #[test]
+    fn operational_error_kinds_are_stable_and_round_trip() {
+        // The four operational kinds clients are expected to switch on.
+        // Their spellings are wire contract: changing one breaks deployed
+        // retry/back-off logic.
+        let deadline = Reply::from_result(Err(SessionError::Cancelled {
+            reason: fairank_core::cancel::CancelReason::Deadline,
+            stats: fairank_core::quantify::SearchStats {
+                nodes_evaluated: 3,
+                emd_calls: 17,
+                ..Default::default()
+            },
+        }));
+        let cases: Vec<(Reply, &str)> = vec![
+            (deadline, "deadline_exceeded"),
+            (Reply::overloaded("server is at capacity", 100), "overloaded"),
+            (Reply::shutting_down(), "shutting_down"),
+            (Reply::session_poisoned("audit-1"), "session_poisoned"),
+        ];
+        for (reply, kind) in cases {
+            let json = serde_json::to_string(&reply).unwrap();
+            let back: Reply = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, reply, "{kind} must round-trip");
+            let err = back.into_result().unwrap_err();
+            assert_eq!(err.kind, kind);
+        }
+    }
+
+    #[test]
+    fn deadline_exceeded_reply_carries_partial_stats() {
+        let reply = Reply::from_result(Err(SessionError::Cancelled {
+            reason: fairank_core::cancel::CancelReason::Deadline,
+            stats: fairank_core::quantify::SearchStats {
+                nodes_evaluated: 5,
+                splits_performed: 2,
+                emd_calls: 90,
+                ..Default::default()
+            },
+        }));
+        let err = reply.into_result().unwrap_err();
+        let partial = err.partial.expect("cancellation carries partial stats");
+        assert_eq!(partial.nodes_evaluated, 5);
+        assert_eq!(partial.emd_calls, 90);
+    }
+
+    #[test]
+    fn overloaded_reply_hints_at_retry() {
+        let err = Reply::overloaded("busy", 250).into_result().unwrap_err();
+        assert_eq!(err.kind, "overloaded");
+        assert_eq!(err.retry_after_ms, Some(250));
+        // Old clients that only know {kind, message} still parse the new
+        // reply (extra keys), and new clients parse old-format replies
+        // (missing optionals default to None) — asserted in the session
+        // crate's wire tests; here we pin the hint's presence on the wire.
+        let json = serde_json::to_string(&Reply::overloaded("busy", 250)).unwrap();
+        assert!(json.contains("\"retry_after_ms\":250"), "{json}");
     }
 
     #[test]

@@ -14,6 +14,7 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
@@ -47,11 +48,13 @@ impl std::error::Error for RegistryError {}
 /// A shared handle to one live session.
 pub type SessionHandle = Arc<Mutex<Session>>;
 
-/// One registry entry: the session handle plus its last-attach time.
+/// One registry entry: the session handle plus its last-attach time and
+/// how many compute-class requests currently hold it.
 #[derive(Debug)]
 struct Entry {
     handle: SessionHandle,
     last_used: Mutex<Instant>,
+    in_flight: AtomicUsize,
 }
 
 impl Entry {
@@ -59,6 +62,7 @@ impl Entry {
         Arc::new(Entry {
             handle: Arc::new(Mutex::new(Session::new())),
             last_used: Mutex::new(Instant::now()),
+            in_flight: AtomicUsize::new(0),
         })
     }
 
@@ -74,6 +78,73 @@ impl Entry {
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner)
             .elapsed()
+    }
+}
+
+/// An attached session: the handle plus the entry's request accounting.
+/// Obtained from [`SessionRegistry::lease`]; holding a lease does NOT by
+/// itself count as in-flight work — call [`SessionLease::try_admit`]
+/// around compute-class requests.
+#[derive(Debug, Clone)]
+pub struct SessionLease {
+    entry: Arc<Entry>,
+}
+
+impl SessionLease {
+    /// The session behind the lease.
+    pub fn handle(&self) -> &SessionHandle {
+        &self.entry.handle
+    }
+
+    /// Whether a panic while holding the session lock has poisoned it.
+    pub fn is_poisoned(&self) -> bool {
+        self.entry.handle.is_poisoned()
+    }
+
+    /// Admits one compute-class request against the per-session cap
+    /// (`cap == 0` means unlimited). Returns the guard that releases the
+    /// slot on drop, or `None` when the session already has `cap`
+    /// requests in flight — the caller replies `overloaded` instead of
+    /// queueing unboundedly behind one session's mutex.
+    pub fn try_admit(&self, cap: usize) -> Option<InFlightGuard> {
+        let mut current = self.entry.in_flight.load(Ordering::Relaxed);
+        loop {
+            if cap != 0 && current >= cap {
+                return None;
+            }
+            match self.entry.in_flight.compare_exchange(
+                current,
+                current + 1,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => {
+                    return Some(InFlightGuard {
+                        entry: Arc::clone(&self.entry),
+                    })
+                }
+                Err(seen) => current = seen,
+            }
+        }
+    }
+
+    /// Requests currently holding this session (compute-class only).
+    pub fn in_flight(&self) -> usize {
+        self.entry.in_flight.load(Ordering::Relaxed)
+    }
+}
+
+/// Releases one in-flight slot on drop — taken before a compute request
+/// starts, dropped when its reply is decided (including error and panic
+/// paths, since the dispatch frame unwinds through it).
+#[derive(Debug)]
+pub struct InFlightGuard {
+    entry: Arc<Entry>,
+}
+
+impl Drop for InFlightGuard {
+    fn drop(&mut self) {
+        self.entry.in_flight.fetch_sub(1, Ordering::AcqRel);
     }
 }
 
@@ -119,13 +190,43 @@ impl SessionRegistry {
     /// A handle to the named session, creating it on first use — the wire
     /// protocol's behavior: naming a session is enough to bring it up.
     pub fn attach_or_create(&self, name: &str) -> SessionHandle {
-        if let Ok(handle) = self.attach(name) {
-            return handle;
+        Arc::clone(self.lease(name).handle())
+    }
+
+    /// Like [`SessionRegistry::attach_or_create`], but returns the full
+    /// [`SessionLease`] carrying the entry's in-flight accounting.
+    pub fn lease(&self, name: &str) -> SessionLease {
+        loop {
+            if let Some(entry) = self
+                .sessions
+                .read()
+                .expect("registry lock")
+                .get(name)
+                .map(Arc::clone)
+            {
+                entry.touch();
+                return SessionLease { entry };
+            }
+            let mut sessions = self.sessions.write().expect("registry lock");
+            // Racing creators: only insert if still absent, then loop back
+            // through the read path so every caller shares one entry.
+            sessions.entry(name.to_string()).or_insert_with(Entry::new);
         }
-        match self.create(name) {
-            Ok(handle) => handle,
-            // Lost a create race: the winner's session is the one to use.
-            Err(_) => self.attach(name).expect("racing create inserted the session"),
+    }
+
+    /// Replaces a session whose mutex was poisoned by a panicking holder
+    /// with a fresh, empty session under the same name. Returns `true`
+    /// when a replacement happened; a healthy (or already-replaced) entry
+    /// is left alone, so concurrent detectors of the same poisoning race
+    /// benignly — the first one swaps, the rest see a healthy entry.
+    pub fn replace_poisoned(&self, name: &str) -> bool {
+        let mut sessions = self.sessions.write().expect("registry lock");
+        match sessions.get(name) {
+            Some(entry) if entry.handle.is_poisoned() => {
+                sessions.insert(name.to_string(), Entry::new());
+                true
+            }
+            _ => false,
         }
     }
 
@@ -143,14 +244,16 @@ impl SessionRegistry {
     /// Evicts every session not attached for at least `ttl`, returning the
     /// evicted names sorted. As with [`SessionRegistry::evict`], clients
     /// still holding a handle keep a working session — eviction only
-    /// forgets the name. A session executing a long command counts as idle
-    /// from its last *attach*; servers sweep between requests, so this
-    /// only matters for TTLs shorter than a single command.
+    /// forgets the name. A session with admitted in-flight requests is
+    /// never evicted regardless of its attach clock: a long-running
+    /// quantification must not have its name swept out from under it.
     pub fn evict_idle(&self, ttl: Duration) -> Vec<String> {
         let mut sessions = self.sessions.write().expect("registry lock");
         let mut evicted: Vec<String> = sessions
             .iter()
-            .filter(|(_, entry)| entry.idle_for() >= ttl)
+            .filter(|(_, entry)| {
+                entry.in_flight.load(Ordering::Relaxed) == 0 && entry.idle_for() >= ttl
+            })
             .map(|(name, _)| name.clone())
             .collect();
         for name in &evicted {
@@ -279,6 +382,73 @@ mod tests {
         let handle = registry.attach("shared").unwrap();
         let session = handle.lock().unwrap();
         assert_eq!(session.dataset_names().len(), 8);
+    }
+
+    #[test]
+    fn admission_cap_bounds_in_flight_requests_per_session() {
+        let registry = SessionRegistry::new();
+        let lease = registry.lease("s");
+        assert_eq!(lease.in_flight(), 0);
+        let a = lease.try_admit(2).expect("first slot");
+        let b = lease.try_admit(2).expect("second slot");
+        // At the cap: further admissions are refused, including through a
+        // separately obtained lease of the same entry.
+        assert!(lease.try_admit(2).is_none());
+        assert!(registry.lease("s").try_admit(2).is_none());
+        assert_eq!(lease.in_flight(), 2);
+        // Cap 0 means unlimited.
+        let c = lease.try_admit(0).expect("uncapped");
+        drop(c);
+        // Releasing a slot re-opens admission.
+        drop(a);
+        let _a2 = lease.try_admit(2).expect("slot reopened");
+        drop(b);
+    }
+
+    #[test]
+    fn in_flight_sessions_survive_idle_eviction() {
+        let registry = SessionRegistry::new();
+        let lease = registry.lease("busy");
+        registry.lease("idle");
+        let guard = lease.try_admit(1).unwrap();
+        std::thread::sleep(Duration::from_millis(2));
+        assert_eq!(registry.evict_idle(Duration::ZERO), vec!["idle"]);
+        assert_eq!(registry.names(), vec!["busy"]);
+        drop(guard);
+        std::thread::sleep(Duration::from_millis(2));
+        assert_eq!(registry.evict_idle(Duration::ZERO), vec!["busy"]);
+    }
+
+    #[test]
+    fn poisoned_sessions_are_replaced_with_fresh_state() {
+        let registry = Arc::new(SessionRegistry::new());
+        let lease = registry.lease("s");
+        {
+            let mut session = lease.handle().lock().unwrap();
+            apply(
+                &mut session,
+                Command::parse("generate pop biased n=40 seed=1").unwrap(),
+            )
+            .unwrap();
+        }
+        // Panic while holding the session lock (what a crashing command
+        // does on a pool worker).
+        let handle = Arc::clone(lease.handle());
+        let _ = std::thread::spawn(move || {
+            let _guard = handle.lock().unwrap();
+            panic!("command blew up while holding the session");
+        })
+        .join();
+        assert!(lease.is_poisoned());
+        // A healthy name is never replaced; the poisoned one is.
+        assert!(!registry.replace_poisoned("ghost"));
+        assert!(registry.replace_poisoned("s"));
+        // Second detector of the same poisoning races benignly.
+        assert!(!registry.replace_poisoned("s"));
+        // Re-attaching under the name reaches a fresh, working session.
+        let fresh = registry.lease("s");
+        assert!(!fresh.is_poisoned());
+        assert!(fresh.handle().lock().unwrap().dataset_names().is_empty());
     }
 
     #[test]

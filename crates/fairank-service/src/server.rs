@@ -5,18 +5,22 @@
 //! budget is governed by the pool, so 100 idle clients cost 100 parked
 //! threads while at most `workers` quantifications run at once.
 
+use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
-use fairank_session::command::{apply, Command};
-use fairank_session::Response;
+use fairank_core::cancel::{CancelReason, CancelToken, RunBudget};
+use fairank_core::fault;
+use fairank_session::command::{apply_with_budget, Command};
+use fairank_session::{ErrorResponse, Response};
 
-use crate::pool::WorkerPool;
+use crate::pool::{PoolFull, WorkerPool};
 use crate::protocol::{Reply, Request};
-use crate::registry::SessionRegistry;
+use crate::registry::{SessionLease, SessionRegistry};
 
 /// Hard cap on one request line. A client that streams bytes without a
 /// newline is cut off here instead of growing the read buffer without
@@ -44,6 +48,58 @@ pub struct ServerConfig {
     /// idle sessions expire even on a server that never accepts another
     /// connection. `None` (the default) keeps sessions forever.
     pub session_ttl: Option<std::time::Duration>,
+    /// Per-request compute deadline. A request still running when it
+    /// expires is cancelled cooperatively and answered with the structured
+    /// `deadline_exceeded` error (carrying partial search counters).
+    /// `None` (the default) lets requests run unbounded.
+    pub request_timeout: Option<std::time::Duration>,
+    /// Maximum compute-class requests one session may have in flight at
+    /// once; extra requests are refused with `overloaded` instead of
+    /// queueing unboundedly behind the session's mutex. 0 = unlimited.
+    pub session_inflight_cap: usize,
+}
+
+/// Shared run-state of a serving server: the drain flag, the global
+/// shutdown cancel token every request's budget carries, the in-flight
+/// request count, and the open connection sockets (so shutdown can
+/// force-close readers blocked on quiet peers).
+#[derive(Debug, Default)]
+struct ServeState {
+    draining: AtomicBool,
+    shutdown_token: CancelToken,
+    active_requests: AtomicUsize,
+    next_conn_id: AtomicU64,
+    conns: Mutex<HashMap<u64, TcpStream>>,
+}
+
+impl ServeState {
+    fn register_conn(&self, stream: &TcpStream) -> Option<u64> {
+        let id = self.next_conn_id.fetch_add(1, Ordering::Relaxed);
+        let clone = stream.try_clone().ok()?;
+        self.conns
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .insert(id, clone);
+        Some(id)
+    }
+
+    fn deregister_conn(&self, id: u64) {
+        self.conns
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .remove(&id);
+    }
+
+    fn close_all_conns(&self) {
+        for (_, conn) in self
+            .conns
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .drain()
+        {
+            let _ = conn.shutdown(std::net::Shutdown::Both);
+        }
+    }
 }
 
 /// A running multi-session FaiRank server.
@@ -54,7 +110,10 @@ pub struct Server {
     pool: Arc<WorkerPool>,
     policy: DispatchPolicy,
     session_ttl: Option<std::time::Duration>,
+    request_timeout: Option<std::time::Duration>,
+    session_inflight_cap: usize,
     stop: Arc<AtomicBool>,
+    state: Arc<ServeState>,
 }
 
 /// Handle to a server running on a background thread (see
@@ -63,6 +122,7 @@ pub struct Server {
 pub struct ServerHandle {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
+    state: Arc<ServeState>,
     thread: Option<JoinHandle<()>>,
 }
 
@@ -91,7 +151,10 @@ impl Server {
                 admin: config.admin,
             },
             session_ttl: config.session_ttl,
+            request_timeout: config.request_timeout,
+            session_inflight_cap: config.session_inflight_cap,
             stop: Arc::new(AtomicBool::new(false)),
+            state: Arc::new(ServeState::default()),
         })
     }
 
@@ -115,14 +178,27 @@ impl Server {
         let sweeper = self.session_ttl.map(|ttl| {
             spawn_ttl_sweeper(Arc::clone(&self.registry), Arc::clone(&self.stop), ttl)
         });
+        let limits = ConnLimits {
+            request_timeout: self.request_timeout,
+            session_inflight_cap: self.session_inflight_cap,
+        };
         for stream in self.listener.incoming() {
             if self.stop.load(Ordering::SeqCst) {
                 break;
             }
-            let Ok(stream) = stream else { continue };
+            let Ok(mut stream) = stream else { continue };
+            if self.state.draining.load(Ordering::SeqCst) {
+                // A draining server refuses new connections with a
+                // structured reason instead of a silent close.
+                send_reply(&mut stream, &Reply::shutting_down());
+                continue;
+            }
             let registry = Arc::clone(&self.registry);
             let pool = Arc::clone(&self.pool);
-            std::thread::spawn(move || serve_connection(stream, &registry, &pool, policy));
+            let state = Arc::clone(&self.state);
+            std::thread::spawn(move || {
+                serve_connection(stream, &registry, &pool, policy, &state, limits)
+            });
         }
         if let Some(thread) = sweeper {
             let _ = thread.join();
@@ -134,12 +210,14 @@ impl Server {
     pub fn spawn(self) -> std::io::Result<ServerHandle> {
         let addr = self.local_addr()?;
         let stop = Arc::clone(&self.stop);
+        let state = Arc::clone(&self.state);
         let thread = std::thread::Builder::new()
             .name("fairank-server".into())
             .spawn(move || self.run())?;
         Ok(ServerHandle {
             addr,
             stop,
+            state,
             thread: Some(thread),
         })
     }
@@ -152,11 +230,52 @@ impl ServerHandle {
     }
 
     /// Stops accepting new connections and joins the accept thread.
-    /// Already-open connections finish at their own pace.
+    /// In-flight compute is cancelled cooperatively (clients receive the
+    /// structured `shutting_down` error) rather than drained.
     pub fn stop(mut self) {
+        self.state.draining.store(true, Ordering::SeqCst);
+        self.state.shutdown_token.cancel(CancelReason::Shutdown);
         self.stop.store(true, Ordering::SeqCst);
         // Wake the blocking accept with a throwaway connection.
         let _ = TcpStream::connect(self.addr);
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+
+    /// Graceful shutdown: refuse new connections and new requests, let
+    /// in-flight requests finish for up to `drain`, then cancel whatever
+    /// is still running (those clients receive `shutting_down`), close
+    /// lingering connection sockets, and join the accept thread — which
+    /// transitively joins the TTL sweeper and, once the last connection
+    /// thread releases the pool, its workers.
+    pub fn shutdown(mut self, drain: Duration) {
+        // Phase 1: refuse new work everywhere. `draining` turns both new
+        // connections (accept loop) and new requests on live connections
+        // (dispatch) into structured `shutting_down` replies.
+        self.state.draining.store(true, Ordering::SeqCst);
+        self.stop.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.addr); // wake the accept loop
+        // Phase 2: drain — wait for in-flight requests to finish.
+        let deadline = Instant::now() + drain;
+        while self.state.active_requests.load(Ordering::SeqCst) > 0
+            && Instant::now() < deadline
+        {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        // Phase 3: whatever outlived the drain window is cancelled
+        // cooperatively; searches notice within one budget-poll stride
+        // and return `shutting_down` with partial stats.
+        self.state.shutdown_token.cancel(CancelReason::Shutdown);
+        let forced = Instant::now() + Duration::from_secs(10);
+        while self.state.active_requests.load(Ordering::SeqCst) > 0
+            && Instant::now() < forced
+        {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        // Phase 4: unblock connection readers parked on quiet peers so
+        // their threads exit, then join the accept thread.
+        self.state.close_all_conns();
         if let Some(thread) = self.thread.take() {
             let _ = thread.join();
         }
@@ -166,6 +285,8 @@ impl ServerHandle {
 impl Drop for ServerHandle {
     fn drop(&mut self) {
         if let Some(thread) = self.thread.take() {
+            self.state.draining.store(true, Ordering::SeqCst);
+            self.state.shutdown_token.cancel(CancelReason::Shutdown);
             self.stop.store(true, Ordering::SeqCst);
             let _ = TcpStream::connect(self.addr);
             let _ = thread.join();
@@ -221,21 +342,57 @@ pub struct DispatchPolicy {
 }
 
 fn forbidden(message: &str) -> Reply {
-    Reply::err(fairank_session::ErrorResponse {
-        kind: "forbidden".to_string(),
-        message: message.to_string(),
-    })
+    Reply::err(ErrorResponse::new("forbidden", message))
+}
+
+/// Per-request operational context threaded from the connection layer
+/// into [`dispatch_with`]: the cancellation scope compute must poll, plus
+/// the admission limits in force.
+#[derive(Debug, Clone, Default)]
+pub struct RequestContext {
+    /// Cancellation scope (request deadline, disconnect token, global
+    /// shutdown token). Compute-class commands poll it cooperatively.
+    pub budget: RunBudget,
+    /// Per-session in-flight cap (0 = unlimited).
+    pub session_inflight_cap: usize,
+    /// Set while the server drains: all requests are refused with the
+    /// structured `shutting_down` error.
+    pub draining: bool,
+}
+
+/// The back-off hint attached to `overloaded` refusals. A constant (not
+/// measured) hint: long enough that a retry storm cannot re-saturate the
+/// queue instantly, short enough that a drained queue is refilled fast.
+pub const RETRY_AFTER_MS: u64 = 100;
+
+/// What a pool job reports back: the command result, or the discovery
+/// that the session mutex was poisoned by an earlier panic.
+enum Exec {
+    Done(Result<Response, fairank_session::SessionError>),
+    Poisoned,
+}
+
+/// Replaces a poisoned session with a fresh one and reports it. The next
+/// request under the name gets a clean, working session.
+fn quarantine(registry: &SessionRegistry, session_name: &str) -> Reply {
+    registry.replace_poisoned(session_name);
+    Reply::session_poisoned(session_name)
 }
 
 /// Executes one parsed request against the registry, routing CPU-bound
 /// commands through the pool. This is the whole request semantics — the
-/// TCP layer only adds line framing around it.
-pub fn dispatch(
+/// TCP layer only adds line framing (and the per-request context) around
+/// it. The default-context form is [`dispatch`].
+pub fn dispatch_with(
     registry: &SessionRegistry,
     pool: &WorkerPool,
     request: Request,
     policy: DispatchPolicy,
+    ctx: &RequestContext,
 ) -> Reply {
+    if ctx.draining {
+        return Reply::shutting_down();
+    }
     let session_name = request.session_name().to_string();
     // A structured scenario spec takes precedence over the command string.
     let command = match request.scenario {
@@ -266,44 +423,98 @@ pub fn dispatch(
             Command::Sessions => Reply::ok(Response::SessionList(registry.names())),
             Command::Evict { name } => match registry.evict(&name) {
                 Ok(()) => Reply::ok(Response::SessionEvicted { name }),
-                Err(e) => Reply::err(fairank_session::ErrorResponse {
-                    kind: "unknown_session".to_string(),
-                    message: e.to_string(),
-                }),
+                Err(e) => Reply::err(ErrorResponse::new("unknown_session", e.to_string())),
             },
             _ => unreachable!("is_registry_admin covers exactly these commands"),
         };
     }
-    let handle = registry.attach_or_create(&session_name);
-    // Scenario plans do not occupy one worker slot for their whole run:
-    // the connection thread compiles the plan and fans the independent
-    // cells across the pool, so an N-cell grid saturates all workers.
-    if matches!(
+    let lease = registry.lease(&session_name);
+    // A session poisoned by an earlier panic is quarantined up front: the
+    // half-mutated state is discarded, this request gets the structured
+    // `session_poisoned` report, and the next one a fresh session.
+    if lease.is_poisoned() {
+        return quarantine(registry, &session_name);
+    }
+    let is_scenario = matches!(
         command,
         Command::RunScenario { .. } | Command::RunScenarioFile { .. }
-    ) {
-        return Reply::from_result(run_scenario_on_pool(&handle, command, pool));
-    }
-    let result = if command.is_compute_heavy() {
-        match pool.run(move || {
-            let mut session = handle.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
-            apply(&mut session, command)
-        }) {
-            Some(result) => result,
-            // The job panicked; the worker survived, the session may be
-            // partially mutated but stays serviceable.
+    );
+    // Admission: compute-class requests (heavy commands and scenario
+    // plans) count against the session's in-flight cap; the guard frees
+    // the slot when the reply is decided, on every path out.
+    let _slot = if is_scenario || command.is_compute_heavy() {
+        match lease.try_admit(ctx.session_inflight_cap) {
+            Some(guard) => Some(guard),
             None => {
-                return Reply::err(fairank_session::ErrorResponse {
-                    kind: "internal".to_string(),
-                    message: "command panicked while executing".to_string(),
-                })
+                return Reply::overloaded(
+                    format!(
+                        "session {session_name:?} already has {} request(s) in \
+                         flight (cap {})",
+                        lease.in_flight(),
+                        ctx.session_inflight_cap
+                    ),
+                    RETRY_AFTER_MS,
+                )
             }
         }
     } else {
-        let mut session = handle.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
-        apply(&mut session, command)
+        None
+    };
+    // Scenario plans do not occupy one worker slot for their whole run:
+    // the connection thread compiles the plan and fans the independent
+    // cells across the pool, so an N-cell grid saturates all workers.
+    if is_scenario {
+        return Reply::from_result(run_scenario_on_pool(&lease, command, pool, &ctx.budget));
+    }
+    let result = if command.is_compute_heavy() {
+        let handle = Arc::clone(lease.handle());
+        let budget = ctx.budget.clone();
+        match pool.try_run(move || match handle.lock() {
+            Ok(mut session) => Exec::Done(apply_with_budget(&mut session, command, budget)),
+            Err(_) => Exec::Poisoned,
+        }) {
+            // Every worker busy and the queue full: structured
+            // backpressure instead of blocking the connection thread.
+            Err(PoolFull) => {
+                return Reply::overloaded(
+                    "server is at capacity (all workers busy, queue full)",
+                    RETRY_AFTER_MS,
+                )
+            }
+            Ok(Some(Exec::Done(result))) => result,
+            Ok(Some(Exec::Poisoned)) => return quarantine(registry, &session_name),
+            // The job panicked; the worker survived. If the panic happened
+            // while holding the session lock, the state is suspect —
+            // quarantine it; otherwise the session stays serviceable.
+            Ok(None) => {
+                if lease.is_poisoned() {
+                    return quarantine(registry, &session_name);
+                }
+                return Reply::err(ErrorResponse::new(
+                    "internal",
+                    "command panicked while executing",
+                ));
+            }
+        }
+    } else {
+        match lease.handle().lock() {
+            Ok(mut session) => apply_with_budget(&mut session, command, ctx.budget.clone()),
+            Err(_) => return quarantine(registry, &session_name),
+        }
     };
     Reply::from_result(result)
+}
+
+/// [`dispatch_with`] under the default context: no deadline, no caps, not
+/// draining — the semantics embedded callers and tests relied on before
+/// operational limits existed.
+pub fn dispatch(
+    registry: &SessionRegistry,
+    pool: &WorkerPool,
+    request: Request,
+    policy: DispatchPolicy,
+) -> Reply {
+    dispatch_with(registry, pool, request, policy, &RequestContext::default())
 }
 
 /// Compiles a scenario command against the session and executes its cells
@@ -320,12 +531,14 @@ pub fn dispatch(
 /// then-current session, exactly as two users typing concurrently would
 /// see.
 fn run_scenario_on_pool(
-    handle: &crate::registry::SessionHandle,
+    lease: &SessionLease,
     command: Command,
     pool: &WorkerPool,
+    budget: &RunBudget,
 ) -> Result<Response, fairank_session::SessionError> {
     use fairank_session::plan;
 
+    let handle = lease.handle();
     let spec = match command {
         Command::RunScenario { spec } => *spec,
         // Only reachable under `--allow-fs`.
@@ -339,7 +552,9 @@ fn run_scenario_on_pool(
     };
     let compiled = {
         let session = handle.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
-        plan::compile(&session, &spec)?
+        // The request's cancellation scope rides into every cell: a grid
+        // hitting its deadline aborts all in-flight cells cooperatively.
+        plan::compile(&session, &spec)?.with_run_budget(budget)
     };
     let executed = compiled.execute_with(|cells| {
         pool.run_batch(
@@ -362,15 +577,76 @@ fn run_scenario_on_pool(
     Ok(Response::Scenario(executed.finish(Some(&mut session))?))
 }
 
+/// The per-connection operational limits (copied out of the server).
+#[derive(Debug, Clone, Copy)]
+struct ConnLimits {
+    request_timeout: Option<Duration>,
+    session_inflight_cap: usize,
+}
+
+/// How often the disconnect watcher probes the peer while a request is in
+/// flight. Short enough that an abandoned search stops within tens of
+/// milliseconds of the client vanishing.
+const DISCONNECT_PROBE: Duration = Duration::from_millis(25);
+
+/// Watches the connection's read side while a request executes: a peer
+/// that closes (EOF) or errors mid-request cancels the request's token
+/// with [`CancelReason::Disconnected`], so the compute it abandoned stops
+/// burning workers. Returns the watcher thread; the caller flips `done`
+/// and joins it once the reply is decided.
+///
+/// The probe uses a socket-level read timeout, which is shared with the
+/// connection's reader (`SO_RCVTIMEO` is per socket, not per clone) — the
+/// watcher must clear it before exiting, and the caller must join the
+/// watcher before the next blocking read.
+fn spawn_disconnect_watcher(
+    stream: &TcpStream,
+    token: CancelToken,
+    done: Arc<AtomicBool>,
+) -> Option<JoinHandle<()>> {
+    let probe = stream.try_clone().ok()?;
+    std::thread::Builder::new()
+        .name("fairank-conn-watch".into())
+        .spawn(move || {
+            if probe.set_read_timeout(Some(DISCONNECT_PROBE)).is_err() {
+                return;
+            }
+            let mut byte = [0u8; 1];
+            while !done.load(Ordering::SeqCst) {
+                match probe.peek(&mut byte) {
+                    Ok(0) => {
+                        token.cancel(CancelReason::Disconnected);
+                        break;
+                    }
+                    // Bytes waiting (a pipelined request): the peer is
+                    // alive; don't spin on the instantly-ready peek.
+                    Ok(_) => std::thread::sleep(DISCONNECT_PROBE),
+                    Err(e)
+                        if e.kind() == std::io::ErrorKind::WouldBlock
+                            || e.kind() == std::io::ErrorKind::TimedOut => {}
+                    Err(_) => {
+                        token.cancel(CancelReason::Disconnected);
+                        break;
+                    }
+                }
+            }
+            let _ = probe.set_read_timeout(None);
+        })
+        .ok()
+}
+
 fn serve_connection(
     stream: TcpStream,
     registry: &SessionRegistry,
     pool: &WorkerPool,
     policy: DispatchPolicy,
+    state: &ServeState,
+    limits: ConnLimits,
 ) {
     let Ok(read_half) = stream.try_clone() else {
         return;
     };
+    let conn_id = state.register_conn(&stream);
     let mut reader = BufReader::new(read_half);
     let mut writer = stream;
     loop {
@@ -403,13 +679,55 @@ fn serve_connection(
             continue;
         }
         let reply = match serde_json::from_str::<Request>(line) {
-            Ok(request) => dispatch(registry, pool, request, policy),
+            Ok(request) => {
+                // Assemble the request's cancellation scope: deadline
+                // (when configured), a per-request token the disconnect
+                // watcher can fire, and the server's shutdown token.
+                let request_token = CancelToken::new();
+                let mut budget = RunBudget::unlimited()
+                    .with_token(request_token.clone())
+                    .with_token(state.shutdown_token.clone());
+                if let Some(timeout) = limits.request_timeout {
+                    budget = budget.with_timeout(timeout);
+                }
+                let ctx = RequestContext {
+                    budget,
+                    session_inflight_cap: limits.session_inflight_cap,
+                    draining: state.draining.load(Ordering::SeqCst),
+                };
+                let done = Arc::new(AtomicBool::new(false));
+                let watcher =
+                    spawn_disconnect_watcher(&writer, request_token, Arc::clone(&done));
+                state.active_requests.fetch_add(1, Ordering::SeqCst);
+                let reply = dispatch_with(registry, pool, request, policy, &ctx);
+                state.active_requests.fetch_sub(1, Ordering::SeqCst);
+                done.store(true, Ordering::SeqCst);
+                if let Some(watcher) = watcher {
+                    // Must finish before the next blocking read: the
+                    // watcher owns the socket's read timeout.
+                    let _ = watcher.join();
+                }
+                reply
+            }
             Err(e) => Reply::protocol_error(format!("malformed request: {e}")),
         };
         let quit = matches!(reply, Reply::ok(Response::Quit));
         let Ok(text) = serde_json::to_string(&reply) else {
             break;
         };
+        // Fault injection (debug builds only; `fault::active` is a
+        // constant `false` in release, so both branches compile away).
+        if fault::active(fault::DROP_CONN) {
+            break; // vanish without a reply
+        }
+        if fault::active(fault::TORN_WRITE) {
+            // Write half the reply and cut the connection: clients must
+            // treat the unterminated line as malformed, not parse it.
+            let half = text.len() / 2;
+            let _ = writer.write_all(&text.as_bytes()[..half]);
+            let _ = writer.flush();
+            break;
+        }
         if writer
             .write_all(text.as_bytes())
             .and_then(|()| writer.write_all(b"\n"))
@@ -421,6 +739,9 @@ fn serve_connection(
         if quit {
             break; // `quit` ends the connection, not the server
         }
+    }
+    if let Some(id) = conn_id {
+        state.deregister_conn(id);
     }
 }
 
@@ -633,7 +954,10 @@ mod tests {
         // the lone worker would block forever and the queued cells would
         // never run.
         let registry = Arc::new(SessionRegistry::new());
-        let pool = Arc::new(WorkerPool::new(1, 2));
+        // Queue deep enough that the heavy command's (non-blocking)
+        // admission is never refused while the scenario floods the pool —
+        // this test is about lock ordering, not backpressure.
+        let pool = Arc::new(WorkerPool::new(1, 8));
         for line in ["generate pop biased n=60 seed=2", "define f rating*1.0"] {
             assert!(dispatch(&registry, &pool, Request::new(line), LOCKED).is_ok());
         }

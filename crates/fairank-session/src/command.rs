@@ -1045,6 +1045,22 @@ pub fn apply(session: &mut Session, command: Command) -> Result<Response> {
     }
 }
 
+/// Applies a command under a cancellation scope: installs `budget` as the
+/// session's run budget for the duration of the call, then restores the
+/// previous scope — even when the command errors. This is how the service
+/// threads per-request deadlines and cancel tokens through the whole
+/// command surface without widening every signature.
+pub fn apply_with_budget(
+    session: &mut Session,
+    command: Command,
+    budget: fairank_core::cancel::RunBudget,
+) -> Result<Response> {
+    let previous = std::mem::replace(session.run_budget_mut(), budget);
+    let result = apply(session, command);
+    *session.run_budget_mut() = previous;
+    result
+}
+
 /// Executes a command against a session, returning the text to print.
 /// `Quit` returns the string `"quit"`; the REPL loop watches for it.
 ///

@@ -2,6 +2,8 @@
 
 use std::fmt;
 
+use fairank_core::cancel::CancelReason;
+use fairank_core::quantify::SearchStats;
 use fairank_core::CoreError;
 use fairank_data::DataError;
 use fairank_marketplace::MarketError;
@@ -30,6 +32,12 @@ pub enum SessionError {
     Internal(String),
     /// An error bubbled up from the core crate.
     Core(CoreError),
+    /// A cooperative cancellation (deadline, client disconnect, shutdown)
+    /// aborted the request's compute; carries the partial search counters.
+    Cancelled {
+        reason: CancelReason,
+        stats: SearchStats,
+    },
     /// An error bubbled up from the dataset substrate.
     Data(DataError),
     /// An error bubbled up from the anonymization substrate.
@@ -60,6 +68,12 @@ impl fmt::Display for SessionError {
             SessionError::Command(msg) => write!(f, "command error: {msg}"),
             SessionError::Internal(msg) => write!(f, "internal error: {msg}"),
             SessionError::Core(e) => write!(f, "{e}"),
+            SessionError::Cancelled { reason, stats } => write!(
+                f,
+                "request aborted: {reason} \
+                 (partial progress: {} nodes evaluated, {} splits, {} EMD calls)",
+                stats.nodes_evaluated, stats.splits_performed, stats.emd_calls
+            ),
             SessionError::Data(e) => write!(f, "{e}"),
             SessionError::Anon(e) => write!(f, "{e}"),
             SessionError::Market(e) => write!(f, "{e}"),
@@ -73,7 +87,15 @@ impl std::error::Error for SessionError {}
 
 impl From<CoreError> for SessionError {
     fn from(e: CoreError) -> Self {
-        SessionError::Core(e)
+        match e {
+            // Cancellation is operational, not analytical: it surfaces under
+            // its own wire kinds (`deadline_exceeded` / `shutting_down` /
+            // `cancelled`) instead of the generic `core`.
+            CoreError::Cancelled { reason, stats } => {
+                SessionError::Cancelled { reason, stats }
+            }
+            other => SessionError::Core(other),
+        }
     }
 }
 impl From<DataError> for SessionError {
@@ -111,6 +133,11 @@ impl SessionError {
             SessionError::Command(_) => "command",
             SessionError::Internal(_) => "internal",
             SessionError::Core(_) => "core",
+            SessionError::Cancelled { reason, .. } => match reason {
+                CancelReason::Deadline => "deadline_exceeded",
+                CancelReason::Disconnected => "cancelled",
+                CancelReason::Shutdown => "shutting_down",
+            },
             SessionError::Data(_) => "data",
             SessionError::Anon(_) => "anonymize",
             SessionError::Market(_) => "market",
@@ -122,19 +149,45 @@ impl SessionError {
 
 /// The structured wire form of a [`SessionError`]: a stable `kind` tag for
 /// programmatic handling plus the human `message` the REPL prints.
+///
+/// The optional fields ride along only when meaningful; absent fields
+/// deserialize as `None`, so old clients and old replies interoperate.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ErrorResponse {
     /// Stable machine-readable error class (see [`SessionError::kind`]).
     pub kind: String,
     /// Human-readable description (the error's `Display` text).
     pub message: String,
+    /// Partial search counters when a cancellation cut compute short.
+    pub partial: Option<SearchStats>,
+    /// Suggested client back-off (milliseconds) on transient refusals
+    /// (`overloaded`).
+    pub retry_after_ms: Option<u64>,
+}
+
+impl ErrorResponse {
+    /// A plain structured error with no optional payload.
+    pub fn new(kind: impl Into<String>, message: impl Into<String>) -> Self {
+        ErrorResponse {
+            kind: kind.into(),
+            message: message.into(),
+            partial: None,
+            retry_after_ms: None,
+        }
+    }
 }
 
 impl From<&SessionError> for ErrorResponse {
     fn from(e: &SessionError) -> Self {
+        let partial = match e {
+            SessionError::Cancelled { stats, .. } => Some(*stats),
+            _ => None,
+        };
         ErrorResponse {
             kind: e.kind().to_string(),
             message: e.to_string(),
+            partial,
+            retry_after_ms: None,
         }
     }
 }
@@ -189,6 +242,52 @@ mod tests {
         for (err, kind) in cases {
             assert_eq!(err.kind(), kind);
         }
+    }
+
+    #[test]
+    fn cancellation_kinds_are_stable() {
+        let cases = [
+            (CancelReason::Deadline, "deadline_exceeded"),
+            (CancelReason::Disconnected, "cancelled"),
+            (CancelReason::Shutdown, "shutting_down"),
+        ];
+        for (reason, kind) in cases {
+            let err = SessionError::Cancelled {
+                reason,
+                stats: SearchStats::default(),
+            };
+            assert_eq!(err.kind(), kind);
+            assert!(err.to_string().contains("partial progress"));
+        }
+    }
+
+    #[test]
+    fn cancelled_error_response_carries_partial_stats() {
+        let stats = SearchStats {
+            nodes_evaluated: 7,
+            emd_calls: 41,
+            ..Default::default()
+        };
+        let wire: ErrorResponse = SessionError::Cancelled {
+            reason: CancelReason::Deadline,
+            stats,
+        }
+        .into();
+        assert_eq!(wire.kind, "deadline_exceeded");
+        assert_eq!(wire.partial, Some(stats));
+        let json = serde_json::to_string(&wire).unwrap();
+        let back: ErrorResponse = serde_json::from_str(&json).unwrap();
+        assert_eq!(wire, back);
+    }
+
+    #[test]
+    fn error_response_without_optional_fields_still_parses() {
+        // A reply in the pre-cancellation wire format: no optional keys.
+        let back: ErrorResponse =
+            serde_json::from_str(r#"{"kind":"core","message":"x"}"#).unwrap();
+        assert_eq!(back.kind, "core");
+        assert_eq!(back.partial, None);
+        assert_eq!(back.retry_after_ms, None);
     }
 
     #[test]

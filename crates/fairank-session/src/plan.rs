@@ -26,6 +26,7 @@
 
 use std::time::Instant;
 
+use fairank_core::cancel::RunBudget;
 use fairank_core::emd::{Emd, EmdBackendKind};
 use fairank_core::fairness::{Aggregator, FairnessCriterion, Objective};
 use fairank_core::histogram::HistogramSpec;
@@ -241,6 +242,10 @@ pub struct Cell {
     index: usize,
     label: String,
     work: CellWork,
+    /// Cancellation scope the cell's search polls. Compiled as unlimited;
+    /// [`Plan::with_run_budget`] (or a session-backed run) stamps the
+    /// request's deadline and cancel tokens.
+    budget: RunBudget,
 }
 
 #[derive(Debug)]
@@ -360,14 +365,19 @@ impl Cell {
     /// Executes the cell. Self-contained and deterministic: the result
     /// depends only on the compiled inputs, never on execution order.
     pub fn execute(self) -> Result<CellResult> {
-        let Cell { index, label, work } = self;
+        let Cell {
+            index,
+            label,
+            work,
+            budget,
+        } = self;
         match work {
             CellWork::Panel {
                 config,
                 space,
                 strategy,
             } => {
-                let outcome = strategy.run(config.criterion, &space)?;
+                let outcome = strategy.run_budgeted(config.criterion, &space, &budget)?;
                 Ok(CellResult {
                     index,
                     stat: CellStat {
@@ -398,7 +408,7 @@ impl Cell {
                 subgroup_depth,
                 min_subgroup,
             } => {
-                let outcome = strategy.run(criterion, &space)?;
+                let outcome = strategy.run_budgeted(criterion, &space, &budget)?;
                 let stats = subgroup_stats(&space, &criterion, subgroup_depth, min_subgroup)?;
                 let most = most_favored(&stats, 1);
                 let least = least_favored(&stats, 1);
@@ -436,7 +446,7 @@ impl Cell {
                 criterion,
                 strategy,
             } => {
-                let outcome = strategy.run(criterion, &space)?;
+                let outcome = strategy.run_budgeted(criterion, &space, &budget)?;
                 let row = VariantRow {
                     label: variant_label,
                     weights,
@@ -771,6 +781,7 @@ impl Plan {
                     space,
                     strategy,
                 },
+                budget: RunBudget::unlimited(),
             });
         }
         Ok(Plan {
@@ -813,6 +824,7 @@ impl Plan {
                         subgroup_depth,
                         min_subgroup,
                     },
+                    budget: RunBudget::unlimited(),
                 });
             }
         }
@@ -870,6 +882,7 @@ impl Plan {
                         criterion: *criterion,
                         strategy,
                     },
+                    budget: RunBudget::unlimited(),
                 });
             }
         }
@@ -914,6 +927,7 @@ impl Plan {
                         member: member.clone(),
                         group_size: group_rows.len(),
                     },
+                    budget: RunBudget::unlimited(),
                 });
             }
         }
@@ -927,15 +941,30 @@ impl Plan {
         })
     }
 
+    /// Stamps every cell with the given cancellation scope. Cells compile
+    /// with an unlimited budget; session-backed runs stamp the session's
+    /// budget automatically, and the service stamps its per-request scope
+    /// before handing cells to the worker pool.
+    pub fn with_run_budget(mut self, budget: &RunBudget) -> Plan {
+        for cell in &mut self.cells {
+            cell.budget = budget.clone();
+        }
+        self
+    }
+
     /// Runs every cell sequentially on the calling thread, then reduces.
     pub fn run(self, session: &mut Session) -> Result<ScenarioReport> {
-        self.execute_with(run_cells_sequential).finish(Some(session))
+        self.with_run_budget(session.run_budget())
+            .execute_with(run_cells_sequential)
+            .finish(Some(session))
     }
 
     /// Runs cells on bounded scoped OS threads (they are CPU-bound and
     /// independent), then reduces. Results are identical to [`Plan::run`].
     pub fn run_parallel(self, session: &mut Session) -> Result<ScenarioReport> {
-        self.execute_with(run_cells_scoped).finish(Some(session))
+        self.with_run_budget(session.run_budget())
+            .execute_with(run_cells_scoped)
+            .finish(Some(session))
     }
 
     /// Runs cells through a caller-provided executor (e.g. a server worker
@@ -945,7 +974,9 @@ impl Plan {
     where
         E: FnOnce(Vec<Cell>) -> Vec<Result<CellResult>>,
     {
-        self.execute_with(executor).finish(Some(session))
+        self.with_run_budget(session.run_budget())
+            .execute_with(executor)
+            .finish(Some(session))
     }
 
     /// Runs sequentially without a session: marketplace perspectives never

@@ -10,6 +10,7 @@
 use std::collections::BTreeMap;
 
 use fairank_anonymize::{datafly, mondrian, DataflyConfig, MondrianConfig};
+use fairank_core::cancel::RunBudget;
 use fairank_core::quantify::Quantify;
 use fairank_core::scoring::{LinearScoring, ScoreSource};
 use fairank_data::dataset::Dataset;
@@ -38,12 +39,34 @@ pub struct Session {
     datasets: BTreeMap<String, Dataset>,
     functions: BTreeMap<String, LinearScoring>,
     panels: Vec<Panel>,
+    /// Cooperative cancellation scope every search run by this session
+    /// honors. Unlimited by default; the service installs a per-request
+    /// deadline + cancel tokens before dispatching a command.
+    run_budget: RunBudget,
 }
 
 impl Session {
     /// An empty session.
     pub fn new() -> Self {
         Session::default()
+    }
+
+    /// Installs the cancellation scope (deadline and/or cancel tokens)
+    /// searches run by this session poll. Pass [`RunBudget::unlimited`] to
+    /// clear it.
+    pub fn set_run_budget(&mut self, budget: RunBudget) {
+        self.run_budget = budget;
+    }
+
+    /// The session's current cancellation scope.
+    pub fn run_budget(&self) -> &RunBudget {
+        &self.run_budget
+    }
+
+    /// Mutable access to the cancellation scope, for scoped install/restore
+    /// (see [`crate::command::apply_with_budget`]).
+    pub fn run_budget_mut(&mut self) -> &mut RunBudget {
+        &mut self.run_budget
     }
 
     // ---- datasets -------------------------------------------------------
@@ -183,7 +206,9 @@ impl Session {
         };
         let space = working.to_space(&source)?;
         config.criterion = config.criterion.fit_range(&space);
-        let outcome = Quantify::new(config.criterion).run_space(&space)?;
+        let outcome = Quantify::new(config.criterion)
+            .with_run_budget(self.run_budget.clone())
+            .run_space(&space)?;
         let id = self.panels.len();
         self.panels.push(Panel {
             id,
