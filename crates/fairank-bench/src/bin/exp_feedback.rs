@@ -25,6 +25,7 @@ fn main() {
             top_k: 30,
             boost: 0.10,
             decay: 0.02,
+            ..Default::default()
         },
     )
     .expect("simulates");

@@ -34,6 +34,38 @@ pub fn row(cells: &[String], widths: &[usize]) {
     println!("{}", line.join("  "));
 }
 
+/// [`synthetic_space`] with per-attribute cardinalities — the realistic
+/// marketplace shape where one wide attribute (region, task category)
+/// coexists with narrow demographic ones. The score gap of `bias` attaches
+/// to value 0 of attribute 0, as in the uniform builder.
+pub fn synthetic_space_mixed(n: usize, cards: &[u32], bias: f64, seed: u64) -> RankingSpace {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut attributes = Vec::with_capacity(cards.len());
+    let mut codes0 = Vec::new();
+    for (a, &card) in cards.iter().enumerate() {
+        let codes: Vec<u32> = (0..n).map(|_| rng.gen_range(0..card)).collect();
+        if a == 0 {
+            codes0 = codes.clone();
+        }
+        attributes.push(ProtectedAttribute {
+            name: format!("a{a}"),
+            codes,
+            labels: (0..card).map(|c| format!("v{c}")).collect(),
+        });
+    }
+    let scores: Vec<f64> = (0..n)
+        .map(|i| {
+            let base: f64 = rng.gen_range(0.0..1.0 - bias);
+            if codes0[i] == 0 {
+                base
+            } else {
+                (base + bias).min(1.0)
+            }
+        })
+        .collect();
+    RankingSpace::new(attributes, scores).expect("synthetic space is valid")
+}
+
 /// A synthetic ranking space with controlled shape: `n` individuals,
 /// `attrs` protected attributes of `cardinality` values each, and a score
 /// gap of `bias` attached to value 0 of attribute 0 (so there is always a

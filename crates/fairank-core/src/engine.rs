@@ -58,7 +58,7 @@
 //! floating-point accumulation is unchanged and search results do not move
 //! by a single bit.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::hash::{BuildHasherDefault, Hasher};
 
 use crate::cancel::{BudgetChecker, CancelReason, RunBudget};
@@ -221,6 +221,62 @@ impl PathTrie {
     fn set_content(&mut self, node: u32, id: u32) {
         self.content[node as usize] = id;
     }
+
+    /// The node for `path` without creating anything — `None` if some step
+    /// was never inserted.
+    fn lookup(&self, path: &[PathStep]) -> Option<u32> {
+        let mut node = 0u32;
+        for step in path {
+            node = self.lookup_child(node, pack_step(step.attr, step.code))?;
+        }
+        Some(node)
+    }
+
+    /// The child of `node` along `step` without creating it.
+    fn lookup_child(&self, node: u32, step: u64) -> Option<u32> {
+        let mut e = self.first_edge[node as usize];
+        while e != NONE32 {
+            let ei = e as usize;
+            if self.edge_step[ei] == step {
+                return Some(self.edge_child[ei]);
+            }
+            e = self.edge_next[ei];
+        }
+        None
+    }
+
+    /// The cached content of `node`'s child along `step`, if both the edge
+    /// and its content exist.
+    fn child_content(&self, node: u32, step: u64) -> Option<u32> {
+        self.content(self.lookup_child(node, step)?)
+    }
+
+    /// Visits every `(packed step, child node)` edge of `node`, in the
+    /// list's (reverse-insertion) order.
+    fn for_each_edge<F: FnMut(u64, u32)>(&self, node: u32, mut f: F) {
+        let mut e = self.first_edge[node as usize];
+        while e != NONE32 {
+            let ei = e as usize;
+            f(self.edge_step[ei], self.edge_child[ei]);
+            e = self.edge_next[ei];
+        }
+    }
+
+    fn num_nodes(&self) -> usize {
+        self.first_edge.len()
+    }
+
+    /// Rewrites every stored content id through `remap` after a
+    /// [`ContentTable::retain_content`] compaction. Every referenced id
+    /// must have been kept live.
+    fn remap_contents(&mut self, remap: &[u32]) {
+        for c in &mut self.content {
+            if *c != NONE32 {
+                debug_assert_ne!(remap[*c as usize], NONE32, "live content dropped");
+                *c = remap[*c as usize];
+            }
+        }
+    }
 }
 
 /// How the [`ContentTable`] finds an existing id for a counts row.
@@ -253,6 +309,13 @@ struct ContentTable {
     mass_ready: Vec<bool>,
     /// Lazily materialized canonical `Histogram` per id.
     hists: Vec<Option<Histogram>>,
+    /// Generation tag per id: the [`Self::stamp`] in force when the id was
+    /// interned (or last confirmed by a mutation / reuse count). Lets an
+    /// incremental run count how much of an earlier generation's cache it
+    /// actually consulted. All zeros for from-scratch engines.
+    gen: Vec<u32>,
+    /// Tag applied to newly interned contents.
+    stamp: u32,
     index: ContentIndex,
 }
 
@@ -266,6 +329,8 @@ impl ContentTable {
             masses: Vec::new(),
             mass_ready: Vec::new(),
             hists: Vec::new(),
+            gen: Vec::new(),
+            stamp: 0,
             index,
         }
     }
@@ -308,11 +373,71 @@ impl ContentTable {
         self.masses.resize(self.masses.len() + self.bins, 0.0);
         self.mass_ready.push(false);
         self.hists.push(None);
+        self.gen.push(self.stamp);
         if let ContentIndex::Hashed(map) = &mut self.index {
             let h = Self::hash_row(row);
             map.entry(h).or_default().push(id);
         }
         id
+    }
+
+    /// Number of interned contents.
+    fn len(&self) -> usize {
+        self.totals.len()
+    }
+
+    /// Overwrites the id's generation tag (mutation layers stamp adjusted
+    /// or reconfirmed contents with the current generation).
+    #[inline]
+    fn mark_generation(&mut self, id: u32, generation: u32) {
+        self.gen[id as usize] = generation;
+    }
+
+    /// Drops every content whose `live` flag is false, compacting the
+    /// arenas in id order, and returns the old-id → new-id map
+    /// ([`NONE32`] marks a dropped id). The map is monotonic, so canonical
+    /// (unordered, `lo <= hi`) pair orientations survive rekeying.
+    fn retain_content(&mut self, live: &[bool]) -> Vec<u32> {
+        let n = self.totals.len();
+        debug_assert_eq!(live.len(), n, "one flag per content id");
+        let mut remap = vec![NONE32; n];
+        let mut next = 0u32;
+        for (old, &keep) in live.iter().enumerate() {
+            if !keep {
+                continue;
+            }
+            let new = next as usize;
+            next += 1;
+            remap[old] = new as u32;
+            if new != old {
+                let (ob, nb) = (old * self.bins, new * self.bins);
+                self.counts.copy_within(ob..ob + self.bins, nb);
+                self.masses.copy_within(ob..ob + self.bins, nb);
+                self.totals[new] = self.totals[old];
+                self.mass_ready[new] = self.mass_ready[old];
+                self.hists.swap(new, old);
+                self.gen[new] = self.gen[old];
+            }
+        }
+        let kept = next as usize;
+        self.counts.truncate(kept * self.bins);
+        self.masses.truncate(kept * self.bins);
+        self.totals.truncate(kept);
+        self.mass_ready.truncate(kept);
+        self.hists.truncate(kept);
+        self.gen.truncate(kept);
+        if matches!(self.index, ContentIndex::Hashed(_)) {
+            let hashes: Vec<u64> = (0..kept as u32)
+                .map(|id| Self::hash_row(self.row(id)))
+                .collect();
+            if let ContentIndex::Hashed(map) = &mut self.index {
+                map.clear();
+                for (id, h) in hashes.into_iter().enumerate() {
+                    map.entry(h).or_default().push(id as u32);
+                }
+            }
+        }
+        remap
     }
 
     #[inline]
@@ -445,6 +570,33 @@ impl FlatMemo {
             }
         }
     }
+
+    /// Selective invalidation: rewrites every surviving entry's id pair
+    /// through `remap` (old content id → new id, [`NONE32`] = dropped) and
+    /// discards entries touching a dropped id. Returns the number of
+    /// entries dropped. A monotonic remap preserves canonical pair
+    /// orientation, so rekeyed entries stay findable under `canon`.
+    fn retain_rekey(&mut self, remap: &[u32]) -> usize {
+        let cap = self.keys.len();
+        let old_keys = std::mem::replace(&mut self.keys, vec![Self::EMPTY; cap]);
+        let old_vals = std::mem::replace(&mut self.vals, vec![0.0; cap]);
+        self.len = 0;
+        let mut dropped = 0usize;
+        for (k, v) in old_keys.into_iter().zip(old_vals) {
+            if k == Self::EMPTY {
+                continue;
+            }
+            let (a, b) = ((k >> 32) as usize, (k & 0xFFFF_FFFF) as usize);
+            let ra = remap.get(a).copied().unwrap_or(NONE32);
+            let rb = remap.get(b).copied().unwrap_or(NONE32);
+            if ra == NONE32 || rb == NONE32 {
+                dropped += 1;
+            } else {
+                self.insert(((ra as u64) << 32) | rb as u64, v);
+            }
+        }
+        dropped
+    }
 }
 
 /// EMD memo keyed by the (canonical) pair of content ids. The compact form
@@ -496,6 +648,44 @@ impl EmdMemo {
                     *stride = new_stride;
                 }
                 cells[(a as usize) * *stride + (b as usize)] = d;
+            }
+        }
+    }
+
+    /// Selective invalidation over either representation: entries touching
+    /// a dropped content id ([`NONE32`] in `remap`) are discarded, the rest
+    /// rekeyed in place. Returns the number of entries dropped.
+    fn retain_rekey(&mut self, remap: &[u32]) -> usize {
+        match self {
+            EmdMemo::Flat(memo) => memo.retain_rekey(remap),
+            EmdMemo::Dense { stride, cells } => {
+                let s = *stride;
+                let mut kept: Vec<(usize, usize, f64)> = Vec::new();
+                let mut dropped = 0usize;
+                for a in 0..s {
+                    for b in 0..s {
+                        let v = cells[a * s + b];
+                        if v.is_nan() {
+                            continue;
+                        }
+                        let ra = remap.get(a).copied().unwrap_or(NONE32);
+                        let rb = remap.get(b).copied().unwrap_or(NONE32);
+                        if ra == NONE32 || rb == NONE32 {
+                            dropped += 1;
+                        } else {
+                            // Monotonic remap: ra <= a and rb <= b, so the
+                            // rekeyed cell stays inside the stride.
+                            kept.push((ra as usize, rb as usize, v));
+                        }
+                    }
+                }
+                for c in cells.iter_mut() {
+                    *c = f64::NAN;
+                }
+                for (a, b, v) in kept {
+                    cells[a * s + b] = v;
+                }
+                dropped
             }
         }
     }
@@ -564,6 +754,15 @@ pub struct EngineStats {
     /// kernel backend (each batch touches the memo once per *distinct*
     /// histogram pair instead of once per leaf pair).
     pub pairwise_batches: usize,
+    /// Distinct cached histogram contents an incremental (delta) run
+    /// consulted that were built by an earlier generation — the measure of
+    /// how much of the previous search survived the mutation. Always 0 for
+    /// from-scratch engines (generation 0).
+    pub delta_reused_histograms: usize,
+    /// EMD memo entries dropped by targeted invalidation (compaction of
+    /// contents orphaned by space mutations). Seeded by the incremental
+    /// subsystem; always 0 for from-scratch engines.
+    pub delta_invalidated_emds: usize,
 }
 
 /// The winning candidate split of a node: the attribute, its `mostUnfair`
@@ -582,6 +781,27 @@ pub struct CandidateSplit {
     /// Interned content id of each child histogram (engine-internal memo
     /// handles).
     pub(crate) child_ids: Vec<u32>,
+    /// The attribute value code behind each child, parallel to
+    /// `child_ids`. Codes are stable across memo compactions (content ids
+    /// are not), so they are what the incremental layer caches to
+    /// reconstruct a clean node's winner without re-scoring anything.
+    pub(crate) child_codes: Vec<u32>,
+}
+
+/// One attribute's recorded split summary at a trie node: the `(code,
+/// rows)` pairs of the counting pass, ascending by code. Recorded by
+/// [`SplitEngine::best_split`] when eval recording is on, incrementally
+/// patched by membership events ([`EngineParts::apply_event`]), and read
+/// back by [`SplitEngine::delta_best_split`] to reproduce the exact
+/// candidate set — including the `< 2 children` and min-size skips —
+/// without rescanning the node's rows.
+#[derive(Debug, Clone)]
+struct AttrEval {
+    attr: usize,
+    /// Present codes and their row counts, ascending by code. Entries may
+    /// decay to zero rows (a bin emptied by churn); reconstruction skips
+    /// them exactly like a fresh counting pass would.
+    sizes: Vec<(u32, u32)>,
 }
 
 /// Shared evaluation context for one search run over one ranking space.
@@ -598,6 +818,20 @@ pub struct SplitEngine<'a> {
     contents: ContentTable,
     /// EMD memo keyed by the unordered (canonical) pair of content ids.
     emd_memo: EmdMemo,
+    /// Per-trie-node split summaries ([`AttrEval`]), populated only when
+    /// `record_evals` is on (the incremental layer's summary source).
+    eval_log: Vec<Vec<AttrEval>>,
+    record_evals: bool,
+    /// The incremental layer's generation counter (0 for from-scratch
+    /// engines): contents tagged with an older generation count as reused
+    /// when consulted.
+    generation: u32,
+    /// Trie nodes whose partitions contain at least one row touched by a
+    /// mutation since the last completed replay ([`EngineParts::apply_event`]
+    /// visits exactly those). A partition whose trie node is absent from
+    /// this set has a bit-unchanged subtree: histograms, summaries, and
+    /// every split decision beneath it.
+    dirty_paths: HashSet<u32>,
     stats: EngineStats,
     scratch: Scratch,
     /// Strided cooperative-cancellation poll; unlimited by default, so one
@@ -646,6 +880,10 @@ impl<'a> SplitEngine<'a> {
             criterion,
             paths: PathTrie::new(),
             emd_memo,
+            eval_log: Vec::new(),
+            record_evals: false,
+            generation: 0,
+            dirty_paths: HashSet::new(),
             stats: EngineStats::default(),
             scratch: Scratch::default(),
             checker: RunBudget::unlimited().checker(),
@@ -668,6 +906,8 @@ impl<'a> SplitEngine<'a> {
             emd_calls: self.stats.emd_calls,
             emd_cache_hits: self.stats.emd_cache_hits,
             pairwise_batches: self.stats.pairwise_batches,
+            delta_reused_histograms: self.stats.delta_reused_histograms,
+            delta_invalidated_emds: self.stats.delta_invalidated_emds,
             ..SearchStats::default()
         }
     }
@@ -722,11 +962,25 @@ impl<'a> SplitEngine<'a> {
         self.stats
     }
 
+    /// Counts `id` as a cross-generation reuse the first time an
+    /// incremental run consults it: contents tagged with an older
+    /// generation are restamped current so each survivor counts once.
+    /// From-scratch engines stay at generation 0, where nothing predates
+    /// the run, so the counter (and this branch's work) stays zero.
+    #[inline]
+    fn note_reuse(&mut self, id: u32) {
+        if self.contents.gen[id as usize] < self.generation {
+            self.contents.gen[id as usize] = self.generation;
+            self.stats.delta_reused_histograms += 1;
+        }
+    }
+
     /// The partition's histogram content id, built through the binned-score
     /// cache on a trie miss. Hits walk the trie and allocate nothing.
     fn hist_id(&mut self, partition: &Partition) -> u32 {
         let node = self.paths.node_of(&partition.path);
         if let Some(id) = self.paths.content(node) {
+            self.note_reuse(id);
             return id;
         }
         let bins = self.contents.bins;
@@ -1176,6 +1430,58 @@ impl<'a> SplitEngine<'a> {
         result
     }
 
+    /// [`Self::versus`] with the partitions' histogram content ids already
+    /// in hand (the incremental replay threads them through the recursion
+    /// instead of re-walking the trie per node). Values are pure functions
+    /// of the ids, so the bits cannot differ from the partition form.
+    pub(crate) fn versus_ids(&mut self, current: u32, sibling_ids: &[u32]) -> Result<f64> {
+        self.note_reuse(current);
+        for &id in sibling_ids {
+            self.note_reuse(id);
+        }
+        self.cross_value(&[current], sibling_ids)
+    }
+
+    /// [`Self::children_versus_siblings`] with sibling content ids in hand.
+    pub(crate) fn children_versus_siblings_ids(
+        &mut self,
+        candidate: &CandidateSplit,
+        sibling_ids: &[u32],
+    ) -> Result<f64> {
+        for &id in sibling_ids {
+            self.note_reuse(id);
+        }
+        self.cross_value(&candidate.child_ids, sibling_ids)
+    }
+
+    /// [`Self::holistic_values`] with sibling and current content ids in
+    /// hand. List orders match the partition form exactly (siblings first,
+    /// then current / children), so every aggregated value is bit-equal.
+    pub(crate) fn holistic_values_ids(
+        &mut self,
+        sibling_ids: &[u32],
+        current: u32,
+        candidate: &CandidateSplit,
+    ) -> Result<(f64, f64)> {
+        let mut ids = std::mem::take(&mut self.scratch.ids);
+        ids.clear();
+        ids.extend_from_slice(sibling_ids);
+        ids.push(current);
+        for &id in &ids {
+            self.note_reuse(id);
+        }
+        let result = match self.pairwise_value(&ids) {
+            Ok(before) => {
+                ids.truncate(sibling_ids.len());
+                ids.extend(candidate.child_ids.iter().copied());
+                self.pairwise_value(&ids).map(|after| (before, after))
+            }
+            Err(e) => Err(e),
+        };
+        self.scratch.ids = ids;
+        result
+    }
+
     /// `mostUnfair(current, f, A)` via one-pass counting splits: each
     /// candidate attribute is scored with a single scan over the node's
     /// rows accumulating `counts[value][bin]` into a reused flat grid, so
@@ -1213,6 +1519,27 @@ impl<'a> SplitEngine<'a> {
                 counts[code * bins + self.bin_codes[row as usize] as usize] += 1;
                 sizes[code] += 1;
             }
+            if self.record_evals {
+                // Recorded before the skip checks, so a later delta
+                // reconstruction reproduces the skips too.
+                if self.eval_log.len() <= node as usize {
+                    self.eval_log.resize_with(node as usize + 1, Vec::new);
+                }
+                let summary: Vec<(u32, u32)> = sizes
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &s)| s > 0)
+                    .map(|(code, &s)| (code as u32, s))
+                    .collect();
+                let evals = &mut self.eval_log[node as usize];
+                match evals.iter_mut().find(|e| e.attr == attr) {
+                    Some(e) => e.sizes = summary,
+                    None => evals.push(AttrEval {
+                        attr,
+                        sizes: summary,
+                    }),
+                }
+            }
             let present = sizes.iter().filter(|&&s| s > 0).count();
             if present < 2 {
                 continue;
@@ -1225,13 +1552,18 @@ impl<'a> SplitEngine<'a> {
             }
             scored += 1;
             let mut child_ids = Vec::with_capacity(present);
+            let mut child_codes = Vec::with_capacity(present);
             for (code, &size) in sizes.iter().enumerate() {
                 if size == 0 {
                     continue;
                 }
+                child_codes.push(code as u32);
                 let child = self.paths.child_node(node, pack_step(attr, code as u32));
                 let id = match self.paths.content(child) {
-                    Some(id) => id,
+                    Some(id) => {
+                        self.note_reuse(id);
+                        id
+                    }
                     None => {
                         self.stats.histograms_built += 1;
                         let id = self
@@ -1259,6 +1591,7 @@ impl<'a> SplitEngine<'a> {
                     attr,
                     value,
                     child_ids,
+                    child_codes,
                 });
             }
         }
@@ -1268,6 +1601,391 @@ impl<'a> SplitEngine<'a> {
             Some(e) => Err(e),
             None => Ok((best, scored)),
         }
+    }
+
+    /// `mostUnfair` reconstructed from a previous generation's recorded
+    /// split summaries instead of a fresh row scan: per candidate
+    /// attribute, the [`AttrEval`] summary (incrementally patched by
+    /// [`EngineParts::apply_event`]) supplies exactly the per-code row
+    /// counts the counting pass would produce, so the `< 2 children` /
+    /// min-size skips, the scored count, and the candidate order replay
+    /// bit-for-bit; child histograms come straight from the trie's cached
+    /// contents. Anything unreconstructible — an unseen path, a missing
+    /// summary, a child edge or content the caches never built (e.g. a
+    /// brand-new attribute value) — falls back to the real
+    /// [`Self::best_split`], which re-records and thereby self-heals the
+    /// log. Every pairwise value is a pure function of content rows, so
+    /// the winner (and its score bits) cannot differ from a fresh run.
+    pub(crate) fn delta_best_split(
+        &mut self,
+        current: &Partition,
+        avail: &[usize],
+        min_partition_size: usize,
+    ) -> Result<(Option<CandidateSplit>, usize)> {
+        let Some(node) = self.paths.lookup(&current.path) else {
+            return self.best_split(current, avail, min_partition_size);
+        };
+        let summaries_ok = avail.iter().all(|&attr| {
+            self.space.attribute(attr).is_none()
+                || self
+                    .eval_log
+                    .get(node as usize)
+                    .is_some_and(|evals| evals.iter().any(|e| e.attr == attr))
+        });
+        if !summaries_ok {
+            return self.best_split(current, avail, min_partition_size);
+        }
+        let mut best: Option<CandidateSplit> = None;
+        let mut scored = 0usize;
+        for &attr in avail {
+            if self.space.attribute(attr).is_none() {
+                continue;
+            }
+            let entry = self.eval_log[node as usize]
+                .iter()
+                .find(|e| e.attr == attr)
+                .expect("summaries_ok checked every candidate attribute");
+            let mut present = 0usize;
+            let mut too_small = false;
+            let mut codes: Vec<u32> = Vec::with_capacity(entry.sizes.len());
+            for &(code, size) in &entry.sizes {
+                if size == 0 {
+                    continue;
+                }
+                present += 1;
+                if (size as usize) < min_partition_size {
+                    too_small = true;
+                }
+                codes.push(code);
+            }
+            if present < 2 || too_small {
+                continue;
+            }
+            let mut child_ids = Vec::with_capacity(present);
+            let mut incomplete = false;
+            for &code in &codes {
+                match self.paths.child_content(node, pack_step(attr, code)) {
+                    Some(id) => child_ids.push(id),
+                    None => {
+                        incomplete = true;
+                        break;
+                    }
+                }
+            }
+            if incomplete {
+                // The partial work above only probed (or warmed) pure
+                // caches, so redoing the node from rows is still exact.
+                return self.best_split(current, avail, min_partition_size);
+            }
+            for &id in &child_ids {
+                self.note_reuse(id);
+            }
+            scored += 1;
+            let value = self.pairwise_value(&child_ids)?;
+            let better = match &best {
+                None => true,
+                Some(incumbent) => self.criterion.objective.is_better(value, incumbent.value),
+            };
+            if better {
+                best = Some(CandidateSplit {
+                    attr,
+                    value,
+                    child_ids,
+                    child_codes: codes,
+                });
+            }
+        }
+        Ok((best, scored))
+    }
+
+    /// Reconstructs a *clean* node's winning candidate from its cached
+    /// `(attr, value, child codes)` without re-scoring any attribute: the
+    /// trie's cached child contents are bit-unchanged (nothing under the
+    /// node was touched), so probing them by code yields exactly the ids
+    /// `delta_best_split` would have produced, and the cached value is the
+    /// exact bits `pairwise_value` would recompute from them. `None` when
+    /// any probe misses (the caller falls back to a real evaluation).
+    pub(crate) fn rebuild_candidate(
+        &mut self,
+        current: &Partition,
+        attr: usize,
+        value: f64,
+        child_codes: &[u32],
+    ) -> Option<CandidateSplit> {
+        let node = self.paths.lookup(&current.path)?;
+        let mut child_ids = Vec::with_capacity(child_codes.len());
+        for &code in child_codes {
+            child_ids.push(self.paths.child_content(node, pack_step(attr, code))?);
+        }
+        for &id in &child_ids {
+            self.note_reuse(id);
+        }
+        Some(CandidateSplit {
+            attr,
+            value,
+            child_ids,
+            child_codes: child_codes.to_vec(),
+        })
+    }
+
+    /// Turns on split-summary recording (the incremental layer's data
+    /// source). Off by default, so plain searches pay nothing for it.
+    pub(crate) fn record_split_evals(&mut self) {
+        self.record_evals = true;
+    }
+
+    /// Seeds the invalidation counter with the EMD entries the incremental
+    /// layer's compaction dropped ahead of this run.
+    pub(crate) fn seed_invalidated_emds(&mut self, dropped: usize) {
+        self.stats.delta_invalidated_emds = dropped;
+    }
+
+    /// Detaches the engine's caches from the space borrow so they can
+    /// outlive it. Stats, scratch, and the budget checker are per-run and
+    /// do not survive.
+    pub(crate) fn into_parts(self) -> EngineParts {
+        EngineParts {
+            criterion: self.criterion,
+            bin_codes: self.bin_codes,
+            paths: self.paths,
+            contents: self.contents,
+            emd_memo: self.emd_memo,
+            eval_log: self.eval_log,
+            generation: self.generation,
+            dirty_paths: self.dirty_paths,
+        }
+    }
+
+    /// True when no mutation since the last completed replay touched any
+    /// row of the partition at `path`: its entire subtree — histograms,
+    /// split summaries, and every decision derived from them — is
+    /// bit-unchanged. An unknown path is conservatively dirty.
+    pub(crate) fn subtree_clean(&self, path: &[PathStep]) -> bool {
+        match self.paths.lookup(path) {
+            Some(node) => !self.dirty_paths.contains(&node),
+            None => false,
+        }
+    }
+
+    /// Rehydrates an engine over `space` from detached caches: no bin-code
+    /// recompute, no cache warmup. `space` must be the parts' space with
+    /// exactly the mutations recorded through [`EngineParts`] applied (the
+    /// incremental layer guarantees this). Recording stays on — resumed
+    /// engines always serve a delta lineage.
+    pub(crate) fn resume(space: &'a RankingSpace, parts: EngineParts) -> Self {
+        debug_assert_eq!(
+            parts.bin_codes.len(),
+            space.num_individuals(),
+            "parts drifted from the space"
+        );
+        SplitEngine {
+            space,
+            criterion: parts.criterion,
+            bin_codes: parts.bin_codes,
+            paths: parts.paths,
+            contents: parts.contents,
+            emd_memo: parts.emd_memo,
+            eval_log: parts.eval_log,
+            record_evals: true,
+            generation: parts.generation,
+            dirty_paths: parts.dirty_paths,
+            stats: EngineStats::default(),
+            scratch: Scratch::default(),
+            checker: RunBudget::unlimited().checker(),
+        }
+    }
+}
+
+/// One space mutation translated into the terms the engine's caches
+/// understand: which histogram bin the touched row's score occupies and
+/// how path membership changed. Attribute codes travel separately (they
+/// select which trie paths are dirty).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum CacheAdjust {
+    /// A row arrived with its score in `bin`.
+    Insert { bin: u32 },
+    /// A row departed whose score occupied `bin`.
+    Remove { bin: u32 },
+    /// A row's score moved between bins. Same-bin rescores change no
+    /// histogram and need no cache work at all.
+    Rescore { old_bin: u32, new_bin: u32 },
+}
+
+/// A [`SplitEngine`]'s caches detached from the space borrow, so the
+/// incremental layer can hold them while it mutates the space: dirty-path
+/// patches go through [`Self::apply_event`], orphaned contents and their
+/// EMD entries out through [`Self::compact`], and the whole bundle back
+/// into a search via [`SplitEngine::resume`].
+#[derive(Debug)]
+pub(crate) struct EngineParts {
+    criterion: FairnessCriterion,
+    bin_codes: Vec<u32>,
+    paths: PathTrie,
+    contents: ContentTable,
+    emd_memo: EmdMemo,
+    eval_log: Vec<Vec<AttrEval>>,
+    generation: u32,
+    /// Trie nodes dirtied by [`Self::apply_event`] since the last completed
+    /// replay — the replay's clean-subtree skip consults this through
+    /// [`SplitEngine::subtree_clean`] and clears it on success.
+    dirty_paths: HashSet<u32>,
+}
+
+impl EngineParts {
+    /// Maps a score to its histogram bin under the lineage's fixed spec —
+    /// the same clamping map [`RankingSpace::bin_codes`] applies.
+    pub(crate) fn bin_of(&self, score: f64) -> u32 {
+        self.criterion.hist.bin_of(score) as u32
+    }
+
+    /// Current generation (0 = the initial full build).
+    pub(crate) fn generation(&self) -> u32 {
+        self.generation
+    }
+
+    /// Opens a new mutation generation: subsequently interned or adjusted
+    /// contents are stamped with it, so the next run can tell survivors
+    /// from rebuilds.
+    pub(crate) fn begin_generation(&mut self) -> u32 {
+        self.generation += 1;
+        self.contents.stamp = self.generation;
+        self.generation
+    }
+
+    /// Appends the bin code of a row appended to the space.
+    pub(crate) fn push_row_bin(&mut self, bin: u32) {
+        self.bin_codes.push(bin);
+    }
+
+    /// Removes the bin code of a removed row (same index shift as
+    /// [`RankingSpace::remove_row`]).
+    pub(crate) fn remove_row_bin(&mut self, row: usize) -> u32 {
+        self.bin_codes.remove(row)
+    }
+
+    /// The cached bin code of `row`.
+    pub(crate) fn row_bin(&self, row: usize) -> u32 {
+        self.bin_codes[row]
+    }
+
+    /// Replaces the cached bin code of `row` (rescore).
+    pub(crate) fn set_row_bin(&mut self, row: usize, bin: u32) {
+        self.bin_codes[row] = bin;
+    }
+
+    /// Dirty-path propagation for one mutation: walks every trie path
+    /// consistent with the touched row's attribute `codes` (exactly the
+    /// partitions that contain the row) and, at each cached node,
+    /// re-derives the histogram by adjusting the old counts row at the
+    /// affected bin(s) and re-interning — never mutating in place, since
+    /// contents are shared across paths. Membership events also patch the
+    /// recorded split summaries, so a later [`SplitEngine::delta_best_split`]
+    /// sees the true child sizes. Returns the number of cached histograms
+    /// rebuilt (0 for a same-bin rescore, which is a pure no-op).
+    pub(crate) fn apply_event(&mut self, codes: &[u32], adjust: CacheAdjust) -> usize {
+        if let CacheAdjust::Rescore { old_bin, new_bin } = adjust {
+            if old_bin == new_bin {
+                return 0;
+            }
+        }
+        let membership = !matches!(adjust, CacheAdjust::Rescore { .. });
+        let generation = self.generation;
+        let mut touched = 0usize;
+        let mut row: Vec<u64> = Vec::new();
+        let mut stack: Vec<u32> = vec![0];
+        while let Some(node) = stack.pop() {
+            self.dirty_paths.insert(node);
+            if let Some(id) = self.paths.content(node) {
+                row.clear();
+                row.extend_from_slice(self.contents.row(id));
+                match adjust {
+                    CacheAdjust::Insert { bin } => row[bin as usize] += 1,
+                    CacheAdjust::Remove { bin } => {
+                        debug_assert!(row[bin as usize] > 0, "removing from an empty bin");
+                        row[bin as usize] = row[bin as usize].saturating_sub(1);
+                    }
+                    CacheAdjust::Rescore { old_bin, new_bin } => {
+                        debug_assert!(row[old_bin as usize] > 0, "rescoring an empty bin");
+                        row[old_bin as usize] = row[old_bin as usize].saturating_sub(1);
+                        row[new_bin as usize] += 1;
+                    }
+                }
+                // Interning may rediscover an existing content (a
+                // canceling event restores the original id, keeping its
+                // memoized distances warm); stamping marks it as a
+                // this-generation rebuild either way.
+                let new_id = self.contents.intern(&row);
+                self.contents.mark_generation(new_id, generation);
+                self.paths.set_content(node, new_id);
+                touched += 1;
+            }
+            if membership {
+                if let Some(evals) = self.eval_log.get_mut(node as usize) {
+                    let grow = matches!(adjust, CacheAdjust::Insert { .. });
+                    for e in evals.iter_mut() {
+                        let Some(&code) = codes.get(e.attr) else {
+                            continue;
+                        };
+                        match e.sizes.binary_search_by_key(&code, |&(c, _)| c) {
+                            Ok(i) => {
+                                if grow {
+                                    e.sizes[i].1 += 1;
+                                } else {
+                                    debug_assert!(e.sizes[i].1 > 0, "shrinking an empty code");
+                                    e.sizes[i].1 = e.sizes[i].1.saturating_sub(1);
+                                }
+                            }
+                            Err(i) => {
+                                if grow {
+                                    e.sizes.insert(i, (code, 1));
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            // Descend only into children consistent with the row's codes —
+            // the node for path p ∪ {(attr, c)} contains the row iff the
+            // node for p does and codes[attr] == c.
+            self.paths.for_each_edge(node, |step, child| {
+                let attr = (step >> 32) as usize;
+                let code = step as u32;
+                if codes.get(attr) == Some(&code) {
+                    stack.push(child);
+                }
+            });
+        }
+        touched
+    }
+
+    /// Targeted invalidation: drops every content no longer referenced by
+    /// any cached path (orphaned by [`Self::apply_event`] re-interning)
+    /// together with exactly the EMD memo entries that touch one, rekeys
+    /// the survivors, and returns the number of memo entries dropped.
+    /// Distances between untouched distinct pairs survive across
+    /// generations.
+    pub(crate) fn compact(&mut self) -> usize {
+        let mut live = vec![false; self.contents.len()];
+        for node in 0..self.paths.num_nodes() as u32 {
+            if let Some(id) = self.paths.content(node) {
+                live[id as usize] = true;
+            }
+        }
+        if live.iter().all(|&l| l) {
+            return 0;
+        }
+        let remap = self.contents.retain_content(&live);
+        let dropped = self.emd_memo.retain_rekey(&remap);
+        self.paths.remap_contents(&remap);
+        dropped
+    }
+
+    /// Forgets the dirty-path set — called after a completed replay has
+    /// re-validated (or structurally copied) everything beneath the dirty
+    /// paths. Trie node ids are stable across [`Self::compact`], so the
+    /// set stays valid while mutations accumulate between replays.
+    pub(crate) fn clear_dirty(&mut self) {
+        self.dirty_paths.clear();
     }
 }
 
@@ -1651,5 +2369,261 @@ mod tests {
         let (cand, scored) = engine.best_split(&root, &[0, 7], 1).unwrap();
         assert!(cand.is_none());
         assert_eq!(scored, 0);
+    }
+
+    #[test]
+    fn content_table_retain_content_compacts_and_reindexes() {
+        for index in [ContentIndex::Compact, ContentIndex::Hashed(EngineMap::default())] {
+            let mut table = ContentTable::new(HistogramSpec::default(), index);
+            let rows: Vec<Vec<u64>> = (0..5u64)
+                .map(|i| {
+                    let mut r = vec![0u64; table.bins];
+                    r[0] = i + 1;
+                    r[1] = 2 * i;
+                    r
+                })
+                .collect();
+            for r in &rows {
+                table.intern(r);
+            }
+            assert_eq!(table.len(), 5);
+            let live = [true, false, true, false, true];
+            let remap = table.retain_content(&live);
+            // Monotonic remap: survivors keep their relative order.
+            assert_eq!(remap, vec![0, NONE32, 1, NONE32, 2]);
+            assert_eq!(table.len(), 3);
+            for (old, new) in [(0u32, 0u32), (2, 1), (4, 2)] {
+                assert_eq!(table.row(new), &rows[old as usize][..]);
+                // The rebuilt index still finds survivors at their new ids
+                // (so re-interning dedups instead of duplicating) …
+                assert_eq!(table.find(&rows[old as usize]), Some(new));
+                assert_eq!(table.intern(&rows[old as usize]), new);
+            }
+            // … while dropped rows intern as fresh ids.
+            assert_eq!(table.intern(&rows[1]), 3);
+        }
+    }
+
+    #[test]
+    fn content_table_generation_tags_follow_the_stamp() {
+        let mut table = ContentTable::new(HistogramSpec::default(), ContentIndex::Compact);
+        let row_a = vec![1u64; table.bins];
+        let a = table.intern(&row_a);
+        assert_eq!(table.gen[a as usize], 0);
+        table.stamp = 3;
+        let row_b = vec![2u64; table.bins];
+        let b = table.intern(&row_b);
+        assert_eq!(table.gen[b as usize], 3);
+        // Hits do not restamp; explicit marking does.
+        assert_eq!(table.intern(&row_a), a);
+        assert_eq!(table.gen[a as usize], 0);
+        table.mark_generation(a, 3);
+        assert_eq!(table.gen[a as usize], 3);
+        // Compaction carries tags along with the surviving rows.
+        let remap = table.retain_content(&[false, true]);
+        assert_eq!(remap[b as usize], 0);
+        assert_eq!(table.gen[0], 3);
+    }
+
+    #[test]
+    fn flat_memo_retain_rekey_drops_and_rekeys_selectively() {
+        let mut memo = FlatMemo::new();
+        for a in 0..10u32 {
+            for b in a..10u32 {
+                memo.insert(EmdMemo::pack(a, b), (a * 100 + b) as f64);
+            }
+        }
+        // Drop ids 3 and 7; survivors compact monotonically.
+        let mut remap = Vec::new();
+        let mut next = 0u32;
+        for id in 0..10u32 {
+            if id == 3 || id == 7 {
+                remap.push(NONE32);
+            } else {
+                remap.push(next);
+                next += 1;
+            }
+        }
+        let dropped = memo.retain_rekey(&remap);
+        // Entries touching 3 or 7: 10 each, minus the shared (3,7) pair.
+        assert_eq!(dropped, 19);
+        assert_eq!(memo.len, 55 - 19);
+        for a in 0..10u32 {
+            for b in a..10u32 {
+                let (ra, rb) = (remap[a as usize], remap[b as usize]);
+                if ra == NONE32 || rb == NONE32 {
+                    continue;
+                }
+                // Monotonic remap keeps ra <= rb: canonical keys survive.
+                assert_eq!(memo.get(EmdMemo::pack(ra, rb)), Some((a * 100 + b) as f64));
+            }
+        }
+        // Keys beyond the surviving id range stay absent.
+        assert_eq!(memo.get(EmdMemo::pack(8, 8)), None);
+    }
+
+    #[test]
+    fn dense_memo_retain_rekey_matches_flat_semantics() {
+        let mut memo = EmdMemo::Dense {
+            stride: 0,
+            cells: Vec::new(),
+        };
+        for a in 0..6u32 {
+            for b in a..6u32 {
+                memo.insert(a, b, (a * 10 + b) as f64);
+            }
+        }
+        let remap = [0, NONE32, 1, 2, NONE32, 3];
+        let dropped = memo.retain_rekey(&remap);
+        // Upper-triangle entries touching id 1 (six) or id 4 (six), with
+        // the shared pair (1,4) counted once.
+        assert_eq!(dropped, 11);
+        for a in 0..6u32 {
+            for b in a..6u32 {
+                let (ra, rb) = (remap[a as usize], remap[b as usize]);
+                if ra == NONE32 || rb == NONE32 {
+                    continue;
+                }
+                assert_eq!(memo.get(ra, rb), Some((a * 10 + b) as f64), "({a},{b})");
+            }
+        }
+        assert_eq!(memo.get(0, 4), None);
+    }
+
+    #[test]
+    fn path_trie_lookup_is_non_creating_and_edges_enumerate() {
+        let mut trie = PathTrie::new();
+        let a = PathStep { attr: 0, code: 1 };
+        let b = PathStep { attr: 1, code: 0 };
+        assert_eq!(trie.lookup(&[a]), None);
+        let nodes_before = trie.num_nodes();
+        assert_eq!(trie.num_nodes(), nodes_before);
+        let nab = trie.node_of(&[a, b]);
+        assert_eq!(trie.lookup(&[a, b]), Some(nab));
+        assert_eq!(trie.lookup(&[b, a]), None);
+        trie.set_content(nab, 4);
+        let na = trie.lookup(&[a]).unwrap();
+        assert_eq!(trie.child_content(na, pack_step(b.attr, b.code)), Some(4));
+        assert_eq!(trie.child_content(0, pack_step(a.attr, a.code)), None);
+        let mut edges = Vec::new();
+        trie.for_each_edge(0, |step, child| edges.push((step, child)));
+        assert_eq!(edges, vec![(pack_step(a.attr, a.code), na)]);
+        trie.remap_contents(&[9, 9, 9, 9, 2]);
+        assert_eq!(trie.content(nab), Some(2));
+    }
+
+    #[test]
+    fn resumed_engine_counts_cross_generation_reuse() {
+        let s = space();
+        let mut engine = SplitEngine::new(&s, FairnessCriterion::default());
+        engine.record_split_evals();
+        let root = Partition::root(&s);
+        let parts_list = root.split(&s, 0);
+        let _ = engine.best_split(&root, &[0, 1], 1).unwrap();
+        let _ = engine.unfairness(&parts_list).unwrap();
+        // Generation 0: nothing predates the run.
+        assert_eq!(engine.stats().delta_reused_histograms, 0);
+        let mut parts = engine.into_parts();
+        parts.begin_generation();
+        let mut resumed = SplitEngine::resume(&s, parts);
+        let u = resumed.unfairness(&parts_list).unwrap();
+        let stats = resumed.stats();
+        // Every histogram came from the previous generation, counted once
+        // (the gender split has two distinct contents), and nothing was
+        // rebuilt or recomputed.
+        assert_eq!(stats.delta_reused_histograms, 2);
+        assert_eq!(stats.histograms_built, 0);
+        assert_eq!(stats.emd_calls, 0);
+        let again = resumed.unfairness(&parts_list).unwrap();
+        assert_eq!(u.to_bits(), again.to_bits());
+        assert_eq!(resumed.stats().delta_reused_histograms, 2, "counted once");
+    }
+
+    #[test]
+    fn delta_best_split_replays_the_recorded_summaries() {
+        let s = space();
+        let crit = FairnessCriterion::default();
+        let mut engine = SplitEngine::new(&s, crit);
+        engine.record_split_evals();
+        let root = Partition::root(&s);
+        let (full, scored_full) = engine.best_split(&root, &[0, 1], 1).unwrap();
+        let full = full.unwrap();
+        let mut parts = engine.into_parts();
+        parts.begin_generation();
+        let mut resumed = SplitEngine::resume(&s, parts);
+        let (delta, scored_delta) = resumed.delta_best_split(&root, &[0, 1], 1).unwrap();
+        let delta = delta.unwrap();
+        assert_eq!((delta.attr, scored_delta), (full.attr, scored_full));
+        assert_eq!(delta.value.to_bits(), full.value.to_bits());
+        assert_eq!(delta.child_ids, full.child_ids);
+        assert_eq!(resumed.stats().histograms_built, 0, "all from cache");
+        // The min-size skip replays from summaries too.
+        let (none, zero) = resumed.delta_best_split(&root, &[0, 1], 5).unwrap();
+        assert!(none.is_none());
+        assert_eq!(zero, 0);
+        // An unseen path falls back to the real scan (and records it).
+        let child = root.split(&s, 0).remove(0);
+        let (via_delta, _) = resumed.delta_best_split(&child, &[1], 1).unwrap();
+        let mut fresh = SplitEngine::new(&s, crit);
+        let (via_full, _) = fresh.best_split(&child, &[1], 1).unwrap();
+        match (via_delta, via_full) {
+            (Some(d), Some(f)) => assert_eq!(d.value.to_bits(), f.value.to_bits()),
+            (d, f) => panic!("divergent fallback: {d:?} vs {f:?}"),
+        }
+    }
+
+    #[test]
+    fn apply_event_patches_dirty_paths_and_compact_drops_orphans() {
+        let s = space();
+        let crit = FairnessCriterion::default();
+        let mut engine = SplitEngine::new(&s, crit);
+        engine.record_split_evals();
+        let root = Partition::root(&s);
+        let _ = engine.best_split(&root, &[0, 1], 1).unwrap();
+        let _ = engine.unfairness(&root.split(&s, 0)).unwrap();
+        let mut parts = engine.into_parts();
+        parts.begin_generation();
+
+        // Insert one row: F/x with a score in some bin.
+        let bin = parts.bin_of(0.3);
+        parts.push_row_bin(bin);
+        let touched = parts.apply_event(&[0, 0], CacheAdjust::Insert { bin });
+        // Dirty paths with cached contents: the gender=F and noise=x
+        // children (the root node exists but was never given a content).
+        assert_eq!(touched, 2);
+        let dropped = parts.compact();
+        // Root and F contents were re-interned; their old ids orphaned,
+        // dropping the memoized distances that touched them.
+        assert!(dropped > 0, "orphaned EMD entries must be dropped");
+
+        // The patched caches now agree with a fresh engine on the mutated
+        // space, bit for bit.
+        let mut mutated = s.clone();
+        mutated.insert_row(&["F", "x"], 0.3).unwrap();
+        let mut resumed = SplitEngine::resume(&mutated, parts);
+        let mut fresh = SplitEngine::new(&mutated, crit);
+        let new_root = Partition::root(&mutated);
+        let (d, sd) = resumed.delta_best_split(&new_root, &[0, 1], 1).unwrap();
+        let (f, sf) = fresh.best_split(&new_root, &[0, 1], 1).unwrap();
+        let (d, f) = (d.unwrap(), f.unwrap());
+        assert_eq!((d.attr, sd), (f.attr, sf));
+        assert_eq!(d.value.to_bits(), f.value.to_bits());
+        let ud = resumed.unfairness(&new_root.split(&mutated, 0)).unwrap();
+        let uf = fresh.unfairness(&new_root.split(&mutated, 0)).unwrap();
+        assert_eq!(ud.to_bits(), uf.to_bits());
+
+        // A same-bin rescore is a recognized no-op.
+        let mut parts = resumed.into_parts();
+        parts.begin_generation();
+        assert_eq!(
+            parts.apply_event(
+                &[0, 0],
+                CacheAdjust::Rescore {
+                    old_bin: bin,
+                    new_bin: bin
+                }
+            ),
+            0
+        );
     }
 }

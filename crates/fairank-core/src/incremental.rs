@@ -1,0 +1,947 @@
+//! Incremental (delta) re-evaluation: re-run `QUANTIFY` after a small
+//! space mutation in O(changed paths) instead of O(dataset), with results
+//! bit-identical to a full recomputation.
+//!
+//! The paper frames FaiRank as an *interactive* auditor of live
+//! marketplaces, yet a from-scratch run rebuilds everything a mutation
+//! didn't touch: the bin-code cache (O(n)), one counting pass per
+//! (node, attribute) candidate (O(n · |A|) per tree level), every
+//! histogram interning, and — via an empty memo — every EMD. A
+//! [`DeltaEngine`] keeps the PR 6 data-oriented arenas alive across
+//! *generations* instead:
+//!
+//! * **Mutation API** — [`RankingSpace`] row inserts/removes/rescores
+//!   arrive as a [`SpaceDelta`]; each op recomputes bin codes for the
+//!   affected row only.
+//! * **Dirty-path propagation** — a touched row lives in exactly the
+//!   partitions whose `(attr, code)` path constraints it satisfies, so
+//!   [`EngineParts::apply_event`] walks only the matching `PathTrie`
+//!   edges and re-derives each cached `ContentTable` histogram by
+//!   adjusting one bin, never rescanning rows.
+//! * **Targeted memo invalidation** — after patching, compaction drops
+//!   exactly the `FlatMemo` EMD entries whose content ids were orphaned;
+//!   distances between untouched distinct pairs survive.
+//! * **Split-summary replay** — the previous run recorded, per evaluated
+//!   node and attribute, the per-code child sizes; membership events
+//!   patch them, so `delta_best_split` reproduces `mostUnfair`'s exact
+//!   candidate set and skip decisions without any row scan, falling back
+//!   to (and re-recording) the real counting pass wherever the caches
+//!   can't answer — e.g. a node the previous tree never evaluated or a
+//!   brand-new attribute value.
+//!
+//! Bitwise identity holds because every aggregated value the search
+//! compares is a pure function of interned histogram *contents* (count
+//! vectors), which the patches keep exactly equal to what a fresh build
+//! over the mutated space would intern — only the id numbering may
+//! differ, and nothing numeric depends on it. The differential proptest
+//! suite (`tests/incremental_equivalence.rs`) pins this across all four
+//! EMD backends, along with the guarantee that a delta run never computes
+//! more EMDs than the full recompute it replaces.
+
+use std::time::Instant;
+
+use crate::cancel::RunBudget;
+use crate::engine::{CacheAdjust, CandidateSplit, EngineParts, SplitEngine};
+use crate::error::{CoreError, Result};
+use crate::partition::{Partition, PartitioningTree};
+use crate::quantify::{Quantify, QuantifyOutcome, SearchStats, SplitEvaluation};
+use crate::space::{DeltaOp, RankingSpace, SpaceDelta};
+
+/// What one [`DeltaEngine::apply`] call did to the caches — the
+/// O(changed paths) work that replaced an O(dataset) rebuild.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeltaReport {
+    /// Mutation ops applied.
+    pub events: usize,
+    /// Cached path histograms re-derived by bin adjustment (0 before the
+    /// first run, when there are no caches to patch, and for same-bin
+    /// rescores, which are recognized no-ops).
+    pub histograms_rebuilt: usize,
+    /// EMD memo entries dropped by targeted invalidation (entries whose
+    /// content ids were orphaned by the patches).
+    pub emd_entries_dropped: usize,
+}
+
+/// A `QUANTIFY` searcher that owns its ranking space and keeps the split
+/// engine's caches alive across mutations.
+///
+/// ```text
+/// let mut delta = DeltaEngine::new(space, Quantify::new(criterion))?;
+/// let before = delta.requantify()?;            // full build, caches warm
+/// delta.apply(&SpaceDelta::new().rescore(3, 0.9))?;  // O(changed paths)
+/// let after = delta.requantify()?;             // delta re-run, bit-identical
+/// ```
+///
+/// The search configuration is honored exactly as [`Quantify::run_space`]
+/// would — same split evaluation, minimum partition size, depth cap, and
+/// cancellation budget — except that the naive-evaluation flag is ignored
+/// (a delta run is engine-backed by definition; results are bit-identical
+/// either way). The criterion is fixed for the engine's lifetime:
+/// re-fitting the histogram range would shift every bin and invalidate
+/// every cache, which is exactly what this type exists to avoid.
+#[derive(Debug)]
+pub struct DeltaEngine {
+    space: RankingSpace,
+    search: Quantify,
+    /// The detached caches between runs; `None` until the first
+    /// [`Self::requantify`] builds them.
+    parts: Option<EngineParts>,
+    /// Memo entries dropped by compaction since the last completed run,
+    /// surfaced as the next outcome's `delta_invalidated_emds`.
+    pending_invalidated: usize,
+    /// The last completed run's tree in compact form, indexed by its node
+    /// ids — the clean-subtree skip's source of structure and stat
+    /// contributions. Dropped on a cancelled run (the recording is
+    /// incomplete), which only costs the next run its skips.
+    prev: Option<Vec<PrevNode>>,
+}
+
+/// One node of the last completed run's tree, in exactly the form the next
+/// replay's clean-subtree skip needs: the split decision with its child
+/// codes (to match a live split against the previous structure) and the
+/// cumulative `[nodes_evaluated, candidate_splits, splits_performed]`
+/// contributions of the recursion rooted here (so a structurally copied
+/// subtree adds stat-exact counts without re-evaluating anything).
+#[derive(Debug, Clone, Default)]
+struct PrevNode {
+    split_attr: Option<usize>,
+    /// `(child code, node index)` per child, ascending by code — the same
+    /// order [`Partition::split`] and a candidate's `child_ids` use.
+    children: Vec<(u32, usize)>,
+    stats: [usize; 3],
+    /// The node's recorded `mostUnfair` evaluation, for candidate reuse
+    /// when the node itself is clean on the next run.
+    eval: Option<PrevEval>,
+}
+
+/// One node's recorded `mostUnfair` outcome: how many candidates scored,
+/// and the winner as `(attr, value bits, child codes)`. A clean node's
+/// evaluation is a pure function of its (bit-unchanged) subtree contents,
+/// so the next replay reconstructs the winner from this instead of
+/// re-scoring every attribute — child codes rather than content ids
+/// because codes survive memo compaction.
+#[derive(Debug, Clone)]
+struct PrevEval {
+    scored: usize,
+    candidate: Option<(usize, f64, Vec<u32>)>,
+}
+
+/// What one replay records about one new-tree node, keyed by node id.
+#[derive(Debug, Clone, Default)]
+struct NodeRec {
+    /// Cumulative `[nodes_evaluated, candidate_splits, splits_performed]`
+    /// of the recursion rooted here.
+    stats: [usize; 3],
+    eval: Option<PrevEval>,
+}
+
+/// Previous-run context threaded through one replay: the last completed
+/// tree (`prev`, if any) and the per-node recordings being made for the
+/// *next* run (`recs`, indexed by the new tree's node ids).
+struct Replay<'p> {
+    prev: Option<&'p [PrevNode]>,
+    recs: Vec<NodeRec>,
+}
+
+impl Replay<'_> {
+    /// The recording slot for new-tree node `id`, growing the table as
+    /// the tree grows.
+    fn rec(&mut self, id: usize) -> &mut NodeRec {
+        if self.recs.len() <= id {
+            self.recs.resize_with(id + 1, NodeRec::default);
+        }
+        &mut self.recs[id]
+    }
+
+    /// The previous run's recorded evaluation for `prev_id`, if any.
+    fn prev_eval(&self, prev_id: Option<usize>) -> Option<PrevEval> {
+        self.prev?.get(prev_id?)?.eval.clone()
+    }
+}
+
+impl DeltaEngine {
+    /// An incremental searcher over `space` driven by `search`'s
+    /// configuration.
+    pub fn new(space: RankingSpace, search: Quantify) -> Result<Self> {
+        if space.num_individuals() == 0 {
+            return Err(CoreError::EmptyInput);
+        }
+        Ok(DeltaEngine {
+            space,
+            search,
+            parts: None,
+            pending_invalidated: 0,
+            prev: None,
+        })
+    }
+
+    /// The current state of the mutating space.
+    pub fn space(&self) -> &RankingSpace {
+        &self.space
+    }
+
+    /// The search configuration every run replays.
+    pub fn search(&self) -> &Quantify {
+        &self.search
+    }
+
+    /// Mutation generation: 0 until the first mutation is applied to live
+    /// caches, then one increment per [`Self::apply`] call that patches
+    /// them.
+    pub fn generation(&self) -> u32 {
+        self.parts.as_ref().map_or(0, EngineParts::generation)
+    }
+
+    /// Replaces the cancellation budget for subsequent runs (the serving
+    /// tier re-arms per request).
+    pub fn set_run_budget(&mut self, budget: RunBudget) {
+        self.search = self.search.clone().with_run_budget(budget);
+    }
+
+    /// Applies a batch of mutations: each op updates the space (bin codes
+    /// recomputed for the affected row only), patches every dirty cached
+    /// path, and finally compacts orphaned contents out of the EMD memo.
+    /// Ops apply sequentially; if one fails (bad row index, non-finite
+    /// score, emptying the space), earlier ops stay applied and the space
+    /// and caches remain mutually consistent.
+    pub fn apply(&mut self, delta: &SpaceDelta) -> Result<DeltaReport> {
+        let mut report = DeltaReport::default();
+        let Some(parts) = self.parts.as_mut() else {
+            // No caches yet: plain space mutation; the first run builds
+            // everything fresh anyway.
+            self.space.apply_delta(delta)?;
+            report.events = delta.len();
+            return Ok(report);
+        };
+        parts.begin_generation();
+        for op in &delta.ops {
+            match op {
+                DeltaOp::Insert { labels, score } => {
+                    let codes = self.space.insert_row(labels, *score)?;
+                    let bin = parts.bin_of(*score);
+                    parts.push_row_bin(bin);
+                    report.histograms_rebuilt +=
+                        parts.apply_event(&codes, CacheAdjust::Insert { bin });
+                }
+                DeltaOp::Remove { row } => {
+                    let r = *row as usize;
+                    // Codes must be captured before the removal destroys
+                    // them; the space call right after validates the index
+                    // (and guards emptiness) before any cache is touched.
+                    let codes: Option<Vec<u32>> = (r < self.space.num_individuals()).then(|| {
+                        self.space
+                            .attributes()
+                            .iter()
+                            .map(|a| a.codes[r])
+                            .collect()
+                    });
+                    self.space.remove_row(r)?;
+                    let codes = codes.expect("index validated by remove_row");
+                    let bin = parts.remove_row_bin(r);
+                    report.histograms_rebuilt +=
+                        parts.apply_event(&codes, CacheAdjust::Remove { bin });
+                }
+                DeltaOp::Rescore { row, score } => {
+                    let r = *row as usize;
+                    let codes: Option<Vec<u32>> = (r < self.space.num_individuals()).then(|| {
+                        self.space
+                            .attributes()
+                            .iter()
+                            .map(|a| a.codes[r])
+                            .collect()
+                    });
+                    self.space.rescore_row(r, *score)?;
+                    let codes = codes.expect("index validated by rescore_row");
+                    let old_bin = parts.row_bin(r);
+                    let new_bin = parts.bin_of(*score);
+                    parts.set_row_bin(r, new_bin);
+                    report.histograms_rebuilt +=
+                        parts.apply_event(&codes, CacheAdjust::Rescore { old_bin, new_bin });
+                }
+            }
+            report.events += 1;
+        }
+        let dropped = parts.compact();
+        self.pending_invalidated += dropped;
+        report.emd_entries_dropped = dropped;
+        Ok(report)
+    }
+
+    /// Runs `QUANTIFY` over the current space. The first call builds the
+    /// caches from scratch (recording split summaries); later calls replay
+    /// the search through the surviving caches, reconstructing every
+    /// `mostUnfair` from recorded summaries where possible. The outcome —
+    /// tree, partitions, unfairness bits, and the search-level counters
+    /// (`nodes_evaluated`, `splits_performed`, `candidate_splits`) — is
+    /// identical to [`Quantify::run_space`] on an equal space; only the
+    /// cache-level counters differ, reflecting the reuse.
+    pub fn requantify(&mut self) -> Result<QuantifyOutcome> {
+        let start = Instant::now();
+        if self.search.max_depth() == Some(0) {
+            // Depth 0 replays `run_space`'s trivial branch verbatim — no
+            // engine, no caches touched.
+            let root = Partition::root(&self.space);
+            let tree = PartitioningTree::new(root.clone());
+            let partitions = vec![root];
+            let unfairness = self
+                .search
+                .criterion()
+                .unfairness(&partitions, self.space.scores())?;
+            return Ok(QuantifyOutcome {
+                tree,
+                partitions,
+                unfairness,
+                stats: SearchStats {
+                    histograms_built: 1,
+                    ..SearchStats::default()
+                },
+                elapsed: start.elapsed(),
+            });
+        }
+        let mut engine = match self.parts.take() {
+            Some(parts) => SplitEngine::resume(&self.space, parts),
+            None => {
+                let mut engine = SplitEngine::new(&self.space, *self.search.criterion());
+                engine.record_split_evals();
+                engine
+            }
+        };
+        engine.set_run_budget(self.search.run_budget());
+        engine.seed_invalidated_emds(self.pending_invalidated);
+        let prev = self.prev.take();
+        let mut replay = Replay {
+            prev: prev.as_deref(),
+            recs: Vec::new(),
+        };
+        let mut next: Option<Vec<PrevNode>> = None;
+        let mut stats = SearchStats::default();
+        let result = match self.delta_search(&mut engine, &mut stats, start, &mut replay, &mut next)
+        {
+            Err(CoreError::Cancelled { reason, .. }) => {
+                Quantify::merge_engine_stats(&mut stats, &engine);
+                Err(CoreError::Cancelled { reason, stats })
+            }
+            other => other,
+        };
+        // The caches stay valid even when the run was cancelled mid-way:
+        // a search only ever *adds* pure entries to them.
+        let mut parts = engine.into_parts();
+        if result.is_ok() {
+            self.pending_invalidated = 0;
+            // The completed replay re-validated (or copied) everything the
+            // accumulated mutations had dirtied.
+            parts.clear_dirty();
+            self.prev = next;
+        }
+        self.parts = Some(parts);
+        result
+    }
+
+    /// The mirror of `Quantify::engine_search`, with `delta_best_split` in
+    /// place of the counting-pass `best_split`. Everything else — real
+    /// partition splits, sibling sets, split-acceptance values, the final
+    /// leaf unfairness — runs through the same engine calls in the same
+    /// order, so accepted trees and every compared value reproduce the
+    /// from-scratch bits.
+    fn delta_search(
+        &self,
+        engine: &mut SplitEngine<'_>,
+        stats: &mut SearchStats,
+        start: Instant,
+        replay: &mut Replay<'_>,
+        next: &mut Option<Vec<PrevNode>>,
+    ) -> Result<QuantifyOutcome> {
+        let space = &self.space;
+        let root = Partition::root(space);
+        let mut tree = PartitioningTree::new(root.clone());
+
+        let all_attrs: Vec<usize> = (0..space.attributes().len()).collect();
+        let min_size = self.search.min_partition_size();
+
+        let (candidate, scored) =
+            self.candidate_for(engine, &root, &all_attrs, min_size, replay, Some(0))?;
+        stats.candidate_splits += scored;
+        replay.rec(tree.root()).eval = Some(PrevEval {
+            scored,
+            candidate: candidate
+                .as_ref()
+                .map(|c| (c.attr, c.value, c.child_codes.clone())),
+        });
+        let Some(candidate) = candidate else {
+            let partitions = vec![root];
+            let unfairness = engine.unfairness(&partitions)?;
+            Quantify::merge_engine_stats(stats, engine);
+            *next = Some(Self::assemble_prev(&tree, &replay.recs));
+            return Ok(QuantifyOutcome {
+                tree,
+                partitions,
+                unfairness,
+                stats: *stats,
+                elapsed: start.elapsed(),
+            });
+        };
+
+        let first_attr = candidate.attr;
+        let children = root.split(space, first_attr);
+        debug_assert_eq!(children.len(), candidate.child_ids.len());
+        let child_codes: Vec<u32> = children
+            .iter()
+            .map(|c| c.path.last().expect("split appends a step").code)
+            .collect();
+        let remaining: Vec<usize> = all_attrs
+            .iter()
+            .copied()
+            .filter(|&a| a != first_attr)
+            .collect();
+        let ids = tree.split_node(tree.root(), first_attr, children);
+        stats.splits_performed += 1;
+
+        let prev_children = Self::match_prev(replay.prev, Some(0), first_attr, &child_codes);
+        if let (Some(pc), true) = (prev_children.as_ref(), engine.subtree_clean(&[])) {
+            // Zero effective churn: the whole previous tree replays
+            // verbatim — copy it.
+            self.copy_group(&mut tree, &ids, replay, stats, pc);
+        } else {
+            for (i, id) in ids.iter().enumerate() {
+                let sibling_ids: Vec<u32> = candidate
+                    .child_ids
+                    .iter()
+                    .enumerate()
+                    .filter(|(j, _)| *j != i)
+                    .map(|(_, &c)| c)
+                    .collect();
+                self.delta_rec(
+                    engine,
+                    &mut tree,
+                    *id,
+                    candidate.child_ids[i],
+                    &sibling_ids,
+                    &remaining,
+                    1,
+                    stats,
+                    replay,
+                    prev_children.as_ref().map(|pc| pc[i]),
+                )?;
+            }
+        }
+
+        let partitions = tree.leaf_partitions();
+        let unfairness = engine.unfairness(&partitions)?;
+        Quantify::merge_engine_stats(stats, engine);
+        *next = Some(Self::assemble_prev(&tree, &replay.recs));
+        Ok(QuantifyOutcome {
+            tree,
+            partitions,
+            unfairness,
+            stats: *stats,
+            elapsed: start.elapsed(),
+        })
+    }
+
+    /// The node's `mostUnfair` winner: reconstructed from the previous
+    /// run's recorded evaluation when the node's subtree is clean (its
+    /// cached contents are bit-unchanged, so the recorded winner, value
+    /// bits, and scored count are exactly what a live evaluation would
+    /// produce), otherwise evaluated through [`SplitEngine::delta_best_split`].
+    /// A cache miss inside the reconstruction (a probe the trie can't
+    /// answer) falls back to the live evaluation too.
+    fn candidate_for(
+        &self,
+        engine: &mut SplitEngine<'_>,
+        current: &Partition,
+        avail: &[usize],
+        min_size: usize,
+        replay: &Replay<'_>,
+        prev_id: Option<usize>,
+    ) -> Result<(Option<CandidateSplit>, usize)> {
+        if let Some(ev) = replay.prev_eval(prev_id) {
+            if engine.subtree_clean(&current.path) {
+                match &ev.candidate {
+                    None => return Ok((None, ev.scored)),
+                    Some((attr, value, codes)) => {
+                        if let Some(c) = engine.rebuild_candidate(current, *attr, *value, codes) {
+                            return Ok((Some(c), ev.scored));
+                        }
+                    }
+                }
+            }
+        }
+        engine.delta_best_split(current, avail, min_size)
+    }
+
+    /// Matches a live split (attr + ascending child codes) against the
+    /// previous tree's node `prev_id`: `Some(previous child indices)` when
+    /// the previous run split this node identically, so children
+    /// correspond pairwise.
+    fn match_prev(
+        prev: Option<&[PrevNode]>,
+        prev_id: Option<usize>,
+        attr: usize,
+        child_codes: &[u32],
+    ) -> Option<Vec<usize>> {
+        let nodes = prev?;
+        let p = &nodes[prev_id?];
+        (p.split_attr == Some(attr)
+            && p.children.len() == child_codes.len()
+            && p.children
+                .iter()
+                .zip(child_codes)
+                .all(|(&(code, _), &c)| code == c))
+        .then(|| p.children.iter().map(|&(_, i)| i).collect())
+    }
+
+    /// Copies every member of a clean sibling group from the previous
+    /// tree: stat contributions carry over cumulatively, structure is
+    /// rematerialized by real splits.
+    fn copy_group(
+        &self,
+        tree: &mut PartitioningTree,
+        ids: &[usize],
+        replay: &mut Replay<'_>,
+        stats: &mut SearchStats,
+        prev_children: &[usize],
+    ) {
+        let prev_nodes = replay.prev.expect("a matched group implies a previous run");
+        for (i, id) in ids.iter().enumerate() {
+            let ps = prev_nodes[prev_children[i]].stats;
+            stats.nodes_evaluated += ps[0];
+            stats.candidate_splits += ps[1];
+            stats.splits_performed += ps[2];
+            self.copy_subtree(tree, *id, replay, prev_children[i]);
+        }
+    }
+
+    /// Structurally copies the previous run's subtree rooted at `prev_idx`
+    /// onto the (currently leaf) new-tree node `node_id`. The caller has
+    /// proved the subtree clean, so every split decision beneath it is
+    /// bit-unchanged; children rematerialize through real
+    /// [`Partition::split`] calls — exact row sets even after
+    /// index-shifting removals elsewhere in the space — with no candidate
+    /// re-evaluation, no trie walks, and no memo probes.
+    fn copy_subtree(
+        &self,
+        tree: &mut PartitioningTree,
+        node_id: usize,
+        replay: &mut Replay<'_>,
+        prev_idx: usize,
+    ) {
+        let prev_nodes = replay.prev.expect("copy requires a previous run");
+        let prev = &prev_nodes[prev_idx];
+        let carried = NodeRec {
+            stats: prev.stats,
+            eval: prev.eval.clone(),
+        };
+        *replay.rec(node_id) = carried;
+        let Some(attr) = prev.split_attr else {
+            return;
+        };
+        let children = tree.node(node_id).partition.split(&self.space, attr);
+        debug_assert_eq!(children.len(), prev.children.len());
+        let ids = tree.split_node(node_id, attr, children);
+        for (i, id) in ids.iter().enumerate() {
+            self.copy_subtree(tree, *id, replay, prev.children[i].1);
+        }
+    }
+
+    /// The finished run's tree re-encoded as the next run's [`PrevNode`]
+    /// table (same node indexing as the tree).
+    fn assemble_prev(tree: &PartitioningTree, recs: &[NodeRec]) -> Vec<PrevNode> {
+        tree.nodes()
+            .iter()
+            .enumerate()
+            .map(|(id, n)| {
+                let rec = recs.get(id).cloned().unwrap_or_default();
+                PrevNode {
+                    split_attr: n.split_attr,
+                    children: n
+                        .children
+                        .iter()
+                        .map(|&c| {
+                            let code = tree
+                                .node(c)
+                                .partition
+                                .path
+                                .last()
+                                .expect("a child's path ends in its own step")
+                                .code;
+                            (code, c)
+                        })
+                        .collect(),
+                    stats: rec.stats,
+                    eval: rec.eval,
+                }
+            })
+            .collect()
+    }
+
+    /// The mirror of `Quantify::quantify_rec_engine` (Algorithm 1's
+    /// recursive body), summary-replayed. The node's and its siblings'
+    /// histogram content ids arrive from the parent's winning candidate
+    /// (`Partition::split` and the candidate's `child_ids` both enumerate
+    /// nonempty codes in ascending order), so the split-acceptance values
+    /// come straight from id-level evaluation — no per-node trie walks, no
+    /// sibling partition clones. Every compared value is a pure function
+    /// of content ids, so the replay reproduces the from-scratch bits.
+    #[allow(clippy::too_many_arguments)]
+    fn delta_rec(
+        &self,
+        engine: &mut SplitEngine<'_>,
+        tree: &mut PartitioningTree,
+        node_id: usize,
+        current_id: u32,
+        sibling_ids: &[u32],
+        avail: &[usize],
+        depth: usize,
+        stats: &mut SearchStats,
+        replay: &mut Replay<'_>,
+        prev_id: Option<usize>,
+    ) -> Result<()> {
+        // Record this subtree's cumulative counter contributions so a
+        // future clean-subtree copy can add them without re-evaluating.
+        let snap = [
+            stats.nodes_evaluated,
+            stats.candidate_splits,
+            stats.splits_performed,
+        ];
+        let result = self.delta_rec_inner(
+            engine,
+            tree,
+            node_id,
+            current_id,
+            sibling_ids,
+            avail,
+            depth,
+            stats,
+            replay,
+            prev_id,
+        );
+        let contrib = [
+            stats.nodes_evaluated - snap[0],
+            stats.candidate_splits - snap[1],
+            stats.splits_performed - snap[2],
+        ];
+        replay.rec(node_id).stats = contrib;
+        result
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn delta_rec_inner(
+        &self,
+        engine: &mut SplitEngine<'_>,
+        tree: &mut PartitioningTree,
+        node_id: usize,
+        current_id: u32,
+        sibling_ids: &[u32],
+        avail: &[usize],
+        depth: usize,
+        stats: &mut SearchStats,
+        replay: &mut Replay<'_>,
+        prev_id: Option<usize>,
+    ) -> Result<()> {
+        if avail.is_empty() {
+            return Ok(());
+        }
+        if self.search.max_depth().is_some_and(|d| depth >= d) {
+            return Ok(());
+        }
+        engine.check_budget()?;
+        stats.nodes_evaluated += 1;
+
+        let (candidate, scored) = self.candidate_for(
+            engine,
+            &tree.node(node_id).partition,
+            avail,
+            self.search.min_partition_size(),
+            replay,
+            prev_id,
+        )?;
+        stats.candidate_splits += scored;
+        replay.rec(node_id).eval = Some(PrevEval {
+            scored,
+            candidate: candidate
+                .as_ref()
+                .map(|c| (c.attr, c.value, c.child_codes.clone())),
+        });
+        let Some(candidate) = candidate else {
+            return Ok(());
+        };
+
+        let (current_val, children_val) = match self.search.split_eval() {
+            SplitEvaluation::PaperSiblings => {
+                let cur = engine.versus_ids(current_id, sibling_ids)?;
+                let ch = engine.children_versus_siblings_ids(&candidate, sibling_ids)?;
+                (cur, ch)
+            }
+            SplitEvaluation::Holistic => {
+                engine.holistic_values_ids(sibling_ids, current_id, &candidate)?
+            }
+        };
+
+        if !self
+            .search
+            .criterion()
+            .objective
+            .is_better(children_val, current_val)
+        {
+            return Ok(());
+        }
+
+        let attr = candidate.attr;
+        let children = tree.node(node_id).partition.split(engine.space(), attr);
+        debug_assert!(children.len() >= 2);
+        debug_assert_eq!(children.len(), candidate.child_ids.len());
+        let child_codes: Vec<u32> = children
+            .iter()
+            .map(|c| c.path.last().expect("split appends a step").code)
+            .collect();
+        let remaining: Vec<usize> = avail.iter().copied().filter(|&a| a != attr).collect();
+        let ids = tree.split_node(node_id, attr, children);
+        stats.splits_performed += 1;
+
+        // Clean-subtree skip: when no mutation touched any row of this
+        // node (so none of its children either) and the previous run split
+        // it identically, every value the recursion below would compare is
+        // a pure function of bit-unchanged histogram contents — each
+        // child's accept decision only consults the group itself and its
+        // own descendants. The previous subtrees therefore replay
+        // verbatim; copy them instead.
+        let prev_children = Self::match_prev(replay.prev, prev_id, attr, &child_codes);
+        if let Some(pc) = prev_children.as_ref() {
+            if engine.subtree_clean(&tree.node(node_id).partition.path) {
+                self.copy_group(tree, &ids, replay, stats, pc);
+                return Ok(());
+            }
+        }
+
+        for (i, id) in ids.iter().enumerate() {
+            let new_sibling_ids: Vec<u32> = candidate
+                .child_ids
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| *j != i)
+                .map(|(_, &c)| c)
+                .collect();
+            self.delta_rec(
+                engine,
+                tree,
+                *id,
+                candidate.child_ids[i],
+                &new_sibling_ids,
+                &remaining,
+                depth + 1,
+                stats,
+                replay,
+                prev_children.as_ref().map(|pc| pc[i]),
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::emd::{Emd, EmdBackendKind};
+    use crate::fairness::{Aggregator, FairnessCriterion, Objective};
+    use crate::space::ProtectedAttribute;
+
+    fn churn_space(n: usize) -> RankingSpace {
+        let genders: Vec<&str> = (0..n).map(|i| if i % 2 == 0 { "F" } else { "M" }).collect();
+        let regions: Vec<String> = (0..n).map(|i| format!("r{}", i % 3)).collect();
+        let region_refs: Vec<&str> = regions.iter().map(String::as_str).collect();
+        let scores: Vec<f64> = (0..n)
+            .map(|i| {
+                let base = 0.1 + (i % 7) as f64 * 0.1;
+                if i % 2 == 0 {
+                    base * 0.6
+                } else {
+                    base
+                }
+            })
+            .collect();
+        RankingSpace::new(
+            vec![
+                ProtectedAttribute::from_values("gender", &genders),
+                ProtectedAttribute::from_values("region", &region_refs),
+            ],
+            scores,
+        )
+        .unwrap()
+    }
+
+    fn assert_outcomes_bitwise_equal(delta: &QuantifyOutcome, full: &QuantifyOutcome) {
+        assert_eq!(delta.unfairness.to_bits(), full.unfairness.to_bits());
+        assert_eq!(delta.partitions, full.partitions);
+        assert_eq!(delta.tree, full.tree);
+        assert_eq!(delta.stats.nodes_evaluated, full.stats.nodes_evaluated);
+        assert_eq!(delta.stats.splits_performed, full.stats.splits_performed);
+        assert_eq!(delta.stats.candidate_splits, full.stats.candidate_splits);
+    }
+
+    #[test]
+    fn first_requantify_matches_plain_quantify() {
+        let space = churn_space(60);
+        let search = Quantify::default();
+        let mut engine = DeltaEngine::new(space.clone(), search.clone()).unwrap();
+        let delta = engine.requantify().unwrap();
+        let full = search.run_space(&space).unwrap();
+        assert_outcomes_bitwise_equal(&delta, &full);
+        // A from-scratch build predates nothing.
+        assert_eq!(delta.stats.delta_reused_histograms, 0);
+        assert_eq!(delta.stats.delta_invalidated_emds, 0);
+    }
+
+    #[test]
+    fn zero_churn_rerun_is_pure_reuse() {
+        let space = churn_space(60);
+        let mut engine = DeltaEngine::new(space.clone(), Quantify::default()).unwrap();
+        let first = engine.requantify().unwrap();
+        let report = engine.apply(&SpaceDelta::new()).unwrap();
+        assert_eq!(report, DeltaReport::default());
+        let second = engine.requantify().unwrap();
+        assert_outcomes_bitwise_equal(&second, &first);
+        // No mutations → every consulted histogram predates the run and
+        // not a single histogram or EMD is recomputed.
+        assert!(second.stats.delta_reused_histograms > 0);
+        assert_eq!(second.stats.histograms_built, 0);
+        assert_eq!(second.stats.emd_calls, 0);
+    }
+
+    #[test]
+    fn churn_matches_full_recompute_across_backends() {
+        for backend in [
+            EmdBackendKind::OneD,
+            EmdBackendKind::Transport,
+            EmdBackendKind::Batched,
+            EmdBackendKind::Kernel,
+        ] {
+            let criterion = FairnessCriterion::new(Objective::MostUnfair, Aggregator::Mean)
+                .with_emd(Emd::new(backend));
+            let search = Quantify::new(criterion);
+            let mut engine = DeltaEngine::new(churn_space(60), search.clone()).unwrap();
+            engine.requantify().unwrap();
+            let delta_ops = SpaceDelta::new()
+                .rescore(4, 0.93)
+                .insert(vec!["F", "r1"], 0.52)
+                .remove(17)
+                .rescore(0, 0.05);
+            let report = engine.apply(&delta_ops).unwrap();
+            assert_eq!(report.events, 4, "{backend:?}");
+            assert!(report.histograms_rebuilt > 0, "{backend:?}");
+            let delta = engine.requantify().unwrap();
+            let full = search.run_space(engine.space()).unwrap();
+            assert_outcomes_bitwise_equal(&delta, &full);
+            assert!(
+                delta.stats.emd_calls <= full.stats.emd_calls,
+                "{backend:?}: delta recomputed {} EMDs, full {}",
+                delta.stats.emd_calls,
+                full.stats.emd_calls
+            );
+            assert!(delta.stats.delta_reused_histograms > 0, "{backend:?}");
+            assert_eq!(
+                delta.stats.delta_invalidated_emds, report.emd_entries_dropped,
+                "{backend:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn sustained_churn_stays_bitwise_identical() {
+        let search = Quantify::default().with_min_partition_size(2);
+        let mut engine = DeltaEngine::new(churn_space(48), search.clone()).unwrap();
+        engine.requantify().unwrap();
+        for round in 0..6u32 {
+            let delta_ops = SpaceDelta::new()
+                .rescore(round, 0.05 + round as f64 * 0.13)
+                .insert(vec!["M", "r2"], 0.3 + round as f64 * 0.07)
+                .remove(2 * round);
+            engine.apply(&delta_ops).unwrap();
+            let delta = engine.requantify().unwrap();
+            let full = search.run_space(engine.space()).unwrap();
+            assert_outcomes_bitwise_equal(&delta, &full);
+            assert_eq!(engine.generation(), round + 1);
+        }
+    }
+
+    #[test]
+    fn new_attribute_value_falls_back_and_self_heals() {
+        let search = Quantify::default();
+        let mut engine = DeltaEngine::new(churn_space(30), search.clone()).unwrap();
+        engine.requantify().unwrap();
+        // "r3" is a brand-new region label: its child edge exists in no
+        // cache, so the affected nodes must fall back to real scans.
+        engine
+            .apply(&SpaceDelta::new().insert(vec!["F", "r3"], 0.77))
+            .unwrap();
+        let delta = engine.requantify().unwrap();
+        let full = search.run_space(engine.space()).unwrap();
+        assert_outcomes_bitwise_equal(&delta, &full);
+        // The fallback re-recorded: the next zero-churn run reuses fully.
+        let again = engine.requantify().unwrap();
+        assert_outcomes_bitwise_equal(&again, &delta);
+        assert_eq!(again.stats.histograms_built, 0);
+    }
+
+    #[test]
+    fn depth_zero_replays_the_trivial_branch() {
+        let space = churn_space(20);
+        let search = Quantify::default().with_max_depth(0);
+        let mut engine = DeltaEngine::new(space.clone(), search.clone()).unwrap();
+        let delta = engine.requantify().unwrap();
+        let full = search.run_space(&space).unwrap();
+        assert_eq!(delta.unfairness.to_bits(), full.unfairness.to_bits());
+        assert_eq!(delta.partitions, full.partitions);
+        assert_eq!(delta.stats, full.stats);
+    }
+
+    #[test]
+    fn apply_before_first_run_mutates_the_space_only() {
+        let mut engine = DeltaEngine::new(churn_space(20), Quantify::default()).unwrap();
+        let report = engine
+            .apply(&SpaceDelta::new().insert(vec!["F", "r0"], 0.4).remove(0))
+            .unwrap();
+        assert_eq!(report.events, 2);
+        assert_eq!(report.histograms_rebuilt, 0);
+        assert_eq!(report.emd_entries_dropped, 0);
+        assert_eq!(engine.space().num_individuals(), 20);
+        let outcome = engine.requantify().unwrap();
+        let full = Quantify::default().run_space(engine.space()).unwrap();
+        assert_outcomes_bitwise_equal(&outcome, &full);
+    }
+
+    #[test]
+    fn failed_op_keeps_space_and_caches_consistent() {
+        let search = Quantify::default();
+        let mut engine = DeltaEngine::new(churn_space(24), search.clone()).unwrap();
+        engine.requantify().unwrap();
+        // Second op targets a row far out of bounds: the first op stays
+        // applied, the engine remains usable and exact.
+        let bad = SpaceDelta::new().rescore(1, 0.99).remove(10_000);
+        assert!(engine.apply(&bad).is_err());
+        let delta = engine.requantify().unwrap();
+        let full = search.run_space(engine.space()).unwrap();
+        assert_outcomes_bitwise_equal(&delta, &full);
+        assert_eq!(engine.space().scores()[1], 0.99);
+    }
+
+    #[test]
+    fn empty_space_is_rejected_at_construction() {
+        // A space can never become empty through the mutation API: removal
+        // of the last row is refused, and `RankingSpace::new` already
+        // rejects zero rows — so `DeltaEngine::new`'s own guard is a
+        // belt-and-braces invariant rather than a reachable path.
+        let mut one = RankingSpace::new(
+            vec![ProtectedAttribute::from_values("g", &["a"])],
+            vec![0.5],
+        )
+        .unwrap();
+        assert!(matches!(one.remove_row(0), Err(CoreError::EmptyInput)));
+        assert!(matches!(
+            RankingSpace::new(vec![], vec![]),
+            Err(CoreError::EmptyInput)
+        ));
+        // And a one-row space is perfectly serviceable.
+        let engine = DeltaEngine::new(one, Quantify::default());
+        assert!(engine.is_ok());
+    }
+}

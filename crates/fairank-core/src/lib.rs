@@ -42,6 +42,7 @@ pub mod explain;
 pub mod exposure;
 pub mod fairness;
 pub mod histogram;
+pub mod incremental;
 pub mod pairwise;
 pub mod partition;
 pub mod plan;

@@ -85,7 +85,14 @@ impl Partition {
             Some(a) => a,
             None => return Vec::new(),
         };
-        let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); attribute.cardinality()];
+        // Two passes: count each bucket first so every child allocates
+        // exactly once (splits are the hot path of delta replays).
+        let mut sizes = vec![0usize; attribute.cardinality()];
+        for &row in &self.rows {
+            sizes[attribute.codes[row as usize] as usize] += 1;
+        }
+        let mut buckets: Vec<Vec<u32>> =
+            sizes.iter().map(|&s| Vec::with_capacity(s)).collect();
         for &row in &self.rows {
             buckets[attribute.codes[row as usize] as usize].push(row);
         }

@@ -144,6 +144,8 @@ impl SearchStrategy {
                         emd_calls: outcome.engine_stats.emd_calls,
                         emd_cache_hits: outcome.engine_stats.emd_cache_hits,
                         pairwise_batches: outcome.engine_stats.pairwise_batches,
+                        delta_reused_histograms: outcome.engine_stats.delta_reused_histograms,
+                        delta_invalidated_emds: outcome.engine_stats.delta_invalidated_emds,
                     },
                     elapsed: outcome.elapsed,
                     quantify: None,
@@ -166,6 +168,8 @@ impl SearchStrategy {
                         emd_calls: outcome.engine_stats.emd_calls,
                         emd_cache_hits: outcome.engine_stats.emd_cache_hits,
                         pairwise_batches: outcome.engine_stats.pairwise_batches,
+                        delta_reused_histograms: outcome.engine_stats.delta_reused_histograms,
+                        delta_invalidated_emds: outcome.engine_stats.delta_invalidated_emds,
                     },
                     elapsed: outcome.elapsed,
                     quantify: None,

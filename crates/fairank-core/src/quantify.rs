@@ -72,6 +72,15 @@ pub struct SearchStats {
     /// batch (always 0 under the per-pair `1d`/`transport` backends and
     /// the naive evaluation).
     pub pairwise_batches: usize,
+    /// Histograms served from a previous generation's caches by an
+    /// incremental (delta) re-evaluation — distinct cached contents the
+    /// run consulted that predate its own generation. Always 0 for
+    /// from-scratch searches.
+    pub delta_reused_histograms: usize,
+    /// EMD memo entries dropped by targeted invalidation (cache compaction
+    /// after space mutations) ahead of this run. Always 0 for from-scratch
+    /// searches.
+    pub delta_invalidated_emds: usize,
 }
 
 /// The result of a `QUANTIFY` run.
@@ -116,6 +125,27 @@ impl Quantify {
     /// The criterion this search optimizes.
     pub fn criterion(&self) -> &FairnessCriterion {
         &self.criterion
+    }
+
+    /// The configured split-evaluation strategy (read by the incremental
+    /// delta search, which must replicate the decision sequence exactly).
+    pub(crate) fn split_eval(&self) -> SplitEvaluation {
+        self.split_eval
+    }
+
+    /// The configured minimum partition size.
+    pub(crate) fn min_partition_size(&self) -> usize {
+        self.min_partition_size
+    }
+
+    /// The configured depth cap.
+    pub(crate) fn max_depth(&self) -> Option<usize> {
+        self.max_depth
+    }
+
+    /// The configured cancellation budget.
+    pub(crate) fn run_budget(&self) -> &RunBudget {
+        &self.budget
     }
 
     /// Selects the split-evaluation strategy (ablation hook).
@@ -285,12 +315,14 @@ impl Quantify {
         })
     }
 
-    fn merge_engine_stats(stats: &mut SearchStats, engine: &SplitEngine<'_>) {
+    pub(crate) fn merge_engine_stats(stats: &mut SearchStats, engine: &SplitEngine<'_>) {
         let e = engine.stats();
         stats.histograms_built = e.histograms_built;
         stats.emd_calls = e.emd_calls;
         stats.emd_cache_hits = e.emd_cache_hits;
         stats.pairwise_batches = e.pairwise_batches;
+        stats.delta_reused_histograms = e.delta_reused_histograms;
+        stats.delta_invalidated_emds = e.delta_invalidated_emds;
     }
 
     /// The recursive body of Algorithm 1, evaluated through the engine.

@@ -185,6 +185,94 @@ impl RankingSpace {
         self.scores.iter().map(|&s| spec.bin_of(s) as u32).collect()
     }
 
+    /// Appends one individual: one label per attribute (dictionary-encoded
+    /// in first-appearance order, so unseen labels extend the attribute's
+    /// vocabulary) plus a finite score. Returns the new row's code per
+    /// attribute, aligned with [`Self::attributes`].
+    pub fn insert_row<S: AsRef<str>>(&mut self, labels: &[S], score: f64) -> Result<Vec<u32>> {
+        if labels.len() != self.attributes.len() {
+            return Err(CoreError::InvalidSpace(format!(
+                "insert carries {} labels but the space has {} attributes",
+                labels.len(),
+                self.attributes.len()
+            )));
+        }
+        if !score.is_finite() {
+            return Err(CoreError::NonFiniteScore {
+                row: self.scores.len(),
+                value: score,
+            });
+        }
+        let mut codes = Vec::with_capacity(labels.len());
+        for (attr, label) in self.attributes.iter_mut().zip(labels) {
+            let label = label.as_ref();
+            let code = match attr.labels.iter().position(|l| l == label) {
+                Some(idx) => idx as u32,
+                None => {
+                    attr.labels.push(label.to_string());
+                    (attr.labels.len() - 1) as u32
+                }
+            };
+            attr.codes.push(code);
+            codes.push(code);
+        }
+        self.scores.push(score);
+        Ok(codes)
+    }
+
+    /// Removes the individual at `row`, shifting subsequent rows down by
+    /// one. The last individual cannot be removed (a space is never empty).
+    pub fn remove_row(&mut self, row: usize) -> Result<()> {
+        if row >= self.scores.len() {
+            return Err(CoreError::InvalidSpace(format!(
+                "row {} out of bounds for {} individuals",
+                row,
+                self.scores.len()
+            )));
+        }
+        if self.scores.len() == 1 {
+            return Err(CoreError::EmptyInput);
+        }
+        for attr in &mut self.attributes {
+            attr.codes.remove(row);
+        }
+        self.scores.remove(row);
+        Ok(())
+    }
+
+    /// Replaces the score of the individual at `row`.
+    pub fn rescore_row(&mut self, row: usize, score: f64) -> Result<()> {
+        if row >= self.scores.len() {
+            return Err(CoreError::InvalidSpace(format!(
+                "row {} out of bounds for {} individuals",
+                row,
+                self.scores.len()
+            )));
+        }
+        if !score.is_finite() {
+            return Err(CoreError::NonFiniteScore { row, value: score });
+        }
+        self.scores[row] = score;
+        Ok(())
+    }
+
+    /// Applies every operation of `delta` in order. This is the
+    /// full-recompute twin of `incremental::DeltaEngine::apply`: both
+    /// mutate a space identically, so a fresh search over the mutated
+    /// space is the reference for the delta-evaluated one.
+    pub fn apply_delta(&mut self, delta: &SpaceDelta) -> Result<()> {
+        for op in &delta.ops {
+            match op {
+                DeltaOp::Insert { labels, score } => {
+                    self.insert_row(labels, *score)?;
+                }
+                DeltaOp::Remove { row } => self.remove_row(*row as usize)?,
+                DeltaOp::Rescore { row, score } => self.rescore_row(*row as usize, *score)?,
+            }
+        }
+        Ok(())
+    }
+
     /// Restricts the space to the given rows, producing a new, re-indexed
     /// space (used by protected-attribute filters).
     pub fn select(&self, rows: &[u32]) -> Result<Self> {
@@ -209,6 +297,79 @@ impl RankingSpace {
             .collect();
         let scores = rows.iter().map(|&r| self.scores[r as usize]).collect();
         RankingSpace::new(attributes, scores)
+    }
+}
+
+/// One mutation of a ranking space. Row indices refer to the space state
+/// at the moment the operation applies (earlier operations of the same
+/// delta shift them, exactly as sequential application would).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum DeltaOp {
+    /// A new individual arrives: one label per attribute plus a score.
+    Insert {
+        /// Attribute value labels, aligned with the space's attributes.
+        labels: Vec<String>,
+        /// The arrival's score.
+        score: f64,
+    },
+    /// The individual at `row` departs.
+    Remove {
+        /// Row index to remove.
+        row: u32,
+    },
+    /// The individual at `row` gets a new score.
+    Rescore {
+        /// Row index to rescore.
+        row: u32,
+        /// The new score.
+        score: f64,
+    },
+}
+
+/// An ordered batch of space mutations — the unit the incremental
+/// subsystem re-evaluates after. Serializable so churn rounds can travel
+/// over the wire.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SpaceDelta {
+    /// Mutations, applied in order.
+    pub ops: Vec<DeltaOp>,
+}
+
+impl SpaceDelta {
+    /// An empty delta.
+    pub fn new() -> Self {
+        SpaceDelta::default()
+    }
+
+    /// Appends an arrival.
+    pub fn insert<S: Into<String>>(mut self, labels: Vec<S>, score: f64) -> Self {
+        self.ops.push(DeltaOp::Insert {
+            labels: labels.into_iter().map(Into::into).collect(),
+            score,
+        });
+        self
+    }
+
+    /// Appends a departure.
+    pub fn remove(mut self, row: u32) -> Self {
+        self.ops.push(DeltaOp::Remove { row });
+        self
+    }
+
+    /// Appends a score update.
+    pub fn rescore(mut self, row: u32, score: f64) -> Self {
+        self.ops.push(DeltaOp::Rescore { row, score });
+        self
+    }
+
+    /// Number of operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True when the delta carries no operations.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
     }
 }
 
@@ -315,6 +476,78 @@ mod tests {
         let trio = ProtectedAttribute::from_values("trio", &["x", "y", "z", "x", "y"]);
         let space = RankingSpace::new(vec![gender(), trio], vec![0.1; 5]).unwrap();
         assert_eq!(space.max_cardinality(), 3);
+    }
+
+    #[test]
+    fn insert_row_extends_dictionaries_in_first_appearance_order() {
+        let mut space = RankingSpace::new(vec![gender()], vec![0.1, 0.2, 0.3, 0.4, 0.5]).unwrap();
+        let codes = space.insert_row(&["M"], 0.6).unwrap();
+        assert_eq!(codes, vec![1]);
+        assert_eq!(space.num_individuals(), 6);
+        // An unseen label grows the vocabulary at the end.
+        let codes = space.insert_row(&["X"], 0.7).unwrap();
+        assert_eq!(codes, vec![2]);
+        assert_eq!(space.attributes()[0].labels, vec!["F", "M", "X"]);
+        assert_eq!(space.scores()[6], 0.7);
+    }
+
+    #[test]
+    fn insert_row_validates_arity_and_score() {
+        let mut space = RankingSpace::new(vec![gender()], vec![0.1; 5]).unwrap();
+        assert!(space.insert_row::<&str>(&[], 0.5).is_err());
+        assert!(matches!(
+            space.insert_row(&["F"], f64::NAN).unwrap_err(),
+            CoreError::NonFiniteScore { row: 5, .. }
+        ));
+        assert_eq!(space.num_individuals(), 5);
+    }
+
+    #[test]
+    fn remove_row_shifts_and_guards_emptiness() {
+        let mut space = RankingSpace::new(vec![gender()], vec![0.1, 0.2, 0.3, 0.4, 0.5]).unwrap();
+        space.remove_row(1).unwrap();
+        assert_eq!(space.scores(), &[0.1, 0.3, 0.4, 0.5]);
+        assert_eq!(space.attributes()[0].codes, vec![0, 1, 0, 1]);
+        assert!(space.remove_row(9).is_err());
+        let mut solo = RankingSpace::new(vec![], vec![0.5]).unwrap();
+        assert_eq!(solo.remove_row(0).unwrap_err(), CoreError::EmptyInput);
+    }
+
+    #[test]
+    fn rescore_row_replaces_score_and_rejects_non_finite() {
+        let mut space = RankingSpace::new(vec![], vec![0.1, 0.2]).unwrap();
+        space.rescore_row(0, 0.9).unwrap();
+        assert_eq!(space.scores(), &[0.9, 0.2]);
+        assert!(space.rescore_row(0, f64::INFINITY).is_err());
+        assert!(space.rescore_row(5, 0.5).is_err());
+    }
+
+    #[test]
+    fn apply_delta_matches_sequential_mutation() {
+        let mut direct = RankingSpace::new(vec![gender()], vec![0.1, 0.2, 0.3, 0.4, 0.5]).unwrap();
+        let mut batched = direct.clone();
+        let delta = SpaceDelta::new()
+            .insert(vec!["M"], 0.6)
+            .remove(0)
+            .rescore(2, 0.35);
+        assert_eq!(delta.len(), 3);
+        assert!(!delta.is_empty());
+        direct.insert_row(&["M"], 0.6).unwrap();
+        direct.remove_row(0).unwrap();
+        direct.rescore_row(2, 0.35).unwrap();
+        batched.apply_delta(&delta).unwrap();
+        assert_eq!(direct, batched);
+    }
+
+    #[test]
+    fn space_delta_serde_round_trip() {
+        let delta = SpaceDelta::new()
+            .insert(vec!["F"], 0.25)
+            .remove(3)
+            .rescore(1, 0.75);
+        let json = serde_json::to_string(&delta).unwrap();
+        let back: SpaceDelta = serde_json::from_str(&json).unwrap();
+        assert_eq!(delta, back);
     }
 
     #[test]

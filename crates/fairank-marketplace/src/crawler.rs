@@ -10,6 +10,8 @@
 use fairank_core::fairness::FairnessCriterion;
 use fairank_core::quantify::{Quantify, QuantifyOutcome};
 use fairank_data::dataset::Dataset;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 use crate::error::Result;
 use crate::platform::{Marketplace, Observation, Transparency};
@@ -69,6 +71,41 @@ pub fn crawl_marketplace(
     let mut jobs = Vec::with_capacity(marketplace.jobs().len());
     for job in marketplace.jobs() {
         jobs.push(crawl_job(marketplace, &job.id, transparency, criterion)?);
+    }
+    Ok(Crawl {
+        marketplace: marketplace.name.clone(),
+        transparency: transparency.clone(),
+        jobs,
+    })
+}
+
+/// Crawls a seeded random sample of at most `max_jobs` catalog entries —
+/// the budgeted-audit mode for catalogs too large to quantify end to end.
+/// Sampling is a seeded partial Fisher–Yates shuffle, so the same seed
+/// always audits the same jobs (results stay in catalog order).
+pub fn crawl_sample(
+    marketplace: &Marketplace,
+    transparency: &Transparency,
+    criterion: &FairnessCriterion,
+    max_jobs: usize,
+    seed: u64,
+) -> Result<Crawl> {
+    let total = marketplace.jobs().len();
+    if max_jobs >= total {
+        return crawl_marketplace(marketplace, transparency, criterion);
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut order: Vec<usize> = (0..total).collect();
+    for i in 0..max_jobs {
+        let j = rng.gen_range(i..total);
+        order.swap(i, j);
+    }
+    let mut picked = order[..max_jobs].to_vec();
+    picked.sort_unstable();
+    let mut jobs = Vec::with_capacity(max_jobs);
+    for idx in picked {
+        let id = marketplace.jobs()[idx].id.clone();
+        jobs.push(crawl_job(marketplace, &id, transparency, criterion)?);
     }
     Ok(Crawl {
         marketplace: marketplace.name.clone(),
@@ -175,6 +212,23 @@ mod tests {
         // Under rank histograms the biased job still shows the gap: all
         // females rank in the bottom half.
         assert_eq!(ranked[0].job_id, "unfair");
+    }
+
+    #[test]
+    fn sampled_crawl_is_deterministic_per_seed() {
+        let m = market();
+        let criterion = FairnessCriterion::default();
+        let a = crawl_sample(&m, &Transparency::full(), &criterion, 1, 42).unwrap();
+        let b = crawl_sample(&m, &Transparency::full(), &criterion, 1, 42).unwrap();
+        assert_eq!(a.jobs.len(), 1);
+        assert_eq!(a.jobs[0].job_id, b.jobs[0].job_id);
+        assert_eq!(
+            a.jobs[0].outcome.unfairness.to_bits(),
+            b.jobs[0].outcome.unfairness.to_bits()
+        );
+        // A budget covering the catalog degenerates to the full crawl.
+        let full = crawl_sample(&m, &Transparency::full(), &criterion, 99, 1).unwrap();
+        assert_eq!(full.jobs.len(), m.jobs().len());
     }
 
     #[test]

@@ -13,10 +13,15 @@ use fairank_core::quantify::Quantify;
 use fairank_core::scoring::{ObservedTable, ScoreSource};
 use fairank_data::column::ColumnData;
 use fairank_data::dataset::Dataset;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 use crate::error::{MarketError, Result};
 use crate::platform::Marketplace;
+
+/// The seed used when a [`FeedbackConfig`] does not pin one explicitly.
+pub const DEFAULT_FEEDBACK_SEED: u64 = 0x0FEE_DBAC;
 
 /// Parameters of the feedback simulation.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -29,6 +34,14 @@ pub struct FeedbackConfig {
     pub boost: f64,
     /// Rating decay for unhired workers: `r ← r · (1 − decay)`.
     pub decay: f64,
+    /// Multiplicative noise on each drift step: the applied boost/decay is
+    /// scaled by `1 + u` with `u` uniform in `[−noise, noise]`. `None` (and
+    /// `Some(0.0)`) reproduce the noiseless closed-form drift exactly.
+    pub rating_noise: Option<f64>,
+    /// Explicit RNG seed for the noise draws; `None` uses
+    /// [`DEFAULT_FEEDBACK_SEED`]. Optional so that serialized specs from
+    /// before this field existed still load.
+    pub seed: Option<u64>,
 }
 
 impl Default for FeedbackConfig {
@@ -38,7 +51,21 @@ impl Default for FeedbackConfig {
             top_k: 20,
             boost: 0.08,
             decay: 0.01,
+            rating_noise: None,
+            seed: None,
         }
+    }
+}
+
+impl FeedbackConfig {
+    /// The effective RNG seed.
+    pub fn seed(&self) -> u64 {
+        self.seed.unwrap_or(DEFAULT_FEEDBACK_SEED)
+    }
+
+    /// The effective noise amplitude (0 = deterministic drift).
+    pub fn rating_noise(&self) -> f64 {
+        self.rating_noise.unwrap_or(0.0)
     }
 }
 
@@ -89,6 +116,12 @@ pub fn simulate_feedback(
             "boost and decay must be fractions".into(),
         ));
     }
+    if !(0.0..=1.0).contains(&config.rating_noise()) {
+        return Err(MarketError::InvalidMarketplace(
+            "rating noise must be a fraction".into(),
+        ));
+    }
+    let mut rng = StdRng::seed_from_u64(config.seed());
     let job = marketplace.job(job_id)?;
     let mut workers = marketplace.workers().clone();
     if workers.observed_column(rating_column).is_none() {
@@ -134,7 +167,7 @@ pub fn simulate_feedback(
         for &row in ranking.iter().take(top_k) {
             hired[row as usize] = true;
         }
-        workers = drift_ratings(&workers, rating_column, &hired, config)?;
+        workers = drift_ratings(&workers, rating_column, &hired, config, &mut rng)?;
     }
     Ok(FeedbackOutcome {
         rounds,
@@ -147,7 +180,9 @@ fn drift_ratings(
     rating_column: &str,
     hired: &[bool],
     config: FeedbackConfig,
+    rng: &mut StdRng,
 ) -> Result<Dataset> {
+    let noise = config.rating_noise();
     let mut builder = Dataset::builder();
     for (field, col) in workers.schema().fields().iter().zip(workers.columns()) {
         builder = if field.name == rating_column {
@@ -156,10 +191,17 @@ fn drift_ratings(
                 .iter()
                 .zip(hired)
                 .map(|(&r, &h)| {
-                    if h {
-                        (r + config.boost * (1.0 - r)).clamp(0.0, 1.0)
+                    // Zero noise keeps the closed-form drift bit-exact (the
+                    // RNG is not consulted at all).
+                    let scale = if noise > 0.0 {
+                        1.0 + rng.gen_range(-noise..=noise)
                     } else {
-                        (r * (1.0 - config.decay)).clamp(0.0, 1.0)
+                        1.0
+                    };
+                    if h {
+                        (r + scale * config.boost * (1.0 - r)).clamp(0.0, 1.0)
+                    } else {
+                        (r * (1.0 - scale * config.decay)).clamp(0.0, 1.0)
                     }
                 })
                 .collect();
@@ -230,6 +272,7 @@ mod tests {
                 top_k: 25,
                 boost: 0.1,
                 decay: 0.02,
+                ..Default::default()
             },
         )
         .unwrap();
@@ -267,6 +310,7 @@ mod tests {
                 top_k: 10,
                 boost: 0.05,
                 decay: 0.0,
+                ..Default::default()
             },
         )
         .unwrap();
@@ -315,6 +359,83 @@ mod tests {
     }
 
     #[test]
+    fn noisy_runs_are_deterministic_per_seed() {
+        let market = taskrabbit_like(80, 4).unwrap();
+        let run = |seed: Option<u64>| {
+            simulate_feedback(
+                &market,
+                "errands",
+                "rating",
+                "gender",
+                &FairnessCriterion::default(),
+                FeedbackConfig {
+                    rounds: 4,
+                    top_k: 10,
+                    boost: 0.1,
+                    decay: 0.02,
+                    rating_noise: Some(0.5),
+                    seed,
+                },
+            )
+            .unwrap()
+        };
+        // Same seed → the whole trajectory (and final dataset) is equal.
+        assert_eq!(run(Some(17)), run(Some(17)));
+        assert_eq!(run(None), run(None));
+        // A different seed draws different noise.
+        assert_ne!(run(Some(17)), run(Some(18)));
+    }
+
+    #[test]
+    fn zero_noise_never_consults_the_rng() {
+        let market = taskrabbit_like(60, 2).unwrap();
+        let run = |config: FeedbackConfig| {
+            simulate_feedback(
+                &market,
+                "errands",
+                "rating",
+                "gender",
+                &FairnessCriterion::default(),
+                config,
+            )
+            .unwrap()
+        };
+        let base = FeedbackConfig {
+            rounds: 3,
+            top_k: 8,
+            boost: 0.07,
+            decay: 0.01,
+            ..Default::default()
+        };
+        // With zero noise the seed is irrelevant: the closed-form drift is
+        // reproduced bit-exactly whatever the seed says.
+        let a = run(base);
+        let b = run(FeedbackConfig {
+            seed: Some(999),
+            rating_noise: Some(0.0),
+            ..base
+        });
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn invalid_noise_is_rejected() {
+        let market = taskrabbit_like(30, 1).unwrap();
+        let err = simulate_feedback(
+            &market,
+            "errands",
+            "rating",
+            "gender",
+            &FairnessCriterion::default(),
+            FeedbackConfig {
+                rating_noise: Some(1.5),
+                ..Default::default()
+            },
+        );
+        assert!(err.is_err());
+    }
+
+    #[test]
     fn final_workers_keep_schema() {
         let market = taskrabbit_like(60, 5).unwrap();
         let outcome = simulate_feedback(
@@ -328,6 +449,7 @@ mod tests {
                 top_k: 5,
                 boost: 0.1,
                 decay: 0.01,
+                ..Default::default()
             },
         )
         .unwrap();

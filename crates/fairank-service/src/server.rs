@@ -860,6 +860,48 @@ mod tests {
     }
 
     #[test]
+    fn stream_reaudits_run_on_the_pool() {
+        let (registry, pool) = test_setup();
+        // `stream` is compute-heavy, so it rides the generic pool path and
+        // gets the per-request budget stamped like any other search.
+        assert!(Command::parse("stream taskrabbit errands")
+            .unwrap()
+            .is_compute_heavy());
+        let reply = dispatch(
+            &registry,
+            &pool,
+            Request::new("stream taskrabbit errands n=80 seed=3 rounds=2 stream-seed=9"),
+            LOCKED,
+        );
+        match reply.into_result().unwrap() {
+            Response::Stream(view) => {
+                assert_eq!(view.outcome.job_id, "errands");
+                assert_eq!(view.outcome.rounds.len(), 3); // round 0 + 2 churn rounds
+                assert!(view.outcome.total_reused_histograms() > 0);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // A stream scenario compiles per-criterion cells onto the pool.
+        let reply = dispatch(
+            &registry,
+            &pool,
+            Request::new(
+                "scenario stream taskrabbit errands n=80 seed=3 rounds=2 stream-seed=9 \
+                 aggs=mean,max",
+            ),
+            LOCKED,
+        );
+        match reply.into_result().unwrap() {
+            Response::Scenario(report) => {
+                assert_eq!(report.perspective, "stream");
+                assert_eq!(report.cells.len(), 2);
+                assert!(report.cells.iter().all(|c| c.delta_reused_histograms > 0));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
     fn registry_admin_is_gated_by_policy() {
         let (registry, pool) = test_setup();
         registry.attach_or_create("a");

@@ -17,7 +17,7 @@ use fairank_data::csv::CsvOptions;
 use fairank_data::filter::Filter;
 use fairank_data::synth;
 use fairank_marketplace::scenario;
-use fairank_marketplace::Transparency;
+use fairank_marketplace::stream::{run_stream, StreamConfig};
 
 use crate::config::Configuration;
 use crate::error::{Result, SessionError};
@@ -26,7 +26,7 @@ use crate::present;
 use crate::report;
 use crate::response::{
     CompareView, DataHeadView, DatasetEntry, FunctionEntry, NodeView, PanelEntry, PanelView,
-    Response, SubgroupEntry, SubgroupView,
+    Response, StreamView, SubgroupEntry, SubgroupView,
 };
 use crate::session::{AnonMethod, Session};
 
@@ -129,6 +129,17 @@ pub enum Command {
         n: usize,
         seed: u64,
     },
+    /// Streaming incremental re-audit of one job: replay event rounds
+    /// against the delta engine and report the per-round trajectory.
+    Stream {
+        preset: String,
+        job: String,
+        n: usize,
+        seed: u64,
+        k: Option<usize>,
+        ranking_only: bool,
+        config: StreamConfig,
+    },
     /// Run a whole scenario plan (grid/sweep/report compiled into parallel
     /// cells): `scenario grid|auditor|jobowner|enduser …`.
     RunScenario { spec: Box<ScenarioSpec> },
@@ -179,6 +190,16 @@ const QUANTIFY_OPTS: &[&str] = &["objective", "agg", "bins", "emd", "where"];
 const SUBGROUPS_OPTS: &[&str] = &["depth", "min", "top"];
 const AUDIT_OPTS: &[&str] = &["n", "seed", "k"];
 const SCENARIO_OPTS: &[&str] = &["n", "seed"];
+const STREAM_OPTS: &[&str] = &[
+    "n",
+    "seed",
+    "k",
+    "rounds",
+    "arrivals",
+    "departures",
+    "rescores",
+    "stream-seed",
+];
 const PLAN_OPTS: &[&str] = &[
     "n",
     "seed",
@@ -196,6 +217,11 @@ const PLAN_OPTS: &[&str] = &[
     "min",
     "budget",
     "where",
+    "rounds",
+    "arrivals",
+    "departures",
+    "rescores",
+    "stream-seed",
 ];
 
 fn opt<'a>(tokens: &'a [String], opts: &[&str], key: &str) -> Option<&'a str> {
@@ -359,12 +385,46 @@ fn parse_search_strategy(tokens: &[String]) -> Result<Option<SearchStrategy>> {
     }
 }
 
+/// Parses the event-stream knobs (`rounds=`, `arrivals=`, `departures=`,
+/// `rescores=`, `stream-seed=`) shared by `stream` and `scenario stream`.
+fn parse_stream_config(tokens: &[String], opts: &[&str]) -> Result<StreamConfig> {
+    let defaults = StreamConfig::default();
+    Ok(StreamConfig {
+        rounds: opt_parse(tokens, opts, "rounds", defaults.rounds)?,
+        arrivals_per_round: opt_parse(tokens, opts, "arrivals", defaults.arrivals_per_round)?,
+        departures_per_round: opt_parse(
+            tokens,
+            opts,
+            "departures",
+            defaults.departures_per_round,
+        )?,
+        rescores_per_round: opt_parse(tokens, opts, "rescores", defaults.rescores_per_round)?,
+        seed: opt(tokens, opts, "stream-seed")
+            .map(|raw| {
+                raw.parse().map_err(|_| {
+                    SessionError::Command(format!("cannot parse stream-seed={raw}"))
+                })
+            })
+            .transpose()?,
+    })
+}
+
+/// Parses an optional `k=` anonymity bound.
+fn parse_k(tokens: &[String], opts: &[&str]) -> Result<Option<usize>> {
+    opt(tokens, opts, "k")
+        .map(|raw| {
+            raw.parse()
+                .map_err(|_| SessionError::Command(format!("cannot parse k={raw}")))
+        })
+        .transpose()
+}
+
 /// Parses the `scenario` subcommands into a full [`ScenarioSpec`].
 fn parse_scenario(rest: &[String]) -> Result<Command> {
     let Some(kind) = rest.first() else {
         return Err(SessionError::Command(
-            "scenario needs a perspective (grid/auditor/jobowner/enduser) or a \
-             JSON spec path"
+            "scenario needs a perspective (grid/auditor/jobowner/enduser/stream) \
+             or a JSON spec path"
                 .into(),
         ));
     };
@@ -391,13 +451,7 @@ fn parse_scenario(rest: &[String]) -> Result<Command> {
                     n,
                     seed: opt_parse(rest, PLAN_OPTS, "seed", 42)?,
                 },
-                k: opt(rest, PLAN_OPTS, "k")
-                    .map(|raw| {
-                        raw.parse().map_err(|_| {
-                            SessionError::Command(format!("cannot parse k={raw}"))
-                        })
-                    })
-                    .transpose()?,
+                k: parse_k(rest, PLAN_OPTS)?,
                 ranking_only: rest.iter().any(|t| t == "ranking-only"),
                 subgroup_depth: opt_parse(rest, PLAN_OPTS, "sg-depth", 2)?,
                 min_subgroup: opt_parse(rest, PLAN_OPTS, "sg-min", (n / 20).max(2))?,
@@ -448,6 +502,17 @@ fn parse_scenario(rest: &[String]) -> Result<Command> {
                 groups,
             }
         }
+        "stream" => Perspective::Stream {
+            market: MarketSpec {
+                preset: positional(rest, PLAN_OPTS, 1, "marketplace preset")?.to_string(),
+                n: opt_parse(rest, PLAN_OPTS, "n", 300)?,
+                seed: opt_parse(rest, PLAN_OPTS, "seed", 42)?,
+            },
+            job: positional(rest, PLAN_OPTS, 2, "job id")?.to_string(),
+            k: parse_k(rest, PLAN_OPTS)?,
+            ranking_only: rest.iter().any(|t| t == "ranking-only"),
+            config: parse_stream_config(rest, PLAN_OPTS)?,
+        },
         // Anything else is a JSON spec path.
         path => {
             return Ok(Command::RunScenarioFile {
@@ -627,6 +692,15 @@ impl Command {
                 n: opt_parse(&rest[2..], SCENARIO_OPTS, "n", 300)?,
                 seed: opt_parse(&rest[2..], SCENARIO_OPTS, "seed", 42)?,
             }),
+            "stream" => Ok(Command::Stream {
+                preset: positional(rest, STREAM_OPTS, 0, "marketplace preset")?.to_string(),
+                job: positional(rest, STREAM_OPTS, 1, "job id")?.to_string(),
+                n: opt_parse(rest, STREAM_OPTS, "n", 300)?,
+                seed: opt_parse(rest, STREAM_OPTS, "seed", 42)?,
+                k: parse_k(rest, STREAM_OPTS)?,
+                ranking_only: rest.iter().any(|t| t == "ranking-only"),
+                config: parse_stream_config(rest, STREAM_OPTS)?,
+            }),
             "scenario" => parse_scenario(rest),
             "sessions" => Ok(Command::Sessions),
             "evict" => Ok(Command::Evict {
@@ -664,6 +738,7 @@ impl Command {
                 | Command::Audit { .. }
                 | Command::JobOwner { .. }
                 | Command::EndUser { .. }
+                | Command::Stream { .. }
                 | Command::RunScenario { .. }
                 | Command::RunScenarioFile { .. }
         )
@@ -976,17 +1051,7 @@ pub fn apply(session: &mut Session, command: Command) -> Result<Response> {
             ranking_only,
         } => {
             let market = marketplace(&preset, n, seed)?;
-            let transparency = Transparency {
-                function: if ranking_only {
-                    fairank_marketplace::FunctionTransparency::RankingOnly
-                } else {
-                    fairank_marketplace::FunctionTransparency::Visible
-                },
-                data: match k {
-                    Some(k) => fairank_marketplace::DataTransparency::Anonymized { k },
-                    None => fairank_marketplace::DataTransparency::Full,
-                },
-            };
+            let transparency = plan::observation_transparency(k, ranking_only);
             let report = report::auditor_report(
                 &market,
                 &transparency,
@@ -1025,6 +1090,29 @@ pub fn apply(session: &mut Session, command: Command) -> Result<Response> {
             let report =
                 report::end_user_report(&market, &filter, &FairnessCriterion::default())?;
             Ok(Response::EndUserView(report))
+        }
+        Command::Stream {
+            preset,
+            job,
+            n,
+            seed,
+            k,
+            ranking_only,
+            config,
+        } => {
+            let market = marketplace(&preset, n, seed)?;
+            let transparency = plan::observation_transparency(k, ranking_only);
+            let outcome = run_stream(
+                &market,
+                &job,
+                &transparency,
+                &FairnessCriterion::default(),
+                config,
+            )?;
+            Ok(Response::Stream(StreamView {
+                marketplace: market.name.clone(),
+                outcome,
+            }))
         }
         Command::RunScenario { spec } => {
             let compiled = plan::compile(session, &spec)?;
@@ -1361,6 +1449,88 @@ mod tests {
             .unwrap()
             .touches_filesystem());
         assert!(Command::parse("scenario grid pop f strategy=sideways").is_err());
+    }
+
+    #[test]
+    fn stream_command_parses_and_runs() {
+        let cmd = Command::parse(
+            "stream taskrabbit errands n=90 seed=4 rounds=2 arrivals=1 departures=1 \
+             rescores=3 stream-seed=77",
+        )
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Stream {
+                preset: "taskrabbit".into(),
+                job: "errands".into(),
+                n: 90,
+                seed: 4,
+                k: None,
+                ranking_only: false,
+                config: StreamConfig {
+                    rounds: 2,
+                    arrivals_per_round: 1,
+                    departures_per_round: 1,
+                    rescores_per_round: 3,
+                    seed: Some(77),
+                },
+            }
+        );
+        assert!(cmd.is_compute_heavy());
+        assert!(!cmd.touches_filesystem());
+        // Unspecified knobs land on the StreamConfig defaults.
+        let Command::Stream { config, .. } = Command::parse("stream qapa devops").unwrap()
+        else {
+            panic!("expected Stream");
+        };
+        assert_eq!(config, StreamConfig::default());
+
+        let mut s = Session::new();
+        let out = run(
+            &mut s,
+            "stream taskrabbit errands n=90 seed=4 rounds=2 stream-seed=77",
+        );
+        assert!(out.contains("STREAM RE-AUDIT"), "{out}");
+        assert!(out.contains("seed 77"));
+        assert!(out.contains("histogram(s) reused across 2 churn round(s)"));
+    }
+
+    #[test]
+    fn scenario_stream_parses_and_runs() {
+        let cmd = Command::parse(
+            "scenario stream taskrabbit errands n=90 seed=4 rounds=2 rescores=3 \
+             stream-seed=5 aggs=mean,max",
+        )
+        .unwrap();
+        let Command::RunScenario { spec } = &cmd else {
+            panic!("expected RunScenario, got {cmd:?}");
+        };
+        let Perspective::Stream {
+            market,
+            job,
+            config,
+            ..
+        } = &spec.perspective
+        else {
+            panic!("expected stream perspective");
+        };
+        assert_eq!(market.preset, "taskrabbit");
+        assert_eq!(market.n, 90);
+        assert_eq!(job, "errands");
+        assert_eq!(config.rounds, 2);
+        assert_eq!(config.rescores_per_round, 3);
+        assert_eq!(config.seed, Some(5));
+        assert_eq!(spec.criterion_grid().cardinality(), 2);
+
+        let mut s = Session::new();
+        let out = run(
+            &mut s,
+            "scenario stream taskrabbit errands n=90 seed=4 rounds=2 stream-seed=5 \
+             aggs=mean,max",
+        );
+        assert!(out.contains("SCENARIO REPORT — stream"), "{out}");
+        assert!(out.contains("criterion:"));
+        assert!(out.contains("Δ reused"), "{out}");
     }
 
     #[test]

@@ -38,6 +38,12 @@ pub struct GeneralInfo {
     /// Pairwise/cross aggregations the batched EMD backend resolved as one
     /// batch (0 under the per-pair backends).
     pub pairwise_batches: usize,
+    /// Histograms served from a previous generation's caches by an
+    /// incremental (delta) re-quantification (0 for from-scratch panels).
+    pub delta_reused_histograms: usize,
+    /// Memoized EMD entries dropped by targeted invalidation ahead of the
+    /// search (0 for from-scratch panels).
+    pub delta_invalidated_emds: usize,
 }
 
 /// Statistics of one tree node (the *Node* box).
@@ -100,6 +106,8 @@ impl Panel {
             emd_calls: self.outcome.stats.emd_calls,
             emd_cache_hits: self.outcome.stats.emd_cache_hits,
             pairwise_batches: self.outcome.stats.pairwise_batches,
+            delta_reused_histograms: self.outcome.stats.delta_reused_histograms,
+            delta_invalidated_emds: self.outcome.stats.delta_invalidated_emds,
         }
     }
 

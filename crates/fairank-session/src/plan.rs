@@ -34,8 +34,10 @@ use fairank_core::plan::{CellOutcome, SearchStrategy};
 use fairank_core::scoring::{LinearScoring, ScoreSource};
 use fairank_core::space::RankingSpace;
 use fairank_core::subgroup::{least_favored, most_favored, subgroup_stats};
+use fairank_core::quantify::Quantify;
 use fairank_data::dataset::Dataset;
 use fairank_data::filter::Filter;
+use fairank_marketplace::stream::{StreamConfig, StreamOutcome, StreamScenario};
 use fairank_marketplace::{Marketplace, Transparency};
 use serde::{Deserialize, Serialize};
 
@@ -116,6 +118,21 @@ pub enum Perspective {
         /// Group filter expressions (e.g. `gender=Female`).
         groups: Vec<String>,
     },
+    /// A streaming incremental re-audit: replay arrival/departure/feedback
+    /// event rounds against one job and re-quantify after each via the
+    /// delta engine. One cell per criterion.
+    Stream {
+        /// The marketplace the stream runs against.
+        market: MarketSpec,
+        /// Job id to monitor.
+        job: String,
+        /// Anonymize worker data to `k`-anonymity before observing.
+        k: Option<usize>,
+        /// Observe rankings only (function opacity).
+        ranking_only: bool,
+        /// Event-stream parameters (rounds, churn rates, seed).
+        config: StreamConfig,
+    },
 }
 
 impl Perspective {
@@ -127,6 +144,7 @@ impl Perspective {
             Perspective::Auditor { .. } => "auditor",
             Perspective::JobOwner { .. } => "job-owner",
             Perspective::EndUser { .. } => "end-user",
+            Perspective::Stream { .. } => "stream",
         }
     }
 }
@@ -288,6 +306,17 @@ enum CellWork {
         member: Vec<bool>,
         group_size: usize,
     },
+    /// A stream cell: one full streaming re-audit of a job under one
+    /// criterion (the event trajectory is seed-deterministic, so every
+    /// criterion's cell replays the identical churn).
+    Stream {
+        criterion_idx: usize,
+        job_id: String,
+        market: Marketplace,
+        transparency: Transparency,
+        search: Quantify,
+        config: StreamConfig,
+    },
 }
 
 /// Per-cell engine counters and wall-clock, surfaced in the report.
@@ -310,6 +339,12 @@ pub struct CellStat {
     /// Pairwise/cross aggregations the batched EMD backend resolved as one
     /// batch (0 under the per-pair backends).
     pub pairwise_batches: usize,
+    /// Histograms served from previous-generation caches by incremental
+    /// (delta) re-quantification (0 for from-scratch cells).
+    pub delta_reused_histograms: usize,
+    /// Memoized EMD entries dropped by targeted invalidation (0 for
+    /// from-scratch cells).
+    pub delta_invalidated_emds: usize,
     /// Unfairness the cell measured (`None` for cells that do not quantify,
     /// e.g. end-user statistics).
     pub unfairness: Option<f64>,
@@ -344,6 +379,10 @@ enum CellPayload {
     EndUserRow {
         group_idx: usize,
         row: EndUserJobRow,
+    },
+    Stream {
+        criterion_idx: usize,
+        outcome: StreamOutcome,
     },
 }
 
@@ -389,6 +428,8 @@ impl Cell {
                         emd_calls: outcome.stats.emd_calls,
                         emd_cache_hits: outcome.stats.emd_cache_hits,
                         pairwise_batches: outcome.stats.pairwise_batches,
+                        delta_reused_histograms: outcome.stats.delta_reused_histograms,
+                        delta_invalidated_emds: outcome.stats.delta_invalidated_emds,
                         unfairness: Some(outcome.unfairness),
                     },
                     payload: CellPayload::Panel {
@@ -433,6 +474,8 @@ impl Cell {
                         emd_calls: outcome.stats.emd_calls,
                         emd_cache_hits: outcome.stats.emd_cache_hits,
                         pairwise_batches: outcome.stats.pairwise_batches,
+                        delta_reused_histograms: outcome.stats.delta_reused_histograms,
+                        delta_invalidated_emds: outcome.stats.delta_invalidated_emds,
                         unfairness: Some(outcome.unfairness),
                     },
                     payload: CellPayload::AuditRow { criterion_idx, row },
@@ -464,6 +507,8 @@ impl Cell {
                         emd_calls: outcome.stats.emd_calls,
                         emd_cache_hits: outcome.stats.emd_cache_hits,
                         pairwise_batches: outcome.stats.pairwise_batches,
+                        delta_reused_histograms: outcome.stats.delta_reused_histograms,
+                        delta_invalidated_emds: outcome.stats.delta_invalidated_emds,
                         unfairness: Some(outcome.unfairness),
                     },
                     payload: CellPayload::Variant { criterion_idx, row },
@@ -527,9 +572,61 @@ impl Cell {
                         emd_calls: 0,
                         emd_cache_hits: 0,
                         pairwise_batches: 0,
+                        delta_reused_histograms: 0,
+                        delta_invalidated_emds: 0,
                         unfairness: None,
                     },
                     payload: CellPayload::EndUserRow { group_idx, row },
+                })
+            }
+            CellWork::Stream {
+                criterion_idx,
+                job_id,
+                market,
+                transparency,
+                search,
+                config,
+            } => {
+                let start = Instant::now();
+                let mut scenario =
+                    StreamScenario::with_search(&market, &job_id, &transparency, search, config)?;
+                scenario.set_run_budget(budget);
+                let outcome = scenario.run()?;
+                // A stream cell is a whole trajectory: sum the per-round
+                // engine counters; unfairness is the final round's reading.
+                let emd_calls = outcome.rounds.iter().map(|r| r.emd_calls).sum();
+                let histograms_built =
+                    outcome.rounds.iter().map(|r| r.histograms_rebuilt).sum();
+                let reused = outcome
+                    .rounds
+                    .iter()
+                    .map(|r| r.delta_reused_histograms)
+                    .sum();
+                let invalidated = outcome
+                    .rounds
+                    .iter()
+                    .map(|r| r.delta_invalidated_emds)
+                    .sum();
+                let unfairness = outcome.rounds.last().map(|r| r.unfairness);
+                Ok(CellResult {
+                    index,
+                    stat: CellStat {
+                        label,
+                        elapsed_us: elapsed_us(start.elapsed()),
+                        nodes_evaluated: 0,
+                        candidate_splits: 0,
+                        histograms_built,
+                        emd_calls,
+                        emd_cache_hits: 0,
+                        pairwise_batches: 0,
+                        delta_reused_histograms: reused,
+                        delta_invalidated_emds: invalidated,
+                        unfairness,
+                    },
+                    payload: CellPayload::Stream {
+                        criterion_idx,
+                        outcome,
+                    },
                 })
             }
         }
@@ -579,6 +676,15 @@ pub struct EndUserOutcome {
     pub report: EndUserReport,
 }
 
+/// A streaming re-audit trajectory for one criterion of the grid.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StreamAuditOutcome {
+    /// Criterion label (empty when a single implicit criterion was used).
+    pub criterion: String,
+    /// The per-round trajectory under that criterion.
+    pub outcome: StreamOutcome,
+}
+
 /// The perspective-specific payload of a [`ScenarioReport`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum ScenarioOutcome {
@@ -590,6 +696,8 @@ pub enum ScenarioOutcome {
     JobOwner(Vec<JobOwnerOutcome>),
     /// One view per group.
     EndUser(Vec<EndUserOutcome>),
+    /// One streaming trajectory per criterion.
+    Stream(Vec<StreamAuditOutcome>),
 }
 
 /// The result of running a whole plan: the reduced outcome plus per-cell
@@ -624,6 +732,9 @@ enum Reduce {
     },
     EndUser {
         groups: Vec<String>,
+    },
+    Stream {
+        criteria: Vec<String>,
     },
 }
 
@@ -683,17 +794,7 @@ pub fn compile(session: &Session, spec: &ScenarioSpec) -> Result<Plan> {
             min_subgroup,
         } => {
             let market = market.build()?;
-            let transparency = Transparency {
-                function: if *ranking_only {
-                    fairank_marketplace::FunctionTransparency::RankingOnly
-                } else {
-                    fairank_marketplace::FunctionTransparency::Visible
-                },
-                data: match k {
-                    Some(k) => fairank_marketplace::DataTransparency::Anonymized { k: *k },
-                    None => fairank_marketplace::DataTransparency::Full,
-                },
-            };
+            let transparency = observation_transparency(*k, *ranking_only);
             Plan::for_auditor(
                 &market,
                 &transparency,
@@ -726,6 +827,33 @@ pub fn compile(session: &Session, spec: &ScenarioSpec) -> Result<Plan> {
                 .collect::<std::result::Result<Vec<_>, _>>()?;
             Plan::for_end_user(&market, &filters, strategy)
         }
+        Perspective::Stream {
+            market,
+            job,
+            k,
+            ranking_only,
+            config,
+        } => {
+            let market = market.build()?;
+            let transparency = observation_transparency(*k, *ranking_only);
+            Plan::for_stream(&market, &transparency, job, &criteria, strategy, *config)
+        }
+    }
+}
+
+/// The paper's transparency axes as the session commands expose them:
+/// optional `k`-anonymization of worker data, optional function opacity.
+pub(crate) fn observation_transparency(k: Option<usize>, ranking_only: bool) -> Transparency {
+    Transparency {
+        function: if ranking_only {
+            fairank_marketplace::FunctionTransparency::RankingOnly
+        } else {
+            fairank_marketplace::FunctionTransparency::Visible
+        },
+        data: match k {
+            Some(k) => fairank_marketplace::DataTransparency::Anonymized { k },
+            None => fairank_marketplace::DataTransparency::Full,
+        },
     }
 }
 
@@ -937,6 +1065,67 @@ impl Plan {
             cells,
             reduce: Reduce::EndUser {
                 groups: groups.iter().map(Filter::render).collect(),
+            },
+        })
+    }
+
+    /// A stream plan over an already-built marketplace: one cell per
+    /// criterion, each replaying the identical seed-deterministic event
+    /// trajectory through the delta engine. Only the `quantify` strategy
+    /// is meaningful here — beam and exhaustive searches carry no
+    /// incremental state to reuse between rounds.
+    pub(crate) fn for_stream(
+        market: &Marketplace,
+        transparency: &Transparency,
+        job: &str,
+        criteria: &[(String, FairnessCriterion)],
+        strategy: SearchStrategy,
+        config: StreamConfig,
+    ) -> Result<Plan> {
+        // Validate the job id at compile time, like every other resolver.
+        market.job(job)?;
+        let SearchStrategy::Quantify {
+            max_depth,
+            min_partition,
+        } = strategy
+        else {
+            return Err(SessionError::Command(
+                "stream scenarios require the quantify strategy (beam and \
+                 exhaustive searches cannot reuse incremental state)"
+                    .into(),
+            ));
+        };
+        let mut cells = Vec::with_capacity(criteria.len());
+        for (criterion_idx, (criterion_label, criterion)) in criteria.iter().enumerate() {
+            let mut search = Quantify::new(*criterion).with_min_partition_size(min_partition);
+            if let Some(depth) = max_depth {
+                search = search.with_max_depth(depth);
+            }
+            let label = if criterion_label.is_empty() {
+                format!("stream {job}")
+            } else {
+                format!("stream {job} · {criterion_label}")
+            };
+            cells.push(Cell {
+                index: cells.len(),
+                label,
+                work: CellWork::Stream {
+                    criterion_idx,
+                    job_id: job.to_string(),
+                    market: market.clone(),
+                    transparency: transparency.clone(),
+                    search,
+                    config,
+                },
+                budget: RunBudget::unlimited(),
+            });
+        }
+        Ok(Plan {
+            perspective: "stream",
+            strategy: strategy.describe(),
+            cells,
+            reduce: Reduce::Stream {
+                criteria: criteria.iter().map(|(l, _)| l.clone()).collect(),
             },
         })
     }
@@ -1192,6 +1381,37 @@ impl ExecutedPlan {
                         .collect(),
                 )
             }
+            Reduce::Stream { criteria } => {
+                let mut buckets: Vec<Option<StreamOutcome>> =
+                    criteria.iter().map(|_| None).collect();
+                for result in results {
+                    let CellPayload::Stream {
+                        criterion_idx,
+                        outcome,
+                    } = result.payload
+                    else {
+                        return Err(SessionError::Internal(
+                            "stream reduce received a non-stream cell".into(),
+                        ));
+                    };
+                    buckets[criterion_idx] = Some(outcome);
+                }
+                ScenarioOutcome::Stream(
+                    criteria
+                        .into_iter()
+                        .zip(buckets)
+                        .map(|(criterion, outcome)| {
+                            outcome
+                                .map(|outcome| StreamAuditOutcome { criterion, outcome })
+                                .ok_or_else(|| {
+                                    SessionError::Internal(
+                                        "stream reduce is missing a criterion's cell".into(),
+                                    )
+                                })
+                        })
+                        .collect::<Result<Vec<_>>>()?,
+                )
+            }
         };
 
         let mut report = ScenarioReport {
@@ -1445,6 +1665,108 @@ mod tests {
         assert_eq!(views.len(), 2);
         assert_eq!(views[0].report.group, views[0].group);
         assert!(report.cells.iter().all(|c| c.unfairness.is_none()));
+    }
+
+    fn stream_spec(seed: Option<u64>) -> ScenarioSpec {
+        ScenarioSpec {
+            perspective: Perspective::Stream {
+                market: MarketSpec {
+                    preset: "taskrabbit".into(),
+                    n: 60,
+                    seed: 3,
+                },
+                job: "errands".into(),
+                k: None,
+                ranking_only: false,
+                config: StreamConfig {
+                    rounds: 2,
+                    arrivals_per_round: 2,
+                    departures_per_round: 2,
+                    rescores_per_round: 3,
+                    seed,
+                },
+            },
+            strategy: None,
+            criteria: Some(CriterionGrid {
+                objectives: vec![Objective::MostUnfair],
+                aggregators: vec![Aggregator::Mean, Aggregator::Max],
+                bins: vec![10],
+                emds: vec![EmdBackendKind::OneD],
+            }),
+        }
+    }
+
+    /// Strips the wall-clock fields — the only legitimately nondeterministic
+    /// parts of a stream report.
+    fn strip_stream_timing(mut report: ScenarioReport) -> ScenarioReport {
+        report.total_elapsed_us = 0;
+        for cell in &mut report.cells {
+            cell.elapsed_us = 0;
+        }
+        if let ScenarioOutcome::Stream(streams) = &mut report.outcome {
+            for s in streams {
+                for r in &mut s.outcome.rounds {
+                    r.requantify_us = 0;
+                }
+            }
+        }
+        report
+    }
+
+    #[test]
+    fn stream_spec_compiles_one_cell_per_criterion_and_runs() {
+        let s = Session::new();
+        let plan = compile(&s, &stream_spec(Some(11))).unwrap();
+        assert_eq!(plan.cell_count(), 2);
+        assert!(plan.cell_labels()[0].starts_with("stream errands"));
+        let report = plan.run_detached().unwrap();
+        let ScenarioOutcome::Stream(streams) = &report.outcome else {
+            panic!("expected stream outcome");
+        };
+        assert_eq!(streams.len(), 2);
+        for stream in streams {
+            assert!(!stream.criterion.is_empty());
+            assert_eq!(stream.outcome.rounds.len(), 3); // round 0 + 2 churn rounds
+            assert_eq!(stream.outcome.job_id, "errands");
+        }
+        // The cell stats surface the delta counters: churn rounds reuse
+        // surviving histograms.
+        assert!(report.cells.iter().all(|c| c.delta_reused_histograms > 0));
+        assert!(report.cells.iter().all(|c| c.unfairness.is_some()));
+    }
+
+    #[test]
+    fn stream_runs_are_deterministic() {
+        let s = Session::new();
+        let a = compile(&s, &stream_spec(Some(5)))
+            .unwrap()
+            .run_detached()
+            .unwrap();
+        let b = compile(&s, &stream_spec(Some(5)))
+            .unwrap()
+            .run_detached()
+            .unwrap();
+        assert_eq!(strip_stream_timing(a), strip_stream_timing(b));
+    }
+
+    #[test]
+    fn stream_rejects_non_quantify_strategies() {
+        let s = Session::new();
+        let mut spec = stream_spec(None);
+        spec.strategy = Some(SearchStrategy::Beam { width: 4 });
+        let err = compile(&s, &spec).unwrap_err();
+        assert!(err.to_string().contains("quantify strategy"));
+    }
+
+    #[test]
+    fn stream_validates_the_job_at_compile_time() {
+        let s = Session::new();
+        let mut spec = stream_spec(None);
+        let Perspective::Stream { job, .. } = &mut spec.perspective else {
+            unreachable!();
+        };
+        *job = "ghost-job".into();
+        assert!(compile(&s, &spec).is_err());
     }
 
     #[test]

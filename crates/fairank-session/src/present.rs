@@ -9,8 +9,9 @@
 
 use crate::response::{
     CompareView, DataHeadView, DatasetEntry, FunctionEntry, NodeView, PanelEntry, PanelView,
-    Response, SubgroupView,
+    Response, StreamView, SubgroupView,
 };
+use fairank_marketplace::stream::StreamOutcome;
 
 /// The command reference shown by `help`.
 pub const HELP: &str = "\
@@ -37,12 +38,17 @@ FaiRank commands:
   audit <taskrabbit|qapa> [n=] [seed=] [k=] [ranking-only]
   jobowner <preset> <job> <skill> [n=] [seed=]
   enduser <preset> \"<group expr>\" [n=] [seed=]
+  stream <preset> <job> [n=] [seed=] [rounds=] [arrivals=] [departures=]
+         [rescores=] [stream-seed=] [k=] [ranking-only]
+                                       incremental re-audit over live churn
   scenario grid <ds,..> <func,..> [objectives=] [aggs=] [bins=] [emd=]
            [strategy=quantify|beam|exhaustive] [width=] [depth=] [min=]
            [budget=] [where=\"<expr>\"]   compile a grid into parallel cells
   scenario auditor <preset> [n=] [seed=] [k=] [ranking-only] [sg-depth=] [sg-min=]
   scenario jobowner <preset> <job> <skill> [weights=w1,w2,..] [n=] [seed=]
   scenario enduser <preset> \"<group>\"… [n=] [seed=]
+  scenario stream <preset> <job> [rounds=] [arrivals=] [departures=] [rescores=]
+           [stream-seed=] [n=] [seed=] [k=] [ranking-only]
   scenario <spec.json>                 run a scenario plan from a JSON spec
   sessions | evict <name>              registry admin (server --admin only)
   help | quit
@@ -147,7 +153,48 @@ pub fn render(response: &Response) -> String {
             }
         }
         Response::SessionEvicted { name } => format!("evicted session {name:?}"),
+        Response::Stream(view) => render_stream_view(view),
     }
+}
+
+/// Renders a streaming re-audit: header plus the per-round trajectory.
+fn render_stream_view(view: &StreamView) -> String {
+    format!(
+        "STREAM RE-AUDIT — {} · job {} · {} round(s) · seed {}\n{}",
+        view.marketplace,
+        view.outcome.job_id,
+        view.outcome.config.rounds,
+        view.outcome.config.seed(),
+        render_stream_rounds(&view.outcome),
+    )
+}
+
+/// Renders the per-round table of a streaming trajectory, shared by the
+/// `stream` command and the stream scenario perspective.
+fn render_stream_rounds(outcome: &StreamOutcome) -> String {
+    let mut out = String::from(
+        "  round  events  workers  unfairness  parts  reused  dropped  emds        µs\n",
+    );
+    for r in &outcome.rounds {
+        out.push_str(&format!(
+            "  {:<5}  {:<6}  {:<7}  {:<10.6}  {:<5}  {:<6}  {:<7}  {:<4}  {:>8}\n",
+            r.round,
+            r.events,
+            r.population,
+            r.unfairness,
+            r.num_partitions,
+            r.delta_reused_histograms,
+            r.emd_entries_dropped,
+            r.emd_calls,
+            r.requantify_us,
+        ));
+    }
+    out.push_str(&format!(
+        "  {} histogram(s) reused across {} churn round(s)\n",
+        outcome.total_reused_histograms(),
+        outcome.rounds.len().saturating_sub(1),
+    ));
+    out
 }
 
 /// Renders a scenario-plan report: header, the perspective-specific
@@ -196,6 +243,20 @@ fn render_scenario_report(report: &crate::plan::ScenarioReport) -> String {
                 out.push_str(&view.report.render());
             }
         }
+        ScenarioOutcome::Stream(streams) => {
+            for stream in streams {
+                if !stream.criterion.is_empty() {
+                    out.push_str(&format!("criterion: {}\n", stream.criterion));
+                }
+                out.push_str(&format!(
+                    "stream {} · {} round(s) · seed {}\n",
+                    stream.outcome.job_id,
+                    stream.outcome.config.rounds,
+                    stream.outcome.config.seed(),
+                ));
+                out.push_str(&render_stream_rounds(&stream.outcome));
+            }
+        }
     }
     out.push_str("cell stats:\n");
     for cell in &report.cells {
@@ -203,8 +264,18 @@ fn render_scenario_report(report: &crate::plan::ScenarioReport) -> String {
             .unfairness
             .map(|u| format!("u={u:.4}  "))
             .unwrap_or_default();
+        // Delta counters only appear on cells that actually ran
+        // incrementally, so from-scratch reports render unchanged.
+        let delta = if cell.delta_reused_histograms + cell.delta_invalidated_emds > 0 {
+            format!(
+                ", Δ reused {} dropped {}",
+                cell.delta_reused_histograms, cell.delta_invalidated_emds
+            )
+        } else {
+            String::new()
+        };
         out.push_str(&format!(
-            "  {:<44} {:>8} µs  {}cand={} hists={} emds={} (hits {}, batches {})\n",
+            "  {:<44} {:>8} µs  {}cand={} hists={} emds={} (hits {}, batches {}{})\n",
             cell.label,
             cell.elapsed_us,
             unfairness,
@@ -213,6 +284,7 @@ fn render_scenario_report(report: &crate::plan::ScenarioReport) -> String {
             cell.emd_calls,
             cell.emd_cache_hits,
             cell.pairwise_batches,
+            delta,
         ));
     }
     out
@@ -374,7 +446,8 @@ pub fn render_general_view(view: &PanelView) -> String {
          search time     {} µs\n\
          splits scored   {}\n\
          histograms      {}\n\
-         EMD calls       {} ({} cache hits, {} batches)\n",
+         EMD calls       {} ({} cache hits, {} batches)\n\
+         delta reuse     {} histograms, {} EMD entries invalidated\n",
         view.id,
         view.config,
         view.unfairness,
@@ -388,6 +461,8 @@ pub fn render_general_view(view: &PanelView) -> String {
         view.emd_calls,
         view.emd_cache_hits,
         view.pairwise_batches,
+        view.delta_reused_histograms,
+        view.delta_invalidated_emds,
     )
 }
 

@@ -130,6 +130,12 @@ pub struct PanelView {
     /// Pairwise/cross aggregations the batched EMD backend resolved as one
     /// batch (0 under the per-pair backends).
     pub pairwise_batches: usize,
+    /// Histograms served from a previous generation's caches by an
+    /// incremental (delta) re-quantification (0 for from-scratch panels).
+    pub delta_reused_histograms: usize,
+    /// Memoized EMD entries dropped by targeted invalidation ahead of the
+    /// search (0 for from-scratch panels).
+    pub delta_invalidated_emds: usize,
     /// Every tree node, root first.
     pub nodes: Vec<NodeView>,
 }
@@ -160,6 +166,8 @@ impl PanelView {
             emd_calls: info.emd_calls,
             emd_cache_hits: info.emd_cache_hits,
             pairwise_batches: info.pairwise_batches,
+            delta_reused_histograms: info.delta_reused_histograms,
+            delta_invalidated_emds: info.delta_invalidated_emds,
             nodes: Vec::new(),
         }
     }
@@ -259,6 +267,17 @@ pub struct SubgroupView {
     pub most_favored: Vec<SubgroupEntry>,
     /// Least favored subgroups, worst first.
     pub least_favored: Vec<SubgroupEntry>,
+}
+
+/// A streaming re-audit trajectory (the `stream` command): the marketplace
+/// it ran against plus the per-round audits of
+/// [`fairank_marketplace::stream::run_stream`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StreamView {
+    /// Marketplace name.
+    pub marketplace: String,
+    /// The full per-round trajectory.
+    pub outcome: fairank_marketplace::stream::StreamOutcome,
 }
 
 /// The head of a dataset (the `data` command): raw cells, rendered
@@ -403,6 +422,8 @@ pub enum Response {
     JobOwnerSweep(JobOwnerReport),
     /// The §4 end-user scenario (`enduser`).
     EndUserView(EndUserReport),
+    /// A streaming incremental re-audit (`stream`).
+    Stream(StreamView),
     /// A whole scenario plan ran (`scenario`): the reduced outcome plus
     /// per-cell engine counters and wall-clock stats.
     Scenario(ScenarioReport),
@@ -664,5 +685,33 @@ mod tests {
         )
         .unwrap();
         round_trip(&Response::EndUserView(end_user));
+    }
+
+    #[test]
+    fn round_trip_stream_variant() {
+        use fairank_core::fairness::FairnessCriterion;
+        use fairank_marketplace::scenario::taskrabbit_like;
+        use fairank_marketplace::stream::{run_stream, StreamConfig};
+        use fairank_marketplace::Transparency;
+
+        let market = taskrabbit_like(50, 11).unwrap();
+        let outcome = run_stream(
+            &market,
+            "errands",
+            &Transparency::full(),
+            &FairnessCriterion::default(),
+            StreamConfig {
+                rounds: 2,
+                arrivals_per_round: 1,
+                departures_per_round: 1,
+                rescores_per_round: 2,
+                seed: Some(3),
+            },
+        )
+        .unwrap();
+        round_trip(&Response::Stream(StreamView {
+            marketplace: market.name.clone(),
+            outcome,
+        }));
     }
 }

@@ -26,6 +26,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             top_k: 30,
             boost: 0.1,
             decay: 0.02,
+            rating_noise: None,
+            seed: None,
         },
     )?;
 

@@ -51,12 +51,17 @@ FaiRank commands:
   audit <taskrabbit|qapa> [n=] [seed=] [k=] [ranking-only]
   jobowner <preset> <job> <skill> [n=] [seed=]
   enduser <preset> \"<group expr>\" [n=] [seed=]
+  stream <preset> <job> [n=] [seed=] [rounds=] [arrivals=] [departures=]
+         [rescores=] [stream-seed=] [k=] [ranking-only]
+                                       incremental re-audit over live churn
   scenario grid <ds,..> <func,..> [objectives=] [aggs=] [bins=] [emd=]
            [strategy=quantify|beam|exhaustive] [width=] [depth=] [min=]
            [budget=] [where=\"<expr>\"]   compile a grid into parallel cells
   scenario auditor <preset> [n=] [seed=] [k=] [ranking-only] [sg-depth=] [sg-min=]
   scenario jobowner <preset> <job> <skill> [weights=w1,w2,..] [n=] [seed=]
   scenario enduser <preset> \"<group>\"… [n=] [seed=]
+  scenario stream <preset> <job> [rounds=] [arrivals=] [departures=] [rescores=]
+           [stream-seed=] [n=] [seed=] [k=] [ranking-only]
   scenario <spec.json>                 run a scenario plan from a JSON spec
   sessions | evict <name>              registry admin (server --admin only)
   help | quit
@@ -162,7 +167,8 @@ FaiRank commands:
              search time     {} µs\n\
              splits scored   {}\n\
              histograms      {}\n\
-             EMD calls       {} ({} cache hits, {} batches)\n",
+             EMD calls       {} ({} cache hits, {} batches)\n\
+             delta reuse     {} histograms, {} EMD entries invalidated\n",
             panel.id,
             panel.config.describe(),
             info.unfairness,
@@ -176,6 +182,8 @@ FaiRank commands:
             info.emd_calls,
             info.emd_cache_hits,
             info.pairwise_batches,
+            info.delta_reused_histograms,
+            info.delta_invalidated_emds,
         )
     }
 

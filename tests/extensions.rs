@@ -84,6 +84,7 @@ fn feedback_loop_runs_on_a_marketplace_and_reports_series() {
             top_k: 15,
             boost: 0.08,
             decay: 0.01,
+            ..Default::default()
         },
     )
     .unwrap();
