@@ -125,8 +125,8 @@ fn parse_duration(raw: &str) -> Option<std::time::Duration> {
 }
 
 const SERVE_USAGE: &str = "usage: fairank serve [--addr host:port] [--workers n] \
-[--queue-depth n] [--session-cap n] [--request-timeout dur] [--session-ttl secs] \
-[--allow-fs] [--admin]
+[--queue-depth n] [--session-cap n] [--cell-cache-cap n] [--request-timeout dur] \
+[--session-ttl secs] [--allow-fs] [--admin]
 
   --addr host:port     bind address (default 127.0.0.1:4915; port 0 = ephemeral)
   --workers n          worker threads for compute requests (default: host cores - 1)
@@ -134,6 +134,8 @@ const SERVE_USAGE: &str = "usage: fairank serve [--addr host:port] [--workers n]
                        with the structured `overloaded` error (default: 2x workers)
   --session-cap n      max in-flight compute requests per session; extras are
                        refused with `overloaded` (default: unlimited)
+  --cell-cache-cap n   entries the shared scenario-cell cache holds before LRU
+                       eviction (default: 4096; 0 = disabled)
   --request-timeout d  per-request compute deadline, e.g. 500ms or 2s (bare
                        number = milliseconds); expired requests return the
                        structured `deadline_exceeded` error with partial stats
@@ -166,6 +168,17 @@ fn serve_mode(args: &[String]) {
     let workers = parse_count("--workers");
     let queue_depth = parse_count("--queue-depth");
     let session_inflight_cap = parse_count("--session-cap");
+    // Unlike the counts above, 0 here is a meaningful value (cache off),
+    // so the default applies only when the flag is absent.
+    let cell_cache_cap = flag_value(args, "--cell-cache-cap")
+        .map(|raw| match raw.parse::<usize>() {
+            Ok(n) => n,
+            Err(_) => {
+                eprintln!("--cell-cache-cap must be a number, got {raw:?}");
+                std::process::exit(2);
+            }
+        })
+        .unwrap_or(fairank_session::CellCache::DEFAULT_CAP);
     let request_timeout = flag_value(args, "--request-timeout").map(|raw| {
         match parse_duration(raw) {
             Some(d) if !d.is_zero() => d,
@@ -194,6 +207,7 @@ fn serve_mode(args: &[String]) {
         session_ttl,
         request_timeout,
         session_inflight_cap,
+        cell_cache_cap,
     };
     let server = match Server::bind(addr, config) {
         Ok(server) => server,

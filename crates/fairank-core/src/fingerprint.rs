@@ -1,0 +1,202 @@
+//! Stable content fingerprints for content-addressed storage and caching.
+//!
+//! A [`Fingerprint`] is a 128-bit hash of a byte stream, computed by
+//! [`ContentHasher`] — two independent FNV-1a-style 64-bit lanes with
+//! distinct offset bases and primes, fed the identical length-prefixed
+//! stream. The hash is *stable*: it depends only on the bytes written,
+//! never on pointer identity, process, platform word size, or hash-map
+//! iteration order, so the same dataset content always fingerprints to
+//! the same value across sessions and server restarts.
+//!
+//! This is a content identity for deduplication and cache addressing,
+//! not a cryptographic hash: collisions are astronomically unlikely at
+//! 128 bits for honest inputs, but nothing here resists an adversary
+//! crafting collisions. Hand-rolled because the build environment
+//! vendors all dependencies (no external hash crates).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A 128-bit stable content hash.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub struct Fingerprint {
+    /// High 64 bits (lane A).
+    pub hi: u64,
+    /// Low 64 bits (lane B).
+    pub lo: u64,
+}
+
+impl Fingerprint {
+    /// The fingerprint as 32 lowercase hex digits.
+    pub fn to_hex(self) -> String {
+        format!("{:016x}{:016x}", self.hi, self.lo)
+    }
+}
+
+impl fmt::Display for Fingerprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}{:016x}", self.hi, self.lo)
+    }
+}
+
+const FNV_OFFSET_A: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME_A: u64 = 0x0000_0100_0000_01b3;
+// Lane B: a distinct odd multiplier and offset so the two lanes walk
+// independent orbits over the same byte stream.
+const FNV_OFFSET_B: u64 = 0x9e37_79b9_7f4a_7c15;
+const FNV_PRIME_B: u64 = 0x0000_0100_0000_01b5;
+
+/// Incremental stable hasher producing a [`Fingerprint`].
+///
+/// Variable-length inputs (strings, slices) are length-prefixed by the
+/// `update_*` helpers, so adjacent fields can never alias
+/// (`["ab", "c"]` and `["a", "bc"]` hash differently).
+#[derive(Debug, Clone)]
+pub struct ContentHasher {
+    a: u64,
+    b: u64,
+}
+
+impl Default for ContentHasher {
+    fn default() -> Self {
+        ContentHasher::new()
+    }
+}
+
+impl ContentHasher {
+    /// A fresh hasher.
+    pub fn new() -> Self {
+        ContentHasher {
+            a: FNV_OFFSET_A,
+            b: FNV_OFFSET_B,
+        }
+    }
+
+    /// Feeds raw bytes (no length prefix — use for fixed-width fields or
+    /// after an explicit `update_len`).
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &byte in bytes {
+            self.a = (self.a ^ u64::from(byte)).wrapping_mul(FNV_PRIME_A);
+            self.b = (self.b.rotate_left(5) ^ u64::from(byte)).wrapping_mul(FNV_PRIME_B);
+        }
+    }
+
+    /// Feeds a length (for prefixing variable-width fields).
+    pub fn update_len(&mut self, len: usize) {
+        self.update_u64(len as u64);
+    }
+
+    /// Feeds a `u64` as little-endian bytes.
+    pub fn update_u64(&mut self, v: u64) {
+        self.update(&v.to_le_bytes());
+    }
+
+    /// Feeds a `u32` as little-endian bytes.
+    pub fn update_u32(&mut self, v: u32) {
+        self.update(&v.to_le_bytes());
+    }
+
+    /// Feeds an `i64` as little-endian bytes.
+    pub fn update_i64(&mut self, v: i64) {
+        self.update(&v.to_le_bytes());
+    }
+
+    /// Feeds an `f64` by IEEE-754 bit pattern — distinguishes `-0.0` from
+    /// `0.0` and every NaN payload, which is exactly what bitwise result
+    /// identity requires.
+    pub fn update_f64(&mut self, v: f64) {
+        self.update(&v.to_bits().to_le_bytes());
+    }
+
+    /// Feeds a string, length-prefixed.
+    pub fn update_str(&mut self, s: &str) {
+        self.update_len(s.len());
+        self.update(s.as_bytes());
+    }
+
+    /// The accumulated fingerprint.
+    pub fn finish(&self) -> Fingerprint {
+        // A final avalanche round so short inputs don't leave the lanes
+        // near their offsets.
+        let mut hi = self.a ^ self.b.rotate_left(32);
+        let mut lo = self.b ^ self.a.rotate_left(17);
+        hi ^= hi >> 33;
+        hi = hi.wrapping_mul(0xff51_afd7_ed55_8ccd);
+        hi ^= hi >> 33;
+        lo ^= lo >> 33;
+        lo = lo.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+        lo ^= lo >> 33;
+        Fingerprint { hi, lo }
+    }
+}
+
+/// Fingerprints one byte slice in one call.
+pub fn fingerprint_bytes(bytes: &[u8]) -> Fingerprint {
+    let mut h = ContentHasher::new();
+    h.update_len(bytes.len());
+    h.update(bytes);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_streams_agree_and_differ_from_others() {
+        let a = fingerprint_bytes(b"hello world");
+        let b = fingerprint_bytes(b"hello world");
+        let c = fingerprint_bytes(b"hello worlD");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(a, Fingerprint::default());
+    }
+
+    #[test]
+    fn length_prefix_prevents_field_aliasing() {
+        let mut h1 = ContentHasher::new();
+        h1.update_str("ab");
+        h1.update_str("c");
+        let mut h2 = ContentHasher::new();
+        h2.update_str("a");
+        h2.update_str("bc");
+        assert_ne!(h1.finish(), h2.finish());
+    }
+
+    #[test]
+    fn float_bits_are_distinguished() {
+        let mut h1 = ContentHasher::new();
+        h1.update_f64(0.0);
+        let mut h2 = ContentHasher::new();
+        h2.update_f64(-0.0);
+        assert_ne!(h1.finish(), h2.finish());
+    }
+
+    #[test]
+    fn empty_input_is_stable_and_nonzero() {
+        let a = ContentHasher::new().finish();
+        let b = ContentHasher::new().finish();
+        assert_eq!(a, b);
+        assert_ne!(a, Fingerprint { hi: 0, lo: 0 });
+    }
+
+    #[test]
+    fn hex_rendering_is_32_digits() {
+        let fp = fingerprint_bytes(b"x");
+        let hex = fp.to_hex();
+        assert_eq!(hex.len(), 32);
+        assert_eq!(hex, fp.to_string());
+        assert!(hex.chars().all(|c| c.is_ascii_hexdigit()));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let fp = fingerprint_bytes(b"dataset");
+        let json = serde_json::to_string(&fp).unwrap();
+        let back: Fingerprint = serde_json::from_str(&json).unwrap();
+        assert_eq!(fp, back);
+    }
+}

@@ -41,6 +41,7 @@ pub mod fault;
 pub mod explain;
 pub mod exposure;
 pub mod fairness;
+pub mod fingerprint;
 pub mod histogram;
 pub mod incremental;
 pub mod pairwise;

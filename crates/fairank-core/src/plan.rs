@@ -19,6 +19,7 @@ use crate::error::Result;
 use crate::exhaustive::ExhaustiveSearch;
 use crate::fairness::FairnessCriterion;
 use crate::fault;
+use crate::fingerprint::{ContentHasher, Fingerprint};
 use crate::quantify::{Quantify, QuantifyOutcome, SearchStats};
 use crate::space::RankingSpace;
 
@@ -175,6 +176,49 @@ impl SearchStrategy {
                     quantify: None,
                 })
             }
+        }
+    }
+}
+
+/// Content-addressed identity of a memoizable plan cell.
+///
+/// Two cells with equal keys are guaranteed (by construction, not by
+/// trust) to compute the identical [`CellOutcome`]: the `dataset` half
+/// fingerprints the source dataset's columnar content and schema, and
+/// the `spec` half fingerprints the canonicalized, fully *resolved* cell
+/// spec — the concrete score source (named functions are resolved to
+/// their weights first, so two sessions using the same name for
+/// different functions never collide), the filter, the range-fitted
+/// criterion (objective, aggregator, bins, histogram range, EMD
+/// backend), and the search strategy. Since plan cells are deterministic
+/// functions of those inputs (pinned since the plan layer landed), a
+/// cache keyed on `CellKey` serves results bitwise-identical to a fresh
+/// compute.
+///
+/// Mutable inputs (the streaming re-audit's evolving spaces) have no
+/// stable content identity and therefore never get a key — they bypass
+/// any cell cache and run through the incremental `DeltaEngine` instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CellKey {
+    /// Fingerprint of the source dataset (columnar content + schema).
+    pub dataset: Fingerprint,
+    /// Fingerprint of the canonicalized resolved cell spec.
+    pub spec: Fingerprint,
+}
+
+impl CellKey {
+    /// Derives a key from a dataset fingerprint and the canonical byte
+    /// serialization of the resolved cell spec.
+    pub fn new(dataset: Fingerprint, spec_bytes: &[u8]) -> CellKey {
+        let mut h = ContentHasher::new();
+        h.update_str("fairank.cellkey.v1");
+        h.update_u64(dataset.hi);
+        h.update_u64(dataset.lo);
+        h.update_len(spec_bytes.len());
+        h.update(spec_bytes);
+        CellKey {
+            dataset,
+            spec: h.finish(),
         }
     }
 }

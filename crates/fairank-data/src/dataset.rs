@@ -189,18 +189,30 @@ impl Dataset {
         Ok(RankingSpace::new(self.protected_attributes(), scores)?)
     }
 
+    /// Renders the first `limit` rows as display cells — `(column names,
+    /// rows of cells)`. Only the displayed cells are materialized, straight
+    /// off the columnar storage; the dataset itself is never copied. This
+    /// is the one head-view implementation behind [`Self::render_head`] and
+    /// the session layer's `data` command.
+    pub fn head_cells(&self, limit: usize) -> (Vec<String>, Vec<Vec<String>>) {
+        let rows = limit.min(self.n_rows);
+        let columns = self.columns.iter().map(|c| c.name.clone()).collect();
+        let cells = (0..rows)
+            .map(|r| self.columns.iter().map(|c| c.data.render(r)).collect())
+            .collect();
+        (columns, cells)
+    }
+
     /// Renders the first `limit` rows as an aligned text table (used by the
     /// CLI's `show` command and examples).
     pub fn render_head(&self, limit: usize) -> String {
         let rows = limit.min(self.n_rows);
+        let (_, cells) = self.head_cells(limit);
         let mut widths: Vec<usize> = self.columns.iter().map(|c| c.name.len()).collect();
-        let mut cells: Vec<Vec<String>> = Vec::with_capacity(rows);
-        for r in 0..rows {
-            let row: Vec<String> = self.columns.iter().map(|c| c.data.render(r)).collect();
-            for (w, cell) in widths.iter_mut().zip(&row) {
+        for row in &cells {
+            for (w, cell) in widths.iter_mut().zip(row) {
                 *w = (*w).max(cell.len());
             }
-            cells.push(row);
         }
         let mut out = String::new();
         for (i, c) in self.columns.iter().enumerate() {

@@ -25,9 +25,11 @@ pub mod json;
 pub mod paper;
 pub mod schema;
 pub mod stats;
+pub mod store;
 pub mod synth;
 
 pub use dataset::Dataset;
 pub use error::{DataError, Result};
 pub use filter::Filter;
 pub use schema::{AttributeRole, FieldDef, Schema};
+pub use store::{DatasetHandle, DatasetStore, StoreStats};

@@ -1,0 +1,365 @@
+//! The content-addressed, immutable dataset store.
+//!
+//! FaiRank's interactive workflow assumes many auditors exploring the
+//! *same* public marketplace data. Before this module every session owned
+//! a private copy of each dataset; with it, datasets are fingerprinted at
+//! load ([`fingerprint_dataset`]: a stable 128-bit hash over the columnar
+//! data and the schema) and held once behind `Arc`-shared storage. A
+//! [`DatasetStore`] maps fingerprints to live entries: interning a
+//! dataset whose content is already present dedupes to the existing
+//! allocation, so N sessions loading the same CSV share one copy, and
+//! re-loading a CSV into the same session is O(1) after fingerprinting.
+//!
+//! The store holds *weak* references: a dataset's storage is freed as
+//! soon as the last session handle drops, so the store can never pin
+//! memory for data nobody uses. [`DatasetStore::stats`] prunes dead
+//! entries and reports the live dataset count and resident bytes (the
+//! numbers the `sessions` admin reply surfaces).
+//!
+//! Datasets behind handles are immutable by construction: every
+//! transforming operation (`filter`, `discretize`, `with_role`,
+//! anonymization, bias injection) returns a *new* `Dataset`, which a
+//! session interns under a new name — so a fingerprint can never go
+//! stale, and content-addressed caches keyed on it need no invalidation
+//! protocol.
+
+use std::collections::HashMap;
+use std::ops::Deref;
+use std::sync::{Arc, Mutex, Weak};
+
+use fairank_core::fingerprint::{ContentHasher, Fingerprint};
+
+use crate::column::ColumnData;
+use crate::dataset::Dataset;
+
+/// Computes the stable content fingerprint of a dataset: schema (names,
+/// roles, physical types) plus every column's payload (dictionary codes
+/// and labels, IEEE-754 float bit patterns, integers), all
+/// length-prefixed. Equal fingerprints ⇒ equal datasets for every
+/// analysis in the system (the hash covers every byte an evaluation can
+/// observe).
+pub fn fingerprint_dataset(ds: &Dataset) -> Fingerprint {
+    let mut h = ContentHasher::new();
+    h.update_str("fairank.dataset.v1");
+    h.update_u64(ds.num_rows() as u64);
+    h.update_len(ds.schema().len());
+    for field in ds.schema().fields() {
+        h.update_str(&field.name);
+        h.update_str(field.role.name());
+        h.update_u32(match field.dtype {
+            crate::schema::DataType::Categorical => 0,
+            crate::schema::DataType::Float => 1,
+            crate::schema::DataType::Integer => 2,
+        });
+    }
+    for col in ds.columns() {
+        h.update_str(&col.name);
+        match &col.data {
+            ColumnData::Categorical { codes, labels } => {
+                h.update_u32(0);
+                h.update_len(codes.len());
+                for &code in codes {
+                    h.update_u32(code);
+                }
+                h.update_len(labels.len());
+                for label in labels {
+                    h.update_str(label);
+                }
+            }
+            ColumnData::Float(values) => {
+                h.update_u32(1);
+                h.update_len(values.len());
+                for &v in values {
+                    h.update_f64(v);
+                }
+            }
+            ColumnData::Integer(values) => {
+                h.update_u32(2);
+                h.update_len(values.len());
+                for &v in values {
+                    h.update_i64(v);
+                }
+            }
+        }
+    }
+    h.finish()
+}
+
+/// Approximate resident heap bytes of a dataset's columnar payload —
+/// the quantity [`StoreStats::bytes`] sums. Counts value buffers and
+/// dictionary labels; struct overheads are ignored (they are noise next
+/// to any real column).
+pub fn approx_heap_bytes(ds: &Dataset) -> usize {
+    let mut bytes = 0usize;
+    for col in ds.columns() {
+        bytes += col.name.len();
+        bytes += match &col.data {
+            ColumnData::Categorical { codes, labels } => {
+                codes.len() * std::mem::size_of::<u32>()
+                    + labels.iter().map(String::len).sum::<usize>()
+                    + labels.len() * std::mem::size_of::<String>()
+            }
+            ColumnData::Float(v) => v.len() * std::mem::size_of::<f64>(),
+            ColumnData::Integer(v) => v.len() * std::mem::size_of::<i64>(),
+        };
+    }
+    bytes
+}
+
+/// One immutable, fingerprinted dataset held by the store.
+#[derive(Debug)]
+struct StoredDataset {
+    dataset: Dataset,
+    fingerprint: Fingerprint,
+    bytes: usize,
+}
+
+/// A lightweight, cloneable handle to an immutable dataset in shared
+/// storage. Cloning a handle clones an `Arc`, never the data; `Deref`
+/// gives the full [`Dataset`] API read-only.
+#[derive(Debug, Clone)]
+pub struct DatasetHandle {
+    inner: Arc<StoredDataset>,
+}
+
+impl DatasetHandle {
+    /// Wraps a dataset without a store (fingerprinted, but nothing to
+    /// dedupe against). Used by tests and detached tooling; sessions
+    /// intern through a [`DatasetStore`] instead.
+    pub fn detached(dataset: Dataset) -> DatasetHandle {
+        let fingerprint = fingerprint_dataset(&dataset);
+        let bytes = approx_heap_bytes(&dataset);
+        DatasetHandle {
+            inner: Arc::new(StoredDataset {
+                dataset,
+                fingerprint,
+                bytes,
+            }),
+        }
+    }
+
+    /// The dataset behind the handle.
+    pub fn dataset(&self) -> &Dataset {
+        &self.inner.dataset
+    }
+
+    /// The content fingerprint, computed once at intern time.
+    pub fn fingerprint(&self) -> Fingerprint {
+        self.inner.fingerprint
+    }
+
+    /// Approximate resident heap bytes of the shared payload.
+    pub fn heap_bytes(&self) -> usize {
+        self.inner.bytes
+    }
+
+    /// Whether two handles point at the *same allocation* (not merely
+    /// equal content) — the property the dedup regression tests pin.
+    pub fn shares_storage_with(&self, other: &DatasetHandle) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+}
+
+impl Deref for DatasetHandle {
+    type Target = Dataset;
+
+    fn deref(&self) -> &Dataset {
+        &self.inner.dataset
+    }
+}
+
+impl PartialEq for DatasetHandle {
+    fn eq(&self, other: &Self) -> bool {
+        // Same storage short-circuits; otherwise content equality.
+        self.shares_storage_with(other) || self.inner.dataset == other.inner.dataset
+    }
+}
+
+/// Live-store statistics (what the `sessions` admin reply reports).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StoreStats {
+    /// Distinct live datasets (entries with at least one handle).
+    pub datasets: usize,
+    /// Approximate resident bytes across those datasets.
+    pub bytes: usize,
+}
+
+/// The concurrent content-addressed store. Cheap to share behind an
+/// `Arc`; all methods take `&self`.
+#[derive(Debug, Default)]
+pub struct DatasetStore {
+    entries: Mutex<HashMap<Fingerprint, Weak<StoredDataset>>>,
+}
+
+impl DatasetStore {
+    /// An empty store.
+    pub fn new() -> DatasetStore {
+        DatasetStore::default()
+    }
+
+    /// Interns a dataset: fingerprints it, and either returns a handle to
+    /// the already-stored identical content (dropping `dataset`) or moves
+    /// `dataset` into shared storage. Dead entries are pruned en passant.
+    pub fn intern(&self, dataset: Dataset) -> DatasetHandle {
+        let fingerprint = fingerprint_dataset(&dataset);
+        let mut entries = self
+            .entries
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if let Some(live) = entries.get(&fingerprint).and_then(Weak::upgrade) {
+            debug_assert_eq!(
+                live.dataset, dataset,
+                "fingerprint collision: distinct datasets hashed identically"
+            );
+            return DatasetHandle { inner: live };
+        }
+        let bytes = approx_heap_bytes(&dataset);
+        let inner = Arc::new(StoredDataset {
+            dataset,
+            fingerprint,
+            bytes,
+        });
+        entries.retain(|_, weak| weak.strong_count() > 0);
+        entries.insert(fingerprint, Arc::downgrade(&inner));
+        DatasetHandle { inner }
+    }
+
+    /// Re-interns an existing handle into *this* store: if identical
+    /// content is already present the resident handle wins; otherwise the
+    /// handle's storage is adopted as-is (no copy, no re-hash).
+    pub fn adopt(&self, handle: &DatasetHandle) -> DatasetHandle {
+        let mut entries = self
+            .entries
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if let Some(live) = entries.get(&handle.fingerprint()).and_then(Weak::upgrade) {
+            return DatasetHandle { inner: live };
+        }
+        entries.insert(handle.fingerprint(), Arc::downgrade(&handle.inner));
+        handle.clone()
+    }
+
+    /// Live statistics; prunes entries whose last handle dropped.
+    pub fn stats(&self) -> StoreStats {
+        let mut entries = self
+            .entries
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        entries.retain(|_, weak| weak.strong_count() > 0);
+        let mut stats = StoreStats::default();
+        for weak in entries.values() {
+            if let Some(live) = weak.upgrade() {
+                stats.datasets += 1;
+                stats.bytes += live.bytes;
+            }
+        }
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper;
+    use crate::schema::AttributeRole;
+
+    #[test]
+    fn identical_content_dedupes_to_one_allocation() {
+        let store = DatasetStore::new();
+        let a = store.intern(paper::table1_dataset());
+        let b = store.intern(paper::table1_dataset());
+        assert!(a.shares_storage_with(&b));
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_eq!(store.stats().datasets, 1);
+        assert!(store.stats().bytes > 0);
+    }
+
+    #[test]
+    fn distinct_content_gets_distinct_entries() {
+        let store = DatasetStore::new();
+        let a = store.intern(paper::table1_dataset());
+        let other = Dataset::builder()
+            .categorical("g", AttributeRole::Protected, &["x", "y"])
+            .float("s", AttributeRole::Observed, vec![0.1, 0.9])
+            .build()
+            .unwrap();
+        let b = store.intern(other);
+        assert!(!a.shares_storage_with(&b));
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        assert_eq!(store.stats().datasets, 2);
+    }
+
+    #[test]
+    fn fingerprint_covers_schema_roles_not_just_values() {
+        let ds = Dataset::builder()
+            .integer("age", AttributeRole::Meta, vec![30, 40])
+            .float("skill", AttributeRole::Observed, vec![0.5, 0.6])
+            .build()
+            .unwrap();
+        let promoted = ds.with_role("age", AttributeRole::Protected).unwrap();
+        assert_ne!(fingerprint_dataset(&ds), fingerprint_dataset(&promoted));
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_float_bit_patterns() {
+        let mk = |v: f64| {
+            Dataset::builder()
+                .float("s", AttributeRole::Observed, vec![v])
+                .build()
+                .unwrap()
+        };
+        assert_ne!(
+            fingerprint_dataset(&mk(0.0)),
+            fingerprint_dataset(&mk(-0.0))
+        );
+    }
+
+    #[test]
+    fn dropping_all_handles_frees_the_entry() {
+        let store = DatasetStore::new();
+        let handle = store.intern(paper::table1_dataset());
+        assert_eq!(store.stats().datasets, 1);
+        drop(handle);
+        assert_eq!(store.stats(), StoreStats::default());
+        // Re-interning after the drop creates a fresh entry.
+        let again = store.intern(paper::table1_dataset());
+        assert_eq!(store.stats().datasets, 1);
+        assert_eq!(again.num_rows(), 10);
+    }
+
+    #[test]
+    fn adopt_prefers_resident_content() {
+        let store_a = DatasetStore::new();
+        let store_b = DatasetStore::new();
+        let resident = store_b.intern(paper::table1_dataset());
+        let visitor = store_a.intern(paper::table1_dataset());
+        assert!(!resident.shares_storage_with(&visitor));
+        // Content already lives in B: the resident allocation wins.
+        let adopted = store_b.adopt(&visitor);
+        assert!(adopted.shares_storage_with(&resident));
+        // Novel content is adopted without copying.
+        let store_c = DatasetStore::new();
+        let adopted = store_c.adopt(&visitor);
+        assert!(adopted.shares_storage_with(&visitor));
+        assert_eq!(store_c.stats().datasets, 1);
+    }
+
+    #[test]
+    fn handles_deref_to_the_full_dataset_api() {
+        let store = DatasetStore::new();
+        let handle = store.intern(paper::table1_dataset());
+        assert_eq!(handle.num_rows(), 10);
+        assert!(handle.column("gender").is_some());
+        assert_eq!(handle.dataset().num_rows(), 10);
+        assert!(handle.heap_bytes() > 0);
+    }
+
+    #[test]
+    fn detached_handles_fingerprint_without_a_store() {
+        let a = DatasetHandle::detached(paper::table1_dataset());
+        let b = DatasetHandle::detached(paper::table1_dataset());
+        assert!(!a.shares_storage_with(&b));
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_eq!(a, b); // content equality
+    }
+}

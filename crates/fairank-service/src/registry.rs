@@ -18,7 +18,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
-use fairank_session::Session;
+use fairank_session::{CellCache, DatasetStore, Session};
 
 /// Errors of the registry itself (distinct from session errors).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -58,9 +58,9 @@ struct Entry {
 }
 
 impl Entry {
-    fn new() -> Arc<Entry> {
+    fn new(store: Arc<DatasetStore>) -> Arc<Entry> {
         Arc::new(Entry {
-            handle: Arc::new(Mutex::new(Session::new())),
+            handle: Arc::new(Mutex::new(Session::with_store(store))),
             last_used: Mutex::new(Instant::now()),
             in_flight: AtomicUsize::new(0),
         })
@@ -149,15 +149,49 @@ impl Drop for InFlightGuard {
 }
 
 /// The concurrent multi-session store.
-#[derive(Debug, Default)]
+///
+/// Every session created through the registry shares one
+/// [`DatasetStore`] (identical datasets loaded into different sessions
+/// are parsed once and held behind one allocation) and one [`CellCache`]
+/// (a scenario-grid cell computed for any session is served from cache
+/// to every later session asking for the same dataset × configuration).
+#[derive(Debug)]
 pub struct SessionRegistry {
     sessions: RwLock<HashMap<String, Arc<Entry>>>,
+    store: Arc<DatasetStore>,
+    cell_cache: Arc<CellCache>,
+}
+
+impl Default for SessionRegistry {
+    fn default() -> Self {
+        SessionRegistry::new()
+    }
 }
 
 impl SessionRegistry {
-    /// An empty registry.
+    /// An empty registry with the default cell-cache capacity.
     pub fn new() -> Self {
-        SessionRegistry::default()
+        SessionRegistry::with_cell_cache_cap(CellCache::DEFAULT_CAP)
+    }
+
+    /// An empty registry whose shared cell cache holds at most `cap`
+    /// entries (`0` disables caching entirely).
+    pub fn with_cell_cache_cap(cap: usize) -> Self {
+        SessionRegistry {
+            sessions: RwLock::new(HashMap::new()),
+            store: Arc::new(DatasetStore::new()),
+            cell_cache: Arc::new(CellCache::new(cap)),
+        }
+    }
+
+    /// The dataset store shared by every session in this registry.
+    pub fn store(&self) -> &Arc<DatasetStore> {
+        &self.store
+    }
+
+    /// The plan-cell cache shared by every session in this registry.
+    pub fn cell_cache(&self) -> &Arc<CellCache> {
+        &self.cell_cache
     }
 
     /// Creates a fresh named session. Fails if the name is taken.
@@ -166,7 +200,7 @@ impl SessionRegistry {
         if sessions.contains_key(name) {
             return Err(RegistryError::AlreadyExists(name.to_string()));
         }
-        let entry = Entry::new();
+        let entry = Entry::new(Arc::clone(&self.store));
         let handle = Arc::clone(&entry.handle);
         sessions.insert(name.to_string(), entry);
         Ok(handle)
@@ -210,7 +244,9 @@ impl SessionRegistry {
             let mut sessions = self.sessions.write().expect("registry lock");
             // Racing creators: only insert if still absent, then loop back
             // through the read path so every caller shares one entry.
-            sessions.entry(name.to_string()).or_insert_with(Entry::new);
+            sessions
+                .entry(name.to_string())
+                .or_insert_with(|| Entry::new(Arc::clone(&self.store)));
         }
     }
 
@@ -223,7 +259,7 @@ impl SessionRegistry {
         let mut sessions = self.sessions.write().expect("registry lock");
         match sessions.get(name) {
             Some(entry) if entry.handle.is_poisoned() => {
-                sessions.insert(name.to_string(), Entry::new());
+                sessions.insert(name.to_string(), Entry::new(Arc::clone(&self.store)));
                 true
             }
             _ => false,
@@ -449,6 +485,27 @@ mod tests {
         let fresh = registry.lease("s");
         assert!(!fresh.is_poisoned());
         assert!(fresh.handle().lock().unwrap().dataset_names().is_empty());
+    }
+
+    #[test]
+    fn registry_sessions_share_one_dataset_store() {
+        let registry = SessionRegistry::new();
+        let a = registry.attach_or_create("a");
+        let b = registry.attach_or_create("b");
+        for handle in [&a, &b] {
+            let mut session = handle.lock().unwrap();
+            apply(
+                &mut session,
+                Command::parse("generate pop biased n=40 seed=1").unwrap(),
+            )
+            .unwrap();
+        }
+        // Both sessions loaded identical content, so the shared store holds
+        // it once and the handles are pointer-equal views of it.
+        assert_eq!(registry.store().stats().datasets, 1);
+        let ha = a.lock().unwrap().dataset_handle("pop").unwrap().clone();
+        let hb = b.lock().unwrap().dataset_handle("pop").unwrap().clone();
+        assert!(ha.shares_storage_with(&hb));
     }
 
     #[test]

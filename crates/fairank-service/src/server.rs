@@ -28,7 +28,7 @@ use crate::registry::{SessionLease, SessionRegistry};
 pub const MAX_REQUEST_BYTES: u64 = 1 << 20;
 
 /// Tunables of a [`Server`].
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct ServerConfig {
     /// Worker threads for quantify-class requests (0 = size to the host).
     pub workers: usize,
@@ -57,6 +57,24 @@ pub struct ServerConfig {
     /// once; extra requests are refused with `overloaded` instead of
     /// queueing unboundedly behind the session's mutex. 0 = unlimited.
     pub session_inflight_cap: usize,
+    /// Entries the shared plan-cell cache may hold before LRU eviction
+    /// (`serve --cell-cache-cap`). 0 disables caching entirely.
+    pub cell_cache_cap: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 0,
+            queue_depth: 0,
+            allow_fs_commands: false,
+            admin: false,
+            session_ttl: None,
+            request_timeout: None,
+            session_inflight_cap: 0,
+            cell_cache_cap: fairank_session::CellCache::DEFAULT_CAP,
+        }
+    }
 }
 
 /// Shared run-state of a serving server: the drain flag, the global
@@ -144,7 +162,7 @@ impl Server {
         };
         Ok(Server {
             listener,
-            registry: Arc::new(SessionRegistry::new()),
+            registry: Arc::new(SessionRegistry::with_cell_cache_cap(config.cell_cache_cap)),
             pool: Arc::new(WorkerPool::new(workers, depth)),
             policy: DispatchPolicy {
                 allow_fs_commands: config.allow_fs_commands,
@@ -420,7 +438,7 @@ pub fn dispatch_with(
             );
         }
         return match command {
-            Command::Sessions => Reply::ok(Response::SessionList(registry.names())),
+            Command::Sessions => Reply::ok(Response::SessionList(registry_stats_view(registry))),
             Command::Evict { name } => match registry.evict(&name) {
                 Ok(()) => Reply::ok(Response::SessionEvicted { name }),
                 Err(e) => Reply::err(ErrorResponse::new("unknown_session", e.to_string())),
@@ -464,7 +482,13 @@ pub fn dispatch_with(
     // the connection thread compiles the plan and fans the independent
     // cells across the pool, so an N-cell grid saturates all workers.
     if is_scenario {
-        return Reply::from_result(run_scenario_on_pool(&lease, command, pool, &ctx.budget));
+        return Reply::from_result(run_scenario_on_pool(
+            &lease,
+            command,
+            pool,
+            &ctx.budget,
+            registry.cell_cache(),
+        ));
     }
     let result = if command.is_compute_heavy() {
         let handle = Arc::clone(lease.handle());
@@ -505,6 +529,22 @@ pub fn dispatch_with(
     Reply::from_result(result)
 }
 
+/// Snapshot of the registry for the `sessions` admin reply: the live
+/// session names plus the shared dataset-store and cell-cache counters.
+fn registry_stats_view(registry: &SessionRegistry) -> fairank_session::response::RegistryStatsView {
+    let store = registry.store().stats();
+    let cache = registry.cell_cache().stats();
+    fairank_session::response::RegistryStatsView {
+        sessions: registry.names(),
+        store_datasets: store.datasets as u64,
+        store_bytes: store.bytes as u64,
+        cell_cache_entries: cache.entries,
+        cell_cache_hits: cache.hits,
+        cell_cache_misses: cache.misses,
+        cell_cache_evictions: cache.evictions,
+    }
+}
+
 /// [`dispatch_with`] under the default context: no deadline, no caps, not
 /// draining — the semantics embedded callers and tests relied on before
 /// operational limits existed.
@@ -535,6 +575,7 @@ fn run_scenario_on_pool(
     command: Command,
     pool: &WorkerPool,
     budget: &RunBudget,
+    cache: &Arc<fairank_session::CellCache>,
 ) -> Result<Response, fairank_session::SessionError> {
     use fairank_session::plan;
 
@@ -560,7 +601,13 @@ fn run_scenario_on_pool(
         pool.run_batch(
             cells
                 .into_iter()
-                .map(|cell| move || cell.execute())
+                .map(|cell| {
+                    // Grid cells consult the registry-wide cell cache: a
+                    // repeated dataset × configuration is served from the
+                    // memoized outcome instead of recomputed.
+                    let cache = Arc::clone(cache);
+                    move || cell.execute_cached(&cache)
+                })
                 .collect(),
         )
         .into_iter()
@@ -915,7 +962,13 @@ mod tests {
         // With --admin: list and evict operate on the registry.
         let reply = dispatch(&registry, &pool, Request::new("sessions"), ADMIN);
         match reply.into_result().unwrap() {
-            Response::SessionList(names) => assert_eq!(names, vec!["a", "b"]),
+            Response::SessionList(view) => {
+                assert_eq!(view.sessions, vec!["a", "b"]);
+                // Nothing loaded or quantified yet: the shared store and
+                // cell cache report empty.
+                assert_eq!(view.store_datasets, 0);
+                assert_eq!(view.cell_cache_entries, 0);
+            }
             other => panic!("unexpected {other:?}"),
         }
         let reply = dispatch(&registry, &pool, Request::new("evict a"), ADMIN);

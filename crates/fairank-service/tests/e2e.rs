@@ -262,8 +262,11 @@ fn admin_commands_require_the_admin_flag() {
     // Admin commands operate on the registry without creating a session
     // for the requesting name.
     match client.command("any", "sessions") {
-        Response::SessionList(names) => {
-            assert_eq!(names, vec!["alpha", "beta"]);
+        Response::SessionList(view) => {
+            assert_eq!(view.sessions, vec!["alpha", "beta"]);
+            // `alpha` generated one dataset into the shared store.
+            assert_eq!(view.store_datasets, 1);
+            assert!(view.store_bytes > 0);
         }
         other => panic!("expected SessionList, got {other:?}"),
     }

@@ -876,13 +876,10 @@ pub fn apply(session: &mut Session, command: Command) -> Result<Response> {
             Ok(Response::FunctionDefined { name, expr })
         }
         Command::ShowData { name, rows } => {
+            // A head view over the shared columnar store: only the shown
+            // cells are rendered; nothing of the dataset is copied.
             let ds = session.dataset(&name)?;
-            let shown = rows.min(ds.num_rows());
-            let columns: Vec<String> =
-                ds.columns().iter().map(|c| c.name.clone()).collect();
-            let cells: Vec<Vec<String>> = (0..shown)
-                .map(|r| ds.columns().iter().map(|c| c.data.render(r)).collect())
-                .collect();
+            let (columns, cells) = ds.head_cells(rows);
             Ok(Response::DataHead(DataHeadView {
                 name,
                 columns,
@@ -903,7 +900,11 @@ pub fn apply(session: &mut Session, command: Command) -> Result<Response> {
             })
         }
         Command::Open { dir } => {
-            let loaded = crate::persist::load_session(&dir)?;
+            // Load through the *current* session's store so a reopened
+            // session keeps deduping against datasets the registry (or a
+            // prior save in this process) already holds.
+            let loaded =
+                crate::persist::load_session_with_store(&dir, session.store().clone())?;
             let datasets = loaded.dataset_names().len();
             let functions = loaded.function_names().len();
             *session = loaded;

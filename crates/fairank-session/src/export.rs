@@ -115,6 +115,7 @@ mod tests {
             config,
             space,
             outcome,
+            from_cache: false,
         }
     }
 

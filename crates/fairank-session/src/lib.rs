@@ -28,6 +28,7 @@
 //! REPL and the `fairank-service` JSON-lines server; see DESIGN.md for the
 //! substitution rationale.
 
+pub mod cellcache;
 pub mod command;
 pub mod config;
 pub mod error;
@@ -41,8 +42,10 @@ pub mod report;
 pub mod response;
 pub mod session;
 
+pub use cellcache::{CacheStats, CellCache};
 pub use command::{apply, execute, Command};
 pub use config::Configuration;
+pub use fairank_data::store::{DatasetHandle, DatasetStore, StoreStats};
 pub use error::{ErrorResponse, Result, SessionError};
 pub use panel::Panel;
 pub use plan::{Plan, ScenarioReport, ScenarioSpec};

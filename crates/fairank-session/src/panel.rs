@@ -44,6 +44,9 @@ pub struct GeneralInfo {
     /// Memoized EMD entries dropped by targeted invalidation ahead of the
     /// search (0 for from-scratch panels).
     pub delta_invalidated_emds: usize,
+    /// Whether this panel's outcome was served from the content-addressed
+    /// cell cache instead of being recomputed.
+    pub from_cache: bool,
 }
 
 /// Statistics of one tree node (the *Node* box).
@@ -84,6 +87,9 @@ pub struct Panel {
     pub space: RankingSpace,
     /// The quantification outcome.
     pub outcome: QuantifyOutcome,
+    /// Whether the outcome was served from the content-addressed cell
+    /// cache (bitwise-identical to a fresh compute, but not recomputed).
+    pub from_cache: bool,
 }
 
 impl Panel {
@@ -108,6 +114,7 @@ impl Panel {
             pairwise_batches: self.outcome.stats.pairwise_batches,
             delta_reused_histograms: self.outcome.stats.delta_reused_histograms,
             delta_invalidated_emds: self.outcome.stats.delta_invalidated_emds,
+            from_cache: self.from_cache,
         }
     }
 
@@ -197,6 +204,7 @@ mod tests {
             config,
             space,
             outcome,
+            from_cache: false,
         }
     }
 

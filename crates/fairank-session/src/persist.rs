@@ -78,8 +78,20 @@ pub fn save_session(session: &Session, dir: impl AsRef<Path>) -> Result<()> {
     Ok(())
 }
 
-/// Loads a saved session directory into a fresh [`Session`].
+/// Loads a saved session directory into a fresh [`Session`] with a
+/// private dataset store.
 pub fn load_session(dir: impl AsRef<Path>) -> Result<Session> {
+    load_session_with_store(dir, std::sync::Arc::new(fairank_data::DatasetStore::new()))
+}
+
+/// Loads a saved session directory into a fresh [`Session`] interning
+/// datasets into `store` — so reopening a saved session inside a server
+/// dedupes against datasets other sessions already hold, and a save/load
+/// round trip in one process shares storage with the original.
+pub fn load_session_with_store(
+    dir: impl AsRef<Path>,
+    store: std::sync::Arc<fairank_data::DatasetStore>,
+) -> Result<Session> {
     let dir = dir.as_ref();
     let manifest_text = std::fs::read_to_string(dir.join("manifest.json"))?;
     let manifest: Manifest = serde_json::from_str(&manifest_text)
@@ -90,7 +102,7 @@ pub fn load_session(dir: impl AsRef<Path>) -> Result<Session> {
             manifest.version
         )));
     }
-    let mut session = Session::new();
+    let mut session = Session::with_store(store);
     for name in &manifest.datasets {
         validate_dataset_name(name)?;
         let path = dir.join(format!("{name}.dataset.json"));
@@ -137,6 +149,24 @@ mod tests {
             loaded.function("paper-f").unwrap(),
             session.function("paper-f").unwrap()
         );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn reload_into_shared_store_dedupes_to_pointer_equal_storage() {
+        // Regression: a save/load round trip used to materialize a second
+        // full copy of every dataset. Loading through the original store
+        // now dedupes by content to the same allocation.
+        let dir = tmpdir("dedupe");
+        let session = populated();
+        save_session(&session, &dir).unwrap();
+        let loaded =
+            load_session_with_store(&dir, std::sync::Arc::clone(session.store())).unwrap();
+        assert!(loaded
+            .dataset_handle("table1")
+            .unwrap()
+            .shares_storage_with(session.dataset_handle("table1").unwrap()));
+        assert_eq!(session.store().stats().datasets, 1);
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -24,13 +24,14 @@
 //! the legacy entry points are thin builders over this layer and render
 //! byte-identically to their pre-plan implementations.
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use fairank_core::cancel::RunBudget;
 use fairank_core::emd::{Emd, EmdBackendKind};
 use fairank_core::fairness::{Aggregator, FairnessCriterion, Objective};
 use fairank_core::histogram::HistogramSpec;
-use fairank_core::plan::{CellOutcome, SearchStrategy};
+use fairank_core::plan::{CellKey, CellOutcome, SearchStrategy};
 use fairank_core::scoring::{LinearScoring, ScoreSource};
 use fairank_core::space::RankingSpace;
 use fairank_core::subgroup::{least_favored, most_favored, subgroup_stats};
@@ -41,6 +42,7 @@ use fairank_marketplace::stream::{StreamConfig, StreamOutcome, StreamScenario};
 use fairank_marketplace::{Marketplace, Transparency};
 use serde::{Deserialize, Serialize};
 
+use crate::cellcache::{CachedCell, CellCache, Claim};
 use crate::config::{Configuration, ScoringChoice};
 use crate::error::{Result, SessionError};
 use crate::report::{
@@ -264,6 +266,10 @@ pub struct Cell {
     /// [`Plan::with_run_budget`] (or a session-backed run) stamps the
     /// request's deadline and cancel tokens.
     budget: RunBudget,
+    /// Content-addressed identity for memoization, when the cell's inputs
+    /// have one (grid panel cells over stored datasets). `None` for cells
+    /// over mutable or derived inputs — those always execute.
+    cache_key: Option<CellKey>,
 }
 
 #[derive(Debug)]
@@ -345,6 +351,12 @@ pub struct CellStat {
     /// Memoized EMD entries dropped by targeted invalidation (0 for
     /// from-scratch cells).
     pub delta_invalidated_emds: usize,
+    /// 1 when this cell was served from the cross-session cell cache
+    /// (bitwise-identical to a fresh compute, nothing recomputed).
+    pub cache_hits: usize,
+    /// 1 when this cell was computed and published to the cell cache.
+    /// Uncacheable cells report 0 on both counters.
+    pub cache_misses: usize,
     /// Unfairness the cell measured (`None` for cells that do not quantify,
     /// e.g. end-user statistics).
     pub unfairness: Option<f64>,
@@ -401,6 +413,67 @@ impl Cell {
         self.index
     }
 
+    /// Executes the cell, consulting the cross-session cell cache first.
+    /// A hit serves the memoized outcome (bitwise-identical to a fresh
+    /// compute, by cell determinism) without running the search; a miss
+    /// computes under single-flight (concurrent claimants of the same key
+    /// wait for this compute instead of duplicating it) and publishes the
+    /// result. Cells without a content identity — and all cells when the
+    /// cache is disabled — just execute.
+    pub fn execute_cached(self, cache: &CellCache) -> Result<CellResult> {
+        let Some(key) = self.cache_key else {
+            return self.execute();
+        };
+        let started = Instant::now();
+        match cache.claim(key) {
+            Claim::Bypass => self.execute(),
+            Claim::Hit(cached) => {
+                let Cell {
+                    index, label, work, ..
+                } = self;
+                let CellWork::Panel { config, space, .. } = work else {
+                    return Err(SessionError::Internal(
+                        "a cache key was derived for a non-panel cell".into(),
+                    ));
+                };
+                // The cell's own compiled config and space are
+                // content-identical to the original compute's (the key
+                // covers every input they derive from), so only the
+                // outcome comes from the cache.
+                let mut stat = cached.stat.clone();
+                stat.label = label;
+                stat.elapsed_us = elapsed_us(started.elapsed());
+                stat.cache_hits = 1;
+                stat.cache_misses = 0;
+                Ok(CellResult {
+                    index,
+                    stat,
+                    payload: CellPayload::Panel {
+                        config: Box::new(config),
+                        space: Box::new(space),
+                        outcome: Box::new(cached.outcome.clone()),
+                    },
+                })
+            }
+            Claim::Miss(guard) => {
+                // An Err drops the guard uncompleted, aborting the flight
+                // so waiters retry — a failed compute never wedges a key.
+                let mut result = self.execute()?;
+                if let CellPayload::Panel { outcome, .. } = &result.payload {
+                    let mut stat = result.stat.clone();
+                    stat.cache_hits = 0;
+                    stat.cache_misses = 0;
+                    guard.complete(Arc::new(CachedCell {
+                        outcome: (**outcome).clone(),
+                        stat,
+                    }));
+                }
+                result.stat.cache_misses = 1;
+                Ok(result)
+            }
+        }
+    }
+
     /// Executes the cell. Self-contained and deterministic: the result
     /// depends only on the compiled inputs, never on execution order.
     pub fn execute(self) -> Result<CellResult> {
@@ -409,6 +482,7 @@ impl Cell {
             label,
             work,
             budget,
+            cache_key: _,
         } = self;
         match work {
             CellWork::Panel {
@@ -430,6 +504,8 @@ impl Cell {
                         pairwise_batches: outcome.stats.pairwise_batches,
                         delta_reused_histograms: outcome.stats.delta_reused_histograms,
                         delta_invalidated_emds: outcome.stats.delta_invalidated_emds,
+                        cache_hits: 0,
+                        cache_misses: 0,
                         unfairness: Some(outcome.unfairness),
                     },
                     payload: CellPayload::Panel {
@@ -476,6 +552,8 @@ impl Cell {
                         pairwise_batches: outcome.stats.pairwise_batches,
                         delta_reused_histograms: outcome.stats.delta_reused_histograms,
                         delta_invalidated_emds: outcome.stats.delta_invalidated_emds,
+                        cache_hits: 0,
+                        cache_misses: 0,
                         unfairness: Some(outcome.unfairness),
                     },
                     payload: CellPayload::AuditRow { criterion_idx, row },
@@ -509,6 +587,8 @@ impl Cell {
                         pairwise_batches: outcome.stats.pairwise_batches,
                         delta_reused_histograms: outcome.stats.delta_reused_histograms,
                         delta_invalidated_emds: outcome.stats.delta_invalidated_emds,
+                        cache_hits: 0,
+                        cache_misses: 0,
                         unfairness: Some(outcome.unfairness),
                     },
                     payload: CellPayload::Variant { criterion_idx, row },
@@ -574,6 +654,8 @@ impl Cell {
                         pairwise_batches: 0,
                         delta_reused_histograms: 0,
                         delta_invalidated_emds: 0,
+                        cache_hits: 0,
+                        cache_misses: 0,
                         unfairness: None,
                     },
                     payload: CellPayload::EndUserRow { group_idx, row },
@@ -621,6 +703,8 @@ impl Cell {
                         pairwise_batches: 0,
                         delta_reused_histograms: reused,
                         delta_invalidated_emds: invalidated,
+                        cache_hits: 0,
+                        cache_misses: 0,
                         unfairness,
                     },
                     payload: CellPayload::Stream {
@@ -857,6 +941,34 @@ pub(crate) fn observation_transparency(k: Option<usize>, ranking_only: bool) -> 
     }
 }
 
+/// Canonical byte serialization of a panel cell's resolved spec — the
+/// `spec` half of its [`CellKey`]. Every analysis-relevant input appears,
+/// length-prefixed: the resolved score source (concrete weights), the
+/// filter, the range-fitted criterion (objective, aggregator, bins,
+/// histogram range, EMD backend) and the search strategy. Serialization
+/// is serde-canonical (struct field order), so equal specs always
+/// produce equal bytes.
+fn panel_spec_bytes(
+    source: &ScoreSource,
+    filter: &Filter,
+    criterion: &FairnessCriterion,
+    strategy: &SearchStrategy,
+) -> Result<Vec<u8>> {
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(b"panel.v1");
+    for part in [
+        serde_json::to_string(source),
+        serde_json::to_string(filter),
+        serde_json::to_string(criterion),
+        serde_json::to_string(strategy),
+    ] {
+        let part = part.map_err(|e| SessionError::Json(e.to_string()))?;
+        bytes.extend_from_slice(&(part.len() as u64).to_le_bytes());
+        bytes.extend_from_slice(part.as_bytes());
+    }
+    Ok(bytes)
+}
+
 fn audit_label(job_id: &str, criterion_label: &str) -> String {
     if criterion_label.is_empty() {
         format!("audit {job_id}")
@@ -886,21 +998,31 @@ impl Plan {
     ) -> Result<Plan> {
         let mut cells = Vec::with_capacity(configs.len());
         for (index, config) in configs.iter().enumerate() {
-            let dataset = session.dataset(&config.dataset)?;
-            let working = if config.filter.is_empty() {
-                dataset.clone()
-            } else {
-                dataset.filter(&config.filter)?
-            };
+            let handle = session.dataset_handle(&config.dataset)?;
             let source = match &config.scoring {
                 ScoringChoice::Named(name) => {
                     ScoreSource::Function(session.function(name)?.clone())
                 }
                 ScoringChoice::Inline(source) => source.clone(),
             };
-            let space = working.to_space(&source)?;
+            // Unfiltered configs build their space straight off the shared
+            // columns — no per-cell copy of the dataset; only a filter
+            // materializes a working set.
+            let space = if config.filter.is_empty() {
+                handle.dataset().to_space(&source)?
+            } else {
+                handle.dataset().filter(&config.filter)?.to_space(&source)?
+            };
             let mut config = config.clone();
             config.criterion = config.criterion.fit_range(&space);
+            // The cache key hashes the *resolved* spec: the concrete score
+            // source (never just a function's session-local name), the
+            // filter, the range-fitted criterion and the strategy —
+            // combined with the dataset's content fingerprint.
+            let cache_key = Some(CellKey::new(
+                handle.fingerprint(),
+                &panel_spec_bytes(&source, &config.filter, &config.criterion, &strategy)?,
+            ));
             cells.push(Cell {
                 index,
                 label: config.describe(),
@@ -910,6 +1032,7 @@ impl Plan {
                     strategy,
                 },
                 budget: RunBudget::unlimited(),
+                cache_key,
             });
         }
         Ok(Plan {
@@ -953,6 +1076,7 @@ impl Plan {
                         min_subgroup,
                     },
                     budget: RunBudget::unlimited(),
+                    cache_key: None,
                 });
             }
         }
@@ -1011,6 +1135,7 @@ impl Plan {
                         strategy,
                     },
                     budget: RunBudget::unlimited(),
+                    cache_key: None,
                 });
             }
         }
@@ -1056,6 +1181,7 @@ impl Plan {
                         group_size: group_rows.len(),
                     },
                     budget: RunBudget::unlimited(),
+                    cache_key: None,
                 });
             }
         }
@@ -1118,6 +1244,7 @@ impl Plan {
                     config,
                 },
                 budget: RunBudget::unlimited(),
+                cache_key: None,
             });
         }
         Ok(Plan {
@@ -1246,6 +1373,7 @@ impl ExecutedPlan {
             Reduce::Grid => {
                 let mut rows = Vec::with_capacity(results.len());
                 for result in results {
+                    let from_cache = result.stat.cache_hits > 0;
                     let CellPayload::Panel {
                         config,
                         space,
@@ -1261,7 +1389,7 @@ impl ExecutedPlan {
                         (outcome.unfairness, outcome.num_partitions);
                     let panel = match (&mut session, outcome.quantify) {
                         (Some(session), Some(quantify)) => {
-                            Some(session.commit_panel(*config, *space, quantify))
+                            Some(session.commit_panel(*config, *space, quantify, from_cache))
                         }
                         _ => None,
                     };

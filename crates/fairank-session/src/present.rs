@@ -141,16 +141,26 @@ pub fn render(response: &Response) -> String {
         Response::JobOwnerSweep(report) => report.render(),
         Response::EndUserView(report) => report.render(),
         Response::Scenario(report) => render_scenario_report(report),
-        Response::SessionList(names) => {
-            if names.is_empty() {
+        Response::SessionList(view) => {
+            let mut out = if view.sessions.is_empty() {
                 "no live sessions".to_string()
             } else {
-                names
+                view.sessions
                     .iter()
                     .map(|n| format!("session {n}"))
                     .collect::<Vec<_>>()
                     .join("\n")
-            }
+            };
+            out.push_str(&format!(
+                "\nstore: {} datasets, {} bytes\ncell cache: {} entries ({} hits, {} misses, {} evictions)",
+                view.store_datasets,
+                view.store_bytes,
+                view.cell_cache_entries,
+                view.cell_cache_hits,
+                view.cell_cache_misses,
+                view.cell_cache_evictions,
+            ));
+            out
         }
         Response::SessionEvicted { name } => format!("evicted session {name:?}"),
         Response::Stream(view) => render_stream_view(view),
@@ -274,8 +284,11 @@ fn render_scenario_report(report: &crate::plan::ScenarioReport) -> String {
         } else {
             String::new()
         };
+        // Likewise the cache marker only appears on served-from-cache
+        // cells, keeping uncached renderings byte-identical.
+        let cached = if cell.cache_hits > 0 { ", cached" } else { "" };
         out.push_str(&format!(
-            "  {:<44} {:>8} µs  {}cand={} hists={} emds={} (hits {}, batches {}{})\n",
+            "  {:<44} {:>8} µs  {}cand={} hists={} emds={} (hits {}, batches {}{}{})\n",
             cell.label,
             cell.elapsed_us,
             unfairness,
@@ -285,6 +298,7 @@ fn render_scenario_report(report: &crate::plan::ScenarioReport) -> String {
             cell.emd_cache_hits,
             cell.pairwise_batches,
             delta,
+            cached,
         ));
     }
     out

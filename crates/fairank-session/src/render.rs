@@ -58,6 +58,7 @@ mod tests {
             config,
             space,
             outcome,
+            from_cache: false,
         }
     }
 

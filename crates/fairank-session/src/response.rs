@@ -136,6 +136,9 @@ pub struct PanelView {
     /// Memoized EMD entries dropped by targeted invalidation ahead of the
     /// search (0 for from-scratch panels).
     pub delta_invalidated_emds: usize,
+    /// Whether the panel's outcome was served from the cross-session cell
+    /// cache (bitwise-identical to a fresh compute, nothing recomputed).
+    pub from_cache: bool,
     /// Every tree node, root first.
     pub nodes: Vec<NodeView>,
 }
@@ -168,6 +171,7 @@ impl PanelView {
             pairwise_batches: info.pairwise_batches,
             delta_reused_histograms: info.delta_reused_histograms,
             delta_invalidated_emds: info.delta_invalidated_emds,
+            from_cache: info.from_cache,
             nodes: Vec::new(),
         }
     }
@@ -292,6 +296,28 @@ pub struct DataHeadView {
     pub rows: Vec<Vec<String>>,
     /// Total rows in the dataset (may exceed `rows.len()`).
     pub total_rows: usize,
+}
+
+/// The server registry's live state (the `sessions` admin reply): session
+/// names plus dataset-store and cell-cache statistics, so an operator can
+/// see how much sharing and memoization the fleet is getting.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct RegistryStatsView {
+    /// Live session names, sorted.
+    pub sessions: Vec<String>,
+    /// Distinct datasets resident in the shared content-addressed store.
+    pub store_datasets: u64,
+    /// Approximate resident bytes across those datasets (each counted
+    /// once, however many sessions share it).
+    pub store_bytes: u64,
+    /// Ready entries in the cross-session cell cache.
+    pub cell_cache_entries: u64,
+    /// Cell claims served from the cache since server start.
+    pub cell_cache_hits: u64,
+    /// Cell claims that computed (and published) since server start.
+    pub cell_cache_misses: u64,
+    /// Cache entries evicted by the LRU bound since server start.
+    pub cell_cache_evictions: u64,
 }
 
 /// A structured session response — the typed result of [`crate::command::apply`].
@@ -427,8 +453,9 @@ pub enum Response {
     /// A whole scenario plan ran (`scenario`): the reduced outcome plus
     /// per-cell engine counters and wall-clock stats.
     Scenario(ScenarioReport),
-    /// The server's live sessions (`sessions`, admin only).
-    SessionList(Vec<String>),
+    /// The server's live sessions plus store/cache statistics
+    /// (`sessions`, admin only).
+    SessionList(RegistryStatsView),
     /// A session was evicted from the server registry (`evict`, admin
     /// only).
     SessionEvicted {
@@ -456,6 +483,7 @@ mod tests {
             config,
             space,
             outcome,
+            from_cache: false,
         }
     }
 
@@ -621,8 +649,16 @@ mod tests {
 
     #[test]
     fn round_trip_registry_admin_variants() {
-        round_trip(&Response::SessionList(vec!["a".into(), "b".into()]));
-        round_trip(&Response::SessionList(Vec::new()));
+        round_trip(&Response::SessionList(RegistryStatsView {
+            sessions: vec!["a".into(), "b".into()],
+            store_datasets: 3,
+            store_bytes: 123_456,
+            cell_cache_entries: 17,
+            cell_cache_hits: 40,
+            cell_cache_misses: 17,
+            cell_cache_evictions: 2,
+        }));
+        round_trip(&Response::SessionList(RegistryStatsView::default()));
         round_trip(&Response::SessionEvicted { name: "a".into() });
     }
 

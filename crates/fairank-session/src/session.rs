@@ -8,6 +8,7 @@
 //! explore how that impacts fairness quantification" (§2).
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use fairank_anonymize::{datafly, mondrian, DataflyConfig, MondrianConfig};
 use fairank_core::cancel::RunBudget;
@@ -16,6 +17,7 @@ use fairank_core::scoring::{LinearScoring, ScoreSource};
 use fairank_data::dataset::Dataset;
 use fairank_data::filter::Filter;
 use fairank_data::schema::AttributeRole;
+use fairank_data::store::{DatasetHandle, DatasetStore};
 
 use crate::config::{Configuration, ScoringChoice};
 use crate::error::{Result, SessionError};
@@ -34,11 +36,20 @@ pub enum AnonMethod {
 }
 
 /// The exploration workspace: datasets, functions, panels.
+///
+/// Datasets live in a content-addressed [`DatasetStore`]: the session
+/// holds lightweight [`DatasetHandle`]s, so loading identical content
+/// twice (or into N sessions sharing a registry-level store) dedupes to
+/// one `Arc`-shared columnar allocation.
 #[derive(Debug, Default)]
 pub struct Session {
-    datasets: BTreeMap<String, Dataset>,
+    datasets: BTreeMap<String, DatasetHandle>,
     functions: BTreeMap<String, LinearScoring>,
     panels: Vec<Panel>,
+    /// The content-addressed store datasets are interned into. Private
+    /// sessions get their own; the service registry shares one across all
+    /// sessions.
+    store: Arc<DatasetStore>,
     /// Cooperative cancellation scope every search run by this session
     /// honors. Unlimited by default; the service installs a per-request
     /// deadline + cancel tokens before dispatching a command.
@@ -46,9 +57,24 @@ pub struct Session {
 }
 
 impl Session {
-    /// An empty session.
+    /// An empty session with a private dataset store.
     pub fn new() -> Self {
         Session::default()
+    }
+
+    /// An empty session interning datasets into `store` — how the service
+    /// registry makes N sessions share one allocation per distinct
+    /// dataset.
+    pub fn with_store(store: Arc<DatasetStore>) -> Self {
+        Session {
+            store,
+            ..Session::default()
+        }
+    }
+
+    /// The store this session interns datasets into.
+    pub fn store(&self) -> &Arc<DatasetStore> {
+        &self.store
     }
 
     /// Installs the cancellation scope (deadline and/or cancel tokens)
@@ -81,12 +107,21 @@ impl Session {
         if self.datasets.contains_key(&name) {
             return Err(SessionError::NameTaken(name));
         }
-        self.datasets.insert(name, dataset);
+        // Intern through the store: identical content (a re-loaded CSV, a
+        // save/load round trip, another session's copy) dedupes to the
+        // existing shared allocation.
+        self.datasets.insert(name, self.store.intern(dataset));
         Ok(())
     }
 
     /// A registered dataset.
     pub fn dataset(&self, name: &str) -> Result<&Dataset> {
+        self.dataset_handle(name).map(DatasetHandle::dataset)
+    }
+
+    /// A registered dataset's shared-storage handle (content fingerprint +
+    /// `Arc`-shared columns).
+    pub fn dataset_handle(&self, name: &str) -> Result<&DatasetHandle> {
         self.datasets
             .get(name)
             .ok_or_else(|| SessionError::UnknownDataset(name.to_string()))
@@ -194,17 +229,18 @@ impl Session {
     /// criterion is stored in the panel's configuration so node statistics
     /// and renderings use the same bins the search did.
     pub fn quantify(&mut self, mut config: Configuration) -> Result<usize> {
-        let dataset = self.dataset(&config.dataset)?;
-        let working = if config.filter.is_empty() {
-            dataset.clone()
-        } else {
-            dataset.filter(&config.filter)?
-        };
+        let handle = self.dataset_handle(&config.dataset)?;
         let source = match &config.scoring {
             ScoringChoice::Named(name) => ScoreSource::Function(self.function(name)?.clone()),
             ScoringChoice::Inline(source) => source.clone(),
         };
-        let space = working.to_space(&source)?;
+        // Unfiltered runs read the shared columns directly — no copy of
+        // the dataset is made; only a filter materializes a working set.
+        let space = if config.filter.is_empty() {
+            handle.dataset().to_space(&source)?
+        } else {
+            handle.dataset().filter(&config.filter)?.to_space(&source)?
+        };
         config.criterion = config.criterion.fit_range(&space);
         let outcome = Quantify::new(config.criterion)
             .with_run_budget(self.run_budget.clone())
@@ -215,6 +251,7 @@ impl Session {
             config,
             space,
             outcome,
+            from_cache: false,
         });
         Ok(id)
     }
@@ -226,6 +263,7 @@ impl Session {
         config: Configuration,
         space: fairank_core::space::RankingSpace,
         outcome: fairank_core::quantify::QuantifyOutcome,
+        from_cache: bool,
     ) -> usize {
         let id = self.panels.len();
         self.panels.push(Panel {
@@ -233,6 +271,7 @@ impl Session {
             config,
             space,
             outcome,
+            from_cache,
         });
         id
     }
@@ -459,6 +498,35 @@ mod tests {
         assert!(s.quantify_grid(configs).is_err());
         // Nothing was committed.
         assert!(s.panels().is_empty());
+    }
+
+    #[test]
+    fn identical_loads_into_one_session_share_storage() {
+        // Regression: loading the same content twice used to duplicate the
+        // parsed data; it now dedupes to one pointer-equal allocation.
+        let mut s = session_with_table1();
+        s.add_dataset("again", paper::table1_dataset()).unwrap();
+        let a = s.dataset_handle("table1").unwrap().clone();
+        let b = s.dataset_handle("again").unwrap();
+        assert!(a.shares_storage_with(b));
+        assert_eq!(s.store().stats().datasets, 1);
+    }
+
+    #[test]
+    fn sessions_sharing_a_store_share_allocations() {
+        let store = Arc::new(DatasetStore::new());
+        let mut s1 = Session::with_store(Arc::clone(&store));
+        let mut s2 = Session::with_store(Arc::clone(&store));
+        s1.add_dataset("d", paper::table1_dataset()).unwrap();
+        s2.add_dataset("copy", paper::table1_dataset()).unwrap();
+        assert!(s1
+            .dataset_handle("d")
+            .unwrap()
+            .shares_storage_with(s2.dataset_handle("copy").unwrap()));
+        assert_eq!(store.stats().datasets, 1);
+        drop(s1);
+        drop(s2);
+        assert_eq!(store.stats().datasets, 0);
     }
 
     #[test]
