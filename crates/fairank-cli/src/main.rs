@@ -24,7 +24,7 @@
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 
-use fairank_service::{Reply, Request, Server, ServerConfig};
+use fairank_service::{Frame, Request, Server, ServerConfig};
 use fairank_session::command::{apply, Command};
 use fairank_session::{present, Response, Session};
 
@@ -125,8 +125,9 @@ fn parse_duration(raw: &str) -> Option<std::time::Duration> {
 }
 
 const SERVE_USAGE: &str = "usage: fairank serve [--addr host:port] [--workers n] \
-[--queue-depth n] [--session-cap n] [--cell-cache-cap n] [--request-timeout dur] \
-[--session-ttl secs] [--allow-fs] [--admin]
+[--queue-depth n] [--session-cap n] [--session-queue-cap n] [--dispatchers n] \
+[--cell-cache-cap n] [--request-timeout dur] [--session-ttl secs] [--allow-fs] \
+[--admin] [--threaded]
 
   --addr host:port     bind address (default 127.0.0.1:4915; port 0 = ephemeral)
   --workers n          worker threads for compute requests (default: host cores - 1)
@@ -134,6 +135,12 @@ const SERVE_USAGE: &str = "usage: fairank serve [--addr host:port] [--workers n]
                        with the structured `overloaded` error (default: 2x workers)
   --session-cap n      max in-flight compute requests per session; extras are
                        refused with `overloaded` (default: unlimited)
+  --session-queue-cap n  pending jobs one session may hold in the fair queues
+                       (dispatch + worker pool) before refusal with `overloaded`;
+                       bounds how far one session can crowd the backlog
+                       (default: unlimited per session)
+  --dispatchers n      event-loop dispatcher threads — requests concurrently in
+                       dispatch (default: workers + 2; ignored with --threaded)
   --cell-cache-cap n   entries the shared scenario-cell cache holds before LRU
                        eviction (default: 4096; 0 = disabled)
   --request-timeout d  per-request compute deadline, e.g. 500ms or 2s (bare
@@ -141,7 +148,10 @@ const SERVE_USAGE: &str = "usage: fairank serve [--addr host:port] [--workers n]
                        structured `deadline_exceeded` error with partial stats
   --session-ttl secs   evict sessions idle longer than this
   --allow-fs           permit load/save/open/export/scenario-file from the wire
-  --admin              permit registry admin (sessions/evict) from the wire";
+  --admin              permit registry admin (sessions/evict) from the wire
+  --threaded           serve with the legacy thread-per-connection loop instead
+                       of the default event loop (wire-identical; kept as the
+                       comparison baseline)";
 
 /// `fairank serve` — the multi-session JSON-lines server. `--addr` with
 /// port 0 picks an ephemeral port; the actual address is printed as
@@ -208,6 +218,9 @@ fn serve_mode(args: &[String]) {
         request_timeout,
         session_inflight_cap,
         cell_cache_cap,
+        threaded: args.iter().any(|a| a == "--threaded"),
+        session_queue_cap: parse_count("--session-queue-cap"),
+        dispatchers: parse_count("--dispatchers"),
     };
     let server = match Server::bind(addr, config) {
         Ok(server) => server,
@@ -223,12 +236,15 @@ fn serve_mode(args: &[String]) {
 }
 
 const CONNECT_USAGE: &str = "usage: fairank connect <host:port> [--session name] \
-[--retries n]
+[--retries n] [--stream]
 
   --session name   session to attach to (default \"default\")
   --retries n      bounded retries on the server's `overloaded` refusal,
                    with exponential backoff + jitter, honoring the reply's
-                   retry_after_ms hint (default 5; 0 disables retrying)";
+                   retry_after_ms hint (default 5; 0 disables retrying)
+  --stream         request chunked scenario replies: each plan cell's stats
+                   render the moment the cell finishes, ahead of the final
+                   report (non-scenario commands are unaffected)";
 
 /// How many times connect mode re-sends a request refused with
 /// `overloaded` before surfacing the error.
@@ -250,10 +266,24 @@ fn retry_backoff(
     std::time::Duration::from_millis(scaled + jitter)
 }
 
-/// `fairank connect <addr> [--session name] [--retries n]` — a remote
-/// REPL: each input line becomes one wire request; structured replies
-/// render locally. Transient `overloaded` refusals are retried with
-/// exponential backoff + jitter (bounded; see `--retries`).
+/// One line of streamed scenario progress: the cell's label, measured
+/// unfairness (when the cell quantifies), and wall-clock.
+fn render_chunk(stat: &fairank_session::CellStat) -> String {
+    match stat.unfairness {
+        Some(u) => format!(
+            "  … {} — unfairness {:.4} ({} µs)",
+            stat.label, u, stat.elapsed_us
+        ),
+        None => format!("  … {} ({} µs)", stat.label, stat.elapsed_us),
+    }
+}
+
+/// `fairank connect <addr> [--session name] [--retries n] [--stream]` — a
+/// remote REPL: each input line becomes one wire request; structured
+/// replies render locally. Transient `overloaded` refusals are retried
+/// with exponential backoff + jitter (bounded; see `--retries`). Under
+/// `--stream`, scenario requests opt into chunked replies and each cell's
+/// stats render as the server finishes it.
 fn connect_mode(args: &[String]) {
     if args.iter().any(|a| a == "--help") {
         println!("{CONNECT_USAGE}");
@@ -264,6 +294,7 @@ fn connect_mode(args: &[String]) {
         std::process::exit(2);
     };
     let session = flag_value(args, "--session").unwrap_or(fairank_service::DEFAULT_SESSION);
+    let stream_replies = args.iter().any(|a| a == "--stream");
     let retries = flag_value(args, "--retries")
         .map(|raw| match raw.parse::<u32>() {
             Ok(n) => n,
@@ -309,10 +340,13 @@ fn connect_mode(args: &[String]) {
         if line.is_empty() {
             continue;
         }
-        let request = Request::in_session(session, line);
+        let mut request = Request::in_session(session, line);
+        if stream_replies {
+            request = request.with_stream();
+        }
         let payload = serde_json::to_string(&request).expect("request serializes");
         let mut attempt: u32 = 0;
-        loop {
+        'attempt: loop {
             if writer
                 .write_all(payload.as_bytes())
                 .and_then(|()| writer.write_all(b"\n"))
@@ -322,20 +356,33 @@ fn connect_mode(args: &[String]) {
                 eprintln!("connection lost");
                 std::process::exit(1);
             }
-            let mut reply_line = String::new();
-            match reader.read_line(&mut reply_line) {
-                Ok(0) => {
-                    eprintln!("server closed the connection");
-                    break 'repl;
+            // One request can produce many frames: any number of
+            // mid-stream `{"chunk": ..}` lines, then the terminal reply.
+            loop {
+                let mut reply_line = String::new();
+                match reader.read_line(&mut reply_line) {
+                    Ok(0) => {
+                        eprintln!("server closed the connection");
+                        break 'repl;
+                    }
+                    Ok(_) => {}
+                    Err(e) => {
+                        eprintln!("connection error: {e}");
+                        std::process::exit(1);
+                    }
                 }
-                Ok(_) => {}
-                Err(e) => {
-                    eprintln!("connection error: {e}");
-                    std::process::exit(1);
-                }
-            }
-            match serde_json::from_str::<Reply>(reply_line.trim()) {
-                Ok(reply) => match reply.into_result() {
+                let reply = match serde_json::from_str::<Frame>(reply_line.trim()) {
+                    Ok(Frame::chunk(stat)) => {
+                        println!("{}", render_chunk(&stat));
+                        continue;
+                    }
+                    Ok(frame) => frame.into_reply().expect("non-chunk frames are terminal"),
+                    Err(e) => {
+                        eprintln!("malformed reply: {e}");
+                        break 'attempt;
+                    }
+                };
+                match reply.into_result() {
                     Ok(Response::Quit) => break 'repl,
                     Ok(response) => println!("{}", present::render(&response)),
                     // Transient refusal: the server is at capacity. Back
@@ -349,13 +396,12 @@ fn connect_mode(args: &[String]) {
                             pause.as_millis()
                         );
                         std::thread::sleep(pause);
-                        continue;
+                        continue 'attempt;
                     }
                     Err(e) => eprintln!("error: {}", e.message),
-                },
-                Err(e) => eprintln!("malformed reply: {e}"),
+                }
+                break 'attempt;
             }
-            break;
         }
     }
 }

@@ -10,12 +10,14 @@
 //!
 //! The points:
 //!
-//! | name         | site                              | effect                       |
-//! |--------------|-----------------------------------|------------------------------|
-//! | `emd-panic`  | `SplitEngine` distance evaluation | panics mid-search            |
-//! | `slow-cell`  | core plan `SearchStrategy::run`   | sleeps before each cell      |
-//! | `drop-conn`  | service reply path                | drops the socket, no reply   |
-//! | `torn-write` | service reply path                | writes half a reply, drops   |
+//! | name            | site                              | effect                       |
+//! |-----------------|-----------------------------------|------------------------------|
+//! | `emd-panic`     | `SplitEngine` distance evaluation | panics mid-search            |
+//! | `slow-cell`     | core plan `SearchStrategy::run`   | sleeps before each cell      |
+//! | `drop-conn`     | service reply path                | drops the socket, no reply   |
+//! | `torn-write`    | service reply path                | writes half a reply, drops   |
+//! | `commit-panic`  | `Session::commit_panel` reduce    | panics mid-commit            |
+//! | `stale-timeout` | disconnect watcher teardown       | leaves `SO_RCVTIMEO` armed   |
 
 use std::time::Duration;
 
@@ -29,9 +31,24 @@ pub const DROP_CONN: &str = "drop-conn";
 /// Write a truncated reply then drop the connection (exercises client
 /// parse robustness and server health after torn writes).
 pub const TORN_WRITE: &str = "torn-write";
+/// Panic inside the scenario reduce's panel commit, while the session
+/// lock is held (exercises poison quarantine on the scenario path).
+pub const COMMIT_PANIC: &str = "commit-panic";
+/// Make the disconnect watcher skip clearing the socket read timeout on
+/// exit (exercises the connection read loop's tolerance of a stale
+/// `SO_RCVTIMEO`).
+pub const STALE_TIMEOUT: &str = "stale-timeout";
 
-/// Every known injection point, in mask-bit order.
-pub const ALL_POINTS: &[&str] = &[EMD_PANIC, SLOW_CELL, DROP_CONN, TORN_WRITE];
+/// Every known injection point, in mask-bit order (append-only: the bit
+/// index is each point's position here).
+pub const ALL_POINTS: &[&str] = &[
+    EMD_PANIC,
+    SLOW_CELL,
+    DROP_CONN,
+    TORN_WRITE,
+    COMMIT_PANIC,
+    STALE_TIMEOUT,
+];
 
 /// How long [`sleep_point`] stalls when its point is armed.
 pub const SLOW_POINT_DELAY: Duration = Duration::from_millis(40);

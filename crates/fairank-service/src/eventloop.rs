@@ -1,0 +1,630 @@
+//! The readiness-based serving front end: one IO thread multiplexes every
+//! connection through the vendored [`polling`] shim (epoll on Linux,
+//! `poll(2)` elsewhere).
+//!
+//! Where the legacy front end spends one parked thread per connection plus
+//! one watcher thread per in-flight request, this loop spends exactly one
+//! thread on IO regardless of connection count. Each connection is a small
+//! state machine:
+//!
+//! ```text
+//! read-accumulate ──(complete line)──▶ dispatch ──(completion)──▶ write-drain
+//!        ▲                                                             │
+//!        └──────────────────(reply flushed, next pipelined line)◀──────┘
+//! ```
+//!
+//! * **read-accumulate** — readable sockets are drained into a per
+//!   connection buffer; a newline completes a request line. EOF or a read
+//!   error here *is* the disconnect signal: the in-flight request's cancel
+//!   token fires with [`CancelReason::Disconnected`] — no probe thread,
+//!   no shared `SO_RCVTIMEO` to corrupt.
+//! * **dispatch** — parsed requests enter a per-session fair queue (the
+//!   same [`FairQueue`] discipline the worker pool uses) drained by a
+//!   small pool of dispatcher threads calling [`dispatch_with`] — the
+//!   identical semantics the threaded front end runs, so replies are
+//!   byte-compatible. One request per connection is in flight at a time;
+//!   pipelined lines wait buffered.
+//! * **write-drain** — completions (and streamed `{"chunk": ..}` lines)
+//!   come back over a channel, are serialized into the connection's write
+//!   buffer, and drain as the socket accepts them; the dispatcher wakes
+//!   the poller through its notify pipe.
+//!
+//! The loop exits when [`Server`]'s stop flag rises; a draining server
+//! refuses new connections and new requests with structured
+//! `shutting_down` replies while still flushing in-flight work.
+
+use std::collections::HashMap;
+use std::io::{ErrorKind, Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::Ordering;
+use std::sync::mpsc::Sender;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use polling::{Event, Poller};
+
+use fairank_core::cancel::{CancelReason, CancelToken, RunBudget};
+use fairank_core::fault;
+use fairank_session::Response;
+
+use crate::pool::WorkerPool;
+use crate::protocol::{Frame, Reply, Request};
+use crate::registry::SessionRegistry;
+use crate::sched::{FairQueue, TryPushError};
+use crate::server::{
+    dispatch_with, send_reply, ChunkSink, DispatchPolicy, RequestContext, ServeState, Server,
+    MAX_REQUEST_BYTES, RETRY_AFTER_MS,
+};
+
+/// The poller key under which the accept listener registers. One below
+/// `usize::MAX`, which the shim reserves for its notify pipe.
+const LISTENER_KEY: usize = usize::MAX - 1;
+
+/// How long one `wait` may block. The poller is woken early by socket
+/// readiness and dispatcher notifies; the tick only bounds how stale the
+/// stop/draining flags can get on a totally idle server.
+const TICK: Duration = Duration::from_millis(100);
+
+/// Requests queued for dispatch across all sessions before further lines
+/// are refused with `overloaded`. Each connection holds at most one
+/// request in flight, so this only binds when thousands of connections
+/// fire simultaneously — it is a memory bound, not a throughput knob.
+const DISPATCH_QUEUE_CAP: usize = 4096;
+
+/// Socket read granularity.
+const READ_CHUNK: usize = 16 * 1024;
+
+/// Stop reading a connection whose unconsumed buffer reaches this size
+/// (a heavily pipelining client); read interest is dropped until the
+/// buffered lines drain, and TCP backpressure holds the rest. Twice the
+/// request cap: one maximal in-progress line plus buffered whole lines.
+const READ_HIGH_WATER: u64 = 2 * MAX_REQUEST_BYTES;
+
+/// One parsed request waiting for (or occupying) a dispatcher.
+struct PendingRequest {
+    conn: usize,
+    session: String,
+    request: Request,
+    budget: RunBudget,
+    draining: bool,
+}
+
+/// What dispatcher threads send back to the IO thread.
+enum Completion {
+    /// A streamed cell-stat line (already serialized), mid-request.
+    Chunk { conn: usize, line: String },
+    /// The request's terminal reply.
+    Reply { conn: usize, reply: Reply },
+}
+
+/// Per-connection state machine.
+struct Conn {
+    key: usize,
+    stream: TcpStream,
+    /// Registration id in [`ServeState::conns`] (shutdown force-close).
+    state_id: Option<u64>,
+    /// Bytes read but not yet consumed as request lines.
+    read_buf: Vec<u8>,
+    /// Serialized reply bytes not yet accepted by the socket.
+    write_buf: Vec<u8>,
+    /// The in-flight request's cancel token (at most one per connection).
+    inflight: Option<CancelToken>,
+    /// The peer closed its write half (EOF seen).
+    peer_eof: bool,
+    /// Close once `write_buf` drains (quit, refusals, torn writes).
+    close_after_drain: bool,
+    /// Interest last registered with the poller, to skip no-op modifies.
+    interest: (bool, bool),
+    /// Whether the fd is currently registered with the poller. Interest
+    /// `(false, false)` deregisters entirely — the epoll backend always
+    /// arms `EPOLLRDHUP`/`EPOLLHUP`, so a merely-muted half-closed peer
+    /// would otherwise ring the level-triggered bell every tick for the
+    /// whole life of its in-flight request.
+    registered: bool,
+}
+
+impl Conn {
+    fn new(key: usize, stream: TcpStream, state_id: Option<u64>) -> Conn {
+        Conn {
+            key,
+            stream,
+            state_id,
+            read_buf: Vec::new(),
+            write_buf: Vec::new(),
+            inflight: None,
+            peer_eof: false,
+            close_after_drain: false,
+            interest: (true, false),
+            registered: false,
+        }
+    }
+
+    /// Serializes one reply line into the write buffer.
+    fn queue_reply(&mut self, reply: &Reply) {
+        if let Ok(text) = serde_json::to_string(reply) {
+            self.write_buf.extend_from_slice(text.as_bytes());
+            self.write_buf.push(b'\n');
+        }
+    }
+}
+
+/// What one round of socket reads produced.
+enum ReadEnd {
+    /// Drained to `WouldBlock`; the peer is still there.
+    Open,
+    /// EOF: the peer closed its write half (buffered bytes retained).
+    Eof,
+    /// Hard error: the connection is gone.
+    Dead,
+}
+
+/// Reads everything currently available into the connection's buffer.
+fn fill_read_buf(conn: &mut Conn) -> ReadEnd {
+    let mut chunk = [0u8; READ_CHUNK];
+    loop {
+        match conn.stream.read(&mut chunk) {
+            Ok(0) => return ReadEnd::Eof,
+            Ok(n) => conn.read_buf.extend_from_slice(&chunk[..n]),
+            Err(e) if e.kind() == ErrorKind::WouldBlock => return ReadEnd::Open,
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => return ReadEnd::Dead,
+        }
+    }
+}
+
+/// Writes as much buffered output as the socket accepts right now.
+fn flush_write(conn: &mut Conn) -> std::io::Result<()> {
+    while !conn.write_buf.is_empty() {
+        match conn.stream.write(&conn.write_buf) {
+            Ok(0) => return Err(ErrorKind::WriteZero.into()),
+            Ok(n) => {
+                conn.write_buf.drain(..n);
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => return Ok(()),
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
+/// Extracts the next complete line (newline included) from the buffer.
+fn take_line(buf: &mut Vec<u8>) -> Option<Vec<u8>> {
+    let end = buf.iter().position(|&b| b == b'\n')?;
+    let rest = buf.split_off(end + 1);
+    Some(std::mem::replace(buf, rest))
+}
+
+/// Runs the event loop on the calling thread until the server's stop flag
+/// rises. Errors are startup-only (poller creation / listener
+/// registration); per-connection failures drop that connection.
+pub(crate) fn run(server: &Server) -> std::io::Result<()> {
+    server.listener.set_nonblocking(true)?;
+    let poller = Arc::new(Poller::new()?);
+    poller.add(&server.listener, Event::readable(LISTENER_KEY))?;
+
+    let queue: Arc<FairQueue<PendingRequest>> = Arc::new(FairQueue::new(
+        DISPATCH_QUEUE_CAP,
+        server.session_queue_cap,
+    ));
+    let (tx, rx) = std::sync::mpsc::channel::<Completion>();
+    let dispatchers: Vec<JoinHandle<()>> = (0..server.dispatchers.max(1))
+        .map(|i| {
+            let queue = Arc::clone(&queue);
+            let tx = tx.clone();
+            let poller = Arc::clone(&poller);
+            let registry = Arc::clone(&server.registry);
+            let pool = Arc::clone(&server.pool);
+            let state = Arc::clone(&server.state);
+            let policy = server.policy;
+            let cap = server.session_inflight_cap;
+            std::thread::Builder::new()
+                .name(format!("fairank-dispatch-{i}"))
+                .spawn(move || dispatcher(&queue, &tx, &poller, &registry, &pool, policy, cap, &state))
+                .expect("spawn dispatcher thread")
+        })
+        .collect();
+    drop(tx); // completions only flow from dispatchers
+
+    let mut lp = EventLoop {
+        server,
+        poller: Arc::clone(&poller),
+        queue: Arc::clone(&queue),
+        conns: HashMap::new(),
+        next_key: 0,
+    };
+    let mut events: Vec<Event> = Vec::new();
+    while !server.stop.load(Ordering::SeqCst) {
+        let _ = poller.wait(&mut events, Some(TICK))?;
+        for completion in rx.try_iter() {
+            lp.apply_completion(completion);
+        }
+        // `wait` hands back its own buffer; take it so event handling can
+        // borrow `lp` mutably.
+        let batch = std::mem::take(&mut events);
+        for event in &batch {
+            if event.key == LISTENER_KEY {
+                lp.accept_ready();
+            } else {
+                lp.conn_event(event.key, event.readable, event.writable);
+            }
+        }
+        events = batch;
+    }
+
+    // Teardown: stop feeding the dispatchers, let them drain what they
+    // already accepted (their completions have nowhere to go and are
+    // dropped), then release every connection.
+    queue.close();
+    for handle in dispatchers {
+        let _ = handle.join();
+    }
+    for (_, conn) in lp.conns.drain() {
+        let _ = poller.delete(&conn.stream);
+        if let Some(id) = conn.state_id {
+            server.state.deregister_conn(id);
+        }
+        if let Some(token) = conn.inflight {
+            token.cancel(CancelReason::Disconnected);
+        }
+    }
+    let _ = poller.delete(&server.listener);
+    Ok(())
+}
+
+/// One dispatcher thread: pops fairly across sessions, runs the shared
+/// dispatch semantics, ships the reply (and any chunk lines) back to the
+/// IO thread, and wakes the poller.
+#[allow(clippy::too_many_arguments)]
+fn dispatcher(
+    queue: &FairQueue<PendingRequest>,
+    completions: &Sender<Completion>,
+    poller: &Arc<Poller>,
+    registry: &SessionRegistry,
+    pool: &WorkerPool,
+    policy: DispatchPolicy,
+    session_inflight_cap: usize,
+    state: &ServeState,
+) {
+    while let Some(pending) = queue.pop() {
+        let PendingRequest {
+            conn,
+            request,
+            budget,
+            draining,
+            ..
+        } = pending;
+        let chunk_sink = if request.wants_stream() {
+            // Chunks ride the same channel as the terminal reply, from
+            // this same thread, so per-sender FIFO ordering guarantees
+            // every chunk lands before the final line.
+            let tx = Mutex::new(completions.clone());
+            let poller = Arc::clone(poller);
+            Some(ChunkSink::new(move |stat| {
+                if let Ok(line) = serde_json::to_string(&Frame::chunk(stat.clone())) {
+                    let sent = tx
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner)
+                        .send(Completion::Chunk { conn, line });
+                    if sent.is_ok() {
+                        let _ = poller.notify();
+                    }
+                }
+            }))
+        } else {
+            None
+        };
+        let ctx = RequestContext {
+            budget,
+            session_inflight_cap,
+            draining,
+            chunk_sink,
+        };
+        state.active_requests.fetch_add(1, Ordering::SeqCst);
+        let reply = dispatch_with(registry, pool, request, policy, &ctx);
+        state.active_requests.fetch_sub(1, Ordering::SeqCst);
+        if completions.send(Completion::Reply { conn, reply }).is_ok() {
+            let _ = poller.notify();
+        }
+    }
+}
+
+struct EventLoop<'a> {
+    server: &'a Server,
+    poller: Arc<Poller>,
+    queue: Arc<FairQueue<PendingRequest>>,
+    conns: HashMap<usize, Conn>,
+    next_key: usize,
+}
+
+impl EventLoop<'_> {
+    fn alloc_key(&mut self) -> usize {
+        // Monotonic, never reused: a stale completion can never be
+        // delivered to a different connection that inherited the key.
+        let key = self.next_key;
+        self.next_key = self.next_key.wrapping_add(1);
+        if self.next_key >= LISTENER_KEY {
+            self.next_key = 0;
+        }
+        key
+    }
+
+    /// Accepts every connection currently pending on the listener.
+    fn accept_ready(&mut self) {
+        loop {
+            match self.server.listener.accept() {
+                Ok((mut stream, _)) => {
+                    if self.server.stop.load(Ordering::SeqCst) {
+                        return; // shutting down; the wake-up connection lands here
+                    }
+                    if self.server.state.draining.load(Ordering::SeqCst) {
+                        // A draining server refuses new connections with a
+                        // structured reason instead of a silent close. The
+                        // reply is one short line into an empty socket
+                        // buffer; the blocking-write window is nil.
+                        let _ = stream.set_nonblocking(false);
+                        send_reply(&mut stream, &Reply::shutting_down());
+                        continue;
+                    }
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    // Request/reply lines are small; without this Nagle's
+                    // algorithm + delayed ACK adds ~40 ms to every reply.
+                    let _ = stream.set_nodelay(true);
+                    let key = self.alloc_key();
+                    let state_id = self.server.state.register_conn(&stream);
+                    let mut conn = Conn::new(key, stream, state_id);
+                    match self.poller.add(&conn.stream, Event::readable(key)) {
+                        Ok(()) => {
+                            conn.registered = true;
+                            self.conns.insert(key, conn);
+                        }
+                        Err(_) => self.drop_conn(conn),
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(_) => return,
+            }
+        }
+    }
+
+    /// Handles readiness on one connection.
+    fn conn_event(&mut self, key: usize, readable: bool, writable: bool) {
+        let Some(mut conn) = self.conns.remove(&key) else {
+            return; // already closed this tick
+        };
+        let mut alive = true;
+        if readable && !conn.peer_eof {
+            match fill_read_buf(&mut conn) {
+                ReadEnd::Open => {}
+                ReadEnd::Eof => {
+                    conn.peer_eof = true;
+                    // Disconnect detection, the event-loop way: EOF is a
+                    // readiness event, and an abandoned in-flight request
+                    // stops burning workers via its cancel token.
+                    if let Some(token) = &conn.inflight {
+                        token.cancel(CancelReason::Disconnected);
+                    }
+                }
+                ReadEnd::Dead => alive = false,
+            }
+        }
+        if alive {
+            self.process_lines(&mut conn);
+        }
+        let _ = writable; // settle() always attempts the flush
+        self.settle(conn, alive);
+    }
+
+    /// Applies one dispatcher completion to its connection.
+    fn apply_completion(&mut self, completion: Completion) {
+        match completion {
+            Completion::Chunk { conn: key, line } => {
+                let Some(mut conn) = self.conns.remove(&key) else {
+                    return; // client vanished mid-stream
+                };
+                conn.write_buf.extend_from_slice(line.as_bytes());
+                conn.write_buf.push(b'\n');
+                self.settle(conn, true);
+            }
+            Completion::Reply { conn: key, reply } => {
+                let Some(mut conn) = self.conns.remove(&key) else {
+                    return;
+                };
+                conn.inflight = None;
+                // Fault injection (debug builds only; `fault::active` is a
+                // constant `false` in release, so the branches compile
+                // away). Mirrors the threaded reply path exactly.
+                if fault::active(fault::DROP_CONN) {
+                    self.drop_conn(conn); // vanish without a reply
+                    return;
+                }
+                if fault::active(fault::TORN_WRITE) {
+                    if let Ok(text) = serde_json::to_string(&reply) {
+                        let half = text.len() / 2;
+                        conn.write_buf.extend_from_slice(&text.as_bytes()[..half]);
+                    }
+                    conn.close_after_drain = true;
+                    self.settle(conn, true);
+                    return;
+                }
+                if matches!(reply, Reply::ok(Response::Quit)) {
+                    // `quit` ends the connection, not the server.
+                    conn.close_after_drain = true;
+                }
+                conn.queue_reply(&reply);
+                if !conn.close_after_drain {
+                    // The reply is decided; a pipelined next request may
+                    // dispatch now.
+                    self.process_lines(&mut conn);
+                }
+                self.settle(conn, true);
+            }
+        }
+    }
+
+    /// Consumes complete request lines while the connection has no request
+    /// in flight, enqueueing at most one for dispatch.
+    fn process_lines(&mut self, conn: &mut Conn) {
+        while conn.inflight.is_none() && !conn.close_after_drain {
+            match take_line(&mut conn.read_buf) {
+                Some(line) => {
+                    if line.len() as u64 > MAX_REQUEST_BYTES {
+                        conn.queue_reply(&Reply::request_too_large(MAX_REQUEST_BYTES));
+                        conn.close_after_drain = true;
+                        return;
+                    }
+                    self.handle_line(conn, &line);
+                }
+                None => {
+                    if conn.read_buf.len() as u64 >= MAX_REQUEST_BYTES {
+                        // A line still growing past the cap: refuse now,
+                        // close once the refusal drains (the rest of the
+                        // line cannot be resynchronized).
+                        conn.queue_reply(&Reply::request_too_large(MAX_REQUEST_BYTES));
+                        conn.close_after_drain = true;
+                        conn.read_buf.clear();
+                    } else if conn.peer_eof && !conn.read_buf.is_empty() {
+                        // EOF mid-line: process the unterminated trailing
+                        // request, as the threaded reader does.
+                        let line = std::mem::take(&mut conn.read_buf);
+                        self.handle_line(conn, &line);
+                    }
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Parses one request line and routes it to the dispatch queue (or
+    /// answers it straight from the IO thread for protocol errors and
+    /// refusals).
+    fn handle_line(&mut self, conn: &mut Conn, raw: &[u8]) {
+        let Ok(text) = std::str::from_utf8(raw) else {
+            conn.queue_reply(&Reply::protocol_error("request line is not valid UTF-8"));
+            conn.close_after_drain = true;
+            return;
+        };
+        let line = text.trim();
+        if line.is_empty() {
+            return;
+        }
+        let request = match serde_json::from_str::<Request>(line) {
+            Ok(request) => request,
+            Err(e) => {
+                conn.queue_reply(&Reply::protocol_error(format!("malformed request: {e}")));
+                return;
+            }
+        };
+        // Assemble the request's cancellation scope: deadline (when
+        // configured), a per-request token the EOF path fires, and the
+        // server's shutdown token.
+        let token = CancelToken::new();
+        let mut budget = RunBudget::unlimited()
+            .with_token(token.clone())
+            .with_token(self.server.state.shutdown_token.clone());
+        if let Some(timeout) = self.server.request_timeout {
+            budget = budget.with_timeout(timeout);
+        }
+        let pending = PendingRequest {
+            conn: conn.key,
+            session: request.session_name().to_string(),
+            request,
+            budget,
+            draining: self.server.state.draining.load(Ordering::SeqCst),
+        };
+        let session = pending.session.clone();
+        match self.queue.try_push(&session, pending) {
+            Ok(()) => {
+                if conn.peer_eof {
+                    // The peer already hung up; don't let the request
+                    // burn compute nobody will read.
+                    token.cancel(CancelReason::Disconnected);
+                }
+                conn.inflight = Some(token);
+            }
+            // The dispatch stage is saturated (globally, or this session's
+            // slice of it): structured backpressure, connection stays up.
+            Err(TryPushError::Full(_)) => {
+                conn.queue_reply(&Reply::overloaded(
+                    format!("dispatch queue is full for session {session:?}"),
+                    RETRY_AFTER_MS,
+                ));
+            }
+            Err(TryPushError::Closed(_)) => {
+                conn.queue_reply(&Reply::shutting_down());
+                conn.close_after_drain = true;
+            }
+        }
+    }
+
+    /// Common epilogue: opportunistically flush, decide whether the
+    /// connection lives on, and (re)register poller interest.
+    fn settle(&mut self, mut conn: Conn, mut alive: bool) {
+        if alive && !conn.write_buf.is_empty() && flush_write(&mut conn).is_err() {
+            alive = false;
+        }
+        if alive && conn.write_buf.is_empty() {
+            if conn.close_after_drain {
+                alive = false;
+            } else if conn.peer_eof && conn.inflight.is_none() {
+                // Nothing buffered, nothing running, peer gone: done.
+                // (Any trailing unterminated line was handled when EOF
+                // was observed.)
+                alive = false;
+            }
+        }
+        if !alive {
+            self.drop_conn(conn);
+            return;
+        }
+        let interest = (
+            !conn.peer_eof && (conn.read_buf.len() as u64) < READ_HIGH_WATER,
+            !conn.write_buf.is_empty(),
+        );
+        let event = Event {
+            key: conn.key,
+            readable: interest.0,
+            writable: interest.1,
+        };
+        let ok = match (conn.registered, interest) {
+            // Nothing to hear: deregister so the always-armed hangup
+            // bits can't ring the level-triggered bell every tick.
+            (true, (false, false)) => {
+                conn.registered = false;
+                self.poller.delete(&conn.stream).is_ok()
+            }
+            (false, (false, false)) => true,
+            (false, _) => {
+                conn.registered = true;
+                conn.interest = interest;
+                self.poller.add(&conn.stream, event).is_ok()
+            }
+            (true, _) if interest != conn.interest => {
+                conn.interest = interest;
+                self.poller.modify(&conn.stream, event).is_ok()
+            }
+            (true, _) => true,
+        };
+        if !ok {
+            self.drop_conn(conn);
+            return;
+        }
+        self.conns.insert(conn.key, conn);
+    }
+
+    /// Releases a connection: poller registration, shutdown bookkeeping,
+    /// and any in-flight compute (cancelled as disconnected).
+    fn drop_conn(&mut self, conn: Conn) {
+        let _ = self.poller.delete(&conn.stream);
+        if let Some(id) = conn.state_id {
+            self.server.state.deregister_conn(id);
+        }
+        if let Some(token) = conn.inflight {
+            token.cancel(CancelReason::Disconnected);
+        }
+    }
+}

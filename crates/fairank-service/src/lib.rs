@@ -10,34 +10,49 @@
 //!   behind `RwLock<HashMap<_, Arc<Mutex<_>>>>`, with create / attach /
 //!   detach / evict, per-entry last-use tracking, and idle-TTL expiry
 //!   (`serve --session-ttl`).
+//! * [`sched`] — per-key fair queueing ([`sched::FairQueue`]): bounded
+//!   FIFOs per session drained round-robin, the scheduling core under
+//!   both the worker pool and the event loop's dispatch stage.
 //! * [`pool`] — a bounded worker pool that caps how many quantify-class
 //!   (CPU-bound) requests run at once, independent of connection count.
-//!   Scenario plans fan out through [`pool::WorkerPool::run_batch`]: an
-//!   N-cell grid saturates all workers instead of occupying one slot.
+//!   Jobs are tagged by session and drained fairly; scenario plans fan
+//!   out through [`pool::WorkerPool::run_batch_tagged`], so an N-cell
+//!   grid saturates all workers without starving other sessions.
 //! * [`protocol`] — the JSON-lines wire format: one request per line
 //!   (`{"session": .., "command": ..}` — or `{"session": .., "scenario":
 //!   <spec>}` for structured scenario plans), one reply per line
 //!   (`{"ok": Response}` / `{"err": {"kind", "message"}}`). Commands use
 //!   the *exact* REPL syntax (`Command::parse`), so any transcript that
-//!   works in the CLI works over the wire. Oversized request lines are
+//!   works in the CLI works over the wire. Scenario requests may set
+//!   `"stream": true` to receive one `{"chunk": CellStat}` line per
+//!   finished cell before the final reply. Oversized request lines are
 //!   refused with the structured `request_too_large` kind before the
 //!   connection closes.
-//! * [`server`] — the TCP front end: `std::net` only, thread per
-//!   connection, heavy requests routed through the pool; registry admin
-//!   (`sessions` / `evict`) is served at the dispatch layer behind
-//!   `serve --admin`.
+//! * [`eventloop`] — the default TCP front end: a readiness-based event
+//!   loop (vendored `polling` shim: epoll on Linux, `poll(2)` fallback)
+//!   drives every connection's read-accumulate → dispatch → write-drain
+//!   state machine on one thread; a small dispatcher pool executes the
+//!   requests. Client disconnects are readiness events (EOF), so
+//!   abandoned compute is cancelled without a watcher thread per request.
+//! * [`server`] — configuration, dispatch semantics, and the legacy
+//!   thread-per-connection front end (`serve --threaded`), kept as the
+//!   byte-compatibility baseline the load harness diffs the event loop
+//!   against; registry admin (`sessions` / `evict`) is served at the
+//!   dispatch layer behind `serve --admin`.
 //!
 //! [`Session`]: fairank_session::Session
 
+pub mod eventloop;
 pub mod pool;
 pub mod protocol;
 pub mod registry;
+pub mod sched;
 pub mod server;
 
 pub use pool::{PoolFull, WorkerPool};
-pub use protocol::{Reply, Request, DEFAULT_SESSION};
+pub use protocol::{Frame, Reply, Request, DEFAULT_SESSION};
 pub use registry::{RegistryError, SessionLease, SessionRegistry};
 pub use server::{
-    dispatch, dispatch_with, DispatchPolicy, RequestContext, Server, ServerConfig,
-    ServerHandle, MAX_REQUEST_BYTES, RETRY_AFTER_MS,
+    dispatch, dispatch_with, ChunkSink, DispatchPolicy, RequestContext, Server,
+    ServerConfig, ServerHandle, MAX_REQUEST_BYTES, RETRY_AFTER_MS,
 };

@@ -1,24 +1,35 @@
-//! A bounded worker pool for CPU-bound requests.
+//! A bounded worker pool for CPU-bound requests, drained fairly per
+//! session.
 //!
-//! The server spawns one thread per connection (cheap: they mostly block
-//! on socket reads), but quantify-class commands are CPU-bound searches;
-//! running one per connection would let N clients oversubscribe the host
-//! N-fold. The pool caps concurrent heavy work at a fixed number of worker
-//! threads, with a bounded submission queue providing backpressure: when
-//! every worker is busy and the queue is full, `run` blocks the submitting
-//! connection thread — the client simply observes a slower reply.
+//! Quantify-class commands are CPU-bound searches; running one per
+//! connection would let N clients oversubscribe the host N-fold. The pool
+//! caps concurrent heavy work at a fixed number of worker threads, with a
+//! bounded submission queue providing backpressure: when every worker is
+//! busy and the queue is full, `run` blocks the submitter — the client
+//! simply observes a slower reply.
+//!
+//! Jobs are *tagged* (by session name, at the dispatch layer) and the
+//! queue is a per-tag round-robin ([`crate::sched::FairQueue`]): one
+//! session fanning a 64-cell grid no longer queues ahead of every other
+//! session's single command. Untagged submissions share one default tag
+//! and behave like a plain FIFO among themselves.
 
 use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc::{Receiver, SyncSender};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::thread::JoinHandle;
+
+use crate::sched::{FairQueue, TryPushError};
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
-/// Admission refused: every worker is busy and the pending queue is full.
+/// Admission refused: the pending queue (global, or the tag's own slice
+/// of it) is full.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PoolFull;
+
+/// The tag under which untagged submissions queue.
+const DEFAULT_TAG: &str = "";
 
 /// Source of unique pool ids (see [`CURRENT_POOL`]).
 static NEXT_POOL_ID: AtomicU64 = AtomicU64::new(0);
@@ -33,10 +44,11 @@ thread_local! {
     static CURRENT_POOL: Cell<Option<u64>> = const { Cell::new(None) };
 }
 
-/// A fixed-size pool of worker threads consuming a bounded job queue.
+/// A fixed-size pool of worker threads consuming a bounded, per-tag-fair
+/// job queue.
 pub struct WorkerPool {
     id: u64,
-    sender: Option<SyncSender<Job>>,
+    queue: Arc<FairQueue<Job>>,
     workers: Vec<JoinHandle<()>>,
 }
 
@@ -50,27 +62,39 @@ impl std::fmt::Debug for WorkerPool {
 
 impl WorkerPool {
     /// A pool of `workers` threads with a queue bounded at `queue_depth`
-    /// pending jobs (both floored at 1).
+    /// pending jobs (both floored at 1) and no per-tag cap.
     pub fn new(workers: usize, queue_depth: usize) -> Self {
+        Self::with_caps(workers, queue_depth, 0)
+    }
+
+    /// Like [`WorkerPool::new`] plus a per-tag pending-job cap
+    /// (`session_queue_cap`; 0 = unbounded per tag). Non-blocking
+    /// submissions against a tag at its cap are refused with [`PoolFull`]
+    /// even while the global queue has room — one session cannot consume
+    /// the whole backlog budget.
+    pub fn with_caps(workers: usize, queue_depth: usize, session_queue_cap: usize) -> Self {
         let workers = workers.max(1);
         let id = NEXT_POOL_ID.fetch_add(1, Ordering::Relaxed);
-        let (sender, receiver) = std::sync::mpsc::sync_channel::<Job>(queue_depth.max(1));
-        let receiver = Arc::new(Mutex::new(receiver));
+        let queue = Arc::new(FairQueue::new(queue_depth.max(1), session_queue_cap));
         let handles = (0..workers)
             .map(|i| {
-                let receiver = Arc::clone(&receiver);
+                let queue = Arc::clone(&queue);
                 std::thread::Builder::new()
                     .name(format!("fairank-worker-{i}"))
                     .spawn(move || {
                         CURRENT_POOL.set(Some(id));
-                        worker_loop(&receiver);
+                        // Contain job panics: the worker must outlive any
+                        // single request.
+                        while let Some(job) = queue.pop() {
+                            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+                        }
                     })
                     .expect("spawn worker thread")
             })
             .collect();
         WorkerPool {
             id,
-            sender: Some(sender),
+            queue,
             workers: handles,
         }
     }
@@ -88,7 +112,7 @@ impl WorkerPool {
     }
 
     /// The host-sized worker count: one per available core, minus one for
-    /// the accept/connection threads.
+    /// the event-loop/accept threads.
     pub fn default_workers() -> usize {
         let cores = std::thread::available_parallelism()
             .map(std::num::NonZeroUsize::get)
@@ -108,15 +132,26 @@ impl WorkerPool {
         self.workers.len()
     }
 
-    /// Non-blocking admission: runs `job` like [`WorkerPool::run`] but
-    /// refuses instead of blocking when every worker is busy *and* the
-    /// pending queue is full. The refusal is the server's backpressure
-    /// signal — the dispatch layer turns it into a structured `overloaded`
-    /// reply with a retry hint rather than silently queueing the caller.
+    /// Non-blocking admission under the default tag (see
+    /// [`WorkerPool::try_run_tagged`]).
+    pub fn try_run<T, F>(&self, job: F) -> Result<Option<T>, PoolFull>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        self.try_run_tagged(DEFAULT_TAG, job)
+    }
+
+    /// Non-blocking admission: runs `job` like [`WorkerPool::run_tagged`]
+    /// but refuses instead of blocking when the queue (global or the
+    /// tag's cap) is full. The refusal is the server's backpressure
+    /// signal — the dispatch layer turns it into a structured
+    /// `overloaded` reply with a retry hint rather than silently queueing
+    /// the caller.
     ///
     /// A job submitting to its own pool still runs inline (a busy worker
     /// asking itself for capacity must neither deadlock nor be refused).
-    pub fn try_run<T, F>(&self, job: F) -> Result<Option<T>, PoolFull>
+    pub fn try_run_tagged<T, F>(&self, tag: &str, job: F) -> Result<Option<T>, PoolFull>
     where
         T: Send + 'static,
         F: FnOnce() -> T + Send + 'static,
@@ -125,16 +160,27 @@ impl WorkerPool {
             return Ok(Self::run_inline(job));
         }
         let (tx, rx) = std::sync::mpsc::sync_channel::<T>(1);
-        let sender = self.sender.as_ref().expect("pool is live until dropped");
-        match sender.try_send(Box::new(move || {
-            let _ = tx.send(job());
-        })) {
+        match self.queue.try_push(
+            tag,
+            Box::new(move || {
+                let _ = tx.send(job());
+            }),
+        ) {
             Ok(()) => Ok(rx.recv().ok()),
-            Err(std::sync::mpsc::TrySendError::Full(_)) => Err(PoolFull),
+            Err(TryPushError::Full(_)) => Err(PoolFull),
             // Workers gone means the pool is tearing down; treat it as
             // "no capacity" rather than panicking mid-shutdown.
-            Err(std::sync::mpsc::TrySendError::Disconnected(_)) => Err(PoolFull),
+            Err(TryPushError::Closed(_)) => Err(PoolFull),
         }
+    }
+
+    /// [`WorkerPool::run_tagged`] under the default tag.
+    pub fn run<T, F>(&self, job: F) -> Option<T>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        self.run_tagged(DEFAULT_TAG, job)
     }
 
     /// Runs `job` on a pool worker and blocks until it finishes, returning
@@ -147,7 +193,7 @@ impl WorkerPool {
     /// enqueueing would deadlock once every worker blocks on a nested
     /// result no peer is free to compute, and running nested work on the
     /// already-occupied worker keeps the concurrency cap intact.
-    pub fn run<T, F>(&self, job: F) -> Option<T>
+    pub fn run_tagged<T, F>(&self, tag: &str, job: F) -> Option<T>
     where
         T: Send + 'static,
         F: FnOnce() -> T + Send + 'static,
@@ -156,32 +202,45 @@ impl WorkerPool {
             return Self::run_inline(job);
         }
         let (tx, rx) = std::sync::mpsc::sync_channel::<T>(1);
-        let sender = self.sender.as_ref().expect("pool is live until dropped");
-        sender
-            .send(Box::new(move || {
-                // A dropped receiver (submitter gone) is fine: the work
-                // still completed; nobody is left to observe it.
-                let _ = tx.send(job());
-            }))
+        self.queue
+            .push(
+                tag,
+                Box::new(move || {
+                    // A dropped receiver (submitter gone) is fine: the work
+                    // still completed; nobody is left to observe it.
+                    let _ = tx.send(job());
+                }),
+            )
             .expect("worker threads outlive the pool handle");
         // A panicking job drops `tx` without sending: recv errors, None.
         rx.recv().ok()
     }
 
-    /// Submits a whole batch of jobs and blocks until all of them finish,
-    /// returning their results in submission order (`None` for jobs that
-    /// panicked). Unlike calling [`WorkerPool::run`] once per job from one
-    /// thread — which would serialize the batch — every job is enqueued
-    /// before any result is awaited, so an N-job batch saturates all
-    /// workers at once. Submission still respects the bounded queue:
-    /// enqueueing blocks while the queue is full, and the already-queued
-    /// jobs drain meanwhile.
+    /// [`WorkerPool::run_batch_tagged`] under the default tag.
+    pub fn run_batch<T, F>(&self, jobs: Vec<F>) -> Vec<Option<T>>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        self.run_batch_tagged(DEFAULT_TAG, jobs)
+    }
+
+    /// Submits a whole batch of jobs under one tag and blocks until all of
+    /// them finish, returning their results in submission order (`None`
+    /// for jobs that panicked). Unlike calling [`WorkerPool::run`] once
+    /// per job from one thread — which would serialize the batch — every
+    /// job is enqueued before any result is awaited, so an N-job batch
+    /// saturates all workers at once. Submission still respects the
+    /// bounds: enqueueing blocks while the queue (or the tag's cap) is
+    /// full, and the already-queued jobs drain meanwhile — which is
+    /// exactly how a grid bigger than `session_queue_cap` stays bounded
+    /// without deadlocking.
     ///
     /// Like [`WorkerPool::run`], a batch submitted from one of this pool's
     /// own workers runs inline (sequentially) on that worker instead of
     /// being enqueued — nested submission must never deadlock a fully-busy
     /// pool.
-    pub fn run_batch<T, F>(&self, jobs: Vec<F>) -> Vec<Option<T>>
+    pub fn run_batch_tagged<T, F>(&self, tag: &str, jobs: Vec<F>) -> Vec<Option<T>>
     where
         T: Send + 'static,
         F: FnOnce() -> T + Send + 'static,
@@ -189,15 +248,17 @@ impl WorkerPool {
         if self.on_own_worker() {
             return jobs.into_iter().map(|job| Self::run_inline(job)).collect();
         }
-        let sender = self.sender.as_ref().expect("pool is live until dropped");
         let receivers: Vec<_> = jobs
             .into_iter()
             .map(|job| {
                 let (tx, rx) = std::sync::mpsc::sync_channel::<T>(1);
-                sender
-                    .send(Box::new(move || {
-                        let _ = tx.send(job());
-                    }))
+                self.queue
+                    .push(
+                        tag,
+                        Box::new(move || {
+                            let _ = tx.send(job());
+                        }),
+                    )
                     .expect("worker threads outlive the pool handle");
                 rx
             })
@@ -206,28 +267,12 @@ impl WorkerPool {
     }
 }
 
-fn worker_loop(receiver: &Mutex<Receiver<Job>>) {
-    loop {
-        // Hold the lock only to pull the next job, never while running it.
-        // A job that panicked while holding the lock poisons only the
-        // queue handoff, not any session state; recover the guard.
-        let job = match receiver
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .recv()
-        {
-            Ok(job) => job,
-            Err(_) => return, // pool dropped: no more jobs will arrive
-        };
-        // Contain job panics: the worker must outlive any single request.
-        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
-    }
-}
-
 impl Drop for WorkerPool {
     fn drop(&mut self) {
-        // Closing the channel wakes every idle worker with RecvError.
-        self.sender.take();
+        // Closing the queue wakes every idle worker; already-accepted
+        // jobs still drain first (their submitters may be blocked on
+        // results).
+        self.queue.close();
         for handle in self.workers.drain(..) {
             let _ = handle.join();
         }
@@ -238,6 +283,7 @@ impl Drop for WorkerPool {
 mod tests {
     use super::*;
     use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Arc, Mutex};
 
     #[test]
     fn runs_jobs_and_returns_results() {
@@ -357,5 +403,125 @@ mod tests {
     fn host_sizing_is_sane() {
         let pool = WorkerPool::sized_for_host();
         assert!(pool.workers() >= 1);
+    }
+
+    #[test]
+    fn sessions_share_the_single_worker_round_robin() {
+        // One worker, session "a" floods it with a 4-job batch, then
+        // session "b" submits one job while a's first job is still
+        // running. Round-robin draining must interleave b's job right
+        // after a's next one instead of parking it behind the whole
+        // batch (the old FIFO behavior).
+        let pool = Arc::new(WorkerPool::new(1, 16));
+        let completions: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
+        let (started_tx, started_rx) = std::sync::mpsc::channel::<()>();
+        let (release_tx, release_rx) = std::sync::mpsc::channel::<()>();
+
+        let batch_thread = {
+            let pool = Arc::clone(&pool);
+            let completions = Arc::clone(&completions);
+            std::thread::spawn(move || {
+                let mut gate_rx = Some(release_rx);
+                let jobs: Vec<Box<dyn FnOnce() + Send>> = (0..4)
+                    .map(|i| {
+                        let completions = Arc::clone(&completions);
+                        let started_tx = started_tx.clone();
+                        let release_rx = gate_rx.take().map(std::sync::Mutex::new);
+                        let job: Box<dyn FnOnce() + Send> = Box::new(move || {
+                            if let Some(gate) = release_rx {
+                                // First job: park the lone worker until the
+                                // test has staged the competing session.
+                                let _ = started_tx.send(());
+                                let _ = gate.lock().unwrap().recv();
+                            }
+                            completions.lock().unwrap().push(format!("a{i}"));
+                        });
+                        job
+                    })
+                    .collect();
+                pool.run_batch_tagged("a", jobs);
+            })
+        };
+        // Wait for a's first job to occupy the worker; a2..a4 are queued
+        // within microseconds after (run_batch enqueues before awaiting).
+        started_rx
+            .recv_timeout(std::time::Duration::from_secs(10))
+            .expect("first batch job started");
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        let b_thread = {
+            let pool = Arc::clone(&pool);
+            let completions = Arc::clone(&completions);
+            std::thread::spawn(move || {
+                pool.run_tagged("b", move || {
+                    completions.lock().unwrap().push("b0".into());
+                });
+            })
+        };
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        release_tx.send(()).unwrap();
+        batch_thread.join().unwrap();
+        b_thread.join().unwrap();
+
+        let order = completions.lock().unwrap().clone();
+        let pos = |name: &str| order.iter().position(|c| c == name).unwrap();
+        // Round-robin: after the parked a0 finishes, the worker alternates
+        // a,b — so b0 lands second or third, never behind the whole batch.
+        assert!(
+            pos("b0") <= 2,
+            "session b's single job waited out session a's whole batch: {order:?}"
+        );
+        assert!(pos("b0") < pos("a3"), "no interleaving happened: {order:?}");
+    }
+
+    #[test]
+    fn per_session_queue_cap_refuses_the_flooding_session_only() {
+        let pool = Arc::new(WorkerPool::with_caps(1, 16, 1));
+        // Park the lone worker on an unrelated tag so submissions queue.
+        let (release_tx, release_rx) = std::sync::mpsc::channel::<()>();
+        let (started_tx, started_rx) = std::sync::mpsc::channel::<()>();
+        let parked = {
+            let pool = Arc::clone(&pool);
+            std::thread::spawn(move || {
+                pool.run_tagged("parked", move || {
+                    let _ = started_tx.send(());
+                    let _ = release_rx.recv();
+                });
+            })
+        };
+        started_rx
+            .recv_timeout(std::time::Duration::from_secs(10))
+            .unwrap();
+        // One pending job per session fits the cap...
+        let (a_tx, a_rx) = std::sync::mpsc::channel::<i32>();
+        let a_pending = {
+            let pool = Arc::clone(&pool);
+            std::thread::spawn(move || {
+                pool.try_run_tagged("a", move || {
+                    let _ = a_tx.send(1);
+                })
+            })
+        };
+        // Give the pending submission time to enqueue (it blocks on the
+        // result, so we can't join it yet).
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        // ...a second pending job for the same session is refused...
+        assert_eq!(pool.try_run_tagged("a", || 2), Err(PoolFull));
+        // ...while another session still gets in (global queue has room).
+        let (b_tx, b_rx) = std::sync::mpsc::channel::<i32>();
+        let b_pending = {
+            let pool = Arc::clone(&pool);
+            std::thread::spawn(move || {
+                pool.try_run_tagged("b", move || {
+                    let _ = b_tx.send(2);
+                })
+            })
+        };
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        release_tx.send(()).unwrap();
+        assert!(a_pending.join().unwrap().is_ok());
+        assert!(b_pending.join().unwrap().is_ok());
+        assert_eq!(a_rx.recv_timeout(std::time::Duration::from_secs(10)), Ok(1));
+        assert_eq!(b_rx.recv_timeout(std::time::Duration::from_secs(10)), Ok(2));
+        parked.join().unwrap();
     }
 }

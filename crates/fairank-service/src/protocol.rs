@@ -16,8 +16,26 @@
 //! Successful replies carry the externally tagged
 //! [`fairank_session::Response`] payload, so clients switch on the variant
 //! name instead of scraping strings.
+//!
+//! ## Streaming scenario replies
+//!
+//! A scenario request may opt into chunked replies with `"stream": true`:
+//!
+//! ```text
+//! → {"session": "a", "scenario": {..}, "stream": true}
+//! ← {"chunk": {"label": "cell 0", "elapsed_us": 41, ...}}
+//! ← {"chunk": {"label": "cell 1", "elapsed_us": 38, ...}}
+//! ← {"ok": {"Scenario": {..final report..}}}
+//! ```
+//!
+//! Each `{"chunk": CellStat}` line ships the moment its plan cell
+//! finishes; the terminal line is the ordinary `ok`/`err` reply and is
+//! byte-identical to what the same request returns without streaming.
+//! Clients that never set `stream` never see a chunk line, so the
+//! extension is opt-in and wire-compatible. [`Frame`] parses any reply
+//! line — chunk or terminal — into one enum for streaming clients.
 
-use fairank_session::{ErrorResponse, Response, ScenarioSpec, SessionError};
+use fairank_session::{CellStat, ErrorResponse, Response, ScenarioSpec, SessionError};
 use serde::{Deserialize, Serialize};
 
 /// The session name used when a request does not specify one.
@@ -37,6 +55,10 @@ pub struct Request {
     /// A structured scenario plan to run; takes precedence over
     /// `command`.
     pub scenario: Option<ScenarioSpec>,
+    /// Opt into chunked scenario replies: one `{"chunk": CellStat}` line
+    /// per finished cell before the terminal `ok`/`err` line. Absent (the
+    /// pre-streaming wire shape) and `null` both mean "no chunks".
+    pub stream: Option<bool>,
 }
 
 impl Request {
@@ -46,6 +68,7 @@ impl Request {
             session: None,
             command: Some(command.into()),
             scenario: None,
+            stream: None,
         }
     }
 
@@ -55,6 +78,7 @@ impl Request {
             session: Some(session.into()),
             command: Some(command.into()),
             scenario: None,
+            stream: None,
         }
     }
 
@@ -64,7 +88,19 @@ impl Request {
             session: Some(session.into()),
             command: None,
             scenario: Some(spec),
+            stream: None,
         }
+    }
+
+    /// The same request with chunked scenario replies switched on.
+    pub fn with_stream(mut self) -> Self {
+        self.stream = Some(true);
+        self
+    }
+
+    /// Whether the client asked for chunked scenario replies.
+    pub fn wants_stream(&self) -> bool {
+        self.stream == Some(true)
     }
 
     /// The effective session name.
@@ -171,6 +207,49 @@ impl Reply {
     }
 }
 
+/// Any single reply line of a streamed exchange: a mid-stream
+/// `{"chunk": CellStat}` progress line or the terminal `ok`/`err` reply.
+///
+/// Non-streamed exchanges only ever produce the terminal variants, so a
+/// client can parse every server line as a `Frame` regardless of whether
+/// it requested streaming. As with [`Reply`], the lowercase variant names
+/// map straight onto the wire keys through serde's externally tagged
+/// representation.
+#[allow(non_camel_case_types)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Frame {
+    /// One finished plan cell's statistics, shipped mid-stream.
+    chunk(CellStat),
+    /// The terminal success reply.
+    ok(Response),
+    /// The terminal failure reply.
+    err(ErrorResponse),
+}
+
+impl Frame {
+    /// Wraps a terminal [`Reply`] as a frame.
+    pub fn from_reply(reply: Reply) -> Self {
+        match reply {
+            Reply::ok(response) => Frame::ok(response),
+            Reply::err(e) => Frame::err(e),
+        }
+    }
+
+    /// The terminal reply, if this frame is one (`None` for chunks).
+    pub fn into_reply(self) -> Option<Reply> {
+        match self {
+            Frame::chunk(_) => None,
+            Frame::ok(response) => Some(Reply::ok(response)),
+            Frame::err(e) => Some(Reply::err(e)),
+        }
+    }
+
+    /// Whether this frame is a mid-stream chunk (more lines follow).
+    pub fn is_chunk(&self) -> bool {
+        matches!(self, Frame::chunk(_))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -196,6 +275,56 @@ mod tests {
         let back: Request = serde_json::from_str(r#"{"command": "help"}"#).unwrap();
         assert_eq!(back.session, None);
         assert_eq!(back.command_text(), "help");
+    }
+
+    #[test]
+    fn requests_without_a_stream_field_parse_and_do_not_stream() {
+        // Byte compatibility: every pre-streaming request shape (no
+        // `stream` key at all) still parses, and means "no chunks".
+        let back: Request = serde_json::from_str(r#"{"command": "help"}"#).unwrap();
+        assert_eq!(back.stream, None);
+        assert!(!back.wants_stream());
+        // Explicit false and null also mean no streaming.
+        let back: Request =
+            serde_json::from_str(r#"{"command": "help", "stream": false}"#).unwrap();
+        assert!(!back.wants_stream());
+        let back: Request =
+            serde_json::from_str(r#"{"command": "help", "stream": null}"#).unwrap();
+        assert!(!back.wants_stream());
+        // The builder arms it and it round-trips.
+        let request = Request::new("help").with_stream();
+        assert!(request.wants_stream());
+        let round: Request =
+            serde_json::from_str(&serde_json::to_string(&request).unwrap()).unwrap();
+        assert!(round.wants_stream());
+    }
+
+    #[test]
+    fn chunk_frames_round_trip_and_terminal_frames_match_replies() {
+        let stat = CellStat {
+            label: "grid pop×f".into(),
+            ..Default::default()
+        };
+        let frame = Frame::chunk(stat.clone());
+        let json = serde_json::to_string(&frame).unwrap();
+        assert!(json.starts_with(r#"{"chunk":"#), "{json}");
+        let back: Frame = serde_json::from_str(&json).unwrap();
+        assert!(back.is_chunk());
+        assert_eq!(back, frame);
+        assert_eq!(back.into_reply(), None, "chunks are not terminal");
+
+        // Every plain Reply line parses as a terminal Frame too, so a
+        // streaming client can read both streamed and unstreamed servers.
+        for reply in [
+            Reply::ok(Response::Help),
+            Reply::session_poisoned("audit-1"),
+        ] {
+            let json = serde_json::to_string(&reply).unwrap();
+            let frame: Frame = serde_json::from_str(&json).unwrap();
+            assert!(!frame.is_chunk());
+            assert_eq!(frame.clone().into_reply(), Some(reply.clone()));
+            assert_eq!(Frame::from_reply(reply), frame);
+        }
     }
 
     #[test]

@@ -1,0 +1,312 @@
+//! Per-key fair queueing.
+//!
+//! [`FairQueue`] is the scheduling core shared by the [`WorkerPool`]
+//! (compute jobs keyed by session) and the event loop's dispatch stage
+//! (parsed requests keyed by session): items are held in one bounded
+//! FIFO *per key*, and consumers drain the keys round-robin — one item
+//! from the next key with pending work, then that key rotates to the
+//! back. A session that enqueues a 64-cell grid no longer makes every
+//! other session wait behind all 64 cells; interleaved sessions observe
+//! latency proportional to *their own* backlog plus one item per busy
+//! peer.
+//!
+//! Two caps bound memory and queueing delay:
+//!
+//! * a **global cap** on items across all keys (the old `queue_depth`
+//!   backpressure), and
+//! * a **per-key cap** (`serve --session-queue-cap`) so one key cannot
+//!   consume the whole global budget before round-robin even matters.
+//!
+//! Blocking producers ([`FairQueue::push`]) wait for space; non-blocking
+//! producers ([`FairQueue::try_push`]) get the item back with a reason,
+//! which the dispatch layer turns into a structured `overloaded` reply.
+//!
+//! [`WorkerPool`]: crate::pool::WorkerPool
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Condvar, Mutex};
+
+/// Why [`FairQueue::try_push`] refused an item (the item rides back).
+#[derive(Debug)]
+pub enum TryPushError<T> {
+    /// The global cap or the key's cap is exhausted.
+    Full(T),
+    /// The queue was closed; no consumer will ever take the item.
+    Closed(T),
+}
+
+/// The queue was closed while a producer was blocked in [`FairQueue::push`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Closed;
+
+#[derive(Debug)]
+struct State<T> {
+    /// Pending items, one FIFO per key. Invariant: a key is present here
+    /// iff its deque is non-empty, and iff it appears exactly once in
+    /// `order`.
+    queues: HashMap<String, VecDeque<T>>,
+    /// Round-robin rotation of keys with pending work.
+    order: VecDeque<String>,
+    /// Total pending items across all keys.
+    len: usize,
+    closed: bool,
+}
+
+/// A bounded multi-key queue drained fairly (round-robin over keys).
+#[derive(Debug)]
+pub struct FairQueue<T> {
+    state: Mutex<State<T>>,
+    /// Signals consumers: an item arrived or the queue closed.
+    ready: Condvar,
+    /// Signals producers: space freed or the queue closed.
+    space: Condvar,
+    global_cap: usize,
+    per_key_cap: usize,
+}
+
+impl<T> FairQueue<T> {
+    /// A queue holding at most `global_cap` items total and `per_key_cap`
+    /// items per key (either 0 = unbounded on that axis).
+    pub fn new(global_cap: usize, per_key_cap: usize) -> Self {
+        FairQueue {
+            state: Mutex::new(State {
+                queues: HashMap::new(),
+                order: VecDeque::new(),
+                len: 0,
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            space: Condvar::new(),
+            global_cap,
+            per_key_cap,
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, State<T>> {
+        // Consumers run items *outside* the lock, so a panicking item
+        // cannot poison queue state; recover the guard regardless.
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    fn has_space(&self, state: &State<T>, key: &str) -> bool {
+        if self.global_cap != 0 && state.len >= self.global_cap {
+            return false;
+        }
+        if self.per_key_cap != 0 {
+            if let Some(queue) = state.queues.get(key) {
+                if queue.len() >= self.per_key_cap {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    fn enqueue(&self, state: &mut State<T>, key: &str, item: T) {
+        match state.queues.get_mut(key) {
+            Some(queue) => queue.push_back(item),
+            None => {
+                state
+                    .queues
+                    .insert(key.to_string(), VecDeque::from([item]));
+                state.order.push_back(key.to_string());
+            }
+        }
+        state.len += 1;
+        self.ready.notify_one();
+    }
+
+    /// Enqueues under `key`, blocking while the queue is at capacity.
+    pub fn push(&self, key: &str, item: T) -> Result<(), Closed> {
+        let mut state = self.lock();
+        while !state.closed && !self.has_space(&state, key) {
+            state = self
+                .space
+                .wait(state)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+        if state.closed {
+            return Err(Closed);
+        }
+        self.enqueue(&mut state, key, item);
+        Ok(())
+    }
+
+    /// Enqueues under `key`, refusing (with the item back) instead of
+    /// blocking when at capacity or closed.
+    pub fn try_push(&self, key: &str, item: T) -> Result<(), TryPushError<T>> {
+        let mut state = self.lock();
+        if state.closed {
+            return Err(TryPushError::Closed(item));
+        }
+        if !self.has_space(&state, key) {
+            return Err(TryPushError::Full(item));
+        }
+        self.enqueue(&mut state, key, item);
+        Ok(())
+    }
+
+    /// Takes the next item, round-robin over keys: one item from the key
+    /// at the front of the rotation, which then moves to the back (or
+    /// leaves the rotation once empty). Blocks while the queue is empty;
+    /// returns `None` only when the queue is closed *and* drained, so
+    /// close is graceful — already-accepted items still run.
+    pub fn pop(&self) -> Option<T> {
+        let mut state = self.lock();
+        loop {
+            if let Some(key) = state.order.pop_front() {
+                let queue = state
+                    .queues
+                    .get_mut(&key)
+                    .expect("order invariant: listed key has a queue");
+                let item = queue.pop_front().expect("order invariant: queue non-empty");
+                if queue.is_empty() {
+                    state.queues.remove(&key);
+                } else {
+                    state.order.push_back(key);
+                }
+                state.len -= 1;
+                // Space freed: wake *all* blocked producers — a per-key-cap
+                // waiter for this key and a global-cap waiter for another
+                // key are both candidates.
+                self.space.notify_all();
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self
+                .ready
+                .wait(state)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    /// Closes the queue: producers fail fast, consumers drain what was
+    /// accepted and then see `None`.
+    pub fn close(&self) {
+        self.lock().closed = true;
+        self.ready.notify_all();
+        self.space.notify_all();
+    }
+
+    /// Total pending items.
+    pub fn len(&self) -> usize {
+        self.lock().len
+    }
+
+    /// Whether nothing is pending.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn drains_round_robin_across_keys() {
+        let queue: FairQueue<i32> = FairQueue::new(0, 0);
+        for i in 0..3 {
+            queue.try_push("a", i).unwrap();
+        }
+        for i in 10..12 {
+            queue.try_push("b", i).unwrap();
+        }
+        queue.try_push("c", 20).unwrap();
+        // Arrival order a,a,a,b,b,c; fair order interleaves keys in
+        // first-seen rotation: a,b,c,a,b,a.
+        let drained: Vec<i32> = (0..6).map(|_| queue.pop().unwrap()).collect();
+        assert_eq!(drained, vec![0, 10, 20, 1, 11, 2]);
+    }
+
+    #[test]
+    fn fifo_within_one_key() {
+        let queue: FairQueue<i32> = FairQueue::new(0, 0);
+        for i in 0..5 {
+            queue.try_push("only", i).unwrap();
+        }
+        let drained: Vec<i32> = (0..5).map(|_| queue.pop().unwrap()).collect();
+        assert_eq!(drained, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn per_key_cap_refuses_only_the_greedy_key() {
+        let queue: FairQueue<i32> = FairQueue::new(0, 2);
+        queue.try_push("greedy", 1).unwrap();
+        queue.try_push("greedy", 2).unwrap();
+        assert!(matches!(
+            queue.try_push("greedy", 3),
+            Err(TryPushError::Full(3))
+        ));
+        // Other keys still have room.
+        queue.try_push("modest", 9).unwrap();
+        // Draining one greedy item reopens that key.
+        assert_eq!(queue.pop(), Some(1));
+        queue.try_push("greedy", 3).unwrap();
+        assert_eq!(queue.len(), 3);
+    }
+
+    #[test]
+    fn global_cap_bounds_the_total() {
+        let queue: FairQueue<i32> = FairQueue::new(2, 0);
+        queue.try_push("a", 1).unwrap();
+        queue.try_push("b", 2).unwrap();
+        assert!(matches!(queue.try_push("c", 3), Err(TryPushError::Full(3))));
+        assert_eq!(queue.pop(), Some(1));
+        queue.try_push("c", 3).unwrap();
+    }
+
+    #[test]
+    fn blocking_push_waits_for_space_and_pop_waits_for_items() {
+        let queue: Arc<FairQueue<i32>> = Arc::new(FairQueue::new(1, 0));
+        queue.push("k", 1).unwrap();
+        let producer = {
+            let queue = Arc::clone(&queue);
+            std::thread::spawn(move || queue.push("k", 2))
+        };
+        // The producer is blocked on the full queue; free a slot.
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(queue.pop(), Some(1));
+        producer.join().unwrap().unwrap();
+        assert_eq!(queue.pop(), Some(2));
+
+        // A blocked consumer wakes when an item arrives.
+        let consumer = {
+            let queue = Arc::clone(&queue);
+            std::thread::spawn(move || queue.pop())
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        queue.push("k", 3).unwrap();
+        assert_eq!(consumer.join().unwrap(), Some(3));
+    }
+
+    #[test]
+    fn close_drains_accepted_items_then_stops() {
+        let queue: Arc<FairQueue<i32>> = Arc::new(FairQueue::new(0, 0));
+        queue.try_push("a", 1).unwrap();
+        queue.try_push("b", 2).unwrap();
+        queue.close();
+        // Producers fail fast after close...
+        assert!(matches!(
+            queue.try_push("a", 9),
+            Err(TryPushError::Closed(9))
+        ));
+        assert_eq!(queue.push("a", 9), Err(Closed));
+        // ...consumers still drain what was accepted, then see None.
+        assert_eq!(queue.pop(), Some(1));
+        assert_eq!(queue.pop(), Some(2));
+        assert_eq!(queue.pop(), None);
+        // And a consumer blocked at close time unblocks with None.
+        let blocked = {
+            let queue = Arc::clone(&queue);
+            std::thread::spawn(move || queue.pop())
+        };
+        assert_eq!(blocked.join().unwrap(), None);
+    }
+}

@@ -1,9 +1,15 @@
-//! The TCP front end: `std::net` only, thread per connection, heavy
-//! requests routed through the bounded [`WorkerPool`].
+//! The serving configuration, dispatch semantics, and the legacy
+//! thread-per-connection TCP front end.
 //!
-//! Connection threads are cheap (they block on socket reads); the CPU
-//! budget is governed by the pool, so 100 idle clients cost 100 parked
-//! threads while at most `workers` quantifications run at once.
+//! [`Server::run`] serves through the readiness-based [`crate::eventloop`]
+//! by default: one IO thread multiplexes every connection, so 1k idle
+//! clients cost 1k registered sockets instead of 1k parked threads, and a
+//! client disconnect is a readiness event instead of a per-request watcher
+//! thread. `ServerConfig { threaded: true }` (`serve --threaded`) selects
+//! the original thread-per-connection loop in this module — kept as the
+//! byte-compatibility baseline the load harness diffs the event loop
+//! against. Both front ends share [`dispatch_with`], the whole request
+//! semantics; the CPU budget is governed by the [`WorkerPool`] either way.
 
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Read, Write};
@@ -60,6 +66,20 @@ pub struct ServerConfig {
     /// Entries the shared plan-cell cache may hold before LRU eviction
     /// (`serve --cell-cache-cap`). 0 disables caching entirely.
     pub cell_cache_cap: usize,
+    /// Serve with the legacy thread-per-connection loop instead of the
+    /// default event loop (`serve --threaded`). Wire behavior is
+    /// identical; this exists as the baseline the load harness compares
+    /// against.
+    pub threaded: bool,
+    /// Pending pool jobs one session may hold before further submissions
+    /// are refused with `overloaded` (`serve --session-queue-cap`).
+    /// 0 = unbounded per session (the global `queue_depth` still binds).
+    pub session_queue_cap: usize,
+    /// Event-loop dispatcher threads — how many requests can be *in
+    /// dispatch* at once (light commands run here; heavy ones mostly wait
+    /// on the pool). 0 = size to the pool (workers + 2). Ignored under
+    /// `threaded`, where every connection thread dispatches for itself.
+    pub dispatchers: usize,
 }
 
 impl Default for ServerConfig {
@@ -73,6 +93,9 @@ impl Default for ServerConfig {
             request_timeout: None,
             session_inflight_cap: 0,
             cell_cache_cap: fairank_session::CellCache::DEFAULT_CAP,
+            threaded: false,
+            session_queue_cap: 0,
+            dispatchers: 0,
         }
     }
 }
@@ -82,16 +105,16 @@ impl Default for ServerConfig {
 /// request count, and the open connection sockets (so shutdown can
 /// force-close readers blocked on quiet peers).
 #[derive(Debug, Default)]
-struct ServeState {
-    draining: AtomicBool,
-    shutdown_token: CancelToken,
-    active_requests: AtomicUsize,
-    next_conn_id: AtomicU64,
-    conns: Mutex<HashMap<u64, TcpStream>>,
+pub(crate) struct ServeState {
+    pub(crate) draining: AtomicBool,
+    pub(crate) shutdown_token: CancelToken,
+    pub(crate) active_requests: AtomicUsize,
+    pub(crate) next_conn_id: AtomicU64,
+    pub(crate) conns: Mutex<HashMap<u64, TcpStream>>,
 }
 
 impl ServeState {
-    fn register_conn(&self, stream: &TcpStream) -> Option<u64> {
+    pub(crate) fn register_conn(&self, stream: &TcpStream) -> Option<u64> {
         let id = self.next_conn_id.fetch_add(1, Ordering::Relaxed);
         let clone = stream.try_clone().ok()?;
         self.conns
@@ -101,14 +124,14 @@ impl ServeState {
         Some(id)
     }
 
-    fn deregister_conn(&self, id: u64) {
+    pub(crate) fn deregister_conn(&self, id: u64) {
         self.conns
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner)
             .remove(&id);
     }
 
-    fn close_all_conns(&self) {
+    pub(crate) fn close_all_conns(&self) {
         for (_, conn) in self
             .conns
             .lock()
@@ -123,15 +146,18 @@ impl ServeState {
 /// A running multi-session FaiRank server.
 #[derive(Debug)]
 pub struct Server {
-    listener: TcpListener,
-    registry: Arc<SessionRegistry>,
-    pool: Arc<WorkerPool>,
-    policy: DispatchPolicy,
+    pub(crate) listener: TcpListener,
+    pub(crate) registry: Arc<SessionRegistry>,
+    pub(crate) pool: Arc<WorkerPool>,
+    pub(crate) policy: DispatchPolicy,
     session_ttl: Option<std::time::Duration>,
-    request_timeout: Option<std::time::Duration>,
-    session_inflight_cap: usize,
-    stop: Arc<AtomicBool>,
-    state: Arc<ServeState>,
+    pub(crate) request_timeout: Option<std::time::Duration>,
+    pub(crate) session_inflight_cap: usize,
+    pub(crate) stop: Arc<AtomicBool>,
+    pub(crate) state: Arc<ServeState>,
+    threaded: bool,
+    pub(crate) dispatchers: usize,
+    pub(crate) session_queue_cap: usize,
 }
 
 /// Handle to a server running on a background thread (see
@@ -160,10 +186,15 @@ impl Server {
         } else {
             config.queue_depth
         };
+        let dispatchers = if config.dispatchers == 0 {
+            workers + 2
+        } else {
+            config.dispatchers
+        };
         Ok(Server {
             listener,
             registry: Arc::new(SessionRegistry::with_cell_cache_cap(config.cell_cache_cap)),
-            pool: Arc::new(WorkerPool::new(workers, depth)),
+            pool: Arc::new(WorkerPool::with_caps(workers, depth, config.session_queue_cap)),
             policy: DispatchPolicy {
                 allow_fs_commands: config.allow_fs_commands,
                 admin: config.admin,
@@ -173,6 +204,9 @@ impl Server {
             session_inflight_cap: config.session_inflight_cap,
             stop: Arc::new(AtomicBool::new(false)),
             state: Arc::new(ServeState::default()),
+            threaded: config.threaded,
+            dispatchers,
+            session_queue_cap: config.session_queue_cap,
         })
     }
 
@@ -186,9 +220,10 @@ impl Server {
         Arc::clone(&self.registry)
     }
 
-    /// Serves connections on the calling thread until stopped.
+    /// Serves connections on the calling thread until stopped — through
+    /// the event loop by default, or thread-per-connection under
+    /// `ServerConfig { threaded: true }`.
     pub fn run(self) {
-        let policy = self.policy;
         // Idle-session TTL: a dedicated sweeper thread, NOT a pass on the
         // accept loop. Sweeping only on accept meant a quiet server (no new
         // connections) never expired anything — sessions pinned their
@@ -196,6 +231,23 @@ impl Server {
         let sweeper = self.session_ttl.map(|ttl| {
             spawn_ttl_sweeper(Arc::clone(&self.registry), Arc::clone(&self.stop), ttl)
         });
+        if self.threaded {
+            self.run_threaded();
+        } else if let Err(e) = crate::eventloop::run(&self) {
+            // Registration with the OS poller failed at startup; there is
+            // nothing to serve with. (Mid-loop per-connection errors are
+            // handled by dropping the one connection, not surfaced here.)
+            eprintln!("fairank serve: event loop failed: {e}");
+            self.stop.store(true, Ordering::SeqCst);
+        }
+        if let Some(thread) = sweeper {
+            let _ = thread.join();
+        }
+    }
+
+    /// The legacy blocking accept loop: one thread per connection.
+    fn run_threaded(&self) {
+        let policy = self.policy;
         let limits = ConnLimits {
             request_timeout: self.request_timeout,
             session_inflight_cap: self.session_inflight_cap,
@@ -205,6 +257,9 @@ impl Server {
                 break;
             }
             let Ok(mut stream) = stream else { continue };
+            // Request/reply lines are small; without this Nagle's
+            // algorithm + delayed ACK adds ~40 ms to every reply.
+            let _ = stream.set_nodelay(true);
             if self.state.draining.load(Ordering::SeqCst) {
                 // A draining server refuses new connections with a
                 // structured reason instead of a silent close.
@@ -217,9 +272,6 @@ impl Server {
             std::thread::spawn(move || {
                 serve_connection(stream, &registry, &pool, policy, &state, limits)
             });
-        }
-        if let Some(thread) = sweeper {
-            let _ = thread.join();
         }
     }
 
@@ -269,11 +321,12 @@ impl ServerHandle {
     /// thread releases the pool, its workers.
     pub fn shutdown(mut self, drain: Duration) {
         // Phase 1: refuse new work everywhere. `draining` turns both new
-        // connections (accept loop) and new requests on live connections
-        // (dispatch) into structured `shutting_down` replies.
+        // connections (accept) and new requests on live connections
+        // (dispatch) into structured `shutting_down` replies. The serve
+        // loop itself keeps running through the drain — the event loop
+        // must stay live to flush in-flight replies — so `stop` is not
+        // raised until phase 4.
         self.state.draining.store(true, Ordering::SeqCst);
-        self.stop.store(true, Ordering::SeqCst);
-        let _ = TcpStream::connect(self.addr); // wake the accept loop
         // Phase 2: drain — wait for in-flight requests to finish.
         let deadline = Instant::now() + drain;
         while self.state.active_requests.load(Ordering::SeqCst) > 0
@@ -291,8 +344,12 @@ impl ServerHandle {
         {
             std::thread::sleep(Duration::from_millis(1));
         }
-        // Phase 4: unblock connection readers parked on quiet peers so
-        // their threads exit, then join the accept thread.
+        // Phase 4: stop the serve loop, unblock connection readers parked
+        // on quiet peers so their threads exit, then join. The throwaway
+        // connection wakes both front ends (blocking accept, or listener
+        // readiness in the event loop).
+        self.stop.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.addr);
         self.state.close_all_conns();
         if let Some(thread) = self.thread.take() {
             let _ = thread.join();
@@ -363,6 +420,34 @@ fn forbidden(message: &str) -> Reply {
     Reply::err(ErrorResponse::new("forbidden", message))
 }
 
+/// Where a streamed scenario reply delivers per-cell statistics: a
+/// callback the connection layer injects, invoked from worker threads the
+/// moment each plan cell finishes — before the plan's reduce assembles
+/// the final report. The connection layer turns each emission into one
+/// `{"chunk": CellStat}` wire line.
+#[derive(Clone)]
+pub struct ChunkSink(Arc<dyn Fn(&fairank_session::CellStat) + Send + Sync>);
+
+impl ChunkSink {
+    /// Wraps a delivery callback. The callback runs on pool worker
+    /// threads, possibly concurrently for cells finishing together — it
+    /// must serialize its own output (one whole line at a time).
+    pub fn new(deliver: impl Fn(&fairank_session::CellStat) + Send + Sync + 'static) -> Self {
+        ChunkSink(Arc::new(deliver))
+    }
+
+    /// Delivers one finished cell's statistics.
+    pub fn emit(&self, stat: &fairank_session::CellStat) {
+        (self.0)(stat);
+    }
+}
+
+impl std::fmt::Debug for ChunkSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("ChunkSink(..)")
+    }
+}
+
 /// Per-request operational context threaded from the connection layer
 /// into [`dispatch_with`]: the cancellation scope compute must poll, plus
 /// the admission limits in force.
@@ -376,6 +461,10 @@ pub struct RequestContext {
     /// Set while the server drains: all requests are refused with the
     /// structured `shutting_down` error.
     pub draining: bool,
+    /// Present when the client opted into chunked scenario replies
+    /// (`"stream": true`): each finished cell's stats are emitted here
+    /// before the terminal reply. `None` (the default) streams nothing.
+    pub chunk_sink: Option<ChunkSink>,
 }
 
 /// The back-off hint attached to `overloaded` refusals. A constant (not
@@ -482,18 +571,25 @@ pub fn dispatch_with(
     // the connection thread compiles the plan and fans the independent
     // cells across the pool, so an N-cell grid saturates all workers.
     if is_scenario {
-        return Reply::from_result(run_scenario_on_pool(
+        return match run_scenario_on_pool(
             &lease,
             command,
             pool,
-            &ctx.budget,
+            &session_name,
+            ctx,
             registry.cell_cache(),
-        ));
+        ) {
+            ScenarioExec::Done(result) => Reply::from_result(result),
+            // A panic during compile or reduce left the session
+            // half-mutated (and its mutex poisoned): quarantine instead
+            // of serving the suspect state.
+            ScenarioExec::Poisoned => quarantine(registry, &session_name),
+        };
     }
     let result = if command.is_compute_heavy() {
         let handle = Arc::clone(lease.handle());
         let budget = ctx.budget.clone();
-        match pool.try_run(move || match handle.lock() {
+        match pool.try_run_tagged(&session_name, move || match handle.lock() {
             Ok(mut session) => Exec::Done(apply_with_budget(&mut session, command, budget)),
             Err(_) => Exec::Poisoned,
         }) {
@@ -557,9 +653,18 @@ pub fn dispatch(
     dispatch_with(registry, pool, request, policy, &RequestContext::default())
 }
 
+/// What the scenario path reports back: the plan's result, or the
+/// discovery that the session is (or just became) poisoned and must be
+/// quarantined instead of served.
+enum ScenarioExec {
+    Done(Result<Response, fairank_session::SessionError>),
+    Poisoned,
+}
+
 /// Compiles a scenario command against the session and executes its cells
-/// on the worker pool — one pool job per cell, all enqueued before any is
-/// awaited, so the grid runs as wide as the pool allows.
+/// on the worker pool — one pool job per cell (tagged with the session so
+/// the queue drains fairly), all enqueued before any is awaited, so the
+/// grid runs as wide as the pool allows.
 ///
 /// The session lock is held only around compile and the final reduce,
 /// NEVER while waiting on the pool: a regular heavy command for the same
@@ -570,35 +675,67 @@ pub fn dispatch(
 /// proceed; panel ids are assigned at reduce time against the
 /// then-current session, exactly as two users typing concurrently would
 /// see.
+///
+/// Both lock-holding phases run panic-contained and report
+/// [`ScenarioExec::Poisoned`] when the lock is poisoned — found so, or
+/// poisoned right here by a panicking compile/reduce (the reduce commits
+/// panels via `Session::commit_panel`, which can genuinely panic
+/// mid-mutation). The old code `unwrap_or_else(PoisonError::into_inner)`d
+/// through poison at both sites and served the half-mutated session;
+/// the caller now routes `Poisoned` through the registry's quarantine
+/// instead, so the name maps to a fresh session.
 fn run_scenario_on_pool(
     lease: &SessionLease,
     command: Command,
     pool: &WorkerPool,
-    budget: &RunBudget,
+    session_name: &str,
+    ctx: &RequestContext,
     cache: &Arc<fairank_session::CellCache>,
-) -> Result<Response, fairank_session::SessionError> {
+) -> ScenarioExec {
     use fairank_session::plan;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
 
     let handle = lease.handle();
     let spec = match command {
         Command::RunScenario { spec } => *spec,
         // Only reachable under `--allow-fs`.
         Command::RunScenarioFile { path } => {
-            let text = std::fs::read_to_string(&path)?;
-            serde_json::from_str(&text).map_err(|e| {
-                fairank_session::SessionError::Json(format!("spec {path}: {e}"))
-            })?
+            let text = match std::fs::read_to_string(&path) {
+                Ok(text) => text,
+                Err(e) => return ScenarioExec::Done(Err(e.into())),
+            };
+            match serde_json::from_str(&text) {
+                Ok(spec) => spec,
+                Err(e) => {
+                    return ScenarioExec::Done(Err(fairank_session::SessionError::Json(
+                        format!("spec {path}: {e}"),
+                    )))
+                }
+            }
         }
         _ => unreachable!("caller matched scenario commands"),
     };
-    let compiled = {
-        let session = handle.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    // Compile under the session lock. The lock is acquired *inside* the
+    // contained closure so a compile panic poisons it (guard unwinds) and
+    // is reported as such, not `into_inner`d past.
+    let budget = &ctx.budget;
+    let compiled = match catch_unwind(AssertUnwindSafe(|| {
+        let session = match handle.lock() {
+            Ok(session) => session,
+            Err(_) => return None,
+        };
         // The request's cancellation scope rides into every cell: a grid
         // hitting its deadline aborts all in-flight cells cooperatively.
-        plan::compile(&session, &spec)?.with_run_budget(budget)
+        Some(plan::compile(&session, &spec).map(|plan| plan.with_run_budget(budget)))
+    })) {
+        Ok(Some(Ok(compiled))) => compiled,
+        Ok(Some(Err(e))) => return ScenarioExec::Done(Err(e)),
+        Ok(None) | Err(_) => return ScenarioExec::Poisoned,
     };
+    let sink = ctx.chunk_sink.clone();
     let executed = compiled.execute_with(|cells| {
-        pool.run_batch(
+        pool.run_batch_tagged(
+            session_name,
             cells
                 .into_iter()
                 .map(|cell| {
@@ -606,7 +743,16 @@ fn run_scenario_on_pool(
                     // repeated dataset × configuration is served from the
                     // memoized outcome instead of recomputed.
                     let cache = Arc::clone(cache);
-                    move || cell.execute_cached(&cache)
+                    let sink = sink.clone();
+                    move || {
+                        let result = cell.execute_cached(&cache);
+                        // Streaming: ship the finished cell's stats now,
+                        // while sibling cells are still computing.
+                        if let (Some(sink), Ok(cell_result)) = (&sink, &result) {
+                            sink.emit(cell_result.stat());
+                        }
+                        result
+                    }
                 })
                 .collect(),
         )
@@ -620,8 +766,19 @@ fn run_scenario_on_pool(
         })
         .collect()
     });
-    let mut session = handle.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
-    Ok(Response::Scenario(executed.finish(Some(&mut session))?))
+    // Reduce under the session lock, contained the same way: a panic in
+    // `commit_panel` leaves half the panels committed — quarantine, don't
+    // serve.
+    match catch_unwind(AssertUnwindSafe(|| {
+        let mut session = match handle.lock() {
+            Ok(session) => session,
+            Err(_) => return None,
+        };
+        Some(executed.finish(Some(&mut session)))
+    })) {
+        Ok(Some(result)) => ScenarioExec::Done(result.map(Response::Scenario)),
+        Ok(None) | Err(_) => ScenarioExec::Poisoned,
+    }
 }
 
 /// The per-connection operational limits (copied out of the server).
@@ -677,7 +834,12 @@ fn spawn_disconnect_watcher(
                     }
                 }
             }
-            let _ = probe.set_read_timeout(None);
+            // Fault injection (debug builds only): leave the socket-level
+            // read timeout armed, exactly the teardown failure the read
+            // loop's timeout-retry path must survive.
+            if !fault::active(fault::STALE_TIMEOUT) {
+                let _ = probe.set_read_timeout(None);
+            }
         })
         .ok()
 }
@@ -703,10 +865,44 @@ fn serve_connection(
         // oversized (or binary) line still gets a structured refusal
         // instead of a silent drop.
         let mut buf: Vec<u8> = Vec::new();
-        match (&mut reader).take(MAX_REQUEST_BYTES).read_until(b'\n', &mut buf) {
-            Ok(0) => break, // EOF
-            Ok(_) => {}
-            Err(_) => break,
+        let mut dead = false;
+        loop {
+            let remaining = MAX_REQUEST_BYTES.saturating_sub(buf.len() as u64);
+            match (&mut reader).take(remaining).read_until(b'\n', &mut buf) {
+                // EOF between requests: the peer hung up normally.
+                Ok(0) if buf.is_empty() => {
+                    dead = true;
+                    break;
+                }
+                // EOF mid-line (process the partial line below, like the
+                // peer had sent a final unterminated request) — or the
+                // line hit the byte cap (refused below).
+                Ok(0) => break,
+                Ok(_) if buf.ends_with(b"\n") => break,
+                // Short read without EOF or newline: keep accumulating.
+                Ok(_) => {}
+                // A timeout error does NOT mean the peer is gone — it
+                // means a socket-level read timeout was armed (the
+                // disconnect watcher's probe timeout is per *socket*, not
+                // per clone, and a watcher that failed its teardown leaves
+                // it set). Treating it as fatal silently dropped live
+                // connections; instead clear the stale timeout and retry
+                // the read. Bytes already read stay in `buf` — the line
+                // reassembles across retries, still under the byte cap.
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    let _ = reader.get_ref().set_read_timeout(None);
+                }
+                Err(_) => {
+                    dead = true;
+                    break;
+                }
+            }
+        }
+        if dead {
+            break;
         }
         if !buf.ends_with(b"\n") && buf.len() as u64 >= MAX_REQUEST_BYTES {
             // Oversized request: answer once, then drop the connection
@@ -737,10 +933,26 @@ fn serve_connection(
                 if let Some(timeout) = limits.request_timeout {
                     budget = budget.with_timeout(timeout);
                 }
+                // Streamed scenario replies write their chunk lines
+                // through a serialized clone of this connection's write
+                // half. Cells finish on pool workers while this thread
+                // blocks inside dispatch, so every chunk is flushed
+                // before the terminal reply is written below.
+                let chunk_sink = if request.wants_stream() {
+                    writer.try_clone().ok().map(|chunk_writer| {
+                        let chunk_writer = Mutex::new(chunk_writer);
+                        ChunkSink::new(move |stat| {
+                            send_chunk(&chunk_writer, stat);
+                        })
+                    })
+                } else {
+                    None
+                };
                 let ctx = RequestContext {
                     budget,
                     session_inflight_cap: limits.session_inflight_cap,
                     draining: state.draining.load(Ordering::SeqCst),
+                    chunk_sink,
                 };
                 let done = Arc::new(AtomicBool::new(false));
                 let watcher =
@@ -794,13 +1006,27 @@ fn serve_connection(
 
 /// Serializes and writes one reply line, ignoring write failures (the
 /// connection is ending or the peer is gone either way).
-fn send_reply(writer: &mut TcpStream, reply: &Reply) {
+pub(crate) fn send_reply(writer: &mut TcpStream, reply: &Reply) {
     if let Ok(text) = serde_json::to_string(reply) {
         let _ = writer
             .write_all(text.as_bytes())
             .and_then(|()| writer.write_all(b"\n"))
             .and_then(|()| writer.flush());
     }
+}
+
+/// Serializes and writes one `{"chunk": CellStat}` line through the
+/// serialized writer clone, ignoring write failures (a vanished streaming
+/// client is noticed by the disconnect watcher, not here).
+fn send_chunk(writer: &Mutex<TcpStream>, stat: &fairank_session::CellStat) {
+    let Ok(text) = serde_json::to_string(&crate::protocol::Frame::chunk(stat.clone())) else {
+        return;
+    };
+    let mut writer = writer.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    let _ = writer
+        .write_all(text.as_bytes())
+        .and_then(|()| writer.write_all(b"\n"))
+        .and_then(|()| writer.flush());
 }
 
 #[cfg(test)]

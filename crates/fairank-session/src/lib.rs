@@ -48,6 +48,6 @@ pub use config::Configuration;
 pub use fairank_data::store::{DatasetHandle, DatasetStore, StoreStats};
 pub use error::{ErrorResponse, Result, SessionError};
 pub use panel::Panel;
-pub use plan::{Plan, ScenarioReport, ScenarioSpec};
+pub use plan::{CellStat, Plan, ScenarioReport, ScenarioSpec};
 pub use response::Response;
 pub use session::Session;

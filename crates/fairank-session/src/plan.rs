@@ -326,7 +326,7 @@ enum CellWork {
 }
 
 /// Per-cell engine counters and wall-clock, surfaced in the report.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CellStat {
     /// Cell label (what the cell computed).
     pub label: String,
@@ -396,6 +396,15 @@ enum CellPayload {
         criterion_idx: usize,
         outcome: StreamOutcome,
     },
+}
+
+impl CellResult {
+    /// The executed cell's per-cell statistics — what streaming replies
+    /// emit as a `{"chunk": ..}` line the moment the cell finishes,
+    /// before the plan's reduce assembles the final report.
+    pub fn stat(&self) -> &CellStat {
+        &self.stat
+    }
 }
 
 fn elapsed_us(elapsed: std::time::Duration) -> u64 {

@@ -265,6 +265,10 @@ impl Session {
         outcome: fairank_core::quantify::QuantifyOutcome,
         from_cache: bool,
     ) -> usize {
+        // Chaos hook: a panic here unwinds through the scenario reduce
+        // while the caller holds the session lock — the poisoning the
+        // service's quarantine path must absorb.
+        fairank_core::fault::panic_point(fairank_core::fault::COMMIT_PANIC);
         let id = self.panels.len();
         self.panels.push(Panel {
             id,

@@ -1,0 +1,696 @@
+//! Offline stand-in for the `polling` crate.
+//!
+//! The registry is unreachable in the build environment, so this crate
+//! provides the portable-readiness subset the FaiRank event-loop server
+//! drives: register file descriptors with a [`Poller`], block in
+//! [`Poller::wait`] until one becomes readable/writable, and wake the
+//! waiter from another thread with [`Poller::notify`].
+//!
+//! Two backends, selected at compile time:
+//!
+//! * **Linux:** `epoll` in level-triggered mode (no `EPOLLET` — the caller
+//!   re-arms nothing; an event repeats until the condition is consumed,
+//!   which is exactly what a read-accumulate/write-drain state machine
+//!   wants).
+//! * **Other unix:** `poll(2)` over a registry of interests rebuilt per
+//!   wait. Slower (O(n) per wait) but fully portable.
+//!
+//! Both keep a self-pipe registered alongside user sources: `notify`
+//! writes one byte, the waiter drains it and returns — the classic
+//! self-pipe trick, used here so dispatcher threads can hand completed
+//! replies back to the event loop without the loop having to tick on a
+//! timeout.
+//!
+//! No `libc` crate exists in this environment; `std` already links the
+//! platform C library, so the handful of syscall wrappers are declared
+//! directly as `extern "C"` symbols.
+
+#![cfg(unix)]
+
+use std::io;
+use std::os::fd::AsRawFd;
+use std::time::Duration;
+
+/// Interest in — or readiness of — one registered source.
+///
+/// `key` is caller-chosen and echoed back on every event for that source;
+/// the poller never interprets it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// The caller's identifier for the source.
+    pub key: usize,
+    /// Readable (or closed/errored — a read will not block).
+    pub readable: bool,
+    /// Writable (or errored — a write will not block).
+    pub writable: bool,
+}
+
+impl Event {
+    /// Interest in readability only.
+    pub fn readable(key: usize) -> Event {
+        Event {
+            key,
+            readable: true,
+            writable: false,
+        }
+    }
+
+    /// Interest in writability only.
+    pub fn writable(key: usize) -> Event {
+        Event {
+            key,
+            readable: false,
+            writable: true,
+        }
+    }
+
+    /// Interest in both directions.
+    pub fn all(key: usize) -> Event {
+        Event {
+            key,
+            readable: true,
+            writable: true,
+        }
+    }
+
+    /// No interest (keeps the source registered; useful to mute a source
+    /// without the delete/re-add dance).
+    pub fn none(key: usize) -> Event {
+        Event {
+            key,
+            readable: false,
+            writable: false,
+        }
+    }
+}
+
+/// The readiness poller. `Send + Sync`: `notify` is called from dispatcher
+/// threads while the event loop blocks in `wait`.
+pub struct Poller {
+    imp: imp::Backend,
+}
+
+impl std::fmt::Debug for Poller {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Poller").finish_non_exhaustive()
+    }
+}
+
+impl Poller {
+    /// A new poller with its notify pipe armed.
+    pub fn new() -> io::Result<Poller> {
+        Ok(Poller {
+            imp: imp::Backend::new()?,
+        })
+    }
+
+    /// Registers `source` under `interest.key`. The source must be in
+    /// nonblocking mode (readiness does not make blocking calls safe
+    /// against spurious wakeups).
+    pub fn add(&self, source: &impl AsRawFd, interest: Event) -> io::Result<()> {
+        self.imp.add(source.as_raw_fd(), interest)
+    }
+
+    /// Replaces the interest of an already-registered source.
+    pub fn modify(&self, source: &impl AsRawFd, interest: Event) -> io::Result<()> {
+        self.imp.modify(source.as_raw_fd(), interest)
+    }
+
+    /// Deregisters a source. Must be called before the descriptor is
+    /// closed (a closed fd silently vanishes from epoll, but the poll(2)
+    /// backend would keep polling a dead slot).
+    pub fn delete(&self, source: &impl AsRawFd) -> io::Result<()> {
+        self.imp.delete(source.as_raw_fd())
+    }
+
+    /// Blocks until at least one source is ready, `notify` is called, or
+    /// `timeout` elapses (`None` waits forever). Ready events are appended
+    /// to `events` (which is cleared first); returns how many were
+    /// delivered. Notify wakeups are consumed internally and deliver zero
+    /// events. Interrupted waits (`EINTR`) return zero events rather than
+    /// erroring, so callers can treat every return as "re-check state".
+    pub fn wait(&self, events: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<usize> {
+        events.clear();
+        self.imp.wait(events, timeout)
+    }
+
+    /// Wakes a blocked [`Poller::wait`] from another thread. Coalesces:
+    /// any number of notifies before the next wait produce one wakeup.
+    pub fn notify(&self) -> io::Result<()> {
+        self.imp.notify()
+    }
+}
+
+/// Milliseconds for the backend timeout argument: `None` blocks forever
+/// (-1); sub-millisecond waits round up so a 100µs timeout does not spin.
+fn timeout_ms(timeout: Option<Duration>) -> i32 {
+    match timeout {
+        None => -1,
+        Some(d) => {
+            let ms = d.as_millis();
+            if ms == 0 && !d.is_zero() {
+                1
+            } else {
+                ms.min(i32::MAX as u128) as i32
+            }
+        }
+    }
+}
+
+// ------------------------------------------------------------ linux/epoll
+
+#[cfg(target_os = "linux")]
+mod imp {
+    use super::{timeout_ms, Event};
+    use std::io;
+    use std::os::fd::RawFd;
+    use std::time::Duration;
+
+    #[allow(non_camel_case_types)]
+    type c_int = i32;
+
+    // x86-64 epoll_event is packed (the kernel ABI predates the arch);
+    // every other architecture uses natural alignment.
+    #[repr(C)]
+    #[cfg_attr(target_arch = "x86_64", repr(packed))]
+    #[derive(Clone, Copy)]
+    struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    const EPOLLIN: u32 = 0x001;
+    const EPOLLOUT: u32 = 0x004;
+    const EPOLLERR: u32 = 0x008;
+    const EPOLLHUP: u32 = 0x010;
+    const EPOLLRDHUP: u32 = 0x2000;
+
+    const EPOLL_CTL_ADD: c_int = 1;
+    const EPOLL_CTL_DEL: c_int = 2;
+    const EPOLL_CTL_MOD: c_int = 3;
+    const EPOLL_CLOEXEC: c_int = 0x80000;
+
+    // O_NONBLOCK / O_CLOEXEC for pipe2 (x86-64 and aarch64 share these).
+    const O_NONBLOCK: c_int = 0x800;
+    const O_CLOEXEC: c_int = 0x80000;
+
+    /// The sentinel `data` value marking the notify pipe's read end.
+    const NOTIFY: u64 = u64::MAX;
+
+    extern "C" {
+        fn epoll_create1(flags: c_int) -> c_int;
+        fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+        fn epoll_wait(
+            epfd: c_int,
+            events: *mut EpollEvent,
+            maxevents: c_int,
+            timeout: c_int,
+        ) -> c_int;
+        fn pipe2(fds: *mut c_int, flags: c_int) -> c_int;
+        fn close(fd: c_int) -> c_int;
+        fn read(fd: c_int, buf: *mut u8, count: usize) -> isize;
+        fn write(fd: c_int, buf: *const u8, count: usize) -> isize;
+    }
+
+    fn cvt(ret: c_int) -> io::Result<c_int> {
+        if ret < 0 {
+            Err(io::Error::last_os_error())
+        } else {
+            Ok(ret)
+        }
+    }
+
+    pub(super) struct Backend {
+        epfd: c_int,
+        pipe_read: c_int,
+        pipe_write: c_int,
+    }
+
+    // Raw fds are plain integers; epoll_ctl/epoll_wait/write are
+    // thread-safe syscalls.
+    unsafe impl Send for Backend {}
+    unsafe impl Sync for Backend {}
+
+    impl Backend {
+        pub(super) fn new() -> io::Result<Backend> {
+            let epfd = cvt(unsafe { epoll_create1(EPOLL_CLOEXEC) })?;
+            let mut fds = [0 as c_int; 2];
+            if let Err(e) = cvt(unsafe { pipe2(fds.as_mut_ptr(), O_NONBLOCK | O_CLOEXEC) }) {
+                unsafe { close(epfd) };
+                return Err(e);
+            }
+            let backend = Backend {
+                epfd,
+                pipe_read: fds[0],
+                pipe_write: fds[1],
+            };
+            let mut ev = EpollEvent {
+                events: EPOLLIN,
+                data: NOTIFY,
+            };
+            cvt(unsafe { epoll_ctl(epfd, EPOLL_CTL_ADD, backend.pipe_read, &mut ev) })?;
+            Ok(backend)
+        }
+
+        fn mask(interest: Event) -> u32 {
+            let mut events = EPOLLRDHUP; // always learn about peer close
+            if interest.readable {
+                events |= EPOLLIN;
+            }
+            if interest.writable {
+                events |= EPOLLOUT;
+            }
+            events
+        }
+
+        pub(super) fn add(&self, fd: RawFd, interest: Event) -> io::Result<()> {
+            let mut ev = EpollEvent {
+                events: Self::mask(interest),
+                data: interest.key as u64,
+            };
+            cvt(unsafe { epoll_ctl(self.epfd, EPOLL_CTL_ADD, fd, &mut ev) }).map(|_| ())
+        }
+
+        pub(super) fn modify(&self, fd: RawFd, interest: Event) -> io::Result<()> {
+            let mut ev = EpollEvent {
+                events: Self::mask(interest),
+                data: interest.key as u64,
+            };
+            cvt(unsafe { epoll_ctl(self.epfd, EPOLL_CTL_MOD, fd, &mut ev) }).map(|_| ())
+        }
+
+        pub(super) fn delete(&self, fd: RawFd) -> io::Result<()> {
+            let mut ev = EpollEvent { events: 0, data: 0 };
+            cvt(unsafe { epoll_ctl(self.epfd, EPOLL_CTL_DEL, fd, &mut ev) }).map(|_| ())
+        }
+
+        pub(super) fn wait(
+            &self,
+            out: &mut Vec<Event>,
+            timeout: Option<Duration>,
+        ) -> io::Result<usize> {
+            let mut buf = [EpollEvent { events: 0, data: 0 }; 256];
+            let n = unsafe {
+                epoll_wait(
+                    self.epfd,
+                    buf.as_mut_ptr(),
+                    buf.len() as c_int,
+                    timeout_ms(timeout),
+                )
+            };
+            if n < 0 {
+                let err = io::Error::last_os_error();
+                return if err.kind() == io::ErrorKind::Interrupted {
+                    Ok(0)
+                } else {
+                    Err(err)
+                };
+            }
+            for ev in buf.iter().take(n as usize) {
+                // Copy out of the (possibly packed) struct before use.
+                let (events, data) = (ev.events, ev.data);
+                if data == NOTIFY {
+                    self.drain_notify();
+                    continue;
+                }
+                out.push(Event {
+                    key: data as usize,
+                    // Error/hangup conditions surface as both-ready so the
+                    // caller's next read/write observes the actual error.
+                    readable: events & (EPOLLIN | EPOLLRDHUP | EPOLLHUP | EPOLLERR) != 0,
+                    writable: events & (EPOLLOUT | EPOLLHUP | EPOLLERR) != 0,
+                });
+            }
+            Ok(out.len())
+        }
+
+        pub(super) fn notify(&self) -> io::Result<()> {
+            let byte = [1u8];
+            // EAGAIN (pipe full) means wakeups are already pending —
+            // coalescing is the point.
+            let n = unsafe { write(self.pipe_write, byte.as_ptr(), 1) };
+            if n < 0 {
+                let err = io::Error::last_os_error();
+                if err.kind() != io::ErrorKind::WouldBlock {
+                    return Err(err);
+                }
+            }
+            Ok(())
+        }
+
+        fn drain_notify(&self) {
+            let mut buf = [0u8; 64];
+            // Nonblocking read end: loop until empty.
+            while unsafe { read(self.pipe_read, buf.as_mut_ptr(), buf.len()) } > 0 {}
+        }
+    }
+
+    impl Drop for Backend {
+        fn drop(&mut self) {
+            unsafe {
+                close(self.pipe_read);
+                close(self.pipe_write);
+                close(self.epfd);
+            }
+        }
+    }
+}
+
+// ------------------------------------------------------- unix poll(2) fallback
+
+#[cfg(all(unix, not(target_os = "linux")))]
+mod imp {
+    use super::{timeout_ms, Event};
+    use std::collections::HashMap;
+    use std::io;
+    use std::os::fd::RawFd;
+    use std::sync::Mutex;
+    use std::time::Duration;
+
+    #[allow(non_camel_case_types)]
+    type c_int = i32;
+
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    struct PollFd {
+        fd: c_int,
+        events: i16,
+        revents: i16,
+    }
+
+    const POLLIN: i16 = 0x001;
+    const POLLOUT: i16 = 0x004;
+    const POLLERR: i16 = 0x008;
+    const POLLHUP: i16 = 0x010;
+
+    const F_SETFL: c_int = 4;
+    // BSD-lineage O_NONBLOCK (macOS, the BSDs); this module never compiles
+    // on Linux, whose value differs.
+    const O_NONBLOCK: c_int = 0x004;
+
+    extern "C" {
+        fn poll(fds: *mut PollFd, nfds: u64, timeout: c_int) -> c_int;
+        fn pipe(fds: *mut c_int) -> c_int;
+        fn fcntl(fd: c_int, cmd: c_int, arg: c_int) -> c_int;
+        fn close(fd: c_int) -> c_int;
+        fn read(fd: c_int, buf: *mut u8, count: usize) -> isize;
+        fn write(fd: c_int, buf: *const u8, count: usize) -> isize;
+    }
+
+    pub(super) struct Backend {
+        registry: Mutex<HashMap<RawFd, Event>>,
+        pipe_read: c_int,
+        pipe_write: c_int,
+    }
+
+    unsafe impl Send for Backend {}
+    unsafe impl Sync for Backend {}
+
+    impl Backend {
+        pub(super) fn new() -> io::Result<Backend> {
+            let mut fds = [0 as c_int; 2];
+            if unsafe { pipe(fds.as_mut_ptr()) } < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            for fd in fds {
+                if unsafe { fcntl(fd, F_SETFL, O_NONBLOCK) } < 0 {
+                    let err = io::Error::last_os_error();
+                    unsafe {
+                        close(fds[0]);
+                        close(fds[1]);
+                    }
+                    return Err(err);
+                }
+            }
+            Ok(Backend {
+                registry: Mutex::new(HashMap::new()),
+                pipe_read: fds[0],
+                pipe_write: fds[1],
+            })
+        }
+
+        pub(super) fn add(&self, fd: RawFd, interest: Event) -> io::Result<()> {
+            let mut registry = self.registry.lock().unwrap();
+            if registry.contains_key(&fd) {
+                return Err(io::Error::new(
+                    io::ErrorKind::AlreadyExists,
+                    "fd already registered",
+                ));
+            }
+            registry.insert(fd, interest);
+            Ok(())
+        }
+
+        pub(super) fn modify(&self, fd: RawFd, interest: Event) -> io::Result<()> {
+            let mut registry = self.registry.lock().unwrap();
+            match registry.get_mut(&fd) {
+                Some(slot) => {
+                    *slot = interest;
+                    Ok(())
+                }
+                None => Err(io::Error::new(io::ErrorKind::NotFound, "fd not registered")),
+            }
+        }
+
+        pub(super) fn delete(&self, fd: RawFd) -> io::Result<()> {
+            match self.registry.lock().unwrap().remove(&fd) {
+                Some(_) => Ok(()),
+                None => Err(io::Error::new(io::ErrorKind::NotFound, "fd not registered")),
+            }
+        }
+
+        pub(super) fn wait(
+            &self,
+            out: &mut Vec<Event>,
+            timeout: Option<Duration>,
+        ) -> io::Result<usize> {
+            // Snapshot interests; keys are resolved against the same
+            // snapshot after poll returns.
+            let snapshot: Vec<(RawFd, Event)> = self
+                .registry
+                .lock()
+                .unwrap()
+                .iter()
+                .map(|(fd, ev)| (*fd, *ev))
+                .collect();
+            let mut fds: Vec<PollFd> = Vec::with_capacity(snapshot.len() + 1);
+            fds.push(PollFd {
+                fd: self.pipe_read,
+                events: POLLIN,
+                revents: 0,
+            });
+            for (fd, interest) in &snapshot {
+                let mut events = 0i16;
+                if interest.readable {
+                    events |= POLLIN;
+                }
+                if interest.writable {
+                    events |= POLLOUT;
+                }
+                fds.push(PollFd {
+                    fd: *fd,
+                    events,
+                    revents: 0,
+                });
+            }
+            let n = unsafe { poll(fds.as_mut_ptr(), fds.len() as u64, timeout_ms(timeout)) };
+            if n < 0 {
+                let err = io::Error::last_os_error();
+                return if err.kind() == io::ErrorKind::Interrupted {
+                    Ok(0)
+                } else {
+                    Err(err)
+                };
+            }
+            if fds[0].revents != 0 {
+                self.drain_notify();
+            }
+            for (slot, (_, interest)) in fds[1..].iter().zip(&snapshot) {
+                if slot.revents == 0 {
+                    continue;
+                }
+                out.push(Event {
+                    key: interest.key,
+                    readable: slot.revents & (POLLIN | POLLHUP | POLLERR) != 0,
+                    writable: slot.revents & (POLLOUT | POLLHUP | POLLERR) != 0,
+                });
+            }
+            Ok(out.len())
+        }
+
+        pub(super) fn notify(&self) -> io::Result<()> {
+            let byte = [1u8];
+            let n = unsafe { write(self.pipe_write, byte.as_ptr(), 1) };
+            if n < 0 {
+                let err = io::Error::last_os_error();
+                if err.kind() != io::ErrorKind::WouldBlock {
+                    return Err(err);
+                }
+            }
+            Ok(())
+        }
+
+        fn drain_notify(&self) {
+            let mut buf = [0u8; 64];
+            while unsafe { read(self.pipe_read, buf.as_mut_ptr(), buf.len()) } > 0 {}
+        }
+    }
+
+    impl Drop for Backend {
+        fn drop(&mut self) {
+            unsafe {
+                close(self.pipe_read);
+                close(self.pipe_write);
+            }
+        }
+    }
+}
+
+#[cfg(not(unix))]
+compile_error!("the vendored polling stub supports unix targets only");
+
+// ---------------------------------------------------------------- tests
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read as _, Write as _};
+    use std::net::{TcpListener, TcpStream};
+    use std::time::{Duration, Instant};
+
+    fn wait_for(
+        poller: &Poller,
+        events: &mut Vec<Event>,
+        pred: impl Fn(&Event) -> bool,
+    ) -> Event {
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            assert!(Instant::now() < deadline, "no event within 10s");
+            poller
+                .wait(events, Some(Duration::from_millis(100)))
+                .unwrap();
+            if let Some(ev) = events.iter().find(|e| pred(e)) {
+                return *ev;
+            }
+        }
+    }
+
+    #[test]
+    fn listener_becomes_readable_on_connect() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        listener.set_nonblocking(true).unwrap();
+        let addr = listener.local_addr().unwrap();
+        let poller = Poller::new().unwrap();
+        poller.add(&listener, Event::readable(7)).unwrap();
+
+        // Nothing pending: a short wait delivers no events.
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert!(events.is_empty());
+
+        let _client = TcpStream::connect(addr).unwrap();
+        let ev = wait_for(&poller, &mut events, |e| e.key == 7);
+        assert!(ev.readable);
+        poller.delete(&listener).unwrap();
+    }
+
+    #[test]
+    fn stream_reports_writable_then_peer_close_reports_readable() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (server_side, _) = listener.accept().unwrap();
+        server_side.set_nonblocking(true).unwrap();
+
+        let poller = Poller::new().unwrap();
+        poller.add(&server_side, Event::all(3)).unwrap();
+        let mut events = Vec::new();
+        // A fresh connected socket has send-buffer space: writable.
+        let ev = wait_for(&poller, &mut events, |e| e.key == 3 && e.writable);
+        assert!(ev.writable);
+
+        // Mute writes, then close the peer: EOF must surface as readable.
+        poller.modify(&server_side, Event::readable(3)).unwrap();
+        drop(client);
+        let ev = wait_for(&poller, &mut events, |e| e.key == 3 && e.readable);
+        assert!(ev.readable);
+        poller.delete(&server_side).unwrap();
+    }
+
+    #[test]
+    fn data_arrival_is_level_triggered_until_consumed() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        let (mut server_side, _) = listener.accept().unwrap();
+        server_side.set_nonblocking(true).unwrap();
+
+        let poller = Poller::new().unwrap();
+        poller.add(&server_side, Event::readable(9)).unwrap();
+        client.write_all(b"ping").unwrap();
+
+        let mut events = Vec::new();
+        // Unconsumed data keeps reporting readable (level-triggered).
+        for _ in 0..2 {
+            let ev = wait_for(&poller, &mut events, |e| e.key == 9);
+            assert!(ev.readable);
+        }
+        let mut buf = [0u8; 16];
+        let n = server_side.read(&mut buf).unwrap();
+        assert_eq!(&buf[..n], b"ping");
+        poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert!(events.is_empty(), "consumed data must stop reporting");
+        poller.delete(&server_side).unwrap();
+    }
+
+    #[test]
+    fn notify_wakes_a_blocked_wait() {
+        let poller = std::sync::Arc::new(Poller::new().unwrap());
+        let waker = std::sync::Arc::clone(&poller);
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(50));
+            waker.notify().unwrap();
+            // Coalescing: a second notify before the wait is harmless.
+            waker.notify().unwrap();
+        });
+        let mut events = Vec::new();
+        let start = Instant::now();
+        // Without the notify this would block the full 10 s.
+        poller
+            .wait(&mut events, Some(Duration::from_secs(10)))
+            .unwrap();
+        assert!(
+            start.elapsed() < Duration::from_secs(9),
+            "notify did not wake the waiter"
+        );
+        assert!(events.is_empty(), "notify must not surface as an event");
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn none_interest_mutes_a_source() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        let (server_side, _) = listener.accept().unwrap();
+        server_side.set_nonblocking(true).unwrap();
+
+        let poller = Poller::new().unwrap();
+        poller.add(&server_side, Event::none(4)).unwrap();
+        client.write_all(b"x").unwrap();
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_millis(30)))
+            .unwrap();
+        assert!(events.is_empty(), "muted source must not report");
+        // Un-mute: the pending byte surfaces.
+        poller.modify(&server_side, Event::readable(4)).unwrap();
+        let ev = wait_for(&poller, &mut events, |e| e.key == 4);
+        assert!(ev.readable);
+        poller.delete(&server_side).unwrap();
+    }
+}

@@ -51,6 +51,15 @@ pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
     Ok(out)
 }
 
+/// Renders an already-built [`Value`] tree as compact JSON — for callers
+/// that transform parsed trees (e.g. normalizing fields before a
+/// byte-level comparison) rather than serializing a typed struct.
+pub fn value_to_string(value: &Value) -> String {
+    let mut out = String::new();
+    write_value(&mut out, value, None, 0);
+    out
+}
+
 fn write_value(out: &mut String, v: &Value, indent: Option<usize>, depth: usize) {
     match v {
         Value::Null => out.push_str("null"),
